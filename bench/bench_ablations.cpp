@@ -1,0 +1,151 @@
+// E10 — ablations on the design choices DESIGN.md calls out:
+//   * resolver cache on/off for an AR-style repeated-gaze workload;
+//   * split-horizon view matching cost as the number of views grows;
+//   * presence-rule checking overhead;
+//   * Hilbert order ablation on a fixed room workload (precision vs
+//     interval count vs query time).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "core/deployment.hpp"
+#include "geo/hilbert_index.hpp"
+#include "util/rng.hpp"
+
+using namespace sns;
+
+namespace {
+
+double to_ms(net::Duration d) {
+  return std::chrono::duration<double, std::milli>(d).count();
+}
+
+void print_cache_ablation() {
+  std::printf("E10a / resolver cache ablation — AR headset re-resolving 5 devices, 200 gazes\n");
+  std::printf("%-12s %14s %14s %12s\n", "cache", "total ms", "mean ms/gaze", "hit rate");
+  for (bool use_cache : {false, true}) {
+    auto world = core::make_white_house_world(4);
+    auto& d = *world.deployment;
+    net::NodeId headset = d.add_client("headset", *world.oval_office, true);
+    auto stub = d.make_stub(headset, *world.oval_office);
+    resolver::DnsCache cache;
+    if (use_cache) stub.set_cache(&cache);
+
+    std::vector<dns::Name> gaze_targets{world.mic, world.speaker, world.display};
+    util::Rng rng(1);
+    net::Duration total{0};
+    for (int gaze = 0; gaze < 200; ++gaze) {
+      const dns::Name& target = gaze_targets[rng.next_below(gaze_targets.size())];
+      auto result = stub.resolve(target, dns::RRType::ANY);
+      if (result.ok()) total += result.value().latency;
+    }
+    double hit_rate = use_cache && (cache.hits() + cache.misses()) > 0
+                          ? static_cast<double>(cache.hits()) /
+                                static_cast<double>(cache.hits() + cache.misses())
+                          : 0.0;
+    std::printf("%-12s %14.1f %14.3f %11.0f%%\n", use_cache ? "on" : "off", to_ms(total),
+                to_ms(total) / 200.0, hit_rate * 100);
+  }
+  std::printf("\n");
+}
+
+void print_hilbert_order_ablation() {
+  std::printf("E10b / Hilbert order ablation — 4096 devices, 0.2deg queries\n");
+  std::printf("%6s %14s %16s %14s\n", "order", "mean us/query", "mean intervals",
+              "mean hits");
+  for (int order : {2, 4, 6, 8, 10, 12, 14}) {
+    geo::HilbertIndex index(geo::BoundingBox{0, 0, 10, 10}, order);
+    util::Rng rng(2);
+    for (geo::EntryId id = 0; id < 4096; ++id)
+      index.insert(id, {rng.next_double(0, 10), rng.next_double(0, 10), 0});
+    util::Rng query_rng(3);
+    double intervals = 0;
+    std::size_t hits = 0;
+    constexpr int kReps = 2000;
+    auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < kReps; ++i) {
+      double lat = query_rng.next_double(0, 9.8), lon = query_rng.next_double(0, 9.8);
+      geo::BoundingBox query{lat, lon, lat + 0.2, lon + 0.2};
+      hits += index.query(query).size();
+      intervals += static_cast<double>(index.grid().decompose(query).size());
+    }
+    auto elapsed = std::chrono::steady_clock::now() - start;
+    std::printf("%6d %14.2f %16.1f %14.1f\n", order,
+                std::chrono::duration<double, std::micro>(elapsed).count() / kReps,
+                intervals / kReps, static_cast<double>(hits) / kReps);
+  }
+  std::printf("\n");
+}
+
+// View matching: cost of the split-horizon decision as views grow.
+void bench_view_match(benchmark::State& state) {
+  auto views = static_cast<std::uint32_t>(state.range(0));
+  server::AuthoritativeServer server("many-views");
+  dns::Name apex = dns::name_of("zone.loc");
+  for (std::uint32_t v = 0; v < views; ++v) {
+    std::size_t index = server.add_view("room-" + std::to_string(v), server::match_room(v));
+    auto zone = std::make_shared<server::Zone>(apex, dns::name_of("ns.zone.loc"));
+    (void)zone->add(dns::make_txt(dns::name_of("dev.zone.loc"), {"v" + std::to_string(v)}));
+    server.add_zone(index, zone);
+  }
+  server::ClientContext ctx;
+  ctx.room = views - 1;  // worst case: matches the last view
+  dns::Message query = dns::make_query(1, dns::name_of("dev.zone.loc"), dns::RRType::TXT);
+  for (auto _ : state) {
+    auto response = server.handle(query, ctx);
+    benchmark::DoNotOptimize(&response);
+  }
+}
+BENCHMARK(bench_view_match)->Arg(1)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+// Presence rules: overhead of checking k rules per query.
+void bench_presence_rules(benchmark::State& state) {
+  auto rules = static_cast<std::uint32_t>(state.range(0));
+  server::AuthoritativeServer server("presence");
+  dns::Name apex = dns::name_of("zone.loc");
+  auto zone = std::make_shared<server::Zone>(apex, dns::name_of("ns.zone.loc"));
+  (void)zone->add(dns::make_txt(dns::name_of("dev.zone.loc"), {"x"}));
+  server.add_zone(zone);
+  auto token = std::make_shared<const std::string>("tok");
+  for (std::uint32_t r = 0; r < rules; ++r) {
+    auto owner = apex.prepend("protected-" + std::to_string(r));
+    server.add_presence_rule(server::PresenceRule{owner.value(), r, token});
+  }
+  server::ClientContext ctx;
+  ctx.internal = true;
+  dns::Message query = dns::make_query(1, dns::name_of("dev.zone.loc"), dns::RRType::TXT);
+  for (auto _ : state) {
+    auto response = server.handle(query, ctx);
+    benchmark::DoNotOptimize(&response);
+  }
+}
+BENCHMARK(bench_presence_rules)->Arg(0)->Arg(8)->Arg(64)->Arg(512);
+
+// Zone store scaling: lookup cost as the zone grows (many devices per
+// spatial domain).
+void bench_zone_lookup(benchmark::State& state) {
+  auto devices = static_cast<std::uint64_t>(state.range(0));
+  server::Zone zone(dns::name_of("building.loc"), dns::name_of("ns.building.loc"));
+  for (std::uint64_t i = 0; i < devices; ++i) {
+    auto owner = dns::name_of("dev-" + std::to_string(i) + ".building.loc");
+    (void)zone.add(dns::make_a(owner, net::Ipv4Addr::from_u32(0x0a000000u +
+                                                              static_cast<std::uint32_t>(i))));
+  }
+  dns::Name target = dns::name_of("dev-" + std::to_string(devices / 2) + ".building.loc");
+  for (auto _ : state) {
+    auto result = zone.lookup(target, dns::RRType::A);
+    benchmark::DoNotOptimize(&result);
+  }
+}
+BENCHMARK(bench_zone_lookup)->Arg(16)->Arg(256)->Arg(4096)->Arg(65536);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_cache_ablation();
+  print_hilbert_order_ablation();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

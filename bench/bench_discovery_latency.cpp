@@ -1,0 +1,168 @@
+// E6 — §1's latency claim: "the layers inherent in existing service
+// discovery mechanisms mean that it can take seconds or even minutes to
+// discover devices, whereas AR headsets must perform lookups in
+// milliseconds."
+//
+// Same simulated room, same services, two discovery paths:
+//   * legacy: mDNS/DNS-SD multicast browse (listening windows, RFC 6762
+//     response delays, unreliable multicast);
+//   * SNS: unicast DNS-SD against the room's edge nameserver.
+// Reported in *virtual* milliseconds (the simulator accounts latency
+// exactly); swept over wireless loss rates.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+
+#include "resolver/browse.hpp"
+#include "server/authoritative.hpp"
+#include "server/mdns.hpp"
+
+using namespace sns;
+
+namespace {
+
+constexpr int kServices = 5;
+
+struct Room {
+  net::Network network;
+  net::NodeId browser;
+  net::NodeId edge_ns;
+  std::vector<net::NodeId> devices;
+  std::unique_ptr<sns::server::AuthoritativeServer> edge_server;
+  std::shared_ptr<server::Zone> zone;
+  std::vector<std::unique_ptr<server::MdnsResponder>> responders;
+  dns::Name domain = dns::name_of("oval-office.loc");
+
+  explicit Room(std::uint64_t seed, double loss) : network(seed) {
+    browser = network.add_node("browser");
+    edge_ns = network.add_node("edge-ns");
+    network.connect(browser, edge_ns, net::wireless_link(loss));
+    network.join_group(server::kMdnsGroup, browser);
+
+    zone = std::make_shared<server::Zone>(domain, dns::name_of("ns.oval-office.loc"));
+    edge_server = std::make_unique<sns::server::AuthoritativeServer>("edge");
+    edge_server->add_zone(zone);
+    edge_server->bind_to_network(network, edge_ns, [](net::NodeId) {
+      server::ClientContext ctx;
+      ctx.internal = true;
+      return ctx;
+    });
+
+    for (int i = 0; i < kServices; ++i) {
+      net::NodeId device = network.add_node("device" + std::to_string(i));
+      network.connect(browser, device, net::wireless_link(loss));
+      network.connect(device, edge_ns, net::wireless_link(loss));
+      devices.push_back(device);
+
+      server::ServiceInstance service;
+      service.instance = "Device " + std::to_string(i);
+      service.service_type = "_sns._udp";
+      service.domain = domain;
+      service.host = dns::name_of("device" + std::to_string(i) + ".oval-office.loc");
+      service.port = static_cast<std::uint16_t>(6000 + i);
+      service.txt = {"id=" + std::to_string(i)};
+
+      // Publish both ways: into the edge zone (SNS path) and as an mDNS
+      // responder (legacy path).
+      (void)server::publish_service(*zone, service);
+      auto responder = std::make_unique<server::MdnsResponder>(network, device);
+      responder->publish(service);
+      responders.push_back(std::move(responder));
+    }
+    // NOTE: MdnsResponder owns each device's datagram handler — devices
+    // only answer mDNS here; unicast DNS-SD is served by edge_ns.
+  }
+};
+
+struct Sample {
+  double total_ms;
+  std::size_t found;
+};
+
+Sample run_mdns(std::uint64_t seed, double loss) {
+  Room room(seed, loss);
+  auto before = room.network.clock().now();
+  auto result = resolver::browse_mdns(room.network, room.browser, "_sns._udp", room.domain,
+                                      net::ms(1000));
+  auto elapsed = room.network.clock().now() - before;
+  return {std::chrono::duration<double, std::milli>(elapsed).count(), result.services.size()};
+}
+
+Sample run_sns(std::uint64_t seed, double loss) {
+  Room room(seed, loss);
+  resolver::StubResolver stub(room.network, room.browser, room.edge_ns);
+  // Edge-tuned client: the nameserver is one LAN hop away, so use a
+  // short retransmit timer instead of the 2 s WAN default.
+  stub.set_timeout(net::ms(50), 8);
+  auto before = room.network.clock().now();
+  auto result = resolver::browse_unicast(stub, "_sns._udp", room.domain);
+  auto elapsed = room.network.clock().now() - before;
+  return {std::chrono::duration<double, std::milli>(elapsed).count(),
+          result.ok() ? result.value().services.size() : 0};
+}
+
+// A single AR-style lookup (one name) for the headline "milliseconds"
+// number, including a cached repeat.
+void print_table() {
+  std::printf("E6 / discovery latency — legacy mDNS browse vs SNS edge lookup\n");
+  std::printf("%8s %22s %22s %16s\n", "loss", "mDNS browse (ms)", "SNS browse (ms)",
+              "speedup");
+  for (double loss : {0.0, 0.01, 0.05}) {
+    std::vector<double> mdns_ms, sns_ms;
+    std::size_t mdns_found = 0, sns_found = 0;
+    for (std::uint64_t seed = 1; seed <= 15; ++seed) {
+      auto m = run_mdns(seed, loss);
+      auto s = run_sns(seed * 101, loss);
+      mdns_ms.push_back(m.total_ms);
+      sns_ms.push_back(s.total_ms);
+      mdns_found += m.found;
+      sns_found += s.found;
+    }
+    auto median = [](std::vector<double>& v) {
+      std::sort(v.begin(), v.end());
+      return v[v.size() / 2];
+    };
+    double mdns_median = median(mdns_ms);
+    double sns_median = median(sns_ms);
+    std::printf("%7.0f%% %15.1f (%zu/75) %15.1f (%zu/75) %15.0fx\n", loss * 100, mdns_median,
+                mdns_found, sns_median, sns_found, mdns_median / sns_median);
+  }
+
+  // Single-name AR lookup.
+  Room room(7, 0.0);
+  resolver::StubResolver stub(room.network, room.browser, room.edge_ns);
+  resolver::DnsCache cache;
+  stub.set_cache(&cache);
+  auto first = stub.resolve(dns::name_of("device0.oval-office.loc"), dns::RRType::SRV);
+  auto second = stub.resolve(dns::name_of("device0.oval-office.loc"), dns::RRType::SRV);
+  if (first.ok() && second.ok()) {
+    std::printf("\nsingle AR-style lookup: cold %.2f ms, cached %.3f ms\n",
+                std::chrono::duration<double, std::milli>(first.value().latency).count(),
+                std::chrono::duration<double, std::milli>(second.value().latency).count());
+  }
+  std::printf("\n");
+}
+
+// CPU-time cost of serving one DNS-SD browse on the edge server.
+void bench_edge_serving_cost(benchmark::State& state) {
+  Room room(3, 0.0);
+  dns::Message query = dns::make_query(1, dns::name_of("_sns._udp.oval-office.loc"),
+                                       dns::RRType::PTR);
+  server::ClientContext ctx;
+  ctx.internal = true;
+  for (auto _ : state) {
+    auto response = room.edge_server->handle(query, ctx);
+    benchmark::DoNotOptimize(&response);
+  }
+}
+BENCHMARK(bench_edge_serving_cost);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,121 @@
+// E7 — §4.2's edge-deployment claim: "By moving the responsibility of
+// DNS operations to the edge of the network, we can support low-latency
+// name resolution for local devices as well as offline operation."
+//
+// Same query (the Oval Office display), three resolution paths:
+//   * edge:      stub -> room edge nameserver (LAN);
+//   * iterative (cold): full descent from the root over the WAN;
+//   * iterative (warm): same resolver with a populated cache.
+// Plus the offline ablation: WAN cut, edge still answers.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+
+#include "core/deployment.hpp"
+
+using namespace sns;
+
+namespace {
+
+double to_ms(net::Duration d) {
+  return std::chrono::duration<double, std::milli>(d).count();
+}
+
+void print_table() {
+  std::printf("E7 / edge vs recursive resolution of %s\n",
+              "display.oval-office.1600.penn-ave.washington.dc.usa.loc");
+  std::printf("%-24s %12s %12s %10s\n", "path", "median ms", "p95 ms", "queries");
+
+  // Gather samples across seeds.
+  std::vector<double> edge_ms, cold_ms, warm_ms;
+  int cold_queries = 0;
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    auto world = core::make_white_house_world(seed);
+    auto& d = *world.deployment;
+
+    net::NodeId local = d.add_client("headset", *world.oval_office, true);
+    auto stub = d.make_stub(local, *world.oval_office);
+    auto edge = stub.resolve(world.display, dns::RRType::A);
+    if (edge.ok()) edge_ms.push_back(to_ms(edge.value().latency));
+
+    net::NodeId remote = d.add_client("remote", *world.cabinet_room, false);
+    auto iterative = d.make_iterative(remote);
+    resolver::DnsCache cache;
+    iterative.set_cache(&cache);
+    auto cold = iterative.resolve(world.display, dns::RRType::AAAA);
+    if (cold.ok()) {
+      cold_ms.push_back(to_ms(cold.value().latency));
+      cold_queries = cold.value().queries_sent;
+    }
+    auto warm = iterative.resolve(world.display, dns::RRType::AAAA);
+    if (warm.ok()) warm_ms.push_back(to_ms(warm.value().latency));
+  }
+
+  auto stats = [](std::vector<double>& v) {
+    std::sort(v.begin(), v.end());
+    return std::pair{v.empty() ? 0.0 : v[v.size() / 2],
+                     v.empty() ? 0.0 : v[v.size() * 95 / 100]};
+  };
+  auto [edge_median, edge_p95] = stats(edge_ms);
+  auto [cold_median, cold_p95] = stats(cold_ms);
+  auto [warm_median, warm_p95] = stats(warm_ms);
+  std::printf("%-24s %12.3f %12.3f %10d\n", "edge (LAN stub)", edge_median, edge_p95, 1);
+  std::printf("%-24s %12.1f %12.1f %10d\n", "iterative cold (WAN)", cold_median, cold_p95,
+              cold_queries);
+  std::printf("%-24s %12.3f %12.3f %10d\n", "iterative warm (cache)", warm_median, warm_p95, 0);
+  std::printf("edge vs cold speedup: %.0fx\n\n", cold_median / std::max(edge_median, 1e-9));
+
+  // Offline ablation.
+  auto world = core::make_white_house_world(77);
+  auto& d = *world.deployment;
+  net::NodeId local = d.add_client("headset", *world.oval_office, true);
+  auto stub = d.make_stub(local, *world.oval_office);
+  d.network().set_link_down(world.white_house->ns_node, world.penn_ave->ns_node, true);
+  auto offline_local = stub.resolve(world.speaker, dns::RRType::BDADDR);
+  net::NodeId remote = d.add_client("remote", *world.cabinet_room, false);
+  auto iterative = d.make_iterative(remote);
+  auto offline_remote = iterative.resolve(world.display, dns::RRType::AAAA);
+  std::printf("offline ablation (building uplink cut):\n");
+  std::printf("  local edge resolution:   %s\n",
+              offline_local.ok() && offline_local.value().rcode == dns::Rcode::NoError
+                  ? "still works"
+                  : "FAILED");
+  std::printf("  remote iterative:        %s\n\n",
+              offline_remote.ok() ? "unexpectedly worked" : "fails (as expected)");
+}
+
+void bench_edge_resolution(benchmark::State& state) {
+  auto world = core::make_white_house_world(5);
+  auto& d = *world.deployment;
+  net::NodeId local = d.add_client("headset", *world.oval_office, true);
+  auto stub = d.make_stub(local, *world.oval_office);
+  for (auto _ : state) {
+    auto result = stub.resolve(world.display, dns::RRType::A);
+    if (!result.ok()) state.SkipWithError("edge resolution failed");
+    benchmark::DoNotOptimize(&result);
+  }
+}
+BENCHMARK(bench_edge_resolution);
+
+void bench_iterative_resolution(benchmark::State& state) {
+  auto world = core::make_white_house_world(6);
+  auto& d = *world.deployment;
+  net::NodeId remote = d.add_client("remote", *world.cabinet_room, false);
+  auto iterative = d.make_iterative(remote);
+  for (auto _ : state) {
+    auto result = iterative.resolve(world.display, dns::RRType::AAAA);
+    if (!result.ok()) state.SkipWithError("iterative resolution failed");
+    benchmark::DoNotOptimize(&result);
+  }
+}
+BENCHMARK(bench_iterative_resolution);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,82 @@
+// E2 — Figure 2: "A Spatial Name Hierarchy".
+//
+// Rebuilds the figure's delegation tree from live zone data (root ->
+// .loc -> .usa/.uk -> ... -> rooms), prints it, and benchmarks the
+// delegation walk at each depth.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <functional>
+
+#include "core/deployment.hpp"
+
+using namespace sns;
+
+namespace {
+
+core::WhiteHouseWorld& world() {
+  static core::WhiteHouseWorld w = core::make_white_house_world(2);
+  return w;
+}
+
+void print_tree() {
+  std::printf("E2 / Figure 2 — spatial name hierarchy (from live delegations)\n");
+  std::printf(".\n");
+  std::printf("`- .loc   (alongside .org .net ... for DNS interoperability)\n");
+  std::function<void(const core::ZoneSite*, int)> walk = [&](const core::ZoneSite* site,
+                                                             int depth) {
+    std::string indent(static_cast<std::size_t>(depth) * 3, ' ');
+    std::printf("%s`- .%s   (%zu devices, ns=%s)\n", indent.c_str(),
+                site->zone->civic().components().back().c_str(), site->zone->device_count(),
+                site->ns_name.to_string().c_str());
+    for (const core::ZoneSite* child : site->children) walk(child, depth + 1);
+  };
+  for (const auto& site : world().deployment->sites())
+    if (site.parent == nullptr) walk(&site, 1);
+  std::printf("\n");
+
+  // The figure's example fully-qualified device names:
+  std::printf("example spatial names resolved from this hierarchy:\n");
+  for (const dns::Name& name : {world().mic, world().speaker, world().display, world().camera})
+    std::printf("  %s\n", name.to_string().c_str());
+  std::printf("\n");
+}
+
+// How long one authoritative delegation walk takes per depth, on the
+// in-memory zone store (no network): the cost of the hierarchy itself.
+void bench_delegation_lookup(benchmark::State& state) {
+  auto depth = static_cast<std::size_t>(state.range(0));
+  const core::ZoneSite* site = world().oval_office;
+  std::vector<const core::ZoneSite*> chain;
+  for (const core::ZoneSite* z = site; z != nullptr; z = z->parent) chain.push_back(z);
+  // chain = [oval, 1600, penn, washington, dc, usa]; pick by depth.
+  depth = std::min(depth, chain.size() - 1);
+  const core::ZoneSite* start = chain[chain.size() - 1 - depth];
+  state.SetLabel(start->zone->domain().to_string());
+  dns::Name qname = world().mic;
+  for (auto _ : state) {
+    auto result = start->zone->local_zone()->lookup(qname, dns::RRType::BDADDR);
+    benchmark::DoNotOptimize(&result);
+  }
+}
+BENCHMARK(bench_delegation_lookup)->DenseRange(0, 5);
+
+void bench_civic_to_domain(benchmark::State& state) {
+  auto civic = core::CivicName::parse_postal(
+                   "Oval Office, 1600 Pennsylvania Ave NW, Washington, DC, USA")
+                   .value();
+  for (auto _ : state) {
+    auto domain = civic.to_domain();
+    benchmark::DoNotOptimize(&domain);
+  }
+}
+BENCHMARK(bench_civic_to_domain);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_tree();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

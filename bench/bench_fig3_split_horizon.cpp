@@ -1,0 +1,118 @@
+// E3 — Figure 3: "Context-dependent Spatial Resolution".
+//
+// Replays exactly the three queries of the figure over the simulated
+// topology and prints query, context, answer and virtual latency:
+//   1. mic (Oval Office) -> speaker : BDADDR        [local]
+//   2. camera (Cabinet Room) -> display : AAAA      [global, full FQDN]
+//   3. in-room client -> display : A (private)      [local]
+// plus the refusal of the presence-protected mic from outside.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/deployment.hpp"
+
+using namespace sns;
+
+namespace {
+
+struct Fig3 {
+  core::WhiteHouseWorld world = core::make_white_house_world(3);
+  net::NodeId mic_node = world.oval_office->zone->find_device(world.mic)->node;
+  net::NodeId camera_node = world.cabinet_room->zone->find_device(world.camera)->node;
+};
+
+Fig3& fig3() {
+  static Fig3 f;
+  return f;
+}
+
+void print_figure() {
+  Fig3& f = fig3();
+  auto& d = *f.world.deployment;
+  std::printf("E3 / Figure 3 — context-dependent spatial resolution\n");
+  std::printf("%-44s %-28s %-10s %s\n", "query (from -> name)", "answer", "type",
+              "latency");
+
+  auto show = [&](const char* from, resolver::StubResolver& stub, const dns::Name& qname,
+                  dns::RRType type) {
+    auto result = stub.resolve(qname, type);
+    std::string answer = "-";
+    std::string type_text = "-";
+    long long latency_us = -1;
+    if (result.ok()) {
+      latency_us = result.value().latency.count();
+      if (!result.value().records.empty()) {
+        answer = dns::rdata_to_string(result.value().records.front().rdata);
+        type_text = dns::to_string(result.value().records.front().type);
+      } else {
+        answer = dns::to_string(result.value().rcode);
+      }
+    }
+    std::string query_text = std::string(from) + " -> " + qname.labels().front();
+    std::printf("%-44s %-28s %-10s %lld us\n", query_text.c_str(), answer.c_str(),
+                type_text.c_str(), latency_us);
+  };
+
+  // 1. Local resolution inside the Oval Office: BDADDR.
+  auto mic_stub = d.make_stub(f.mic_node, *f.world.oval_office);
+  show("mic@oval-office (local)", mic_stub, f.world.speaker, dns::RRType::BDADDR);
+
+  // 2. Remote resolution from the Cabinet Room: global AAAA.
+  auto camera_stub = d.make_stub(f.camera_node, *f.world.oval_office);
+  show("camera@cabinet-room (remote)", camera_stub, f.world.display, dns::RRType::AAAA);
+
+  // 3. In-room query for the display: private A record.
+  show("mic@oval-office (local)", mic_stub, f.world.display, dns::RRType::A);
+
+  // 4. The protected mic from outside: refused.
+  show("camera@cabinet-room (remote)", camera_stub, f.world.mic, dns::RRType::ANY);
+  std::printf("\n");
+}
+
+void bench_local_bdaddr(benchmark::State& state) {
+  Fig3& f = fig3();
+  auto stub = f.world.deployment->make_stub(f.mic_node, *f.world.oval_office);
+  for (auto _ : state) {
+    auto result = stub.resolve(f.world.speaker, dns::RRType::BDADDR);
+    if (!result.ok()) state.SkipWithError("local resolution failed");
+    benchmark::DoNotOptimize(&result);
+  }
+}
+BENCHMARK(bench_local_bdaddr);
+
+void bench_remote_aaaa(benchmark::State& state) {
+  Fig3& f = fig3();
+  auto stub = f.world.deployment->make_stub(f.camera_node, *f.world.oval_office);
+  for (auto _ : state) {
+    auto result = stub.resolve(f.world.display, dns::RRType::AAAA);
+    if (!result.ok()) state.SkipWithError("remote resolution failed");
+    benchmark::DoNotOptimize(&result);
+  }
+}
+BENCHMARK(bench_remote_aaaa);
+
+// The split-horizon decision itself (view match + presence check) on
+// the server, without network.
+void bench_server_handle(benchmark::State& state) {
+  Fig3& f = fig3();
+  bool internal = state.range(0) == 1;
+  state.SetLabel(internal ? "internal-view" : "external-view");
+  server::ClientContext ctx;
+  ctx.internal = internal;
+  dns::Message query = dns::make_query(1, f.world.display, dns::RRType::ANY);
+  for (auto _ : state) {
+    auto response = f.world.oval_office->server->handle(query, ctx);
+    benchmark::DoNotOptimize(&response);
+  }
+}
+BENCHMARK(bench_server_handle)->Arg(0)->Arg(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_figure();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

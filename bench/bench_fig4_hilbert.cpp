@@ -1,0 +1,88 @@
+// E4 — Figure 4: "Hilbert Curves of Order n".
+//
+// Renders the figure's four curves in ASCII, then sweeps the order to
+// show the precision/cost trade-off §3.2 describes ("Hilbert curves
+// with varying order can be used to provide varying precision").
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "geo/hilbert.hpp"
+
+using namespace sns;
+
+namespace {
+
+void print_figure() {
+  std::printf("E4 / Figure 4 — Hilbert curves of order n\n\n");
+  for (int order = 1; order <= 4; ++order) {
+    std::printf("n = %d\n%s\n", order, geo::render_hilbert_ascii(order).c_str());
+  }
+
+  // Order sweep over the Oval Office domain (~11 m x ~13 m):
+  geo::BoundingBox oval{38.89725, -77.03745, 38.89735, -77.03730};
+  std::printf("order sweep over the Oval Office domain (%.0fm x %.0fm):\n", 11.0, 13.0);
+  std::printf("%5s %12s %14s %16s %18s\n", "order", "cells", "cell size", "adjacency gap",
+              "intervals(25%box)");
+  for (int order = 1; order <= 16; ++order) {
+    geo::HilbertGrid grid(oval, order);
+    double cell_m = 11.0 / static_cast<double>(grid.cells_per_side());
+    geo::BoundingBox query{38.897275, -77.037415, 38.8973, -77.037378};  // ~25% of the room
+    auto intervals = grid.decompose(query);
+    double gap = order <= 10 ? geo::hilbert_adjacency_gap(order) : -1;
+    if (gap >= 0)
+      std::printf("%5d %12llu %12.3fm %16.1f %18zu\n", order,
+                  static_cast<unsigned long long>(grid.cells_per_side()) *
+                      grid.cells_per_side(),
+                  cell_m, gap, intervals.size());
+    else
+      std::printf("%5d %12llu %12.4fm %16s %18zu\n", order,
+                  static_cast<unsigned long long>(grid.cells_per_side()) *
+                      grid.cells_per_side(),
+                  cell_m, "-", intervals.size());
+  }
+  std::printf("\n");
+}
+
+void bench_xy_to_d(benchmark::State& state) {
+  int order = static_cast<int>(state.range(0));
+  std::uint32_t side = 1u << order;
+  std::uint32_t x = side / 3, y = side / 2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(geo::hilbert_xy_to_d(order, x, y));
+  }
+}
+BENCHMARK(bench_xy_to_d)->Arg(4)->Arg(8)->Arg(16)->Arg(24)->Arg(31);
+
+void bench_d_to_xy(benchmark::State& state) {
+  int order = static_cast<int>(state.range(0));
+  geo::HilbertD d = (1ull << (2 * order)) / 3;
+  for (auto _ : state) {
+    std::uint32_t x = 0, y = 0;
+    geo::hilbert_d_to_xy(order, d, x, y);
+    benchmark::DoNotOptimize(x + y);
+  }
+}
+BENCHMARK(bench_d_to_xy)->Arg(4)->Arg(8)->Arg(16)->Arg(24)->Arg(31);
+
+void bench_decompose(benchmark::State& state) {
+  int order = static_cast<int>(state.range(0));
+  geo::HilbertGrid grid(geo::BoundingBox{0, 0, 1, 1}, order);
+  geo::BoundingBox query{0.3, 0.3, 0.55, 0.55};
+  for (auto _ : state) {
+    auto intervals = grid.decompose(query);
+    benchmark::DoNotOptimize(intervals.data());
+  }
+  geo::HilbertGrid probe(geo::BoundingBox{0, 0, 1, 1}, order);
+  state.counters["intervals"] = static_cast<double>(probe.decompose(query).size());
+}
+BENCHMARK(bench_decompose)->Arg(4)->Arg(6)->Arg(8)->Arg(10)->Arg(12);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_figure();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

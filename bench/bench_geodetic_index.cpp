@@ -1,0 +1,159 @@
+// E5 — §3.2's complexity claim: "A naive solution … would be O(n) for n
+// devices. Instead … space-filling curves … logarithmic complexity …
+// alternatives such as R-trees may be more efficient for sparse
+// locations."
+//
+// Sweeps n over 16..65536 devices (uniform and clustered placement) and
+// measures area-query latency for naive scan, Hilbert-interval index,
+// R-tree and quadtree. The shape to reproduce: naive grows linearly,
+// the others stay ~flat/logarithmic, with a small-n crossover where
+// naive wins.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+#include "geo/hilbert_index.hpp"
+#include "geo/naive_index.hpp"
+#include "geo/quadtree.hpp"
+#include "geo/rtree.hpp"
+#include "util/rng.hpp"
+
+using namespace sns;
+
+namespace {
+
+const geo::BoundingBox kDomain{0, 0, 10, 10};
+
+enum class Dist { Uniform, Clustered };
+
+std::unique_ptr<geo::SpatialIndex> make_index(int kind) {
+  switch (kind) {
+    case 0: return std::make_unique<geo::NaiveIndex>();
+    case 1: return std::make_unique<geo::HilbertIndex>(kDomain, 10);
+    case 2: return std::make_unique<geo::RTree>();
+    default: return std::make_unique<geo::Quadtree>(kDomain);
+  }
+}
+
+const char* kind_name(int kind) {
+  switch (kind) {
+    case 0: return "naive";
+    case 1: return "hilbert";
+    case 2: return "rtree";
+    default: return "quadtree";
+  }
+}
+
+void populate(geo::SpatialIndex& index, std::size_t n, Dist dist, util::Rng& rng) {
+  if (dist == Dist::Uniform) {
+    for (geo::EntryId id = 0; id < n; ++id)
+      index.insert(id, {rng.next_double(0, 10), rng.next_double(0, 10), 0});
+    return;
+  }
+  // Clustered: sqrt(n) clusters of sqrt(n) devices (buildings of rooms).
+  std::size_t clusters = std::max<std::size_t>(1, static_cast<std::size_t>(std::sqrt(n)));
+  geo::EntryId id = 0;
+  while (id < n) {
+    double clat = rng.next_double(0.5, 9.5), clon = rng.next_double(0.5, 9.5);
+    for (std::size_t i = 0; i < clusters && id < n; ++i, ++id) {
+      index.insert(id, {std::clamp(clat + rng.next_gaussian(0, 0.03), 0.0, 10.0),
+                        std::clamp(clon + rng.next_gaussian(0, 0.03), 0.0, 10.0), 0});
+    }
+  }
+}
+
+// The AR-style query: a small area (a room within a city-scale domain).
+geo::BoundingBox sample_query(util::Rng& rng) {
+  double lat = rng.next_double(0, 9.8), lon = rng.next_double(0, 9.8);
+  return geo::BoundingBox{lat, lon, lat + 0.2, lon + 0.2};
+}
+
+void bench_query(benchmark::State& state) {
+  int kind = static_cast<int>(state.range(0));
+  auto n = static_cast<std::size_t>(state.range(1));
+  Dist dist = state.range(2) == 0 ? Dist::Uniform : Dist::Clustered;
+  state.SetLabel(std::string(kind_name(kind)) + "/" +
+                 (dist == Dist::Uniform ? "uniform" : "clustered") + "/n=" +
+                 std::to_string(n));
+  util::Rng rng(1234);
+  auto index = make_index(kind);
+  populate(*index, n, dist, rng);
+  util::Rng query_rng(99);
+  std::size_t results = 0;
+  for (auto _ : state) {
+    auto found = index->query(sample_query(query_rng));
+    results += found.size();
+    benchmark::DoNotOptimize(found.data());
+  }
+  state.counters["hits/query"] =
+      benchmark::Counter(static_cast<double>(results), benchmark::Counter::kAvgIterations);
+}
+
+void register_query_benchmarks() {
+  for (int kind = 0; kind < 4; ++kind)
+    for (std::int64_t n : {16, 64, 256, 1024, 4096, 16384, 65536})
+      for (std::int64_t dist : {0, 1})
+        benchmark::RegisterBenchmark("query", bench_query)->Args({kind, n, dist});
+}
+
+void bench_insert(benchmark::State& state) {
+  int kind = static_cast<int>(state.range(0));
+  state.SetLabel(std::string(kind_name(kind)) + "/insert-into-16k");
+  util::Rng rng(5);
+  auto index = make_index(kind);
+  populate(*index, 16384, Dist::Uniform, rng);
+  geo::EntryId next = 1u << 20;
+  for (auto _ : state) {
+    index->insert(next, {rng.next_double(0, 10), rng.next_double(0, 10), 0});
+    ++next;
+  }
+}
+
+void register_insert_benchmarks() {
+  for (int kind = 0; kind < 4; ++kind)
+    benchmark::RegisterBenchmark("insert", bench_insert)->Args({kind});
+}
+
+// Headline summary the paper's argument rests on: time per query at
+// n=65536 relative to naive.
+void print_summary() {
+  std::printf("E5 / geodetic index scaling — devices in a 0.2x0.2deg area query\n");
+  std::printf("%10s", "n");
+  for (int kind = 0; kind < 4; ++kind) std::printf(" %14s", kind_name(kind));
+  std::printf("   (mean us/query, uniform)\n");
+  for (std::size_t n : {16u, 256u, 4096u, 65536u}) {
+    std::printf("%10zu", n);
+    for (int kind = 0; kind < 4; ++kind) {
+      util::Rng rng(1234);
+      auto index = make_index(kind);
+      populate(*index, n, Dist::Uniform, rng);
+      util::Rng query_rng(99);
+      auto start = std::chrono::steady_clock::now();
+      int reps = n > 16384 ? 200 : 2000;
+      std::size_t sink = 0;
+      for (int i = 0; i < reps; ++i) sink += index->query(sample_query(query_rng)).size();
+      auto elapsed = std::chrono::steady_clock::now() - start;
+      double us_per_query =
+          std::chrono::duration<double, std::micro>(elapsed).count() / reps;
+      std::printf(" %14.2f", us_per_query);
+      benchmark::DoNotOptimize(sink);
+    }
+    std::printf("\n");
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_summary();
+  register_query_benchmarks();
+  register_insert_benchmarks();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,134 @@
+// E9 — §3.2's global geodetic resolution: iterative descent down the
+// spatial hierarchy ("operating like normal iterative DNS"), and border
+// ambiguity ("multiple spatial domains, which it can then pursue
+// concurrently").
+//
+// Two sweeps:
+//   * depth 1..6: a chain of nested zones; latency and queries per depth;
+//   * fan-out 1..4: a point on the k-corner of k adjacent zones.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/deployment.hpp"
+
+using namespace sns;
+
+namespace {
+
+double to_ms(net::Duration d) {
+  return std::chrono::duration<double, std::milli>(d).count();
+}
+
+// Build a chain deployment: zone_1 contains zone_2 contains ... zone_k,
+// with a sensor in the innermost zone.
+struct Chain {
+  std::unique_ptr<core::SnsDeployment> deployment;
+  net::NodeId client;
+  geo::GeoPoint target{5.0, 5.0, 0};
+
+  explicit Chain(int depth, std::uint64_t seed) {
+    deployment = std::make_unique<core::SnsDeployment>(seed);
+    core::ZoneSite* parent = nullptr;
+    double half = 5.0;
+    core::CivicName civic = core::CivicName::from_components({"level1"}).value();
+    for (int level = 1; level <= depth; ++level) {
+      geo::BoundingBox box{5.0 - half, 5.0 - half, 5.0 + half, 5.0 + half};
+      core::ZoneOptions options;
+      options.uplink = parent == nullptr ? net::wan_link(net::ms(40)) : net::wan_link(net::ms(8));
+      core::ZoneSite& site = deployment->add_zone(civic, box, parent, options);
+      parent = &site;
+      half /= 2.0;
+      if (level < depth) civic = civic.child("level" + std::to_string(level + 1)).value();
+    }
+    core::Device sensor;
+    sensor.function = "sensor";
+    sensor.position = target;
+    (void)deployment->add_device(*parent, sensor);
+    client = deployment->network().add_node("client");
+    deployment->network().connect(client, deployment->loc_node(), net::wan_link(net::ms(20)));
+  }
+};
+
+// k zones around the origin corner; query point exactly on the corner.
+struct Corner {
+  std::unique_ptr<core::SnsDeployment> deployment;
+  net::NodeId client;
+
+  explicit Corner(int k, std::uint64_t seed) {
+    deployment = std::make_unique<core::SnsDeployment>(seed);
+    geo::BoundingBox quadrants[4] = {
+        {0, 0, 10, 10}, {0, -10, 10, 0}, {-10, -10, 0, 0}, {-10, 0, 0, 10}};
+    const char* names[4] = {"northeast", "northwest", "southwest", "southeast"};
+    for (int i = 0; i < k; ++i) {
+      auto civic = core::CivicName::from_components({names[i]}).value();
+      core::ZoneSite& site = deployment->add_zone(civic, quadrants[i], nullptr);
+      core::Device sensor;
+      sensor.function = "sensor";
+      sensor.position = quadrants[i].center();
+      (void)deployment->add_device(site, sensor);
+    }
+    client = deployment->network().add_node("client");
+    deployment->network().connect(client, deployment->loc_node(), net::wan_link(net::ms(20)));
+  }
+};
+
+void print_tables() {
+  std::printf("E9 / global geodetic descent\n");
+  std::printf("depth sweep (nested zones, sensor in the innermost):\n");
+  std::printf("%6s %10s %10s %12s %8s\n", "depth", "zones", "queries", "latency ms",
+              "found");
+  for (int depth = 1; depth <= 6; ++depth) {
+    Chain chain(depth, static_cast<std::uint64_t>(depth) * 13);
+    auto geo_client = chain.deployment->make_geodetic_client(chain.client);
+    auto result = geo_client.resolve_point(chain.target, 0.01);
+    if (!result.ok()) {
+      std::printf("%6d %10s\n", depth, "FAILED");
+      continue;
+    }
+    std::printf("%6d %10d %10d %12.1f %8zu\n", depth, result.value().zones_visited,
+                result.value().queries_sent, to_ms(result.value().latency),
+                result.value().names.size());
+  }
+
+  std::printf("\nborder fan-out sweep (query point on the shared corner):\n");
+  std::printf("%6s %10s %10s %12s %8s\n", "zones", "fanout", "queries", "latency ms",
+              "found");
+  for (int k = 1; k <= 4; ++k) {
+    Corner corner(k, static_cast<std::uint64_t>(k) * 31);
+    auto geo_client = corner.deployment->make_geodetic_client(corner.client);
+    // A query box big enough to overlap every quadrant's sensor.
+    auto answer = geo_client.resolve_area(geo::BoundingBox{-6, -6, 6, 6});
+    if (!answer.ok()) {
+      std::printf("%6d %10s\n", k, "FAILED");
+      continue;
+    }
+    // Concurrent pursuit: latency stays ~flat as fan-out grows even
+    // though the number of queries grows linearly.
+    std::printf("%6d %10d %10d %12.1f %8zu\n", k, answer.value().fanout_max,
+                answer.value().queries_sent, to_ms(answer.value().latency),
+                answer.value().names.size());
+  }
+  std::printf("\n");
+}
+
+void bench_descent(benchmark::State& state) {
+  int depth = static_cast<int>(state.range(0));
+  Chain chain(depth, 99);
+  auto geo_client = chain.deployment->make_geodetic_client(chain.client);
+  for (auto _ : state) {
+    auto result = geo_client.resolve_point(chain.target, 0.01);
+    if (!result.ok()) state.SkipWithError("descent failed");
+    benchmark::DoNotOptimize(&result);
+  }
+}
+BENCHMARK(bench_descent)->DenseRange(1, 6);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_tables();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,105 @@
+// E8 — §3.1's NAT side-effect: "a global IP could be dynamically
+// created for a particular port as a side-effect of the DNS resolution
+// using, for example, the Port Control Protocol … maintained for the
+// duration of the DNS response TTL."
+//
+// Measures mapping setup as part of resolution, verifies the
+// TTL-lifetime contract over a sweep, and benchmarks NatBox operations.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "net/nat.hpp"
+#include "net/sim.hpp"
+
+using namespace sns;
+
+namespace {
+
+void print_table() {
+  std::printf("E8 / NAT + PCP — mapping lifetime follows the DNS TTL\n");
+  std::printf("%8s %16s %18s %18s\n", "ttl (s)", "mapped port", "alive at ttl-1s",
+              "alive at ttl");
+
+  for (std::uint32_t ttl : {30u, 120u, 300u, 3600u}) {
+    net::SimClock clock;
+    net::NatBox nat(net::Ipv4Addr{{203, 0, 113, 1}});
+    // Resolution-triggered mapping: the edge server answers an external
+    // AAAA/A query and installs the mapping for exactly the TTL.
+    auto mapping = nat.request_mapping(/*node=*/1, /*port=*/443,
+                                       std::chrono::seconds(ttl), clock.now());
+    if (!mapping.ok()) continue;
+    bool alive_before =
+        nat.translate(mapping.value().external_port, std::chrono::seconds(ttl - 1))
+            .has_value();
+    bool alive_at =
+        nat.translate(mapping.value().external_port, std::chrono::seconds(ttl)).has_value();
+    std::printf("%8u %16u %18s %18s\n", ttl, mapping.value().external_port,
+                alive_before ? "yes" : "NO(bug)", alive_at ? "YES(bug)" : "expired");
+  }
+
+  // Renewal keeps the advertised endpoint stable across TTL refreshes.
+  net::NatBox nat(net::Ipv4Addr{{203, 0, 113, 1}});
+  auto first = nat.request_mapping(1, 443, std::chrono::seconds(120), net::TimePoint{0});
+  bool stable = true;
+  for (int refresh = 1; refresh <= 10 && first.ok(); ++refresh) {
+    auto renewed = nat.request_mapping(1, 443, std::chrono::seconds(120),
+                                       std::chrono::seconds(100 * refresh));
+    if (!renewed.ok() || renewed.value().external_port != first.value().external_port)
+      stable = false;
+  }
+  std::printf("\nrenewal across 10 TTL refreshes keeps the external port: %s\n",
+              stable ? "yes" : "NO");
+
+  // Churn: how many stale mappings does a sweep reclaim?
+  net::NatBox churn_nat(net::Ipv4Addr{{203, 0, 113, 2}});
+  for (std::uint16_t i = 0; i < 500; ++i)
+    (void)churn_nat.request_mapping(i, 80, std::chrono::seconds(60 + i % 120),
+                                    net::TimePoint{0});
+  std::size_t evicted = churn_nat.expire(std::chrono::seconds(120));
+  std::printf("expiry sweep at t=120s over 500 mappings (ttl 60..180s): evicted %zu\n\n",
+              evicted);
+}
+
+void bench_request_mapping(benchmark::State& state) {
+  net::NatBox nat(net::Ipv4Addr{{203, 0, 113, 1}});
+  net::NodeId node = 0;
+  for (auto _ : state) {
+    auto mapping = nat.request_mapping(node, 443, std::chrono::seconds(60), net::TimePoint{0});
+    benchmark::DoNotOptimize(&mapping);
+    nat.release_mapping(node, 443);
+    ++node;
+    if (node > 500) node = 0;
+  }
+}
+BENCHMARK(bench_request_mapping);
+
+void bench_translate(benchmark::State& state) {
+  net::NatBox nat(net::Ipv4Addr{{203, 0, 113, 1}});
+  auto mapping =
+      nat.request_mapping(1, 443, std::chrono::seconds(3600), net::TimePoint{0});
+  std::uint16_t port = mapping.ok() ? mapping.value().external_port : 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nat.translate(port, std::chrono::seconds(1)));
+  }
+}
+BENCHMARK(bench_translate);
+
+void bench_renewal(benchmark::State& state) {
+  net::NatBox nat(net::Ipv4Addr{{203, 0, 113, 1}});
+  (void)nat.request_mapping(1, 443, std::chrono::seconds(60), net::TimePoint{0});
+  for (auto _ : state) {
+    auto renewed = nat.request_mapping(1, 443, std::chrono::seconds(60), net::TimePoint{0});
+    benchmark::DoNotOptimize(&renewed);
+  }
+}
+BENCHMARK(bench_renewal);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,109 @@
+// E1 — Table 1: "Existing and extended DNS RRs".
+//
+// Regenerates the paper's table (protocol, RR type, sample entry) from
+// the real codecs, adds the wire size and TXT-fallback form of each
+// record, and benchmarks encode/decode throughput per type.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "dns/message.hpp"
+
+using namespace sns;
+
+namespace {
+
+struct Row {
+  const char* protocol;
+  dns::RRType type;
+  dns::Rdata rdata;
+};
+
+std::vector<Row> table1() {
+  return {
+      {"IPv4", dns::RRType::A, dns::AData{net::Ipv4Addr{{192, 0, 2, 1}}}},
+      {"IPv6", dns::RRType::AAAA,
+       dns::AaaaData{net::Ipv6Addr::parse("2001:db8::1").value()}},
+      {"Bluetooth", dns::RRType::BDADDR,
+       dns::BdaddrData{net::Bdaddr{{0x01, 0x23, 0x45, 0x67, 0x89, 0xab}}}},
+      {"802.11", dns::RRType::WIFI, dns::WifiData{"ssid", net::Ipv4Addr{{192, 0, 3, 1}}}},
+      {"LoRaWAN", dns::RRType::LORA,
+       dns::LoraData{dns::name_of("gw.field.loc"), net::LoraDevAddr{0x01ab23cd}}},
+      {"Audio", dns::RRType::DTMF, dns::DtmfData{net::DtmfTone{"421#"}}},
+  };
+}
+
+std::size_t wire_size(const dns::Rdata& rdata) {
+  util::ByteWriter w;
+  dns::encode_rdata(rdata, w, nullptr);
+  return w.size();
+}
+
+void print_table() {
+  std::printf("E1 / Table 1 — existing and extended DNS RRs\n");
+  std::printf("%-10s %-8s %-34s %7s  %s\n", "Protocol", "RR Type", "Sample Entry", "Wire B",
+              "TXT fallback");
+  for (const auto& row : table1()) {
+    auto fallback = dns::to_txt_fallback(row.rdata);
+    std::printf("%-10s %-8s %-34s %7zu  %s\n", row.protocol,
+                dns::to_string(row.type).c_str(), dns::rdata_to_string(row.rdata).c_str(),
+                wire_size(row.rdata),
+                fallback.ok() ? fallback.value().strings[0].c_str() : "-");
+  }
+  std::printf("\n");
+}
+
+void bench_encode(benchmark::State& state) {
+  auto rows = table1();
+  const Row& row = rows[static_cast<std::size_t>(state.range(0))];
+  state.SetLabel(dns::to_string(row.type));
+  for (auto _ : state) {
+    util::ByteWriter w;
+    dns::encode_rdata(row.rdata, w, nullptr);
+    benchmark::DoNotOptimize(w.data().data());
+  }
+}
+BENCHMARK(bench_encode)->DenseRange(0, 5);
+
+void bench_decode(benchmark::State& state) {
+  auto rows = table1();
+  const Row& row = rows[static_cast<std::size_t>(state.range(0))];
+  state.SetLabel(dns::to_string(row.type));
+  util::ByteWriter w;
+  dns::encode_rdata(row.rdata, w, nullptr);
+  for (auto _ : state) {
+    util::ByteReader r{std::span(w.data())};
+    auto decoded = dns::decode_rdata(row.type, r, w.size());
+    benchmark::DoNotOptimize(&decoded);
+  }
+}
+BENCHMARK(bench_decode)->DenseRange(0, 5);
+
+void bench_full_message_roundtrip(benchmark::State& state) {
+  // A realistic spatial answer: question + 4 answers with compression.
+  dns::Message query =
+      dns::make_query(1, dns::name_of("mic.oval-office.1600.penn-ave.washington.dc.usa.loc"),
+                      dns::RRType::ANY);
+  dns::Message msg = dns::make_response(query, dns::Rcode::NoError, true);
+  dns::Name owner = query.questions[0].name;
+  msg.answers.push_back(dns::make_bdaddr(owner, net::Bdaddr{{1, 2, 3, 4, 5, 6}}));
+  msg.answers.push_back(dns::make_a(owner, net::Ipv4Addr{{192, 0, 3, 10}}));
+  msg.answers.push_back(
+      dns::make_loc(owner, dns::LocData::from_degrees(38.8974, -77.0374, 18).value()));
+  msg.answers.push_back(dns::make_txt(owner, {"sns:zigbee=00:11:22:33:44:55:66:77"}));
+  for (auto _ : state) {
+    auto wire = msg.encode();
+    auto decoded = dns::Message::decode(std::span(wire));
+    benchmark::DoNotOptimize(&decoded);
+  }
+}
+BENCHMARK(bench_full_message_roundtrip);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,109 @@
+// quickstart.cpp — the SNS in one file.
+//
+// Builds the paper's White House / Downing Street world (Figures 2-3),
+// then walks through the core ideas:
+//   1. relative spatial names completed by the resolver (§2.1),
+//   2. split-horizon resolution: BDADDR inside, AAAA outside (§3.1),
+//   3. presence-protected devices (§3.1),
+//   4. geodetic resolution: coordinates -> names (§3.2),
+//   5. TXT fallback for extended record types (§2.2).
+//
+// Everything runs on a deterministic simulator; latencies are virtual.
+#include <cstdio>
+
+#include "core/deployment.hpp"
+#include "core/selection.hpp"
+#include "dns/rdata.hpp"
+
+using namespace sns;
+
+namespace {
+
+void show(const char* heading) { std::printf("\n== %s ==\n", heading); }
+
+void show_records(const dns::RRset& records) {
+  for (const auto& rr : records) std::printf("  %s\n", rr.to_string().c_str());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Spatial Name System quickstart\n");
+  auto world = core::make_white_house_world(/*seed=*/42);
+  auto& d = *world.deployment;
+
+  // --- 1. A device inside the Oval Office resolves a *relative* name.
+  show("1. relative spatial name, resolved from inside the room");
+  net::NodeId inside = d.add_client("tablet@oval-office", *world.oval_office, /*inside=*/true);
+  auto stub = d.make_stub(inside, *world.oval_office);
+  auto speaker = stub.resolve("speaker", dns::RRType::BDADDR);
+  if (speaker.ok()) {
+    std::printf("  query 'speaker' completed to %s\n",
+                speaker.value().effective_name.to_string().c_str());
+    show_records(speaker.value().records);
+    std::printf("  latency: %lld us (virtual)\n",
+                static_cast<long long>(speaker.value().latency.count()));
+  }
+
+  // --- 2. Split horizon: the same display name, inside vs outside.
+  show("2. split-horizon resolution of the display");
+  auto display_local = stub.resolve(world.display, dns::RRType::ANY);
+  std::printf("  inside the Oval Office:\n");
+  if (display_local.ok()) {
+    show_records(display_local.value().records);
+    // §2.2: pick the most appropriate connectivity option before
+    // committing to any one mechanism.
+    auto best = core::choose_address(display_local.value().records);
+    if (best.has_value())
+      std::printf("  -> connect via %s (%s): most-local option wins\n",
+                  std::string(net::family_name(best->address)).c_str(),
+                  net::to_string(best->address).c_str());
+  }
+
+  net::NodeId outside = d.add_client("laptop@internet", *world.cabinet_room, /*inside=*/false);
+  auto outside_stub = d.make_stub(outside, *world.oval_office);
+  auto display_global = outside_stub.resolve(world.display, dns::RRType::AAAA);
+  std::printf("  from the public internet:\n");
+  if (display_global.ok()) show_records(display_global.value().records);
+
+  // --- 3. The microphone only resolves with proof of presence.
+  show("3. presence-protected microphone");
+  auto mic_outside = outside_stub.resolve(world.mic, dns::RRType::ANY);
+  if (mic_outside.ok())
+    std::printf("  outsider asking for the mic: %s\n",
+                dns::to_string(mic_outside.value().rcode).c_str());
+  world.oval_office->beacon->chirp();  // room beacon proves co-location
+  auto mic_inside = stub.resolve(world.mic, dns::RRType::BDADDR);
+  if (mic_inside.ok()) {
+    std::printf("  insider (heard the chirp): %s\n",
+                dns::to_string(mic_inside.value().rcode).c_str());
+    show_records(mic_inside.value().records);
+  }
+
+  // --- 4. Geodetic resolution: which devices are at these coordinates?
+  show("4. geodetic resolution (38.8973 N, 77.0374 W)");
+  auto geo_client = d.make_geodetic_client(outside);
+  auto found = geo_client.resolve_point({38.89730, -77.03740, 18.0}, 0.0002);
+  if (found.ok()) {
+    for (const auto& name : found.value().names) std::printf("  %s\n", name.to_string().c_str());
+    std::printf("  descent: %d zones, max fan-out %d, %lld us\n", found.value().zones_visited,
+                found.value().fanout_max,
+                static_cast<long long>(found.value().latency.count()));
+  }
+
+  // --- 5. Extended records survive middleboxes via TXT fallback.
+  show("5. TXT fallback for a BDADDR record");
+  if (speaker.ok() && !speaker.value().records.empty()) {
+    auto fallback = dns::to_txt_fallback(speaker.value().records.front().rdata);
+    if (fallback.ok()) {
+      std::printf("  TXT form: \"%s\"\n", fallback.value().strings.front().c_str());
+      auto recovered = dns::from_txt_fallback(fallback.value());
+      if (recovered.ok())
+        std::printf("  recovered: %s %s\n", dns::to_string(recovered.value().first).c_str(),
+                    dns::rdata_to_string(recovered.value().second).c_str());
+    }
+  }
+
+  std::printf("\ndone.\n");
+  return 0;
+}

@@ -1,0 +1,111 @@
+// smart_home.cpp — urban device management (§4.4).
+//
+// "The SNS offers the possibility of separating the management of
+// device functions ('living room light') from the address management of
+// those devices on local networks. … they can be operated locally in an
+// offline-first manner via a direct wireless connection."
+//
+// A two-room flat: lights, a thermostat and a TV. Shows function-based
+// naming, offline-first local control, NAT'd global access created as a
+// resolution side-effect (PCP, §3.1) with TTL-bound lifetime, and a
+// device moving rooms (CNAME mobility).
+#include <cstdio>
+
+#include "core/deployment.hpp"
+#include "core/mobility.hpp"
+#include "net/nat.hpp"
+
+using namespace sns;
+
+int main() {
+  std::printf("Smart home demo — 12 Elm Street\n\n");
+
+  core::SnsDeployment d(7331);
+  auto home = core::CivicName::from_components({"uk", "cambridge", "elm-street", "12"}).value();
+  core::ZoneOptions home_options;
+  home_options.network_boundary = true;  // the home router's NAT
+  core::ZoneSite& house = d.add_zone(home, geo::BoundingBox{52.2050, 0.1210, 52.2054, 0.1216},
+                                     nullptr, home_options);
+  core::ZoneOptions room_options;
+  room_options.is_room = true;
+  room_options.uplink = net::lan_link();
+  core::ZoneSite& living_room = d.add_zone(home.child("living-room").value(),
+                                           geo::BoundingBox{52.2050, 0.1210, 52.2052, 0.1216},
+                                           &house, room_options);
+  core::ZoneSite& bedroom = d.add_zone(home.child("bedroom").value(),
+                                       geo::BoundingBox{52.2052, 0.1210, 52.2054, 0.1216},
+                                       &house, room_options);
+
+  auto add = [&](core::ZoneSite& room, const char* function, net::AnyAddress address,
+                 double lat, double lon) {
+    core::Device device;
+    device.function = function;
+    device.local_addresses = {std::move(address), net::Ipv4Addr{{192, 168, 1, 50}}};
+    device.position = {lat, lon, 8.0};
+    return d.add_device(room, device);
+  };
+  auto light = add(living_room, "Ceiling Light", net::ZigbeeAddr{{1, 2, 3, 4, 5, 6, 7, 8}},
+                   52.20510, 0.12130);
+  auto tv = add(living_room, "TV", net::Bdaddr{{0xaa, 0xbb, 0xcc, 0xdd, 0xee, 0xff}},
+                52.20512, 0.12145);
+  auto thermostat = add(bedroom, "Thermostat", net::DtmfTone{"88#"}, 52.20530, 0.12120);
+  if (!light.ok() || !tv.ok() || !thermostat.ok()) return 1;
+  std::printf("devices named by function within their spatial domain:\n");
+  for (const auto& name : {light.value(), tv.value(), thermostat.value()})
+    std::printf("  %s\n", name.to_string().c_str());
+
+  // Offline-first: cut the WAN, control the light from a phone on the
+  // home network via its Zigbee address (TXT fallback encoding).
+  d.network().set_link_down(house.ns_node, d.loc_node(), true);
+  net::NodeId phone = d.add_client("phone", living_room, true);
+  auto stub = d.make_stub(phone, living_room);
+  auto zigbee = stub.resolve("ceiling-light", dns::RRType::TXT);
+  std::printf("\nWAN down; phone resolves 'ceiling-light' locally:\n");
+  if (zigbee.ok() && !zigbee.value().records.empty())
+    std::printf("  %s\n", zigbee.value().records.front().to_string().c_str());
+  d.network().set_link_down(house.ns_node, d.loc_node(), false);
+
+  // Remote access: resolving the TV from outside triggers a PCP mapping
+  // on the home NAT; its lifetime is exactly the answer's TTL.
+  net::NatBox nat(net::Ipv4Addr{{203, 0, 113, 7}});
+  std::uint32_t ttl = 120;
+  auto mapping = nat.request_mapping(/*node=*/1, /*port=*/8009, std::chrono::seconds(ttl),
+                                     d.network().clock().now());
+  if (mapping.ok()) {
+    // The external view can now answer with the NAT'd endpoint.
+    (void)house.zone->global_zone()->add(dns::make_a(
+        tv.value(), mapping.value().external_ip, ttl));
+    std::printf("\nresolution side-effect (§3.1): NAT mapping %s:%u -> TV, lifetime = TTL %us\n",
+                mapping.value().external_ip.to_string().c_str(),
+                mapping.value().external_port, ttl);
+    auto now = d.network().clock().now();
+    bool live_now = nat.translate(mapping.value().external_port, now).has_value();
+    bool live_after =
+        nat.translate(mapping.value().external_port, now + std::chrono::seconds(ttl + 1))
+            .has_value();
+    std::printf("  mapping live now: %s; after TTL expiry: %s\n", live_now ? "yes" : "no",
+                live_after ? "yes (BUG)" : "no (expired with the answer)");
+  }
+
+  // Mobility: the TV moves to the bedroom; the old name forwards.
+  auto report = core::move_device(*living_room.zone, *bedroom.zone, tv.value());
+  if (report.ok()) {
+    std::printf("\nTV moved to the bedroom:\n  new name: %s\n",
+                report.value().new_name.to_string().c_str());
+    auto old_name = stub.resolve(tv.value(), dns::RRType::BDADDR);
+    if (old_name.ok() && !old_name.value().records.empty() &&
+        old_name.value().records.front().type == dns::RRType::CNAME)
+      std::printf("  old name still answers: CNAME -> %s\n",
+                  dns::rdata_to_string(old_name.value().records.front().rdata).c_str());
+  }
+
+  // Function-based replacement: a dead bulb is swapped; 'ceiling-light'
+  // keeps working for every automation that referenced it.
+  core::Device new_bulb;
+  new_bulb.local_addresses = {net::ZigbeeAddr{{8, 7, 6, 5, 4, 3, 2, 1}}};
+  auto swapped = core::replace_device(*living_room.zone, light.value(), new_bulb);
+  std::printf("\nbulb swapped: %s — automations referencing '%s' untouched\n",
+              swapped.ok() ? "ok" : swapped.error().message.c_str(),
+              light.value().to_string().c_str());
+  return 0;
+}

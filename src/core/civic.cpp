@@ -1,0 +1,105 @@
+#include "core/civic.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/strings.hpp"
+
+namespace sns::core {
+
+using util::fail;
+using util::Result;
+
+dns::Name loc_root() { return dns::name_of("loc"); }
+
+Result<std::string> normalize_label(std::string_view text) {
+  std::string out;
+  bool pending_dash = false;
+  for (char raw : text) {
+    char c = static_cast<char>(std::tolower(static_cast<unsigned char>(raw)));
+    if ((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9')) {
+      if (pending_dash && !out.empty()) out += '-';
+      pending_dash = false;
+      out += c;
+    } else {
+      pending_dash = true;
+    }
+  }
+  if (out.empty()) return fail("civic: component '" + std::string(text) + "' has no usable characters");
+  if (out.size() > 63) out.resize(63);
+  return out;
+}
+
+Result<CivicName> CivicName::from_components(std::vector<std::string> components) {
+  if (components.empty()) return fail("civic: empty component list");
+  CivicName out;
+  for (auto& component : components) {
+    auto label = normalize_label(component);
+    if (!label.ok()) return label.error();
+    out.components_.push_back(std::move(label).value());
+  }
+  return out;
+}
+
+Result<CivicName> CivicName::parse_postal(std::string_view address) {
+  auto parts = util::split(address, ',');
+  if (parts.empty()) return fail("civic: empty address");
+  std::vector<std::string> broadest_first;
+  for (auto it = parts.rbegin(); it != parts.rend(); ++it) {
+    auto trimmed = util::trim(*it);
+    if (trimmed.empty()) continue;
+    broadest_first.emplace_back(trimmed);
+  }
+  return from_components(std::move(broadest_first));
+}
+
+Result<CivicName> CivicName::from_domain(const dns::Name& domain, const dns::Name& root) {
+  auto relative = domain.strip_suffix(root);
+  if (!relative.has_value()) return fail("civic: domain not under root " + root.to_string());
+  if (relative->is_root()) return fail("civic: domain equals the root");
+  CivicName out;
+  const auto& labels = relative->labels();
+  // DNS labels are narrowest-first; civic components broadest-first.
+  out.components_.assign(labels.rbegin(), labels.rend());
+  return out;
+}
+
+Result<dns::Name> CivicName::to_domain(const dns::Name& root) const {
+  dns::Name name = root;
+  for (const auto& component : components_) {
+    auto next = name.prepend(component);
+    if (!next.ok()) return next.error();
+    name = std::move(next).value();
+  }
+  return name;
+}
+
+CivicName CivicName::parent() const {
+  CivicName out;
+  out.components_.assign(components_.begin(), components_.end() - 1);
+  return out;
+}
+
+Result<CivicName> CivicName::child(std::string component) const {
+  auto label = normalize_label(component);
+  if (!label.ok()) return label.error();
+  CivicName out = *this;
+  out.components_.push_back(std::move(label).value());
+  return out;
+}
+
+bool CivicName::contains(const CivicName& other) const {
+  if (components_.size() > other.components_.size()) return false;
+  return std::equal(components_.begin(), components_.end(), other.components_.begin());
+}
+
+std::string CivicName::to_string() const {
+  std::string out;
+  for (auto it = components_.rbegin(); it != components_.rend(); ++it) {
+    if (!out.empty()) out += ", ";
+    out += *it;
+  }
+  return out;
+}
+
+}  // namespace sns::core

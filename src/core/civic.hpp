@@ -1,0 +1,67 @@
+// civic.hpp — civic location names (§2.3).
+//
+// "Civic names are a location based on structured human-readable
+// addresses … which form a hierarchy representing containment." A
+// CivicName is that hierarchy, broadest component first; its domain
+// form reverses into DNS labels under a root (the proposed `.loc` TLD,
+// or any existing domain for incremental deployment —
+// `whitehouse.loc.usa.gov` works the same way).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dns/name.hpp"
+#include "util/result.hpp"
+
+namespace sns::core {
+
+/// The proposed top-level domain for global spatial names.
+dns::Name loc_root();
+
+class CivicName {
+ public:
+  /// Components broadest-first: {"usa","dc","washington","penn-ave",
+  /// "1600","oval-office"}. Each component is normalised to a DNS label
+  /// (lowercase, spaces and punctuation folded to '-').
+  static util::Result<CivicName> from_components(std::vector<std::string> components);
+
+  /// Parse a postal-style address, narrowest-first with commas:
+  /// "Oval Office, 1600 Pennsylvania Ave NW, Washington, DC, USA".
+  static util::Result<CivicName> parse_postal(std::string_view address);
+
+  /// Recover a civic name from its domain form under `root`.
+  static util::Result<CivicName> from_domain(const dns::Name& domain, const dns::Name& root);
+
+  [[nodiscard]] const std::vector<std::string>& components() const noexcept {
+    return components_;
+  }
+  [[nodiscard]] std::size_t depth() const noexcept { return components_.size(); }
+
+  /// Domain form: narrowest component is the leftmost label.
+  /// {"usa",…,"oval-office"} -> oval-office.….usa.loc
+  [[nodiscard]] util::Result<dns::Name> to_domain(const dns::Name& root = loc_root()) const;
+
+  /// One level broader ("the containing space"). Precondition: depth()>0.
+  [[nodiscard]] CivicName parent() const;
+
+  /// One level narrower.
+  [[nodiscard]] util::Result<CivicName> child(std::string component) const;
+
+  /// True if `other` is contained in (or equals) this location.
+  [[nodiscard]] bool contains(const CivicName& other) const;
+
+  /// Human form, narrowest first: "oval-office, 1600, penn-ave, …".
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const CivicName&, const CivicName&) = default;
+
+ private:
+  std::vector<std::string> components_;  // broadest first
+};
+
+/// Normalise free text into a DNS label: lowercase, [a-z0-9-] only,
+/// runs of other characters collapse to single '-'.
+util::Result<std::string> normalize_label(std::string_view text);
+
+}  // namespace sns::core

@@ -1,0 +1,353 @@
+#include "core/deployment.hpp"
+
+#include <cassert>
+
+namespace sns::core {
+
+using dns::Name;
+using dns::name_of;
+using util::Result;
+
+SnsDeployment::SnsDeployment(std::uint64_t seed) : seed_(seed), network_(seed) {
+  // Root (".") and the .loc TLD server.
+  root_node_ = network_.add_node("root-ns");
+  loc_node_ = network_.add_node("loc-ns");
+  network_.connect(root_node_, loc_node_, net::wan_link(net::ms(20)));
+
+  Name root_name = name_of(".");
+  Name root_ns_name = name_of("a.root-servers.net");
+  Name loc_ns_name = name_of("ns.loc");
+
+  root_zone_ = std::make_shared<server::Zone>(root_name, root_ns_name);
+  loc_zone_ = std::make_shared<server::Zone>(loc_root(), loc_ns_name);
+
+  net::Ipv4Addr root_address = next_address();
+  net::Ipv4Addr loc_address = next_address();
+
+  // Root delegates .loc.
+  (void)root_zone_->add(dns::make_ns(loc_root(), loc_ns_name));
+  (void)root_zone_->add(dns::make_a(loc_ns_name, loc_address));
+  (void)loc_zone_->add(dns::make_a(loc_ns_name, loc_address));
+
+  root_server_ = std::make_unique<server::AuthoritativeServer>("root");
+  root_server_->add_zone(root_zone_);
+  loc_server_ = std::make_unique<server::AuthoritativeServer>("loc");
+  loc_server_->add_zone(loc_zone_);
+  loc_geo_ = std::make_unique<GeoResponder>(loc_root());
+
+  directory_.register_server(root_ns_name, root_address, root_node_);
+  directory_.register_server(loc_ns_name, loc_address, loc_node_);
+
+  root_server_->bind_to_network(network_, root_node_,
+                                [](net::NodeId) { return server::ClientContext{}; });
+
+  // The .loc server answers both ordinary queries and _geo descent.
+  network_.set_handler(loc_node_, [this](std::span<const std::uint8_t> payload,
+                                         net::NodeId from) -> std::optional<util::Bytes> {
+    auto query = dns::Message::decode(payload);
+    if (!query.ok()) return std::nullopt;
+    if (!query.value().questions.empty() &&
+        is_geo_query(query.value().questions.front().name)) {
+      if (auto geo_answer = loc_geo_->handle(query.value())) return geo_answer->encode();
+    }
+    server::ClientContext ctx;
+    ctx.node = from;
+    return loc_server_->handle(query.value(), ctx).encode();
+  });
+}
+
+net::Ipv4Addr SnsDeployment::next_address() {
+  std::uint32_t host = next_host_++;
+  return net::Ipv4Addr::from_u32((10u << 24) | host);
+}
+
+std::uint32_t SnsDeployment::seconds_now() const {
+  return static_cast<std::uint32_t>(
+      std::chrono::duration_cast<std::chrono::seconds>(network_.clock().now()).count());
+}
+
+ZoneSite& SnsDeployment::add_zone(const CivicName& civic, const geo::BoundingBox& bounds,
+                                  ZoneSite* parent, const ZoneOptions& options) {
+  sites_.emplace_back();
+  ZoneSite& site = sites_.back();
+  site.parent = parent;
+  site.zone = std::make_unique<SpatialZone>(civic, bounds, options.index, options.hilbert_order);
+  auto ns_name = site.zone->domain().prepend("ns");
+  assert(ns_name.ok());
+  site.ns_name = std::move(ns_name).value();
+  site.ns_address = next_address();
+  site.ns_node = network_.add_node("ns." + site.zone->domain().to_string());
+
+  net::NodeId uplink_node = parent != nullptr ? parent->ns_node : loc_node_;
+  network_.connect(site.ns_node, uplink_node, options.uplink);
+  directory_.register_server(site.ns_name, site.ns_address, site.ns_node);
+
+  site.boundary = options.network_boundary;
+  if (options.is_room) {
+    site.room = next_room_++;
+    site.room_secret = "room-secret-" + site.zone->domain().to_string();
+    // The beacon is co-located with the edge nameserver appliance.
+    network_.place_in_room(site.ns_node, *site.room);
+    site.beacon = std::make_unique<PresenceBeacon>(network_, site.ns_node, site.room_secret,
+                                                   seed_ ^ site.ns_node);
+  }
+
+  // Authoritative server with split-horizon views: internal clients see
+  // the local zone, everyone else the global zone.
+  site.server = std::make_unique<server::AuthoritativeServer>(site.zone->domain().to_string());
+  std::size_t internal_view = site.server->add_view("internal", server::match_internal());
+  std::size_t external_view = site.server->add_view("external", server::match_any());
+  site.server->add_zone(internal_view, site.zone->local_zone());
+  site.server->add_zone(external_view, site.zone->global_zone());
+
+  site.geo = std::make_unique<GeoResponder>(site.zone.get());
+
+  // Delegate from the parent (or from .loc for top-level zones), and
+  // register in the parent's geodetic responder.
+  GeoChild child{site.zone->domain(), bounds, site.zone->shape(), site.ns_name, site.ns_address};
+  if (parent != nullptr) {
+    (void)parent->zone->delegate_child(site.zone->domain(), site.ns_name, site.ns_address);
+    parent->geo->add_child(child);
+    parent->children.push_back(&site);
+  } else {
+    (void)loc_zone_->add(dns::make_ns(site.zone->domain(), site.ns_name));
+    (void)loc_zone_->add(dns::make_a(site.ns_name, site.ns_address));
+    loc_geo_->add_child(child);
+  }
+
+  bind_site(site);
+  return site;
+}
+
+namespace {
+
+/// Nearest enclosing network boundary, the site itself included.
+const ZoneSite* enclosing_boundary(const ZoneSite* site) {
+  for (const ZoneSite* z = site; z != nullptr; z = z->parent)
+    if (z->boundary) return z;
+  return nullptr;
+}
+
+}  // namespace
+
+server::ClientContext SnsDeployment::context_for(net::NodeId node, const ZoneSite& site) const {
+  server::ClientContext ctx;
+  ctx.node = node;
+  ctx.room = network_.room_of(node);
+  // Internal = the client sits behind the same NAT/firewall boundary as
+  // the serving zone. Without boundaries (infrastructure-only
+  // hierarchies) fall back to "attached to this zone or a descendant".
+  auto attached = attachment_.find(node);
+  if (attached != attachment_.end()) {
+    const ZoneSite* client_boundary = enclosing_boundary(attached->second);
+    const ZoneSite* site_boundary = enclosing_boundary(&site);
+    if (client_boundary != nullptr || site_boundary != nullptr) {
+      ctx.internal = client_boundary == site_boundary && client_boundary != nullptr;
+    } else {
+      for (const ZoneSite* z = attached->second; z != nullptr; z = z->parent) {
+        if (z == &site) {
+          ctx.internal = true;
+          break;
+        }
+      }
+    }
+  }
+  auto listener = listeners_.find(node);
+  if (listener != listeners_.end() && listener->second->has_token())
+    ctx.presence_tokens.insert(listener->second->last_token());
+  return ctx;
+}
+
+void SnsDeployment::bind_site(ZoneSite& site) {
+  ZoneSite* site_ptr = &site;
+  network_.set_handler(site.ns_node, [this, site_ptr](std::span<const std::uint8_t> payload,
+                                                      net::NodeId from)
+                                         -> std::optional<util::Bytes> {
+    auto query = dns::Message::decode(payload);
+    if (!query.ok()) return std::nullopt;
+    if (!query.value().questions.empty() &&
+        is_geo_query(query.value().questions.front().name)) {
+      if (auto geo_answer = site_ptr->geo->handle(query.value()))
+        return dns::encode_for_transport(query.value(), std::move(*geo_answer));
+    }
+    return dns::encode_for_transport(
+        query.value(), site_ptr->server->handle(query.value(), context_for(from, *site_ptr)));
+  });
+}
+
+Result<Name> SnsDeployment::add_device(ZoneSite& site, Device device, bool attach_node) {
+  if (attach_node) {
+    device.node = network_.add_node(device.function + "@" + site.zone->domain().to_string());
+    network_.connect(device.node, site.ns_node, net::lan_link());
+    if (site.room.has_value()) network_.place_in_room(device.node, *site.room);
+    attachment_[device.node] = &site;
+    listeners_[device.node] = std::make_unique<PresenceListener>(network_, device.node);
+  }
+  net::NodeId device_node = device.node;
+  bool protect = device.presence_protected;
+  auto name = site.zone->register_device(std::move(device));
+  if (!name.ok()) return name;
+
+  if (protect && site.room.has_value()) {
+    site.server->add_presence_rule(server::PresenceRule{
+        name.value(), *site.room,
+        site.beacon != nullptr ? site.beacon->token_ref() : nullptr});
+  }
+  (void)device_node;
+  return name;
+}
+
+net::NodeId SnsDeployment::add_client(const std::string& name, ZoneSite& site, bool inside) {
+  net::NodeId node = network_.add_node(name);
+  if (inside) {
+    network_.connect(node, site.ns_node, net::lan_link());
+    if (site.room.has_value()) network_.place_in_room(node, *site.room);
+    attachment_[node] = &site;
+  } else {
+    // Outside clients reach the world through the core (the .loc node
+    // stands in for "the Internet").
+    network_.connect(node, loc_node_, net::wan_link());
+  }
+  listeners_[node] = std::make_unique<PresenceListener>(network_, node);
+  return node;
+}
+
+resolver::StubResolver SnsDeployment::make_stub(net::NodeId client, ZoneSite& site) {
+  resolver::StubResolver stub(network_, client, site.ns_node);
+  // Search list: the zone itself, then each ancestor domain (§2.1).
+  std::vector<Name> suffixes;
+  for (const ZoneSite* z = &site; z != nullptr; z = z->parent)
+    suffixes.push_back(z->zone->domain());
+  stub.set_search_list(std::move(suffixes));
+  return stub;
+}
+
+resolver::IterativeResolver SnsDeployment::make_iterative(net::NodeId client) {
+  return resolver::IterativeResolver(network_, client, directory_, root_node_);
+}
+
+net::NodeId SnsDeployment::add_recursive_resolver(const std::string& name, ZoneSite* site) {
+  net::NodeId node = network_.add_node(name);
+  if (site != nullptr) {
+    network_.connect(node, site->ns_node, net::lan_link());
+    attachment_[node] = site;
+  } else {
+    network_.connect(node, loc_node_, net::wan_link());
+  }
+  recursives_.emplace_back(network_, node, directory_, root_node_);
+  recursives_.back().bind();
+  return node;
+}
+
+resolver::StubResolver SnsDeployment::make_plain_stub(net::NodeId client, net::NodeId server) {
+  return resolver::StubResolver(network_, client, server);
+}
+
+GeodeticClient SnsDeployment::make_geodetic_client(net::NodeId client) {
+  return GeodeticClient(network_, client, directory_, loc_root(), loc_node_);
+}
+
+namespace {
+
+CivicName civic_of(std::initializer_list<const char*> components) {
+  std::vector<std::string> list;
+  for (const char* c : components) list.emplace_back(c);
+  auto civic = CivicName::from_components(std::move(list));
+  assert(civic.ok());
+  return std::move(civic).value();
+}
+
+}  // namespace
+
+WhiteHouseWorld make_white_house_world(std::uint64_t seed) {
+  WhiteHouseWorld world;
+  world.deployment = std::make_unique<SnsDeployment>(seed);
+  SnsDeployment& d = *world.deployment;
+
+  // Real-ish footprints (degrees): USA, DC, down to the Oval Office.
+  geo::BoundingBox usa_box{24.0, -125.0, 49.5, -66.0};
+  geo::BoundingBox dc_box{38.79, -77.12, 39.0, -76.90};
+  geo::BoundingBox washington_box = dc_box;  // city ~ district here
+  geo::BoundingBox penn_box{38.8955, -77.042, 38.90, -77.032};
+  geo::BoundingBox wh_box{38.8970, -77.0387, 38.8980, -77.0360};
+  geo::BoundingBox oval_box{38.89725, -77.03745, 38.89735, -77.03730};
+
+  geo::BoundingBox uk_box{49.9, -8.2, 60.9, 1.8};
+  geo::BoundingBox london_box{51.28, -0.51, 51.70, 0.33};
+  geo::BoundingBox downing_box{51.5032, -0.1280, 51.5036, -0.1272};
+  geo::BoundingBox cabinet_box{51.50332, -0.12780, 51.50338, -0.12770};
+
+  ZoneOptions country{IndexKind::Hilbert, 12, false, false, net::wan_link(net::ms(40))};
+  ZoneOptions metro{IndexKind::Hilbert, 12, false, false, net::wan_link(net::ms(10))};
+  ZoneOptions campus{IndexKind::Hilbert, 10, false, false, net::wan_link(net::ms(5))};
+  // Buildings own the NAT/firewall boundary: everything inside the
+  // White House (or Number 10) shares one private network.
+  ZoneOptions building{IndexKind::Hilbert, 10, false, true, net::wan_link(net::ms(5))};
+  ZoneOptions room{IndexKind::Hilbert, 8, true, false, net::lan_link()};
+
+  world.usa = &d.add_zone(civic_of({"usa"}), usa_box, nullptr, country);
+  world.dc = &d.add_zone(civic_of({"usa", "dc"}), dc_box, world.usa, metro);
+  world.washington =
+      &d.add_zone(civic_of({"usa", "dc", "washington"}), washington_box, world.dc, metro);
+  world.penn_ave = &d.add_zone(civic_of({"usa", "dc", "washington", "penn-ave"}), penn_box,
+                               world.washington, campus);
+  world.white_house = &d.add_zone(civic_of({"usa", "dc", "washington", "penn-ave", "1600"}),
+                                  wh_box, world.penn_ave, building);
+  world.oval_office =
+      &d.add_zone(civic_of({"usa", "dc", "washington", "penn-ave", "1600", "oval-office"}),
+                  oval_box, world.white_house, room);
+
+  world.uk = &d.add_zone(civic_of({"uk"}), uk_box, nullptr, country);
+  world.london = &d.add_zone(civic_of({"uk", "london"}), london_box, world.uk, metro);
+  world.downing = &d.add_zone(civic_of({"uk", "london", "downing-street", "10"}), downing_box,
+                              world.london, building);
+  world.cabinet_room = &d.add_zone(
+      civic_of({"uk", "london", "downing-street", "10", "cabinet-room"}), cabinet_box,
+      world.downing, room);
+
+  // Devices of Figure 3. The microphone is presence-protected (§3.1).
+  Device mic;
+  mic.function = "mic";
+  mic.local_addresses = {net::Bdaddr{{0x01, 0x23, 0x45, 0x67, 0x89, 0xab}},
+                         net::Ipv4Addr{{192, 0, 3, 10}},
+                         net::ZigbeeAddr{{0, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77}}};
+  mic.position = {38.897291, -77.037399, 18.0};
+  mic.presence_protected = true;
+
+  Device speaker;
+  speaker.function = "speaker";
+  speaker.local_addresses = {net::Bdaddr{{0x0a, 0x1b, 0x2c, 0x3d, 0x4e, 0x5f}},
+                             net::Ipv4Addr{{192, 0, 3, 11}},
+                             net::DtmfTone{"421#"}};
+  speaker.position = {38.897305, -77.037370, 18.0};
+
+  Device display;
+  display.function = "display";
+  display.local_addresses = {net::Ipv4Addr{{192, 0, 3, 12}},
+                             net::Bdaddr{{0x6a, 0x7b, 0x8c, 0x9d, 0xae, 0xbf}}};
+  auto display_global = net::Ipv6Addr::parse("2001:db8:0:1::12");
+  assert(display_global.ok());
+  display.global_address = display_global.value();
+  display.position = {38.897320, -77.037340, 18.5};
+
+  Device camera;
+  camera.function = "camera";
+  camera.local_addresses = {net::Ipv4Addr{{192, 0, 9, 20}}};
+  auto camera_global = net::Ipv6Addr::parse("2001:db8:0:2::20");
+  assert(camera_global.ok());
+  camera.global_address = camera_global.value();
+  camera.position = {51.503345, -0.127755, 6.0};
+
+  auto mic_name = d.add_device(*world.oval_office, std::move(mic));
+  auto speaker_name = d.add_device(*world.oval_office, std::move(speaker));
+  auto display_name = d.add_device(*world.oval_office, std::move(display));
+  auto camera_name = d.add_device(*world.cabinet_room, std::move(camera));
+  assert(mic_name.ok() && speaker_name.ok() && display_name.ok() && camera_name.ok());
+  world.mic = mic_name.value();
+  world.speaker = speaker_name.value();
+  world.display = display_name.value();
+  world.camera = camera_name.value();
+  return world;
+}
+
+}  // namespace sns::core

@@ -1,0 +1,158 @@
+// deployment.hpp — one-call bring-up of a complete SNS world (§4.1-4.2).
+//
+// An SnsDeployment owns a simulated network plus the full DNS side of
+// the paper's architecture:
+//   * a root nameserver (".") and the `.loc` TLD nameserver,
+//   * one *edge* authoritative nameserver per spatial zone (§4.2:
+//     "deploying authoritative nameservers to the edge of the network"),
+//     each serving split-horizon views, a GeoResponder for `_geo`
+//     queries, and — for room zones — a presence beacon,
+//   * parent-zone delegations and a ServerDirectory so iterative
+//     resolution works end to end,
+//   * clients (stub or iterative) attached anywhere in the topology.
+//
+// make_white_house_world() builds the exact scenario of Figures 2 and 3
+// (Oval Office with mic/speaker/display; 10 Downing Street cabinet room
+// with a camera), used by the examples, the integration tests and
+// benches E2/E3/E6/E7/E9.
+#pragma once
+
+#include <list>
+#include <memory>
+
+#include "core/geodetic.hpp"
+#include "core/mobility.hpp"
+#include "core/presence.hpp"
+#include "core/spatial_zone.hpp"
+#include "resolver/iterative.hpp"
+#include "resolver/recursive.hpp"
+#include "resolver/stub.hpp"
+#include "server/authoritative.hpp"
+
+namespace sns::core {
+
+/// One deployed spatial domain: the zone, its edge nameserver, and its
+/// place in the hierarchy.
+struct ZoneSite {
+  std::unique_ptr<SpatialZone> zone;
+  std::unique_ptr<server::AuthoritativeServer> server;
+  std::unique_ptr<GeoResponder> geo;
+  net::NodeId ns_node = net::kInvalidNode;
+  net::Ipv4Addr ns_address{};
+  dns::Name ns_name;
+  std::optional<std::uint32_t> room;  // set for room-scale zones
+  std::unique_ptr<PresenceBeacon> beacon;
+  std::string room_secret;
+  bool boundary = false;  // NAT/firewall sits at this zone's edge
+  ZoneSite* parent = nullptr;
+  std::vector<ZoneSite*> children;
+};
+
+struct ZoneOptions {
+  IndexKind index = IndexKind::Hilbert;
+  int hilbert_order = 10;
+  bool is_room = false;                    // gets a room id + audio beacon
+  // The NAT/firewall boundary of a private network (a building, a
+  // campus). Clients attached anywhere behind the same boundary are
+  // "internal" to every zone behind it and see internal views (§3.1).
+  bool network_boundary = false;
+  net::LinkSpec uplink = net::wan_link();  // link to parent nameserver
+};
+
+class SnsDeployment {
+ public:
+  explicit SnsDeployment(std::uint64_t seed);
+
+  [[nodiscard]] net::Network& network() noexcept { return network_; }
+  [[nodiscard]] resolver::ServerDirectory& directory() noexcept { return directory_; }
+  [[nodiscard]] net::NodeId root_node() const noexcept { return root_node_; }
+  [[nodiscard]] net::NodeId loc_node() const noexcept { return loc_node_; }
+
+  /// Deploy a spatial zone. parent == nullptr puts it directly under
+  /// the `.loc` TLD.
+  ZoneSite& add_zone(const CivicName& civic, const geo::BoundingBox& bounds, ZoneSite* parent,
+                     const ZoneOptions& options = {});
+
+  /// Register a device in a zone. If `attach_node` is true, a simulator
+  /// node is created in the zone's room (if any) and linked to the edge
+  /// nameserver. Updates the device's `node` field.
+  util::Result<dns::Name> add_device(ZoneSite& site, Device device, bool attach_node = true);
+
+  /// Attach a client node near a zone's edge nameserver. `inside` marks
+  /// it as part of the zone's network (internal view) and places it in
+  /// the room, if the zone has one.
+  net::NodeId add_client(const std::string& name, ZoneSite& site, bool inside);
+
+  /// A stub resolver pointed at the zone's edge nameserver, with the
+  /// spatial search list pre-configured (§2.1 relative names).
+  resolver::StubResolver make_stub(net::NodeId client, ZoneSite& site);
+
+  /// An iterative resolver starting from the root.
+  resolver::IterativeResolver make_iterative(net::NodeId client);
+
+  /// Deploy a caching recursive resolver (§4.1 "existing DNS resolver
+  /// infrastructure"). When `site` is non-null the service sits on that
+  /// zone's LAN — i.e. inside its network boundary, so it resolves
+  /// internal views for the internal clients it serves; point stubs of
+  /// outside clients at a resolver deployed with site == nullptr.
+  net::NodeId add_recursive_resolver(const std::string& name, ZoneSite* site);
+
+  /// A stub pointed at an explicit server node (e.g. a recursive
+  /// resolver) with no spatial search list.
+  resolver::StubResolver make_plain_stub(net::NodeId client, net::NodeId server);
+
+  /// A geodetic client starting descent at `.loc`.
+  GeodeticClient make_geodetic_client(net::NodeId client);
+
+  /// The client context a given zone's server would compute for `node`
+  /// (exposed for tests).
+  [[nodiscard]] server::ClientContext context_for(net::NodeId node, const ZoneSite& site) const;
+
+  [[nodiscard]] const std::list<ZoneSite>& sites() const noexcept { return sites_; }
+  [[nodiscard]] std::uint32_t seconds_now() const;
+
+ private:
+  void bind_site(ZoneSite& site);
+  net::Ipv4Addr next_address();
+
+  std::uint64_t seed_;
+  net::Network network_;
+  resolver::ServerDirectory directory_;
+
+  std::shared_ptr<server::Zone> root_zone_;
+  std::shared_ptr<server::Zone> loc_zone_;
+  std::unique_ptr<server::AuthoritativeServer> root_server_;
+  std::unique_ptr<server::AuthoritativeServer> loc_server_;
+  std::unique_ptr<GeoResponder> loc_geo_;
+  net::NodeId root_node_ = net::kInvalidNode;
+  net::NodeId loc_node_ = net::kInvalidNode;
+
+  std::list<ZoneSite> sites_;  // stable addresses
+  std::list<resolver::RecursiveResolver> recursives_;
+  std::map<net::NodeId, const ZoneSite*> attachment_;  // node -> home zone
+  std::map<net::NodeId, std::unique_ptr<PresenceListener>> listeners_;
+  std::uint32_t next_room_ = 1;
+  std::uint32_t next_host_ = 10;
+};
+
+/// The Figure 2/3 world. Hierarchy:
+///   .loc -> usa -> dc -> washington -> penn-ave -> 1600 -> oval-office
+///        -> uk  -> london -> 10 -> downing-street? (see body)
+struct WhiteHouseWorld {
+  std::unique_ptr<SnsDeployment> deployment;
+  ZoneSite* usa = nullptr;
+  ZoneSite* dc = nullptr;
+  ZoneSite* washington = nullptr;
+  ZoneSite* penn_ave = nullptr;
+  ZoneSite* white_house = nullptr;   // "1600"
+  ZoneSite* oval_office = nullptr;
+  ZoneSite* uk = nullptr;
+  ZoneSite* london = nullptr;
+  ZoneSite* downing = nullptr;       // "10.downing-street"
+  ZoneSite* cabinet_room = nullptr;
+  dns::Name mic, speaker, display, camera;
+};
+
+WhiteHouseWorld make_white_house_world(std::uint64_t seed);
+
+}  // namespace sns::core

@@ -1,0 +1,182 @@
+#include "core/geodetic.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+
+#include "util/strings.hpp"
+
+namespace sns::core {
+
+using dns::Message;
+using dns::Name;
+using dns::RRType;
+using util::fail;
+using util::Result;
+
+namespace {
+
+constexpr double kScale = 1e6;            // microdegrees
+constexpr std::int64_t kLatOffset = 90000000;   // keep encodings unsigned
+constexpr std::int64_t kLonOffset = 180000000;
+
+std::int64_t scaled(double degrees, std::int64_t offset) {
+  return static_cast<std::int64_t>(std::llround(degrees * kScale)) + offset;
+}
+
+double unscaled(std::int64_t value, std::int64_t offset) {
+  return static_cast<double>(value - offset) / kScale;
+}
+
+Result<std::int64_t> parse_i64(std::string_view text) {
+  std::int64_t value = 0;
+  auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size())
+    return fail("geo: bad number '" + std::string(text) + "'");
+  return value;
+}
+
+}  // namespace
+
+Result<Name> encode_geo_query(const geo::BoundingBox& area, const Name& domain) {
+  geo::GeoPoint center = area.center();
+  double half = std::max(area.height(), area.width()) / 2.0;
+  std::string label = "q-" + std::to_string(scaled(center.latitude, kLatOffset)) + "x" +
+                      std::to_string(scaled(center.longitude, kLonOffset)) + "x" +
+                      std::to_string(static_cast<std::int64_t>(std::llround(half * kScale)));
+  auto geo_name = domain.prepend("_geo");
+  if (!geo_name.ok()) return geo_name.error();
+  return geo_name.value().prepend(label);
+}
+
+bool is_geo_query(const Name& qname) {
+  return qname.label_count() >= 2 && qname.labels()[1] == "_geo" &&
+         qname.labels()[0].starts_with("q-");
+}
+
+Result<std::pair<geo::BoundingBox, Name>> parse_geo_query(const Name& qname) {
+  if (!is_geo_query(qname)) return fail("geo: not a geo query name");
+  std::string_view label = qname.labels()[0];
+  label.remove_prefix(2);  // "q-"
+  auto parts = util::split(label, 'x');
+  if (parts.size() != 3) return fail("geo: expected lat x lon x half");
+  auto lat = parse_i64(parts[0]);
+  auto lon = parse_i64(parts[1]);
+  auto half = parse_i64(parts[2]);
+  if (!lat.ok() || !lon.ok() || !half.ok()) return fail("geo: bad query numbers");
+  double center_lat = unscaled(lat.value(), kLatOffset);
+  double center_lon = unscaled(lon.value(), kLonOffset);
+  double half_deg = static_cast<double>(half.value()) / kScale;
+  geo::BoundingBox area{center_lat - half_deg, center_lon - half_deg, center_lat + half_deg,
+                        center_lon + half_deg};
+  // Domain = qname minus the two protocol labels.
+  Name domain = qname.parent().parent();
+  return std::pair{area, domain};
+}
+
+std::optional<Message> GeoResponder::handle(const Message& query) const {
+  if (query.questions.size() != 1) return std::nullopt;
+  const auto& question = query.questions.front();
+  auto parsed = parse_geo_query(question.name);
+  if (!parsed.ok()) return std::nullopt;
+  const auto& [area, domain] = parsed.value();
+  if (!(domain == domain_)) return std::nullopt;
+
+  Message response = dns::make_response(query, dns::Rcode::NoError, true);
+
+  // Devices in this zone intersecting the area -> PTR answers.
+  if (zone_ != nullptr)
+    for (const auto& device_name : zone_->devices_in(area))
+      response.answers.push_back(dns::make_ptr(question.name, device_name, 30));
+
+  // Children whose footprint intersects -> NS referrals (possibly
+  // several: the border-ambiguity case of §3.2).
+  for (const auto& child : children_) {
+    bool overlaps = child.shape.has_value() ? child.shape->intersects(area)
+                                            : child.footprint.intersects(area);
+    if (!overlaps) continue;
+    response.authorities.push_back(dns::make_ns(child.apex, child.ns_name, 300));
+    response.additionals.push_back(dns::make_a(child.ns_name, child.ns_address, 300));
+  }
+
+  if (response.answers.empty() && response.authorities.empty())
+    response.header.rcode = dns::Rcode::NXDomain;  // nothing here
+  return response;
+}
+
+GeodeticClient::GeodeticClient(net::Network& network, net::NodeId self,
+                               const resolver::ServerDirectory& directory, Name root_domain,
+                               net::NodeId root_server)
+    : network_(network),
+      self_(self),
+      directory_(directory),
+      root_domain_(std::move(root_domain)),
+      root_server_(root_server) {}
+
+Result<GeoResolution> GeodeticClient::resolve_area(const geo::BoundingBox& area) {
+  GeoResolution out;
+  descend(area, root_domain_, root_server_, 0, out);
+  std::sort(out.names.begin(), out.names.end());
+  out.names.erase(std::unique(out.names.begin(), out.names.end()), out.names.end());
+  return out;
+}
+
+Result<GeoResolution> GeodeticClient::resolve_point(const geo::GeoPoint& point,
+                                                    double half_side_deg) {
+  return resolve_area(geo::BoundingBox::around(point, half_side_deg));
+}
+
+void GeodeticClient::descend(const geo::BoundingBox& area, const Name& domain,
+                             net::NodeId server, int depth, GeoResolution& out) {
+  if (depth > 16) return;
+  auto qname = encode_geo_query(area, domain);
+  if (!qname.ok()) return;
+  Message query = dns::make_query(next_id_++, qname.value(), RRType::PTR, false);
+  auto wire = query.encode();
+  ++out.queries_sent;
+  ++out.zones_visited;
+
+  net::TimePoint t0 = network_.clock().now();
+  auto exchanged = network_.exchange(self_, server, std::span(wire));
+  net::Duration rtt = network_.clock().now() - t0;
+  if (!exchanged.ok()) return;
+  auto response = Message::decode(std::span(exchanged.value().response));
+  if (!response.ok()) return;
+
+  out.latency += rtt;  // sequential component; fan-out handled below
+
+  for (const auto& rr : response.value().answers)
+    if (const auto* ptr = std::get_if<dns::PtrData>(&rr.rdata)) out.names.push_back(ptr->target);
+
+  // Follow every referral. Children are pursued "concurrently": charge
+  // only the slowest branch's latency on top of what we have so far.
+  struct Branch {
+    Name apex;
+    net::NodeId server;
+  };
+  std::vector<Branch> branches;
+  for (const auto& rr : response.value().authorities) {
+    const auto* ns = std::get_if<dns::NsData>(&rr.rdata);
+    if (ns == nullptr) continue;
+    std::optional<net::NodeId> node;
+    for (const auto& glue : response.value().additionals)
+      if (glue.name == ns->nameserver)
+        if (const auto* a = std::get_if<dns::AData>(&glue.rdata))
+          node = directory_.by_address(a->address);
+    if (!node.has_value()) node = directory_.by_name(ns->nameserver);
+    if (node.has_value()) branches.push_back(Branch{rr.name, *node});
+  }
+  if (branches.empty()) return;
+
+  out.fanout_max = std::max(out.fanout_max, static_cast<int>(branches.size()));
+  net::Duration base = out.latency;
+  net::Duration slowest = base;
+  for (const auto& branch : branches) {
+    out.latency = base;  // each branch starts from the same instant
+    descend(area, branch.apex, branch.server, depth + 1, out);
+    slowest = std::max(slowest, out.latency);
+  }
+  out.latency = slowest;
+}
+
+}  // namespace sns::core

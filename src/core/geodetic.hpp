@@ -1,0 +1,103 @@
+// geodetic.hpp — geodetic resolution (§3.2): coordinates → names.
+//
+// "we introduce a geodetic resolution to resolve a coordinate-based
+// location to spatial names or network addresses … a query to
+// '38.8974°N, 77.0374°W' would start at '.loc', which would return
+// '.usa' as the next domain to check, operating like normal iterative
+// DNS."
+//
+// The protocol is plain DNS: an area query is a PTR question for
+//     q-<lat>x<lon>x<half>._geo.<domain>
+// (scaled-integer microdegrees, offset to stay unsigned). The zone's
+// nameserver answers with
+//   * PTR records naming devices whose position intersects the area, and
+//   * NS records in the AUTHORITY section for every child spatial
+//     domain whose footprint intersects the area — several at once for
+//     border queries, which the client pursues concurrently.
+// Because it is just DNS, answers cache, sign and transport like
+// anything else.
+#pragma once
+
+#include <functional>
+
+#include "core/spatial_zone.hpp"
+#include "dns/message.hpp"
+#include "net/network.hpp"
+#include "resolver/iterative.hpp"
+
+namespace sns::core {
+
+/// Encode an area query name under `domain`.
+util::Result<dns::Name> encode_geo_query(const geo::BoundingBox& area, const dns::Name& domain);
+
+/// Parse an area query name; also yields the domain it was sent to.
+util::Result<std::pair<geo::BoundingBox, dns::Name>> parse_geo_query(const dns::Name& qname);
+
+/// True if `qname` contains the `_geo` protocol label.
+bool is_geo_query(const dns::Name& qname);
+
+/// A child spatial domain a GeoResponder can refer to.
+struct GeoChild {
+  dns::Name apex;
+  geo::BoundingBox footprint;
+  std::optional<geo::Polygon> shape;  // precise border when available
+  dns::Name ns_name;
+  net::Ipv4Addr ns_address;
+};
+
+/// Server-side handler for _geo queries over one spatial zone.
+class GeoResponder {
+ public:
+  /// Responder for a device-bearing zone.
+  explicit GeoResponder(const SpatialZone* zone) : zone_(zone), domain_(zone->domain()) {}
+  /// Referral-only responder (e.g. the `.loc` root, which has children
+  /// but no devices of its own).
+  explicit GeoResponder(dns::Name domain) : zone_(nullptr), domain_(std::move(domain)) {}
+
+  void add_child(GeoChild child) { children_.push_back(std::move(child)); }
+
+  /// Answer a _geo query addressed to this zone; nullopt if the qname
+  /// is not a valid geo query for this domain.
+  [[nodiscard]] std::optional<dns::Message> handle(const dns::Message& query) const;
+
+  [[nodiscard]] const std::vector<GeoChild>& children() const noexcept { return children_; }
+
+ private:
+  const SpatialZone* zone_;
+  dns::Name domain_;
+  std::vector<GeoChild> children_;
+};
+
+/// Client-side iterative geodetic resolution.
+struct GeoResolution {
+  std::vector<dns::Name> names;   // devices found in the area
+  int zones_visited = 0;
+  int fanout_max = 1;             // concurrent domains pursued (border case)
+  int queries_sent = 0;
+  net::Duration latency{0};       // overlap-adjusted (parallel pursuit)
+};
+
+class GeodeticClient {
+ public:
+  /// `root_domain`/`root_server`: where descent starts (normally the
+  /// `.loc` nameserver).
+  GeodeticClient(net::Network& network, net::NodeId self,
+                 const resolver::ServerDirectory& directory, dns::Name root_domain,
+                 net::NodeId root_server);
+
+  util::Result<GeoResolution> resolve_area(const geo::BoundingBox& area);
+  util::Result<GeoResolution> resolve_point(const geo::GeoPoint& point, double half_side_deg);
+
+ private:
+  void descend(const geo::BoundingBox& area, const dns::Name& domain, net::NodeId server,
+               int depth, GeoResolution& out);
+
+  net::Network& network_;
+  net::NodeId self_;
+  const resolver::ServerDirectory& directory_;
+  dns::Name root_domain_;
+  net::NodeId root_server_;
+  std::uint16_t next_id_ = 7000;
+};
+
+}  // namespace sns::core

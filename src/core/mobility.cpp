@@ -1,0 +1,73 @@
+#include "core/mobility.hpp"
+
+#include "server/update.hpp"
+
+namespace sns::core {
+
+using dns::Name;
+using util::fail;
+using util::Result;
+
+Result<MoveReport> move_device(SpatialZone& from, SpatialZone& to, const Name& device_name) {
+  const Device* existing = from.find_device(device_name);
+  if (existing == nullptr)
+    return fail("move: no device " + device_name.to_string() + " in " + from.domain().to_string());
+
+  Device moved = *existing;
+  // The device keeps its function; position must be re-established in
+  // the new domain (callers update it to the real new position first).
+  if (!to.bounds().contains(moved.position)) moved.position = to.bounds().center();
+
+  if (auto s = from.deregister_device(device_name); !s.ok()) return s.error();
+  auto new_name = to.register_device(moved);
+  if (!new_name.ok()) return new_name.error();
+
+  MoveReport report;
+  report.old_name = device_name;
+  report.new_name = new_name.value();
+
+  // Leave a forwarding CNAME at the old identity, in both views.
+  bool ok_local = from.local_zone()->add(dns::make_cname(device_name, new_name.value())).ok();
+  bool ok_global = from.global_zone()->add(dns::make_cname(device_name, new_name.value())).ok();
+  report.cname_created = ok_local && ok_global;
+  return report;
+}
+
+Result<Name> replace_device(SpatialZone& zone, const Name& device_name, Device replacement) {
+  const Device* existing = zone.find_device(device_name);
+  if (existing == nullptr) return fail("replace: no device " + device_name.to_string());
+  replacement.function = existing->function;
+  replacement.position = existing->position;
+  if (auto s = zone.deregister_device(device_name); !s.ok()) return s.error();
+  auto name = zone.register_device(std::move(replacement));
+  if (!name.ok()) return name.error();
+  if (!(name.value() == device_name))
+    return fail("replace: name changed unexpectedly to " + name.value().to_string());
+  return name;
+}
+
+Result<dns::Rcode> send_geodetic_update(resolver::StubResolver& stub, SpatialZone& zone,
+                                        const Name& device_name, const geo::GeoPoint& position,
+                                        const std::optional<dns::TsigKey>& key,
+                                        std::uint64_t now_seconds) {
+  auto loc = dns::LocData::from_degrees(position.latitude, position.longitude, position.altitude,
+                                        1.0);
+  if (!loc.ok()) return loc.error();
+
+  // Delete the old LOC RRset, add the new one — one atomic update.
+  dns::Message update = server::make_update_delete_rrset(42, zone.domain(), device_name,
+                                                         dns::RRType::LOC);
+  update.authorities.push_back(dns::make_loc(device_name, loc.value()));
+  if (key.has_value()) dns::tsig_sign(update, *key, now_seconds);
+
+  auto response = stub.exchange(update);
+  if (!response.ok()) return response.error();
+  if (response.value().header.rcode == dns::Rcode::NoError) {
+    // Mirror into the geodetic index (the zone's own nameserver applied
+    // the authoritative change; we keep the in-process view coherent).
+    if (auto s = zone.update_position(device_name, position); !s.ok()) return s.error();
+  }
+  return response.value().header.rcode;
+}
+
+}  // namespace sns::core

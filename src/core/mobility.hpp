@@ -1,0 +1,44 @@
+// mobility.hpp — device mobility over DNS mechanisms (§4.1).
+//
+// "If a device moves between spatial domains and wants to retain
+// communication with its identity at its former location, it can use a
+// CNAME record to point to the new location. If a device moves geodetic
+// location, updates to the geodetic mapping within a local spatial
+// domain could be done using dynamic DNS updates."
+#pragma once
+
+#include "core/spatial_zone.hpp"
+#include "dns/dnssec.hpp"
+#include "resolver/stub.hpp"
+
+namespace sns::core {
+
+struct MoveReport {
+  dns::Name old_name;
+  dns::Name new_name;
+  bool cname_created = false;
+};
+
+/// Move a device between spatial domains: deregister from `from`,
+/// re-register in `to` (same function, so it gets the equivalent name
+/// there), and leave a CNAME at the old name pointing to the new one so
+/// existing references keep resolving.
+util::Result<MoveReport> move_device(SpatialZone& from, SpatialZone& to,
+                                     const dns::Name& device_name);
+
+/// Replace a device in place (§1: "if the device is replaced then the
+/// replacement should assume the function of its predecessor"): the
+/// name survives; addresses, node and keys change.
+util::Result<dns::Name> replace_device(SpatialZone& zone, const dns::Name& device_name,
+                                       Device replacement);
+
+/// Send a geodetic move as an RFC 2136 dynamic update over the wire
+/// (LOC rewrite, TSIG-signed when `key` is provided), then mirror it in
+/// the local SpatialZone index. Exercises the real update path.
+util::Result<dns::Rcode> send_geodetic_update(resolver::StubResolver& stub, SpatialZone& zone,
+                                              const dns::Name& device_name,
+                                              const geo::GeoPoint& position,
+                                              const std::optional<dns::TsigKey>& key,
+                                              std::uint64_t now_seconds);
+
+}  // namespace sns::core

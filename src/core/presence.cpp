@@ -1,0 +1,34 @@
+#include "core/presence.hpp"
+
+#include "util/sha1.hpp"
+#include "util/strings.hpp"
+
+namespace sns::core {
+
+std::string presence_token(std::string_view room_secret, std::span<const std::uint8_t> nonce) {
+  std::vector<std::uint8_t> key(room_secret.begin(), room_secret.end());
+  auto mac = util::hmac_sha1(std::span(key), nonce);
+  return util::to_hex(std::span(mac.data(), mac.size()));
+}
+
+PresenceBeacon::PresenceBeacon(net::Network& network, net::NodeId node, std::string room_secret,
+                               std::uint64_t seed)
+    : network_(network), node_(node), room_secret_(std::move(room_secret)), rng_(seed) {}
+
+std::string PresenceBeacon::chirp() {
+  util::Bytes nonce(16);
+  for (auto& b : nonce) b = static_cast<std::uint8_t>(rng_.next_below(256));
+  *current_token_ = presence_token(room_secret_, std::span(nonce));
+  // Chirp the derived token itself: hearing it is the credential.
+  util::Bytes payload(current_token_->begin(), current_token_->end());
+  network_.audio_broadcast(node_, std::span(payload));
+  return *current_token_;
+}
+
+PresenceListener::PresenceListener(net::Network& network, net::NodeId node) {
+  network.set_audio_handler(node, [this](std::span<const std::uint8_t> payload, net::NodeId) {
+    last_token_.assign(payload.begin(), payload.end());
+  });
+}
+
+}  // namespace sns::core

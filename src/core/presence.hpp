@@ -1,0 +1,64 @@
+// presence.hpp — proof of physical co-location via audio beacons (§3.1).
+//
+// "authentication to a room like the Oval Office could be done by being
+// physically present in the same space using audio beacons that chirp an
+// encoded message to prove presence." The room's beacon periodically
+// chirps a short-lived token HMAC(room_secret, nonce) over the
+// room-scoped audio medium. Hearing the chirp *is* the proof: listeners
+// in the room present the heard token to the nameserver (which derives
+// the same token from the shared secret); sound does not leave the
+// room, so outsiders cannot obtain it. The secret itself is never
+// chirped and listeners never learn it.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "net/network.hpp"
+#include "util/bytes.hpp"
+
+namespace sns::core {
+
+/// Derive the presence token for a heard nonce. The secret is shared
+/// between the beacon and the room's nameserver — never chirped.
+std::string presence_token(std::string_view room_secret, std::span<const std::uint8_t> nonce);
+
+/// The room's chirping beacon, attached to a simulator node placed in
+/// the room.
+class PresenceBeacon {
+ public:
+  PresenceBeacon(net::Network& network, net::NodeId node, std::string room_secret,
+                 std::uint64_t seed);
+
+  /// Chirp a fresh nonce now; every listener in the room hears it.
+  /// Returns the token the nameserver should currently accept.
+  std::string chirp();
+
+  [[nodiscard]] const std::string& current_token() const noexcept { return *current_token_; }
+  /// Live view for server::PresenceRule — follows rotation on chirp.
+  [[nodiscard]] std::shared_ptr<const std::string> token_ref() const noexcept {
+    return current_token_;
+  }
+
+ private:
+  net::Network& network_;
+  net::NodeId node_;
+  std::string room_secret_;
+  util::Rng rng_;
+  std::shared_ptr<std::string> current_token_ = std::make_shared<std::string>();
+};
+
+/// A device-side listener that records the tokens it hears. It needs no
+/// secret — possession of a heard token is the credential.
+class PresenceListener {
+ public:
+  PresenceListener(net::Network& network, net::NodeId node);
+
+  [[nodiscard]] const std::string& last_token() const noexcept { return last_token_; }
+  [[nodiscard]] bool has_token() const noexcept { return !last_token_.empty(); }
+
+ private:
+  std::string last_token_;
+};
+
+}  // namespace sns::core

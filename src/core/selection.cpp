@@ -1,0 +1,59 @@
+#include "core/selection.hpp"
+
+#include <algorithm>
+
+namespace sns::core {
+
+std::vector<AddressChoice> extract_addresses(const dns::RRset& records) {
+  std::vector<AddressChoice> out;
+  for (const auto& rr : records) {
+    if (const auto* a = std::get_if<dns::AData>(&rr.rdata)) {
+      out.push_back({a->address, dns::RRType::A, false});
+    } else if (const auto* aaaa = std::get_if<dns::AaaaData>(&rr.rdata)) {
+      out.push_back({aaaa->address, dns::RRType::AAAA, false});
+    } else if (const auto* bd = std::get_if<dns::BdaddrData>(&rr.rdata)) {
+      out.push_back({bd->address, dns::RRType::BDADDR, false});
+    } else if (const auto* wifi = std::get_if<dns::WifiData>(&rr.rdata)) {
+      out.push_back({wifi->address, dns::RRType::WIFI, false});
+    } else if (const auto* lora = std::get_if<dns::LoraData>(&rr.rdata)) {
+      out.push_back({lora->devaddr, dns::RRType::LORA, false});
+    } else if (const auto* dtmf = std::get_if<dns::DtmfData>(&rr.rdata)) {
+      out.push_back({dtmf->tone, dns::RRType::DTMF, false});
+    } else if (const auto* txt = std::get_if<dns::TxtData>(&rr.rdata)) {
+      // Fallback-encoded extended records survive middleboxes (§2.2).
+      auto recovered = dns::from_txt_fallback(*txt);
+      if (recovered.ok()) {
+        auto nested = extract_addresses({dns::ResourceRecord{
+            rr.name, recovered.value().first, rr.klass, rr.ttl, recovered.value().second}});
+        for (auto& choice : nested) {
+          choice.from_txt_fallback = true;
+          out.push_back(std::move(choice));
+        }
+        continue;
+      }
+      // Zigbee has no dedicated RR type at all (Table 1); its only wire
+      // form is the TXT fallback, decoded here.
+      if (txt->strings.size() == 1 && txt->strings[0].starts_with("sns:zigbee=")) {
+        auto zigbee = net::ZigbeeAddr::parse(
+            std::string_view(txt->strings[0]).substr(sizeof("sns:zigbee=") - 1));
+        if (zigbee.ok()) out.push_back({zigbee.value(), dns::RRType::TXT, true});
+      }
+    }
+  }
+  return out;
+}
+
+std::optional<AddressChoice> choose_address(const dns::RRset& records, SelectionPolicy policy) {
+  auto candidates = extract_addresses(records);
+  if (candidates.empty()) return std::nullopt;
+  auto rank = [&](const AddressChoice& choice) {
+    int r = net::connectivity_rank(choice.address);
+    return policy == SelectionPolicy::PreferLocal ? r : -r;
+  };
+  return *std::min_element(candidates.begin(), candidates.end(),
+                           [&](const AddressChoice& a, const AddressChoice& b) {
+                             return rank(a) < rank(b);
+                           });
+}
+
+}  // namespace sns::core

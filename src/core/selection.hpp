@@ -1,0 +1,43 @@
+// selection.hpp — connectivity selection (§2.2).
+//
+// "a connecting device today needs the user to know which address to
+// select or has to perform expensive wireless scans … Having a name
+// system act as a registry for these local connectivity options … permits
+// connecting devices to choose the most appropriate option before
+// committing to any one mechanism."
+//
+// Given a resolved answer (possibly mixing native extended RRs and TXT
+// fallbacks), extract every address and choose the best one under a
+// simple policy: most-local first (Bluetooth < Zigbee < audio < LoRa <
+// IPv4 < IPv6), or global-capable first for off-site callers.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "dns/record.hpp"
+#include "net/address.hpp"
+
+namespace sns::core {
+
+struct AddressChoice {
+  net::AnyAddress address;
+  dns::RRType source_type = dns::RRType::A;  // record that carried it
+  bool from_txt_fallback = false;
+};
+
+enum class SelectionPolicy {
+  PreferLocal,   // proximity wins: Bluetooth before IP (§2.2 default)
+  PreferGlobal,  // routable wins: IP before link-local radios
+};
+
+/// Pull every address out of an answer RRset. Understands A, AAAA,
+/// BDADDR, WIFI (yields the IPv4), LORA (yields the DevAddr), DTMF and
+/// the "sns:*" TXT fallback encodings; ignores everything else.
+std::vector<AddressChoice> extract_addresses(const dns::RRset& records);
+
+/// Best address under the policy; nullopt if the answer carries none.
+std::optional<AddressChoice> choose_address(const dns::RRset& records,
+                                            SelectionPolicy policy = SelectionPolicy::PreferLocal);
+
+}  // namespace sns::core

@@ -1,0 +1,212 @@
+#include "core/spatial_zone.hpp"
+
+#include <algorithm>
+
+#include "geo/naive_index.hpp"
+#include "geo/quadtree.hpp"
+#include "geo/rtree.hpp"
+
+namespace sns::core {
+
+using dns::Name;
+using util::fail;
+using util::Result;
+using util::Status;
+
+namespace {
+
+std::unique_ptr<geo::SpatialIndex> make_index(IndexKind kind, const geo::BoundingBox& bounds,
+                                              int hilbert_order) {
+  switch (kind) {
+    case IndexKind::Naive: return std::make_unique<geo::NaiveIndex>();
+    case IndexKind::Hilbert: return std::make_unique<geo::HilbertIndex>(bounds, hilbert_order);
+    case IndexKind::RTree: return std::make_unique<geo::RTree>();
+    case IndexKind::Quadtree: return std::make_unique<geo::Quadtree>(bounds);
+  }
+  return std::make_unique<geo::NaiveIndex>();
+}
+
+Name must(Result<Name> name) {
+  // Internal invariant: zone-derived names are always valid.
+  if (!name.ok()) std::abort();
+  return std::move(name).value();
+}
+
+}  // namespace
+
+std::vector<dns::ResourceRecord> records_for_address(const Name& owner,
+                                                     const net::AnyAddress& address,
+                                                     const Name& zone_domain, std::uint32_t ttl) {
+  std::vector<dns::ResourceRecord> out;
+  if (const auto* bd = std::get_if<net::Bdaddr>(&address)) {
+    out.push_back(dns::make_bdaddr(owner, *bd, ttl));
+  } else if (const auto* v4 = std::get_if<net::Ipv4Addr>(&address)) {
+    out.push_back(dns::make_a(owner, *v4, ttl));
+  } else if (const auto* v6 = std::get_if<net::Ipv6Addr>(&address)) {
+    out.push_back(dns::make_aaaa(owner, *v6, ttl));
+  } else if (const auto* tone = std::get_if<net::DtmfTone>(&address)) {
+    out.push_back(dns::ResourceRecord{owner, dns::RRType::DTMF, dns::RRClass::IN, ttl,
+                                      dns::DtmfData{*tone}});
+  } else if (const auto* lora = std::get_if<net::LoraDevAddr>(&address)) {
+    Name gateway = must(zone_domain.prepend("gw"));
+    out.push_back(dns::ResourceRecord{owner, dns::RRType::LORA, dns::RRClass::IN, ttl,
+                                      dns::LoraData{gateway, *lora}});
+  } else if (const auto* zb = std::get_if<net::ZigbeeAddr>(&address)) {
+    // No dedicated type in Table 1: ship via the TXT fallback (§2.2).
+    out.push_back(dns::make_txt(owner, {"sns:zigbee=" + zb->to_string()}, ttl));
+  }
+  return out;
+}
+
+SpatialZone::SpatialZone(CivicName civic, geo::BoundingBox bounds, IndexKind kind,
+                         int hilbert_order, const Name& root)
+    : civic_(std::move(civic)),
+      domain_(must(civic_.to_domain(root))),
+      bounds_(bounds),
+      index_(make_index(kind, bounds, hilbert_order)),
+      local_zone_(std::make_shared<server::Zone>(domain_, must(domain_.prepend("ns")))),
+      global_zone_(std::make_shared<server::Zone>(domain_, must(domain_.prepend("ns")))) {}
+
+Result<Name> SpatialZone::register_device(Device device) {
+  // Zero-conf function naming: mic, mic-2, mic-3, …
+  auto label = normalize_label(device.function);
+  if (!label.ok()) return label.error();
+  std::string candidate = label.value();
+  int suffix = 1;
+  while (true) {
+    auto name = domain_.prepend(candidate);
+    if (!name.ok()) return name.error();
+    if (find_device(name.value()) == nullptr) {
+      device.name = std::move(name).value();
+      break;
+    }
+    ++suffix;
+    candidate = label.value() + "-" + std::to_string(suffix);
+  }
+
+  if (!bounds_.contains(device.position))
+    return fail("spatial zone " + domain_.to_string() + ": device position " +
+                device.position.to_string() + " outside zone bounds");
+
+  if (auto s = add_device_records(device); !s.ok()) return s.error();
+
+  geo::EntryId id = next_entry_++;
+  index_->insert(id, device.position);
+  entry_ids_[device.name] = id;
+  names_by_entry_[id] = device.name;
+  Name assigned = device.name;
+  devices_.push_back(std::move(device));
+  local_zone_->bump_serial();
+  global_zone_->bump_serial();
+  return assigned;
+}
+
+Status SpatialZone::add_device_records(const Device& device) {
+  // Local view: every connectivity option + LOC.
+  for (const auto& address : device.local_addresses)
+    for (auto& rr : records_for_address(device.name, address, domain_))
+      if (auto s = local_zone_->add(std::move(rr)); !s.ok()) return s;
+
+  auto loc = dns::LocData::from_degrees(device.position.latitude, device.position.longitude,
+                                        device.position.altitude, device.position_accuracy_m);
+  if (loc.ok()) {
+    if (auto s = local_zone_->add(dns::make_loc(device.name, loc.value())); !s.ok()) return s;
+  }
+
+  // Global view: only the globally routable address (if any); the LOC
+  // record is public too — the name's existence implies its location.
+  if (device.global_address.has_value()) {
+    if (auto s = global_zone_->add(dns::make_aaaa(device.name, *device.global_address));
+        !s.ok())
+      return s;
+    if (loc.ok()) {
+      if (auto s = global_zone_->add(dns::make_loc(device.name, loc.value())); !s.ok()) return s;
+    }
+  }
+  return util::ok_status();
+}
+
+void SpatialZone::remove_device_records(const Device& device) {
+  local_zone_->remove_name(device.name);
+  global_zone_->remove_name(device.name);
+}
+
+Status SpatialZone::deregister_device(const Name& name) {
+  auto it = std::find_if(devices_.begin(), devices_.end(),
+                         [&](const Device& d) { return d.name == name; });
+  if (it == devices_.end()) return fail("spatial zone: unknown device " + name.to_string());
+  remove_device_records(*it);
+  auto entry = entry_ids_.find(name);
+  if (entry != entry_ids_.end()) {
+    index_->remove(entry->second);
+    names_by_entry_.erase(entry->second);
+    entry_ids_.erase(entry);
+  }
+  devices_.erase(it);
+  local_zone_->bump_serial();
+  global_zone_->bump_serial();
+  return util::ok_status();
+}
+
+const Device* SpatialZone::find_device(const Name& name) const {
+  for (const auto& device : devices_)
+    if (device.name == name) return &device;
+  return nullptr;
+}
+
+std::vector<const Device*> SpatialZone::devices() const {
+  std::vector<const Device*> out;
+  out.reserve(devices_.size());
+  for (const auto& device : devices_) out.push_back(&device);
+  return out;
+}
+
+std::vector<Name> SpatialZone::devices_in(const geo::BoundingBox& area) const {
+  std::vector<Name> out;
+  for (geo::EntryId id : index_->query(area)) {
+    auto it = names_by_entry_.find(id);
+    if (it != names_by_entry_.end()) out.push_back(it->second);
+  }
+  return out;
+}
+
+Status SpatialZone::update_position(const Name& name, const geo::GeoPoint& position) {
+  auto it = std::find_if(devices_.begin(), devices_.end(),
+                         [&](const Device& d) { return d.name == name; });
+  if (it == devices_.end()) return fail("spatial zone: unknown device " + name.to_string());
+  if (!bounds_.contains(position))
+    return fail("spatial zone: new position outside zone (device must move zones)");
+
+  it->position = position;
+  auto entry = entry_ids_.find(name);
+  if (entry != entry_ids_.end()) {
+    index_->remove(entry->second);
+    index_->insert(entry->second, position);
+  }
+
+  // Refresh the LOC records (the dynamic-update path, §4.1).
+  local_zone_->remove_rrset(name, dns::RRType::LOC);
+  global_zone_->remove_rrset(name, dns::RRType::LOC);
+  auto loc = dns::LocData::from_degrees(position.latitude, position.longitude, position.altitude,
+                                        it->position_accuracy_m);
+  if (loc.ok()) {
+    if (auto s = local_zone_->add(dns::make_loc(name, loc.value())); !s.ok()) return s;
+    if (global_zone_->find(name, dns::RRType::AAAA) != nullptr) {
+      if (auto s = global_zone_->add(dns::make_loc(name, loc.value())); !s.ok()) return s;
+    }
+  }
+  local_zone_->bump_serial();
+  global_zone_->bump_serial();
+  return util::ok_status();
+}
+
+Status SpatialZone::delegate_child(const Name& child_apex, const Name& ns_name,
+                                   net::Ipv4Addr ns_address) {
+  for (const auto& zone : {local_zone_, global_zone_}) {
+    if (auto s = zone->add(dns::make_ns(child_apex, ns_name)); !s.ok()) return s;
+    if (auto s = zone->add(dns::make_a(ns_name, ns_address)); !s.ok()) return s;
+  }
+  return util::ok_status();
+}
+
+}  // namespace sns::core

@@ -1,0 +1,112 @@
+// spatial_zone.hpp — a spatial domain: civic name + geometry + devices.
+//
+// The central object of the SNS. A SpatialZone binds
+//   * a civic domain name (its DNS apex, e.g.
+//     oval-office.1600.penn-ave.washington.dc.usa.loc),
+//   * a geodetic footprint (bounding box, optionally a polygon for the
+//     "very complex geometries" of high-level domains, §3.2),
+//   * a registry of devices with all their addresses (§2.2),
+//   * two zone views for split-horizon resolution (§3.1): the *local*
+//     view carries link-layer addresses (BDADDR, WIFI, …) and private
+//     IPs; the *global* view carries only globally routable addresses,
+//   * a geodetic index answering "which devices are in this area?".
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/civic.hpp"
+#include "dns/loc.hpp"
+#include "geo/hilbert_index.hpp"
+#include "geo/index.hpp"
+#include "net/address.hpp"
+#include "net/network.hpp"
+#include "server/zone.hpp"
+
+namespace sns::core {
+
+/// A networked thing living in a spatial domain.
+struct Device {
+  std::string function;                       // "mic", "speaker", "display"
+  dns::Name name;                             // assigned FQDN (zero-conf)
+  std::vector<net::AnyAddress> local_addresses;
+  std::optional<net::Ipv6Addr> global_address;  // set => externally reachable
+  geo::GeoPoint position;
+  double position_accuracy_m = 1.0;
+  net::NodeId node = net::kInvalidNode;       // simulator attachment
+  bool presence_protected = false;            // §3.1 Oval Office microphone
+};
+
+enum class IndexKind { Naive, Hilbert, RTree, Quadtree };
+
+class SpatialZone {
+ public:
+  /// `hilbert_order` applies when kind == Hilbert.
+  SpatialZone(CivicName civic, geo::BoundingBox bounds, IndexKind kind = IndexKind::Hilbert,
+              int hilbert_order = 10, const dns::Name& root = loc_root());
+
+  [[nodiscard]] const CivicName& civic() const noexcept { return civic_; }
+  [[nodiscard]] const dns::Name& domain() const noexcept { return domain_; }
+  [[nodiscard]] const geo::BoundingBox& bounds() const noexcept { return bounds_; }
+  void set_shape(geo::Polygon shape) { shape_ = std::move(shape); }
+  [[nodiscard]] const std::optional<geo::Polygon>& shape() const noexcept { return shape_; }
+
+  /// The split-horizon views, served by an AuthoritativeServer.
+  [[nodiscard]] const std::shared_ptr<server::Zone>& local_zone() const noexcept {
+    return local_zone_;
+  }
+  [[nodiscard]] const std::shared_ptr<server::Zone>& global_zone() const noexcept {
+    return global_zone_;
+  }
+
+  /// Zero-configuration naming (§2.3): assigns `<function>` (or
+  /// `<function>-N` if taken) under the zone apex, derives local/global
+  /// records from the device's addresses, adds a LOC record from its
+  /// position, and indexes it geodetically. Returns the final name.
+  util::Result<dns::Name> register_device(Device device);
+
+  util::Status deregister_device(const dns::Name& name);
+
+  [[nodiscard]] const Device* find_device(const dns::Name& name) const;
+  [[nodiscard]] std::vector<const Device*> devices() const;
+  [[nodiscard]] std::size_t device_count() const noexcept { return devices_.size(); }
+
+  /// Geodetic resolution, local case (§3.2): device names whose
+  /// position intersects `area`.
+  [[nodiscard]] std::vector<dns::Name> devices_in(const geo::BoundingBox& area) const;
+
+  /// Move a registered device (dynamic geodetic update, §4.1).
+  util::Status update_position(const dns::Name& name, const geo::GeoPoint& position);
+
+  /// Record a delegation to a child spatial domain in both views.
+  util::Status delegate_child(const dns::Name& child_apex, const dns::Name& ns_name,
+                              net::Ipv4Addr ns_address);
+
+  [[nodiscard]] const geo::SpatialIndex& index() const noexcept { return *index_; }
+
+ private:
+  util::Status add_device_records(const Device& device);
+  void remove_device_records(const Device& device);
+
+  CivicName civic_;
+  dns::Name domain_;
+  geo::BoundingBox bounds_;
+  std::optional<geo::Polygon> shape_;
+  std::unique_ptr<geo::SpatialIndex> index_;
+  std::shared_ptr<server::Zone> local_zone_;
+  std::shared_ptr<server::Zone> global_zone_;
+  std::vector<Device> devices_;
+  std::map<dns::Name, geo::EntryId> entry_ids_;
+  std::map<geo::EntryId, dns::Name> names_by_entry_;
+  geo::EntryId next_entry_ = 1;
+};
+
+/// Build the RR(s) describing one address of a device (Table 1 mapping);
+/// Zigbee has no dedicated type and uses the TXT fallback encoding.
+std::vector<dns::ResourceRecord> records_for_address(const dns::Name& owner,
+                                                     const net::AnyAddress& address,
+                                                     const dns::Name& zone_domain,
+                                                     std::uint32_t ttl = 120);
+
+}  // namespace sns::core

@@ -1,0 +1,54 @@
+#include "core/uri.hpp"
+
+#include <cctype>
+#include <charconv>
+
+namespace sns::core {
+
+using util::fail;
+using util::Result;
+
+Result<SnsUri> SnsUri::parse(std::string_view text) {
+  SnsUri out;
+  std::size_t scheme_end = text.find("://");
+  if (scheme_end == std::string_view::npos || scheme_end == 0)
+    return fail("uri: missing scheme://");
+  out.scheme = std::string(text.substr(0, scheme_end));
+  for (char c : out.scheme)
+    if (std::isalnum(static_cast<unsigned char>(c)) == 0 && c != '+' && c != '-' && c != '.')
+      return fail("uri: invalid scheme character");
+
+  std::string_view rest = text.substr(scheme_end + 3);
+  std::size_t path_start = rest.find('/');
+  std::string_view authority = path_start == std::string_view::npos ? rest
+                                                                    : rest.substr(0, path_start);
+  if (path_start != std::string_view::npos) out.path = std::string(rest.substr(path_start));
+
+  if (authority.empty()) return fail("uri: empty authority");
+  std::size_t colon = authority.rfind(':');
+  if (colon != std::string_view::npos) {
+    std::string_view port_text = authority.substr(colon + 1);
+    unsigned port = 0;
+    auto [ptr, ec] = std::from_chars(port_text.data(), port_text.data() + port_text.size(), port);
+    if (ec != std::errc{} || ptr != port_text.data() + port_text.size() || port > 0xffff)
+      return fail("uri: bad port");
+    out.port = static_cast<std::uint16_t>(port);
+    authority = authority.substr(0, colon);
+  }
+
+  auto name = dns::Name::parse(authority);
+  if (!name.ok()) return fail("uri: bad authority: " + name.error().message);
+  out.authority = std::move(name).value();
+  return out;
+}
+
+std::string SnsUri::to_string() const {
+  std::string out = scheme + "://" + authority.to_string();
+  if (port.has_value()) out += ":" + std::to_string(*port);
+  out += path;
+  return out;
+}
+
+bool SnsUri::is_spatial(const dns::Name& root) const { return authority.is_subdomain_of(root); }
+
+}  // namespace sns::core

@@ -1,0 +1,34 @@
+// uri.hpp — SNS URIs (§2.1, §4.4).
+//
+// "The domain names can also be combined into a fully qualified domain
+// name, allowing the device to be named globally as a URI, e.g.
+// capnp://mic.oval-office.1600.penn-ave.washington.dc.usa.loc/secret."
+// Any scheme works — the authority is simply a spatial name.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "dns/name.hpp"
+#include "util/result.hpp"
+
+namespace sns::core {
+
+struct SnsUri {
+  std::string scheme;           // "capnp", "https", "matrix", ...
+  dns::Name authority;          // the spatial name
+  std::optional<std::uint16_t> port;
+  std::string path;             // includes the leading '/', may be empty
+
+  static util::Result<SnsUri> parse(std::string_view text);
+  [[nodiscard]] std::string to_string() const;
+
+  /// True if the authority sits under the `.loc` spatial TLD (or a
+  /// caller-supplied spatial root for incremental deployments).
+  [[nodiscard]] bool is_spatial(const dns::Name& root) const;
+
+  friend bool operator==(const SnsUri&, const SnsUri&) = default;
+};
+
+}  // namespace sns::core

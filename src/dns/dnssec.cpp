@@ -1,0 +1,268 @@
+#include "dns/dnssec.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+
+namespace sns::dns {
+
+using util::Bytes;
+using util::ByteWriter;
+using util::fail;
+using util::Result;
+using util::Status;
+
+std::uint16_t ZoneKey::key_tag() const {
+  // RFC 4034 appendix B flavour: fold the secret into 16 bits.
+  std::uint32_t acc = 0;
+  for (std::size_t i = 0; i < secret.size(); ++i)
+    acc += (i & 1) != 0 ? secret[i] : static_cast<std::uint32_t>(secret[i]) << 8;
+  acc += (acc >> 16) & 0xffff;
+  return static_cast<std::uint16_t>(acc & 0xffff);
+}
+
+DnskeyData ZoneKey::to_dnskey() const {
+  return DnskeyData{256, 3, kToyHmacAlgorithm, secret};
+}
+
+namespace {
+
+Name lowercase_name(const Name& name) {
+  std::vector<std::string> labels;
+  labels.reserve(name.label_count());
+  for (const auto& label : name.labels()) labels.push_back(util::to_lower(label));
+  auto built = Name::from_labels(std::move(labels));
+  // Lowercasing cannot invalidate a valid name.
+  return built.ok() ? std::move(built).value() : name;
+}
+
+Bytes rdata_wire(const Rdata& rdata) {
+  ByteWriter w;
+  encode_rdata(rdata, w, nullptr);
+  return std::move(w).take();
+}
+
+}  // namespace
+
+Bytes canonical_rrset_bytes(const RRset& rrset) {
+  // Sort records by canonical rdata bytes.
+  std::vector<Bytes> rdatas;
+  rdatas.reserve(rrset.size());
+  for (const auto& rr : rrset) rdatas.push_back(rdata_wire(rr.rdata));
+  std::sort(rdatas.begin(), rdatas.end());
+
+  ByteWriter out;
+  if (!rrset.empty()) {
+    const auto& first = rrset.front();
+    Name owner = lowercase_name(first.name);
+    for (const auto& rd : rdatas) {
+      owner.encode(out);
+      out.u16(static_cast<std::uint16_t>(first.type));
+      out.u16(static_cast<std::uint16_t>(first.klass));
+      out.u32(first.ttl);
+      out.u16(static_cast<std::uint16_t>(rd.size()));
+      out.raw(std::span(rd));
+    }
+  }
+  return std::move(out).take();
+}
+
+Result<ResourceRecord> sign_rrset(const RRset& rrset, const ZoneKey& key, std::uint32_t inception,
+                                  std::uint32_t expiration) {
+  if (rrset.empty()) return fail("sign: empty rrset");
+  const auto& first = rrset.front();
+  for (const auto& rr : rrset) {
+    if (!(rr.name == first.name) || rr.type != first.type || rr.klass != first.klass ||
+        rr.ttl != first.ttl)
+      return fail("sign: rrset members disagree on name/type/class/ttl");
+  }
+  if (!first.name.is_subdomain_of(key.zone)) return fail("sign: rrset outside key's zone");
+
+  RrsigData sig;
+  sig.type_covered = first.type;
+  sig.algorithm = kToyHmacAlgorithm;
+  sig.labels = static_cast<std::uint8_t>(first.name.label_count());
+  sig.original_ttl = first.ttl;
+  sig.inception = inception;
+  sig.expiration = expiration;
+  sig.key_tag = key.key_tag();
+  sig.signer = key.zone;
+
+  // MAC covers the RRSIG rdata sans signature (RFC 4034 §3.1.8.1) plus
+  // the canonical RRset.
+  ByteWriter covered;
+  covered.u16(static_cast<std::uint16_t>(sig.type_covered));
+  covered.u8(sig.algorithm);
+  covered.u8(sig.labels);
+  covered.u32(sig.original_ttl);
+  covered.u32(sig.expiration);
+  covered.u32(sig.inception);
+  covered.u16(sig.key_tag);
+  sig.signer.encode(covered);
+  Bytes canonical = canonical_rrset_bytes(rrset);
+  covered.raw(std::span(canonical));
+
+  auto mac = util::hmac_sha1(std::span(key.secret), std::span(covered.data()));
+  sig.signature.assign(mac.begin(), mac.end());
+
+  return ResourceRecord{first.name, RRType::RRSIG, first.klass, first.ttl, std::move(sig)};
+}
+
+Status verify_rrsig(const RRset& rrset, const RrsigData& sig, const ZoneKey& key,
+                    std::uint32_t now) {
+  if (rrset.empty()) return fail("verify: empty rrset");
+  if (sig.algorithm != kToyHmacAlgorithm) return fail("verify: unknown algorithm");
+  if (!(sig.signer == key.zone)) return fail("verify: signer does not match key zone");
+  if (sig.key_tag != key.key_tag()) return fail("verify: key tag mismatch");
+  if (now < sig.inception) return fail("verify: signature not yet valid");
+  if (now > sig.expiration) return fail("verify: signature expired");
+
+  // Recompute the MAC over the same bytes sign_rrset covered. The
+  // RRset's TTL may have been decremented by caches; RFC 4034 says to
+  // verify against the original TTL, so substitute it.
+  RRset normalized = rrset;
+  for (auto& rr : normalized) rr.ttl = sig.original_ttl;
+
+  ByteWriter covered;
+  covered.u16(static_cast<std::uint16_t>(sig.type_covered));
+  covered.u8(sig.algorithm);
+  covered.u8(static_cast<std::uint8_t>(normalized.front().name.label_count()));
+  covered.u32(sig.original_ttl);
+  covered.u32(sig.expiration);
+  covered.u32(sig.inception);
+  covered.u16(sig.key_tag);
+  sig.signer.encode(covered);
+  Bytes canonical = canonical_rrset_bytes(normalized);
+  covered.raw(std::span(canonical));
+
+  auto mac = util::hmac_sha1(std::span(key.secret), std::span(covered.data()));
+  if (!std::equal(mac.begin(), mac.end(), sig.signature.begin(), sig.signature.end()))
+    return fail("verify: MAC mismatch (record tampered or wrong key)");
+  return util::ok_status();
+}
+
+Bytes nsec3_hash(const Name& name, std::span<const std::uint8_t> salt, std::uint16_t iterations) {
+  ByteWriter w;
+  lowercase_name(name).encode(w);
+  Bytes input = std::move(w).take();
+  input.insert(input.end(), salt.begin(), salt.end());
+  auto digest = util::sha1(std::span(input));
+  for (std::uint16_t i = 0; i < iterations; ++i) {
+    Bytes round(digest.begin(), digest.end());
+    round.insert(round.end(), salt.begin(), salt.end());
+    digest = util::sha1(std::span(round));
+  }
+  return Bytes(digest.begin(), digest.end());
+}
+
+Result<Name> nsec3_owner(const Name& name, const Name& zone, std::span<const std::uint8_t> salt,
+                         std::uint16_t iterations) {
+  Bytes hash = nsec3_hash(name, salt, iterations);
+  return zone.prepend(util::to_base32hex(std::span(hash)));
+}
+
+std::vector<ResourceRecord> build_nsec3_chain(
+    const Name& zone, const std::vector<std::pair<Name, std::vector<RRType>>>& names,
+    std::span<const std::uint8_t> salt, std::uint16_t iterations, std::uint32_t ttl) {
+  struct Entry {
+    Bytes hash;
+    const Name* name;
+    const std::vector<RRType>* types;
+  };
+  std::vector<Entry> entries;
+  entries.reserve(names.size());
+  for (const auto& [name, types] : names)
+    entries.push_back(Entry{nsec3_hash(name, salt, iterations), &name, &types});
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.hash < b.hash; });
+
+  std::vector<ResourceRecord> out;
+  out.reserve(entries.size());
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const Entry& entry = entries[i];
+    const Entry& next = entries[(i + 1) % entries.size()];
+    Nsec3Data data;
+    data.iterations = iterations;
+    data.salt.assign(salt.begin(), salt.end());
+    data.next_hashed_owner = next.hash;
+    data.types = *entry.types;
+    auto owner = zone.prepend(util::to_base32hex(std::span(entry.hash)));
+    if (!owner.ok()) continue;  // cannot happen: base32 of sha1 fits a label
+    out.push_back(ResourceRecord{std::move(owner).value(), RRType::NSEC3, RRClass::IN, ttl,
+                                 std::move(data)});
+  }
+  return out;
+}
+
+Result<bool> nsec3_covers(const ResourceRecord& chain_record, const Name& qname,
+                          const Name& zone) {
+  const auto* data = std::get_if<Nsec3Data>(&chain_record.rdata);
+  if (data == nullptr) return fail("nsec3_covers: record is not NSEC3");
+  if (chain_record.name.is_root()) return fail("nsec3_covers: bad owner");
+  // Owner hash is the base32hex first label.
+  const std::string& label = chain_record.name.labels().front();
+  Bytes qhash = nsec3_hash(qname, std::span(data->salt), data->iterations);
+  (void)zone;
+  std::string qhash32 = util::to_base32hex(std::span(qhash));
+  std::string next32 = util::to_base32hex(std::span(data->next_hashed_owner));
+  std::string owner32 = util::to_lower(label);
+  if (owner32 < next32)  // normal interval
+    return owner32 < qhash32 && qhash32 < next32;
+  // Wraparound interval (last NSEC3 in the chain).
+  return qhash32 > owner32 || qhash32 < next32;
+}
+
+namespace {
+const char* kTsigAlgorithmName = "hmac-sha1.sig-alg.reg.int";
+}
+
+void tsig_sign(Message& message, const TsigKey& key, std::uint64_t now_seconds) {
+  // MAC covers the message as it stands (before the TSIG RR) plus the
+  // key name, time and fudge — a simplification of RFC 2845 §3.4.
+  Bytes wire = message.encode();
+  ByteWriter covered;
+  covered.raw(std::span(wire));
+  lowercase_name(key.name).encode(covered);
+  covered.u64(now_seconds);
+  covered.u16(300);
+
+  TsigData tsig;
+  tsig.algorithm = name_of(kTsigAlgorithmName);
+  tsig.time_signed = now_seconds;
+  tsig.fudge = 300;
+  auto mac = util::hmac_sha1(std::span(key.secret), std::span(covered.data()));
+  tsig.mac.assign(mac.begin(), mac.end());
+  tsig.original_id = message.header.id;
+
+  message.additionals.push_back(
+      ResourceRecord{key.name, RRType::TSIG, RRClass::ANY, 0, std::move(tsig)});
+}
+
+Status tsig_verify(Message& message, const TsigKey& key, std::uint64_t now_seconds) {
+  if (message.additionals.empty() || message.additionals.back().type != RRType::TSIG)
+    return fail("tsig: no TSIG record present");
+  ResourceRecord tsig_rr = message.additionals.back();
+  if (!(tsig_rr.name == key.name)) return fail("tsig: unknown key name");
+  const auto* data = std::get_if<TsigData>(&tsig_rr.rdata);
+  if (data == nullptr) return fail("tsig: malformed TSIG rdata");
+
+  std::uint64_t delta = now_seconds > data->time_signed ? now_seconds - data->time_signed
+                                                        : data->time_signed - now_seconds;
+  if (delta > data->fudge) return fail("tsig: timestamp outside fudge window");
+
+  message.additionals.pop_back();
+  Bytes wire = message.encode();
+  ByteWriter covered;
+  covered.raw(std::span(wire));
+  lowercase_name(key.name).encode(covered);
+  covered.u64(data->time_signed);
+  covered.u16(data->fudge);
+  auto mac = util::hmac_sha1(std::span(key.secret), std::span(covered.data()));
+  if (!std::equal(mac.begin(), mac.end(), data->mac.begin(), data->mac.end())) {
+    message.additionals.push_back(std::move(tsig_rr));  // leave message intact on failure
+    return fail("tsig: MAC mismatch");
+  }
+  return util::ok_status();
+}
+
+}  // namespace sns::dns

@@ -1,0 +1,91 @@
+// dnssec.hpp — DNSSEC-shaped signing, NSEC3 denial, and TSIG.
+//
+// The paper relies on DNSSEC "operating as usual" for authenticated
+// spatial answers (§4.1) and on TSIG/NSEC3 for the §4.2 security story.
+// We implement the *real* wire formats and validation logic (canonical
+// RRset form per RFC 4034 §6, NSEC3 owner hashing per RFC 5155 with real
+// SHA-1, TSIG MAC coverage per RFC 2845) but substitute the public-key
+// primitive: algorithm 250 here is HMAC-SHA1 under a zone-held secret,
+// so a "public key" is really a shared verification key. This preserves
+// everything the experiments exercise (chain walking, expiry, denial of
+// existence, tamper detection) without shipping fake RSA. Clearly NOT
+// SECURE for real deployments — see DESIGN.md §2.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dns/message.hpp"
+#include "dns/record.hpp"
+#include "util/result.hpp"
+#include "util/sha1.hpp"
+
+namespace sns::dns {
+
+/// Private-use algorithm number for the toy HMAC-based "signature".
+constexpr std::uint8_t kToyHmacAlgorithm = 250;
+
+/// A zone's signing key. `secret` doubles as the DNSKEY public key so
+/// validators can verify (toy scheme: MAC, not signature).
+struct ZoneKey {
+  Name zone;
+  util::Bytes secret;
+
+  [[nodiscard]] std::uint16_t key_tag() const;
+  [[nodiscard]] DnskeyData to_dnskey() const;
+};
+
+/// Deterministic canonical form of an RRset (RFC 4034 §6.2-6.3):
+/// owner lowercased, records sorted by rdata, no compression. This is
+/// the byte string signatures cover.
+util::Bytes canonical_rrset_bytes(const RRset& rrset);
+
+/// Sign one RRset. All records must share (name, type, class, ttl).
+util::Result<ResourceRecord> sign_rrset(const RRset& rrset, const ZoneKey& key,
+                                        std::uint32_t inception, std::uint32_t expiration);
+
+/// Verify an RRSIG over an RRset at simulated time `now` (checks
+/// validity window, signer, key tag and MAC).
+util::Status verify_rrsig(const RRset& rrset, const RrsigData& sig, const ZoneKey& key,
+                          std::uint32_t now);
+
+// --- NSEC3 (RFC 5155) -------------------------------------------------------
+
+/// H(name) = SHA1(... SHA1(SHA1(canonical-name | salt) | salt) ...),
+/// `iterations` additional rounds.
+util::Bytes nsec3_hash(const Name& name, std::span<const std::uint8_t> salt,
+                       std::uint16_t iterations);
+
+/// Owner name of the NSEC3 record for `name` in `zone`:
+/// base32hex(H(name)).zone.
+util::Result<Name> nsec3_owner(const Name& name, const Name& zone,
+                               std::span<const std::uint8_t> salt, std::uint16_t iterations);
+
+/// Build the full NSEC3 chain for the given owner names (each paired
+/// with the set of types present at it). Returns one NSEC3 record per
+/// name, linked in hash order.
+std::vector<ResourceRecord> build_nsec3_chain(
+    const Name& zone, const std::vector<std::pair<Name, std::vector<RRType>>>& names,
+    std::span<const std::uint8_t> salt, std::uint16_t iterations, std::uint32_t ttl);
+
+/// Check that `chain_record` proves the nonexistence of `qname`:
+/// H(qname) falls strictly between the record's owner hash and its
+/// next-hash (with wraparound).
+util::Result<bool> nsec3_covers(const ResourceRecord& chain_record, const Name& qname,
+                                const Name& zone);
+
+// --- TSIG (RFC 2845, simplified) --------------------------------------------
+
+struct TsigKey {
+  Name name;  // key name, e.g. edge-update-key.
+  util::Bytes secret;
+};
+
+/// Append a TSIG record to `message` covering its current wire form.
+void tsig_sign(Message& message, const TsigKey& key, std::uint64_t now_seconds);
+
+/// Verify and strip the TSIG record; fails on missing/bad MAC or a
+/// timestamp outside the fudge window.
+util::Status tsig_verify(Message& message, const TsigKey& key, std::uint64_t now_seconds);
+
+}  // namespace sns::dns

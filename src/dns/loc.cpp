@@ -1,0 +1,193 @@
+#include "dns/loc.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/strings.hpp"
+
+namespace sns::dns {
+
+using util::fail;
+using util::Result;
+
+namespace {
+constexpr double kThousandthsPerDegree = 3600.0 * 1000.0;
+constexpr std::uint32_t kEquator = 1u << 31;
+constexpr double kAltOffsetCm = 10000000.0;  // -100,000 m reference
+}  // namespace
+
+std::uint8_t encode_loc_size(double meters) {
+  double cm = meters * 100.0;
+  if (cm < 0) cm = 0;
+  if (cm > 9e9) cm = 9e9;
+  int exponent = 0;
+  while (cm >= 10.0 && exponent < 9) {
+    cm /= 10.0;
+    ++exponent;
+  }
+  int mantissa = static_cast<int>(std::lround(cm));
+  if (mantissa > 9) {
+    mantissa = 1;
+    ++exponent;
+  }
+  return static_cast<std::uint8_t>((mantissa << 4) | exponent);
+}
+
+double decode_loc_size(std::uint8_t encoded) {
+  int mantissa = encoded >> 4;
+  int exponent = encoded & 0xf;
+  return static_cast<double>(mantissa) * std::pow(10.0, exponent) / 100.0;
+}
+
+Result<LocData> LocData::from_degrees(double lat_deg, double lon_deg, double alt_m, double size_m,
+                                      double horiz_pre_m, double vert_pre_m) {
+  if (lat_deg < -90.0 || lat_deg > 90.0) return fail("loc: latitude out of range");
+  if (lon_deg < -180.0 || lon_deg > 180.0) return fail("loc: longitude out of range");
+  if (alt_m < -100000.0 || alt_m > 42849672.95) return fail("loc: altitude out of range");
+  LocData out;
+  out.latitude = static_cast<std::uint32_t>(
+      static_cast<std::int64_t>(kEquator) +
+      static_cast<std::int64_t>(std::llround(lat_deg * kThousandthsPerDegree)));
+  out.longitude = static_cast<std::uint32_t>(
+      static_cast<std::int64_t>(kEquator) +
+      static_cast<std::int64_t>(std::llround(lon_deg * kThousandthsPerDegree)));
+  out.altitude = static_cast<std::uint32_t>(std::llround(alt_m * 100.0 + kAltOffsetCm));
+  out.size = encode_loc_size(size_m);
+  out.horiz_pre = encode_loc_size(horiz_pre_m);
+  out.vert_pre = encode_loc_size(vert_pre_m);
+  return out;
+}
+
+double LocData::latitude_degrees() const {
+  return (static_cast<double>(latitude) - static_cast<double>(kEquator)) / kThousandthsPerDegree;
+}
+
+double LocData::longitude_degrees() const {
+  return (static_cast<double>(longitude) - static_cast<double>(kEquator)) / kThousandthsPerDegree;
+}
+
+double LocData::altitude_meters() const {
+  return (static_cast<double>(altitude) - kAltOffsetCm) / 100.0;
+}
+
+double LocData::size_meters() const { return decode_loc_size(size); }
+double LocData::horiz_precision_meters() const { return decode_loc_size(horiz_pre); }
+double LocData::vert_precision_meters() const { return decode_loc_size(vert_pre); }
+
+namespace {
+
+void format_dms(std::string& out, double degrees, char positive, char negative) {
+  char hemisphere = degrees >= 0 ? positive : negative;
+  double abs_deg = std::fabs(degrees);
+  int d = static_cast<int>(abs_deg);
+  double rem = (abs_deg - d) * 60.0;
+  int m = static_cast<int>(rem);
+  double s = (rem - m) * 60.0;
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%d %d %.3f %c", d, m, s, hemisphere);
+  out += buf;
+}
+
+}  // namespace
+
+std::string LocData::to_string() const {
+  std::string out;
+  format_dms(out, latitude_degrees(), 'N', 'S');
+  out += ' ';
+  format_dms(out, longitude_degrees(), 'E', 'W');
+  char buf[96];
+  std::snprintf(buf, sizeof buf, " %.2fm %.0fm %.0fm %.0fm", altitude_meters(), size_meters(),
+                horiz_precision_meters(), vert_precision_meters());
+  out += buf;
+  return out;
+}
+
+Result<LocData> LocData::parse(std::span<const std::string> tokens) {
+  // Accepted shape: "<d> [m [s]] {N|S} <d> [m [s]] {E|W} <alt>m [size [hp [vp]]]".
+  auto take_angle = [&](std::size_t& i, char pos, char neg) -> Result<double> {
+    double d = 0, m = 0, s = 0;
+    int fields = 0;
+    char hemisphere = 0;
+    while (i < tokens.size() && fields < 3) {
+      const std::string& t = tokens[i];
+      if (t.size() == 1 && (t[0] == pos || t[0] == neg)) break;
+      char* end = nullptr;
+      double v = std::strtod(t.c_str(), &end);
+      if (end != t.c_str() + t.size()) return fail("loc: bad angle token '" + t + "'");
+      if (fields == 0) d = v;
+      if (fields == 1) m = v;
+      if (fields == 2) s = v;
+      ++fields;
+      ++i;
+    }
+    if (i >= tokens.size()) return fail("loc: missing hemisphere");
+    hemisphere = tokens[i][0];
+    if (tokens[i].size() != 1 || (hemisphere != pos && hemisphere != neg))
+      return fail("loc: bad hemisphere '" + tokens[i] + "'");
+    ++i;
+    double angle = d + m / 60.0 + s / 3600.0;
+    return hemisphere == pos ? angle : -angle;
+  };
+
+  auto take_meters = [&](std::size_t& i, double fallback) -> Result<double> {
+    if (i >= tokens.size()) return fallback;
+    std::string t = tokens[i];
+    if (!t.empty() && t.back() == 'm') t.pop_back();
+    char* end = nullptr;
+    double v = std::strtod(t.c_str(), &end);
+    if (end != t.c_str() + t.size()) return fail("loc: bad metric token '" + tokens[i] + "'");
+    ++i;
+    return v;
+  };
+
+  std::size_t i = 0;
+  auto lat = take_angle(i, 'N', 'S');
+  if (!lat.ok()) return lat.error();
+  auto lon = take_angle(i, 'E', 'W');
+  if (!lon.ok()) return lon.error();
+  auto alt = take_meters(i, 0.0);
+  if (!alt.ok()) return alt.error();
+  auto size_m = take_meters(i, 1.0);
+  if (!size_m.ok()) return size_m.error();
+  auto hp = take_meters(i, 10000.0);
+  if (!hp.ok()) return hp.error();
+  auto vp = take_meters(i, 10.0);
+  if (!vp.ok()) return vp.error();
+  return from_degrees(lat.value(), lon.value(), alt.value(), size_m.value(), hp.value(),
+                      vp.value());
+}
+
+void LocData::encode(util::ByteWriter& out) const {
+  out.u8(version);
+  out.u8(size);
+  out.u8(horiz_pre);
+  out.u8(vert_pre);
+  out.u32(latitude);
+  out.u32(longitude);
+  out.u32(altitude);
+}
+
+Result<LocData> LocData::decode(util::ByteReader& reader) {
+  LocData out;
+  auto version = reader.u8();
+  if (!version.ok()) return version.error();
+  if (version.value() != 0) return fail("loc: unsupported version");
+  out.version = version.value();
+  auto size = reader.u8();
+  auto hp = reader.u8();
+  auto vp = reader.u8();
+  auto lat = reader.u32();
+  auto lon = reader.u32();
+  auto alt = reader.u32();
+  if (!size.ok() || !hp.ok() || !vp.ok() || !lat.ok() || !lon.ok() || !alt.ok())
+    return fail("loc: truncated rdata");
+  out.size = size.value();
+  out.horiz_pre = hp.value();
+  out.vert_pre = vp.value();
+  out.latitude = lat.value();
+  out.longitude = lon.value();
+  out.altitude = alt.value();
+  return out;
+}
+
+}  // namespace sns::dns

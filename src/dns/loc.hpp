@@ -1,0 +1,53 @@
+// loc.hpp — RFC 1876 LOC record data.
+//
+// §3.2 of the paper: "LOC RRs could be one method used to encode these
+// geodetic locations". LocData stores the exact wire fields of RFC 1876
+// and converts to/from floating-point degrees/metres. Size and the two
+// precision fields use the RFC's base/exponent centimetre encoding
+// (4-bit mantissa 0-9, 4-bit power of ten).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/bytes.hpp"
+#include "util/result.hpp"
+
+namespace sns::dns {
+
+struct LocData {
+  std::uint8_t version = 0;
+  std::uint8_t size = 0x12;       // default 1m  (1e2 cm)
+  std::uint8_t horiz_pre = 0x16;  // default 10km
+  std::uint8_t vert_pre = 0x13;   // default 10m
+  std::uint32_t latitude = 1u << 31;   // thousandths of arcsec, offset 2^31
+  std::uint32_t longitude = 1u << 31;
+  std::uint32_t altitude = 10000000;   // cm, offset -100000m
+
+  /// Build from conventional units. Fails on out-of-range coordinates.
+  static util::Result<LocData> from_degrees(double lat_deg, double lon_deg, double alt_m = 0.0,
+                                            double size_m = 1.0, double horiz_pre_m = 10000.0,
+                                            double vert_pre_m = 10.0);
+
+  [[nodiscard]] double latitude_degrees() const;
+  [[nodiscard]] double longitude_degrees() const;
+  [[nodiscard]] double altitude_meters() const;
+  [[nodiscard]] double size_meters() const;
+  [[nodiscard]] double horiz_precision_meters() const;
+  [[nodiscard]] double vert_precision_meters() const;
+
+  /// RFC 1876 presentation: "38 53 50.616 N 77 2 14.640 W 15.00m 1m ...".
+  [[nodiscard]] std::string to_string() const;
+  static util::Result<LocData> parse(std::span<const std::string> tokens);
+
+  void encode(util::ByteWriter& out) const;
+  static util::Result<LocData> decode(util::ByteReader& reader);
+
+  friend bool operator==(const LocData&, const LocData&) = default;
+};
+
+/// RFC 1876 size/precision byte: mantissa (0-9) * 10^exponent centimetres.
+std::uint8_t encode_loc_size(double meters);
+double decode_loc_size(std::uint8_t encoded);
+
+}  // namespace sns::dns

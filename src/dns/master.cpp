@@ -1,0 +1,235 @@
+#include "dns/master.hpp"
+
+#include <cctype>
+#include <charconv>
+
+#include "util/strings.hpp"
+
+namespace sns::dns {
+
+using util::fail;
+using util::Result;
+
+namespace {
+
+/// Tokenise one logical line: handles quoted strings (kept with their
+/// quotes so rdata parsers can distinguish) and strips comments.
+std::vector<std::string> tokenize(std::string_view line) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    char c = line[i];
+    if (c == ';') break;  // comment to end of line
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+    if (c == '"') {
+      std::size_t close = line.find('"', i + 1);
+      if (close == std::string_view::npos) close = line.size() - 1;
+      out.emplace_back(line.substr(i, close - i + 1));
+      i = close + 1;
+      continue;
+    }
+    std::size_t start = i;
+    while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i])) == 0 &&
+           line[i] != ';')
+      ++i;
+    out.emplace_back(line.substr(start, i - start));
+  }
+  return out;
+}
+
+bool parse_ttl_token(const std::string& token, std::uint32_t& ttl) {
+  if (token.empty() || std::isdigit(static_cast<unsigned char>(token[0])) == 0) return false;
+  std::uint32_t value = 0;
+  auto [ptr, ec] = std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec != std::errc{}) return false;
+  std::string_view rest(ptr, static_cast<std::size_t>(token.data() + token.size() - ptr));
+  std::uint32_t multiplier = 1;
+  if (rest.empty())
+    multiplier = 1;
+  else if (rest == "s" || rest == "S")
+    multiplier = 1;
+  else if (rest == "m" || rest == "M")
+    multiplier = 60;
+  else if (rest == "h" || rest == "H")
+    multiplier = 3600;
+  else if (rest == "d" || rest == "D")
+    multiplier = 86400;
+  else if (rest == "w" || rest == "W")
+    multiplier = 604800;
+  else
+    return false;
+  ttl = value * multiplier;
+  return true;
+}
+
+Result<Name> resolve_name(const std::string& token, const Name& origin) {
+  if (token == "@") return origin;
+  if (!token.empty() && token.back() == '.') return Name::parse(token);
+  auto relative = Name::parse(token);
+  if (!relative.ok()) return relative.error();
+  return relative.value().concat(origin);
+}
+
+}  // namespace
+
+Result<std::vector<ResourceRecord>> parse_master_file(std::string_view text,
+                                                      const Name& default_origin) {
+  std::vector<ResourceRecord> out;
+  Name origin = default_origin;
+  std::uint32_t default_ttl = 3600;
+  Name last_owner = origin;
+  bool have_owner = false;
+
+  // Merge parenthesised continuations into logical lines first.
+  std::vector<std::pair<std::size_t, std::string>> logical;  // (line number, text)
+  {
+    std::size_t lineno = 0;
+    std::string pending;
+    std::size_t pending_line = 0;
+    int depth = 0;
+    for (auto& raw : util::split(text, '\n')) {
+      ++lineno;
+      std::string line = raw;
+      // Strip comments before counting parentheses (a ';' may hide one).
+      std::size_t semicolon = line.find(';');
+      std::string effective = semicolon == std::string::npos ? line : line.substr(0, semicolon);
+      for (char c : effective) {
+        if (c == '(') ++depth;
+        if (c == ')') --depth;
+      }
+      if (pending.empty()) pending_line = lineno;
+      pending += effective;
+      pending += ' ';
+      if (depth == 0) {
+        logical.emplace_back(pending_line, pending);
+        pending.clear();
+      }
+    }
+    if (depth != 0) return fail("master: unbalanced parentheses");
+  }
+
+  for (auto& [lineno, line] : logical) {
+    // Remove the parentheses themselves; they only group lines.
+    std::string cleaned;
+    cleaned.reserve(line.size());
+    for (char c : line)
+      if (c != '(' && c != ')') cleaned.push_back(c);
+
+    bool owner_omitted =
+        !cleaned.empty() && std::isspace(static_cast<unsigned char>(cleaned[0])) != 0;
+    auto tokens = tokenize(cleaned);
+    if (tokens.empty()) continue;
+
+    auto error_at = [&](const std::string& what) {
+      return fail("master line " + std::to_string(lineno) + ": " + what);
+    };
+
+    if (tokens[0] == "$ORIGIN") {
+      if (tokens.size() < 2) return error_at("$ORIGIN needs a name");
+      auto parsed = Name::parse(tokens[1]);
+      if (!parsed.ok()) return error_at(parsed.error().message);
+      origin = std::move(parsed).value();
+      continue;
+    }
+    if (tokens[0] == "$TTL") {
+      if (tokens.size() < 2 || !parse_ttl_token(tokens[1], default_ttl))
+        return error_at("$TTL needs a duration");
+      continue;
+    }
+
+    std::size_t i = 0;
+    Name owner = last_owner;
+    if (owner_omitted) {
+      if (!have_owner) return error_at("first record cannot omit its owner");
+    } else {
+      auto parsed = resolve_name(tokens[i], origin);
+      if (!parsed.ok()) return error_at(parsed.error().message);
+      owner = std::move(parsed).value();
+      ++i;
+    }
+
+    std::uint32_t ttl = default_ttl;
+    RRClass klass = RRClass::IN;
+    // TTL and class may appear in either order before the type.
+    for (int pass = 0; pass < 2 && i < tokens.size(); ++pass) {
+      if (parse_ttl_token(tokens[i], ttl)) {
+        ++i;
+      } else if (util::iequals(tokens[i], "IN")) {
+        klass = RRClass::IN;
+        ++i;
+      }
+    }
+    if (i >= tokens.size()) return error_at("missing record type");
+
+    auto type = rrtype_from_string(tokens[i]);
+    if (!type.ok()) return error_at(type.error().message);
+    ++i;
+
+    std::vector<std::string> rdata_tokens(tokens.begin() + static_cast<std::ptrdiff_t>(i),
+                                          tokens.end());
+    // Resolve relative names in rdata against the origin by handing the
+    // token parser absolute names: for name-bearing fields we append the
+    // origin when the token lacks a trailing dot.
+    switch (type.value()) {
+      case RRType::NS:
+      case RRType::CNAME:
+      case RRType::PTR: {
+        if (!rdata_tokens.empty() && rdata_tokens[0] != "@" && rdata_tokens[0].back() != '.') {
+          auto absolute = resolve_name(rdata_tokens[0], origin);
+          if (!absolute.ok()) return error_at(absolute.error().message);
+          rdata_tokens[0] = absolute.value().to_string() + ".";
+        } else if (!rdata_tokens.empty() && rdata_tokens[0] == "@") {
+          rdata_tokens[0] = origin.to_string() + ".";
+        }
+        break;
+      }
+      case RRType::SOA: {
+        for (std::size_t f = 0; f < 2 && f < rdata_tokens.size(); ++f) {
+          if (rdata_tokens[f] == "@") {
+            rdata_tokens[f] = origin.to_string() + ".";
+          } else if (rdata_tokens[f].back() != '.') {
+            auto absolute = resolve_name(rdata_tokens[f], origin);
+            if (!absolute.ok()) return error_at(absolute.error().message);
+            rdata_tokens[f] = absolute.value().to_string() + ".";
+          }
+        }
+        break;
+      }
+      case RRType::SRV:
+      case RRType::MX: {
+        std::size_t name_field = type.value() == RRType::SRV ? 3 : 1;
+        if (rdata_tokens.size() > name_field && rdata_tokens[name_field] != "@" &&
+            rdata_tokens[name_field].back() != '.') {
+          auto absolute = resolve_name(rdata_tokens[name_field], origin);
+          if (!absolute.ok()) return error_at(absolute.error().message);
+          rdata_tokens[name_field] = absolute.value().to_string() + ".";
+        }
+        break;
+      }
+      default:
+        break;
+    }
+
+    auto rdata = rdata_from_tokens(type.value(), rdata_tokens);
+    if (!rdata.ok()) return error_at(rdata.error().message);
+
+    out.push_back(ResourceRecord{owner, type.value(), klass, ttl, std::move(rdata).value()});
+    last_owner = owner;
+    have_owner = true;
+  }
+  return out;
+}
+
+std::string to_master_file(std::span<const ResourceRecord> records) {
+  std::string out;
+  for (const auto& rr : records) {
+    out += rr.name.to_string() + ". " + std::to_string(rr.ttl) + " " + to_string(rr.klass) + " " +
+           to_string(rr.type) + " " + rdata_to_string(rr.rdata) + "\n";
+  }
+  return out;
+}
+
+}  // namespace sns::dns

@@ -1,0 +1,33 @@
+// master.hpp — RFC 1035 §5 master-file (zone file) parser & writer.
+//
+// Supports $ORIGIN and $TTL directives, `@` for the origin, relative
+// names, omitted owner (repeat previous), omitted TTL/class,
+// parenthesised multi-line records (SOA style) and `;` comments — plus
+// the SNS extended type mnemonics, so a spatial zone can be written as
+// an ordinary-looking zone file:
+//
+//   $ORIGIN oval-office.1600.penn-ave.washington.dc.usa.loc.
+//   $TTL 300
+//   @        IN SOA  ns hostmaster 1 3600 600 86400 60
+//   mic      IN BDADDR 01:23:45:67:89:ab
+//   mic      IN WIFI  "wh-iot" 192.0.3.10
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dns/record.hpp"
+#include "util/result.hpp"
+
+namespace sns::dns {
+
+/// Parse a complete master file. `default_origin` applies until a
+/// $ORIGIN directive appears.
+util::Result<std::vector<ResourceRecord>> parse_master_file(std::string_view text,
+                                                            const Name& default_origin);
+
+/// Serialise records to master-file text (absolute names, explicit TTLs).
+std::string to_master_file(std::span<const ResourceRecord> records);
+
+}  // namespace sns::dns

@@ -1,0 +1,183 @@
+#include "dns/message.hpp"
+
+namespace sns::dns {
+
+using util::fail;
+using util::Result;
+
+std::string Question::to_string() const {
+  return name.to_string() + " " + dns::to_string(klass) + " " + dns::to_string(type);
+}
+
+namespace {
+
+constexpr std::uint16_t kQrBit = 0x8000;
+constexpr std::uint16_t kAaBit = 0x0400;
+constexpr std::uint16_t kTcBit = 0x0200;
+constexpr std::uint16_t kRdBit = 0x0100;
+constexpr std::uint16_t kRaBit = 0x0080;
+constexpr std::uint16_t kAdBit = 0x0020;
+
+std::uint16_t pack_flags(const Header& h) {
+  std::uint16_t flags = 0;
+  if (h.qr) flags |= kQrBit;
+  flags |= static_cast<std::uint16_t>((static_cast<std::uint16_t>(h.opcode) & 0xf) << 11);
+  if (h.aa) flags |= kAaBit;
+  if (h.tc) flags |= kTcBit;
+  if (h.rd) flags |= kRdBit;
+  if (h.ra) flags |= kRaBit;
+  if (h.ad) flags |= kAdBit;
+  flags |= static_cast<std::uint16_t>(static_cast<std::uint16_t>(h.rcode) & 0xf);
+  return flags;
+}
+
+Header unpack_flags(std::uint16_t id, std::uint16_t flags) {
+  Header h;
+  h.id = id;
+  h.qr = (flags & kQrBit) != 0;
+  h.opcode = static_cast<Opcode>((flags >> 11) & 0xf);
+  h.aa = (flags & kAaBit) != 0;
+  h.tc = (flags & kTcBit) != 0;
+  h.rd = (flags & kRdBit) != 0;
+  h.ra = (flags & kRaBit) != 0;
+  h.ad = (flags & kAdBit) != 0;
+  h.rcode = static_cast<Rcode>(flags & 0xf);
+  return h;
+}
+
+}  // namespace
+
+util::Bytes Message::encode() const {
+  util::ByteWriter out;
+  NameCompressor compressor;
+  out.u16(header.id);
+  out.u16(pack_flags(header));
+  out.u16(static_cast<std::uint16_t>(questions.size()));
+  out.u16(static_cast<std::uint16_t>(answers.size()));
+  out.u16(static_cast<std::uint16_t>(authorities.size()));
+  out.u16(static_cast<std::uint16_t>(additionals.size()));
+  for (const auto& q : questions) {
+    q.name.encode(out, compressor);
+    out.u16(static_cast<std::uint16_t>(q.type));
+    out.u16(static_cast<std::uint16_t>(q.klass));
+  }
+  for (const auto& rr : answers) rr.encode(out, &compressor);
+  for (const auto& rr : authorities) rr.encode(out, &compressor);
+  for (const auto& rr : additionals) rr.encode(out, &compressor);
+  return std::move(out).take();
+}
+
+Result<Message> Message::decode(std::span<const std::uint8_t> wire) {
+  util::ByteReader reader(wire);
+  auto id = reader.u16();
+  auto flags = reader.u16();
+  auto qdcount = reader.u16();
+  auto ancount = reader.u16();
+  auto nscount = reader.u16();
+  auto arcount = reader.u16();
+  if (!id.ok() || !flags.ok() || !qdcount.ok() || !ancount.ok() || !nscount.ok() || !arcount.ok())
+    return fail("message: truncated header");
+
+  Message msg;
+  msg.header = unpack_flags(id.value(), flags.value());
+
+  for (std::uint16_t i = 0; i < qdcount.value(); ++i) {
+    Question q;
+    auto name = Name::decode(reader);
+    if (!name.ok()) return fail("question: " + name.error().message);
+    q.name = std::move(name).value();
+    auto type = reader.u16();
+    auto klass = reader.u16();
+    if (!type.ok() || !klass.ok()) return fail("question: truncated");
+    q.type = static_cast<RRType>(type.value());
+    q.klass = static_cast<RRClass>(klass.value());
+    msg.questions.push_back(std::move(q));
+  }
+
+  auto read_section = [&](std::uint16_t count,
+                          std::vector<ResourceRecord>& section) -> util::Status {
+    for (std::uint16_t i = 0; i < count; ++i) {
+      auto rr = ResourceRecord::decode(reader);
+      if (!rr.ok()) return rr.error();
+      section.push_back(std::move(rr).value());
+    }
+    return util::ok_status();
+  };
+  if (auto s = read_section(ancount.value(), msg.answers); !s.ok()) return s.error();
+  if (auto s = read_section(nscount.value(), msg.authorities); !s.ok()) return s.error();
+  if (auto s = read_section(arcount.value(), msg.additionals); !s.ok()) return s.error();
+  return msg;
+}
+
+std::string Message::to_string() const {
+  std::string out;
+  out += ";; " + dns::to_string(header.opcode) + " id=" + std::to_string(header.id) +
+         " rcode=" + dns::to_string(header.rcode);
+  if (header.qr) out += " qr";
+  if (header.aa) out += " aa";
+  if (header.rd) out += " rd";
+  if (header.ra) out += " ra";
+  if (header.ad) out += " ad";
+  out += "\n";
+  for (const auto& q : questions) out += ";; question: " + q.to_string() + "\n";
+  for (const auto& rr : answers) out += rr.to_string() + "\n";
+  if (!authorities.empty()) {
+    out += ";; authority:\n";
+    for (const auto& rr : authorities) out += rr.to_string() + "\n";
+  }
+  if (!additionals.empty()) {
+    out += ";; additional:\n";
+    for (const auto& rr : additionals) out += rr.to_string() + "\n";
+  }
+  return out;
+}
+
+Message make_query(std::uint16_t id, const Name& name, RRType type, bool recursion_desired) {
+  Message msg;
+  msg.header.id = id;
+  msg.header.rd = recursion_desired;
+  msg.questions.push_back(Question{name, type, RRClass::IN});
+  return msg;
+}
+
+Message make_response(const Message& query, Rcode rcode, bool authoritative) {
+  Message msg;
+  msg.header = query.header;
+  msg.header.qr = true;
+  msg.header.aa = authoritative;
+  msg.header.ra = false;
+  msg.header.rcode = rcode;
+  msg.questions = query.questions;
+  return msg;
+}
+
+void add_edns(Message& message, std::uint16_t udp_size) {
+  ResourceRecord opt;
+  opt.name = Name{};  // root owner per RFC 6891
+  opt.type = RRType::OPT;
+  opt.klass = static_cast<RRClass>(udp_size);
+  opt.ttl = 0;
+  opt.rdata = OptData{udp_size, {}};
+  message.additionals.push_back(std::move(opt));
+}
+
+std::size_t advertised_udp_size(const Message& message) {
+  for (const auto& rr : message.additionals)
+    if (rr.type == RRType::OPT)
+      return std::max<std::size_t>(kClassicUdpLimit,
+                                   static_cast<std::uint16_t>(rr.klass));
+  return kClassicUdpLimit;
+}
+
+util::Bytes encode_for_transport(const Message& query, Message response) {
+  std::size_t limit = advertised_udp_size(query);
+  util::Bytes wire = response.encode();
+  if (wire.size() <= limit) return wire;
+  // Too big for the client's transport: signal truncation (RFC 2181
+  // §9 behaviour — drop the partial sections entirely).
+  Message truncated = make_response(query, response.header.rcode, response.header.aa);
+  truncated.header.tc = true;
+  return truncated.encode();
+}
+
+}  // namespace sns::dns

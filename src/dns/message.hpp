@@ -1,0 +1,85 @@
+// message.hpp — complete DNS messages (RFC 1035 §4).
+//
+// Encoding applies name compression across the whole message; decoding
+// is safe on hostile input (every read is bounds-checked, compression
+// loops rejected). Query/response helpers encode the conventions the
+// rest of the system uses.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dns/name.hpp"
+#include "dns/record.hpp"
+#include "dns/type.hpp"
+#include "util/bytes.hpp"
+#include "util/result.hpp"
+
+namespace sns::dns {
+
+struct Header {
+  std::uint16_t id = 0;
+  bool qr = false;                  // response?
+  Opcode opcode = Opcode::Query;
+  bool aa = false;                  // authoritative answer
+  bool tc = false;                  // truncated
+  bool rd = true;                   // recursion desired
+  bool ra = false;                  // recursion available
+  bool ad = false;                  // authenticated data (DNSSEC)
+  Rcode rcode = Rcode::NoError;
+
+  friend bool operator==(const Header&, const Header&) = default;
+};
+
+struct Question {
+  Name name;
+  RRType type = RRType::A;
+  RRClass klass = RRClass::IN;
+
+  [[nodiscard]] std::string to_string() const;
+  friend bool operator==(const Question&, const Question&) = default;
+};
+
+struct Message {
+  Header header;
+  std::vector<Question> questions;
+  std::vector<ResourceRecord> answers;
+  std::vector<ResourceRecord> authorities;
+  std::vector<ResourceRecord> additionals;
+
+  [[nodiscard]] util::Bytes encode() const;
+  static util::Result<Message> decode(std::span<const std::uint8_t> wire);
+
+  /// Multi-line dig-style rendering for logs and examples.
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Message&, const Message&) = default;
+};
+
+/// Standard query for one (name, type).
+Message make_query(std::uint16_t id, const Name& name, RRType type, bool recursion_desired = true);
+
+/// Start a response matching `query` (copies id, opcode, question; sets
+/// qr; echoes rd; sets ra/aa per flags).
+Message make_response(const Message& query, Rcode rcode, bool authoritative);
+
+// --- EDNS0 (RFC 6891) ---------------------------------------------------
+
+/// Classic DNS-over-UDP payload limit when no OPT is present.
+constexpr std::size_t kClassicUdpLimit = 512;
+
+/// Append an OPT pseudo-record advertising `udp_size` (carried in the
+/// OPT record's CLASS field per RFC 6891).
+void add_edns(Message& message, std::uint16_t udp_size = 1232);
+
+/// Payload size the sender of `message` can accept: the OPT's CLASS
+/// value, or 512 when no OPT is present.
+std::size_t advertised_udp_size(const Message& message);
+
+/// Encode `response` respecting the querier's advertised limit: when
+/// the full encoding exceeds it, return a truncated (TC=1, empty
+/// sections) encoding instead so the client retries with EDNS/TCP.
+util::Bytes encode_for_transport(const Message& query, Message response);
+
+}  // namespace sns::dns

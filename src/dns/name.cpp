@@ -1,0 +1,213 @@
+#include "dns/name.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+#include "util/strings.hpp"
+
+namespace sns::dns {
+
+using util::fail;
+using util::Result;
+
+namespace {
+
+constexpr std::size_t kMaxLabel = 63;
+constexpr std::size_t kMaxWire = 255;
+
+bool valid_label(std::string_view label) {
+  if (label.empty() || label.size() > kMaxLabel) return false;
+  // Permissive LDH-plus: printable, no dots, no whitespace. The SNS uses
+  // hostname-style labels but we do not reject underscores (DNS-SD needs
+  // `_services._dns-sd._udp` style labels).
+  return std::all_of(label.begin(), label.end(), [](unsigned char c) {
+    return std::isgraph(c) != 0 && c != '.';
+  });
+}
+
+std::string suffix_key(const Name& name, std::size_t from_label) {
+  std::string key;
+  const auto& labels = name.labels();
+  for (std::size_t i = from_label; i < labels.size(); ++i) {
+    key += util::to_lower(labels[i]);
+    key += '.';
+  }
+  return key;
+}
+
+}  // namespace
+
+Result<Name> Name::parse(std::string_view text) {
+  text = util::trim(text);
+  if (text.empty()) return fail("name: empty string");
+  if (text == ".") return Name{};
+  if (text.back() == '.') text.remove_suffix(1);
+  Name out;
+  for (auto& label : util::split(text, '.')) {
+    if (!valid_label(label)) return fail("name: invalid label '" + label + "'");
+    out.labels_.push_back(std::move(label));
+  }
+  if (out.wire_length() > kMaxWire) return fail("name: exceeds 255 octets");
+  return out;
+}
+
+Result<Name> Name::from_labels(std::vector<std::string> labels) {
+  Name out;
+  for (auto& label : labels) {
+    if (!valid_label(label)) return fail("name: invalid label '" + label + "'");
+    out.labels_.push_back(std::move(label));
+  }
+  if (out.wire_length() > kMaxWire) return fail("name: exceeds 255 octets");
+  return out;
+}
+
+std::string Name::to_string() const {
+  if (labels_.empty()) return ".";
+  return util::join(labels_, ".");
+}
+
+std::size_t Name::wire_length() const noexcept {
+  std::size_t total = 1;  // terminal zero octet
+  for (const auto& label : labels_) total += 1 + label.size();
+  return total;
+}
+
+bool Name::is_subdomain_of(const Name& ancestor) const {
+  if (ancestor.labels_.size() > labels_.size()) return false;
+  std::size_t offset = labels_.size() - ancestor.labels_.size();
+  for (std::size_t i = 0; i < ancestor.labels_.size(); ++i)
+    if (!util::iequals(labels_[offset + i], ancestor.labels_[i])) return false;
+  return true;
+}
+
+Name Name::parent() const {
+  Name out;
+  out.labels_.assign(labels_.begin() + 1, labels_.end());
+  return out;
+}
+
+Result<Name> Name::prepend(std::string_view label) const {
+  if (!valid_label(label)) return fail("name: invalid label '" + std::string(label) + "'");
+  Name out;
+  out.labels_.reserve(labels_.size() + 1);
+  out.labels_.emplace_back(label);
+  out.labels_.insert(out.labels_.end(), labels_.begin(), labels_.end());
+  if (out.wire_length() > kMaxWire) return fail("name: exceeds 255 octets");
+  return out;
+}
+
+Result<Name> Name::concat(const Name& suffix) const {
+  Name out;
+  out.labels_ = labels_;
+  out.labels_.insert(out.labels_.end(), suffix.labels_.begin(), suffix.labels_.end());
+  if (out.wire_length() > kMaxWire) return fail("name: concatenation exceeds 255 octets");
+  return out;
+}
+
+std::optional<Name> Name::strip_suffix(const Name& suffix) const {
+  if (!is_subdomain_of(suffix)) return std::nullopt;
+  Name out;
+  out.labels_.assign(labels_.begin(),
+                     labels_.end() - static_cast<std::ptrdiff_t>(suffix.labels_.size()));
+  return out;
+}
+
+void Name::encode(util::ByteWriter& out) const {
+  for (const auto& label : labels_) {
+    out.u8(static_cast<std::uint8_t>(label.size()));
+    out.raw(label);
+  }
+  out.u8(0);
+}
+
+void Name::encode(util::ByteWriter& out, NameCompressor& compressor) const {
+  for (std::size_t i = 0; i < labels_.size(); ++i) {
+    if (auto pointer = compressor.find(*this, i)) {
+      out.u16(static_cast<std::uint16_t>(0xc000 | *pointer));
+      return;
+    }
+    compressor.remember(*this, i, out.size());
+    out.u8(static_cast<std::uint8_t>(labels_[i].size()));
+    out.raw(labels_[i]);
+  }
+  out.u8(0);
+}
+
+Result<Name> Name::decode(util::ByteReader& reader) {
+  Name out;
+  std::size_t total = 0;
+  int pointers_followed = 0;
+  std::optional<std::size_t> resume_at;  // position after the first pointer
+
+  while (true) {
+    auto len = reader.u8();
+    if (!len.ok()) return fail("name: " + len.error().message);
+    std::uint8_t l = len.value();
+    if (l == 0) break;
+    if ((l & 0xc0) == 0xc0) {
+      auto low = reader.u8();
+      if (!low.ok()) return fail("name: truncated compression pointer");
+      std::size_t target = static_cast<std::size_t>((l & 0x3f) << 8) | low.value();
+      if (!resume_at.has_value()) resume_at = reader.position();
+      // Pointers must go strictly backwards to rule out loops; also cap
+      // the chain length defensively.
+      if (target >= reader.position() - 2 && pointers_followed == 0)
+        return fail("name: forward compression pointer");
+      if (++pointers_followed > 32) return fail("name: compression pointer loop");
+      if (auto s = reader.seek(target); !s.ok()) return fail("name: bad pointer target");
+      continue;
+    }
+    if ((l & 0xc0) != 0) return fail("name: reserved label type");
+    auto label = reader.string(l);
+    if (!label.ok()) return fail("name: truncated label");
+    total += 1 + label.value().size();
+    if (total + 1 > kMaxWire) return fail("name: exceeds 255 octets");
+    out.labels_.push_back(std::move(label.value()));
+  }
+  if (resume_at.has_value()) {
+    if (auto s = reader.seek(*resume_at); !s.ok()) return fail("name: bad resume position");
+  }
+  return out;
+}
+
+bool operator==(const Name& a, const Name& b) {
+  return (a <=> b) == std::strong_ordering::equal;
+}
+
+std::strong_ordering operator<=>(const Name& a, const Name& b) {
+  // Canonical order: compare from the rightmost label.
+  std::size_t na = a.labels_.size(), nb = b.labels_.size();
+  std::size_t common = std::min(na, nb);
+  for (std::size_t i = 1; i <= common; ++i) {
+    const std::string& la = a.labels_[na - i];
+    const std::string& lb = b.labels_[nb - i];
+    std::size_t len = std::min(la.size(), lb.size());
+    for (std::size_t j = 0; j < len; ++j) {
+      auto ca = static_cast<unsigned char>(std::tolower(static_cast<unsigned char>(la[j])));
+      auto cb = static_cast<unsigned char>(std::tolower(static_cast<unsigned char>(lb[j])));
+      if (ca != cb) return ca <=> cb;
+    }
+    if (la.size() != lb.size()) return la.size() <=> lb.size();
+  }
+  return na <=> nb;
+}
+
+std::optional<std::uint16_t> NameCompressor::find(const Name& name, std::size_t from_label) const {
+  auto it = offsets_.find(suffix_key(name, from_label));
+  if (it == offsets_.end()) return std::nullopt;
+  return it->second;
+}
+
+void NameCompressor::remember(const Name& name, std::size_t from_label, std::size_t offset) {
+  if (offset > 0x3fff) return;  // beyond pointer reach
+  offsets_.emplace(suffix_key(name, from_label), static_cast<std::uint16_t>(offset));
+}
+
+Name name_of(std::string_view text) {
+  auto parsed = Name::parse(text);
+  if (!parsed.ok()) std::abort();
+  return std::move(parsed).value();
+}
+
+}  // namespace sns::dns

@@ -1,0 +1,104 @@
+// name.hpp — DNS domain names (RFC 1035 §3.1) with compression.
+//
+// Spatial names in the SNS *are* domain names (§2.3 of the paper), so
+// this type is the common currency of the whole system:
+// `mic.oval-office.1600.penn-ave.washington.dc.usa.loc` is a Name with
+// eight labels. Names compare and sort case-insensitively in canonical
+// DNS order (by label, right to left), which the zone store and NSEC3
+// chain rely on.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <map>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/bytes.hpp"
+#include "util/result.hpp"
+
+namespace sns::dns {
+
+class NameCompressor;
+
+class Name {
+ public:
+  /// The root name (zero labels).
+  Name() = default;
+
+  /// Parse presentation format. A trailing dot is accepted and ignored;
+  /// all names are treated as fully qualified. "." parses to the root.
+  /// Enforces RFC limits: labels 1..63 octets, total wire length <= 255.
+  static util::Result<Name> parse(std::string_view text);
+
+  /// Build from labels, leftmost (most specific) first.
+  static util::Result<Name> from_labels(std::vector<std::string> labels);
+
+  [[nodiscard]] const std::vector<std::string>& labels() const noexcept { return labels_; }
+  [[nodiscard]] std::size_t label_count() const noexcept { return labels_.size(); }
+  [[nodiscard]] bool is_root() const noexcept { return labels_.empty(); }
+
+  /// Presentation form; root prints as ".". No trailing dot otherwise.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Wire length in octets (labels + length bytes + terminal zero).
+  [[nodiscard]] std::size_t wire_length() const noexcept;
+
+  /// True if this name equals `ancestor` or is beneath it.
+  [[nodiscard]] bool is_subdomain_of(const Name& ancestor) const;
+
+  /// Drop the leftmost label. Precondition: !is_root().
+  [[nodiscard]] Name parent() const;
+
+  /// Prepend a single label. Fails on invalid label or overflow.
+  [[nodiscard]] util::Result<Name> prepend(std::string_view label) const;
+
+  /// Concatenate: this name (relative part) followed by `suffix`.
+  [[nodiscard]] util::Result<Name> concat(const Name& suffix) const;
+
+  /// Strip `suffix` from the right; nullopt if not a suffix of this.
+  [[nodiscard]] std::optional<Name> strip_suffix(const Name& suffix) const;
+
+  /// Wire encode without compression.
+  void encode(util::ByteWriter& out) const;
+  /// Wire encode using (and updating) the message-wide compressor.
+  void encode(util::ByteWriter& out, NameCompressor& compressor) const;
+
+  /// Wire decode, chasing compression pointers through the whole
+  /// message buffer. The reader must be positioned at the name; on
+  /// success it is positioned just past the name's in-place bytes.
+  static util::Result<Name> decode(util::ByteReader& reader);
+
+  /// Case-insensitive equality.
+  friend bool operator==(const Name& a, const Name& b);
+  /// Canonical DNS ordering (RFC 4034 §6.1): label-by-label, rightmost
+  /// label most significant, case-insensitive.
+  friend std::strong_ordering operator<=>(const Name& a, const Name& b);
+
+ private:
+  std::vector<std::string> labels_;
+};
+
+/// Per-message state for RFC 1035 §4.1.4 name compression. Tracks the
+/// offset of every name (and tail) already written; emits a pointer when
+/// a suffix match is found. Pointers can only address the first 0x3FFF
+/// octets, so later occurrences are written in full.
+class NameCompressor {
+ public:
+  /// Record/lookup happens inside Name::encode; users just pass the
+  /// same compressor for every name of one message.
+  std::optional<std::uint16_t> find(const Name& name, std::size_t from_label) const;
+  void remember(const Name& name, std::size_t from_label, std::size_t offset);
+
+ private:
+  // Key: lowercase presentation of the suffix starting at from_label.
+  std::map<std::string, std::uint16_t> offsets_;
+};
+
+/// Convenience for literals in tests/examples: aborts on invalid input.
+Name name_of(std::string_view text);
+
+}  // namespace sns::dns

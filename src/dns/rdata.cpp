@@ -1,0 +1,708 @@
+#include "dns/rdata.hpp"
+
+#include <algorithm>
+#include <array>
+#include <charconv>
+#include <map>
+
+#include "util/strings.hpp"
+
+namespace sns::dns {
+
+using util::Bytes;
+using util::ByteReader;
+using util::ByteWriter;
+using util::fail;
+using util::Result;
+
+RRType rdata_type(const Rdata& rdata) {
+  struct Visitor {
+    RRType operator()(const AData&) const { return RRType::A; }
+    RRType operator()(const AaaaData&) const { return RRType::AAAA; }
+    RRType operator()(const NsData&) const { return RRType::NS; }
+    RRType operator()(const CnameData&) const { return RRType::CNAME; }
+    RRType operator()(const SoaData&) const { return RRType::SOA; }
+    RRType operator()(const PtrData&) const { return RRType::PTR; }
+    RRType operator()(const MxData&) const { return RRType::MX; }
+    RRType operator()(const TxtData&) const { return RRType::TXT; }
+    RRType operator()(const SrvData&) const { return RRType::SRV; }
+    RRType operator()(const LocData&) const { return RRType::LOC; }
+    RRType operator()(const SshfpData&) const { return RRType::SSHFP; }
+    RRType operator()(const OptData&) const { return RRType::OPT; }
+    RRType operator()(const RrsigData&) const { return RRType::RRSIG; }
+    RRType operator()(const DnskeyData&) const { return RRType::DNSKEY; }
+    RRType operator()(const Nsec3Data&) const { return RRType::NSEC3; }
+    RRType operator()(const TsigData&) const { return RRType::TSIG; }
+    RRType operator()(const BdaddrData&) const { return RRType::BDADDR; }
+    RRType operator()(const WifiData&) const { return RRType::WIFI; }
+    RRType operator()(const LoraData&) const { return RRType::LORA; }
+    RRType operator()(const DtmfData&) const { return RRType::DTMF; }
+    RRType operator()(const RawData&) const { return RRType::ANY; }
+  };
+  return std::visit(Visitor{}, rdata);
+}
+
+namespace {
+
+void encode_character_string(ByteWriter& out, std::string_view s) {
+  // Truncation is a caller bug; enforce the wire limit defensively.
+  std::size_t n = std::min<std::size_t>(s.size(), 255);
+  out.u8(static_cast<std::uint8_t>(n));
+  out.raw(s.substr(0, n));
+}
+
+Result<std::string> decode_character_string(ByteReader& reader) {
+  auto len = reader.u8();
+  if (!len.ok()) return len.error();
+  return reader.string(len.value());
+}
+
+}  // namespace
+
+void encode_rdata(const Rdata& rdata, ByteWriter& out, NameCompressor* compressor) {
+  auto put_name = [&](const Name& name, bool compressible) {
+    if (compressible && compressor != nullptr)
+      name.encode(out, *compressor);
+    else
+      name.encode(out);
+  };
+
+  struct Visitor {
+    ByteWriter& out;
+    decltype(put_name)& put_name_fn;
+
+    void operator()(const AData& d) const { out.raw(std::span(d.address.octets)); }
+    void operator()(const AaaaData& d) const { out.raw(std::span(d.address.octets)); }
+    void operator()(const NsData& d) const { put_name_fn(d.nameserver, true); }
+    void operator()(const CnameData& d) const { put_name_fn(d.target, true); }
+    void operator()(const SoaData& d) const {
+      put_name_fn(d.mname, true);
+      put_name_fn(d.rname, true);
+      out.u32(d.serial);
+      out.u32(d.refresh);
+      out.u32(d.retry);
+      out.u32(d.expire);
+      out.u32(d.minimum);
+    }
+    void operator()(const PtrData& d) const { put_name_fn(d.target, true); }
+    void operator()(const MxData& d) const {
+      out.u16(d.preference);
+      put_name_fn(d.exchange, true);
+    }
+    void operator()(const TxtData& d) const {
+      if (d.strings.empty()) {
+        encode_character_string(out, "");
+        return;
+      }
+      for (const auto& s : d.strings) encode_character_string(out, s);
+    }
+    void operator()(const SrvData& d) const {
+      out.u16(d.priority);
+      out.u16(d.weight);
+      out.u16(d.port);
+      put_name_fn(d.target, false);  // RFC 2782: no compression
+    }
+    void operator()(const LocData& d) const { d.encode(out); }
+    void operator()(const SshfpData& d) const {
+      out.u8(d.algorithm);
+      out.u8(d.fp_type);
+      out.raw(std::span(d.fingerprint));
+    }
+    void operator()(const OptData& d) const { out.raw(std::span(d.options)); }
+    void operator()(const RrsigData& d) const {
+      out.u16(static_cast<std::uint16_t>(d.type_covered));
+      out.u8(d.algorithm);
+      out.u8(d.labels);
+      out.u32(d.original_ttl);
+      out.u32(d.expiration);
+      out.u32(d.inception);
+      out.u16(d.key_tag);
+      put_name_fn(d.signer, false);  // RFC 4034: no compression
+      out.raw(std::span(d.signature));
+    }
+    void operator()(const DnskeyData& d) const {
+      out.u16(d.flags);
+      out.u8(d.protocol);
+      out.u8(d.algorithm);
+      out.raw(std::span(d.public_key));
+    }
+    void operator()(const Nsec3Data& d) const {
+      out.u8(d.hash_algorithm);
+      out.u8(d.flags);
+      out.u16(d.iterations);
+      out.u8(static_cast<std::uint8_t>(d.salt.size()));
+      out.raw(std::span(d.salt));
+      out.u8(static_cast<std::uint8_t>(d.next_hashed_owner.size()));
+      out.raw(std::span(d.next_hashed_owner));
+      // Type bitmap (RFC 4034 §4.1.2): window blocks.
+      std::map<std::uint8_t, std::array<std::uint8_t, 32>> windows;
+      for (RRType t : d.types) {
+        auto v = static_cast<std::uint16_t>(t);
+        auto window = static_cast<std::uint8_t>(v >> 8);
+        auto low = static_cast<std::uint8_t>(v & 0xff);
+        windows[window][low / 8] |= static_cast<std::uint8_t>(0x80 >> (low % 8));
+      }
+      for (const auto& [window, bitmap] : windows) {
+        std::uint8_t len = 32;
+        while (len > 0 && bitmap[len - 1] == 0) --len;
+        if (len == 0) continue;
+        out.u8(window);
+        out.u8(len);
+        out.raw(std::span(bitmap.data(), len));
+      }
+    }
+    void operator()(const TsigData& d) const {
+      put_name_fn(d.algorithm, false);
+      out.u16(static_cast<std::uint16_t>(d.time_signed >> 32));
+      out.u32(static_cast<std::uint32_t>(d.time_signed & 0xffffffff));
+      out.u16(d.fudge);
+      out.u16(static_cast<std::uint16_t>(d.mac.size()));
+      out.raw(std::span(d.mac));
+      out.u16(d.original_id);
+      out.u16(d.error);
+      out.u16(static_cast<std::uint16_t>(d.other.size()));
+      out.raw(std::span(d.other));
+    }
+    void operator()(const BdaddrData& d) const { out.raw(std::span(d.address.octets)); }
+    void operator()(const WifiData& d) const {
+      encode_character_string(out, d.ssid);
+      out.raw(std::span(d.address.octets));
+    }
+    void operator()(const LoraData& d) const {
+      put_name_fn(d.gateway, false);  // new types must not compress (RFC 3597)
+      out.u32(d.devaddr.value);
+    }
+    void operator()(const DtmfData& d) const { encode_character_string(out, d.tone.digits); }
+    void operator()(const RawData& d) const { out.raw(std::span(d.bytes)); }
+  };
+  std::visit(Visitor{out, put_name}, rdata);
+}
+
+Result<Rdata> decode_rdata(RRType type, ByteReader& reader, std::size_t rdlength) {
+  std::size_t end = reader.position() + rdlength;
+  if (end > reader.buffer().size()) return fail("rdata: rdlength exceeds message");
+
+  // Empty RDATA is legal on the wire for RFC 2136 delete operations
+  // (class ANY/NONE with RDLENGTH 0) regardless of type.
+  if (rdlength == 0 && type != RRType::TXT) return Rdata{RawData{}};
+
+  auto finish = [&](Rdata value) -> Result<Rdata> {
+    if (reader.position() != end) return fail("rdata: length mismatch for " + to_string(type));
+    return value;
+  };
+
+  switch (type) {
+    case RRType::A: {
+      auto bytes = reader.bytes(4);
+      if (!bytes.ok()) return bytes.error();
+      net::Ipv4Addr a;
+      std::copy(bytes.value().begin(), bytes.value().end(), a.octets.begin());
+      return finish(AData{a});
+    }
+    case RRType::AAAA: {
+      auto bytes = reader.bytes(16);
+      if (!bytes.ok()) return bytes.error();
+      net::Ipv6Addr a;
+      std::copy(bytes.value().begin(), bytes.value().end(), a.octets.begin());
+      return finish(AaaaData{a});
+    }
+    case RRType::NS: {
+      auto name = Name::decode(reader);
+      if (!name.ok()) return name.error();
+      return finish(NsData{std::move(name).value()});
+    }
+    case RRType::CNAME: {
+      auto name = Name::decode(reader);
+      if (!name.ok()) return name.error();
+      return finish(CnameData{std::move(name).value()});
+    }
+    case RRType::SOA: {
+      auto mname = Name::decode(reader);
+      if (!mname.ok()) return mname.error();
+      auto rname = Name::decode(reader);
+      if (!rname.ok()) return rname.error();
+      SoaData soa{std::move(mname).value(), std::move(rname).value(), 0, 0, 0, 0, 0};
+      auto serial = reader.u32(), refresh = reader.u32(), retry = reader.u32(),
+           expire = reader.u32(), minimum = reader.u32();
+      if (!serial.ok() || !refresh.ok() || !retry.ok() || !expire.ok() || !minimum.ok())
+        return fail("rdata: truncated SOA");
+      soa.serial = serial.value();
+      soa.refresh = refresh.value();
+      soa.retry = retry.value();
+      soa.expire = expire.value();
+      soa.minimum = minimum.value();
+      return finish(std::move(soa));
+    }
+    case RRType::PTR: {
+      auto name = Name::decode(reader);
+      if (!name.ok()) return name.error();
+      return finish(PtrData{std::move(name).value()});
+    }
+    case RRType::MX: {
+      auto pref = reader.u16();
+      if (!pref.ok()) return pref.error();
+      auto name = Name::decode(reader);
+      if (!name.ok()) return name.error();
+      return finish(MxData{pref.value(), std::move(name).value()});
+    }
+    case RRType::TXT: {
+      TxtData txt;
+      while (reader.position() < end) {
+        auto s = decode_character_string(reader);
+        if (!s.ok()) return s.error();
+        txt.strings.push_back(std::move(s).value());
+      }
+      return finish(std::move(txt));
+    }
+    case RRType::SRV: {
+      auto priority = reader.u16(), weight = reader.u16(), port = reader.u16();
+      if (!priority.ok() || !weight.ok() || !port.ok()) return fail("rdata: truncated SRV");
+      auto name = Name::decode(reader);
+      if (!name.ok()) return name.error();
+      return finish(SrvData{priority.value(), weight.value(), port.value(),
+                            std::move(name).value()});
+    }
+    case RRType::LOC: {
+      auto loc = LocData::decode(reader);
+      if (!loc.ok()) return loc.error();
+      return finish(std::move(loc).value());
+    }
+    case RRType::SSHFP: {
+      auto algorithm = reader.u8(), fp_type = reader.u8();
+      if (!algorithm.ok() || !fp_type.ok()) return fail("rdata: truncated SSHFP");
+      auto fp = reader.bytes(end - reader.position());
+      if (!fp.ok()) return fp.error();
+      return finish(SshfpData{algorithm.value(), fp_type.value(), std::move(fp).value()});
+    }
+    case RRType::OPT: {
+      auto options = reader.bytes(rdlength);
+      if (!options.ok()) return options.error();
+      return finish(OptData{0, std::move(options).value()});  // udp size lives in the RR class
+    }
+    case RRType::RRSIG: {
+      RrsigData sig;
+      auto covered = reader.u16();
+      auto algorithm = reader.u8();
+      auto labels = reader.u8();
+      auto original_ttl = reader.u32();
+      auto expiration = reader.u32();
+      auto inception = reader.u32();
+      auto key_tag = reader.u16();
+      if (!covered.ok() || !algorithm.ok() || !labels.ok() || !original_ttl.ok() ||
+          !expiration.ok() || !inception.ok() || !key_tag.ok())
+        return fail("rdata: truncated RRSIG");
+      sig.type_covered = static_cast<RRType>(covered.value());
+      sig.algorithm = algorithm.value();
+      sig.labels = labels.value();
+      sig.original_ttl = original_ttl.value();
+      sig.expiration = expiration.value();
+      sig.inception = inception.value();
+      sig.key_tag = key_tag.value();
+      auto signer = Name::decode(reader);
+      if (!signer.ok()) return signer.error();
+      sig.signer = std::move(signer).value();
+      if (reader.position() > end) return fail("rdata: RRSIG overrun");
+      auto signature = reader.bytes(end - reader.position());
+      if (!signature.ok()) return signature.error();
+      sig.signature = std::move(signature).value();
+      return finish(std::move(sig));
+    }
+    case RRType::DNSKEY: {
+      auto flags = reader.u16();
+      auto protocol = reader.u8();
+      auto algorithm = reader.u8();
+      if (!flags.ok() || !protocol.ok() || !algorithm.ok()) return fail("rdata: truncated DNSKEY");
+      auto key = reader.bytes(end - reader.position());
+      if (!key.ok()) return key.error();
+      return finish(DnskeyData{flags.value(), protocol.value(), algorithm.value(),
+                               std::move(key).value()});
+    }
+    case RRType::NSEC3: {
+      Nsec3Data n;
+      auto hash_algorithm = reader.u8();
+      auto flags = reader.u8();
+      auto iterations = reader.u16();
+      if (!hash_algorithm.ok() || !flags.ok() || !iterations.ok())
+        return fail("rdata: truncated NSEC3");
+      n.hash_algorithm = hash_algorithm.value();
+      n.flags = flags.value();
+      n.iterations = iterations.value();
+      auto salt_len = reader.u8();
+      if (!salt_len.ok()) return salt_len.error();
+      auto salt = reader.bytes(salt_len.value());
+      if (!salt.ok()) return salt.error();
+      n.salt = std::move(salt).value();
+      auto hash_len = reader.u8();
+      if (!hash_len.ok()) return hash_len.error();
+      auto next = reader.bytes(hash_len.value());
+      if (!next.ok()) return next.error();
+      n.next_hashed_owner = std::move(next).value();
+      while (reader.position() < end) {
+        auto window = reader.u8();
+        auto len = reader.u8();
+        if (!window.ok() || !len.ok()) return fail("rdata: truncated NSEC3 bitmap");
+        if (len.value() == 0 || len.value() > 32) return fail("rdata: bad NSEC3 bitmap length");
+        auto bitmap = reader.bytes(len.value());
+        if (!bitmap.ok()) return bitmap.error();
+        for (std::size_t i = 0; i < bitmap.value().size(); ++i)
+          for (int bit = 0; bit < 8; ++bit)
+            if ((bitmap.value()[i] & (0x80 >> bit)) != 0)
+              n.types.push_back(static_cast<RRType>((window.value() << 8) | (i * 8 +
+                                static_cast<std::size_t>(bit))));
+      }
+      return finish(std::move(n));
+    }
+    case RRType::TSIG: {
+      TsigData t;
+      auto algorithm = Name::decode(reader);
+      if (!algorithm.ok()) return algorithm.error();
+      t.algorithm = std::move(algorithm).value();
+      auto time_high = reader.u16();
+      auto time_low = reader.u32();
+      auto fudge = reader.u16();
+      if (!time_high.ok() || !time_low.ok() || !fudge.ok()) return fail("rdata: truncated TSIG");
+      t.time_signed = (static_cast<std::uint64_t>(time_high.value()) << 32) | time_low.value();
+      t.fudge = fudge.value();
+      auto mac_size = reader.u16();
+      if (!mac_size.ok()) return mac_size.error();
+      auto mac = reader.bytes(mac_size.value());
+      if (!mac.ok()) return mac.error();
+      t.mac = std::move(mac).value();
+      auto original_id = reader.u16();
+      auto error = reader.u16();
+      auto other_len = reader.u16();
+      if (!original_id.ok() || !error.ok() || !other_len.ok())
+        return fail("rdata: truncated TSIG trailer");
+      t.original_id = original_id.value();
+      t.error = error.value();
+      auto other = reader.bytes(other_len.value());
+      if (!other.ok()) return other.error();
+      t.other = std::move(other).value();
+      return finish(std::move(t));
+    }
+    case RRType::BDADDR: {
+      auto bytes = reader.bytes(6);
+      if (!bytes.ok()) return bytes.error();
+      net::Bdaddr a;
+      std::copy(bytes.value().begin(), bytes.value().end(), a.octets.begin());
+      return finish(BdaddrData{a});
+    }
+    case RRType::WIFI: {
+      auto ssid = decode_character_string(reader);
+      if (!ssid.ok()) return ssid.error();
+      auto bytes = reader.bytes(4);
+      if (!bytes.ok()) return bytes.error();
+      net::Ipv4Addr a;
+      std::copy(bytes.value().begin(), bytes.value().end(), a.octets.begin());
+      return finish(WifiData{std::move(ssid).value(), a});
+    }
+    case RRType::LORA: {
+      auto gateway = Name::decode(reader);
+      if (!gateway.ok()) return gateway.error();
+      auto devaddr = reader.u32();
+      if (!devaddr.ok()) return devaddr.error();
+      return finish(LoraData{std::move(gateway).value(), net::LoraDevAddr{devaddr.value()}});
+    }
+    case RRType::DTMF: {
+      auto tone = decode_character_string(reader);
+      if (!tone.ok()) return tone.error();
+      auto parsed = net::DtmfTone::parse(tone.value());
+      if (!parsed.ok()) return parsed.error();
+      return finish(DtmfData{std::move(parsed).value()});
+    }
+    default: {
+      auto bytes = reader.bytes(rdlength);
+      if (!bytes.ok()) return bytes.error();
+      return finish(RawData{std::move(bytes).value()});
+    }
+  }
+}
+
+std::string rdata_to_string(const Rdata& rdata) {
+  struct Visitor {
+    std::string operator()(const AData& d) const { return d.address.to_string(); }
+    std::string operator()(const AaaaData& d) const { return d.address.to_string(); }
+    std::string operator()(const NsData& d) const { return d.nameserver.to_string(); }
+    std::string operator()(const CnameData& d) const { return d.target.to_string(); }
+    std::string operator()(const SoaData& d) const {
+      return d.mname.to_string() + " " + d.rname.to_string() + " " + std::to_string(d.serial) +
+             " " + std::to_string(d.refresh) + " " + std::to_string(d.retry) + " " +
+             std::to_string(d.expire) + " " + std::to_string(d.minimum);
+    }
+    std::string operator()(const PtrData& d) const { return d.target.to_string(); }
+    std::string operator()(const MxData& d) const {
+      return std::to_string(d.preference) + " " + d.exchange.to_string();
+    }
+    std::string operator()(const TxtData& d) const {
+      std::string out;
+      for (std::size_t i = 0; i < d.strings.size(); ++i) {
+        if (i != 0) out += ' ';
+        out += '"' + d.strings[i] + '"';
+      }
+      return out;
+    }
+    std::string operator()(const SrvData& d) const {
+      return std::to_string(d.priority) + " " + std::to_string(d.weight) + " " +
+             std::to_string(d.port) + " " + d.target.to_string();
+    }
+    std::string operator()(const LocData& d) const { return d.to_string(); }
+    std::string operator()(const SshfpData& d) const {
+      return std::to_string(d.algorithm) + " " + std::to_string(d.fp_type) + " " +
+             util::to_hex(d.fingerprint);
+    }
+    std::string operator()(const OptData& d) const {
+      return "; EDNS0 " + std::to_string(d.options.size()) + " option bytes";
+    }
+    std::string operator()(const RrsigData& d) const {
+      return to_string(d.type_covered) + " " + std::to_string(d.algorithm) + " " +
+             std::to_string(d.labels) + " " + std::to_string(d.original_ttl) + " " +
+             std::to_string(d.expiration) + " " + std::to_string(d.inception) + " " +
+             std::to_string(d.key_tag) + " " + d.signer.to_string() + " " +
+             util::to_hex(d.signature);
+    }
+    std::string operator()(const DnskeyData& d) const {
+      return std::to_string(d.flags) + " " + std::to_string(d.protocol) + " " +
+             std::to_string(d.algorithm) + " " + util::to_hex(d.public_key);
+    }
+    std::string operator()(const Nsec3Data& d) const {
+      std::string out = std::to_string(d.hash_algorithm) + " " + std::to_string(d.flags) + " " +
+                        std::to_string(d.iterations) + " " +
+                        (d.salt.empty() ? "-" : util::to_hex(d.salt)) + " " +
+                        util::to_base32hex(d.next_hashed_owner);
+      for (RRType t : d.types) out += " " + to_string(t);
+      return out;
+    }
+    std::string operator()(const TsigData& d) const {
+      return d.algorithm.to_string() + " " + std::to_string(d.time_signed) + " " +
+             std::to_string(d.fudge) + " " + util::to_hex(d.mac);
+    }
+    std::string operator()(const BdaddrData& d) const { return d.address.to_string(); }
+    std::string operator()(const WifiData& d) const {
+      return "\"" + d.ssid + "\" " + d.address.to_string();
+    }
+    std::string operator()(const LoraData& d) const {
+      return d.gateway.to_string() + " " + d.devaddr.to_string();
+    }
+    std::string operator()(const DtmfData& d) const { return d.tone.to_string(); }
+    std::string operator()(const RawData& d) const {
+      return "\\# " + std::to_string(d.bytes.size()) + " " + util::to_hex(d.bytes);
+    }
+  };
+  return std::visit(Visitor{}, rdata);
+}
+
+namespace {
+
+Result<std::uint32_t> parse_u32(const std::string& token) {
+  std::uint32_t value = 0;
+  auto [ptr, ec] = std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec != std::errc{} || ptr != token.data() + token.size())
+    return fail("expected integer, got '" + token + "'");
+  return value;
+}
+
+Result<std::uint16_t> parse_u16(const std::string& token) {
+  auto v = parse_u32(token);
+  if (!v.ok()) return v.error();
+  if (v.value() > 0xffff) return fail("integer out of u16 range: " + token);
+  return static_cast<std::uint16_t>(v.value());
+}
+
+Result<std::uint8_t> parse_u8(const std::string& token) {
+  auto v = parse_u32(token);
+  if (!v.ok()) return v.error();
+  if (v.value() > 0xff) return fail("integer out of u8 range: " + token);
+  return static_cast<std::uint8_t>(v.value());
+}
+
+std::string unquote(const std::string& token) {
+  if (token.size() >= 2 && token.front() == '"' && token.back() == '"')
+    return token.substr(1, token.size() - 2);
+  return token;
+}
+
+}  // namespace
+
+Result<Rdata> rdata_from_tokens(RRType type, std::span<const std::string> tokens) {
+  auto need = [&](std::size_t n) -> util::Status {
+    if (tokens.size() < n)
+      return fail(to_string(type) + ": expected >= " + std::to_string(n) + " fields");
+    return util::ok_status();
+  };
+
+  switch (type) {
+    case RRType::A: {
+      if (auto s = need(1); !s.ok()) return s.error();
+      auto a = net::Ipv4Addr::parse(tokens[0]);
+      if (!a.ok()) return a.error();
+      return Rdata{AData{a.value()}};
+    }
+    case RRType::AAAA: {
+      if (auto s = need(1); !s.ok()) return s.error();
+      auto a = net::Ipv6Addr::parse(tokens[0]);
+      if (!a.ok()) return a.error();
+      return Rdata{AaaaData{a.value()}};
+    }
+    case RRType::NS: {
+      if (auto s = need(1); !s.ok()) return s.error();
+      auto n = Name::parse(tokens[0]);
+      if (!n.ok()) return n.error();
+      return Rdata{NsData{std::move(n).value()}};
+    }
+    case RRType::CNAME: {
+      if (auto s = need(1); !s.ok()) return s.error();
+      auto n = Name::parse(tokens[0]);
+      if (!n.ok()) return n.error();
+      return Rdata{CnameData{std::move(n).value()}};
+    }
+    case RRType::SOA: {
+      if (auto s = need(7); !s.ok()) return s.error();
+      auto mname = Name::parse(tokens[0]);
+      auto rname = Name::parse(tokens[1]);
+      if (!mname.ok()) return mname.error();
+      if (!rname.ok()) return rname.error();
+      SoaData soa{std::move(mname).value(), std::move(rname).value(), 0, 0, 0, 0, 0};
+      auto serial = parse_u32(tokens[2]), refresh = parse_u32(tokens[3]),
+           retry = parse_u32(tokens[4]), expire = parse_u32(tokens[5]),
+           minimum = parse_u32(tokens[6]);
+      if (!serial.ok() || !refresh.ok() || !retry.ok() || !expire.ok() || !minimum.ok())
+        return fail("SOA: bad integer field");
+      soa.serial = serial.value();
+      soa.refresh = refresh.value();
+      soa.retry = retry.value();
+      soa.expire = expire.value();
+      soa.minimum = minimum.value();
+      return Rdata{std::move(soa)};
+    }
+    case RRType::PTR: {
+      if (auto s = need(1); !s.ok()) return s.error();
+      auto n = Name::parse(tokens[0]);
+      if (!n.ok()) return n.error();
+      return Rdata{PtrData{std::move(n).value()}};
+    }
+    case RRType::MX: {
+      if (auto s = need(2); !s.ok()) return s.error();
+      auto pref = parse_u16(tokens[0]);
+      if (!pref.ok()) return pref.error();
+      auto n = Name::parse(tokens[1]);
+      if (!n.ok()) return n.error();
+      return Rdata{MxData{pref.value(), std::move(n).value()}};
+    }
+    case RRType::TXT: {
+      if (auto s = need(1); !s.ok()) return s.error();
+      TxtData txt;
+      for (const auto& t : tokens) txt.strings.push_back(unquote(t));
+      return Rdata{std::move(txt)};
+    }
+    case RRType::SRV: {
+      if (auto s = need(4); !s.ok()) return s.error();
+      auto priority = parse_u16(tokens[0]), weight = parse_u16(tokens[1]),
+           port = parse_u16(tokens[2]);
+      if (!priority.ok() || !weight.ok() || !port.ok()) return fail("SRV: bad integer field");
+      auto n = Name::parse(tokens[3]);
+      if (!n.ok()) return n.error();
+      return Rdata{SrvData{priority.value(), weight.value(), port.value(), std::move(n).value()}};
+    }
+    case RRType::LOC: {
+      auto loc = LocData::parse(tokens);
+      if (!loc.ok()) return loc.error();
+      return Rdata{std::move(loc).value()};
+    }
+    case RRType::SSHFP: {
+      if (auto s = need(3); !s.ok()) return s.error();
+      auto algorithm = parse_u8(tokens[0]);
+      auto fp_type = parse_u8(tokens[1]);
+      if (!algorithm.ok() || !fp_type.ok()) return fail("SSHFP: bad integer field");
+      auto fp = util::from_hex(tokens[2]);
+      if (!fp.ok()) return fp.error();
+      return Rdata{SshfpData{algorithm.value(), fp_type.value(), std::move(fp).value()}};
+    }
+    case RRType::BDADDR: {
+      if (auto s = need(1); !s.ok()) return s.error();
+      auto a = net::Bdaddr::parse(tokens[0]);
+      if (!a.ok()) return a.error();
+      return Rdata{BdaddrData{a.value()}};
+    }
+    case RRType::WIFI: {
+      if (auto s = need(2); !s.ok()) return s.error();
+      auto a = net::Ipv4Addr::parse(tokens[1]);
+      if (!a.ok()) return a.error();
+      return Rdata{WifiData{unquote(tokens[0]), a.value()}};
+    }
+    case RRType::LORA: {
+      if (auto s = need(2); !s.ok()) return s.error();
+      auto gw = Name::parse(tokens[0]);
+      if (!gw.ok()) return gw.error();
+      auto dev = net::LoraDevAddr::parse(tokens[1]);
+      if (!dev.ok()) return dev.error();
+      return Rdata{LoraData{std::move(gw).value(), dev.value()}};
+    }
+    case RRType::DTMF: {
+      if (auto s = need(1); !s.ok()) return s.error();
+      auto tone = net::DtmfTone::parse(tokens[0]);
+      if (!tone.ok()) return tone.error();
+      return Rdata{DtmfData{std::move(tone).value()}};
+    }
+    default:
+      return fail("rdata_from_tokens: unsupported type " + to_string(type));
+  }
+}
+
+bool has_txt_fallback(RRType type) {
+  return type == RRType::BDADDR || type == RRType::WIFI || type == RRType::LORA ||
+         type == RRType::DTMF;
+}
+
+Result<TxtData> to_txt_fallback(const Rdata& rdata) {
+  if (const auto* bd = std::get_if<BdaddrData>(&rdata))
+    return TxtData{{"sns:bluetooth=" + bd->address.to_string()}};
+  if (const auto* wifi = std::get_if<WifiData>(&rdata))
+    return TxtData{{"sns:wifi=" + wifi->ssid + "," + wifi->address.to_string()}};
+  if (const auto* lora = std::get_if<LoraData>(&rdata))
+    return TxtData{{"sns:lorawan=" + lora->gateway.to_string() + "," +
+                    lora->devaddr.to_string()}};
+  if (const auto* dtmf = std::get_if<DtmfData>(&rdata))
+    return TxtData{{"sns:audio=" + dtmf->tone.to_string()}};
+  return fail("no TXT fallback for this rdata type");
+}
+
+Result<std::pair<RRType, Rdata>> from_txt_fallback(const TxtData& txt) {
+  if (txt.strings.size() != 1) return fail("txt fallback: expected single string");
+  std::string_view s = txt.strings[0];
+  if (!s.starts_with("sns:")) return fail("txt fallback: missing sns: prefix");
+  s.remove_prefix(4);
+  std::size_t eq = s.find('=');
+  if (eq == std::string_view::npos) return fail("txt fallback: missing '='");
+  std::string_view family = s.substr(0, eq);
+  std::string_view value = s.substr(eq + 1);
+
+  if (family == "bluetooth") {
+    auto a = net::Bdaddr::parse(value);
+    if (!a.ok()) return a.error();
+    return std::pair{RRType::BDADDR, Rdata{BdaddrData{a.value()}}};
+  }
+  if (family == "wifi") {
+    std::size_t comma = value.rfind(',');
+    if (comma == std::string_view::npos) return fail("txt fallback: wifi needs ssid,ip");
+    auto a = net::Ipv4Addr::parse(value.substr(comma + 1));
+    if (!a.ok()) return a.error();
+    return std::pair{RRType::WIFI, Rdata{WifiData{std::string(value.substr(0, comma)), a.value()}}};
+  }
+  if (family == "lorawan") {
+    std::size_t comma = value.rfind(',');
+    if (comma == std::string_view::npos) return fail("txt fallback: lora needs gw,devaddr");
+    auto gw = Name::parse(value.substr(0, comma));
+    if (!gw.ok()) return gw.error();
+    auto dev = net::LoraDevAddr::parse(value.substr(comma + 1));
+    if (!dev.ok()) return dev.error();
+    return std::pair{RRType::LORA, Rdata{LoraData{std::move(gw).value(), dev.value()}}};
+  }
+  if (family == "audio") {
+    auto tone = net::DtmfTone::parse(value);
+    if (!tone.ok()) return tone.error();
+    return std::pair{RRType::DTMF, Rdata{DtmfData{std::move(tone).value()}}};
+  }
+  return fail("txt fallback: unknown family '" + std::string(family) + "'");
+}
+
+}  // namespace sns::dns

@@ -1,0 +1,210 @@
+// rdata.hpp — typed RDATA for every record the SNS uses.
+//
+// Covers the classic types needed for a working DNS (A, AAAA, NS, CNAME,
+// SOA, PTR, MX, TXT, SRV), the location/key types the paper leans on
+// (LOC, SSHFP), the security types (RRSIG, DNSKEY, NSEC3, TSIG, OPT) and
+// the paper's Table 1 extensions (BDADDR, WIFI, LORA, DTMF). Unknown
+// types round-trip as opaque bytes (RFC 3597).
+//
+// Backwards compatibility (§2.2): every extended type can be re-encoded
+// as a TXT record ("sns:<family>=<value>") and recovered from it, so
+// middleboxes that strip unknown types do not break the SNS.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "dns/loc.hpp"
+#include "dns/name.hpp"
+#include "dns/type.hpp"
+#include "net/address.hpp"
+#include "util/bytes.hpp"
+#include "util/result.hpp"
+
+namespace sns::dns {
+
+struct AData {
+  net::Ipv4Addr address;
+  friend bool operator==(const AData&, const AData&) = default;
+};
+
+struct AaaaData {
+  net::Ipv6Addr address;
+  friend bool operator==(const AaaaData&, const AaaaData&) = default;
+};
+
+struct NsData {
+  Name nameserver;
+  friend bool operator==(const NsData&, const NsData&) = default;
+};
+
+struct CnameData {
+  Name target;
+  friend bool operator==(const CnameData&, const CnameData&) = default;
+};
+
+struct SoaData {
+  Name mname;   // primary nameserver
+  Name rname;   // responsible mailbox
+  std::uint32_t serial = 0;
+  std::uint32_t refresh = 3600;
+  std::uint32_t retry = 600;
+  std::uint32_t expire = 86400;
+  std::uint32_t minimum = 60;  // negative-caching TTL (RFC 2308)
+  friend bool operator==(const SoaData&, const SoaData&) = default;
+};
+
+struct PtrData {
+  Name target;
+  friend bool operator==(const PtrData&, const PtrData&) = default;
+};
+
+struct MxData {
+  std::uint16_t preference = 0;
+  Name exchange;
+  friend bool operator==(const MxData&, const MxData&) = default;
+};
+
+struct TxtData {
+  std::vector<std::string> strings;  // each <= 255 octets on the wire
+  friend bool operator==(const TxtData&, const TxtData&) = default;
+};
+
+struct SrvData {
+  std::uint16_t priority = 0;
+  std::uint16_t weight = 0;
+  std::uint16_t port = 0;
+  Name target;
+  friend bool operator==(const SrvData&, const SrvData&) = default;
+};
+
+struct SshfpData {
+  std::uint8_t algorithm = 0;  // 1=RSA 2=DSA 3=ECDSA 4=Ed25519
+  std::uint8_t fp_type = 0;    // 1=SHA-1 2=SHA-256
+  util::Bytes fingerprint;
+  friend bool operator==(const SshfpData&, const SshfpData&) = default;
+};
+
+/// EDNS0 pseudo-record payload; we only model the UDP size and a raw
+/// option blob (enough for larger messages and future extension).
+struct OptData {
+  std::uint16_t udp_payload_size = 1232;
+  util::Bytes options;
+  friend bool operator==(const OptData&, const OptData&) = default;
+};
+
+struct RrsigData {
+  RRType type_covered = RRType::A;
+  std::uint8_t algorithm = 0;
+  std::uint8_t labels = 0;
+  std::uint32_t original_ttl = 0;
+  std::uint32_t expiration = 0;  // absolute seconds (simulated epoch)
+  std::uint32_t inception = 0;
+  std::uint16_t key_tag = 0;
+  Name signer;
+  util::Bytes signature;
+  friend bool operator==(const RrsigData&, const RrsigData&) = default;
+};
+
+struct DnskeyData {
+  std::uint16_t flags = 256;   // ZSK
+  std::uint8_t protocol = 3;
+  std::uint8_t algorithm = 0;
+  util::Bytes public_key;
+  friend bool operator==(const DnskeyData&, const DnskeyData&) = default;
+};
+
+struct Nsec3Data {
+  std::uint8_t hash_algorithm = 1;  // SHA-1
+  std::uint8_t flags = 0;
+  std::uint16_t iterations = 0;
+  util::Bytes salt;
+  util::Bytes next_hashed_owner;  // 20 bytes for SHA-1
+  std::vector<RRType> types;
+  friend bool operator==(const Nsec3Data&, const Nsec3Data&) = default;
+};
+
+struct TsigData {
+  Name algorithm;                // e.g. hmac-sha1.sig-alg.reg.int
+  std::uint64_t time_signed = 0; // 48 bits on the wire
+  std::uint16_t fudge = 300;
+  util::Bytes mac;
+  std::uint16_t original_id = 0;
+  std::uint16_t error = 0;
+  util::Bytes other;
+  friend bool operator==(const TsigData&, const TsigData&) = default;
+};
+
+// --- Table 1 extensions ----------------------------------------------------
+
+struct BdaddrData {
+  net::Bdaddr address;
+  friend bool operator==(const BdaddrData&, const BdaddrData&) = default;
+};
+
+/// Table 1: WIFI (<ssid>, 192.0.3.1) — which SSID to join, and the
+/// device's address on that network.
+struct WifiData {
+  std::string ssid;  // <= 32 octets per 802.11
+  net::Ipv4Addr address;
+  friend bool operator==(const WifiData&, const WifiData&) = default;
+};
+
+/// Table 1: LORA (<gw>, <devaddr>) — gateway name + 32-bit DevAddr.
+struct LoraData {
+  Name gateway;
+  net::LoraDevAddr devaddr;
+  friend bool operator==(const LoraData&, const LoraData&) = default;
+};
+
+struct DtmfData {
+  net::DtmfTone tone;
+  friend bool operator==(const DtmfData&, const DtmfData&) = default;
+};
+
+/// RFC 3597 opaque rdata for types we do not model.
+struct RawData {
+  util::Bytes bytes;
+  friend bool operator==(const RawData&, const RawData&) = default;
+};
+
+using Rdata = std::variant<AData, AaaaData, NsData, CnameData, SoaData, PtrData, MxData, TxtData,
+                           SrvData, LocData, SshfpData, OptData, RrsigData, DnskeyData, Nsec3Data,
+                           TsigData, BdaddrData, WifiData, LoraData, DtmfData, RawData>;
+
+/// The wire type this rdata naturally belongs to (RawData → nullopt;
+/// the owning record supplies the numeric type).
+RRType rdata_type(const Rdata& rdata);
+
+/// Encode RDATA (without the RDLENGTH prefix). Name compression is
+/// applied only for the types where RFC 3597 §4 permits it (NS, CNAME,
+/// SOA, PTR, MX); pass nullptr to disable compression entirely (canonical
+/// form for signing).
+void encode_rdata(const Rdata& rdata, util::ByteWriter& out, NameCompressor* compressor);
+
+/// Decode RDATA of `type` from a reader positioned at the RDATA start;
+/// `rdlength` bytes belong to this record. Compression pointers inside
+/// rdata may reference earlier message bytes.
+util::Result<Rdata> decode_rdata(RRType type, util::ByteReader& reader, std::size_t rdlength);
+
+/// Presentation (master-file) form of the rdata.
+std::string rdata_to_string(const Rdata& rdata);
+
+/// Parse rdata of `type` from master-file tokens.
+util::Result<Rdata> rdata_from_tokens(RRType type, std::span<const std::string> tokens);
+
+// --- TXT fallback (§2.2) ----------------------------------------------------
+
+/// True for the SNS extended types that support the TXT fallback.
+bool has_txt_fallback(RRType type);
+
+/// Encode an extended rdata as a TXT record string "sns:<family>=<text>".
+util::Result<TxtData> to_txt_fallback(const Rdata& rdata);
+
+/// Recover (type, rdata) from a fallback TXT payload; fails if the TXT
+/// is not an SNS fallback encoding.
+util::Result<std::pair<RRType, Rdata>> from_txt_fallback(const TxtData& txt);
+
+}  // namespace sns::dns

@@ -1,0 +1,95 @@
+#include "dns/record.hpp"
+
+namespace sns::dns {
+
+using util::fail;
+using util::Result;
+
+std::string ResourceRecord::to_string() const {
+  return name.to_string() + " " + std::to_string(ttl) + " " + dns::to_string(klass) + " " +
+         dns::to_string(type) + " " + rdata_to_string(rdata);
+}
+
+void ResourceRecord::encode(util::ByteWriter& out, NameCompressor* compressor) const {
+  if (compressor != nullptr)
+    name.encode(out, *compressor);
+  else
+    name.encode(out);
+  out.u16(static_cast<std::uint16_t>(type));
+  out.u16(static_cast<std::uint16_t>(klass));
+  out.u32(ttl);
+  std::size_t rdlength_at = out.size();
+  out.u16(0);  // patched below
+  std::size_t rdata_start = out.size();
+  encode_rdata(rdata, out, compressor);
+  out.patch_u16(rdlength_at, static_cast<std::uint16_t>(out.size() - rdata_start));
+}
+
+Result<ResourceRecord> ResourceRecord::decode(util::ByteReader& reader) {
+  ResourceRecord rr;
+  auto name = Name::decode(reader);
+  if (!name.ok()) return name.error();
+  rr.name = std::move(name).value();
+  auto type = reader.u16();
+  auto klass = reader.u16();
+  auto ttl = reader.u32();
+  auto rdlength = reader.u16();
+  if (!type.ok() || !klass.ok() || !ttl.ok() || !rdlength.ok())
+    return fail("record: truncated fixed header");
+  rr.type = static_cast<RRType>(type.value());
+  rr.klass = static_cast<RRClass>(klass.value());
+  rr.ttl = ttl.value();
+  auto rdata = decode_rdata(rr.type, reader, rdlength.value());
+  if (!rdata.ok()) return rdata.error();
+  rr.rdata = std::move(rdata).value();
+  return rr;
+}
+
+ResourceRecord make_a(const Name& name, net::Ipv4Addr address, std::uint32_t ttl) {
+  return ResourceRecord{name, RRType::A, RRClass::IN, ttl, AData{address}};
+}
+
+ResourceRecord make_aaaa(const Name& name, net::Ipv6Addr address, std::uint32_t ttl) {
+  return ResourceRecord{name, RRType::AAAA, RRClass::IN, ttl, AaaaData{address}};
+}
+
+ResourceRecord make_ns(const Name& name, const Name& nameserver, std::uint32_t ttl) {
+  return ResourceRecord{name, RRType::NS, RRClass::IN, ttl, NsData{nameserver}};
+}
+
+ResourceRecord make_cname(const Name& name, const Name& target, std::uint32_t ttl) {
+  return ResourceRecord{name, RRType::CNAME, RRClass::IN, ttl, CnameData{target}};
+}
+
+ResourceRecord make_txt(const Name& name, std::vector<std::string> strings, std::uint32_t ttl) {
+  return ResourceRecord{name, RRType::TXT, RRClass::IN, ttl, TxtData{std::move(strings)}};
+}
+
+ResourceRecord make_ptr(const Name& name, const Name& target, std::uint32_t ttl) {
+  return ResourceRecord{name, RRType::PTR, RRClass::IN, ttl, PtrData{target}};
+}
+
+ResourceRecord make_srv(const Name& name, std::uint16_t port, const Name& target,
+                        std::uint32_t ttl) {
+  return ResourceRecord{name, RRType::SRV, RRClass::IN, ttl, SrvData{0, 0, port, target}};
+}
+
+ResourceRecord make_soa(const Name& zone, const Name& mname, std::uint32_t serial,
+                        std::uint32_t ttl) {
+  SoaData soa;
+  soa.mname = mname;
+  auto rname = Name::parse("hostmaster." + zone.to_string());
+  soa.rname = rname.ok() ? std::move(rname).value() : mname;
+  soa.serial = serial;
+  return ResourceRecord{zone, RRType::SOA, RRClass::IN, ttl, std::move(soa)};
+}
+
+ResourceRecord make_bdaddr(const Name& name, net::Bdaddr address, std::uint32_t ttl) {
+  return ResourceRecord{name, RRType::BDADDR, RRClass::IN, ttl, BdaddrData{address}};
+}
+
+ResourceRecord make_loc(const Name& name, const LocData& loc, std::uint32_t ttl) {
+  return ResourceRecord{name, RRType::LOC, RRClass::IN, ttl, loc};
+}
+
+}  // namespace sns::dns

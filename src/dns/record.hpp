@@ -1,0 +1,52 @@
+// record.hpp — resource records and RRsets.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dns/name.hpp"
+#include "dns/rdata.hpp"
+#include "dns/type.hpp"
+#include "util/bytes.hpp"
+#include "util/result.hpp"
+
+namespace sns::dns {
+
+struct ResourceRecord {
+  Name name;
+  RRType type = RRType::A;
+  RRClass klass = RRClass::IN;
+  std::uint32_t ttl = 300;
+  Rdata rdata = AData{};
+
+  /// Zone-file style one-liner: "name ttl class type rdata".
+  [[nodiscard]] std::string to_string() const;
+
+  /// Wire encode. `compressor` may be nullptr for canonical form.
+  void encode(util::ByteWriter& out, NameCompressor* compressor) const;
+  static util::Result<ResourceRecord> decode(util::ByteReader& reader);
+
+  friend bool operator==(const ResourceRecord&, const ResourceRecord&) = default;
+};
+
+/// Records sharing (name, type, class). Kept as a plain vector; the
+/// invariant is maintained by the zone store.
+using RRset = std::vector<ResourceRecord>;
+
+/// Convenience constructors used throughout examples and tests.
+ResourceRecord make_a(const Name& name, net::Ipv4Addr address, std::uint32_t ttl = 300);
+ResourceRecord make_aaaa(const Name& name, net::Ipv6Addr address, std::uint32_t ttl = 300);
+ResourceRecord make_ns(const Name& name, const Name& nameserver, std::uint32_t ttl = 3600);
+ResourceRecord make_cname(const Name& name, const Name& target, std::uint32_t ttl = 300);
+ResourceRecord make_txt(const Name& name, std::vector<std::string> strings,
+                        std::uint32_t ttl = 300);
+ResourceRecord make_ptr(const Name& name, const Name& target, std::uint32_t ttl = 300);
+ResourceRecord make_srv(const Name& name, std::uint16_t port, const Name& target,
+                        std::uint32_t ttl = 300);
+ResourceRecord make_soa(const Name& zone, const Name& mname, std::uint32_t serial,
+                        std::uint32_t ttl = 3600);
+ResourceRecord make_bdaddr(const Name& name, net::Bdaddr address, std::uint32_t ttl = 300);
+ResourceRecord make_loc(const Name& name, const LocData& loc, std::uint32_t ttl = 300);
+
+}  // namespace sns::dns

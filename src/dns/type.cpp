@@ -1,0 +1,82 @@
+#include "dns/type.hpp"
+
+#include <charconv>
+
+#include "util/strings.hpp"
+
+namespace sns::dns {
+
+using util::fail;
+using util::Result;
+
+namespace {
+struct TypeEntry {
+  RRType type;
+  std::string_view name;
+};
+constexpr TypeEntry kTypes[] = {
+    {RRType::A, "A"},           {RRType::NS, "NS"},       {RRType::CNAME, "CNAME"},
+    {RRType::SOA, "SOA"},       {RRType::PTR, "PTR"},     {RRType::MX, "MX"},
+    {RRType::TXT, "TXT"},       {RRType::AAAA, "AAAA"},   {RRType::LOC, "LOC"},
+    {RRType::SRV, "SRV"},       {RRType::OPT, "OPT"},     {RRType::SSHFP, "SSHFP"},
+    {RRType::RRSIG, "RRSIG"},   {RRType::DNSKEY, "DNSKEY"}, {RRType::NSEC3, "NSEC3"},
+    {RRType::TSIG, "TSIG"},     {RRType::ANY, "ANY"},     {RRType::BDADDR, "BDADDR"},
+    {RRType::WIFI, "WIFI"},     {RRType::LORA, "LORA"},   {RRType::DTMF, "DTMF"},
+};
+}  // namespace
+
+std::string to_string(RRType type) {
+  for (const auto& entry : kTypes)
+    if (entry.type == type) return std::string(entry.name);
+  return "TYPE" + std::to_string(static_cast<std::uint16_t>(type));
+}
+
+std::string to_string(RRClass klass) {
+  switch (klass) {
+    case RRClass::IN: return "IN";
+    case RRClass::NONE: return "NONE";
+    case RRClass::ANY: return "ANY";
+  }
+  return "CLASS" + std::to_string(static_cast<std::uint16_t>(klass));
+}
+
+std::string to_string(Rcode rcode) {
+  switch (rcode) {
+    case Rcode::NoError: return "NOERROR";
+    case Rcode::FormErr: return "FORMERR";
+    case Rcode::ServFail: return "SERVFAIL";
+    case Rcode::NXDomain: return "NXDOMAIN";
+    case Rcode::NotImp: return "NOTIMP";
+    case Rcode::Refused: return "REFUSED";
+    case Rcode::YXDomain: return "YXDOMAIN";
+    case Rcode::YXRRSet: return "YXRRSET";
+    case Rcode::NXRRSet: return "NXRRSET";
+    case Rcode::NotAuth: return "NOTAUTH";
+    case Rcode::NotZone: return "NOTZONE";
+  }
+  return "RCODE" + std::to_string(static_cast<std::uint8_t>(rcode));
+}
+
+std::string to_string(Opcode opcode) {
+  switch (opcode) {
+    case Opcode::Query: return "QUERY";
+    case Opcode::Notify: return "NOTIFY";
+    case Opcode::Update: return "UPDATE";
+  }
+  return "OPCODE" + std::to_string(static_cast<std::uint8_t>(opcode));
+}
+
+Result<RRType> rrtype_from_string(std::string_view text) {
+  for (const auto& entry : kTypes)
+    if (util::iequals(entry.name, text)) return entry.type;
+  if (text.size() > 4 && util::iequals(text.substr(0, 4), "TYPE")) {
+    unsigned value = 0;
+    auto rest = text.substr(4);
+    auto [ptr, ec] = std::from_chars(rest.data(), rest.data() + rest.size(), value);
+    if (ec == std::errc{} && ptr == rest.data() + rest.size() && value <= 0xffff)
+      return static_cast<RRType>(value);
+  }
+  return fail("unknown RR type '" + std::string(text) + "'");
+}
+
+}  // namespace sns::dns

@@ -1,0 +1,76 @@
+// type.hpp — RR types, classes, opcodes and response codes.
+//
+// Includes the paper's extended types from Table 1 (BDADDR, WIFI, LORA,
+// DTMF), assigned in the private-use range 65280–65534 so they cannot
+// collide with IANA allocations; the TXT fallback (§2.2) carries them
+// through middleboxes that drop unknown types.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/result.hpp"
+
+namespace sns::dns {
+
+enum class RRType : std::uint16_t {
+  A = 1,
+  NS = 2,
+  CNAME = 5,
+  SOA = 6,
+  PTR = 12,
+  MX = 15,
+  TXT = 16,
+  AAAA = 28,
+  LOC = 29,        // RFC 1876
+  SRV = 33,
+  OPT = 41,        // EDNS0
+  SSHFP = 44,      // RFC 4255
+  RRSIG = 46,
+  DNSKEY = 48,
+  NSEC3 = 50,
+  TSIG = 250,
+  ANY = 255,
+  // --- SNS extended types (Table 1), private-use range ---
+  BDADDR = 65280,  // Bluetooth Device Address
+  WIFI = 65281,    // (ssid, ipv4)
+  LORA = 65282,    // (gateway, devaddr)
+  DTMF = 65283,    // audio tone prefix
+};
+
+enum class RRClass : std::uint16_t {
+  IN = 1,
+  NONE = 254,  // RFC 2136 update semantics
+  ANY = 255,
+};
+
+enum class Opcode : std::uint8_t {
+  Query = 0,
+  Notify = 4,
+  Update = 5,  // RFC 2136
+};
+
+enum class Rcode : std::uint8_t {
+  NoError = 0,
+  FormErr = 1,
+  ServFail = 2,
+  NXDomain = 3,
+  NotImp = 4,
+  Refused = 5,
+  YXDomain = 6,  // RFC 2136
+  YXRRSet = 7,
+  NXRRSet = 8,
+  NotAuth = 9,
+  NotZone = 10,
+};
+
+std::string to_string(RRType type);
+std::string to_string(RRClass klass);
+std::string to_string(Rcode rcode);
+std::string to_string(Opcode opcode);
+
+/// Parse a type mnemonic ("AAAA", "BDADDR", or RFC 3597 "TYPE65280").
+util::Result<RRType> rrtype_from_string(std::string_view text);
+
+}  // namespace sns::dns

@@ -1,0 +1,137 @@
+#include "geo/geometry.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace sns::geo {
+
+namespace {
+constexpr double kEarthRadiusM = 6371000.0;
+constexpr double kDegToRad = 3.14159265358979323846 / 180.0;
+}  // namespace
+
+std::string GeoPoint::to_string() const {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "(%.6f, %.6f, %.1fm)", latitude, longitude, altitude);
+  return buf;
+}
+
+double haversine_m(const GeoPoint& a, const GeoPoint& b) {
+  double lat1 = a.latitude * kDegToRad, lat2 = b.latitude * kDegToRad;
+  double dlat = (b.latitude - a.latitude) * kDegToRad;
+  double dlon = (b.longitude - a.longitude) * kDegToRad;
+  double h = std::sin(dlat / 2) * std::sin(dlat / 2) +
+             std::cos(lat1) * std::cos(lat2) * std::sin(dlon / 2) * std::sin(dlon / 2);
+  return 2.0 * kEarthRadiusM * std::asin(std::sqrt(h));
+}
+
+BoundingBox BoundingBox::around(const GeoPoint& center, double half_side_deg) {
+  return BoundingBox{center.latitude - half_side_deg, center.longitude - half_side_deg,
+                     center.latitude + half_side_deg, center.longitude + half_side_deg};
+}
+
+bool BoundingBox::contains(const GeoPoint& p) const {
+  return p.latitude >= min_lat && p.latitude <= max_lat && p.longitude >= min_lon &&
+         p.longitude <= max_lon;
+}
+
+bool BoundingBox::contains(const BoundingBox& other) const {
+  return other.min_lat >= min_lat && other.max_lat <= max_lat && other.min_lon >= min_lon &&
+         other.max_lon <= max_lon;
+}
+
+bool BoundingBox::intersects(const BoundingBox& other) const {
+  return !(other.min_lat > max_lat || other.max_lat < min_lat || other.min_lon > max_lon ||
+           other.max_lon < min_lon);
+}
+
+GeoPoint BoundingBox::center() const {
+  return GeoPoint{(min_lat + max_lat) / 2.0, (min_lon + max_lon) / 2.0, 0.0};
+}
+
+BoundingBox BoundingBox::united(const BoundingBox& other) const {
+  return BoundingBox{std::min(min_lat, other.min_lat), std::min(min_lon, other.min_lon),
+                     std::max(max_lat, other.max_lat), std::max(max_lon, other.max_lon)};
+}
+
+double BoundingBox::area() const { return std::max(0.0, width()) * std::max(0.0, height()); }
+
+std::string BoundingBox::to_string() const {
+  char buf[128];
+  std::snprintf(buf, sizeof buf, "[%.6f..%.6f, %.6f..%.6f]", min_lat, max_lat, min_lon, max_lon);
+  return buf;
+}
+
+Polygon::Polygon(std::vector<GeoPoint> vertices) : vertices_(std::move(vertices)) {
+  if (vertices_.empty()) return;
+  bbox_ = BoundingBox{vertices_[0].latitude, vertices_[0].longitude, vertices_[0].latitude,
+                      vertices_[0].longitude};
+  for (const auto& v : vertices_) {
+    bbox_.min_lat = std::min(bbox_.min_lat, v.latitude);
+    bbox_.max_lat = std::max(bbox_.max_lat, v.latitude);
+    bbox_.min_lon = std::min(bbox_.min_lon, v.longitude);
+    bbox_.max_lon = std::max(bbox_.max_lon, v.longitude);
+  }
+}
+
+bool Polygon::contains(const GeoPoint& p) const {
+  if (vertices_.size() < 3 || !bbox_.contains(p)) return false;
+  // Ray casting along +longitude.
+  bool inside = false;
+  std::size_t n = vertices_.size();
+  for (std::size_t i = 0, j = n - 1; i < n; j = i++) {
+    const GeoPoint& a = vertices_[i];
+    const GeoPoint& b = vertices_[j];
+    // Boundary tolerance: treat points on an edge as inside.
+    double cross = (b.latitude - a.latitude) * (p.longitude - a.longitude) -
+                   (b.longitude - a.longitude) * (p.latitude - a.latitude);
+    double dot = (p.latitude - a.latitude) * (p.latitude - b.latitude) +
+                 (p.longitude - a.longitude) * (p.longitude - b.longitude);
+    if (std::fabs(cross) < 1e-12 && dot <= 1e-12) return true;
+    bool crosses = (a.latitude > p.latitude) != (b.latitude > p.latitude);
+    if (crosses) {
+      double intersect_lon =
+          a.longitude + (p.latitude - a.latitude) / (b.latitude - a.latitude) *
+                            (b.longitude - a.longitude);
+      if (p.longitude < intersect_lon) inside = !inside;
+    }
+  }
+  return inside;
+}
+
+namespace {
+
+bool segments_cross(const GeoPoint& p1, const GeoPoint& p2, const GeoPoint& q1,
+                    const GeoPoint& q2) {
+  auto orient = [](const GeoPoint& a, const GeoPoint& b, const GeoPoint& c) {
+    double v = (b.longitude - a.longitude) * (c.latitude - a.latitude) -
+               (b.latitude - a.latitude) * (c.longitude - a.longitude);
+    return v > 1e-15 ? 1 : (v < -1e-15 ? -1 : 0);
+  };
+  int o1 = orient(p1, p2, q1), o2 = orient(p1, p2, q2);
+  int o3 = orient(q1, q2, p1), o4 = orient(q1, q2, p2);
+  return o1 != o2 && o3 != o4;
+}
+
+}  // namespace
+
+bool Polygon::intersects(const BoundingBox& box) const {
+  if (!bbox_.intersects(box)) return false;
+  for (const auto& v : vertices_)
+    if (box.contains(v)) return true;
+  GeoPoint corners[4] = {{box.min_lat, box.min_lon, 0},
+                         {box.min_lat, box.max_lon, 0},
+                         {box.max_lat, box.max_lon, 0},
+                         {box.max_lat, box.min_lon, 0}};
+  for (const auto& corner : corners)
+    if (contains(corner)) return true;
+  std::size_t n = vertices_.size();
+  for (std::size_t i = 0, j = n - 1; i < n; j = i++)
+    for (int e = 0; e < 4; ++e)
+      if (segments_cross(vertices_[i], vertices_[j], corners[e], corners[(e + 1) % 4]))
+        return true;
+  return false;
+}
+
+}  // namespace sns::geo

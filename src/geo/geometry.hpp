@@ -1,0 +1,73 @@
+// geometry.hpp — geodetic primitives.
+//
+// §2.3/§3.2 of the paper distinguish civic and geodetic locations; this
+// module is the geodetic half: points (lat/lon/alt), axis-aligned
+// boxes, and polygons ("encodings supporting polygons" — §3.2) with
+// point-in-polygon tests for the complex geometries of high-level
+// spatial domains. Coordinates are WGS84-style degrees; distances use
+// the haversine great-circle approximation.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace sns::geo {
+
+struct GeoPoint {
+  double latitude = 0.0;   // degrees, +N
+  double longitude = 0.0;  // degrees, +E
+  double altitude = 0.0;   // metres
+
+  friend bool operator==(const GeoPoint&, const GeoPoint&) = default;
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Great-circle distance in metres (ignores altitude).
+double haversine_m(const GeoPoint& a, const GeoPoint& b);
+
+/// Axis-aligned lat/lon box. Does not model antimeridian wrapping —
+/// spatial domains in the experiments are continent-scale at most.
+struct BoundingBox {
+  double min_lat = 0.0;
+  double min_lon = 0.0;
+  double max_lat = 0.0;
+  double max_lon = 0.0;
+
+  static BoundingBox around(const GeoPoint& center, double half_side_deg);
+  [[nodiscard]] bool contains(const GeoPoint& p) const;
+  [[nodiscard]] bool contains(const BoundingBox& other) const;
+  [[nodiscard]] bool intersects(const BoundingBox& other) const;
+  [[nodiscard]] GeoPoint center() const;
+  [[nodiscard]] double width() const { return max_lon - min_lon; }
+  [[nodiscard]] double height() const { return max_lat - min_lat; }
+  /// Smallest box containing both.
+  [[nodiscard]] BoundingBox united(const BoundingBox& other) const;
+  /// Area in square degrees (used by R-tree heuristics, not physics).
+  [[nodiscard]] double area() const;
+
+  friend bool operator==(const BoundingBox&, const BoundingBox&) = default;
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Simple polygon (no holes), vertices in order, implicitly closed.
+class Polygon {
+ public:
+  explicit Polygon(std::vector<GeoPoint> vertices);
+
+  [[nodiscard]] const std::vector<GeoPoint>& vertices() const noexcept { return vertices_; }
+  [[nodiscard]] const BoundingBox& bbox() const noexcept { return bbox_; }
+
+  /// Ray-casting point-in-polygon; boundary points count as inside.
+  [[nodiscard]] bool contains(const GeoPoint& p) const;
+
+  /// Conservative box-overlap: true if any polygon vertex is in the box,
+  /// any box corner is in the polygon, or any edges cross.
+  [[nodiscard]] bool intersects(const BoundingBox& box) const;
+
+ private:
+  std::vector<GeoPoint> vertices_;
+  BoundingBox bbox_;
+};
+
+}  // namespace sns::geo

@@ -1,0 +1,175 @@
+#include "geo/hilbert.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace sns::geo {
+
+// Classic bit-twiddling conversion (Hilbert 1891 construction, iterative
+// form): walk orders from the top, rotating the quadrant frame.
+HilbertD hilbert_xy_to_d(int order, std::uint32_t x, std::uint32_t y) {
+  assert(order >= 1 && order <= 31);
+  HilbertD d = 0;
+  for (std::uint32_t s = 1u << (order - 1); s > 0; s >>= 1) {
+    std::uint32_t rx = (x & s) > 0 ? 1 : 0;
+    std::uint32_t ry = (y & s) > 0 ? 1 : 0;
+    d += static_cast<HilbertD>(s) * s * ((3 * rx) ^ ry);
+    // Rotate quadrant.
+    if (ry == 0) {
+      if (rx == 1) {
+        x = s - 1 - x;
+        y = s - 1 - y;
+      }
+      std::swap(x, y);
+    }
+  }
+  return d;
+}
+
+void hilbert_d_to_xy(int order, HilbertD d, std::uint32_t& x, std::uint32_t& y) {
+  assert(order >= 1 && order <= 31);
+  x = y = 0;
+  HilbertD t = d;
+  for (std::uint32_t s = 1; s < (1u << order); s <<= 1) {
+    std::uint32_t rx = static_cast<std::uint32_t>((t / 2) & 1);
+    std::uint32_t ry = static_cast<std::uint32_t>((t ^ rx) & 1);
+    if (ry == 0) {
+      if (rx == 1) {
+        x = s - 1 - x;
+        y = s - 1 - y;
+      }
+      std::swap(x, y);
+    }
+    x += s * rx;
+    y += s * ry;
+    t /= 4;
+  }
+}
+
+HilbertGrid::HilbertGrid(BoundingBox domain, int order)
+    : domain_(domain), order_(order), side_(1u << order) {
+  assert(order >= 1 && order <= 31);
+  assert(domain.max_lat > domain.min_lat && domain.max_lon > domain.min_lon);
+}
+
+double HilbertGrid::cell_height_deg() const { return domain_.height() / side_; }
+
+std::uint32_t HilbertGrid::lat_to_cell(double lat) const {
+  double f = (lat - domain_.min_lat) / domain_.height();
+  auto cell = static_cast<std::int64_t>(std::floor(f * side_));
+  cell = std::clamp<std::int64_t>(cell, 0, static_cast<std::int64_t>(side_) - 1);
+  return static_cast<std::uint32_t>(cell);
+}
+
+std::uint32_t HilbertGrid::lon_to_cell(double lon) const {
+  double f = (lon - domain_.min_lon) / domain_.width();
+  auto cell = static_cast<std::int64_t>(std::floor(f * side_));
+  cell = std::clamp<std::int64_t>(cell, 0, static_cast<std::int64_t>(side_) - 1);
+  return static_cast<std::uint32_t>(cell);
+}
+
+HilbertD HilbertGrid::point_to_d(const GeoPoint& p) const {
+  return hilbert_xy_to_d(order_, lon_to_cell(p.longitude), lat_to_cell(p.latitude));
+}
+
+BoundingBox HilbertGrid::cell_box(HilbertD d) const {
+  std::uint32_t x = 0, y = 0;
+  hilbert_d_to_xy(order_, d, x, y);
+  double cw = domain_.width() / side_;
+  double ch = domain_.height() / side_;
+  return BoundingBox{domain_.min_lat + y * ch, domain_.min_lon + x * cw,
+                     domain_.min_lat + (y + 1) * ch, domain_.min_lon + (x + 1) * cw};
+}
+
+void HilbertGrid::decompose_node(std::uint32_t x0, std::uint32_t y0, std::uint32_t size,
+                                 std::uint32_t qx0, std::uint32_t qy0, std::uint32_t qx1,
+                                 std::uint32_t qy1,
+                                 std::vector<HilbertInterval>& out) const {
+  // No overlap with the query rectangle?
+  if (x0 > qx1 || x0 + size - 1 < qx0 || y0 > qy1 || y0 + size - 1 < qy0) return;
+
+  bool fully_inside = x0 >= qx0 && x0 + size - 1 <= qx1 && y0 >= qy0 && y0 + size - 1 <= qy1;
+  if (fully_inside || size == 1) {
+    // Any power-of-two-aligned quadrant is contiguous on the curve; its
+    // start is the minimum distance among its corner cells.
+    HilbertD d0 = hilbert_xy_to_d(order_, x0, y0);
+    if (size > 1) {
+      d0 = std::min({d0, hilbert_xy_to_d(order_, x0 + size - 1, y0),
+                     hilbert_xy_to_d(order_, x0, y0 + size - 1),
+                     hilbert_xy_to_d(order_, x0 + size - 1, y0 + size - 1)});
+    }
+    out.push_back(HilbertInterval{d0, d0 + static_cast<HilbertD>(size) * size - 1});
+    return;
+  }
+  std::uint32_t half = size / 2;
+  decompose_node(x0, y0, half, qx0, qy0, qx1, qy1, out);
+  decompose_node(x0 + half, y0, half, qx0, qy0, qx1, qy1, out);
+  decompose_node(x0, y0 + half, half, qx0, qy0, qx1, qy1, out);
+  decompose_node(x0 + half, y0 + half, half, qx0, qy0, qx1, qy1, out);
+}
+
+std::vector<HilbertInterval> HilbertGrid::decompose(const BoundingBox& query) const {
+  std::vector<HilbertInterval> out;
+  if (!query.intersects(domain_)) return out;
+  std::uint32_t qx0 = lon_to_cell(std::max(query.min_lon, domain_.min_lon));
+  std::uint32_t qx1 = lon_to_cell(std::min(query.max_lon, domain_.max_lon));
+  std::uint32_t qy0 = lat_to_cell(std::max(query.min_lat, domain_.min_lat));
+  std::uint32_t qy1 = lat_to_cell(std::min(query.max_lat, domain_.max_lat));
+  decompose_node(0, 0, side_, qx0, qy0, qx1, qy1, out);
+  std::sort(out.begin(), out.end(),
+            [](const HilbertInterval& a, const HilbertInterval& b) { return a.lo < b.lo; });
+  // Merge adjacent/overlapping intervals.
+  std::vector<HilbertInterval> merged;
+  for (const auto& interval : out) {
+    if (!merged.empty() && interval.lo <= merged.back().hi + 1)
+      merged.back().hi = std::max(merged.back().hi, interval.hi);
+    else
+      merged.push_back(interval);
+  }
+  return merged;
+}
+
+std::string render_hilbert_ascii(int order) {
+  // Draw the curve on a (2*side-1)^2 character canvas: cells at even
+  // coordinates, connectors between consecutive cells.
+  std::uint32_t side = 1u << order;
+  std::uint32_t w = 2 * side - 1;
+  std::vector<std::string> canvas(w, std::string(w, ' '));
+  std::uint32_t px = 0, py = 0;
+  for (HilbertD d = 0; d < static_cast<HilbertD>(side) * side; ++d) {
+    std::uint32_t x = 0, y = 0;
+    hilbert_d_to_xy(order, d, x, y);
+    canvas[w - 1 - 2 * y][2 * x] = '*';
+    if (d > 0) {
+      // Connector between (px,py) and (x,y) — always 4-adjacent.
+      std::uint32_t cx = px + x, cy = py + y;  // == 2*mid
+      canvas[w - 1 - cy][cx] = (px == x) ? '|' : '-';
+    }
+    px = x;
+    py = y;
+  }
+  std::string out;
+  for (const auto& row : canvas) {
+    out += row;
+    out += '\n';
+  }
+  return out;
+}
+
+double hilbert_adjacency_gap(int order) {
+  std::uint32_t side = 1u << order;
+  double total = 0.0;
+  std::uint64_t count = 0;
+  for (std::uint32_t y = 0; y < side; ++y) {
+    for (std::uint32_t x = 0; x + 1 < side; ++x) {
+      HilbertD a = hilbert_xy_to_d(order, x, y);
+      HilbertD b = hilbert_xy_to_d(order, x + 1, y);
+      total += static_cast<double>(a > b ? a - b : b - a);
+      ++count;
+    }
+  }
+  return count == 0 ? 0.0 : total / static_cast<double>(count);
+}
+
+}  // namespace sns::geo

@@ -1,0 +1,80 @@
+// hilbert.hpp — Hilbert space-filling curves (§3.2, Figure 4).
+//
+// The paper proposes Hilbert curves to "partition an area and provide a
+// spatial index … lookup overlapping interval ranges … in logarithmic
+// complexity", with curve order controlling precision. This module
+// implements:
+//   * cell <-> curve-distance mapping for any order 1..31,
+//   * a grid binding the curve to a geographic bounding box,
+//   * decomposition of a query box into a minimal set of contiguous
+//     curve intervals (the key primitive of the Hilbert spatial index),
+//   * ASCII rendering used to regenerate Figure 4.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geo/geometry.hpp"
+
+namespace sns::geo {
+
+/// Distance along a Hilbert curve of order n (0 .. 4^n - 1).
+using HilbertD = std::uint64_t;
+
+/// Map cell (x, y) to its distance along the order-`order` curve.
+/// Precondition: order in [1, 31], x/y < 2^order.
+HilbertD hilbert_xy_to_d(int order, std::uint32_t x, std::uint32_t y);
+
+/// Inverse of hilbert_xy_to_d.
+void hilbert_d_to_xy(int order, HilbertD d, std::uint32_t& x, std::uint32_t& y);
+
+/// A contiguous range [lo, hi] of curve distances.
+struct HilbertInterval {
+  HilbertD lo = 0;
+  HilbertD hi = 0;
+  friend bool operator==(const HilbertInterval&, const HilbertInterval&) = default;
+};
+
+/// Binds an order-n Hilbert curve onto a geographic bounding box,
+/// providing geodetic <-> cell <-> distance conversions and query
+/// decomposition. Cells outside the domain clamp to its edge.
+class HilbertGrid {
+ public:
+  HilbertGrid(BoundingBox domain, int order);
+
+  [[nodiscard]] int order() const noexcept { return order_; }
+  [[nodiscard]] const BoundingBox& domain() const noexcept { return domain_; }
+  [[nodiscard]] std::uint32_t cells_per_side() const noexcept { return side_; }
+  /// Ground size of one cell along latitude, in degrees.
+  [[nodiscard]] double cell_height_deg() const;
+
+  [[nodiscard]] HilbertD point_to_d(const GeoPoint& p) const;
+  [[nodiscard]] BoundingBox cell_box(HilbertD d) const;
+
+  /// Decompose `query` (clipped to the domain) into contiguous curve
+  /// intervals covering exactly the overlapped cells. The result is
+  /// sorted and merged; its size is O(perimeter) of the query in cells.
+  [[nodiscard]] std::vector<HilbertInterval> decompose(const BoundingBox& query) const;
+
+ private:
+  void decompose_node(std::uint32_t x0, std::uint32_t y0, std::uint32_t size, std::uint32_t qx0,
+                      std::uint32_t qy0, std::uint32_t qx1, std::uint32_t qy1,
+                      std::vector<HilbertInterval>& out) const;
+  [[nodiscard]] std::uint32_t lat_to_cell(double lat) const;
+  [[nodiscard]] std::uint32_t lon_to_cell(double lon) const;
+
+  BoundingBox domain_;
+  int order_;
+  std::uint32_t side_;
+};
+
+/// ASCII-art rendering of the order-n curve (Figure 4): each cell shows
+/// the path through it using box-drawing characters.
+std::string render_hilbert_ascii(int order);
+
+/// Locality measure used in the Fig. 4 bench: mean curve-distance gap
+/// between horizontally adjacent cells (1.0 = perfect locality).
+double hilbert_adjacency_gap(int order);
+
+}  // namespace sns::geo

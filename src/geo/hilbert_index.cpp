@@ -1,0 +1,45 @@
+#include "geo/hilbert_index.hpp"
+
+#include <algorithm>
+
+namespace sns::geo {
+
+void HilbertIndex::insert(EntryId id, const GeoPoint& point) {
+  HilbertD d = grid_.point_to_d(point);
+  buckets_[d].push_back(Entry{id, point});
+  cells_[id] = d;
+  ++size_;
+}
+
+bool HilbertIndex::remove(EntryId id) {
+  auto cell = cells_.find(id);
+  if (cell == cells_.end()) return false;
+  auto bucket = buckets_.find(cell->second);
+  bool removed = false;
+  if (bucket != buckets_.end()) {
+    auto& entries = bucket->second;
+    auto it = std::remove_if(entries.begin(), entries.end(),
+                             [&](const Entry& e) { return e.id == id; });
+    std::size_t dropped = static_cast<std::size_t>(entries.end() - it);
+    entries.erase(it, entries.end());
+    if (entries.empty()) buckets_.erase(bucket);
+    size_ -= dropped;
+    removed = dropped > 0;
+  }
+  cells_.erase(cell);
+  return removed;
+}
+
+std::vector<EntryId> HilbertIndex::query(const BoundingBox& query) const {
+  std::vector<EntryId> out;
+  for (const auto& interval : grid_.decompose(query)) {
+    for (auto it = buckets_.lower_bound(interval.lo);
+         it != buckets_.end() && it->first <= interval.hi; ++it) {
+      for (const auto& entry : it->second)
+        if (query.contains(entry.point)) out.push_back(entry.id);
+    }
+  }
+  return out;
+}
+
+}  // namespace sns::geo

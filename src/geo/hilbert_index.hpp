@@ -1,0 +1,40 @@
+// hilbert_index.hpp — the paper's proposed index (§3.2).
+//
+// Entries are keyed by their Hilbert curve distance in a sorted map;
+// a box query decomposes into O(perimeter) curve intervals, each
+// answered with one ordered-map range scan: O(log n + k) per interval.
+// Cells are finite, so each bucket double-checks exact containment.
+#pragma once
+
+#include <map>
+
+#include "geo/hilbert.hpp"
+#include "geo/index.hpp"
+
+namespace sns::geo {
+
+class HilbertIndex final : public SpatialIndex {
+ public:
+  /// `order` picks precision: cell side = domain side / 2^order.
+  HilbertIndex(BoundingBox domain, int order) : grid_(domain, order) {}
+
+  void insert(EntryId id, const GeoPoint& point) override;
+  bool remove(EntryId id) override;
+  [[nodiscard]] std::vector<EntryId> query(const BoundingBox& query) const override;
+  [[nodiscard]] std::size_t size() const override { return size_; }
+  [[nodiscard]] const char* name() const override { return "hilbert"; }
+
+  [[nodiscard]] const HilbertGrid& grid() const noexcept { return grid_; }
+
+ private:
+  struct Entry {
+    EntryId id;
+    GeoPoint point;
+  };
+  HilbertGrid grid_;
+  std::map<HilbertD, std::vector<Entry>> buckets_;
+  std::map<EntryId, HilbertD> cells_;  // reverse index for remove()
+  std::size_t size_ = 0;
+};
+
+}  // namespace sns::geo

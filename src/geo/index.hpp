@@ -1,0 +1,41 @@
+// index.hpp — common interface for geodetic device indexes.
+//
+// §3.2: "A naive solution … would be O(n) … Instead, we can use existing
+// work from spatial indexing" (space-filling curves, R-trees [8,21],
+// quadtrees [45]). Every index implements this interface so the
+// E5 benchmark can compare them on identical workloads, and so a
+// SpatialZone can choose its index ("alternatives such as R-trees may be
+// more efficient for sparse locations").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/geometry.hpp"
+
+namespace sns::geo {
+
+/// Opaque entry identifier (the SNS core maps these to device names).
+using EntryId = std::uint64_t;
+
+class SpatialIndex {
+ public:
+  virtual ~SpatialIndex() = default;
+
+  /// Insert a point entry. Duplicate ids are the caller's bug; the
+  /// index stores both (remove clears all).
+  virtual void insert(EntryId id, const GeoPoint& point) = 0;
+
+  /// Remove an entry; returns false if absent.
+  virtual bool remove(EntryId id) = 0;
+
+  /// All entries whose point lies inside `query`. Order unspecified.
+  [[nodiscard]] virtual std::vector<EntryId> query(const BoundingBox& query) const = 0;
+
+  [[nodiscard]] virtual std::size_t size() const = 0;
+
+  /// Implementation name for benches ("naive", "hilbert", "rtree", ...).
+  [[nodiscard]] virtual const char* name() const = 0;
+};
+
+}  // namespace sns::geo

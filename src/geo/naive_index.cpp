@@ -1,0 +1,26 @@
+#include "geo/naive_index.hpp"
+
+#include <algorithm>
+
+namespace sns::geo {
+
+void NaiveIndex::insert(EntryId id, const GeoPoint& point) {
+  entries_.push_back(Entry{id, point});
+}
+
+bool NaiveIndex::remove(EntryId id) {
+  auto it = std::remove_if(entries_.begin(), entries_.end(),
+                           [&](const Entry& e) { return e.id == id; });
+  bool removed = it != entries_.end();
+  entries_.erase(it, entries_.end());
+  return removed;
+}
+
+std::vector<EntryId> NaiveIndex::query(const BoundingBox& query) const {
+  std::vector<EntryId> out;
+  for (const auto& entry : entries_)
+    if (query.contains(entry.point)) out.push_back(entry.id);
+  return out;
+}
+
+}  // namespace sns::geo

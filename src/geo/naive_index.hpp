@@ -1,0 +1,26 @@
+// naive_index.hpp — the paper's strawman: check every device, O(n).
+#pragma once
+
+#include <vector>
+
+#include "geo/index.hpp"
+
+namespace sns::geo {
+
+class NaiveIndex final : public SpatialIndex {
+ public:
+  void insert(EntryId id, const GeoPoint& point) override;
+  bool remove(EntryId id) override;
+  [[nodiscard]] std::vector<EntryId> query(const BoundingBox& query) const override;
+  [[nodiscard]] std::size_t size() const override { return entries_.size(); }
+  [[nodiscard]] const char* name() const override { return "naive"; }
+
+ private:
+  struct Entry {
+    EntryId id;
+    GeoPoint point;
+  };
+  std::vector<Entry> entries_;
+};
+
+}  // namespace sns::geo

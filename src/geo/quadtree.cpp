@@ -1,0 +1,115 @@
+#include "geo/quadtree.hpp"
+
+#include <algorithm>
+
+namespace sns::geo {
+
+struct Quadtree::Node {
+  BoundingBox box;
+  int depth = 0;
+  struct Entry {
+    EntryId id;
+    GeoPoint point;
+  };
+  std::vector<Entry> entries;
+  std::unique_ptr<Node> quadrants[4];  // SW, SE, NW, NE
+
+  [[nodiscard]] bool is_leaf() const { return quadrants[0] == nullptr; }
+
+  [[nodiscard]] int quadrant_of(const GeoPoint& p) const {
+    GeoPoint mid = box.center();
+    int idx = 0;
+    if (p.longitude > mid.longitude) idx |= 1;
+    if (p.latitude > mid.latitude) idx |= 2;
+    return idx;
+  }
+
+  [[nodiscard]] BoundingBox quadrant_box(int idx) const {
+    GeoPoint mid = box.center();
+    double lo_lat = (idx & 2) != 0 ? mid.latitude : box.min_lat;
+    double hi_lat = (idx & 2) != 0 ? box.max_lat : mid.latitude;
+    double lo_lon = (idx & 1) != 0 ? mid.longitude : box.min_lon;
+    double hi_lon = (idx & 1) != 0 ? box.max_lon : mid.longitude;
+    return BoundingBox{lo_lat, lo_lon, hi_lat, hi_lon};
+  }
+};
+
+Quadtree::Quadtree(BoundingBox domain, std::size_t bucket_capacity, int max_depth)
+    : root_(std::make_unique<Node>()),
+      domain_(domain),
+      bucket_capacity_(std::max<std::size_t>(1, bucket_capacity)),
+      max_depth_(max_depth) {
+  root_->box = domain;
+}
+
+Quadtree::~Quadtree() = default;
+
+void Quadtree::insert(EntryId id, const GeoPoint& point) {
+  GeoPoint p = point;
+  p.latitude = std::clamp(p.latitude, domain_.min_lat, domain_.max_lat);
+  p.longitude = std::clamp(p.longitude, domain_.min_lon, domain_.max_lon);
+
+  Node* node = root_.get();
+  while (!node->is_leaf()) node = node->quadrants[node->quadrant_of(p)].get();
+
+  node->entries.push_back(Node::Entry{id, p});
+  ++size_;
+
+  // Split on overflow (unless depth-capped).
+  while (node->entries.size() > bucket_capacity_ && node->depth < max_depth_) {
+    for (int q = 0; q < 4; ++q) {
+      node->quadrants[q] = std::make_unique<Node>();
+      node->quadrants[q]->box = node->quadrant_box(q);
+      node->quadrants[q]->depth = node->depth + 1;
+    }
+    for (const auto& entry : node->entries)
+      node->quadrants[node->quadrant_of(entry.point)]->entries.push_back(entry);
+    node->entries.clear();
+    // Continue splitting the child that may still overflow.
+    Node* hot = nullptr;
+    for (int q = 0; q < 4; ++q)
+      if (node->quadrants[q]->entries.size() > bucket_capacity_) hot = node->quadrants[q].get();
+    if (hot == nullptr) break;
+    node = hot;
+  }
+}
+
+bool Quadtree::remove(EntryId id) {
+  // Exhaustive walk; acceptable for the SNS's rare relocations.
+  std::vector<Node*> stack{root_.get()};
+  while (!stack.empty()) {
+    Node* node = stack.back();
+    stack.pop_back();
+    if (node->is_leaf()) {
+      auto it = std::remove_if(node->entries.begin(), node->entries.end(),
+                               [&](const Node::Entry& e) { return e.id == id; });
+      if (it != node->entries.end()) {
+        size_ -= static_cast<std::size_t>(node->entries.end() - it);
+        node->entries.erase(it, node->entries.end());
+        return true;
+      }
+    } else {
+      for (auto& quadrant : node->quadrants) stack.push_back(quadrant.get());
+    }
+  }
+  return false;
+}
+
+std::vector<EntryId> Quadtree::query(const BoundingBox& query) const {
+  std::vector<EntryId> out;
+  std::vector<const Node*> stack{root_.get()};
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    if (!node->box.intersects(query)) continue;
+    if (node->is_leaf()) {
+      for (const auto& entry : node->entries)
+        if (query.contains(entry.point)) out.push_back(entry.id);
+    } else {
+      for (const auto& quadrant : node->quadrants) stack.push_back(quadrant.get());
+    }
+  }
+  return out;
+}
+
+}  // namespace sns::geo

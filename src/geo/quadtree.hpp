@@ -1,0 +1,34 @@
+// quadtree.hpp — region quadtree (Samet 1984), cited by the paper [45]
+// as part of the spatial-indexing design space for geodetic resolution.
+#pragma once
+
+#include <memory>
+
+#include "geo/index.hpp"
+
+namespace sns::geo {
+
+class Quadtree final : public SpatialIndex {
+ public:
+  /// `domain` bounds all inserted points; out-of-domain inserts clamp.
+  explicit Quadtree(BoundingBox domain, std::size_t bucket_capacity = 8, int max_depth = 16);
+  ~Quadtree() override;
+  Quadtree(const Quadtree&) = delete;
+  Quadtree& operator=(const Quadtree&) = delete;
+
+  void insert(EntryId id, const GeoPoint& point) override;
+  bool remove(EntryId id) override;
+  [[nodiscard]] std::vector<EntryId> query(const BoundingBox& query) const override;
+  [[nodiscard]] std::size_t size() const override { return size_; }
+  [[nodiscard]] const char* name() const override { return "quadtree"; }
+
+ private:
+  struct Node;
+  std::unique_ptr<Node> root_;
+  BoundingBox domain_;
+  std::size_t bucket_capacity_;
+  int max_depth_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace sns::geo

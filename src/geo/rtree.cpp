@@ -1,0 +1,302 @@
+#include "geo/rtree.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace sns::geo {
+
+struct RTree::Node {
+  Node* parent = nullptr;
+  bool leaf = true;
+  BoundingBox box{};
+
+  struct LeafEntry {
+    EntryId id;
+    BoundingBox box;
+  };
+  std::vector<LeafEntry> entries;              // when leaf
+  std::vector<std::unique_ptr<Node>> children;  // when internal
+
+  [[nodiscard]] std::size_t count() const { return leaf ? entries.size() : children.size(); }
+
+  void recompute_box() {
+    bool first = true;
+    auto merge = [&](const BoundingBox& b) {
+      box = first ? b : box.united(b);
+      first = false;
+    };
+    if (leaf)
+      for (const auto& e : entries) merge(e.box);
+    else
+      for (const auto& c : children) merge(c->box);
+  }
+};
+
+RTree::RTree(std::size_t max_entries)
+    : root_(std::make_unique<Node>()),
+      max_entries_(std::max<std::size_t>(4, max_entries)),
+      min_entries_(std::max<std::size_t>(2, max_entries / 2)) {}
+
+RTree::~RTree() = default;
+
+namespace {
+
+double enlargement(const BoundingBox& box, const BoundingBox& add) {
+  return box.united(add).area() - box.area();
+}
+
+}  // namespace
+
+RTree::Node* RTree::choose_leaf(Node* node, const BoundingBox& box) const {
+  while (!node->leaf) {
+    Node* best = nullptr;
+    double best_enlargement = std::numeric_limits<double>::max();
+    double best_area = std::numeric_limits<double>::max();
+    for (const auto& child : node->children) {
+      double grow = enlargement(child->box, box);
+      double area = child->box.area();
+      if (grow < best_enlargement || (grow == best_enlargement && area < best_area)) {
+        best = child.get();
+        best_enlargement = grow;
+        best_area = area;
+      }
+    }
+    node = best;
+  }
+  return node;
+}
+
+void RTree::adjust_upward(Node* node) {
+  while (node != nullptr) {
+    node->recompute_box();
+    node = node->parent;
+  }
+}
+
+void RTree::split_and_propagate(Node* node) {
+  while (node != nullptr && node->count() > max_entries_) {
+    // Quadratic split (Guttman §3.5.2) over either entry kind.
+    auto box_of = [&](std::size_t i) -> const BoundingBox& {
+      return node->leaf ? node->entries[i].box : node->children[i]->box;
+    };
+    std::size_t n = node->count();
+
+    // Pick seeds: pair with maximal dead space.
+    std::size_t seed_a = 0, seed_b = 1;
+    double worst = -1.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        double dead = box_of(i).united(box_of(j)).area() - box_of(i).area() - box_of(j).area();
+        if (dead > worst) {
+          worst = dead;
+          seed_a = i;
+          seed_b = j;
+        }
+      }
+    }
+
+    auto sibling = std::make_unique<Node>();
+    sibling->leaf = node->leaf;
+    sibling->parent = node->parent;
+
+    // Distribute members between node (group A) and sibling (group B).
+    std::vector<int> group(n, -1);
+    group[seed_a] = 0;
+    group[seed_b] = 1;
+    BoundingBox box_a = box_of(seed_a), box_b = box_of(seed_b);
+    std::size_t count_a = 1, count_b = 1;
+    std::size_t assigned = 2;
+    while (assigned < n) {
+      // Force the remainder into a group that must reach min fill.
+      std::size_t remaining = n - assigned;
+      int forced = -1;
+      if (count_a + remaining == min_entries_) forced = 0;
+      if (count_b + remaining == min_entries_) forced = 1;
+
+      // Pick the unassigned member with the largest preference gap.
+      std::size_t pick = n;
+      double best_gap = -1.0;
+      int pick_group = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (group[i] != -1) continue;
+        double grow_a = enlargement(box_a, box_of(i));
+        double grow_b = enlargement(box_b, box_of(i));
+        double gap = grow_a > grow_b ? grow_a - grow_b : grow_b - grow_a;
+        if (gap > best_gap) {
+          best_gap = gap;
+          pick = i;
+          pick_group = forced != -1 ? forced : (grow_a <= grow_b ? 0 : 1);
+        }
+      }
+      assert(pick < n);
+      group[pick] = pick_group;
+      if (pick_group == 0) {
+        box_a = box_a.united(box_of(pick));
+        ++count_a;
+      } else {
+        box_b = box_b.united(box_of(pick));
+        ++count_b;
+      }
+      ++assigned;
+    }
+
+    // Move group-B members into the sibling.
+    if (node->leaf) {
+      std::vector<Node::LeafEntry> keep;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (group[i] == 0)
+          keep.push_back(node->entries[i]);
+        else
+          sibling->entries.push_back(node->entries[i]);
+      }
+      node->entries = std::move(keep);
+    } else {
+      std::vector<std::unique_ptr<Node>> keep;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (group[i] == 0) {
+          keep.push_back(std::move(node->children[i]));
+        } else {
+          node->children[i]->parent = sibling.get();
+          sibling->children.push_back(std::move(node->children[i]));
+        }
+      }
+      node->children = std::move(keep);
+    }
+    node->recompute_box();
+    sibling->recompute_box();
+
+    if (node->parent == nullptr) {
+      // Grow a new root.
+      auto new_root = std::make_unique<Node>();
+      new_root->leaf = false;
+      auto old_root = std::move(root_);
+      old_root->parent = new_root.get();
+      sibling->parent = new_root.get();
+      new_root->children.push_back(std::move(old_root));
+      new_root->children.push_back(std::move(sibling));
+      new_root->recompute_box();
+      root_ = std::move(new_root);
+      return;
+    }
+    Node* parent = node->parent;
+    parent->children.push_back(std::move(sibling));
+    parent->recompute_box();
+    node = parent;
+  }
+  adjust_upward(node);
+}
+
+void RTree::insert_impl(EntryId id, const BoundingBox& box) {
+  Node* leaf = choose_leaf(root_.get(), box);
+  leaf->entries.push_back(Node::LeafEntry{id, box});
+  adjust_upward(leaf);
+  split_and_propagate(leaf);
+  ++size_;
+}
+
+void RTree::insert(EntryId id, const GeoPoint& point) {
+  insert_impl(id, BoundingBox{point.latitude, point.longitude, point.latitude, point.longitude});
+}
+
+void RTree::insert_box(EntryId id, const BoundingBox& box) { insert_impl(id, box); }
+
+bool RTree::remove(EntryId id) {
+  // Locate the leaf holding `id` by exhaustive descent (ids carry no
+  // geometry, so a targeted search is not possible without a side map;
+  // removals are rare in the SNS — devices move occasionally).
+  std::vector<Node*> stack{root_.get()};
+  Node* found = nullptr;
+  std::size_t found_index = 0;
+  while (!stack.empty() && found == nullptr) {
+    Node* node = stack.back();
+    stack.pop_back();
+    if (node->leaf) {
+      for (std::size_t i = 0; i < node->entries.size(); ++i) {
+        if (node->entries[i].id == id) {
+          found = node;
+          found_index = i;
+          break;
+        }
+      }
+    } else {
+      for (const auto& child : node->children) stack.push_back(child.get());
+    }
+  }
+  if (found == nullptr) return false;
+
+  found->entries.erase(found->entries.begin() + static_cast<std::ptrdiff_t>(found_index));
+  --size_;
+
+  // Condense: unhook underflowing nodes and reinsert their entries.
+  std::vector<Node::LeafEntry> orphans;
+  Node* node = found;
+  while (node->parent != nullptr) {
+    Node* parent = node->parent;
+    if (node->count() < min_entries_) {
+      // Collect all leaf entries under `node`.
+      std::vector<Node*> collect{node};
+      while (!collect.empty()) {
+        Node* c = collect.back();
+        collect.pop_back();
+        if (c->leaf)
+          orphans.insert(orphans.end(), c->entries.begin(), c->entries.end());
+        else
+          for (const auto& child : c->children) collect.push_back(child.get());
+      }
+      auto it = std::find_if(parent->children.begin(), parent->children.end(),
+                             [&](const std::unique_ptr<Node>& p) { return p.get() == node; });
+      assert(it != parent->children.end());
+      parent->children.erase(it);
+    } else {
+      node->recompute_box();
+    }
+    node = parent;
+  }
+  root_->recompute_box();
+
+  // Shrink the root if it has a single internal child.
+  while (!root_->leaf && root_->children.size() == 1) {
+    auto only = std::move(root_->children.front());
+    only->parent = nullptr;
+    root_ = std::move(only);
+  }
+  if (!root_->leaf && root_->children.empty()) {
+    root_ = std::make_unique<Node>();
+  }
+
+  size_ -= orphans.size();
+  for (const auto& orphan : orphans) insert_impl(orphan.id, orphan.box);
+  return true;
+}
+
+std::vector<EntryId> RTree::query(const BoundingBox& query) const {
+  std::vector<EntryId> out;
+  if (size_ == 0) return out;
+  std::vector<const Node*> stack{root_.get()};
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    if (!node->box.intersects(query) && node->count() > 0) continue;
+    if (node->leaf) {
+      for (const auto& entry : node->entries)
+        if (query.intersects(entry.box)) out.push_back(entry.id);
+    } else {
+      for (const auto& child : node->children)
+        if (child->box.intersects(query)) stack.push_back(child.get());
+    }
+  }
+  return out;
+}
+
+int RTree::height() const {
+  int h = 1;
+  const Node* node = root_.get();
+  while (!node->leaf) {
+    node = node->children.front().get();
+    ++h;
+  }
+  return h;
+}
+
+}  // namespace sns::geo

@@ -1,0 +1,48 @@
+// rtree.hpp — R-tree spatial index (Guttman 1984, quadratic split).
+//
+// The paper (§3.2) notes "alternatives such as R-trees may be more
+// efficient for sparse locations" — this implementation lets the E5
+// benchmark test exactly that claim against the Hilbert index.
+#pragma once
+
+#include <memory>
+
+#include "geo/index.hpp"
+
+namespace sns::geo {
+
+class RTree final : public SpatialIndex {
+ public:
+  /// Node capacity M; minimum fill is M/2 (m = M/2 per Guttman).
+  explicit RTree(std::size_t max_entries = 8);
+  ~RTree() override;
+  RTree(const RTree&) = delete;
+  RTree& operator=(const RTree&) = delete;
+
+  void insert(EntryId id, const GeoPoint& point) override;
+  /// Insert an entry with spatial extent (rooms, buildings, domains).
+  void insert_box(EntryId id, const BoundingBox& box);
+  bool remove(EntryId id) override;
+  [[nodiscard]] std::vector<EntryId> query(const BoundingBox& query) const override;
+  [[nodiscard]] std::size_t size() const override { return size_; }
+  [[nodiscard]] const char* name() const override { return "rtree"; }
+
+  /// Tree height (leaves = 1); exposed for tests/benches.
+  [[nodiscard]] int height() const;
+
+ private:
+  struct Node;
+  struct SplitResult;
+
+  void insert_impl(EntryId id, const BoundingBox& box);
+  Node* choose_leaf(Node* node, const BoundingBox& box) const;
+  void split_and_propagate(Node* node);
+  void adjust_upward(Node* node);
+
+  std::unique_ptr<Node> root_;
+  std::size_t max_entries_;
+  std::size_t min_entries_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace sns::geo

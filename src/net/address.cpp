@@ -1,0 +1,242 @@
+#include "net/address.hpp"
+
+#include <charconv>
+#include <cstdio>
+
+#include "util/strings.hpp"
+
+namespace sns::net {
+
+using util::fail;
+using util::Result;
+
+namespace {
+
+Result<std::uint8_t> parse_hex_byte(std::string_view s) {
+  auto bytes = util::from_hex(s);
+  if (!bytes.ok() || bytes.value().size() != 1) return fail("invalid hex byte");
+  return bytes.value()[0];
+}
+
+template <std::size_t N>
+Result<std::array<std::uint8_t, N>> parse_colon_hex(std::string_view text) {
+  auto parts = util::split(text, ':');
+  if (parts.size() != N) return fail("expected " + std::to_string(N) + " colon-separated bytes");
+  std::array<std::uint8_t, N> out{};
+  for (std::size_t i = 0; i < N; ++i) {
+    if (parts[i].size() != 2) return fail("each byte must be 2 hex digits");
+    auto b = parse_hex_byte(parts[i]);
+    if (!b.ok()) return b.error();
+    out[i] = b.value();
+  }
+  return out;
+}
+
+template <std::size_t N>
+std::string format_colon_hex(const std::array<std::uint8_t, N>& octets) {
+  std::string out;
+  char buf[4];
+  for (std::size_t i = 0; i < N; ++i) {
+    std::snprintf(buf, sizeof buf, "%02x", octets[i]);
+    if (i != 0) out += ':';
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<Ipv4Addr> Ipv4Addr::parse(std::string_view text) {
+  auto parts = util::split(text, '.');
+  if (parts.size() != 4) return fail("ipv4: expected 4 octets");
+  Ipv4Addr out;
+  for (std::size_t i = 0; i < 4; ++i) {
+    if (parts[i].empty() || parts[i].size() > 3) return fail("ipv4: bad octet");
+    unsigned value = 0;
+    auto [ptr, ec] =
+        std::from_chars(parts[i].data(), parts[i].data() + parts[i].size(), value);
+    if (ec != std::errc{} || ptr != parts[i].data() + parts[i].size() || value > 255)
+      return fail("ipv4: bad octet '" + parts[i] + "'");
+    out.octets[i] = static_cast<std::uint8_t>(value);
+  }
+  return out;
+}
+
+std::string Ipv4Addr::to_string() const {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", octets[0], octets[1], octets[2], octets[3]);
+  return buf;
+}
+
+std::uint32_t Ipv4Addr::as_u32() const {
+  return (static_cast<std::uint32_t>(octets[0]) << 24) |
+         (static_cast<std::uint32_t>(octets[1]) << 16) |
+         (static_cast<std::uint32_t>(octets[2]) << 8) | octets[3];
+}
+
+Ipv4Addr Ipv4Addr::from_u32(std::uint32_t v) {
+  return Ipv4Addr{{static_cast<std::uint8_t>(v >> 24), static_cast<std::uint8_t>(v >> 16),
+                   static_cast<std::uint8_t>(v >> 8), static_cast<std::uint8_t>(v)}};
+}
+
+Result<Ipv6Addr> Ipv6Addr::parse(std::string_view text) {
+  // Handle one optional `::`. Split into the part before and after it.
+  std::size_t gap = text.find("::");
+  std::vector<std::string> head, tail;
+  if (gap == std::string_view::npos) {
+    head = util::split(text, ':');
+  } else {
+    std::string_view before = text.substr(0, gap);
+    std::string_view after = text.substr(gap + 2);
+    if (after.find("::") != std::string_view::npos) return fail("ipv6: multiple '::'");
+    if (!before.empty()) head = util::split(before, ':');
+    if (!after.empty()) tail = util::split(after, ':');
+  }
+
+  auto parse_group = [](const std::string& g) -> Result<std::uint16_t> {
+    if (g.empty() || g.size() > 4) return fail("ipv6: bad group '" + g + "'");
+    unsigned value = 0;
+    auto [ptr, ec] = std::from_chars(g.data(), g.data() + g.size(), value, 16);
+    if (ec != std::errc{} || ptr != g.data() + g.size()) return fail("ipv6: bad group '" + g + "'");
+    return static_cast<std::uint16_t>(value);
+  };
+
+  std::size_t total = head.size() + tail.size();
+  if (gap == std::string_view::npos) {
+    if (total != 8) return fail("ipv6: expected 8 groups");
+  } else if (total > 7) {
+    return fail("ipv6: too many groups with '::'");
+  }
+
+  Ipv6Addr out;
+  std::size_t idx = 0;
+  for (const auto& g : head) {
+    auto v = parse_group(g);
+    if (!v.ok()) return v.error();
+    out.octets[idx * 2] = static_cast<std::uint8_t>(v.value() >> 8);
+    out.octets[idx * 2 + 1] = static_cast<std::uint8_t>(v.value() & 0xff);
+    ++idx;
+  }
+  idx = 8 - tail.size();
+  for (const auto& g : tail) {
+    auto v = parse_group(g);
+    if (!v.ok()) return v.error();
+    out.octets[idx * 2] = static_cast<std::uint8_t>(v.value() >> 8);
+    out.octets[idx * 2 + 1] = static_cast<std::uint8_t>(v.value() & 0xff);
+    ++idx;
+  }
+  return out;
+}
+
+std::string Ipv6Addr::to_string() const {
+  std::uint16_t groups[8];
+  for (int i = 0; i < 8; ++i)
+    groups[i] = static_cast<std::uint16_t>((octets[static_cast<std::size_t>(i * 2)] << 8) |
+                                           octets[static_cast<std::size_t>(i * 2 + 1)]);
+
+  // RFC 5952: compress the longest run of >= 2 zero groups.
+  int best_start = -1, best_len = 0;
+  for (int i = 0; i < 8;) {
+    if (groups[i] != 0) {
+      ++i;
+      continue;
+    }
+    int j = i;
+    while (j < 8 && groups[j] == 0) ++j;
+    if (j - i > best_len) {
+      best_start = i;
+      best_len = j - i;
+    }
+    i = j;
+  }
+  if (best_len < 2) best_start = -1;
+
+  std::string out;
+  char buf[8];
+  for (int i = 0; i < 8;) {
+    if (i == best_start) {
+      out += (i == 0) ? "::" : ":";
+      i += best_len;
+      if (i == 8) return out;
+      continue;
+    }
+    std::snprintf(buf, sizeof buf, "%x", groups[i]);
+    out += buf;
+    if (i != 7) out += ':';
+    ++i;
+  }
+  // Trailing ':' cleanup when compression ended the string handled above;
+  // remove a dangling separator left by the loop when compression is at end.
+  if (out.size() >= 2 && out.back() == ':' && out[out.size() - 2] != ':') out.pop_back();
+  return out;
+}
+
+Result<Bdaddr> Bdaddr::parse(std::string_view text) {
+  auto octets = parse_colon_hex<6>(text);
+  if (!octets.ok()) return fail("bdaddr: " + octets.error().message);
+  return Bdaddr{octets.value()};
+}
+
+std::string Bdaddr::to_string() const { return format_colon_hex(octets); }
+
+Result<ZigbeeAddr> ZigbeeAddr::parse(std::string_view text) {
+  auto octets = parse_colon_hex<8>(text);
+  if (!octets.ok()) return fail("zigbee: " + octets.error().message);
+  return ZigbeeAddr{octets.value()};
+}
+
+std::string ZigbeeAddr::to_string() const { return format_colon_hex(octets); }
+
+Result<LoraDevAddr> LoraDevAddr::parse(std::string_view text) {
+  if (text.size() != 8) return fail("lora devaddr: expected 8 hex digits");
+  auto bytes = util::from_hex(text);
+  if (!bytes.ok()) return fail("lora devaddr: " + bytes.error().message);
+  std::uint32_t v = 0;
+  for (std::uint8_t b : bytes.value()) v = (v << 8) | b;
+  return LoraDevAddr{v};
+}
+
+std::string LoraDevAddr::to_string() const {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%08x", value);
+  return buf;
+}
+
+Result<DtmfTone> DtmfTone::parse(std::string_view text) {
+  if (text.empty() || text.size() > 32) return fail("dtmf: 1..32 symbols required");
+  for (char c : text) {
+    bool ok = (c >= '0' && c <= '9') || c == '*' || c == '#';
+    if (!ok) return fail("dtmf: invalid symbol");
+  }
+  return DtmfTone{std::string(text)};
+}
+
+std::string to_string(const AnyAddress& address) {
+  return std::visit([](const auto& a) { return a.to_string(); }, address);
+}
+
+std::string_view family_name(const AnyAddress& address) {
+  struct Visitor {
+    std::string_view operator()(const Ipv4Addr&) const { return "ipv4"; }
+    std::string_view operator()(const Ipv6Addr&) const { return "ipv6"; }
+    std::string_view operator()(const Bdaddr&) const { return "bluetooth"; }
+    std::string_view operator()(const ZigbeeAddr&) const { return "zigbee"; }
+    std::string_view operator()(const LoraDevAddr&) const { return "lorawan"; }
+    std::string_view operator()(const DtmfTone&) const { return "audio"; }
+  };
+  return std::visit(Visitor{}, address);
+}
+
+int connectivity_rank(const AnyAddress& address) {
+  struct Visitor {
+    int operator()(const Bdaddr&) const { return 0; }
+    int operator()(const ZigbeeAddr&) const { return 1; }
+    int operator()(const DtmfTone&) const { return 2; }
+    int operator()(const LoraDevAddr&) const { return 3; }
+    int operator()(const Ipv4Addr&) const { return 4; }
+    int operator()(const Ipv6Addr&) const { return 5; }
+  };
+  return std::visit(Visitor{}, address);
+}
+
+}  // namespace sns::net

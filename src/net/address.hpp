@@ -1,0 +1,98 @@
+// address.hpp — the addressing vocabulary of the SNS.
+//
+// The paper's core observation (§2.2) is that devices have *many*
+// addresses — IPv4/6, Bluetooth, Zigbee, LoRaWAN, even audio tones — and
+// that the name system should be the registry for all of them. These are
+// the strongly-typed address values carried in DNS rdata (src/dns) and
+// used for delivery by the simulator (src/net).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <variant>
+
+#include "util/result.hpp"
+
+namespace sns::net {
+
+/// IPv4 address (RFC 791 dotted quad).
+struct Ipv4Addr {
+  std::array<std::uint8_t, 4> octets{};
+
+  static util::Result<Ipv4Addr> parse(std::string_view text);
+  [[nodiscard]] std::string to_string() const;
+  [[nodiscard]] std::uint32_t as_u32() const;
+  static Ipv4Addr from_u32(std::uint32_t v);
+
+  friend auto operator<=>(const Ipv4Addr&, const Ipv4Addr&) = default;
+};
+
+/// IPv6 address; parses/prints RFC 5952 canonical form (incl. `::`).
+struct Ipv6Addr {
+  std::array<std::uint8_t, 16> octets{};
+
+  static util::Result<Ipv6Addr> parse(std::string_view text);
+  [[nodiscard]] std::string to_string() const;
+
+  friend auto operator<=>(const Ipv6Addr&, const Ipv6Addr&) = default;
+};
+
+/// Bluetooth Device Address: 48 bits, printed "01:23:45:67:89:ab".
+struct Bdaddr {
+  std::array<std::uint8_t, 6> octets{};
+
+  static util::Result<Bdaddr> parse(std::string_view text);
+  [[nodiscard]] std::string to_string() const;
+
+  friend auto operator<=>(const Bdaddr&, const Bdaddr&) = default;
+};
+
+/// Zigbee / IEEE 802.15.4 64-bit extended address.
+struct ZigbeeAddr {
+  std::array<std::uint8_t, 8> octets{};
+
+  static util::Result<ZigbeeAddr> parse(std::string_view text);
+  [[nodiscard]] std::string to_string() const;
+
+  friend auto operator<=>(const ZigbeeAddr&, const ZigbeeAddr&) = default;
+};
+
+/// LoRaWAN device address: 32-bit DevAddr printed as 8 hex digits.
+struct LoraDevAddr {
+  std::uint32_t value = 0;
+
+  static util::Result<LoraDevAddr> parse(std::string_view text);
+  [[nodiscard]] std::string to_string() const;
+
+  friend auto operator<=>(const LoraDevAddr&, const LoraDevAddr&) = default;
+};
+
+/// Audio tone prefix (the DTMF record of Table 1): a short digit string
+/// that a device chirps / listens for on the room's audio medium.
+struct DtmfTone {
+  std::string digits;  // characters 0-9, *, #
+
+  static util::Result<DtmfTone> parse(std::string_view text);
+  [[nodiscard]] std::string to_string() const { return digits; }
+
+  friend auto operator<=>(const DtmfTone&, const DtmfTone&) = default;
+};
+
+/// Any address a device can expose. Order of alternatives is meaningful
+/// for `connectivity_rank` below.
+using AnyAddress = std::variant<Bdaddr, ZigbeeAddr, DtmfTone, LoraDevAddr, Ipv4Addr, Ipv6Addr>;
+
+/// Human-readable form of any address.
+std::string to_string(const AnyAddress& address);
+
+/// Protocol family name ("ipv4", "bluetooth", ...).
+std::string_view family_name(const AnyAddress& address);
+
+/// Lower rank = more local / lower energy to use given physical
+/// proximity (the paper's "choose the most appropriate option before
+/// committing", §2.2). Bluetooth < Zigbee < audio < LoRa < IPv4 < IPv6.
+int connectivity_rank(const AnyAddress& address);
+
+}  // namespace sns::net

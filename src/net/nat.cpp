@@ -1,0 +1,62 @@
+#include "net/nat.hpp"
+
+namespace sns::net {
+
+using util::fail;
+using util::Result;
+
+Result<NatMapping> NatBox::request_mapping(NodeId internal_node, std::uint16_t internal_port,
+                                           Duration lifetime, TimePoint now) {
+  auto key = std::make_pair(internal_node, internal_port);
+  auto existing = by_internal_.find(key);
+  if (existing != by_internal_.end()) {
+    // Renewal: extend the lifetime of the existing mapping in place.
+    NatMapping& m = by_port_.at(existing->second);
+    m.expires = now + lifetime;
+    return m;
+  }
+  if (by_port_.size() >= 1000) return fail("nat: port pool exhausted");
+  while (by_port_.contains(next_port_)) ++next_port_;
+  NatMapping m{external_ip_, next_port_, internal_node, internal_port, now + lifetime};
+  by_port_[next_port_] = m;
+  by_internal_[key] = next_port_;
+  ++next_port_;
+  return m;
+}
+
+void NatBox::release_mapping(NodeId internal_node, std::uint16_t internal_port) {
+  auto key = std::make_pair(internal_node, internal_port);
+  auto it = by_internal_.find(key);
+  if (it == by_internal_.end()) return;
+  by_port_.erase(it->second);
+  by_internal_.erase(it);
+}
+
+std::optional<NatMapping> NatBox::translate(std::uint16_t external_port, TimePoint now) const {
+  auto it = by_port_.find(external_port);
+  if (it == by_port_.end() || it->second.expires <= now) return std::nullopt;
+  return it->second;
+}
+
+std::size_t NatBox::expire(TimePoint now) {
+  std::size_t evicted = 0;
+  for (auto it = by_port_.begin(); it != by_port_.end();) {
+    if (it->second.expires <= now) {
+      by_internal_.erase({it->second.internal_node, it->second.internal_port});
+      it = by_port_.erase(it);
+      ++evicted;
+    } else {
+      ++it;
+    }
+  }
+  return evicted;
+}
+
+std::size_t NatBox::active_mappings(TimePoint now) const {
+  std::size_t count = 0;
+  for (const auto& [port, m] : by_port_)
+    if (m.expires > now) ++count;
+  return count;
+}
+
+}  // namespace sns::net

@@ -1,0 +1,68 @@
+// nat.hpp — simulated NAT with a PCP-style mapping protocol.
+//
+// §3.1 of the paper: "if the device hosting the spatial name is behind
+// NAT, a global IP could be dynamically created for a particular port as
+// a side-effect of the DNS resolution using, for example, the Port
+// Control Protocol … maintained for the duration of the DNS response
+// TTL". NatBox implements exactly that contract: MAP requests create an
+// (external ip, external port) → internal endpoint binding whose
+// lifetime is supplied by the caller (the SNS sets it to the answer's
+// TTL), and translation fails once the mapping expires.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "net/address.hpp"
+#include "net/network.hpp"
+#include "net/sim.hpp"
+#include "util/result.hpp"
+
+namespace sns::net {
+
+/// An active inbound mapping on the NAT.
+struct NatMapping {
+  Ipv4Addr external_ip;
+  std::uint16_t external_port = 0;
+  NodeId internal_node = kInvalidNode;
+  std::uint16_t internal_port = 0;
+  TimePoint expires{0};
+};
+
+class NatBox {
+ public:
+  /// `external_ip` is the NAT's public address; mappings hand out ports
+  /// from `first_port` upward.
+  NatBox(Ipv4Addr external_ip, std::uint16_t first_port = 40000)
+      : external_ip_(external_ip), next_port_(first_port) {}
+
+  /// PCP MAP: create (or renew) an inbound mapping for the internal
+  /// endpoint with the given lifetime. Renewal keeps the same external
+  /// port. Fails when the (deliberately finite) port pool is exhausted.
+  util::Result<NatMapping> request_mapping(NodeId internal_node, std::uint16_t internal_port,
+                                           Duration lifetime, TimePoint now);
+
+  /// PCP MAP with lifetime 0: delete the mapping (RFC 6887 §15).
+  void release_mapping(NodeId internal_node, std::uint16_t internal_port);
+
+  /// Inbound translation: which internal endpoint does this external
+  /// port reach right now? nullopt = no live mapping (dropped packet).
+  [[nodiscard]] std::optional<NatMapping> translate(std::uint16_t external_port,
+                                                    TimePoint now) const;
+
+  /// Drop expired mappings; returns how many were evicted.
+  std::size_t expire(TimePoint now);
+
+  [[nodiscard]] std::size_t active_mappings(TimePoint now) const;
+  [[nodiscard]] Ipv4Addr external_ip() const { return external_ip_; }
+
+ private:
+  Ipv4Addr external_ip_;
+  std::uint16_t next_port_;
+  // Keyed by external port; secondary index by internal endpoint for renewal.
+  std::map<std::uint16_t, NatMapping> by_port_;
+  std::map<std::pair<NodeId, std::uint16_t>, std::uint16_t> by_internal_;
+};
+
+}  // namespace sns::net

@@ -1,0 +1,215 @@
+#include "net/network.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <queue>
+
+namespace sns::net {
+
+using util::fail;
+using util::Result;
+
+LinkSpec lan_link() { return LinkSpec{us(200), us(50), 0.0}; }
+
+LinkSpec wan_link(Duration latency, double loss) { return LinkSpec{latency, latency / 10, loss}; }
+
+LinkSpec wireless_link(double loss) { return LinkSpec{ms(2), us(500), loss}; }
+
+Network::Network(std::uint64_t seed) : scheduler_(clock_), rng_(seed) {}
+
+NodeId Network::add_node(std::string name) {
+  nodes_.push_back(NodeState{std::move(name), {}, {}, {}, std::nullopt});
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+void Network::connect(NodeId a, NodeId b, LinkSpec spec) {
+  assert(a < nodes_.size() && b < nodes_.size() && a != b);
+  nodes_[a].edges.push_back(Edge{b, spec, false});
+  nodes_[b].edges.push_back(Edge{a, spec, false});
+}
+
+void Network::set_link_down(NodeId a, NodeId b, bool down) {
+  for (auto& e : nodes_[a].edges)
+    if (e.peer == b) e.down = down;
+  for (auto& e : nodes_[b].edges)
+    if (e.peer == a) e.down = down;
+}
+
+const std::string& Network::node_name(NodeId id) const { return nodes_.at(id).name; }
+
+void Network::set_handler(NodeId node, Handler handler) {
+  nodes_.at(node).handler = std::move(handler);
+}
+
+const Network::Edge* Network::find_edge(NodeId from, NodeId to) const {
+  for (const auto& e : nodes_[from].edges)
+    if (e.peer == to && !e.down) return &e;
+  return nullptr;
+}
+
+std::vector<NodeId> Network::route(NodeId from, NodeId to) const {
+  if (from == to) return {};
+  constexpr auto kInf = std::numeric_limits<std::int64_t>::max();
+  std::vector<std::int64_t> dist(nodes_.size(), kInf);
+  std::vector<NodeId> prev(nodes_.size(), kInvalidNode);
+  using Item = std::pair<std::int64_t, NodeId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  dist[from] = 0;
+  heap.emplace(0, from);
+  while (!heap.empty()) {
+    auto [d, u] = heap.top();
+    heap.pop();
+    if (d > dist[u]) continue;
+    if (u == to) break;
+    for (const auto& e : nodes_[u].edges) {
+      if (e.down) continue;
+      std::int64_t nd = d + e.spec.latency.count();
+      if (nd < dist[e.peer]) {
+        dist[e.peer] = nd;
+        prev[e.peer] = u;
+        heap.emplace(nd, e.peer);
+      }
+    }
+  }
+  if (dist[to] == kInf) return {};
+  std::vector<NodeId> path;
+  for (NodeId v = to; v != from; v = prev[v]) path.push_back(v);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+std::optional<Duration> Network::sample_path(const std::vector<NodeId>& path, NodeId from) {
+  Duration total{0};
+  NodeId current = from;
+  for (NodeId hop : path) {
+    const Edge* edge = find_edge(current, hop);
+    if (edge == nullptr) return std::nullopt;  // link went down mid-route
+    if (edge->spec.loss > 0.0 && rng_.chance(edge->spec.loss)) return std::nullopt;
+    Duration jitter{0};
+    if (edge->spec.jitter.count() > 0)
+      jitter = Duration(static_cast<std::int64_t>(
+          rng_.next_below(static_cast<std::uint64_t>(edge->spec.jitter.count()))));
+    total += edge->spec.latency + jitter;
+    current = hop;
+  }
+  return total;
+}
+
+Result<Duration> Network::path_latency(NodeId from, NodeId to) const {
+  auto path = route(from, to);
+  if (path.empty() && from != to) return fail("no route from " + nodes_[from].name + " to " +
+                                              nodes_[to].name);
+  Duration total{0};
+  NodeId current = from;
+  for (NodeId hop : path) {
+    const Edge* edge = find_edge(current, hop);
+    if (edge == nullptr) return fail("link down on route");
+    total += edge->spec.latency;
+    current = hop;
+  }
+  return total;
+}
+
+Result<ExchangeResult> Network::exchange(NodeId from, NodeId to,
+                                         std::span<const std::uint8_t> payload, Duration timeout,
+                                         int max_attempts) {
+  assert(from < nodes_.size() && to < nodes_.size());
+  auto path = route(from, to);
+  if (path.empty() && from != to)
+    return fail("no route from " + nodes_[from].name + " to " + nodes_[to].name);
+  if (!nodes_[to].handler) return fail("destination " + nodes_[to].name + " has no handler");
+
+  TimePoint start = clock_.now();
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    TimePoint attempt_start = clock_.now();
+    auto forward = sample_path(path, from);
+    std::optional<util::Bytes> response;
+    std::optional<Duration> backward;
+    if (forward.has_value()) {
+      clock_.advance(*forward);  // request delivered
+      // The handler may itself advance virtual time (e.g. a recursive
+      // resolver performing upstream queries) and/or charge explicit
+      // processing delay; both are reflected in the realised RTT.
+      Duration saved_delay = processing_delay_;
+      processing_delay_ = Duration{0};
+      response = nodes_[to].handler(payload, from);
+      clock_.advance(processing_delay_);
+      processing_delay_ = saved_delay;
+      if (response.has_value()) {
+        // Response retraces the path in reverse.
+        std::vector<NodeId> back(path.rbegin() + 1, path.rend());
+        back.push_back(from);
+        backward = sample_path(back, to);
+      }
+    }
+    if (forward && response && backward) {
+      clock_.advance(*backward);
+      return ExchangeResult{std::move(*response), clock_.now() - start, attempt};
+    }
+    // Lost somewhere (or the server stayed silent): burn the remainder
+    // of this attempt's timeout (the clock may already have passed it
+    // if a silent handler did slow nested work).
+    TimePoint deadline = attempt_start + timeout;
+    if (clock_.now() < deadline) clock_.advance_to(deadline);
+  }
+  return fail("exchange timed out after " + std::to_string(max_attempts) + " attempts");
+}
+
+void Network::join_group(std::uint32_t group, NodeId node) { groups_[group].push_back(node); }
+
+std::vector<MulticastResponse> Network::multicast_query(NodeId from, std::uint32_t group,
+                                                        std::span<const std::uint8_t> payload,
+                                                        Duration window) {
+  std::vector<MulticastResponse> out;
+  auto it = groups_.find(group);
+  if (it != groups_.end()) {
+    for (NodeId member : it->second) {
+      if (member == from || !nodes_[member].handler) continue;
+      auto path = route(from, member);
+      if (path.empty() && member != from) continue;
+      auto forward = sample_path(path, from);
+      if (!forward) continue;  // multicast is unreliable: no retry
+      Duration saved_delay = processing_delay_;
+      processing_delay_ = Duration{0};
+      auto response = nodes_[member].handler(payload, from);
+      *forward += processing_delay_;
+      processing_delay_ = saved_delay;
+      if (!response) continue;
+      std::vector<NodeId> back(path.rbegin() + 1, path.rend());
+      back.push_back(from);
+      auto backward = sample_path(back, member);
+      if (!backward) continue;
+      Duration arrival = *forward + *backward;
+      if (arrival <= window) out.push_back(MulticastResponse{member, std::move(*response), arrival});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MulticastResponse& a, const MulticastResponse& b) {
+              return a.elapsed < b.elapsed;
+            });
+  clock_.advance(window);
+  return out;
+}
+
+void Network::place_in_room(NodeId node, std::uint32_t room) { nodes_.at(node).room = room; }
+
+std::optional<std::uint32_t> Network::room_of(NodeId node) const { return nodes_.at(node).room; }
+
+void Network::set_audio_handler(NodeId node, AudioHandler handler) {
+  nodes_.at(node).audio_handler = std::move(handler);
+}
+
+void Network::audio_broadcast(NodeId from, std::span<const std::uint8_t> payload,
+                              Duration chirp_duration) {
+  auto room = nodes_.at(from).room;
+  clock_.advance(chirp_duration);
+  if (!room.has_value()) return;  // chirping into the void
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    if (id == from) continue;
+    const auto& node = nodes_[id];
+    if (node.room == room && node.audio_handler) node.audio_handler(payload, from);
+  }
+}
+
+}  // namespace sns::net

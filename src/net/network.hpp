@@ -1,0 +1,153 @@
+// network.hpp — simulated multi-protocol network topology.
+//
+// Models everything the SNS needs from a network, per DESIGN.md §2:
+//   * nodes connected by point-to-point links with latency, jitter and
+//     loss (LAN links ~sub-ms, WAN links tens of ms);
+//   * synchronous request/response ("UDP query with timeout & retry"),
+//     which is how the DNS client code talks to servers — latency is
+//     accounted in virtual time, so resolution latency benchmarks are
+//     exact;
+//   * multicast groups for mDNS / DNS-SD;
+//   * a room-scoped audio broadcast medium for the paper's
+//     audio-beacon presence proofs (§3.1) and DTMF addressing (Table 1);
+//   * link up/down control for the offline-edge ablation (§4.2).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/address.hpp"
+#include "net/sim.hpp"
+#include "util/bytes.hpp"
+#include "util/result.hpp"
+#include "util/rng.hpp"
+
+namespace sns::net {
+
+using NodeId = std::uint32_t;
+constexpr NodeId kInvalidNode = 0xffffffff;
+
+/// Parameters of one direction of a link.
+struct LinkSpec {
+  Duration latency = us(200);
+  Duration jitter = us(0);   // uniform in [0, jitter)
+  double loss = 0.0;         // per-traversal drop probability
+};
+
+/// Preset link profiles used across benches so experiments agree on
+/// what "a LAN" and "a WAN" mean.
+LinkSpec lan_link();                    // 200us, 50us jitter, lossless
+LinkSpec wan_link(Duration latency = ms(40), double loss = 0.0);
+LinkSpec wireless_link(double loss);    // 2ms, 500us jitter, configurable loss
+
+/// Result of a successful request/response exchange.
+struct ExchangeResult {
+  util::Bytes response;
+  Duration rtt{0};
+  int attempts = 1;
+};
+
+/// One response collected during a multicast query window.
+struct MulticastResponse {
+  NodeId responder = kInvalidNode;
+  util::Bytes payload;
+  Duration elapsed{0};  // time from query emission to response arrival
+};
+
+class Network {
+ public:
+  /// Handler invoked when a datagram arrives: return a payload to send
+  /// a response, or nullopt to stay silent.
+  using Handler =
+      std::function<std::optional<util::Bytes>(std::span<const std::uint8_t> payload, NodeId from)>;
+  /// Handler for audio chirps heard in the node's room (no response path;
+  /// reply by chirping back).
+  using AudioHandler = std::function<void(std::span<const std::uint8_t> payload, NodeId from)>;
+
+  explicit Network(std::uint64_t seed);
+
+  // -- topology -----------------------------------------------------------
+  NodeId add_node(std::string name);
+  void connect(NodeId a, NodeId b, LinkSpec spec);
+  /// Take a link down (true) or restore it (false); affects both directions.
+  void set_link_down(NodeId a, NodeId b, bool down);
+  [[nodiscard]] const std::string& node_name(NodeId id) const;
+  [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
+
+  // -- datagram service ---------------------------------------------------
+  void set_handler(NodeId node, Handler handler);
+
+  /// Synchronous query with timeout & retry. Advances virtual time by the
+  /// realised RTT (including lost attempts). Fails if no route or all
+  /// attempts are lost.
+  util::Result<ExchangeResult> exchange(NodeId from, NodeId to,
+                                        std::span<const std::uint8_t> payload,
+                                        Duration timeout = ms(2000), int max_attempts = 3);
+
+  /// One-way latency the next packet from->to would see (for diagnostics);
+  /// fails if unreachable.
+  util::Result<Duration> path_latency(NodeId from, NodeId to) const;
+
+  // -- multicast ----------------------------------------------------------
+  void join_group(std::uint32_t group, NodeId node);
+  /// Send to a multicast group and collect responses arriving within
+  /// `window`. Advances virtual time by `window` (a browser must wait the
+  /// whole window before concluding the set of responders is complete).
+  std::vector<MulticastResponse> multicast_query(NodeId from, std::uint32_t group,
+                                                 std::span<const std::uint8_t> payload,
+                                                 Duration window);
+
+  // -- audio medium (rooms) -----------------------------------------------
+  void place_in_room(NodeId node, std::uint32_t room);
+  [[nodiscard]] std::optional<std::uint32_t> room_of(NodeId node) const;
+  void set_audio_handler(NodeId node, AudioHandler handler);
+  /// Chirp an audio payload; heard only by nodes in the same room.
+  /// Advances time by the chirp duration (audio is slow: ~150 ms).
+  void audio_broadcast(NodeId from, std::span<const std::uint8_t> payload,
+                       Duration chirp_duration = ms(150));
+
+  /// Called from inside a datagram handler: charge `d` of processing
+  /// time to the in-flight request (it extends that exchange's RTT /
+  /// multicast arrival time instead of warping the global clock).
+  void add_processing_delay(Duration d) { processing_delay_ += d; }
+
+  // -- time ---------------------------------------------------------------
+  [[nodiscard]] SimClock& clock() noexcept { return clock_; }
+  [[nodiscard]] const SimClock& clock() const noexcept { return clock_; }
+  [[nodiscard]] EventScheduler& scheduler() noexcept { return scheduler_; }
+  [[nodiscard]] util::Rng& rng() noexcept { return rng_; }
+
+ private:
+  struct Edge {
+    NodeId peer;
+    LinkSpec spec;
+    bool down = false;
+  };
+  struct NodeState {
+    std::string name;
+    Handler handler;
+    AudioHandler audio_handler;
+    std::vector<Edge> edges;
+    std::optional<std::uint32_t> room;
+  };
+
+  /// Dijkstra over expected latency; returns hop sequence (excluding
+  /// `from`, including `to`), or empty if unreachable.
+  [[nodiscard]] std::vector<NodeId> route(NodeId from, NodeId to) const;
+  /// Sample the realised latency of one traversal of a path; nullopt = lost.
+  std::optional<Duration> sample_path(const std::vector<NodeId>& path, NodeId from);
+  [[nodiscard]] const Edge* find_edge(NodeId from, NodeId to) const;
+
+  std::vector<NodeState> nodes_;
+  std::map<std::uint32_t, std::vector<NodeId>> groups_;
+  SimClock clock_;
+  EventScheduler scheduler_;
+  util::Rng rng_;
+  Duration processing_delay_{0};  // accumulated by the current handler
+};
+
+}  // namespace sns::net

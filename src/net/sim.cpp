@@ -1,0 +1,38 @@
+#include "net/sim.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace sns::net {
+
+void SimClock::advance_to(TimePoint t) {
+  assert(t >= now_ && "virtual time cannot go backwards");
+  now_ = t;
+}
+
+void EventScheduler::schedule_at(TimePoint t, std::function<void()> fn) {
+  assert(t >= clock_.now() && "cannot schedule in the past");
+  queue_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+void EventScheduler::run_until(TimePoint t) {
+  while (!queue_.empty() && queue_.top().at <= t) {
+    // Copy out before pop: the callback may schedule more events.
+    Event ev = queue_.top();
+    queue_.pop();
+    clock_.advance_to(ev.at);
+    ev.fn();
+  }
+  clock_.advance_to(t);
+}
+
+void EventScheduler::run_all() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    clock_.advance_to(ev.at);
+    ev.fn();
+  }
+}
+
+}  // namespace sns::net

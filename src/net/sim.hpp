@@ -1,0 +1,79 @@
+// sim.hpp — deterministic discrete-event simulation core.
+//
+// All SNS experiments run on virtual time: a SimClock that only moves
+// when the simulation says so, plus an EventScheduler for timed
+// callbacks (mapping expiries, beacon chirps, cache TTLs). Determinism
+// is the point — every benchmark in EXPERIMENTS.md reproduces exactly
+// from its seed.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace sns::net {
+
+/// Virtual time since simulation start.
+using Duration = std::chrono::microseconds;
+using TimePoint = std::chrono::microseconds;
+
+constexpr Duration ms(std::int64_t v) { return std::chrono::milliseconds(v); }
+constexpr Duration us(std::int64_t v) { return Duration(v); }
+
+/// Monotonic virtual clock. Only the scheduler (or an explicit
+/// advance) moves it; nothing reads wall-clock time.
+class SimClock {
+ public:
+  [[nodiscard]] TimePoint now() const noexcept { return now_; }
+
+  /// Move time forward. Precondition: t >= now().
+  void advance_to(TimePoint t);
+  void advance(Duration d) { advance_to(now_ + d); }
+
+ private:
+  TimePoint now_{0};
+};
+
+/// Priority queue of timed callbacks over a SimClock.
+///
+/// Events scheduled for the same instant fire in scheduling order
+/// (stable), which keeps runs reproducible.
+class EventScheduler {
+ public:
+  explicit EventScheduler(SimClock& clock) : clock_(clock) {}
+
+  void schedule_at(TimePoint t, std::function<void()> fn);
+  void schedule_after(Duration d, std::function<void()> fn) {
+    schedule_at(clock_.now() + d, std::move(fn));
+  }
+
+  /// Run every event due at or before `t`, advancing the clock to each
+  /// event's time, and finally to `t`.
+  void run_until(TimePoint t);
+
+  /// Run until the queue is empty.
+  void run_all();
+
+  [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
+  [[nodiscard]] SimClock& clock() noexcept { return clock_; }
+
+ private:
+  struct Event {
+    TimePoint at;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      return a.at != b.at ? a.at > b.at : a.seq > b.seq;
+    }
+  };
+
+  SimClock& clock_;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace sns::net

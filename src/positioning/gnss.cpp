@@ -1,0 +1,43 @@
+#include "positioning/gnss.hpp"
+
+namespace sns::positioning {
+
+namespace {
+// Metres of 1-sigma horizontal error and probability of losing the fix
+// entirely, by sky condition. Values are representative of consumer
+// receivers (open sky ~3 m; urban multipath ~15 m; indoors usually no
+// fix at all — the paper's motivation for IPS).
+struct ConditionModel {
+  double sigma_m;
+  double no_fix_probability;
+};
+
+ConditionModel model_for(SkyCondition condition) {
+  switch (condition) {
+    case SkyCondition::OpenSky: return {3.0, 0.0};
+    case SkyCondition::Urban: return {15.0, 0.05};
+    case SkyCondition::Indoor: return {35.0, 0.60};
+    case SkyCondition::DeepIndoor: return {50.0, 0.98};
+  }
+  return {50.0, 1.0};
+}
+
+constexpr double kDegPerMeterLat = 1.0 / 111320.0;
+}  // namespace
+
+GnssProvider::GnssProvider(std::uint64_t seed, SkyCondition condition)
+    : rng_(seed), condition_(condition) {}
+
+std::optional<Fix> GnssProvider::locate(const geo::GeoPoint& truth) {
+  ConditionModel m = model_for(condition_);
+  if (rng_.chance(m.no_fix_probability)) return std::nullopt;
+  Fix fix;
+  fix.position = truth;
+  fix.position.latitude += rng_.next_gaussian(0.0, m.sigma_m * kDegPerMeterLat);
+  fix.position.longitude += rng_.next_gaussian(0.0, m.sigma_m * kDegPerMeterLat);
+  fix.position.altitude += rng_.next_gaussian(0.0, m.sigma_m * 1.5);
+  fix.accuracy_m = m.sigma_m;
+  return fix;
+}
+
+}  // namespace sns::positioning

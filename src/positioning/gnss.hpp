@@ -1,0 +1,29 @@
+// gnss.hpp — simulated GNSS receiver (GPS/Galileo stand-in).
+//
+// Models the two properties §3.2 cares about: metre-scale accuracy in
+// the open, and degradation/loss of fix indoors and in urban canyons.
+#pragma once
+
+#include "positioning/provider.hpp"
+#include "util/rng.hpp"
+
+namespace sns::positioning {
+
+enum class SkyCondition { OpenSky, Urban, Indoor, DeepIndoor };
+
+class GnssProvider final : public PositionProvider {
+ public:
+  GnssProvider(std::uint64_t seed, SkyCondition condition);
+
+  std::optional<Fix> locate(const geo::GeoPoint& truth) override;
+  [[nodiscard]] const char* name() const override { return "gnss"; }
+
+  void set_condition(SkyCondition condition) { condition_ = condition; }
+  [[nodiscard]] SkyCondition condition() const { return condition_; }
+
+ private:
+  util::Rng rng_;
+  SkyCondition condition_;
+};
+
+}  // namespace sns::positioning

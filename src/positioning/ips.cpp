@@ -1,0 +1,70 @@
+#include "positioning/ips.hpp"
+
+#include <cmath>
+
+namespace sns::positioning {
+
+IpsProvider::IpsProvider(std::uint64_t seed, double range_noise_m, double beacon_range_m)
+    : rng_(seed), range_noise_m_(range_noise_m), beacon_range_m_(beacon_range_m) {}
+
+void IpsProvider::add_beacon(const geo::GeoPoint& position) { beacons_.push_back(position); }
+
+std::optional<Fix> IpsProvider::locate(const geo::GeoPoint& truth) {
+  // Gather noisy ranges to in-range beacons.
+  struct Observation {
+    geo::GeoPoint beacon;
+    double range_m;
+  };
+  std::vector<Observation> observations;
+  for (const auto& beacon : beacons_) {
+    double true_range = geo::haversine_m(truth, beacon);
+    if (true_range > beacon_range_m_) continue;
+    observations.push_back(
+        Observation{beacon, std::max(0.0, true_range + rng_.next_gaussian(0.0, range_noise_m_))});
+  }
+  if (observations.size() < 3) return std::nullopt;
+
+  // Iterative least squares on a local tangent plane (metres), seeded
+  // at the beacon centroid — a faithful miniature of real IPS solvers.
+  constexpr double kMetersPerDegLat = 111320.0;
+  double lat0 = 0.0, lon0 = 0.0;
+  for (const auto& obs : observations) {
+    lat0 += obs.beacon.latitude;
+    lon0 += obs.beacon.longitude;
+  }
+  lat0 /= static_cast<double>(observations.size());
+  lon0 /= static_cast<double>(observations.size());
+  double cos_lat = std::cos(lat0 * 3.14159265358979323846 / 180.0);
+
+  auto to_xy = [&](const geo::GeoPoint& p, double& x, double& y) {
+    x = (p.longitude - lon0) * kMetersPerDegLat * cos_lat;
+    y = (p.latitude - lat0) * kMetersPerDegLat;
+  };
+
+  double ex = 0.0, ey = 0.0;  // estimate, metres from origin
+  for (int iter = 0; iter < 12; ++iter) {
+    double gx = 0.0, gy = 0.0;
+    for (const auto& obs : observations) {
+      double bx, by;
+      to_xy(obs.beacon, bx, by);
+      double dx = ex - bx, dy = ey - by;
+      double dist = std::sqrt(dx * dx + dy * dy);
+      if (dist < 1e-6) continue;
+      double residual = dist - obs.range_m;
+      gx += residual * dx / dist;
+      gy += residual * dy / dist;
+    }
+    double n = static_cast<double>(observations.size());
+    ex -= gx / n;
+    ey -= gy / n;
+  }
+
+  Fix fix;
+  fix.position.latitude = lat0 + ey / kMetersPerDegLat;
+  fix.position.longitude = lon0 + ex / (kMetersPerDegLat * cos_lat);
+  fix.position.altitude = truth.altitude;
+  fix.accuracy_m = range_noise_m_ * 2.0;
+  return fix;
+}
+
+}  // namespace sns::positioning

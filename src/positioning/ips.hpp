@@ -1,0 +1,37 @@
+// ips.hpp — simulated indoor positioning system.
+//
+// Modelled on beacon trilateration (the Active BAT lineage the paper
+// cites [22]): fixed beacons at known positions measure noisy ranges to
+// the device; a least-squares-ish estimate is produced when >= 3
+// beacons are in range. Sub-metre accuracy indoors, no coverage outside
+// the beacon field — the complement of GNSS.
+#pragma once
+
+#include <vector>
+
+#include "positioning/provider.hpp"
+#include "util/rng.hpp"
+
+namespace sns::positioning {
+
+class IpsProvider final : public PositionProvider {
+ public:
+  /// `range_noise_m`: 1-sigma ranging error; `beacon_range_m`: maximum
+  /// usable beacon distance.
+  IpsProvider(std::uint64_t seed, double range_noise_m = 0.15, double beacon_range_m = 25.0);
+
+  void add_beacon(const geo::GeoPoint& position);
+
+  std::optional<Fix> locate(const geo::GeoPoint& truth) override;
+  [[nodiscard]] const char* name() const override { return "ips"; }
+
+  [[nodiscard]] std::size_t beacon_count() const noexcept { return beacons_.size(); }
+
+ private:
+  util::Rng rng_;
+  double range_noise_m_;
+  double beacon_range_m_;
+  std::vector<geo::GeoPoint> beacons_;
+};
+
+}  // namespace sns::positioning

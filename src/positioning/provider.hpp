@@ -1,0 +1,44 @@
+// provider.hpp — location-aware technology abstraction (§3.2).
+//
+// "devices would need to have access to some form of location-aware
+// technology. This could be as simple as a user manually registering a
+// device's location … or GNSS … An alternative is Indoor positioning
+// systems (IPS)." Each provider produces a position fix with an
+// accuracy estimate; the SNS core turns fixes into LOC records and
+// geodetic index entries.
+#pragma once
+
+#include <optional>
+
+#include "geo/geometry.hpp"
+
+namespace sns::positioning {
+
+/// One position estimate.
+struct Fix {
+  geo::GeoPoint position;
+  double accuracy_m = 0.0;  // 1-sigma horizontal error estimate
+};
+
+class PositionProvider {
+ public:
+  virtual ~PositionProvider() = default;
+
+  /// Produce a fix for a device whose ground-truth position is `truth`.
+  /// nullopt = no fix available (e.g. GNSS deep indoors).
+  virtual std::optional<Fix> locate(const geo::GeoPoint& truth) = 0;
+
+  [[nodiscard]] virtual const char* name() const = 0;
+};
+
+/// Manual registration: the installer types in the position; perfect
+/// but static (the paper's simplest option).
+class ManualProvider final : public PositionProvider {
+ public:
+  std::optional<Fix> locate(const geo::GeoPoint& truth) override {
+    return Fix{truth, 0.5};
+  }
+  [[nodiscard]] const char* name() const override { return "manual"; }
+};
+
+}  // namespace sns::positioning

@@ -1,0 +1,117 @@
+#include "resolver/browse.hpp"
+
+#include "util/strings.hpp"
+
+namespace sns::resolver {
+
+using dns::Message;
+using dns::Name;
+using dns::RRType;
+using util::fail;
+using util::Result;
+
+namespace {
+
+Result<Name> type_name_in_domain(const std::string& service_type, const Name& domain) {
+  Name name = domain;
+  auto parts = util::split(service_type, '.');
+  for (auto it = parts.rbegin(); it != parts.rend(); ++it) {
+    auto next = name.prepend(*it);
+    if (!next.ok()) return next.error();
+    name = std::move(next).value();
+  }
+  return name;
+}
+
+void fill_from_records(DiscoveredService& service, const dns::RRset& records) {
+  for (const auto& rr : records) {
+    if (const auto* srv = std::get_if<dns::SrvData>(&rr.rdata)) {
+      service.host = srv->target;
+      service.port = srv->port;
+    } else if (const auto* txt = std::get_if<dns::TxtData>(&rr.rdata)) {
+      service.txt = txt->strings;
+    }
+  }
+}
+
+}  // namespace
+
+Result<BrowseResult> browse_unicast(StubResolver& stub, const std::string& service_type,
+                                    const Name& domain) {
+  BrowseResult out;
+  auto type_name = type_name_in_domain(service_type, domain);
+  if (!type_name.ok()) return type_name.error();
+
+  auto ptr = stub.resolve(type_name.value(), RRType::PTR);
+  if (!ptr.ok()) return ptr.error();
+  out.total_latency += ptr.value().latency;
+  ++out.queries_sent;
+
+  for (const auto& rr : ptr.value().records) {
+    const auto* target = std::get_if<dns::PtrData>(&rr.rdata);
+    if (target == nullptr) continue;
+    DiscoveredService service;
+    service.instance = target->target;
+
+    auto srv = stub.resolve(target->target, RRType::SRV);
+    ++out.queries_sent;
+    if (srv.ok()) {
+      out.total_latency += srv.value().latency;
+      fill_from_records(service, srv.value().records);
+    }
+    auto txt = stub.resolve(target->target, RRType::TXT);
+    ++out.queries_sent;
+    if (txt.ok()) {
+      out.total_latency += txt.value().latency;
+      fill_from_records(service, txt.value().records);
+    }
+    service.discovered_after = out.total_latency;
+    out.services.push_back(std::move(service));
+  }
+  return out;
+}
+
+BrowseResult browse_mdns(net::Network& network, net::NodeId self, const std::string& service_type,
+                         const Name& domain, net::Duration window) {
+  BrowseResult out;
+  net::TimePoint start = network.clock().now();
+
+  auto type_name = type_name_in_domain(service_type, domain);
+  if (!type_name.ok()) return out;
+
+  constexpr std::uint32_t kMdnsGroup = 5353;  // matches server::kMdnsGroup
+  Message ptr_query = dns::make_query(1, type_name.value(), RRType::PTR, false);
+  auto wire = ptr_query.encode();
+  ++out.queries_sent;
+  auto responses = network.multicast_query(self, kMdnsGroup, std::span(wire), window);
+
+  for (const auto& response : responses) {
+    auto msg = Message::decode(std::span(response.payload));
+    if (!msg.ok()) continue;
+    for (const auto& rr : msg.value().answers) {
+      const auto* target = std::get_if<dns::PtrData>(&rr.rdata);
+      if (target == nullptr) continue;
+      DiscoveredService service;
+      service.instance = target->target;
+
+      // Per-instance SRV + TXT, again over multicast with its own window.
+      for (RRType follow_type : {RRType::SRV, RRType::TXT}) {
+        Message follow = dns::make_query(2, target->target, follow_type, false);
+        auto follow_wire = follow.encode();
+        ++out.queries_sent;
+        auto follow_responses =
+            network.multicast_query(self, kMdnsGroup, std::span(follow_wire), window / 2);
+        for (const auto& fr : follow_responses) {
+          auto fmsg = Message::decode(std::span(fr.payload));
+          if (fmsg.ok()) fill_from_records(service, fmsg.value().answers);
+        }
+      }
+      service.discovered_after = network.clock().now() - start;
+      out.services.push_back(std::move(service));
+    }
+  }
+  out.total_latency = network.clock().now() - start;
+  return out;
+}
+
+}  // namespace sns::resolver

@@ -1,0 +1,45 @@
+// browse.hpp — DNS-SD service browsing, unicast and multicast.
+//
+// Two ways to answer "what services are in this room?":
+//   * browse_unicast: one query to the spatial domain's edge nameserver
+//     (the SNS way — fast, works across rooms);
+//   * browse_mdns: multicast query + listening window (the legacy
+//     layered way the paper's §1 contrasts against).
+// Bench E6 compares the two on identical topologies.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dns/message.hpp"
+#include "net/network.hpp"
+#include "resolver/stub.hpp"
+
+namespace sns::resolver {
+
+/// One discovered service instance.
+struct DiscoveredService {
+  dns::Name instance;
+  dns::Name host;
+  std::uint16_t port = 0;
+  std::vector<std::string> txt;
+  net::Duration discovered_after{0};
+};
+
+struct BrowseResult {
+  std::vector<DiscoveredService> services;
+  net::Duration total_latency{0};
+  int queries_sent = 0;
+};
+
+/// Unicast DNS-SD against a spatial zone: PTR enumeration then SRV/TXT
+/// for each instance, all through `stub`'s configured edge server.
+util::Result<BrowseResult> browse_unicast(StubResolver& stub, const std::string& service_type,
+                                          const dns::Name& domain);
+
+/// Multicast mDNS browse: PTR query to the mDNS group, wait a listening
+/// window, then per-instance SRV/TXT queries (again multicast).
+BrowseResult browse_mdns(net::Network& network, net::NodeId self, const std::string& service_type,
+                         const dns::Name& domain, net::Duration window = net::ms(1000));
+
+}  // namespace sns::resolver

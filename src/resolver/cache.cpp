@@ -1,0 +1,84 @@
+#include "resolver/cache.hpp"
+
+#include <algorithm>
+
+namespace sns::resolver {
+
+void DnsCache::put(const RRset& records, net::TimePoint now) {
+  if (records.empty()) return;
+  put_answer(records.front().name, records.front().type, records, now);
+}
+
+void DnsCache::put_answer(const Name& qname, RRType qtype, const RRset& records,
+                          net::TimePoint now) {
+  if (records.empty()) return;
+  std::uint32_t min_ttl = records.front().ttl;
+  for (const auto& rr : records) min_ttl = std::min(min_ttl, rr.ttl);
+  Key key{qname, static_cast<std::uint16_t>(qtype)};
+
+  auto existing = positive_.find(key);
+  if (existing != positive_.end()) lru_.erase(existing->second.lru);
+  lru_.push_front(key);
+  positive_[key] = PositiveEntry{records, now, now + std::chrono::seconds(min_ttl), lru_.begin()};
+  evict_if_needed();
+}
+
+void DnsCache::put_negative(const Name& name, RRType type, dns::Rcode rcode, std::uint32_t ttl,
+                            net::TimePoint now) {
+  Key key{name, static_cast<std::uint16_t>(type)};
+  negative_[key] = NegativeEntry{rcode, now + std::chrono::seconds(ttl)};
+}
+
+std::optional<RRset> DnsCache::get(const Name& name, RRType type, net::TimePoint now) {
+  Key key{name, static_cast<std::uint16_t>(type)};
+  auto it = positive_.find(key);
+  if (it == positive_.end() || it->second.expires <= now) {
+    if (it != positive_.end()) {
+      lru_.erase(it->second.lru);
+      positive_.erase(it);
+    }
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  touch(it->second, key);
+  // Serve with decremented TTLs (RFC 1035 §7.3 behaviour).
+  auto age = std::chrono::duration_cast<std::chrono::seconds>(now - it->second.inserted).count();
+  RRset out = it->second.records;
+  for (auto& rr : out)
+    rr.ttl -= std::min<std::uint32_t>(rr.ttl, static_cast<std::uint32_t>(age));
+  return out;
+}
+
+std::optional<dns::Rcode> DnsCache::get_negative(const Name& name, RRType type,
+                                                 net::TimePoint now) {
+  Key key{name, static_cast<std::uint16_t>(type)};
+  auto it = negative_.find(key);
+  if (it == negative_.end()) return std::nullopt;
+  if (it->second.expires <= now) {
+    negative_.erase(it);
+    return std::nullopt;
+  }
+  return it->second.rcode;
+}
+
+void DnsCache::clear() {
+  positive_.clear();
+  negative_.clear();
+  lru_.clear();
+}
+
+void DnsCache::touch(PositiveEntry& entry, const Key& key) {
+  lru_.erase(entry.lru);
+  lru_.push_front(key);
+  entry.lru = lru_.begin();
+}
+
+void DnsCache::evict_if_needed() {
+  while (positive_.size() > capacity_) {
+    positive_.erase(lru_.back());
+    lru_.pop_back();
+  }
+}
+
+}  // namespace sns::resolver

@@ -1,0 +1,81 @@
+// cache.hpp — resolver cache with TTL expiry, LRU bound and negative
+// caching (RFC 2308).
+//
+// §4.4 of the paper: "building it over the DNS allows for caching and
+// broadcast-based discovery" — caching is what makes repeated AR gaze
+// lookups cheap. The cache runs on simulated time, so TTL behaviour is
+// exact and testable.
+#pragma once
+
+#include <list>
+#include <map>
+#include <optional>
+
+#include "dns/record.hpp"
+#include "dns/type.hpp"
+#include "net/sim.hpp"
+
+namespace sns::resolver {
+
+using dns::Name;
+using dns::RRset;
+using dns::RRType;
+
+class DnsCache {
+ public:
+  explicit DnsCache(std::size_t capacity = 4096) : capacity_(capacity) {}
+
+  /// Insert a positive answer; expiry = now + min TTL of the set.
+  void put(const RRset& records, net::TimePoint now);
+
+  /// Insert a full answer under an explicit (qname, qtype) key — used
+  /// for ANY queries and CNAME-chain answers where the records' own
+  /// name/type differ from the question's.
+  void put_answer(const Name& qname, RRType qtype, const RRset& records, net::TimePoint now);
+
+  /// Insert a negative answer (NXDOMAIN / NODATA) with the SOA-derived TTL.
+  void put_negative(const Name& name, RRType type, dns::Rcode rcode, std::uint32_t ttl,
+                    net::TimePoint now);
+
+  /// Positive hit: returns the RRset with TTLs decremented by age.
+  std::optional<RRset> get(const Name& name, RRType type, net::TimePoint now);
+
+  /// Negative hit: the cached rcode.
+  std::optional<dns::Rcode> get_negative(const Name& name, RRType type, net::TimePoint now);
+
+  void clear();
+  [[nodiscard]] std::size_t size() const noexcept { return positive_.size() + negative_.size(); }
+
+  // Statistics for the cache ablation bench (E10).
+  [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
+
+ private:
+  struct Key {
+    Name name;
+    std::uint16_t type;
+    friend auto operator<=>(const Key&, const Key&) = default;
+  };
+  struct PositiveEntry {
+    RRset records;
+    net::TimePoint inserted{0};
+    net::TimePoint expires{0};
+    std::list<Key>::iterator lru;
+  };
+  struct NegativeEntry {
+    dns::Rcode rcode = dns::Rcode::NXDomain;
+    net::TimePoint expires{0};
+  };
+
+  void touch(PositiveEntry& entry, const Key& key);
+  void evict_if_needed();
+
+  std::size_t capacity_;
+  std::map<Key, PositiveEntry> positive_;
+  std::map<Key, NegativeEntry> negative_;
+  std::list<Key> lru_;  // front = most recent
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace sns::resolver

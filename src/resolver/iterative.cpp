@@ -1,0 +1,151 @@
+#include "resolver/iterative.hpp"
+
+#include <algorithm>
+
+#include "util/log.hpp"
+
+namespace sns::resolver {
+
+using dns::Message;
+using dns::Name;
+using dns::Rcode;
+using dns::RRType;
+using util::fail;
+using util::Result;
+
+void ServerDirectory::register_server(const Name& ns_name, net::Ipv4Addr address,
+                                      net::NodeId node) {
+  by_name_[ns_name] = node;
+  by_address_[address.as_u32()] = node;
+}
+
+std::optional<net::NodeId> ServerDirectory::by_name(const Name& ns_name) const {
+  auto it = by_name_.find(ns_name);
+  return it == by_name_.end() ? std::nullopt : std::optional(it->second);
+}
+
+std::optional<net::NodeId> ServerDirectory::by_address(net::Ipv4Addr address) const {
+  auto it = by_address_.find(address.as_u32());
+  return it == by_address_.end() ? std::nullopt : std::optional(it->second);
+}
+
+IterativeResolver::IterativeResolver(net::Network& network, net::NodeId self,
+                                     const ServerDirectory& directory, net::NodeId root_server)
+    : network_(network), self_(self), directory_(directory), root_server_(root_server) {}
+
+Result<Message> IterativeResolver::query_server(net::NodeId server, const Name& name, RRType type,
+                                                IterativeResult& stats) {
+  Message query = dns::make_query(next_id_++, name, type, /*recursion_desired=*/false);
+  auto wire = query.encode();
+  ++stats.queries_sent;
+  auto result = network_.exchange(self_, server, std::span(wire));
+  if (!result.ok()) return result.error();
+  auto response = Message::decode(std::span(result.value().response));
+  if (!response.ok()) return fail("iterative: malformed response");
+  return response;
+}
+
+Result<IterativeResult> IterativeResolver::resolve(const Name& name, RRType type) {
+  IterativeResult out;
+  Name qname = name;
+  std::vector<net::NodeId> candidates{root_server_};
+
+  for (int guard = 0; guard < 32; ++guard) {
+    if (cache_ != nullptr) {
+      if (auto cached = cache_->get(qname, type, network_.clock().now())) {
+        out.records.insert(out.records.end(), cached->begin(), cached->end());
+        out.rcode = Rcode::NoError;
+        return out;
+      }
+      if (auto negative = cache_->get_negative(qname, type, network_.clock().now())) {
+        out.rcode = *negative;
+        return out;
+      }
+    }
+
+    out.fanout_max = std::max(out.fanout_max, static_cast<int>(candidates.size()));
+
+    // Query every candidate; concurrent pursuit is charged max() RTT in
+    // out.latency (queries overlap in real time).
+    std::optional<Message> chosen;
+    std::vector<Message> referrals;
+    net::Duration hop_latency{0};
+    for (net::NodeId server : candidates) {
+      net::TimePoint t0 = network_.clock().now();
+      auto response = query_server(server, qname, type, out);
+      hop_latency = std::max(hop_latency, network_.clock().now() - t0);
+      if (!response.ok()) continue;
+      Message& msg = response.value();
+      // Terminal: an answer, any authoritative error (NXDOMAIN, REFUSED
+      // from a presence rule, ...), or an authoritative NODATA.
+      if (!msg.answers.empty() || msg.header.rcode != Rcode::NoError ||
+          (msg.header.aa && msg.header.rcode == Rcode::NoError)) {
+        if (!chosen.has_value()) chosen = std::move(msg);
+      } else if (!msg.authorities.empty()) {
+        referrals.push_back(std::move(msg));
+      }
+    }
+    out.latency += hop_latency;
+
+    if (chosen.has_value()) {
+      const Message& msg = *chosen;
+      if (!msg.answers.empty()) {
+        // CNAME restart?
+        bool has_qtype = false;
+        const dns::CnameData* cname = nullptr;
+        for (const auto& rr : msg.answers) {
+          if (rr.type == type) has_qtype = true;
+          if (rr.type == RRType::CNAME && rr.name == qname)
+            cname = std::get_if<dns::CnameData>(&rr.rdata);
+        }
+        out.records.insert(out.records.end(), msg.answers.begin(), msg.answers.end());
+        if (cache_ != nullptr) cache_->put(msg.answers, network_.clock().now());
+        if (!has_qtype && cname != nullptr && type != RRType::CNAME && type != RRType::ANY) {
+          qname = cname->target;
+          candidates = {root_server_};
+          continue;
+        }
+        out.rcode = Rcode::NoError;
+        return out;
+      }
+      // Authoritative NXDOMAIN or NODATA.
+      out.rcode = msg.header.rcode;
+      if (cache_ != nullptr) {
+        std::uint32_t ttl = 60;
+        for (const auto& rr : msg.authorities)
+          if (const auto* soa = std::get_if<dns::SoaData>(&rr.rdata))
+            ttl = std::min(rr.ttl, soa->minimum);
+        cache_->put_negative(qname, type, msg.header.rcode, ttl, network_.clock().now());
+      }
+      return out;
+    }
+
+    if (referrals.empty()) return fail("iterative: no usable response for " + qname.to_string());
+
+    // Collect next-hop servers from every referral (border ambiguity:
+    // several zones may claim the point; pursue all of them).
+    ++out.referrals_followed;
+    std::vector<net::NodeId> next;
+    for (const Message& msg : referrals) {
+      for (const auto& rr : msg.authorities) {
+        const auto* ns = std::get_if<dns::NsData>(&rr.rdata);
+        if (ns == nullptr) continue;
+        std::optional<net::NodeId> node;
+        // Prefer glue from the additional section.
+        for (const auto& glue : msg.additionals) {
+          if (!(glue.name == ns->nameserver)) continue;
+          if (const auto* a = std::get_if<dns::AData>(&glue.rdata))
+            node = directory_.by_address(a->address);
+        }
+        if (!node.has_value()) node = directory_.by_name(ns->nameserver);
+        if (node.has_value() && std::find(next.begin(), next.end(), *node) == next.end())
+          next.push_back(*node);
+      }
+    }
+    if (next.empty()) return fail("iterative: lame delegation for " + qname.to_string());
+    candidates = std::move(next);
+  }
+  return fail("iterative: referral loop resolving " + name.to_string());
+}
+
+}  // namespace sns::resolver

@@ -1,0 +1,77 @@
+// iterative.hpp — full iterative resolver (referral chasing).
+//
+// Implements the global side of the paper's resolution story: starting
+// from the root, follow delegations down the spatial hierarchy
+// (".loc → .usa → … → oval-office", §3.2), restart on CNAMEs, cache
+// aggressively, and — for geodetic border ambiguity — pursue *multiple*
+// referrals concurrently when the authority section points at several
+// spatial domains ("Returning a set of RRs in the DNS authority section
+// could be used to point the resolver to multiple spatial domains,
+// which it can then pursue concurrently", §3.2).
+//
+// The simulator is single-threaded; "concurrently" means the resolver
+// queries all candidate servers and is charged only the *maximum* of
+// their RTTs (they overlap in real time), which is what the latency
+// benches need.
+#pragma once
+
+#include <map>
+
+#include "dns/message.hpp"
+#include "net/network.hpp"
+#include "resolver/cache.hpp"
+
+namespace sns::resolver {
+
+/// Maps nameserver identities to simulated nodes. The deployment layer
+/// registers every authoritative server here (by owner name and by
+/// glue address), standing in for real-world socket addressing.
+class ServerDirectory {
+ public:
+  void register_server(const dns::Name& ns_name, net::Ipv4Addr address, net::NodeId node);
+  [[nodiscard]] std::optional<net::NodeId> by_name(const dns::Name& ns_name) const;
+  [[nodiscard]] std::optional<net::NodeId> by_address(net::Ipv4Addr address) const;
+
+ private:
+  std::map<dns::Name, net::NodeId> by_name_;
+  std::map<std::uint32_t, net::NodeId> by_address_;
+};
+
+/// Outcome of one iterative resolution, with work accounting for the
+/// E7/E9 benches.
+struct IterativeResult {
+  dns::Rcode rcode = dns::Rcode::ServFail;
+  dns::RRset records;
+  net::Duration latency{0};
+  int queries_sent = 0;       // total upstream queries
+  int referrals_followed = 0;
+  int fanout_max = 1;         // max concurrent referral pursuit (border case)
+};
+
+class IterativeResolver {
+ public:
+  IterativeResolver(net::Network& network, net::NodeId self, const ServerDirectory& directory,
+                    net::NodeId root_server);
+
+  void set_cache(DnsCache* cache) { cache_ = cache; }
+
+  util::Result<IterativeResult> resolve(const dns::Name& name, dns::RRType type);
+
+ private:
+  struct Hop {
+    net::NodeId server;
+    dns::Name zone;  // what this server is believed authoritative for
+  };
+
+  util::Result<dns::Message> query_server(net::NodeId server, const dns::Name& name,
+                                          dns::RRType type, IterativeResult& stats);
+
+  net::Network& network_;
+  net::NodeId self_;
+  const ServerDirectory& directory_;
+  net::NodeId root_server_;
+  DnsCache* cache_ = nullptr;
+  std::uint16_t next_id_ = 100;
+};
+
+}  // namespace sns::resolver

@@ -1,0 +1,54 @@
+#include "resolver/recursive.hpp"
+
+#include "util/log.hpp"
+
+namespace sns::resolver {
+
+using dns::Message;
+using dns::Rcode;
+
+RecursiveResolver::RecursiveResolver(net::Network& network, net::NodeId node,
+                                     const ServerDirectory& directory,
+                                     net::NodeId root_server, std::size_t cache_capacity)
+    : network_(network),
+      node_(node),
+      iterative_(network, node, directory, root_server),
+      cache_(cache_capacity) {
+  iterative_.set_cache(&cache_);
+}
+
+Message RecursiveResolver::handle(const Message& query) {
+  ++queries_served_;
+  if (query.questions.size() != 1) return dns::make_response(query, Rcode::FormErr, false);
+  if (!query.header.rd) {
+    // We are not authoritative for anything; without RD there is
+    // nothing we can answer from.
+    Message refused = dns::make_response(query, Rcode::Refused, false);
+    refused.header.ra = true;
+    return refused;
+  }
+  const auto& question = query.questions.front();
+
+  auto result = iterative_.resolve(question.name, question.type);
+  Message response = dns::make_response(
+      query, result.ok() ? result.value().rcode : Rcode::ServFail, /*authoritative=*/false);
+  response.header.ra = true;
+  if (result.ok()) {
+    response.answers = std::move(result).value().records;
+  } else {
+    util::log_debug("recursive", "resolution failed: ", result.error().message);
+  }
+  return response;
+}
+
+void RecursiveResolver::bind() {
+  network_.set_handler(node_, [this](std::span<const std::uint8_t> payload,
+                                     net::NodeId) -> std::optional<util::Bytes> {
+    auto query = Message::decode(payload);
+    if (!query.ok()) return std::nullopt;
+    Message response = handle(query.value());
+    return dns::encode_for_transport(query.value(), std::move(response));
+  });
+}
+
+}  // namespace sns::resolver

@@ -1,0 +1,53 @@
+// recursive.hpp — a caching recursive resolver service.
+//
+// §4.1: "existing DNS resolver infrastructure can be used to perform
+// queries." This is that infrastructure: a node-attached service that
+// accepts RD=1 stub queries, performs iterative resolution on the
+// client's behalf (referral chasing, CNAME restart, concurrent border
+// pursuit), caches aggressively, and answers with RA=1. Edge
+// deployments (§4.2) typically co-locate one of these with the room's
+// authoritative server so a single LAN round-trip serves both local
+// and global names.
+//
+// §4.2's privacy caveat applies: "recursive resolvers can correlate
+// client IPs with unencrypted queries" — the service optionally strips
+// client identity from its upstream queries (it always does here, since
+// iterative queries carry no client data: the simulator's node id of
+// the *resolver* is what upstream servers see, i.e. this module is the
+// query anonymiser that oblivious-DNS schemes approximate).
+#pragma once
+
+#include "dns/message.hpp"
+#include "net/network.hpp"
+#include "resolver/cache.hpp"
+#include "resolver/iterative.hpp"
+
+namespace sns::resolver {
+
+class RecursiveResolver {
+ public:
+  /// The service runs on `node`, resolving via the directory from
+  /// `root_server`. It owns its cache.
+  RecursiveResolver(net::Network& network, net::NodeId node,
+                    const ServerDirectory& directory, net::NodeId root_server,
+                    std::size_t cache_capacity = 4096);
+
+  /// Answer one stub query (exposed for tests; the network handler
+  /// calls this).
+  [[nodiscard]] dns::Message handle(const dns::Message& query);
+
+  /// Install the datagram handler on the node.
+  void bind();
+
+  [[nodiscard]] const DnsCache& cache() const noexcept { return cache_; }
+  [[nodiscard]] std::uint64_t queries_served() const noexcept { return queries_served_; }
+
+ private:
+  net::Network& network_;
+  net::NodeId node_;
+  IterativeResolver iterative_;
+  DnsCache cache_;
+  std::uint64_t queries_served_ = 0;
+};
+
+}  // namespace sns::resolver

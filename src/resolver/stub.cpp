@@ -1,0 +1,146 @@
+#include "resolver/stub.hpp"
+
+#include "util/strings.hpp"
+
+namespace sns::resolver {
+
+using dns::Message;
+using dns::Name;
+using dns::Rcode;
+using dns::RRType;
+using util::fail;
+using util::Result;
+
+StubResolver::StubResolver(net::Network& network, net::NodeId self, net::NodeId server)
+    : network_(network), self_(self), server_(server) {}
+
+void StubResolver::set_search_list(std::vector<Name> suffixes) {
+  search_list_ = std::move(suffixes);
+}
+
+void StubResolver::set_timeout(net::Duration timeout, int attempts) {
+  timeout_ = timeout;
+  attempts_ = attempts;
+}
+
+Result<dns::Message> StubResolver::exchange(const Message& query) {
+  auto wire = query.encode();
+  auto result = network_.exchange(self_, server_, std::span(wire), timeout_, attempts_);
+  if (!result.ok()) return result.error();
+  auto response = Message::decode(std::span(result.value().response));
+  if (!response.ok()) return fail("stub: malformed response: " + response.error().message);
+  if (response.value().header.id != query.header.id) return fail("stub: response id mismatch");
+
+  // Truncated? Retry once advertising a larger EDNS0 payload (RFC 6891);
+  // the simulator's "bigger transport".
+  if (response.value().header.tc && dns::advertised_udp_size(query) == dns::kClassicUdpLimit) {
+    Message retry = query;
+    dns::add_edns(retry, 4096);
+    auto retry_wire = retry.encode();
+    auto retry_result =
+        network_.exchange(self_, server_, std::span(retry_wire), timeout_, attempts_);
+    if (!retry_result.ok()) return retry_result.error();
+    auto retry_response = Message::decode(std::span(retry_result.value().response));
+    if (!retry_response.ok()) return fail("stub: malformed EDNS retry response");
+    return retry_response;
+  }
+  return response;
+}
+
+Result<Resolution> StubResolver::resolve_absolute(const Name& name, RRType type) {
+  net::TimePoint start = network_.clock().now();
+
+  if (cache_ != nullptr) {
+    if (auto cached = cache_->get(name, type, start)) {
+      Resolution r;
+      r.rcode = Rcode::NoError;
+      r.records = std::move(*cached);
+      r.from_cache = true;
+      r.effective_name = name;
+      return r;
+    }
+    if (auto negative = cache_->get_negative(name, type, start)) {
+      Resolution r;
+      r.rcode = *negative;
+      r.from_cache = true;
+      r.effective_name = name;
+      return r;
+    }
+  }
+
+  Message query = dns::make_query(next_id_++, name, type);
+  auto response = exchange(query);
+  if (!response.ok()) return response.error();
+  const Message& msg = response.value();
+
+  Resolution r;
+  r.rcode = msg.header.rcode;
+  r.records = msg.answers;
+  r.latency = network_.clock().now() - start;
+  r.effective_name = name;
+
+  if (cache_ != nullptr) {
+    if (r.rcode == Rcode::NoError && !r.records.empty()) {
+      // Cache each RRset (grouped by name+type) separately, plus the
+      // whole answer under the question key (covers ANY and CNAME-chain
+      // answers whose records carry different names/types).
+      std::size_t i = 0;
+      while (i < r.records.size()) {
+        std::size_t j = i + 1;
+        while (j < r.records.size() && r.records[j].name == r.records[i].name &&
+               r.records[j].type == r.records[i].type)
+          ++j;
+        cache_->put(dns::RRset(r.records.begin() + static_cast<std::ptrdiff_t>(i),
+                               r.records.begin() + static_cast<std::ptrdiff_t>(j)),
+                    network_.clock().now());
+        i = j;
+      }
+      cache_->put_answer(name, type, r.records, network_.clock().now());
+    } else if (r.rcode == Rcode::NXDomain || (r.rcode == Rcode::NoError && r.records.empty())) {
+      // Negative cache using the SOA MINIMUM from the authority section.
+      std::uint32_t ttl = 60;
+      for (const auto& rr : msg.authorities)
+        if (const auto* soa = std::get_if<dns::SoaData>(&rr.rdata))
+          ttl = std::min(rr.ttl, soa->minimum);
+      cache_->put_negative(name, type, r.rcode == Rcode::NoError ? Rcode::NoError : Rcode::NXDomain,
+                           ttl, network_.clock().now());
+    }
+  }
+  return r;
+}
+
+Result<Resolution> StubResolver::resolve(const Name& name, RRType type) {
+  return resolve_absolute(name, type);
+}
+
+Result<Resolution> StubResolver::resolve(std::string_view name_text, RRType type) {
+  bool absolute = !name_text.empty() && name_text.back() == '.';
+  auto parsed = Name::parse(name_text);
+  if (!parsed.ok()) return parsed.error();
+  Name name = std::move(parsed).value();
+
+  if (absolute || search_list_.empty()) return resolve_absolute(name, type);
+
+  // Search-list completion: most specific suffix first, then the name
+  // as given. The first NOERROR answer wins; NXDOMAIN/REFUSED keep the
+  // search going. If nothing succeeds, report NXDOMAIN when any
+  // candidate produced one (the usual resolver convention).
+  std::optional<Resolution> fallback;
+  auto consider = [&](Result<Resolution> result) -> std::optional<Result<Resolution>> {
+    if (!result.ok()) return std::nullopt;
+    if (result.value().rcode == Rcode::NoError) return result;
+    if (!fallback.has_value() || result.value().rcode == Rcode::NXDomain)
+      fallback = std::move(result).value();
+    return std::nullopt;
+  };
+  for (const auto& suffix : search_list_) {
+    auto completed = name.concat(suffix);
+    if (!completed.ok()) continue;
+    if (auto hit = consider(resolve_absolute(completed.value(), type))) return std::move(*hit);
+  }
+  if (auto hit = consider(resolve_absolute(name, type))) return std::move(*hit);
+  if (fallback.has_value()) return std::move(*fallback);
+  return fail("stub: name unresolvable through search list");
+}
+
+}  // namespace sns::resolver

@@ -1,0 +1,69 @@
+// stub.hpp — client-side stub resolver with spatial search list.
+//
+// §2.1 of the paper: "Local spatial names are completed via the
+// resolvers appending their global location to a query, meaning clients
+// just need to know their relative location." A device in the Oval
+// Office asks for `speaker` and the stub completes it to
+// `speaker.oval-office.1600.…usa.loc` before querying the edge
+// nameserver. The stub also consults a local DnsCache and records the
+// end-to-end latency of every resolution in simulated time.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dns/message.hpp"
+#include "net/network.hpp"
+#include "resolver/cache.hpp"
+
+namespace sns::resolver {
+
+/// Result of one stub resolution.
+struct Resolution {
+  dns::Rcode rcode = dns::Rcode::ServFail;
+  dns::RRset records;                    // final answer RRset(s), CNAMEs included
+  net::Duration latency{0};              // virtual time consumed
+  bool from_cache = false;
+  dns::Name effective_name;              // after search-list completion
+};
+
+class StubResolver {
+ public:
+  /// `server` is the recursive/edge nameserver this stub points at
+  /// (the paper's §4.2 edge deployment).
+  StubResolver(net::Network& network, net::NodeId self, net::NodeId server);
+
+  /// Spatial suffixes appended to relative names, most specific first
+  /// (the device's own room, building, …). An absolute name (trailing
+  /// dot) skips the search list.
+  void set_search_list(std::vector<dns::Name> suffixes);
+  void set_cache(DnsCache* cache) { cache_ = cache; }
+  void set_timeout(net::Duration timeout, int attempts);
+
+  /// Resolve a possibly-relative name.
+  util::Result<Resolution> resolve(std::string_view name_text, dns::RRType type);
+
+  /// Resolve an already-absolute name.
+  util::Result<Resolution> resolve(const dns::Name& name, dns::RRType type);
+
+  /// Raw message exchange with the configured server (used by DNS-SD
+  /// browse and the update client).
+  util::Result<dns::Message> exchange(const dns::Message& query);
+
+  [[nodiscard]] net::NodeId self() const noexcept { return self_; }
+
+ private:
+  util::Result<Resolution> resolve_absolute(const dns::Name& name, dns::RRType type);
+
+  net::Network& network_;
+  net::NodeId self_;
+  net::NodeId server_;
+  std::vector<dns::Name> search_list_;
+  DnsCache* cache_ = nullptr;
+  net::Duration timeout_ = net::ms(2000);
+  int attempts_ = 3;
+  std::uint16_t next_id_ = 1;
+};
+
+}  // namespace sns::resolver

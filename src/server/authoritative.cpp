@@ -1,0 +1,264 @@
+#include "server/authoritative.hpp"
+
+#include "server/update.hpp"
+#include "util/log.hpp"
+
+namespace sns::server {
+
+using dns::Message;
+using dns::Rcode;
+using dns::RRType;
+
+ViewMatcher match_any() {
+  return [](const ClientContext&) { return true; };
+}
+
+ViewMatcher match_internal() {
+  return [](const ClientContext& ctx) { return ctx.internal; };
+}
+
+ViewMatcher match_room(std::uint32_t room) {
+  return [room](const ClientContext& ctx) { return ctx.room.has_value() && *ctx.room == room; };
+}
+
+AuthoritativeServer::AuthoritativeServer(std::string name) : name_(std::move(name)) {}
+
+std::size_t AuthoritativeServer::add_view(std::string view_name, ViewMatcher matcher) {
+  views_.push_back(View{std::move(view_name), std::move(matcher), {}});
+  return views_.size() - 1;
+}
+
+void AuthoritativeServer::add_zone(std::size_t view_index, std::shared_ptr<Zone> zone) {
+  views_.at(view_index).zones.push_back(std::move(zone));
+}
+
+void AuthoritativeServer::add_zone(std::shared_ptr<Zone> zone) {
+  if (views_.empty()) add_view("default", match_any());
+  views_.back().zones.push_back(std::move(zone));
+}
+
+void AuthoritativeServer::add_presence_rule(PresenceRule rule) {
+  presence_rules_.push_back(std::move(rule));
+}
+
+void AuthoritativeServer::set_zone_key(dns::ZoneKey key, std::function<std::uint32_t()> now) {
+  zone_key_ = std::move(key);
+  now_seconds_ = std::move(now);
+}
+
+void AuthoritativeServer::set_update_key(dns::TsigKey key) { update_key_ = std::move(key); }
+
+void AuthoritativeServer::enable_nsec3(util::Bytes salt, std::uint16_t iterations) {
+  nsec3_enabled_ = true;
+  nsec3_salt_ = std::move(salt);
+  nsec3_iterations_ = iterations;
+  nsec3_cache_.clear();
+}
+
+const std::vector<dns::ResourceRecord>& AuthoritativeServer::nsec3_chain_for(const Zone& zone) {
+  auto& entry = nsec3_cache_[&zone];
+  if (entry.first != zone.serial() || entry.second.empty()) {
+    entry.first = zone.serial();
+    entry.second = dns::build_nsec3_chain(zone.apex(), zone.all_names(),
+                                          std::span(nsec3_salt_), nsec3_iterations_, 60);
+  }
+  return entry.second;
+}
+
+void AuthoritativeServer::attach_denial(const Zone& zone, const Name& qname, dns::RRType qtype,
+                                        dns::Message& response) {
+  if (!nsec3_enabled_ || !zone_key_.has_value() ||
+      !zone.apex().is_subdomain_of(zone_key_->zone))
+    return;
+  const auto& chain = nsec3_chain_for(zone);
+  std::uint32_t now = now_seconds_ ? now_seconds_() : 0;
+
+  auto attach_signed = [&](const dns::ResourceRecord& rr) {
+    response.authorities.push_back(rr);
+    auto sig = dns::sign_rrset({rr}, *zone_key_, now, now + 86400);
+    if (sig.ok()) response.authorities.push_back(std::move(sig).value());
+  };
+
+  if (response.header.rcode == dns::Rcode::NXDomain) {
+    // Cover the query name (and implicitly deny a wildcard, since the
+    // chain covers *.<zone> owners too when absent).
+    for (const auto& rr : chain) {
+      auto covers = dns::nsec3_covers(rr, qname, zone.apex());
+      if (covers.ok() && covers.value()) {
+        attach_signed(rr);
+        break;
+      }
+    }
+  } else {
+    // NODATA: present the NSEC3 that *matches* qname; its type bitmap
+    // proves qtype's absence.
+    auto owner = dns::nsec3_owner(qname, zone.apex(), std::span(nsec3_salt_),
+                                  nsec3_iterations_);
+    if (!owner.ok()) return;
+    for (const auto& rr : chain) {
+      if (rr.name == owner.value()) {
+        attach_signed(rr);
+        break;
+      }
+    }
+  }
+  (void)qtype;
+  response.header.ad = true;
+}
+
+const AuthoritativeServer::View* AuthoritativeServer::match_view(const ClientContext& ctx) const {
+  for (const auto& view : views_)
+    if (view.matcher(ctx)) return &view;
+  return nullptr;
+}
+
+std::shared_ptr<Zone> AuthoritativeServer::find_zone(const View& view, const Name& qname) const {
+  // Longest-suffix match among the view's zones.
+  std::shared_ptr<Zone> best;
+  for (const auto& zone : view.zones) {
+    if (qname.is_subdomain_of(zone->apex()) &&
+        (best == nullptr || zone->apex().label_count() > best->apex().label_count()))
+      best = zone;
+  }
+  return best;
+}
+
+bool AuthoritativeServer::presence_denied(const Name& qname, const ClientContext& ctx) const {
+  for (const auto& rule : presence_rules_) {
+    if (!qname.is_subdomain_of(rule.subtree)) continue;
+    bool physically_present = ctx.room.has_value() && *ctx.room == rule.room;
+    bool has_token = rule.token != nullptr && !rule.token->empty() &&
+                     ctx.presence_tokens.contains(*rule.token);
+    if (!physically_present && !has_token) return true;
+  }
+  return false;
+}
+
+void AuthoritativeServer::sign_answer(dns::Message& response) const {
+  if (!zone_key_.has_value() || response.answers.empty()) return;
+  std::uint32_t now = now_seconds_ ? now_seconds_() : 0;
+  // Group answers into RRsets (consecutive same name+type after the
+  // engine's construction) and sign each.
+  std::vector<dns::ResourceRecord> signatures;
+  std::size_t i = 0;
+  while (i < response.answers.size()) {
+    std::size_t j = i + 1;
+    while (j < response.answers.size() && response.answers[j].name == response.answers[i].name &&
+           response.answers[j].type == response.answers[i].type)
+      ++j;
+    dns::RRset rrset(response.answers.begin() + static_cast<std::ptrdiff_t>(i),
+                     response.answers.begin() + static_cast<std::ptrdiff_t>(j));
+    if (rrset.front().name.is_subdomain_of(zone_key_->zone)) {
+      auto sig = dns::sign_rrset(rrset, *zone_key_, now, now + 86400);
+      if (sig.ok()) signatures.push_back(std::move(sig).value());
+    }
+    i = j;
+  }
+  response.answers.insert(response.answers.end(), signatures.begin(), signatures.end());
+  response.header.ad = !signatures.empty();
+}
+
+std::vector<std::shared_ptr<Zone>> AuthoritativeServer::zones_for(const ClientContext& ctx) const {
+  const View* view = match_view(ctx);
+  return view == nullptr ? std::vector<std::shared_ptr<Zone>>{} : view->zones;
+}
+
+Message AuthoritativeServer::handle(const Message& query, const ClientContext& ctx) {
+  ++queries_served_;
+
+  if (query.header.opcode == dns::Opcode::Update) return process_update(*this, query, ctx);
+
+  if (query.questions.size() != 1) return dns::make_response(query, Rcode::FormErr, false);
+  const auto& question = query.questions.front();
+
+  const View* view = match_view(ctx);
+  if (view == nullptr) return dns::make_response(query, Rcode::Refused, false);
+
+  auto zone = find_zone(*view, question.name);
+  if (zone == nullptr) return dns::make_response(query, Rcode::Refused, false);
+
+  if (presence_denied(question.name, ctx)) {
+    util::log_debug("authoritative", name_, ": refused (presence) ",
+                    question.name.to_string());
+    return dns::make_response(query, Rcode::Refused, true);
+  }
+
+  Message response = dns::make_response(query, Rcode::NoError, true);
+
+  // Resolve with CNAME chasing inside the view (restart across zones of
+  // the same view, RFC 1034 §4.3.2 step 3a).
+  Name qname = question.name;
+  int chain = 0;
+  while (chain++ < 8) {
+    auto result = zone->lookup(qname, question.type);
+    switch (result.kind) {
+      case Zone::Lookup::Kind::Success:
+        response.answers.insert(response.answers.end(), result.records.begin(),
+                                result.records.end());
+        sign_answer(response);
+        return response;
+      case Zone::Lookup::Kind::CName: {
+        response.answers.insert(response.answers.end(), result.records.begin(),
+                                result.records.end());
+        const auto* cname = std::get_if<dns::CnameData>(&result.records.front().rdata);
+        if (cname == nullptr) {
+          response.header.rcode = Rcode::ServFail;
+          return response;
+        }
+        qname = cname->target;
+        auto next_zone = find_zone(*view, qname);
+        if (next_zone == nullptr) {
+          // Target is out of our authority: hand back what we have.
+          sign_answer(response);
+          return response;
+        }
+        zone = next_zone;
+        continue;
+      }
+      case Zone::Lookup::Kind::Delegation:
+        response.header.aa = false;
+        response.authorities.insert(response.authorities.end(), result.records.begin(),
+                                    result.records.end());
+        response.additionals.insert(response.additionals.end(), result.additionals.begin(),
+                                    result.additionals.end());
+        return response;
+      case Zone::Lookup::Kind::NoData: {
+        // NODATA: SOA in authority for negative caching (RFC 2308).
+        if (const RRset* soa = zone->find(zone->apex(), RRType::SOA))
+          response.authorities.insert(response.authorities.end(), soa->begin(), soa->end());
+        attach_denial(*zone, qname, question.type, response);
+        return response;
+      }
+      case Zone::Lookup::Kind::NxDomain: {
+        response.header.rcode = Rcode::NXDomain;
+        if (const RRset* soa = zone->find(zone->apex(), RRType::SOA))
+          response.authorities.insert(response.authorities.end(), soa->begin(), soa->end());
+        attach_denial(*zone, qname, question.type, response);
+        return response;
+      }
+      case Zone::Lookup::Kind::NotZone:
+        response.header.rcode = Rcode::Refused;
+        return response;
+    }
+  }
+  response.header.rcode = Rcode::ServFail;  // CNAME chain too long
+  return response;
+}
+
+void AuthoritativeServer::bind_to_network(net::Network& network, net::NodeId node,
+                                          std::function<ClientContext(net::NodeId)> context_of) {
+  network.set_handler(node, [this, context_of = std::move(context_of)](
+                                std::span<const std::uint8_t> payload,
+                                net::NodeId from) -> std::optional<util::Bytes> {
+    auto query = Message::decode(payload);
+    if (!query.ok()) {
+      util::log_warn("authoritative", name_, ": dropping malformed query: ",
+                     query.error().message);
+      return std::nullopt;
+    }
+    Message response = handle(query.value(), context_of(from));
+    return dns::encode_for_transport(query.value(), std::move(response));
+  });
+}
+
+}  // namespace sns::server

@@ -1,0 +1,131 @@
+// authoritative.hpp — split-horizon authoritative nameserver engine.
+//
+// Implements the paper's §3.1 resolution model: the *same* spatial name
+// answers differently depending on where the query comes from. A server
+// holds an ordered list of views (BIND-style); each view matches a
+// client context (inside the spatial domain? in the same physical room?
+// holding a presence token?) and serves its own zone contents. A device
+// can additionally be marked presence-protected — then the server
+// refuses to resolve it for clients that cannot prove physical
+// co-location (§3.1's Oval Office microphone).
+//
+// The engine is transport-independent (Message in, Message out);
+// bind_to_network() attaches it to a simulated node.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "dns/dnssec.hpp"
+#include "dns/message.hpp"
+#include "net/network.hpp"
+#include "server/zone.hpp"
+
+namespace sns::server {
+
+/// Everything the server may know about the querying client. On the
+/// real Internet this comes from source address + TSIG + presence
+/// attestations; in the simulator the topology provides it.
+struct ClientContext {
+  net::NodeId node = net::kInvalidNode;
+  bool internal = false;                     // inside the spatial domain's network
+  std::optional<std::uint32_t> room;         // physical room (audio medium id)
+  std::set<std::string> presence_tokens;     // proofs from audio challenges (§3.1)
+};
+
+/// Predicate deciding whether a view serves a given client.
+using ViewMatcher = std::function<bool(const ClientContext&)>;
+
+ViewMatcher match_any();
+ViewMatcher match_internal();
+ViewMatcher match_room(std::uint32_t room);
+
+/// Access-control rule: names under `subtree` resolve only for clients
+/// physically in `room`, or presenting the room beacon's *currently
+/// valid* token (a live view — chirps rotate it).
+struct PresenceRule {
+  Name subtree;
+  std::uint32_t room = 0;
+  std::shared_ptr<const std::string> token;  // may be null (room-only rule)
+};
+
+class AuthoritativeServer {
+ public:
+  explicit AuthoritativeServer(std::string name);
+
+  /// Views are consulted in insertion order; first match serves.
+  /// Returns the view index for add_zone.
+  std::size_t add_view(std::string view_name, ViewMatcher matcher);
+  void add_zone(std::size_t view_index, std::shared_ptr<Zone> zone);
+
+  /// Convenience: single catch-all view.
+  void add_zone(std::shared_ptr<Zone> zone);
+
+  void add_presence_rule(PresenceRule rule);
+
+  /// Enable DNSSEC-style signing: answers from zones under key.zone get
+  /// RRSIGs and the AD bit. `now_seconds` provider supplies simulated time.
+  void set_zone_key(dns::ZoneKey key, std::function<std::uint32_t()> now_seconds);
+
+  /// Also attach NSEC3 authenticated denial (RFC 5155) to negative
+  /// answers from keyed zones — the §4.2 defence against zone
+  /// enumeration while still proving nonexistence. Requires a zone key.
+  void enable_nsec3(util::Bytes salt, std::uint16_t iterations);
+
+  /// Require TSIG on dynamic updates.
+  void set_update_key(dns::TsigKey key);
+
+  /// Core entry point: answer one message for one client.
+  [[nodiscard]] dns::Message handle(const dns::Message& query, const ClientContext& ctx);
+
+  /// Attach to a simulated node; `context_of` maps a source node to a
+  /// ClientContext (the deployment layer builds this from topology).
+  void bind_to_network(net::Network& network, net::NodeId node,
+                       std::function<ClientContext(net::NodeId)> context_of);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] std::uint64_t queries_served() const noexcept { return queries_served_; }
+
+  /// Zones visible to `ctx` (used by the update processor and tests).
+  [[nodiscard]] std::vector<std::shared_ptr<Zone>> zones_for(const ClientContext& ctx) const;
+
+  [[nodiscard]] const std::optional<dns::TsigKey>& update_key() const noexcept {
+    return update_key_;
+  }
+
+ private:
+  struct View {
+    std::string name;
+    ViewMatcher matcher;
+    std::vector<std::shared_ptr<Zone>> zones;
+  };
+
+  [[nodiscard]] const View* match_view(const ClientContext& ctx) const;
+  [[nodiscard]] std::shared_ptr<Zone> find_zone(const View& view, const Name& qname) const;
+  [[nodiscard]] bool presence_denied(const Name& qname, const ClientContext& ctx) const;
+  void sign_answer(dns::Message& response) const;
+  void attach_denial(const Zone& zone, const Name& qname, dns::RRType qtype,
+                     dns::Message& response);
+  const std::vector<dns::ResourceRecord>& nsec3_chain_for(const Zone& zone);
+
+  std::string name_;
+  std::vector<View> views_;
+  std::vector<PresenceRule> presence_rules_;
+  std::optional<dns::ZoneKey> zone_key_;
+  std::function<std::uint32_t()> now_seconds_;
+  std::optional<dns::TsigKey> update_key_;
+  bool nsec3_enabled_ = false;
+  util::Bytes nsec3_salt_;
+  std::uint16_t nsec3_iterations_ = 0;
+  // NSEC3 chain cache keyed by zone pointer, invalidated by SOA serial.
+  std::map<const Zone*, std::pair<std::uint32_t, std::vector<dns::ResourceRecord>>>
+      nsec3_cache_;
+  std::uint64_t queries_served_ = 0;
+};
+
+}  // namespace sns::server

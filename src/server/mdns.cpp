@@ -1,0 +1,107 @@
+#include "server/mdns.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+
+namespace sns::server {
+
+using dns::Message;
+using dns::Name;
+using dns::ResourceRecord;
+using util::fail;
+using util::Result;
+
+namespace {
+
+/// DNS-SD instance labels may contain spaces; encode them as a single
+/// label with spaces replaced (we keep it simple and RFC-safe).
+std::string instance_label(const std::string& instance) {
+  std::string label;
+  for (char c : instance) label += (c == ' ' ? '-' : c);
+  return util::to_lower(label);
+}
+
+}  // namespace
+
+Result<Name> service_type_name(const ServiceInstance& service) {
+  auto parts = util::split(service.service_type, '.');
+  Name name = service.domain;
+  for (auto it = parts.rbegin(); it != parts.rend(); ++it) {
+    auto next = name.prepend(*it);
+    if (!next.ok()) return next.error();
+    name = std::move(next).value();
+  }
+  return name;
+}
+
+Result<Name> service_instance_name(const ServiceInstance& service) {
+  auto type_name = service_type_name(service);
+  if (!type_name.ok()) return type_name.error();
+  return type_name.value().prepend(instance_label(service.instance));
+}
+
+util::Status publish_service(Zone& zone, const ServiceInstance& service, std::uint32_t ttl) {
+  auto type_name = service_type_name(service);
+  if (!type_name.ok()) return type_name.error();
+  auto instance_name = service_instance_name(service);
+  if (!instance_name.ok()) return instance_name.error();
+
+  // _services._dns-sd._udp.<domain> PTR <type>.<domain>
+  auto enumeration = service.domain.prepend("_udp");
+  if (!enumeration.ok()) return enumeration.error();
+  enumeration = enumeration.value().prepend("_dns-sd");
+  if (!enumeration.ok()) return enumeration.error();
+  enumeration = enumeration.value().prepend("_services");
+  if (!enumeration.ok()) return enumeration.error();
+
+  if (auto s = zone.add(dns::make_ptr(enumeration.value(), type_name.value(), ttl)); !s.ok())
+    return s;
+  if (auto s = zone.add(dns::make_ptr(type_name.value(), instance_name.value(), ttl)); !s.ok())
+    return s;
+  if (auto s = zone.add(dns::make_srv(instance_name.value(), service.port, service.host, ttl));
+      !s.ok())
+    return s;
+  return zone.add(dns::make_txt(instance_name.value(), service.txt, ttl));
+}
+
+MdnsResponder::MdnsResponder(net::Network& network, net::NodeId node)
+    : network_(network), node_(node) {
+  network_.join_group(kMdnsGroup, node_);
+  network_.set_handler(node_, [this](std::span<const std::uint8_t> payload, net::NodeId) {
+    return answer(payload);
+  });
+}
+
+void MdnsResponder::add_record(ResourceRecord rr) { records_.push_back(std::move(rr)); }
+
+void MdnsResponder::publish(const ServiceInstance& service, std::uint32_t ttl) {
+  auto type_name = service_type_name(service);
+  auto instance_name = service_instance_name(service);
+  if (!type_name.ok() || !instance_name.ok()) return;
+  add_record(dns::make_ptr(type_name.value(), instance_name.value(), ttl));
+  add_record(dns::make_srv(instance_name.value(), service.port, service.host, ttl));
+  add_record(dns::make_txt(instance_name.value(), service.txt, ttl));
+}
+
+std::optional<util::Bytes> MdnsResponder::answer(std::span<const std::uint8_t> payload) {
+  auto query = Message::decode(payload);
+  if (!query.ok() || query.value().questions.size() != 1) return std::nullopt;
+  const auto& question = query.value().questions.front();
+
+  Message response = dns::make_response(query.value(), dns::Rcode::NoError, true);
+  for (const auto& rr : records_) {
+    bool type_match = question.type == rr.type || question.type == dns::RRType::ANY;
+    if (type_match && rr.name == question.name) response.answers.push_back(rr);
+  }
+  if (response.answers.empty()) return std::nullopt;  // mDNS: silence, not NXDOMAIN
+
+  // RFC 6762 §6: shared-record responders delay 20-120 ms to avoid
+  // collision storms. This is the structural latency the paper's AR
+  // use-case cannot tolerate.
+  auto delay_ms = 20 + static_cast<std::int64_t>(network_.rng().next_below(100));
+  network_.add_processing_delay(net::ms(delay_ms));
+  return response.encode();
+}
+
+}  // namespace sns::server

@@ -1,0 +1,64 @@
+// mdns.hpp — multicast DNS responder and DNS-SD publication.
+//
+// §4.1 of the paper: "DNS Service Discovery (DNS-SD) uses standard DNS
+// protocols, including mDNS for the local link … With SNS, this domain
+// becomes a spatial domain." This module publishes services in the
+// DNS-SD shape (PTR enumeration + PTR instance + SRV/TXT) either into a
+// spatial Zone (unicast DNS-SD) or via an mDNS responder joined to a
+// simulated multicast group (the slow, layered path the paper's §1
+// latency claim is measured against in bench E6).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "dns/message.hpp"
+#include "net/network.hpp"
+#include "server/zone.hpp"
+
+namespace sns::server {
+
+/// The conventional mDNS multicast group id in the simulator.
+constexpr std::uint32_t kMdnsGroup = 5353;
+
+/// One DNS-SD service registration.
+struct ServiceInstance {
+  std::string instance;      // "Oval Office Speaker"
+  std::string service_type;  // "_audio._udp"
+  Name domain;               // spatial domain the service lives in
+  Name host;                 // device host name
+  std::uint16_t port = 0;
+  std::vector<std::string> txt;  // key=value metadata
+};
+
+/// Write the four DNS-SD records for `service` into `zone`
+/// (enumeration PTR, instance PTR, SRV, TXT).
+util::Status publish_service(Zone& zone, const ServiceInstance& service,
+                             std::uint32_t ttl = 120);
+
+/// Name helpers.
+util::Result<Name> service_type_name(const ServiceInstance& service);   // _audio._udp.<domain>
+util::Result<Name> service_instance_name(const ServiceInstance& service);
+
+/// A minimal mDNS responder: joins the multicast group on `node` and
+/// answers queries it is authoritative for from its own little record
+/// set. Real mDNS answers after a random 20-120 ms defensive delay
+/// (RFC 6762 §6) — modelled here, which is exactly why discovery over
+/// mDNS is slow compared to an SNS edge lookup.
+class MdnsResponder {
+ public:
+  MdnsResponder(net::Network& network, net::NodeId node);
+
+  void add_record(dns::ResourceRecord rr);
+  /// Publish a DNS-SD service into the responder's record set.
+  void publish(const ServiceInstance& service, std::uint32_t ttl = 120);
+
+ private:
+  [[nodiscard]] std::optional<util::Bytes> answer(std::span<const std::uint8_t> payload);
+
+  net::Network& network_;
+  net::NodeId node_;
+  std::vector<dns::ResourceRecord> records_;
+};
+
+}  // namespace sns::server

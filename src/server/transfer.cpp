@@ -1,0 +1,82 @@
+#include "server/transfer.hpp"
+
+namespace sns::server {
+
+using dns::Message;
+using dns::Rcode;
+using util::fail;
+using util::Result;
+
+Message make_transfer_request(std::uint16_t id, const Name& zone_apex,
+                              std::uint32_t have_serial) {
+  Message msg;
+  msg.header.id = id;
+  msg.header.rd = false;
+  msg.questions.push_back(dns::Question{zone_apex, kAxfrType, dns::RRClass::IN});
+  // IXFR-style: current SOA in the authority section.
+  auto soa = dns::make_soa(zone_apex, zone_apex, have_serial);
+  msg.authorities.push_back(std::move(soa));
+  return msg;
+}
+
+Message serve_transfer(const Zone& zone, const Message& request) {
+  if (request.questions.size() != 1 || request.questions.front().type != kAxfrType)
+    return dns::make_response(request, Rcode::FormErr, false);
+  if (!(request.questions.front().name == zone.apex()))
+    return dns::make_response(request, Rcode::NotAuth, false);
+
+  // Serial gate: if the secondary is current, answer empty NOERROR.
+  std::uint32_t have_serial = 0;
+  for (const auto& rr : request.authorities)
+    if (const auto* soa = std::get_if<dns::SoaData>(&rr.rdata)) have_serial = soa->serial;
+  Message response = dns::make_response(request, Rcode::NoError, true);
+  if (have_serial >= zone.serial()) return response;
+
+  // Full zone, SOA first and repeated last (AXFR framing).
+  auto records = zone.all_records();
+  dns::ResourceRecord apex_soa;
+  bool have_soa = false;
+  for (const auto& rr : records) {
+    if (rr.type == RRType::SOA && rr.name == zone.apex()) {
+      apex_soa = rr;
+      have_soa = true;
+      break;
+    }
+  }
+  if (!have_soa) return dns::make_response(request, Rcode::ServFail, true);
+  response.answers.push_back(apex_soa);
+  for (auto& rr : records)
+    if (!(rr.type == RRType::SOA && rr.name == zone.apex()))
+      response.answers.push_back(std::move(rr));
+  response.answers.push_back(apex_soa);
+  return response;
+}
+
+Result<bool> apply_transfer(Zone& zone, const Message& response) {
+  if (response.header.rcode != Rcode::NoError)
+    return fail("transfer: primary answered " + dns::to_string(response.header.rcode));
+  if (response.answers.empty()) return false;  // already current
+  if (response.answers.size() < 2 || response.answers.front().type != RRType::SOA ||
+      response.answers.back().type != RRType::SOA)
+    return fail("transfer: missing AXFR SOA framing");
+  if (!(response.answers.front() == response.answers.back()))
+    return fail("transfer: first/last SOA mismatch (truncated transfer?)");
+
+  std::vector<dns::ResourceRecord> records(response.answers.begin(),
+                                           response.answers.end() - 1);
+  if (auto s = zone.load(std::move(records)); !s.ok()) return s.error();
+  return true;
+}
+
+Result<bool> refresh_secondary(net::Network& network, net::NodeId secondary_node,
+                               net::NodeId primary_node, Zone& secondary) {
+  Message request = make_transfer_request(0x5151, secondary.apex(), secondary.serial());
+  auto wire = request.encode();
+  auto exchanged = network.exchange(secondary_node, primary_node, std::span(wire));
+  if (!exchanged.ok()) return exchanged.error();
+  auto response = Message::decode(std::span(exchanged.value().response));
+  if (!response.ok()) return fail("transfer: malformed response");
+  return apply_transfer(secondary, response.value());
+}
+
+}  // namespace sns::server

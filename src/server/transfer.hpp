@@ -1,0 +1,42 @@
+// transfer.hpp — zone replication between edge nameservers (§4.2).
+//
+// Edge nameservers are single points of failure for their room; the
+// paper's resilience story implies replication. This module implements
+// an AXFR-shaped full transfer plus a serial-gated refresh (IXFR-lite):
+// the secondary sends the primary its current SOA serial; the primary
+// answers "current" or ships the full zone. Framed as ordinary DNS
+// messages so it runs over the simulated network like everything else.
+#pragma once
+
+#include <memory>
+
+#include "dns/message.hpp"
+#include "net/network.hpp"
+#include "server/zone.hpp"
+
+namespace sns::server {
+
+/// QTYPE 252 (AXFR), not in the base RRType enum on purpose.
+constexpr dns::RRType kAxfrType = static_cast<dns::RRType>(252);
+
+/// Build the transfer request. `have_serial` is the secondary's current
+/// serial (encoded as an SOA in the authority section, like IXFR).
+[[nodiscard]] dns::Message make_transfer_request(std::uint16_t id, const Name& zone_apex,
+                                                 std::uint32_t have_serial);
+
+/// Primary side: answer a transfer request against `zone`. Returns a
+/// response whose answers are the full zone (SOA first and last, AXFR
+/// convention) — or an empty NOERROR when the secondary is current.
+[[nodiscard]] dns::Message serve_transfer(const Zone& zone, const dns::Message& request);
+
+/// Secondary side: apply a transfer response. Returns true if the zone
+/// contents were replaced (false = already current). Fails on malformed
+/// responses.
+util::Result<bool> apply_transfer(Zone& zone, const dns::Message& response);
+
+/// Convenience: run one refresh cycle over the network. The primary
+/// node must answer DNS (bind_to_network or equivalent).
+util::Result<bool> refresh_secondary(net::Network& network, net::NodeId secondary_node,
+                                     net::NodeId primary_node, Zone& secondary);
+
+}  // namespace sns::server

@@ -1,0 +1,118 @@
+#include "server/update.hpp"
+
+#include "server/authoritative.hpp"
+
+namespace sns::server {
+
+using dns::Message;
+using dns::Rcode;
+using dns::ResourceRecord;
+using dns::RRClass;
+using dns::RRType;
+
+Message process_update(AuthoritativeServer& server, const Message& request,
+                       const ClientContext& ctx) {
+  // TSIG gate: when the server has an update key, unsigned or badly
+  // signed updates are refused. The simulator has no shared wall clock,
+  // so the server validates the MAC at the signer's own timestamp; the
+  // fudge-window check is exercised directly in the dnssec tests.
+  Message working = request;
+  if (server.update_key().has_value()) {
+    if (working.additionals.empty() || working.additionals.back().type != RRType::TSIG)
+      return dns::make_response(request, Rcode::Refused, false);
+    const auto* tsig = std::get_if<dns::TsigData>(&working.additionals.back().rdata);
+    if (tsig == nullptr ||
+        !dns::tsig_verify(working, *server.update_key(), tsig->time_signed).ok())
+      return dns::make_response(request, Rcode::Refused, false);
+  }
+
+  if (working.questions.size() != 1 || working.questions.front().type != RRType::SOA)
+    return dns::make_response(request, Rcode::FormErr, false);
+  const dns::Name& zone_name = working.questions.front().name;
+
+  auto zones = server.zones_for(ctx);
+  std::shared_ptr<Zone> zone;
+  for (const auto& z : zones)
+    if (z->apex() == zone_name) zone = z;
+  if (zone == nullptr) return dns::make_response(request, Rcode::NotAuth, false);
+
+  // Prerequisite checks (RFC 2136 §3.2), from the answer section.
+  for (const auto& prereq : working.answers) {
+    if (!prereq.name.is_subdomain_of(zone->apex()))
+      return dns::make_response(request, Rcode::NotZone, false);
+    if (prereq.klass == RRClass::ANY && prereq.type == RRType::ANY) {
+      if (!zone->name_exists(prereq.name))
+        return dns::make_response(request, Rcode::NXDomain, false);
+    } else if (prereq.klass == RRClass::ANY) {
+      if (zone->find(prereq.name, prereq.type) == nullptr)
+        return dns::make_response(request, Rcode::NXRRSet, false);
+    } else if (prereq.klass == RRClass::NONE && prereq.type == RRType::ANY) {
+      if (zone->name_exists(prereq.name))
+        return dns::make_response(request, Rcode::YXDomain, false);
+    } else if (prereq.klass == RRClass::NONE) {
+      if (zone->find(prereq.name, prereq.type) != nullptr)
+        return dns::make_response(request, Rcode::YXRRSet, false);
+    } else if (prereq.klass == RRClass::IN) {
+      const dns::RRset* existing = zone->find(prereq.name, prereq.type);
+      bool match = existing != nullptr;
+      if (match) {
+        bool found = false;
+        for (const auto& rr : *existing)
+          if (rr.rdata == prereq.rdata) found = true;
+        match = found;
+      }
+      if (!match) return dns::make_response(request, Rcode::NXRRSet, false);
+    }
+  }
+
+  // Update operations (RFC 2136 §3.4), from the authority section.
+  bool changed = false;
+  for (const auto& update : working.authorities) {
+    if (!update.name.is_subdomain_of(zone->apex()))
+      return dns::make_response(request, Rcode::NotZone, false);
+    if (update.klass == RRClass::IN) {
+      ResourceRecord rr = update;
+      if (zone->add(std::move(rr)).ok()) changed = true;
+    } else if (update.klass == RRClass::ANY && update.type == RRType::ANY) {
+      changed = zone->remove_name(update.name) > 0 || changed;
+    } else if (update.klass == RRClass::ANY) {
+      changed = zone->remove_rrset(update.name, update.type) > 0 || changed;
+    } else if (update.klass == RRClass::NONE) {
+      ResourceRecord rr = update;
+      rr.klass = RRClass::IN;
+      changed = zone->remove_record(rr) || changed;
+    }
+  }
+  if (changed) zone->bump_serial();
+
+  return dns::make_response(request, Rcode::NoError, true);
+}
+
+Message make_update_add(std::uint16_t id, const dns::Name& zone, ResourceRecord record) {
+  Message msg;
+  msg.header.id = id;
+  msg.header.opcode = dns::Opcode::Update;
+  msg.header.rd = false;
+  msg.questions.push_back(dns::Question{zone, RRType::SOA, RRClass::IN});
+  msg.authorities.push_back(std::move(record));
+  return msg;
+}
+
+Message make_update_delete_rrset(std::uint16_t id, const dns::Name& zone, const dns::Name& owner,
+                                 RRType type) {
+  Message msg;
+  msg.header.id = id;
+  msg.header.opcode = dns::Opcode::Update;
+  msg.header.rd = false;
+  msg.questions.push_back(dns::Question{zone, RRType::SOA, RRClass::IN});
+  ResourceRecord del;
+  del.name = owner;
+  del.type = type;
+  del.klass = RRClass::ANY;
+  del.ttl = 0;
+  del.rdata = dns::RawData{};
+  msg.authorities.push_back(std::move(del));
+  return msg;
+}
+
+}  // namespace sns::server

@@ -1,0 +1,32 @@
+// update.hpp — RFC 2136 dynamic update processing.
+//
+// The paper uses dynamic updates for geodetic mobility (§4.1: "updates
+// to the geodetic mapping within a local spatial domain could be done
+// using dynamic DNS updates") and for edge nameservers auto-registering
+// devices that join the network (§4.2). The processor implements the
+// RFC's zone check, prerequisite checks and update operations, guarded
+// by the server's TSIG key when one is configured.
+#pragma once
+
+#include "dns/message.hpp"
+
+namespace sns::server {
+
+class AuthoritativeServer;
+struct ClientContext;
+
+/// Handle an UPDATE message against the server's view of the world.
+/// Message layout per RFC 2136: question = zone, answer = prerequisites,
+/// authority = updates.
+[[nodiscard]] dns::Message process_update(AuthoritativeServer& server, const dns::Message& request,
+                                          const ClientContext& ctx);
+
+/// Build an UPDATE message adding `record` to `zone` (client side).
+[[nodiscard]] dns::Message make_update_add(std::uint16_t id, const dns::Name& zone,
+                                           dns::ResourceRecord record);
+
+/// Build an UPDATE deleting the whole (name, type) RRset.
+[[nodiscard]] dns::Message make_update_delete_rrset(std::uint16_t id, const dns::Name& zone,
+                                                    const dns::Name& owner, dns::RRType type);
+
+}  // namespace sns::server

@@ -1,0 +1,244 @@
+#include "server/zone.hpp"
+
+#include <algorithm>
+
+namespace sns::server {
+
+using util::fail;
+using util::Status;
+
+Zone::Zone(Name apex, Name primary_ns) : apex_(std::move(apex)) {
+  auto soa = dns::make_soa(apex_, primary_ns, 1);
+  nodes_[apex_][RRType::SOA] = {std::move(soa)};
+}
+
+Status Zone::add(ResourceRecord rr) {
+  if (!rr.name.is_subdomain_of(apex_))
+    return fail("zone " + apex_.to_string() + ": record " + rr.name.to_string() +
+                " outside zone");
+  auto& node = nodes_[rr.name];
+  if (rr.type == RRType::CNAME) {
+    // CNAME must be alone at a node (ignoring DNSSEC metadata).
+    for (const auto& [type, rrset] : node)
+      if (type != RRType::CNAME && type != RRType::RRSIG && !rrset.empty())
+        return fail("zone: CNAME cannot coexist with other data at " + rr.name.to_string());
+  } else if (node.contains(RRType::CNAME) && rr.type != RRType::RRSIG) {
+    return fail("zone: data cannot be added beside CNAME at " + rr.name.to_string());
+  }
+  auto& rrset = node[rr.type];
+  // De-duplicate identical rdata (RFC 2136 §4 semantics).
+  for (const auto& existing : rrset)
+    if (existing.rdata == rr.rdata) return util::ok_status();
+  rrset.push_back(std::move(rr));
+  return util::ok_status();
+}
+
+std::size_t Zone::remove_rrset(const Name& owner, RRType type) {
+  auto node = nodes_.find(owner);
+  if (node == nodes_.end()) return 0;
+  auto it = node->second.find(type);
+  if (it == node->second.end()) return 0;
+  std::size_t n = it->second.size();
+  node->second.erase(it);
+  if (node->second.empty()) nodes_.erase(node);
+  return n;
+}
+
+std::size_t Zone::remove_name(const Name& owner) {
+  auto node = nodes_.find(owner);
+  if (node == nodes_.end()) return 0;
+  std::size_t n = 0;
+  for (const auto& [type, rrset] : node->second) n += rrset.size();
+  nodes_.erase(node);
+  return n;
+}
+
+bool Zone::remove_record(const ResourceRecord& rr) {
+  auto node = nodes_.find(rr.name);
+  if (node == nodes_.end()) return false;
+  auto it = node->second.find(rr.type);
+  if (it == node->second.end()) return false;
+  auto& rrset = it->second;
+  auto removed = std::remove_if(rrset.begin(), rrset.end(), [&](const ResourceRecord& existing) {
+    return existing.rdata == rr.rdata;
+  });
+  bool any = removed != rrset.end();
+  rrset.erase(removed, rrset.end());
+  if (rrset.empty()) node->second.erase(it);
+  if (node->second.empty()) nodes_.erase(node);
+  return any;
+}
+
+const RRset* Zone::find(const Name& owner, RRType type) const {
+  auto node = nodes_.find(owner);
+  if (node == nodes_.end()) return nullptr;
+  auto it = node->second.find(type);
+  return it == node->second.end() ? nullptr : &it->second;
+}
+
+bool Zone::name_exists(const Name& owner) const {
+  // A name "exists" if it owns records or is an empty non-terminal
+  // (some descendant owns records).
+  auto it = nodes_.lower_bound(owner);
+  if (it == nodes_.end()) return false;
+  return it->first == owner || it->first.is_subdomain_of(owner);
+}
+
+std::vector<RRType> Zone::types_at(const Name& owner) const {
+  std::vector<RRType> out;
+  auto node = nodes_.find(owner);
+  if (node == nodes_.end()) return out;
+  for (const auto& [type, rrset] : node->second)
+    if (!rrset.empty()) out.push_back(type);
+  return out;
+}
+
+Zone::Lookup Zone::lookup(const Name& qname, RRType qtype) const {
+  Lookup result;
+  if (!qname.is_subdomain_of(apex_)) {
+    result.kind = Lookup::Kind::NotZone;
+    return result;
+  }
+
+  // 1. Delegation cut: walk ancestors of qname strictly below the apex,
+  //    topmost first; an NS set there (other than at qname==cut with
+  //    qtype==NS? — referral anyway per RFC 1034) is a referral.
+  std::vector<Name> ancestors;
+  for (Name n = qname; n.label_count() > apex_.label_count(); n = n.parent())
+    ancestors.push_back(n);
+  std::reverse(ancestors.begin(), ancestors.end());  // topmost first
+  for (const auto& ancestor : ancestors) {
+    const RRset* ns = find(ancestor, RRType::NS);
+    if (ns != nullptr && !(ancestor == qname && qtype == RRType::NS)) {
+      result.kind = Lookup::Kind::Delegation;
+      result.records = *ns;
+      // Glue: in-zone addresses of the delegated nameservers.
+      for (const auto& rr : *ns) {
+        if (const auto* data = std::get_if<dns::NsData>(&rr.rdata)) {
+          for (RRType glue_type : {RRType::A, RRType::AAAA}) {
+            if (const RRset* glue = find(data->nameserver, glue_type))
+              result.additionals.insert(result.additionals.end(), glue->begin(), glue->end());
+          }
+        }
+      }
+      return result;
+    }
+  }
+
+  // 2. Exact node.
+  auto node = nodes_.find(qname);
+  if (node != nodes_.end()) {
+    auto exact = node->second.find(qtype);
+    if (qtype == RRType::ANY) {
+      for (const auto& [type, rrset] : node->second)
+        result.records.insert(result.records.end(), rrset.begin(), rrset.end());
+      result.kind = result.records.empty() ? Lookup::Kind::NoData : Lookup::Kind::Success;
+      return result;
+    }
+    if (exact != node->second.end() && !exact->second.empty()) {
+      result.kind = Lookup::Kind::Success;
+      result.records = exact->second;
+      return result;
+    }
+    auto cname = node->second.find(RRType::CNAME);
+    if (cname != node->second.end() && !cname->second.empty()) {
+      result.kind = Lookup::Kind::CName;
+      result.records = cname->second;
+      return result;
+    }
+    result.kind = Lookup::Kind::NoData;
+    return result;
+  }
+
+  // 3. Empty non-terminal => NODATA, not NXDOMAIN.
+  if (name_exists(qname)) {
+    result.kind = Lookup::Kind::NoData;
+    return result;
+  }
+
+  // 4. Wildcard synthesis: *.<closest enclosing existing name>.
+  for (Name n = qname; n.label_count() > apex_.label_count(); n = n.parent()) {
+    auto star = n.parent().prepend("*");
+    if (!star.ok()) break;
+    const RRset* wild = find(star.value(), qtype);
+    if (wild != nullptr) {
+      result.kind = Lookup::Kind::Success;
+      result.wildcard = true;
+      for (ResourceRecord rr : *wild) {
+        rr.name = qname;  // synthesise the owner
+        result.records.push_back(std::move(rr));
+      }
+      return result;
+    }
+    const RRset* wild_cname = find(star.value(), RRType::CNAME);
+    if (wild_cname != nullptr) {
+      result.kind = Lookup::Kind::CName;
+      result.wildcard = true;
+      for (ResourceRecord rr : *wild_cname) {
+        rr.name = qname;
+        result.records.push_back(std::move(rr));
+      }
+      return result;
+    }
+  }
+
+  result.kind = Lookup::Kind::NxDomain;
+  return result;
+}
+
+std::vector<ResourceRecord> Zone::all_records() const {
+  std::vector<ResourceRecord> out;
+  for (const auto& [owner, types] : nodes_)
+    for (const auto& [type, rrset] : types)
+      out.insert(out.end(), rrset.begin(), rrset.end());
+  return out;
+}
+
+std::vector<std::pair<Name, std::vector<RRType>>> Zone::all_names() const {
+  std::vector<std::pair<Name, std::vector<RRType>>> out;
+  out.reserve(nodes_.size());
+  for (const auto& [owner, types] : nodes_) {
+    std::vector<RRType> list;
+    for (const auto& [type, rrset] : types)
+      if (!rrset.empty()) list.push_back(type);
+    if (!list.empty()) out.emplace_back(owner, std::move(list));
+  }
+  return out;
+}
+
+std::size_t Zone::record_count() const {
+  std::size_t n = 0;
+  for (const auto& [owner, types] : nodes_)
+    for (const auto& [type, rrset] : types) n += rrset.size();
+  return n;
+}
+
+std::uint32_t Zone::serial() const {
+  const RRset* soa = find(apex_, RRType::SOA);
+  if (soa == nullptr || soa->empty()) return 0;
+  const auto* data = std::get_if<dns::SoaData>(&soa->front().rdata);
+  return data == nullptr ? 0 : data->serial;
+}
+
+void Zone::bump_serial() {
+  auto node = nodes_.find(apex_);
+  if (node == nodes_.end()) return;
+  auto it = node->second.find(RRType::SOA);
+  if (it == node->second.end() || it->second.empty()) return;
+  if (auto* data = std::get_if<dns::SoaData>(&it->second.front().rdata)) ++data->serial;
+}
+
+Status Zone::load(std::vector<ResourceRecord> records) {
+  std::map<Name, std::map<RRType, RRset>> fresh;
+  for (auto& rr : records) {
+    if (!rr.name.is_subdomain_of(apex_))
+      return fail("zone load: record " + rr.name.to_string() + " outside zone");
+    fresh[rr.name][rr.type].push_back(std::move(rr));
+  }
+  if (!fresh.contains(apex_) || !fresh[apex_].contains(RRType::SOA))
+    return fail("zone load: missing SOA at apex");
+  nodes_ = std::move(fresh);
+  return util::ok_status();
+}
+
+}  // namespace sns::server

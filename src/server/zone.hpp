@@ -1,0 +1,85 @@
+// zone.hpp — authoritative zone store.
+//
+// A Zone owns every record under one apex, sorted in canonical name
+// order, and answers the RFC 1034 §4.3.2 lookup algorithm: exact match,
+// CNAME, delegation cut (NS below the apex), wildcard synthesis, NODATA
+// vs NXDOMAIN. Spatial zones (SNS core) are ordinary Zones whose apex is
+// a civic name — that is the paper's central trick.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "dns/record.hpp"
+#include "util/result.hpp"
+
+namespace sns::server {
+
+using dns::Name;
+using dns::ResourceRecord;
+using dns::RRset;
+using dns::RRType;
+
+class Zone {
+ public:
+  /// Creates an empty zone; a SOA is synthesised at the apex so the
+  /// zone is immediately serveable.
+  Zone(Name apex, Name primary_ns);
+
+  [[nodiscard]] const Name& apex() const noexcept { return apex_; }
+
+  /// Add one record. Fails if the owner is outside the zone. Adding a
+  /// CNAME alongside other data (or vice versa) is rejected per RFC 1034.
+  util::Status add(ResourceRecord rr);
+
+  /// Remove a whole RRset; returns number of records removed.
+  std::size_t remove_rrset(const Name& owner, RRType type);
+  /// Remove every record at `owner`.
+  std::size_t remove_name(const Name& owner);
+  /// Remove one exact record (name, type, rdata).
+  bool remove_record(const ResourceRecord& rr);
+
+  [[nodiscard]] const RRset* find(const Name& owner, RRType type) const;
+  [[nodiscard]] bool name_exists(const Name& owner) const;
+  /// Types present at `owner` (empty if the name does not exist).
+  [[nodiscard]] std::vector<RRType> types_at(const Name& owner) const;
+
+  /// RFC 1034 §4.3.2 outcome for one (qname, qtype).
+  struct Lookup {
+    enum class Kind {
+      Success,     // records = the answer RRset
+      CName,       // records = the CNAME RRset; resolver restarts
+      Delegation,  // records = NS RRset of the cut; additionals = glue
+      NoData,      // name exists, type does not
+      NxDomain,    // name does not exist
+      NotZone,     // qname not under this apex
+    };
+    Kind kind = Kind::NxDomain;
+    RRset records;
+    std::vector<ResourceRecord> additionals;
+    bool wildcard = false;  // answer was synthesised from a wildcard
+  };
+  [[nodiscard]] Lookup lookup(const Name& qname, RRType qtype) const;
+
+  /// Every record in canonical order (zone transfer, NSEC3 build).
+  [[nodiscard]] std::vector<ResourceRecord> all_records() const;
+  /// All owner names with their type lists (NSEC3 chain input).
+  [[nodiscard]] std::vector<std::pair<Name, std::vector<RRType>>> all_names() const;
+
+  [[nodiscard]] std::size_t record_count() const;
+
+  /// SOA serial management (dynamic updates bump it).
+  [[nodiscard]] std::uint32_t serial() const;
+  void bump_serial();
+
+  /// Replace full contents from a record list (zone transfer apply).
+  util::Status load(std::vector<ResourceRecord> records);
+
+ private:
+  Name apex_;
+  // Owner -> type -> rrset, canonical order (Name::operator<=>).
+  std::map<Name, std::map<RRType, RRset>> nodes_;
+};
+
+}  // namespace sns::server

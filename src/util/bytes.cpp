@@ -1,0 +1,100 @@
+#include "util/bytes.hpp"
+
+#include <cassert>
+
+namespace sns::util {
+
+Status ByteReader::seek(std::size_t pos) {
+  if (pos > data_.size()) return fail("seek out of bounds");
+  pos_ = pos;
+  return ok_status();
+}
+
+Result<std::uint8_t> ByteReader::u8() {
+  if (remaining() < 1) return fail("truncated: need 1 byte");
+  return data_[pos_++];
+}
+
+Result<std::uint16_t> ByteReader::u16() {
+  if (remaining() < 2) return fail("truncated: need 2 bytes");
+  auto hi = data_[pos_], lo = data_[pos_ + 1];
+  pos_ += 2;
+  return static_cast<std::uint16_t>((hi << 8) | lo);
+}
+
+Result<std::uint32_t> ByteReader::u32() {
+  if (remaining() < 4) return fail("truncated: need 4 bytes");
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v = (v << 8) | data_[pos_ + static_cast<std::size_t>(i)];
+  pos_ += 4;
+  return v;
+}
+
+Result<std::uint64_t> ByteReader::u64() {
+  if (remaining() < 8) return fail("truncated: need 8 bytes");
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | data_[pos_ + static_cast<std::size_t>(i)];
+  pos_ += 8;
+  return v;
+}
+
+Result<Bytes> ByteReader::bytes(std::size_t n) {
+  if (remaining() < n) return fail("truncated: need " + std::to_string(n) + " bytes");
+  Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+            data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return out;
+}
+
+Result<std::string> ByteReader::string(std::size_t n) {
+  if (remaining() < n) return fail("truncated: need " + std::to_string(n) + " bytes");
+  std::string out(reinterpret_cast<const char*>(data_.data()) + pos_, n);
+  pos_ += n;
+  return out;
+}
+
+Result<std::span<const std::uint8_t>> ByteReader::view(std::size_t n) {
+  if (remaining() < n) return fail("truncated: need " + std::to_string(n) + " bytes");
+  auto out = data_.subspan(pos_, n);
+  pos_ += n;
+  return out;
+}
+
+Status ByteReader::skip(std::size_t n) {
+  if (remaining() < n) return fail("truncated: cannot skip " + std::to_string(n));
+  pos_ += n;
+  return ok_status();
+}
+
+void ByteWriter::u8(std::uint8_t v) { out_.push_back(v); }
+
+void ByteWriter::u16(std::uint16_t v) {
+  out_.push_back(static_cast<std::uint8_t>(v >> 8));
+  out_.push_back(static_cast<std::uint8_t>(v & 0xff));
+}
+
+void ByteWriter::u32(std::uint32_t v) {
+  for (int shift = 24; shift >= 0; shift -= 8)
+    out_.push_back(static_cast<std::uint8_t>((v >> shift) & 0xff));
+}
+
+void ByteWriter::u64(std::uint64_t v) {
+  for (int shift = 56; shift >= 0; shift -= 8)
+    out_.push_back(static_cast<std::uint8_t>((v >> shift) & 0xff));
+}
+
+void ByteWriter::raw(std::span<const std::uint8_t> bytes) {
+  out_.insert(out_.end(), bytes.begin(), bytes.end());
+}
+
+void ByteWriter::raw(std::string_view s) {
+  out_.insert(out_.end(), s.begin(), s.end());
+}
+
+void ByteWriter::patch_u16(std::size_t offset, std::uint16_t v) {
+  assert(offset + 2 <= out_.size());
+  out_[offset] = static_cast<std::uint8_t>(v >> 8);
+  out_[offset + 1] = static_cast<std::uint8_t>(v & 0xff);
+}
+
+}  // namespace sns::util

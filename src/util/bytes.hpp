@@ -1,0 +1,81 @@
+// bytes.hpp — bounds-checked big-endian byte buffer reader/writer.
+//
+// All DNS wire-format code is built on these two classes. ByteReader
+// never reads out of bounds: every accessor returns a Result and a
+// failed read leaves the cursor untouched, so parsers can report
+// precise truncation errors on adversarial input. ByteWriter grows an
+// owned vector and supports back-patching (needed for DNS name
+// compression offsets and message lengths).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.hpp"
+
+namespace sns::util {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// Sequential big-endian reader over a non-owned byte span.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  [[nodiscard]] std::size_t position() const noexcept { return pos_; }
+  [[nodiscard]] std::size_t remaining() const noexcept { return data_.size() - pos_; }
+  [[nodiscard]] bool exhausted() const noexcept { return pos_ == data_.size(); }
+  [[nodiscard]] std::span<const std::uint8_t> buffer() const noexcept { return data_; }
+
+  /// Reposition the cursor (used for DNS compression pointer chasing).
+  Status seek(std::size_t pos);
+
+  Result<std::uint8_t> u8();
+  Result<std::uint16_t> u16();
+  Result<std::uint32_t> u32();
+  Result<std::uint64_t> u64();
+
+  /// Read exactly `n` bytes into an owned vector.
+  Result<Bytes> bytes(std::size_t n);
+
+  /// Read exactly `n` bytes as a string (no charset interpretation).
+  Result<std::string> string(std::size_t n);
+
+  /// View `n` bytes without copying; the view aliases the underlying buffer.
+  Result<std::span<const std::uint8_t>> view(std::size_t n);
+
+  /// Skip `n` bytes.
+  Status skip(std::size_t n);
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+/// Append-only big-endian writer with back-patch support.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+
+  [[nodiscard]] std::size_t size() const noexcept { return out_.size(); }
+  [[nodiscard]] const Bytes& data() const& noexcept { return out_; }
+  [[nodiscard]] Bytes take() && noexcept { return std::move(out_); }
+
+  void u8(std::uint8_t v);
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void raw(std::span<const std::uint8_t> bytes);
+  void raw(std::string_view s);
+
+  /// Overwrite a previously written u16 at `offset` (e.g. RDLENGTH).
+  void patch_u16(std::size_t offset, std::uint16_t v);
+
+ private:
+  Bytes out_;
+};
+
+}  // namespace sns::util

@@ -1,0 +1,49 @@
+// log.hpp — minimal leveled logger.
+//
+// The simulator is deterministic, so logs are a faithful trace of a run;
+// default level is Warn to keep test output quiet.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace sns::util {
+
+enum class LogLevel { Trace, Debug, Info, Warn, Error, Off };
+
+/// Global minimum level; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit one line to stderr: "[level] component: message".
+void log_line(LogLevel level, std::string_view component, std::string_view message);
+
+namespace detail {
+template <typename... Args>
+std::string concat(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << std::forward<Args>(args));
+  return os.str();
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_debug(std::string_view component, Args&&... args) {
+  if (log_level() <= LogLevel::Debug)
+    log_line(LogLevel::Debug, component, detail::concat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void log_info(std::string_view component, Args&&... args) {
+  if (log_level() <= LogLevel::Info)
+    log_line(LogLevel::Info, component, detail::concat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void log_warn(std::string_view component, Args&&... args) {
+  if (log_level() <= LogLevel::Warn)
+    log_line(LogLevel::Warn, component, detail::concat(std::forward<Args>(args)...));
+}
+
+}  // namespace sns::util

@@ -1,0 +1,97 @@
+// result.hpp — lightweight Result<T, E> for recoverable errors.
+//
+// The SNS codebase uses Result for anything that can fail on untrusted
+// input (wire parsing, zone files, queries over lossy links) and
+// exceptions only for programming errors / unrecoverable misuse.
+// C++20 on GCC 12 has no std::expected, so this is a minimal stand-in
+// with the same flavour: value_or, map, and_then, and error access.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace sns::util {
+
+/// Error payload used across the project: a code-free message string.
+/// Kept deliberately simple; callers that need to branch on error kind
+/// define their own enum-typed Result instantiations.
+struct Error {
+  std::string message;
+
+  friend bool operator==(const Error&, const Error&) = default;
+};
+
+/// Construct an Error in one call: `return fail("truncated header");`
+inline Error fail(std::string message) { return Error{std::move(message)}; }
+
+/// Result<T, E> — either a T (success) or an E (failure).
+///
+/// Invariant: exactly one alternative is engaged at all times.
+template <typename T, typename E = Error>
+class [[nodiscard]] Result {
+ public:
+  // NOLINTNEXTLINE(google-explicit-constructor): implicit by design, like std::expected.
+  Result(T value) : storage_(std::in_place_index<0>, std::move(value)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Result(E error) : storage_(std::in_place_index<1>, std::move(error)) {}
+
+  [[nodiscard]] bool ok() const noexcept { return storage_.index() == 0; }
+  explicit operator bool() const noexcept { return ok(); }
+
+  /// Access the success value. Precondition: ok().
+  [[nodiscard]] T& value() & {
+    assert(ok());
+    return std::get<0>(storage_);
+  }
+  [[nodiscard]] const T& value() const& {
+    assert(ok());
+    return std::get<0>(storage_);
+  }
+  [[nodiscard]] T&& value() && {
+    assert(ok());
+    return std::get<0>(std::move(storage_));
+  }
+
+  [[nodiscard]] T value_or(T fallback) const& {
+    return ok() ? std::get<0>(storage_) : std::move(fallback);
+  }
+
+  /// Access the error. Precondition: !ok().
+  [[nodiscard]] const E& error() const& {
+    assert(!ok());
+    return std::get<1>(storage_);
+  }
+  [[nodiscard]] E&& error() && {
+    assert(!ok());
+    return std::get<1>(std::move(storage_));
+  }
+
+  /// Apply `f` to the value if ok, otherwise propagate the error.
+  template <typename F>
+  auto map(F&& f) && -> Result<decltype(f(std::declval<T&&>())), E> {
+    if (ok()) return std::forward<F>(f)(std::get<0>(std::move(storage_)));
+    return std::get<1>(std::move(storage_));
+  }
+
+  /// Monadic bind: `f` returns a Result itself.
+  template <typename F>
+  auto and_then(F&& f) && -> decltype(f(std::declval<T&&>())) {
+    if (ok()) return std::forward<F>(f)(std::get<0>(std::move(storage_)));
+    return std::get<1>(std::move(storage_));
+  }
+
+ private:
+  std::variant<T, E> storage_;
+};
+
+/// Result<void> specialisation via a unit type.
+struct Unit {
+  friend bool operator==(const Unit&, const Unit&) = default;
+};
+using Status = Result<Unit>;
+
+inline Status ok_status() { return Unit{}; }
+
+}  // namespace sns::util

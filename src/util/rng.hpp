@@ -1,0 +1,54 @@
+// rng.hpp — deterministic pseudo-random source for simulations and tests.
+//
+// Everything stochastic in the simulator (link loss, jitter, GNSS noise,
+// workload generation) draws from SplitMix64 seeded explicitly, so every
+// experiment is reproducible bit-for-bit from its seed.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace sns::util {
+
+/// SplitMix64: tiny, fast, statistically solid for simulation purposes.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next_u64() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, bound). Precondition: bound > 0.
+  std::uint64_t next_below(std::uint64_t bound) {
+    // Rejection-free modulo is fine for simulation workloads.
+    return next_u64() % bound;
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Uniform double in [lo, hi).
+  double next_double(double lo, double hi) { return lo + (hi - lo) * next_double(); }
+
+  /// Bernoulli trial with probability p.
+  bool chance(double p) { return next_double() < p; }
+
+  /// Approximate standard normal via the Irwin–Hall sum of 12 uniforms:
+  /// cheap, deterministic, and more than accurate enough for noise models.
+  double next_gaussian(double mean = 0.0, double stddev = 1.0) {
+    double sum = 0.0;
+    for (int i = 0; i < 12; ++i) sum += next_double();
+    return mean + stddev * (sum - 6.0);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace sns::util

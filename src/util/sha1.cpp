@@ -1,0 +1,112 @@
+#include "util/sha1.hpp"
+
+#include <cstring>
+#include <vector>
+
+namespace sns::util {
+
+namespace {
+
+std::uint32_t rotl(std::uint32_t value, int bits) {
+  return (value << bits) | (value >> (32 - bits));
+}
+
+struct Sha1State {
+  std::uint32_t h[5] = {0x67452301u, 0xefcdab89u, 0x98badcfeu, 0x10325476u, 0xc3d2e1f0u};
+
+  void process_block(const std::uint8_t* block) {
+    std::uint32_t w[80];
+    for (int i = 0; i < 16; ++i) {
+      w[i] = (static_cast<std::uint32_t>(block[i * 4]) << 24) |
+             (static_cast<std::uint32_t>(block[i * 4 + 1]) << 16) |
+             (static_cast<std::uint32_t>(block[i * 4 + 2]) << 8) |
+             static_cast<std::uint32_t>(block[i * 4 + 3]);
+    }
+    for (int i = 16; i < 80; ++i)
+      w[i] = rotl(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+
+    std::uint32_t a = h[0], b = h[1], c = h[2], d = h[3], e = h[4];
+    for (int i = 0; i < 80; ++i) {
+      std::uint32_t f, k;
+      if (i < 20) {
+        f = (b & c) | (~b & d);
+        k = 0x5a827999u;
+      } else if (i < 40) {
+        f = b ^ c ^ d;
+        k = 0x6ed9eba1u;
+      } else if (i < 60) {
+        f = (b & c) | (b & d) | (c & d);
+        k = 0x8f1bbcdcu;
+      } else {
+        f = b ^ c ^ d;
+        k = 0xca62c1d6u;
+      }
+      std::uint32_t temp = rotl(a, 5) + f + e + k + w[i];
+      e = d;
+      d = c;
+      c = rotl(b, 30);
+      b = a;
+      a = temp;
+    }
+    h[0] += a;
+    h[1] += b;
+    h[2] += c;
+    h[3] += d;
+    h[4] += e;
+  }
+};
+
+}  // namespace
+
+Sha1Digest sha1(std::span<const std::uint8_t> data) {
+  Sha1State state;
+  std::size_t full_blocks = data.size() / 64;
+  for (std::size_t i = 0; i < full_blocks; ++i) state.process_block(data.data() + i * 64);
+
+  // Padding: 0x80, zeros, then 64-bit big-endian bit length.
+  std::uint8_t tail[128] = {};
+  std::size_t rem = data.size() - full_blocks * 64;
+  std::memcpy(tail, data.data() + full_blocks * 64, rem);
+  tail[rem] = 0x80;
+  std::size_t tail_len = (rem + 1 + 8 <= 64) ? 64 : 128;
+  std::uint64_t bit_len = static_cast<std::uint64_t>(data.size()) * 8;
+  for (int i = 0; i < 8; ++i)
+    tail[tail_len - 8 + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(bit_len >> (56 - 8 * i));
+  state.process_block(tail);
+  if (tail_len == 128) state.process_block(tail + 64);
+
+  Sha1Digest out;
+  for (int i = 0; i < 5; ++i)
+    for (int j = 0; j < 4; ++j)
+      out[static_cast<std::size_t>(i * 4 + j)] =
+          static_cast<std::uint8_t>(state.h[i] >> (24 - 8 * j));
+  return out;
+}
+
+Sha1Digest hmac_sha1(std::span<const std::uint8_t> key, std::span<const std::uint8_t> data) {
+  constexpr std::size_t kBlock = 64;
+  std::uint8_t key_block[kBlock] = {};
+  if (key.size() > kBlock) {
+    Sha1Digest hashed = sha1(key);
+    std::memcpy(key_block, hashed.data(), hashed.size());
+  } else {
+    std::memcpy(key_block, key.data(), key.size());
+  }
+
+  std::vector<std::uint8_t> inner;
+  inner.reserve(kBlock + data.size());
+  for (std::size_t i = 0; i < kBlock; ++i)
+    inner.push_back(static_cast<std::uint8_t>(key_block[i] ^ 0x36));
+  inner.insert(inner.end(), data.begin(), data.end());
+  Sha1Digest inner_hash = sha1(inner);
+
+  std::vector<std::uint8_t> outer;
+  outer.reserve(kBlock + inner_hash.size());
+  for (std::size_t i = 0; i < kBlock; ++i)
+    outer.push_back(static_cast<std::uint8_t>(key_block[i] ^ 0x5c));
+  outer.insert(outer.end(), inner_hash.begin(), inner_hash.end());
+  return sha1(outer);
+}
+
+}  // namespace sns::util

@@ -1,0 +1,24 @@
+// sha1.hpp — SHA-1 and HMAC-SHA1.
+//
+// Used for NSEC3 owner-name hashing (RFC 5155 mandates SHA-1) and as the
+// MAC underlying the project's TSIG and *toy* DNSSEC signatures. SHA-1 is
+// cryptographically broken for collision resistance; it is used here
+// because the reproduced protocols specify it and because this codebase
+// runs only against its own simulator — see DESIGN.md §2.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace sns::util {
+
+using Sha1Digest = std::array<std::uint8_t, 20>;
+
+/// One-shot SHA-1 of a byte span.
+Sha1Digest sha1(std::span<const std::uint8_t> data);
+
+/// HMAC-SHA1 per RFC 2104.
+Sha1Digest hmac_sha1(std::span<const std::uint8_t> key, std::span<const std::uint8_t> data);
+
+}  // namespace sns::util

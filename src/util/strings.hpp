@@ -1,0 +1,45 @@
+// strings.hpp — small string utilities shared across the project.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.hpp"
+
+namespace sns::util {
+
+/// Split on a single character; empty fields are preserved.
+std::vector<std::string> split(std::string_view s, char sep);
+
+/// Split on runs of ASCII whitespace; empty fields are dropped.
+std::vector<std::string> split_whitespace(std::string_view s);
+
+/// Trim ASCII whitespace from both ends.
+std::string_view trim(std::string_view s);
+
+/// ASCII lowercase copy (DNS names compare case-insensitively).
+std::string to_lower(std::string_view s);
+
+/// Case-insensitive ASCII equality.
+bool iequals(std::string_view a, std::string_view b);
+
+/// Hex encoding, lowercase, no separators.
+std::string to_hex(std::span<const std::uint8_t> bytes);
+
+/// Parse hex (case-insensitive, no separators). Fails on odd length or
+/// non-hex characters.
+Result<std::vector<std::uint8_t>> from_hex(std::string_view hex);
+
+/// Base32hex without padding as used by NSEC3 (RFC 4648 §7).
+std::string to_base32hex(std::span<const std::uint8_t> bytes);
+
+/// Join parts with a separator.
+std::string join(std::span<const std::string> parts, std::string_view sep);
+
+/// True if `s` ends with `suffix` (case-insensitive).
+bool iends_with(std::string_view s, std::string_view suffix);
+
+}  // namespace sns::util

@@ -1,0 +1,144 @@
+// Tests for src/net/address: every address family of §2.2 / Table 1.
+#include <gtest/gtest.h>
+
+#include "net/address.hpp"
+
+namespace sns::net {
+namespace {
+
+TEST(Ipv4, ParseFormat) {
+  auto a = Ipv4Addr::parse("192.0.2.1");
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a.value().to_string(), "192.0.2.1");
+  EXPECT_EQ(a.value().octets[0], 192);
+  EXPECT_EQ(a.value().octets[3], 1);
+}
+
+TEST(Ipv4, U32RoundTrip) {
+  auto a = Ipv4Addr::parse("10.1.2.3");
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(Ipv4Addr::from_u32(a.value().as_u32()), a.value());
+  EXPECT_EQ(a.value().as_u32(), 0x0a010203u);
+}
+
+TEST(Ipv4, Rejects) {
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3").ok());
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3.4.5").ok());
+  EXPECT_FALSE(Ipv4Addr::parse("256.0.0.1").ok());
+  EXPECT_FALSE(Ipv4Addr::parse("a.b.c.d").ok());
+  EXPECT_FALSE(Ipv4Addr::parse("1..2.3").ok());
+  EXPECT_FALSE(Ipv4Addr::parse("").ok());
+}
+
+TEST(Ipv6, ParseFull) {
+  auto a = Ipv6Addr::parse("2001:0db8:0000:0000:0000:0000:0000:0001");
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a.value().to_string(), "2001:db8::1");
+}
+
+TEST(Ipv6, ParseCompressed) {
+  auto a = Ipv6Addr::parse("2001:db8::1");
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a.value().octets[0], 0x20);
+  EXPECT_EQ(a.value().octets[15], 0x01);
+  auto b = Ipv6Addr::parse("::1");
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b.value().to_string(), "::1");
+  auto c = Ipv6Addr::parse("::");
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c.value().to_string(), "::");
+  auto d = Ipv6Addr::parse("fe80::");
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d.value().to_string(), "fe80::");
+}
+
+TEST(Ipv6, FormatCompressesLongestRun) {
+  auto a = Ipv6Addr::parse("1:0:0:2:0:0:0:3");
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a.value().to_string(), "1:0:0:2::3");
+}
+
+TEST(Ipv6, NoCompressionForSingleZero) {
+  auto a = Ipv6Addr::parse("1:0:2:3:4:5:6:7");
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a.value().to_string(), "1:0:2:3:4:5:6:7");
+}
+
+TEST(Ipv6, RoundTripProperty) {
+  for (const char* text : {"2001:db8::1", "::", "::1", "fe80::1:2", "1:2:3:4:5:6:7:8",
+                           "2001:db8:0:1::12", "abcd:ef01:2345:6789:abcd:ef01:2345:6789"}) {
+    auto a = Ipv6Addr::parse(text);
+    ASSERT_TRUE(a.ok()) << text;
+    auto b = Ipv6Addr::parse(a.value().to_string());
+    ASSERT_TRUE(b.ok()) << text;
+    EXPECT_EQ(a.value(), b.value()) << text;
+  }
+}
+
+TEST(Ipv6, Rejects) {
+  EXPECT_FALSE(Ipv6Addr::parse("1:2:3").ok());
+  EXPECT_FALSE(Ipv6Addr::parse("1::2::3").ok());
+  EXPECT_FALSE(Ipv6Addr::parse("12345::").ok());
+  EXPECT_FALSE(Ipv6Addr::parse("g::1").ok());
+  EXPECT_FALSE(Ipv6Addr::parse("1:2:3:4:5:6:7:8:9").ok());
+}
+
+TEST(Bdaddr, ParseFormat) {
+  // Table 1 sample entry.
+  auto a = Bdaddr::parse("01:23:45:67:89:AB");
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a.value().to_string(), "01:23:45:67:89:ab");
+  EXPECT_FALSE(Bdaddr::parse("01:23:45:67:89").ok());
+  EXPECT_FALSE(Bdaddr::parse("01:23:45:67:89:ZZ").ok());
+  EXPECT_FALSE(Bdaddr::parse("0123456789ab").ok());
+}
+
+TEST(Zigbee, ParseFormat) {
+  auto a = ZigbeeAddr::parse("00:11:22:33:44:55:66:77");
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a.value().to_string(), "00:11:22:33:44:55:66:77");
+  EXPECT_FALSE(ZigbeeAddr::parse("00:11:22:33:44:55:66").ok());
+}
+
+TEST(Lora, ParseFormat) {
+  auto a = LoraDevAddr::parse("01ab23cd");
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a.value().value, 0x01ab23cdu);
+  EXPECT_EQ(a.value().to_string(), "01ab23cd");
+  EXPECT_FALSE(LoraDevAddr::parse("1ab23cd").ok());
+  EXPECT_FALSE(LoraDevAddr::parse("01ab23cdef").ok());
+}
+
+TEST(Dtmf, ParseValidation) {
+  auto a = DtmfTone::parse("421#*");
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a.value().to_string(), "421#*");
+  EXPECT_FALSE(DtmfTone::parse("").ok());
+  EXPECT_FALSE(DtmfTone::parse("12a").ok());
+  EXPECT_FALSE(DtmfTone::parse(std::string(33, '1')).ok());
+}
+
+TEST(AnyAddress, FamilyNames) {
+  EXPECT_EQ(family_name(AnyAddress{Ipv4Addr{}}), "ipv4");
+  EXPECT_EQ(family_name(AnyAddress{Ipv6Addr{}}), "ipv6");
+  EXPECT_EQ(family_name(AnyAddress{Bdaddr{}}), "bluetooth");
+  EXPECT_EQ(family_name(AnyAddress{ZigbeeAddr{}}), "zigbee");
+  EXPECT_EQ(family_name(AnyAddress{LoraDevAddr{}}), "lorawan");
+  EXPECT_EQ(family_name(AnyAddress{DtmfTone{"1"}}), "audio");
+}
+
+TEST(AnyAddress, ConnectivityRankPrefersProximity) {
+  // §2.2: choose the most appropriate (most local) option first.
+  EXPECT_LT(connectivity_rank(AnyAddress{Bdaddr{}}), connectivity_rank(AnyAddress{Ipv4Addr{}}));
+  EXPECT_LT(connectivity_rank(AnyAddress{ZigbeeAddr{}}),
+            connectivity_rank(AnyAddress{LoraDevAddr{}}));
+  EXPECT_LT(connectivity_rank(AnyAddress{Ipv4Addr{}}), connectivity_rank(AnyAddress{Ipv6Addr{}}));
+}
+
+TEST(AnyAddress, ToString) {
+  AnyAddress a = Bdaddr{{0x01, 0x23, 0x45, 0x67, 0x89, 0xab}};
+  EXPECT_EQ(to_string(a), "01:23:45:67:89:ab");
+}
+
+}  // namespace
+}  // namespace sns::net

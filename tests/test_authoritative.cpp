@@ -1,0 +1,322 @@
+// Tests for the split-horizon authoritative server and RFC 2136 updates.
+#include <gtest/gtest.h>
+
+#include "dns/dnssec.hpp"
+#include "server/authoritative.hpp"
+#include "server/update.hpp"
+
+namespace sns::server {
+namespace {
+
+using dns::make_a;
+using dns::make_bdaddr;
+using dns::make_cname;
+using dns::Message;
+using dns::name_of;
+using dns::Rcode;
+
+const Name kApex = name_of("oval-office.loc");
+const Name kMic = name_of("mic.oval-office.loc");
+const Name kDisplay = name_of("display.oval-office.loc");
+
+struct World {
+  AuthoritativeServer server{"oval"};
+  std::shared_ptr<Zone> local;
+  std::shared_ptr<Zone> global;
+
+  World() {
+    local = std::make_shared<Zone>(kApex, name_of("ns.oval-office.loc"));
+    global = std::make_shared<Zone>(kApex, name_of("ns.oval-office.loc"));
+    (void)local->add(make_bdaddr(kMic, net::Bdaddr{{1, 2, 3, 4, 5, 6}}));
+    (void)local->add(make_a(kDisplay, net::Ipv4Addr{{192, 0, 3, 12}}));
+    (void)global->add(
+        dns::make_aaaa(kDisplay, net::Ipv6Addr::parse("2001:db8::12").value()));
+    std::size_t internal = server.add_view("internal", match_internal());
+    std::size_t external = server.add_view("external", match_any());
+    server.add_zone(internal, local);
+    server.add_zone(external, global);
+  }
+};
+
+ClientContext internal_ctx() {
+  ClientContext ctx;
+  ctx.internal = true;
+  return ctx;
+}
+
+TEST(SplitHorizon, InternalSeesLocalRecords) {
+  World world;
+  auto response =
+      world.server.handle(dns::make_query(1, kMic, dns::RRType::BDADDR), internal_ctx());
+  EXPECT_EQ(response.header.rcode, Rcode::NoError);
+  ASSERT_EQ(response.answers.size(), 1u);
+  EXPECT_EQ(response.answers[0].type, dns::RRType::BDADDR);
+  EXPECT_TRUE(response.header.aa);
+}
+
+TEST(SplitHorizon, ExternalSeesOnlyGlobalRecords) {
+  World world;
+  ClientContext outside;  // not internal
+  auto aaaa = world.server.handle(dns::make_query(2, kDisplay, dns::RRType::AAAA), outside);
+  EXPECT_EQ(aaaa.header.rcode, Rcode::NoError);
+  ASSERT_EQ(aaaa.answers.size(), 1u);
+
+  // The mic does not exist in the external view at all.
+  auto mic = world.server.handle(dns::make_query(3, kMic, dns::RRType::BDADDR), outside);
+  EXPECT_EQ(mic.header.rcode, Rcode::NXDomain);
+  EXPECT_TRUE(mic.answers.empty());
+}
+
+TEST(SplitHorizon, LocalAddressesNeverLeakOutside) {
+  // Property: no response to an external client may contain a BDADDR or
+  // RFC1918-style A from the local view.
+  World world;
+  ClientContext outside;
+  for (dns::RRType type : {dns::RRType::A, dns::RRType::BDADDR, dns::RRType::ANY}) {
+    for (const Name& qname : {kMic, kDisplay, kApex}) {
+      auto response = world.server.handle(dns::make_query(4, qname, type), outside);
+      for (const auto& rr : response.answers) {
+        EXPECT_NE(rr.type, dns::RRType::BDADDR)
+            << "BDADDR leaked for " << qname.to_string();
+        if (const auto* a = std::get_if<dns::AData>(&rr.rdata)) {
+          EXPECT_NE(a->address.octets[0], 192) << "local A leaked";
+        }
+      }
+    }
+  }
+}
+
+TEST(Views, FirstMatchWins) {
+  AuthoritativeServer server("s");
+  auto room_zone = std::make_shared<Zone>(kApex, name_of("ns.oval-office.loc"));
+  (void)room_zone->add(dns::make_txt(kMic, {"room-view"}));
+  auto fallback_zone = std::make_shared<Zone>(kApex, name_of("ns.oval-office.loc"));
+  (void)fallback_zone->add(dns::make_txt(kMic, {"fallback-view"}));
+  std::size_t room_view = server.add_view("room", match_room(7));
+  std::size_t any_view = server.add_view("any", match_any());
+  server.add_zone(room_view, room_zone);
+  server.add_zone(any_view, fallback_zone);
+
+  ClientContext in_room;
+  in_room.room = 7;
+  auto response = server.handle(dns::make_query(1, kMic, dns::RRType::TXT), in_room);
+  ASSERT_EQ(response.answers.size(), 1u);
+  EXPECT_EQ(std::get<dns::TxtData>(response.answers[0].rdata).strings[0], "room-view");
+
+  ClientContext elsewhere;
+  elsewhere.room = 8;
+  response = server.handle(dns::make_query(2, kMic, dns::RRType::TXT), elsewhere);
+  ASSERT_EQ(response.answers.size(), 1u);
+  EXPECT_EQ(std::get<dns::TxtData>(response.answers[0].rdata).strings[0], "fallback-view");
+}
+
+TEST(Views, NoMatchingViewRefused) {
+  AuthoritativeServer server("s");
+  std::size_t internal = server.add_view("internal-only", match_internal());
+  server.add_zone(internal, std::make_shared<Zone>(kApex, name_of("ns.oval-office.loc")));
+  ClientContext outside;
+  auto response = server.handle(dns::make_query(1, kMic, dns::RRType::A), outside);
+  EXPECT_EQ(response.header.rcode, Rcode::Refused);
+}
+
+TEST(Server, UnknownZoneRefused) {
+  World world;
+  auto response = world.server.handle(
+      dns::make_query(1, name_of("x.example.com"), dns::RRType::A), internal_ctx());
+  EXPECT_EQ(response.header.rcode, Rcode::Refused);
+}
+
+TEST(Server, CnameChased) {
+  World world;
+  (void)world.local->add(make_cname(name_of("old.oval-office.loc"), kDisplay));
+  auto response = world.server.handle(
+      dns::make_query(1, name_of("old.oval-office.loc"), dns::RRType::A), internal_ctx());
+  EXPECT_EQ(response.header.rcode, Rcode::NoError);
+  ASSERT_EQ(response.answers.size(), 2u);  // CNAME + A
+  EXPECT_EQ(response.answers[0].type, dns::RRType::CNAME);
+  EXPECT_EQ(response.answers[1].type, dns::RRType::A);
+  EXPECT_EQ(response.answers[1].name, kDisplay);
+}
+
+TEST(Server, CnameLoopServFails) {
+  World world;
+  (void)world.local->add(make_cname(name_of("a.oval-office.loc"),
+                                    name_of("b.oval-office.loc")));
+  (void)world.local->add(make_cname(name_of("b.oval-office.loc"),
+                                    name_of("a.oval-office.loc")));
+  auto response = world.server.handle(
+      dns::make_query(1, name_of("a.oval-office.loc"), dns::RRType::A), internal_ctx());
+  EXPECT_EQ(response.header.rcode, Rcode::ServFail);
+}
+
+TEST(Server, NegativeAnswersCarrySoa) {
+  World world;
+  auto nx = world.server.handle(
+      dns::make_query(1, name_of("ghost.oval-office.loc"), dns::RRType::A), internal_ctx());
+  EXPECT_EQ(nx.header.rcode, Rcode::NXDomain);
+  ASSERT_FALSE(nx.authorities.empty());
+  EXPECT_EQ(nx.authorities[0].type, dns::RRType::SOA);
+
+  auto nodata =
+      world.server.handle(dns::make_query(2, kMic, dns::RRType::AAAA), internal_ctx());
+  EXPECT_EQ(nodata.header.rcode, Rcode::NoError);
+  EXPECT_TRUE(nodata.answers.empty());
+  ASSERT_FALSE(nodata.authorities.empty());
+}
+
+TEST(Server, MultiQuestionRejected) {
+  World world;
+  Message query = dns::make_query(1, kMic, dns::RRType::A);
+  query.questions.push_back(query.questions[0]);
+  EXPECT_EQ(world.server.handle(query, internal_ctx()).header.rcode, Rcode::FormErr);
+}
+
+TEST(Presence, TokenOrRoomRequired) {
+  World world;
+  auto token = std::make_shared<std::string>("secret-token");
+  world.server.add_presence_rule(PresenceRule{kMic, 7, token});
+
+  // Internal but not in the room, no token: refused.
+  ClientContext ctx = internal_ctx();
+  auto refused = world.server.handle(dns::make_query(1, kMic, dns::RRType::BDADDR), ctx);
+  EXPECT_EQ(refused.header.rcode, Rcode::Refused);
+
+  // Physically in the room: allowed.
+  ctx.room = 7;
+  auto in_room = world.server.handle(dns::make_query(2, kMic, dns::RRType::BDADDR), ctx);
+  EXPECT_EQ(in_room.header.rcode, Rcode::NoError);
+
+  // Remote but holding the live token: allowed.
+  ClientContext remote = internal_ctx();
+  remote.presence_tokens.insert("secret-token");
+  auto with_token = world.server.handle(dns::make_query(3, kMic, dns::RRType::BDADDR), remote);
+  EXPECT_EQ(with_token.header.rcode, Rcode::NoError);
+
+  // Token rotates (beacon chirps a new one): old token stops working.
+  *token = "rotated";
+  auto stale = world.server.handle(dns::make_query(4, kMic, dns::RRType::BDADDR), remote);
+  EXPECT_EQ(stale.header.rcode, Rcode::Refused);
+
+  // Unprotected names unaffected throughout.
+  ClientContext plain = internal_ctx();
+  auto display = world.server.handle(dns::make_query(5, kDisplay, dns::RRType::A), plain);
+  EXPECT_EQ(display.header.rcode, Rcode::NoError);
+}
+
+TEST(Dnssec, SignedAnswersWhenKeyed) {
+  World world;
+  dns::ZoneKey key{kApex, {1, 2, 3}};
+  world.server.set_zone_key(key, [] { return 5000u; });
+  auto response =
+      world.server.handle(dns::make_query(1, kDisplay, dns::RRType::A), internal_ctx());
+  EXPECT_TRUE(response.header.ad);
+  ASSERT_EQ(response.answers.size(), 2u);
+  EXPECT_EQ(response.answers[1].type, dns::RRType::RRSIG);
+  // The signature verifies.
+  dns::RRset rrset{response.answers[0]};
+  auto status = dns::verify_rrsig(rrset, std::get<dns::RrsigData>(response.answers[1].rdata),
+                                  key, 5000);
+  EXPECT_TRUE(status.ok()) << status.error().message;
+}
+
+// --- RFC 2136 dynamic update -------------------------------------------------
+
+TEST(Update, AddAndDelete) {
+  World world;
+  Name sensor = name_of("sensor.oval-office.loc");
+  Message add = make_update_add(1, kApex, make_a(sensor, net::Ipv4Addr{{192, 0, 3, 99}}));
+  auto response = world.server.handle(add, internal_ctx());
+  EXPECT_EQ(response.header.rcode, Rcode::NoError);
+  EXPECT_NE(world.local->find(sensor, dns::RRType::A), nullptr);
+  EXPECT_EQ(world.local->serial(), 2u);  // serial bumped
+
+  Message del = make_update_delete_rrset(2, kApex, sensor, dns::RRType::A);
+  response = world.server.handle(del, internal_ctx());
+  EXPECT_EQ(response.header.rcode, Rcode::NoError);
+  EXPECT_EQ(world.local->find(sensor, dns::RRType::A), nullptr);
+}
+
+TEST(Update, UnknownZoneNotAuth) {
+  World world;
+  Message add = make_update_add(1, name_of("other.loc"),
+                                make_a(name_of("x.other.loc"), net::Ipv4Addr{{1, 1, 1, 1}}));
+  EXPECT_EQ(world.server.handle(add, internal_ctx()).header.rcode, Rcode::NotAuth);
+}
+
+TEST(Update, PrerequisitesEnforced) {
+  World world;
+  Name sensor = name_of("sensor.oval-office.loc");
+
+  // "Name must exist" prerequisite fails -> NXDOMAIN, no change.
+  Message guarded = make_update_add(1, kApex, make_a(sensor, net::Ipv4Addr{{1, 1, 1, 1}}));
+  dns::ResourceRecord prereq;
+  prereq.name = sensor;
+  prereq.type = dns::RRType::ANY;
+  prereq.klass = dns::RRClass::ANY;
+  prereq.ttl = 0;
+  prereq.rdata = dns::RawData{};
+  guarded.answers.push_back(prereq);
+  EXPECT_EQ(world.server.handle(guarded, internal_ctx()).header.rcode, Rcode::NXDomain);
+  EXPECT_EQ(world.local->find(sensor, dns::RRType::A), nullptr);
+
+  // "Name must NOT exist" prerequisite against an existing name -> YXDOMAIN.
+  Message guarded2 = make_update_add(2, kApex, make_a(sensor, net::Ipv4Addr{{1, 1, 1, 1}}));
+  prereq.name = kMic;
+  prereq.klass = dns::RRClass::NONE;
+  guarded2.answers.push_back(prereq);
+  EXPECT_EQ(world.server.handle(guarded2, internal_ctx()).header.rcode, Rcode::YXDomain);
+
+  // Value-dependent RRset prerequisite that matches -> update applies.
+  Message guarded3 = make_update_add(3, kApex, make_a(sensor, net::Ipv4Addr{{1, 1, 1, 1}}));
+  dns::ResourceRecord value_prereq = make_bdaddr(kMic, net::Bdaddr{{1, 2, 3, 4, 5, 6}});
+  value_prereq.ttl = 0;
+  guarded3.answers.push_back(value_prereq);
+  EXPECT_EQ(world.server.handle(guarded3, internal_ctx()).header.rcode, Rcode::NoError);
+  EXPECT_NE(world.local->find(sensor, dns::RRType::A), nullptr);
+}
+
+TEST(Update, TsigGateEnforced) {
+  World world;
+  dns::TsigKey key{name_of("edge-key"), {9, 9, 9}};
+  world.server.set_update_key(key);
+  Name sensor = name_of("sensor.oval-office.loc");
+
+  // Unsigned update refused.
+  Message unsigned_update =
+      make_update_add(1, kApex, make_a(sensor, net::Ipv4Addr{{1, 1, 1, 1}}));
+  EXPECT_EQ(world.server.handle(unsigned_update, internal_ctx()).header.rcode, Rcode::Refused);
+
+  // Properly signed update accepted.
+  Message signed_update =
+      make_update_add(2, kApex, make_a(sensor, net::Ipv4Addr{{1, 1, 1, 1}}));
+  dns::tsig_sign(signed_update, key, 777);
+  EXPECT_EQ(world.server.handle(signed_update, internal_ctx()).header.rcode, Rcode::NoError);
+
+  // Signed with the wrong key: refused.
+  Message forged = make_update_add(3, kApex, make_a(sensor, net::Ipv4Addr{{2, 2, 2, 2}}));
+  dns::tsig_sign(forged, dns::TsigKey{name_of("edge-key"), {1}}, 777);
+  EXPECT_EQ(world.server.handle(forged, internal_ctx()).header.rcode, Rcode::Refused);
+}
+
+TEST(Update, DeleteSpecificRecordAndWholeName) {
+  World world;
+  Name host = name_of("multi.oval-office.loc");
+  (void)world.local->add(make_a(host, net::Ipv4Addr{{1, 1, 1, 1}}));
+  (void)world.local->add(make_a(host, net::Ipv4Addr{{2, 2, 2, 2}}));
+  (void)world.local->add(dns::make_txt(host, {"x"}));
+
+  // Delete one specific A record (class NONE).
+  Message del_one = make_update_add(1, kApex, make_a(host, net::Ipv4Addr{{1, 1, 1, 1}}));
+  del_one.authorities[0].klass = dns::RRClass::NONE;
+  del_one.authorities[0].ttl = 0;
+  EXPECT_EQ(world.server.handle(del_one, internal_ctx()).header.rcode, Rcode::NoError);
+  EXPECT_EQ(world.local->find(host, dns::RRType::A)->size(), 1u);
+
+  // Delete everything at the name (type ANY class ANY).
+  Message del_all = make_update_delete_rrset(2, kApex, host, dns::RRType::ANY);
+  EXPECT_EQ(world.server.handle(del_all, internal_ctx()).header.rcode, Rcode::NoError);
+  EXPECT_FALSE(world.local->name_exists(host));
+}
+
+}  // namespace
+}  // namespace sns::server

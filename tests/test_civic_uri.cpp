@@ -1,0 +1,134 @@
+// Tests for civic names (§2.3) and SNS URIs (§2.1).
+#include <gtest/gtest.h>
+
+#include "core/civic.hpp"
+#include "core/uri.hpp"
+
+namespace sns::core {
+namespace {
+
+using dns::name_of;
+
+TEST(NormalizeLabel, FoldsToDnsSafe) {
+  EXPECT_EQ(normalize_label("Oval Office").value(), "oval-office");
+  EXPECT_EQ(normalize_label("1600 Pennsylvania Ave NW").value(), "1600-pennsylvania-ave-nw");
+  EXPECT_EQ(normalize_label("Washington, D.C.").value(), "washington-d-c");
+  EXPECT_EQ(normalize_label("  DC ").value(), "dc");
+  EXPECT_FALSE(normalize_label("!!!").ok());
+  EXPECT_FALSE(normalize_label("").ok());
+  // Over-long components truncate to a legal label.
+  EXPECT_EQ(normalize_label(std::string(100, 'a')).value().size(), 63u);
+}
+
+TEST(CivicName, FromComponentsAndDomain) {
+  auto civic = CivicName::from_components(
+      {"usa", "dc", "washington", "penn-ave", "1600", "Oval Office"});
+  ASSERT_TRUE(civic.ok());
+  auto domain = civic.value().to_domain();
+  ASSERT_TRUE(domain.ok());
+  EXPECT_EQ(domain.value(),
+            name_of("oval-office.1600.penn-ave.washington.dc.usa.loc"));
+}
+
+TEST(CivicName, PostalParseReversesOrder) {
+  auto civic = CivicName::parse_postal("Oval Office, 1600 Pennsylvania Ave NW, Washington, DC, USA");
+  ASSERT_TRUE(civic.ok());
+  const auto& components = civic.value().components();
+  ASSERT_EQ(components.size(), 5u);
+  EXPECT_EQ(components.front(), "usa");     // broadest first
+  EXPECT_EQ(components.back(), "oval-office");
+}
+
+TEST(CivicName, DomainRoundTrip) {
+  auto civic = CivicName::from_components({"uk", "london", "downing-street", "10"});
+  ASSERT_TRUE(civic.ok());
+  auto domain = civic.value().to_domain();
+  ASSERT_TRUE(domain.ok());
+  auto back = CivicName::from_domain(domain.value(), loc_root());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), civic.value());
+}
+
+TEST(CivicName, FromDomainRejectsForeign) {
+  EXPECT_FALSE(CivicName::from_domain(name_of("host.example.com"), loc_root()).ok());
+  EXPECT_FALSE(CivicName::from_domain(loc_root(), loc_root()).ok());
+}
+
+TEST(CivicName, IncrementalDeploymentUnderExistingDomain) {
+  // §2.3: spatial subdomains at existing DNS domains, e.g.
+  // whitehouse.loc.usa.gov.
+  auto civic = CivicName::from_components({"whitehouse"});
+  ASSERT_TRUE(civic.ok());
+  auto domain = civic.value().to_domain(name_of("loc.usa.gov"));
+  ASSERT_TRUE(domain.ok());
+  EXPECT_EQ(domain.value(), name_of("whitehouse.loc.usa.gov"));
+}
+
+TEST(CivicName, ContainmentHierarchy) {
+  auto wh = CivicName::from_components({"usa", "dc", "washington"}).value();
+  auto office =
+      CivicName::from_components({"usa", "dc", "washington", "penn-ave", "1600"}).value();
+  EXPECT_TRUE(wh.contains(office));
+  EXPECT_TRUE(wh.contains(wh));
+  EXPECT_FALSE(office.contains(wh));
+  auto other = CivicName::from_components({"usa", "ny"}).value();
+  EXPECT_FALSE(other.contains(office));
+  EXPECT_EQ(office.parent().components().size(), 4u);
+  auto child = wh.child("K Street");
+  ASSERT_TRUE(child.ok());
+  EXPECT_EQ(child.value().components().back(), "k-street");
+  EXPECT_TRUE(wh.contains(child.value()));
+}
+
+TEST(CivicName, ToStringNarrowestFirst) {
+  auto civic = CivicName::from_components({"usa", "dc"}).value();
+  EXPECT_EQ(civic.to_string(), "dc, usa");
+}
+
+// --- URIs ---------------------------------------------------------------
+
+TEST(Uri, ParsesPaperExample) {
+  auto uri = SnsUri::parse(
+      "capnp://mic.oval-office.1600.penn-ave.washington.dc.usa.loc/secret");
+  ASSERT_TRUE(uri.ok()) << uri.error().message;
+  EXPECT_EQ(uri.value().scheme, "capnp");
+  EXPECT_EQ(uri.value().authority,
+            name_of("mic.oval-office.1600.penn-ave.washington.dc.usa.loc"));
+  EXPECT_EQ(uri.value().path, "/secret");
+  EXPECT_FALSE(uri.value().port.has_value());
+  EXPECT_TRUE(uri.value().is_spatial(loc_root()));
+}
+
+TEST(Uri, PortAndEmptyPath) {
+  auto uri = SnsUri::parse("https://display.oval-office.loc:8443");
+  ASSERT_TRUE(uri.ok());
+  EXPECT_EQ(uri.value().port, std::optional<std::uint16_t>(8443));
+  EXPECT_EQ(uri.value().path, "");
+}
+
+TEST(Uri, RoundTrip) {
+  for (const char* text :
+       {"capnp://mic.oval-office.loc/secret", "https://cam.field.loc:444/stream",
+        "matrix://lobby.hotel.paris.fr.loc/room"}) {
+    auto uri = SnsUri::parse(text);
+    ASSERT_TRUE(uri.ok()) << text;
+    EXPECT_EQ(uri.value().to_string(), text);
+  }
+}
+
+TEST(Uri, NonSpatialDetected) {
+  auto uri = SnsUri::parse("https://www.example.com/index");
+  ASSERT_TRUE(uri.ok());
+  EXPECT_FALSE(uri.value().is_spatial(loc_root()));
+}
+
+TEST(Uri, Rejects) {
+  EXPECT_FALSE(SnsUri::parse("no-scheme.loc/x").ok());
+  EXPECT_FALSE(SnsUri::parse("://host/x").ok());
+  EXPECT_FALSE(SnsUri::parse("http:///x").ok());
+  EXPECT_FALSE(SnsUri::parse("http://host:99999/x").ok());
+  EXPECT_FALSE(SnsUri::parse("ht tp://host/x").ok());
+}
+
+}  // namespace
+}  // namespace sns::core

@@ -1,0 +1,253 @@
+// Tests for DNSSEC-shaped signing, NSEC3 and TSIG (§4.1-4.2).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "dns/dnssec.hpp"
+#include "util/strings.hpp"
+
+namespace sns::dns {
+namespace {
+
+ZoneKey test_key() {
+  return ZoneKey{name_of("oval-office.loc"), {0x01, 0x02, 0x03, 0x04, 0x05}};
+}
+
+RRset sample_rrset() {
+  Name owner = name_of("display.oval-office.loc");
+  return {make_a(owner, net::Ipv4Addr{{192, 0, 3, 12}}, 120),
+          make_a(owner, net::Ipv4Addr{{192, 0, 3, 13}}, 120)};
+}
+
+TEST(Sign, SignAndVerify) {
+  ZoneKey key = test_key();
+  RRset rrset = sample_rrset();
+  auto signed_rr = sign_rrset(rrset, key, 1000, 2000);
+  ASSERT_TRUE(signed_rr.ok()) << signed_rr.error().message;
+  const auto& sig = std::get<RrsigData>(signed_rr.value().rdata);
+  EXPECT_EQ(sig.type_covered, RRType::A);
+  EXPECT_EQ(sig.signer, key.zone);
+  EXPECT_EQ(sig.key_tag, key.key_tag());
+  EXPECT_TRUE(verify_rrsig(rrset, sig, key, 1500).ok());
+}
+
+TEST(Sign, CanonicalOrderIndependent) {
+  // Signature over {r1, r2} verifies against {r2, r1}.
+  ZoneKey key = test_key();
+  RRset rrset = sample_rrset();
+  auto signed_rr = sign_rrset(rrset, key, 0, 100);
+  ASSERT_TRUE(signed_rr.ok());
+  std::swap(rrset[0], rrset[1]);
+  EXPECT_TRUE(
+      verify_rrsig(rrset, std::get<RrsigData>(signed_rr.value().rdata), key, 50).ok());
+}
+
+TEST(Sign, TamperDetected) {
+  ZoneKey key = test_key();
+  RRset rrset = sample_rrset();
+  auto signed_rr = sign_rrset(rrset, key, 0, 100);
+  ASSERT_TRUE(signed_rr.ok());
+  auto sig = std::get<RrsigData>(signed_rr.value().rdata);
+  // Change an address (spoofing, §4.2 risk 3).
+  std::get<AData>(rrset[0].rdata).address = net::Ipv4Addr{{6, 6, 6, 6}};
+  EXPECT_FALSE(verify_rrsig(rrset, sig, key, 50).ok());
+}
+
+TEST(Sign, WrongKeyRejected) {
+  ZoneKey key = test_key();
+  ZoneKey other{key.zone, {0xff, 0xee}};
+  RRset rrset = sample_rrset();
+  auto signed_rr = sign_rrset(rrset, key, 0, 100);
+  ASSERT_TRUE(signed_rr.ok());
+  EXPECT_FALSE(
+      verify_rrsig(rrset, std::get<RrsigData>(signed_rr.value().rdata), other, 50).ok());
+}
+
+TEST(Sign, ValidityWindowEnforced) {
+  ZoneKey key = test_key();
+  RRset rrset = sample_rrset();
+  auto signed_rr = sign_rrset(rrset, key, 1000, 2000);
+  ASSERT_TRUE(signed_rr.ok());
+  const auto& sig = std::get<RrsigData>(signed_rr.value().rdata);
+  EXPECT_FALSE(verify_rrsig(rrset, sig, key, 999).ok());   // not yet valid
+  EXPECT_FALSE(verify_rrsig(rrset, sig, key, 2001).ok());  // expired
+  EXPECT_TRUE(verify_rrsig(rrset, sig, key, 1000).ok());
+  EXPECT_TRUE(verify_rrsig(rrset, sig, key, 2000).ok());
+}
+
+TEST(Sign, CacheDecrementedTtlStillVerifies) {
+  ZoneKey key = test_key();
+  RRset rrset = sample_rrset();
+  auto signed_rr = sign_rrset(rrset, key, 0, 100);
+  ASSERT_TRUE(signed_rr.ok());
+  for (auto& rr : rrset) rr.ttl = 7;  // aged in a cache
+  EXPECT_TRUE(
+      verify_rrsig(rrset, std::get<RrsigData>(signed_rr.value().rdata), key, 50).ok());
+}
+
+TEST(Sign, RejectsMixedRrsetsAndForeignZones) {
+  ZoneKey key = test_key();
+  RRset mixed = sample_rrset();
+  mixed.push_back(make_txt(mixed.front().name, {"x"}));
+  EXPECT_FALSE(sign_rrset(mixed, key, 0, 1).ok());
+  RRset foreign{make_a(name_of("host.example.com"), net::Ipv4Addr{{1, 2, 3, 4}})};
+  EXPECT_FALSE(sign_rrset(foreign, key, 0, 1).ok());
+  EXPECT_FALSE(sign_rrset({}, key, 0, 1).ok());
+}
+
+TEST(ZoneKeyMeta, DnskeyAndTag) {
+  ZoneKey key = test_key();
+  DnskeyData dnskey = key.to_dnskey();
+  EXPECT_EQ(dnskey.algorithm, kToyHmacAlgorithm);
+  EXPECT_EQ(dnskey.public_key, key.secret);
+  ZoneKey other{key.zone, {0x99}};
+  EXPECT_NE(key.key_tag(), other.key_tag());
+}
+
+// --- NSEC3 -------------------------------------------------------------------
+
+TEST(Nsec3, HashDeterministicAndSaltSensitive) {
+  Name name = name_of("mic.oval-office.loc");
+  std::vector<std::uint8_t> salt{0xaa, 0xbb};
+  auto h1 = nsec3_hash(name, std::span(salt), 10);
+  auto h2 = nsec3_hash(name, std::span(salt), 10);
+  EXPECT_EQ(h1, h2);
+  EXPECT_EQ(h1.size(), 20u);
+  std::vector<std::uint8_t> other_salt{0xcc};
+  EXPECT_NE(h1, nsec3_hash(name, std::span(other_salt), 10));
+  EXPECT_NE(h1, nsec3_hash(name, std::span(salt), 11));
+  // Case-insensitive.
+  EXPECT_EQ(h1, nsec3_hash(name_of("MIC.Oval-Office.LOC"), std::span(salt), 10));
+}
+
+TEST(Nsec3, ChainCoversAbsentNames) {
+  Name zone = name_of("oval-office.loc");
+  std::vector<std::pair<Name, std::vector<RRType>>> names{
+      {zone, {RRType::SOA, RRType::NS}},
+      {name_of("mic.oval-office.loc"), {RRType::BDADDR}},
+      {name_of("speaker.oval-office.loc"), {RRType::BDADDR, RRType::DTMF}},
+      {name_of("display.oval-office.loc"), {RRType::AAAA}},
+  };
+  std::vector<std::uint8_t> salt{0x01};
+  auto chain = build_nsec3_chain(zone, names, std::span(salt), 5, 60);
+  ASSERT_EQ(chain.size(), 4u);
+
+  // Every absent name must be covered by exactly one chain record;
+  // every present name by none.
+  for (const char* absent : {"camera.oval-office.loc", "nothere.oval-office.loc",
+                             "a.oval-office.loc", "zzz.oval-office.loc"}) {
+    int covering = 0;
+    for (const auto& rr : chain) {
+      auto covered = nsec3_covers(rr, name_of(absent), zone);
+      ASSERT_TRUE(covered.ok());
+      if (covered.value()) ++covering;
+    }
+    EXPECT_EQ(covering, 1) << absent;
+  }
+  for (const auto& [present, types] : names) {
+    for (const auto& rr : chain) {
+      auto covered = nsec3_covers(rr, present, zone);
+      ASSERT_TRUE(covered.ok());
+      EXPECT_FALSE(covered.value()) << present.to_string();
+    }
+  }
+}
+
+TEST(Nsec3, ChainLinksFormCycle) {
+  Name zone = name_of("z.loc");
+  std::vector<std::pair<Name, std::vector<RRType>>> names{
+      {zone, {RRType::SOA}},
+      {name_of("a.z.loc"), {RRType::A}},
+      {name_of("b.z.loc"), {RRType::A}},
+  };
+  std::vector<std::uint8_t> salt;
+  auto chain = build_nsec3_chain(zone, names, std::span(salt), 0, 60);
+  ASSERT_EQ(chain.size(), 3u);
+  // The multiset of next-hashes equals the multiset of owner hashes.
+  std::vector<std::string> owners, nexts;
+  for (const auto& rr : chain) {
+    owners.push_back(rr.name.labels().front());
+    nexts.push_back(util::to_base32hex(
+        std::span(std::get<Nsec3Data>(rr.rdata).next_hashed_owner)));
+  }
+  std::sort(owners.begin(), owners.end());
+  std::sort(nexts.begin(), nexts.end());
+  EXPECT_EQ(owners, nexts);
+}
+
+TEST(Nsec3, TypeBitmapPreserved) {
+  Name zone = name_of("z.loc");
+  std::vector<std::pair<Name, std::vector<RRType>>> names{
+      {zone, {RRType::SOA, RRType::BDADDR, RRType::WIFI}},
+  };
+  std::vector<std::uint8_t> salt;
+  auto chain = build_nsec3_chain(zone, names, std::span(salt), 0, 60);
+  ASSERT_EQ(chain.size(), 1u);
+  const auto& data = std::get<Nsec3Data>(chain[0].rdata);
+  EXPECT_EQ(data.types, (std::vector<RRType>{RRType::SOA, RRType::BDADDR, RRType::WIFI}));
+}
+
+TEST(Nsec3, CoversRejectsNonNsec3) {
+  auto rr = make_a(name_of("a.z.loc"), net::Ipv4Addr{{1, 2, 3, 4}});
+  EXPECT_FALSE(nsec3_covers(rr, name_of("b.z.loc"), name_of("z.loc")).ok());
+}
+
+// --- TSIG --------------------------------------------------------------------
+
+TEST(Tsig, SignVerifyStrips) {
+  TsigKey key{name_of("update-key"), {1, 2, 3}};
+  Message msg = make_query(55, name_of("mic.oval-office.loc"), RRType::A);
+  tsig_sign(msg, key, 100000);
+  ASSERT_EQ(msg.additionals.size(), 1u);
+  EXPECT_EQ(msg.additionals.back().type, RRType::TSIG);
+  auto status = tsig_verify(msg, key, 100010);
+  EXPECT_TRUE(status.ok()) << status.error().message;
+  EXPECT_TRUE(msg.additionals.empty());  // TSIG consumed
+}
+
+TEST(Tsig, SurvivesWireRoundTrip) {
+  TsigKey key{name_of("update-key"), {9, 9, 9}};
+  Message msg = make_query(56, name_of("a.loc"), RRType::TXT);
+  tsig_sign(msg, key, 5000);
+  auto wire = msg.encode();
+  auto decoded = Message::decode(std::span(wire));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(tsig_verify(decoded.value(), key, 5001).ok());
+}
+
+TEST(Tsig, TamperDetected) {
+  TsigKey key{name_of("update-key"), {1, 2, 3}};
+  Message msg = make_query(57, name_of("a.loc"), RRType::A);
+  tsig_sign(msg, key, 100);
+  msg.questions[0].type = RRType::AAAA;  // tamper after signing
+  EXPECT_FALSE(tsig_verify(msg, key, 100).ok());
+  EXPECT_EQ(msg.additionals.size(), 1u);  // left intact on failure
+}
+
+TEST(Tsig, WrongKeyOrMissingRejected) {
+  TsigKey key{name_of("update-key"), {1, 2, 3}};
+  TsigKey wrong{name_of("update-key"), {4, 5, 6}};
+  TsigKey other_name{name_of("other-key"), {1, 2, 3}};
+  Message msg = make_query(58, name_of("a.loc"), RRType::A);
+  EXPECT_FALSE(tsig_verify(msg, key, 0).ok());  // unsigned
+  tsig_sign(msg, key, 100);
+  Message copy = msg;
+  EXPECT_FALSE(tsig_verify(copy, wrong, 100).ok());
+  copy = msg;
+  EXPECT_FALSE(tsig_verify(copy, other_name, 100).ok());
+}
+
+TEST(Tsig, FudgeWindowEnforced) {
+  TsigKey key{name_of("update-key"), {1, 2, 3}};
+  Message msg = make_query(59, name_of("a.loc"), RRType::A);
+  tsig_sign(msg, key, 10000);
+  Message late = msg;
+  EXPECT_FALSE(tsig_verify(late, key, 10000 + 301).ok());  // beyond 300s fudge
+  Message early = msg;
+  EXPECT_FALSE(tsig_verify(early, key, 10000 - 301).ok());
+  Message in_window = msg;
+  EXPECT_TRUE(tsig_verify(in_window, key, 10000 + 299).ok());
+}
+
+}  // namespace
+}  // namespace sns::dns

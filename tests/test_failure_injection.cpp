@@ -1,0 +1,188 @@
+// Failure-injection tests: the resolution stack under hostile or broken
+// conditions — lame delegations, garbage responses, flapping links,
+// heavy loss, wrong ids. None of these may crash, hang or mis-answer.
+#include <gtest/gtest.h>
+
+#include "core/deployment.hpp"
+#include "resolver/iterative.hpp"
+#include "resolver/stub.hpp"
+#include "util/rng.hpp"
+
+namespace sns {
+namespace {
+
+using dns::name_of;
+using dns::Rcode;
+using dns::RRType;
+
+TEST(FailureInjection, LameDelegationFailsCleanly) {
+  // A zone delegates to a nameserver that is not registered anywhere:
+  // the iterative resolver must give up with an error, not loop.
+  core::SnsDeployment d(500);
+  auto civic = core::CivicName::from_components({"lameland"}).value();
+  core::ZoneSite& site = d.add_zone(civic, geo::BoundingBox{0, 0, 1, 1}, nullptr);
+  ASSERT_TRUE(site.zone
+                  ->delegate_child(name_of("void.lameland.loc"),
+                                   name_of("ns.void.lameland.loc"),
+                                   net::Ipv4Addr{{10, 99, 99, 99}})
+                  .ok());
+
+  net::NodeId client = d.network().add_node("client");
+  d.network().connect(client, d.loc_node(), net::wan_link());
+  auto iterative = d.make_iterative(client);
+  auto result = iterative.resolve(name_of("device.void.lameland.loc"), RRType::A);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().message.find("lame"), std::string::npos);
+}
+
+TEST(FailureInjection, GarbageServerResponsesAreSkipped) {
+  // A "server" that answers raw noise: the stub retries and ultimately
+  // reports an error instead of crashing on the malformed payload.
+  net::Network network(501);
+  net::NodeId client = network.add_node("client");
+  net::NodeId evil = network.add_node("evil");
+  network.connect(client, evil, net::lan_link());
+  util::Rng rng(7);
+  network.set_handler(evil, [&rng](std::span<const std::uint8_t>, net::NodeId) {
+    util::Bytes noise(rng.next_below(64));
+    for (auto& b : noise) b = static_cast<std::uint8_t>(rng.next_below(256));
+    return noise;
+  });
+  resolver::StubResolver stub(network, client, evil);
+  stub.set_timeout(net::ms(50), 2);
+  auto result = stub.resolve(name_of("mic.oval-office.loc"), RRType::A);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(FailureInjection, MismatchedTransactionIdRejected) {
+  // Off-path spoofing 101: a response whose id does not match the query
+  // must be rejected (§4.2 address-spoofing risk).
+  net::Network network(502);
+  net::NodeId client = network.add_node("client");
+  net::NodeId spoofer = network.add_node("spoofer");
+  network.connect(client, spoofer, net::lan_link());
+  network.set_handler(spoofer, [](std::span<const std::uint8_t> payload, net::NodeId) {
+    auto query = dns::Message::decode(payload);
+    if (!query.ok()) return std::optional<util::Bytes>{};
+    dns::Message forged = dns::make_response(query.value(), Rcode::NoError, true);
+    forged.header.id = static_cast<std::uint16_t>(query.value().header.id + 1);
+    forged.answers.push_back(
+        dns::make_a(query.value().questions[0].name, net::Ipv4Addr{{6, 6, 6, 6}}));
+    return std::optional<util::Bytes>{forged.encode()};
+  });
+  resolver::StubResolver stub(network, client, spoofer);
+  stub.set_timeout(net::ms(50), 2);
+  auto result = stub.resolve(name_of("mic.oval-office.loc"), RRType::A);
+  EXPECT_FALSE(result.ok());
+  EXPECT_NE(result.error().message.find("id mismatch"), std::string::npos);
+}
+
+TEST(FailureInjection, FlappingUplinkEventuallyResolves) {
+  // Link goes down mid-session and comes back: resolution recovers
+  // without resolver state corruption.
+  auto world = core::make_white_house_world(503);
+  auto& d = *world.deployment;
+  net::NodeId remote = d.add_client("remote", *world.cabinet_room, false);
+  auto iterative = d.make_iterative(remote);
+
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    d.network().set_link_down(world.white_house->ns_node, world.penn_ave->ns_node, true);
+    auto down = iterative.resolve(world.display, RRType::AAAA);
+    EXPECT_FALSE(down.ok()) << "cycle " << cycle;
+    d.network().set_link_down(world.white_house->ns_node, world.penn_ave->ns_node, false);
+    auto up = iterative.resolve(world.display, RRType::AAAA);
+    ASSERT_TRUE(up.ok()) << "cycle " << cycle;
+    EXPECT_EQ(up.value().rcode, Rcode::NoError);
+  }
+}
+
+TEST(FailureInjection, HeavyLossStillConvergesWithRetries) {
+  net::Network network(504);
+  net::NodeId client = network.add_node("client");
+  net::NodeId server_node = network.add_node("server");
+  network.connect(client, server_node, net::LinkSpec{net::ms(1), net::us(0), 0.30});
+  auto zone = std::make_shared<server::Zone>(name_of("zone.loc"), name_of("ns.zone.loc"));
+  (void)zone->add(dns::make_a(name_of("dev.zone.loc"), net::Ipv4Addr{{1, 1, 1, 1}}));
+  server::AuthoritativeServer srv("lossy");
+  srv.add_zone(zone);
+  srv.bind_to_network(network, server_node, [](net::NodeId) {
+    server::ClientContext ctx;
+    ctx.internal = true;
+    return ctx;
+  });
+  resolver::StubResolver stub(network, client, server_node);
+  stub.set_timeout(net::ms(20), 12);  // aggressive retry under loss
+  int successes = 0;
+  for (int i = 0; i < 30; ++i) {
+    auto result = stub.resolve(name_of("dev.zone.loc"), RRType::A);
+    if (result.ok() && result.value().rcode == Rcode::NoError) ++successes;
+  }
+  EXPECT_GE(successes, 28);  // p(12 straight losses) ~ (1-0.49)^12
+}
+
+TEST(FailureInjection, SilentServerBurnsTimeoutNotForever) {
+  net::Network network(505);
+  net::NodeId client = network.add_node("client");
+  net::NodeId mute = network.add_node("mute");
+  network.connect(client, mute, net::lan_link());
+  network.set_handler(mute, [](std::span<const std::uint8_t>, net::NodeId) {
+    return std::optional<util::Bytes>{};  // receives, never answers
+  });
+  resolver::StubResolver stub(network, client, mute);
+  stub.set_timeout(net::ms(100), 3);
+  net::TimePoint before = network.clock().now();
+  auto result = stub.resolve(name_of("x.loc"), RRType::A);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(network.clock().now() - before, net::ms(300));  // exactly 3 timeouts
+}
+
+TEST(FailureInjection, CnameIntoDeadZoneReturnsPartialChain) {
+  // A CNAME pointing into a zone this server does not carry: client
+  // gets the alias (and may chase it elsewhere); no error, no loop.
+  auto world = core::make_white_house_world(506);
+  auto& d = *world.deployment;
+  auto zone = world.oval_office->zone->local_zone();
+  ASSERT_TRUE(zone->add(dns::make_cname(
+                       name_of("ghostly.oval-office.1600.penn-ave.washington.dc.usa.loc"),
+                       name_of("gone.elsewhere.example")))
+                  .ok());
+  net::NodeId client = d.add_client("c", *world.oval_office, true);
+  auto stub = d.make_stub(client, *world.oval_office);
+  auto result = stub.resolve(
+      name_of("ghostly.oval-office.1600.penn-ave.washington.dc.usa.loc"), RRType::A);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.value().records.size(), 1u);
+  EXPECT_EQ(result.value().records[0].type, RRType::CNAME);
+}
+
+TEST(FailureInjection, UpdateFromMalformedPayloadIgnored) {
+  // Truncated/garbage bytes aimed at the update path are dropped by the
+  // server's decoder (handler answers nothing; client times out).
+  auto world = core::make_white_house_world(507);
+  auto& d = *world.deployment;
+  net::NodeId client = d.add_client("attacker", *world.oval_office, true);
+  util::Bytes garbage{0xde, 0xad, 0xbe};
+  auto result = d.network().exchange(client, world.oval_office->ns_node, std::span(garbage),
+                                     net::ms(50), 1);
+  EXPECT_FALSE(result.ok());
+  // And the zone is untouched.
+  EXPECT_EQ(world.oval_office->zone->local_zone()->serial(), 4u);  // 3 devices + initial
+}
+
+TEST(FailureInjection, GeoQueryWithInsaneNumbersAnswersGracefully) {
+  auto world = core::make_white_house_world(508);
+  auto& d = *world.deployment;
+  net::NodeId client = d.add_client("c", *world.oval_office, true);
+  auto stub = d.make_stub(client, *world.oval_office);
+  // Hand-construct a _geo qname with out-of-range numbers.
+  auto qname =
+      name_of("q-999999999999x999999999999x1._geo." +
+              world.oval_office->zone->domain().to_string());
+  auto result = stub.resolve(qname, RRType::PTR);
+  ASSERT_TRUE(result.ok());
+  // Parsed as an area far outside the zone: no devices, no referrals.
+  EXPECT_TRUE(result.value().records.empty());
+}
+
+}  // namespace
+}  // namespace sns

@@ -1,0 +1,197 @@
+// Tests for geodetic resolution (§3.2): the _geo query protocol,
+// responder behaviour and iterative descent with border fan-out.
+#include <gtest/gtest.h>
+
+#include "core/deployment.hpp"
+#include "core/geodetic.hpp"
+
+namespace sns::core {
+namespace {
+
+using dns::name_of;
+using dns::RRType;
+
+TEST(GeoQueryName, EncodeParseRoundTrip) {
+  geo::BoundingBox area{38.8970, -77.0380, 38.8980, -77.0370};
+  auto qname = encode_geo_query(area, name_of("oval-office.loc"));
+  ASSERT_TRUE(qname.ok()) << qname.error().message;
+  EXPECT_TRUE(is_geo_query(qname.value()));
+  auto parsed = parse_geo_query(qname.value());
+  ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+  EXPECT_EQ(parsed.value().second, name_of("oval-office.loc"));
+  const auto& box = parsed.value().first;
+  EXPECT_NEAR(box.center().latitude, area.center().latitude, 1e-5);
+  EXPECT_NEAR(box.center().longitude, area.center().longitude, 1e-5);
+}
+
+TEST(GeoQueryName, NegativeCoordinatesSurvive) {
+  geo::BoundingBox area{-33.87, 151.20, -33.85, 151.22};  // Sydney
+  auto qname = encode_geo_query(area, name_of("au.loc"));
+  ASSERT_TRUE(qname.ok());
+  auto parsed = parse_geo_query(qname.value());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_NEAR(parsed.value().first.center().latitude, -33.86, 1e-4);
+  EXPECT_NEAR(parsed.value().first.center().longitude, 151.21, 1e-4);
+}
+
+TEST(GeoQueryName, RejectsNonGeoNames) {
+  EXPECT_FALSE(is_geo_query(name_of("mic.oval-office.loc")));
+  EXPECT_FALSE(parse_geo_query(name_of("mic.oval-office.loc")).ok());
+  EXPECT_FALSE(parse_geo_query(name_of("q-abc._geo.loc")).ok());
+  EXPECT_FALSE(parse_geo_query(name_of("q-1x2._geo.loc")).ok());  // 2 fields
+}
+
+TEST(GeoResponder, AnswersDevicesAndReferrals) {
+  auto civic = CivicName::from_components({"usa", "dc"}).value();
+  SpatialZone zone(civic, geo::BoundingBox{38.0, -78.0, 39.0, -76.0});
+  Device sensor;
+  sensor.function = "sensor";
+  sensor.position = {38.5, -77.0, 0};
+  auto sensor_name = zone.register_device(sensor);
+  ASSERT_TRUE(sensor_name.ok());
+
+  GeoResponder responder(&zone);
+  responder.add_child(GeoChild{name_of("georgetown.dc.usa.loc"),
+                               geo::BoundingBox{38.90, -77.08, 38.92, -77.06}, std::nullopt,
+                               name_of("ns.georgetown.dc.usa.loc"),
+                               net::Ipv4Addr{{10, 0, 0, 40}}});
+
+  // Query covering the sensor but not the child.
+  auto qname = encode_geo_query(geo::BoundingBox::around({38.5, -77.0, 0}, 0.01),
+                                zone.domain());
+  ASSERT_TRUE(qname.ok());
+  auto response = responder.handle(dns::make_query(1, qname.value(), RRType::PTR, false));
+  ASSERT_TRUE(response.has_value());
+  ASSERT_EQ(response->answers.size(), 1u);
+  EXPECT_EQ(std::get<dns::PtrData>(response->answers[0].rdata).target, sensor_name.value());
+  EXPECT_TRUE(response->authorities.empty());
+
+  // Query covering the child's footprint: NS referral + glue.
+  auto child_q = encode_geo_query(geo::BoundingBox::around({38.91, -77.07, 0}, 0.001),
+                                  zone.domain());
+  ASSERT_TRUE(child_q.ok());
+  response = responder.handle(dns::make_query(2, child_q.value(), RRType::PTR, false));
+  ASSERT_TRUE(response.has_value());
+  EXPECT_TRUE(response->answers.empty());
+  ASSERT_EQ(response->authorities.size(), 1u);
+  EXPECT_EQ(response->authorities[0].type, RRType::NS);
+  ASSERT_EQ(response->additionals.size(), 1u);
+
+  // Query over empty space: NXDOMAIN.
+  auto empty_q = encode_geo_query(geo::BoundingBox::around({38.1, -76.2, 0}, 0.001),
+                                  zone.domain());
+  ASSERT_TRUE(empty_q.ok());
+  response = responder.handle(dns::make_query(3, empty_q.value(), RRType::PTR, false));
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->header.rcode, dns::Rcode::NXDomain);
+
+  // Geo query for a *different* domain: not ours.
+  auto foreign = encode_geo_query(geo::BoundingBox::around({38.5, -77.0, 0}, 0.01),
+                                  name_of("other.loc"));
+  ASSERT_TRUE(foreign.ok());
+  EXPECT_FALSE(responder.handle(dns::make_query(4, foreign.value(), RRType::PTR, false))
+                   .has_value());
+}
+
+TEST(GeoResponder, PolygonFootprintRefinesReferrals) {
+  // A child with a triangular shape: box queries inside the bbox but
+  // outside the triangle are not referred.
+  GeoResponder responder(name_of("region.loc"));
+  geo::Polygon triangle({{0, 0, 0}, {10, 0, 0}, {0, 10, 0}});
+  responder.add_child(GeoChild{name_of("tri.region.loc"), triangle.bbox(), triangle,
+                               name_of("ns.tri.region.loc"), net::Ipv4Addr{{10, 0, 0, 50}}});
+
+  auto inside = encode_geo_query(geo::BoundingBox{1, 1, 2, 2}, name_of("region.loc"));
+  auto corner = encode_geo_query(geo::BoundingBox{8.5, 8.5, 9.5, 9.5}, name_of("region.loc"));
+  ASSERT_TRUE(inside.ok() && corner.ok());
+  auto hit = responder.handle(dns::make_query(1, inside.value(), RRType::PTR, false));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->authorities.size(), 1u);
+  auto miss = responder.handle(dns::make_query(2, corner.value(), RRType::PTR, false));
+  ASSERT_TRUE(miss.has_value());
+  EXPECT_TRUE(miss->authorities.empty());
+}
+
+TEST(GeodeticClient, FullDescentThroughDeployment) {
+  auto world = make_white_house_world(33);
+  auto& d = *world.deployment;
+  net::NodeId client = d.add_client("geo-client", *world.cabinet_room, false);
+  auto geo_client = d.make_geodetic_client(client);
+
+  auto result = geo_client.resolve_point({38.89730, -77.03740, 18.0}, 0.0002);
+  ASSERT_TRUE(result.ok()) << result.error().message;
+  // All three Oval Office devices found.
+  EXPECT_EQ(result.value().names.size(), 3u);
+  // Descent: .loc -> usa -> dc -> washington -> penn-ave -> 1600 -> oval.
+  EXPECT_EQ(result.value().zones_visited, 7);
+  EXPECT_GT(result.value().latency.count(), 0);
+}
+
+TEST(GeodeticClient, LondonPointFindsCamera) {
+  auto world = make_white_house_world(34);
+  auto& d = *world.deployment;
+  net::NodeId client = d.add_client("geo-client", *world.oval_office, false);
+  auto geo_client = d.make_geodetic_client(client);
+  auto result = geo_client.resolve_point({51.503345, -0.127755, 6.0}, 0.00005);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.value().names.size(), 1u);
+  EXPECT_EQ(result.value().names[0], world.camera);
+}
+
+TEST(GeodeticClient, EmptyAreaFindsNothing) {
+  auto world = make_white_house_world(35);
+  auto& d = *world.deployment;
+  net::NodeId client = d.add_client("geo-client", *world.oval_office, false);
+  auto geo_client = d.make_geodetic_client(client);
+  // Middle of the Atlantic.
+  auto result = geo_client.resolve_point({40.0, -40.0, 0.0}, 0.01);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().names.empty());
+  EXPECT_EQ(result.value().zones_visited, 1);  // only .loc consulted
+}
+
+TEST(GeodeticClient, BorderQueryFansOut) {
+  // Build two adjacent top-level zones and query straddling the border
+  // (§3.2: "what if you query a point right on the border? … multiple
+  // spatial domains, which it can then pursue concurrently").
+  SnsDeployment d(77);
+  auto east = CivicName::from_components({"eastland"}).value();
+  auto west = CivicName::from_components({"westland"}).value();
+  ZoneSite& east_site = d.add_zone(east, geo::BoundingBox{0, 0, 10, 10}, nullptr);
+  ZoneSite& west_site = d.add_zone(west, geo::BoundingBox{0, -10, 10, 0}, nullptr);
+
+  Device east_sensor;
+  east_sensor.function = "sensor";
+  east_sensor.position = {5.0, 0.05, 0};
+  Device west_sensor;
+  west_sensor.function = "sensor";
+  west_sensor.position = {5.0, -0.05, 0};
+  ASSERT_TRUE(d.add_device(east_site, east_sensor).ok());
+  ASSERT_TRUE(d.add_device(west_site, west_sensor).ok());
+
+  net::NodeId client = d.add_client("client", east_site, false);
+  auto geo_client = d.make_geodetic_client(client);
+  auto result = geo_client.resolve_point({5.0, 0.0, 0}, 0.1);  // straddles lon 0
+  ASSERT_TRUE(result.ok()) << result.error().message;
+  EXPECT_EQ(result.value().fanout_max, 2);   // both domains pursued
+  EXPECT_EQ(result.value().names.size(), 2u);
+  EXPECT_EQ(result.value().zones_visited, 3);  // .loc + both countries
+}
+
+TEST(GeodeticClient, DeduplicatesAcrossOverlappingZones) {
+  SnsDeployment d(78);
+  auto a = CivicName::from_components({"aland"}).value();
+  ZoneSite& site = d.add_zone(a, geo::BoundingBox{0, 0, 10, 10}, nullptr);
+  Device sensor;
+  sensor.function = "sensor";
+  sensor.position = {5, 5, 0};
+  ASSERT_TRUE(d.add_device(site, sensor).ok());
+  net::NodeId client = d.add_client("client", site, false);
+  auto geo_client = d.make_geodetic_client(client);
+  auto result = geo_client.resolve_area(geo::BoundingBox{4, 4, 6, 6});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().names.size(), 1u);
+}
+
+}  // namespace
+}  // namespace sns::core

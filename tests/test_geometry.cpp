@@ -1,0 +1,105 @@
+// Tests for geodetic primitives (src/geo/geometry).
+#include <gtest/gtest.h>
+
+#include "geo/geometry.hpp"
+
+namespace sns::geo {
+namespace {
+
+TEST(Haversine, KnownDistances) {
+  // White House to 10 Downing Street: ~5897 km.
+  GeoPoint wh{38.8974, -77.0374, 0};
+  GeoPoint downing{51.5034, -0.1276, 0};
+  EXPECT_NEAR(haversine_m(wh, downing), 5897000.0, 15000.0);
+  // Same point: zero.
+  EXPECT_DOUBLE_EQ(haversine_m(wh, wh), 0.0);
+  // One degree of latitude: ~111.2 km.
+  EXPECT_NEAR(haversine_m({0, 0, 0}, {1, 0, 0}), 111195.0, 200.0);
+}
+
+TEST(BoundingBox, ContainsPoints) {
+  BoundingBox box{10, 20, 30, 40};
+  EXPECT_TRUE(box.contains(GeoPoint{20, 30, 0}));
+  EXPECT_TRUE(box.contains(GeoPoint{10, 20, 0}));  // boundary inclusive
+  EXPECT_TRUE(box.contains(GeoPoint{30, 40, 0}));
+  EXPECT_FALSE(box.contains(GeoPoint{9.999, 30, 0}));
+  EXPECT_FALSE(box.contains(GeoPoint{20, 40.001, 0}));
+}
+
+TEST(BoundingBox, ContainsBoxes) {
+  BoundingBox outer{0, 0, 10, 10};
+  EXPECT_TRUE(outer.contains(BoundingBox{1, 1, 9, 9}));
+  EXPECT_TRUE(outer.contains(outer));
+  EXPECT_FALSE(outer.contains(BoundingBox{1, 1, 11, 9}));
+}
+
+TEST(BoundingBox, Intersections) {
+  BoundingBox a{0, 0, 10, 10};
+  EXPECT_TRUE(a.intersects(BoundingBox{5, 5, 15, 15}));
+  EXPECT_TRUE(a.intersects(BoundingBox{10, 10, 20, 20}));  // touching corner
+  EXPECT_FALSE(a.intersects(BoundingBox{10.01, 0, 20, 10}));
+  EXPECT_FALSE(a.intersects(BoundingBox{0, 10.01, 10, 20}));
+}
+
+TEST(BoundingBox, AroundCenterUnionArea) {
+  GeoPoint c{50, 8, 0};
+  BoundingBox box = BoundingBox::around(c, 0.5);
+  EXPECT_DOUBLE_EQ(box.min_lat, 49.5);
+  EXPECT_DOUBLE_EQ(box.max_lon, 8.5);
+  EXPECT_EQ(box.center(), c);
+  EXPECT_DOUBLE_EQ(box.area(), 1.0);
+  BoundingBox other{60, 10, 61, 11};
+  BoundingBox all = box.united(other);
+  EXPECT_DOUBLE_EQ(all.min_lat, 49.5);
+  EXPECT_DOUBLE_EQ(all.max_lat, 61.0);
+  EXPECT_DOUBLE_EQ(all.max_lon, 11.0);
+}
+
+Polygon triangle() {
+  return Polygon({{0, 0, 0}, {10, 0, 0}, {0, 10, 0}});
+}
+
+TEST(Polygon, ContainsInterior) {
+  Polygon t = triangle();
+  EXPECT_TRUE(t.contains(GeoPoint{2, 2, 0}));
+  EXPECT_FALSE(t.contains(GeoPoint{6, 6, 0}));   // outside hypotenuse
+  EXPECT_FALSE(t.contains(GeoPoint{-1, 5, 0}));
+  EXPECT_TRUE(t.contains(GeoPoint{0, 0, 0}));    // vertex counts as inside
+}
+
+TEST(Polygon, BboxComputed) {
+  Polygon t = triangle();
+  EXPECT_EQ(t.bbox(), (BoundingBox{0, 0, 10, 10}));
+}
+
+TEST(Polygon, IntersectsBoxCases) {
+  Polygon t = triangle();
+  // Box fully inside the triangle.
+  EXPECT_TRUE(t.intersects(BoundingBox{1, 1, 2, 2}));
+  // Triangle vertex inside the box.
+  EXPECT_TRUE(t.intersects(BoundingBox{-1, -1, 1, 1}));
+  // Edges cross but no vertex containment either way.
+  EXPECT_TRUE(t.intersects(BoundingBox{4, -5, 5, 15}));
+  // Box inside the bbox but outside the triangle (near hypotenuse corner).
+  EXPECT_FALSE(t.intersects(BoundingBox{8.5, 8.5, 9.5, 9.5}));
+  // Far away.
+  EXPECT_FALSE(t.intersects(BoundingBox{20, 20, 30, 30}));
+}
+
+TEST(Polygon, DegenerateIsEmpty) {
+  Polygon line({{0, 0, 0}, {1, 1, 0}});
+  EXPECT_FALSE(line.contains(GeoPoint{0.5, 0.5, 0}));
+}
+
+TEST(Polygon, ComplexConcaveShape) {
+  // A U-shape: points in the notch are outside.
+  Polygon u({{0, 0, 0}, {0, 10, 0}, {10, 10, 0}, {10, 7, 0}, {3, 7, 0}, {3, 3, 0},
+             {10, 3, 0}, {10, 0, 0}});
+  EXPECT_TRUE(u.contains(GeoPoint{1, 5, 0}));   // bottom of the U
+  EXPECT_TRUE(u.contains(GeoPoint{5, 9, 0}));   // top arm
+  EXPECT_TRUE(u.contains(GeoPoint{5, 1, 0}));   // bottom arm
+  EXPECT_FALSE(u.contains(GeoPoint{6, 5, 0}));  // inside the notch
+}
+
+}  // namespace
+}  // namespace sns::geo

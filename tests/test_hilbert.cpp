@@ -1,0 +1,174 @@
+// Tests for Hilbert curves and the interval decomposition (§3.2, Fig 4).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "geo/hilbert.hpp"
+#include "util/rng.hpp"
+
+namespace sns::geo {
+namespace {
+
+class HilbertOrder : public ::testing::TestWithParam<int> {};
+
+TEST_P(HilbertOrder, BijectiveOverWholeGrid) {
+  int order = GetParam();
+  std::uint32_t side = 1u << order;
+  std::set<HilbertD> seen;
+  for (std::uint32_t y = 0; y < side; ++y) {
+    for (std::uint32_t x = 0; x < side; ++x) {
+      HilbertD d = hilbert_xy_to_d(order, x, y);
+      EXPECT_LT(d, static_cast<HilbertD>(side) * side);
+      EXPECT_TRUE(seen.insert(d).second) << "duplicate d for (" << x << "," << y << ")";
+      std::uint32_t rx = 0, ry = 0;
+      hilbert_d_to_xy(order, d, rx, ry);
+      EXPECT_EQ(rx, x);
+      EXPECT_EQ(ry, y);
+    }
+  }
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(side) * side);
+}
+
+TEST_P(HilbertOrder, ConsecutiveCellsAreAdjacent) {
+  // The defining property of the curve: consecutive distances map to
+  // 4-adjacent cells (this is what gives locality, Fig. 4).
+  int order = GetParam();
+  std::uint32_t side = 1u << order;
+  std::uint32_t px = 0, py = 0;
+  for (HilbertD d = 0; d < static_cast<HilbertD>(side) * side; ++d) {
+    std::uint32_t x = 0, y = 0;
+    hilbert_d_to_xy(order, d, x, y);
+    if (d > 0) {
+      std::uint32_t manhattan = (x > px ? x - px : px - x) + (y > py ? y - py : py - y);
+      EXPECT_EQ(manhattan, 1u) << "gap at d=" << d;
+    }
+    px = x;
+    py = y;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, HilbertOrder, ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(Hilbert, Order1MatchesFigure4) {
+  // Order 1: the U through (0,0) (0,1) (1,1) (1,0).
+  EXPECT_EQ(hilbert_xy_to_d(1, 0, 0), 0u);
+  EXPECT_EQ(hilbert_xy_to_d(1, 0, 1), 1u);
+  EXPECT_EQ(hilbert_xy_to_d(1, 1, 1), 2u);
+  EXPECT_EQ(hilbert_xy_to_d(1, 1, 0), 3u);
+}
+
+TEST(Hilbert, HighOrderRoundTrip) {
+  util::Rng rng(4);
+  for (int order : {10, 16, 24, 31}) {
+    for (int trial = 0; trial < 200; ++trial) {
+      auto x = static_cast<std::uint32_t>(rng.next_below(1u << order));
+      auto y = static_cast<std::uint32_t>(rng.next_below(1u << order));
+      HilbertD d = hilbert_xy_to_d(order, x, y);
+      std::uint32_t rx = 0, ry = 0;
+      hilbert_d_to_xy(order, d, rx, ry);
+      EXPECT_EQ(rx, x);
+      EXPECT_EQ(ry, y);
+    }
+  }
+}
+
+TEST(HilbertGrid, PointMapping) {
+  HilbertGrid grid(BoundingBox{0, 0, 1, 1}, 4);
+  EXPECT_EQ(grid.cells_per_side(), 16u);
+  // Corner points map to valid cells; the cell box contains the point.
+  for (const GeoPoint& p : {GeoPoint{0.01, 0.01, 0}, GeoPoint{0.99, 0.99, 0},
+                            GeoPoint{0.5, 0.25, 0}}) {
+    HilbertD d = grid.point_to_d(p);
+    EXPECT_TRUE(grid.cell_box(d).contains(p)) << p.to_string();
+  }
+  // Out-of-domain points clamp, not crash.
+  (void)grid.point_to_d(GeoPoint{-5, 99, 0});
+}
+
+TEST(HilbertGrid, DecomposeFullDomainIsOneInterval) {
+  HilbertGrid grid(BoundingBox{0, 0, 1, 1}, 5);
+  auto intervals = grid.decompose(BoundingBox{-1, -1, 2, 2});
+  ASSERT_EQ(intervals.size(), 1u);
+  EXPECT_EQ(intervals[0].lo, 0u);
+  EXPECT_EQ(intervals[0].hi, 32u * 32 - 1);
+}
+
+TEST(HilbertGrid, DecomposeDisjointFromDomainIsEmpty) {
+  HilbertGrid grid(BoundingBox{0, 0, 1, 1}, 5);
+  EXPECT_TRUE(grid.decompose(BoundingBox{5, 5, 6, 6}).empty());
+}
+
+TEST(HilbertGrid, DecomposeMatchesBruteForce) {
+  // Property: the union of decomposed intervals equals exactly the set
+  // of cells whose box intersects the query.
+  util::Rng rng(77);
+  HilbertGrid grid(BoundingBox{0, 0, 1, 1}, 6);
+  std::uint32_t side = grid.cells_per_side();
+  for (int trial = 0; trial < 60; ++trial) {
+    double lat0 = rng.next_double(0, 1), lat1 = rng.next_double(0, 1);
+    double lon0 = rng.next_double(0, 1), lon1 = rng.next_double(0, 1);
+    BoundingBox query{std::min(lat0, lat1), std::min(lon0, lon1), std::max(lat0, lat1),
+                      std::max(lon0, lon1)};
+    auto intervals = grid.decompose(query);
+
+    // Intervals must be sorted, merged and non-overlapping.
+    for (std::size_t i = 0; i + 1 < intervals.size(); ++i)
+      EXPECT_GT(intervals[i + 1].lo, intervals[i].hi + 1);
+
+    std::set<HilbertD> covered;
+    for (const auto& interval : intervals)
+      for (HilbertD d = interval.lo; d <= interval.hi; ++d) covered.insert(d);
+
+    std::set<HilbertD> expected;
+    for (std::uint32_t y = 0; y < side; ++y) {
+      for (std::uint32_t x = 0; x < side; ++x) {
+        HilbertD d = hilbert_xy_to_d(6, x, y);
+        if (grid.cell_box(d).intersects(query)) expected.insert(d);
+      }
+    }
+    EXPECT_EQ(covered, expected) << "query " << query.to_string();
+  }
+}
+
+TEST(HilbertGrid, DecompositionIsCompact) {
+  // For a square k x k query the number of intervals grows like the
+  // perimeter, not the area — that is what makes lookups logarithmic.
+  HilbertGrid grid(BoundingBox{0, 0, 1, 1}, 8);  // 256 x 256 cells
+  BoundingBox query{0.3, 0.3, 0.7, 0.7};          // ~102 x 102 cells = ~10400 cells
+  auto intervals = grid.decompose(query);
+  std::uint64_t cells = 0;
+  for (const auto& interval : intervals) cells += interval.hi - interval.lo + 1;
+  EXPECT_GT(cells, 10000u);
+  EXPECT_LT(intervals.size(), 200u);  // far fewer intervals than cells
+}
+
+TEST(HilbertAscii, RendersFigure4Shapes) {
+  std::string order1 = render_hilbert_ascii(1);
+  // Order 1: a 3x3 canvas with 4 cells and 3 connectors.
+  EXPECT_EQ(order1, "*-*\n| |\n* *\n");
+  std::string order2 = render_hilbert_ascii(2);
+  EXPECT_EQ(std::count(order2.begin(), order2.end(), '*'), 16);
+  std::string order3 = render_hilbert_ascii(3);
+  EXPECT_EQ(std::count(order3.begin(), order3.end(), '*'), 64);
+}
+
+TEST(HilbertLocality, GapGrowsLikeSideNotArea) {
+  // Mean curve-distance gap between adjacent cells grows roughly with
+  // the grid side (2^n), far below the worst case of ~4^n/2. This is
+  // the locality property Figure 4 illustrates.
+  for (int order : {3, 4, 6, 8}) {
+    double gap = hilbert_adjacency_gap(order);
+    double side = static_cast<double>(1u << order);
+    EXPECT_GT(gap, 1.0);
+    EXPECT_LT(gap, 4.0 * side) << "order " << order;
+  }
+  // And it beats row-major order, whose horizontal-adjacency gap is 1
+  // but vertical gap is the full side; compare against the symmetric
+  // worst case instead: gap must shrink relative to total cells.
+  double g4 = hilbert_adjacency_gap(4) / static_cast<double>(1u << 8);
+  double g8 = hilbert_adjacency_gap(8) / static_cast<double>(1u << 16);
+  EXPECT_LT(g8, g4);
+}
+
+}  // namespace
+}  // namespace sns::geo

@@ -1,0 +1,190 @@
+// Tests for the spatial indexes (§3.2): all implementations must agree
+// with the naive oracle on arbitrary workloads.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "geo/hilbert_index.hpp"
+#include "geo/naive_index.hpp"
+#include "geo/quadtree.hpp"
+#include "geo/rtree.hpp"
+#include "util/rng.hpp"
+
+namespace sns::geo {
+namespace {
+
+const BoundingBox kDomain{0, 0, 10, 10};
+
+std::unique_ptr<SpatialIndex> make_index(const std::string& kind) {
+  if (kind == "naive") return std::make_unique<NaiveIndex>();
+  if (kind == "hilbert") return std::make_unique<HilbertIndex>(kDomain, 8);
+  if (kind == "rtree") return std::make_unique<RTree>();
+  return std::make_unique<Quadtree>(kDomain);
+}
+
+std::vector<EntryId> sorted(std::vector<EntryId> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+class IndexKindTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(IndexKindTest, EmptyIndexReturnsNothing) {
+  auto index = make_index(GetParam());
+  EXPECT_TRUE(index->query(kDomain).empty());
+  EXPECT_EQ(index->size(), 0u);
+  EXPECT_FALSE(index->remove(42));
+}
+
+TEST_P(IndexKindTest, SingleInsertFindable) {
+  auto index = make_index(GetParam());
+  index->insert(1, GeoPoint{5, 5, 0});
+  EXPECT_EQ(index->size(), 1u);
+  EXPECT_EQ(index->query(BoundingBox{4, 4, 6, 6}), std::vector<EntryId>{1});
+  EXPECT_TRUE(index->query(BoundingBox{0, 0, 1, 1}).empty());
+}
+
+TEST_P(IndexKindTest, BoundaryPointsIncluded) {
+  auto index = make_index(GetParam());
+  index->insert(1, GeoPoint{2, 2, 0});
+  // Query whose edge passes exactly through the point.
+  EXPECT_EQ(index->query(BoundingBox{2, 2, 3, 3}).size(), 1u);
+  EXPECT_EQ(index->query(BoundingBox{1, 1, 2, 2}).size(), 1u);
+}
+
+TEST_P(IndexKindTest, RemoveWorks) {
+  auto index = make_index(GetParam());
+  index->insert(1, GeoPoint{1, 1, 0});
+  index->insert(2, GeoPoint{2, 2, 0});
+  index->insert(3, GeoPoint{3, 3, 0});
+  EXPECT_TRUE(index->remove(2));
+  EXPECT_FALSE(index->remove(2));
+  EXPECT_EQ(index->size(), 2u);
+  auto result = sorted(index->query(kDomain));
+  EXPECT_EQ(result, (std::vector<EntryId>{1, 3}));
+}
+
+TEST_P(IndexKindTest, AgreesWithNaiveOnUniformWorkload) {
+  util::Rng rng(101);
+  auto index = make_index(GetParam());
+  NaiveIndex oracle;
+  for (EntryId id = 0; id < 500; ++id) {
+    GeoPoint p{rng.next_double(0, 10), rng.next_double(0, 10), 0};
+    index->insert(id, p);
+    oracle.insert(id, p);
+  }
+  for (int trial = 0; trial < 50; ++trial) {
+    double lat = rng.next_double(0, 9), lon = rng.next_double(0, 9);
+    double h = rng.next_double(0.01, 3), w = rng.next_double(0.01, 3);
+    BoundingBox query{lat, lon, lat + h, lon + w};
+    EXPECT_EQ(sorted(index->query(query)), sorted(oracle.query(query)))
+        << GetParam() << " query " << query.to_string();
+  }
+}
+
+TEST_P(IndexKindTest, AgreesWithNaiveOnClusteredWorkload) {
+  // The paper notes R-trees may win on sparse/clustered data; whatever
+  // the performance, results must stay identical.
+  util::Rng rng(202);
+  auto index = make_index(GetParam());
+  NaiveIndex oracle;
+  EntryId id = 0;
+  for (int cluster = 0; cluster < 10; ++cluster) {
+    GeoPoint center{rng.next_double(1, 9), rng.next_double(1, 9), 0};
+    for (int i = 0; i < 60; ++i) {
+      GeoPoint p{center.latitude + rng.next_gaussian(0, 0.05),
+                 center.longitude + rng.next_gaussian(0, 0.05), 0};
+      p.latitude = std::clamp(p.latitude, 0.0, 10.0);
+      p.longitude = std::clamp(p.longitude, 0.0, 10.0);
+      index->insert(id, p);
+      oracle.insert(id, p);
+      ++id;
+    }
+  }
+  for (int trial = 0; trial < 50; ++trial) {
+    double lat = rng.next_double(0, 9), lon = rng.next_double(0, 9);
+    BoundingBox query{lat, lon, lat + rng.next_double(0.05, 2), lon + rng.next_double(0.05, 2)};
+    EXPECT_EQ(sorted(index->query(query)), sorted(oracle.query(query))) << GetParam();
+  }
+}
+
+TEST_P(IndexKindTest, AgreesAfterChurn) {
+  // Interleaved inserts and removes (devices moving, §4.1).
+  util::Rng rng(303);
+  auto index = make_index(GetParam());
+  NaiveIndex oracle;
+  std::vector<EntryId> alive;
+  EntryId next = 0;
+  for (int step = 0; step < 800; ++step) {
+    if (alive.empty() || rng.chance(0.7)) {
+      GeoPoint p{rng.next_double(0, 10), rng.next_double(0, 10), 0};
+      index->insert(next, p);
+      oracle.insert(next, p);
+      alive.push_back(next);
+      ++next;
+    } else {
+      std::size_t pick = rng.next_below(alive.size());
+      EntryId victim = alive[pick];
+      alive.erase(alive.begin() + static_cast<std::ptrdiff_t>(pick));
+      EXPECT_TRUE(index->remove(victim)) << GetParam();
+      oracle.remove(victim);
+    }
+  }
+  EXPECT_EQ(index->size(), oracle.size());
+  for (int trial = 0; trial < 25; ++trial) {
+    double lat = rng.next_double(0, 8), lon = rng.next_double(0, 8);
+    BoundingBox query{lat, lon, lat + 2, lon + 2};
+    EXPECT_EQ(sorted(index->query(query)), sorted(oracle.query(query))) << GetParam();
+  }
+}
+
+TEST_P(IndexKindTest, PointQueryFindsExactPoint) {
+  auto index = make_index(GetParam());
+  GeoPoint p{3.14159, 2.71828, 0};
+  index->insert(9, p);
+  BoundingBox point_query{p.latitude, p.longitude, p.latitude, p.longitude};
+  EXPECT_EQ(index->query(point_query), std::vector<EntryId>{9});
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, IndexKindTest,
+                         ::testing::Values("naive", "hilbert", "rtree", "quadtree"),
+                         [](const ::testing::TestParamInfo<std::string>& param_info) {
+                           return param_info.param;
+                         });
+
+TEST(RTreeSpecific, HeightGrowsLogarithmically) {
+  RTree tree;
+  util::Rng rng(7);
+  for (EntryId id = 0; id < 1000; ++id)
+    tree.insert(id, GeoPoint{rng.next_double(0, 10), rng.next_double(0, 10), 0});
+  EXPECT_GE(tree.height(), 3);
+  EXPECT_LE(tree.height(), 8);  // log_4(1000) ~ 5
+}
+
+TEST(RTreeSpecific, BoxEntriesSupported) {
+  RTree tree;
+  tree.insert_box(1, BoundingBox{0, 0, 2, 2});
+  tree.insert_box(2, BoundingBox{5, 5, 7, 7});
+  // A query overlapping only the edge of box 1.
+  EXPECT_EQ(tree.query(BoundingBox{2, 2, 3, 3}), std::vector<EntryId>{1});
+  auto both = tree.query(BoundingBox{0, 0, 10, 10});
+  EXPECT_EQ(both.size(), 2u);
+}
+
+TEST(HilbertIndexSpecific, GridExposed) {
+  HilbertIndex index(kDomain, 6);
+  EXPECT_EQ(index.grid().order(), 6);
+  EXPECT_EQ(index.grid().cells_per_side(), 64u);
+}
+
+TEST(QuadtreeSpecific, DeepSplitStillCorrect) {
+  // Many coincident points force the depth cap path.
+  Quadtree tree(kDomain, 2, 6);
+  for (EntryId id = 0; id < 100; ++id) tree.insert(id, GeoPoint{5, 5, 0});
+  EXPECT_EQ(tree.size(), 100u);
+  EXPECT_EQ(tree.query(BoundingBox{4.9, 4.9, 5.1, 5.1}).size(), 100u);
+}
+
+}  // namespace
+}  // namespace sns::geo

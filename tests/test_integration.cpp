@@ -1,0 +1,231 @@
+// End-to-end integration tests over the full deployed world: every
+// §-claim of the paper exercised through the real stack (wire messages
+// over the simulated network).
+#include <gtest/gtest.h>
+
+#include "core/deployment.hpp"
+#include "core/uri.hpp"
+#include "dns/dnssec.hpp"
+#include "resolver/browse.hpp"
+#include "server/mdns.hpp"
+
+namespace sns::core {
+namespace {
+
+using dns::name_of;
+using dns::Rcode;
+using dns::RRType;
+
+struct Fixture {
+  WhiteHouseWorld world = make_white_house_world(99);
+  SnsDeployment& d = *world.deployment;
+};
+
+TEST(Integration, Figure3LocalBluetoothResolution) {
+  // "a microphone in the Oval Office … can resolve the spatial name of
+  // a nearby speaker to its local Bluetooth Device Address."
+  Fixture f;
+  const Device* mic = f.world.oval_office->zone->find_device(f.world.mic);
+  ASSERT_NE(mic, nullptr);
+  auto stub = f.d.make_stub(mic->node, *f.world.oval_office);
+  auto result = stub.resolve("speaker", RRType::BDADDR);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().rcode, Rcode::NoError);
+  ASSERT_EQ(result.value().records.size(), 1u);
+  EXPECT_EQ(result.value().records[0].type, RRType::BDADDR);
+  // LAN-local: well under a millisecond of virtual time.
+  EXPECT_LT(result.value().latency, net::ms(5));
+}
+
+TEST(Integration, Figure3RemoteCameraGetsGlobalAAAA) {
+  // "a camera installed in the 10 Downing Street cabinet room … gets
+  // the globally resolvable AAAA record corresponding to the display."
+  Fixture f;
+  const Device* camera = f.world.cabinet_room->zone->find_device(f.world.camera);
+  ASSERT_NE(camera, nullptr);
+  auto iterative = f.d.make_iterative(camera->node);
+  auto result = iterative.resolve(f.world.display, RRType::AAAA);
+  ASSERT_TRUE(result.ok()) << result.error().message;
+  EXPECT_EQ(result.value().rcode, Rcode::NoError);
+  ASSERT_FALSE(result.value().records.empty());
+  EXPECT_EQ(result.value().records[0].type, RRType::AAAA);
+  // And it cannot see the display's local Bluetooth address.
+  auto bd = iterative.resolve(f.world.display, RRType::BDADDR);
+  ASSERT_TRUE(bd.ok());
+  EXPECT_TRUE(bd.value().records.empty());
+}
+
+TEST(Integration, SpatialSearchListMatchesPaperExample) {
+  // §2.1: clients just need to know their relative location; resolvers
+  // append the global location.
+  Fixture f;
+  net::NodeId tablet = f.d.add_client("tablet", *f.world.oval_office, true);
+  auto stub = f.d.make_stub(tablet, *f.world.oval_office);
+  auto result = stub.resolve("mic", RRType::ANY);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().effective_name,
+            name_of("mic.oval-office.1600.penn-ave.washington.dc.usa.loc"));
+}
+
+TEST(Integration, DnssecSignedSpatialAnswers) {
+  // §4.1: "DNSSEC operates as usual, which enables us to have
+  // authenticated answers to spatial queries."
+  Fixture f;
+  dns::ZoneKey key{f.world.oval_office->zone->domain(), {7, 7, 7, 7}};
+  f.world.oval_office->server->set_zone_key(
+      key, [&f] { return f.d.seconds_now(); });
+
+  net::NodeId client = f.d.add_client("validator", *f.world.oval_office, true);
+  auto stub = f.d.make_stub(client, *f.world.oval_office);
+  auto result = stub.resolve(f.world.speaker, RRType::BDADDR);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.value().records.size(), 2u);  // BDADDR + RRSIG
+  EXPECT_EQ(result.value().records[1].type, RRType::RRSIG);
+
+  dns::RRset answer{result.value().records[0]};
+  const auto& sig = std::get<dns::RrsigData>(result.value().records[1].rdata);
+  EXPECT_TRUE(dns::verify_rrsig(answer, sig, key, f.d.seconds_now()).ok());
+
+  // A forged record fails validation.
+  dns::RRset forged = answer;
+  std::get<dns::BdaddrData>(forged[0].rdata).address.octets[0] ^= 0xff;
+  EXPECT_FALSE(dns::verify_rrsig(forged, sig, key, f.d.seconds_now()).ok());
+}
+
+TEST(Integration, SshfpKeyProvisioning) {
+  // §4.1: "securely provision public keys with the SNS using SSHFP
+  // records … even their public keys can be replaced through the naming
+  // system."
+  Fixture f;
+  dns::SshfpData fingerprint{4, 2, {0xaa, 0xbb, 0xcc}};
+  ASSERT_TRUE(f.world.oval_office->zone->local_zone()
+                  ->add(dns::ResourceRecord{f.world.display, RRType::SSHFP, dns::RRClass::IN,
+                                            300, fingerprint})
+                  .ok());
+  net::NodeId client = f.d.add_client("ssh-client", *f.world.oval_office, true);
+  auto stub = f.d.make_stub(client, *f.world.oval_office);
+  auto result = stub.resolve(f.world.display, RRType::SSHFP);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.value().records.size(), 1u);
+  EXPECT_EQ(std::get<dns::SshfpData>(result.value().records[0].rdata), fingerprint);
+}
+
+TEST(Integration, OfflineEdgeKeepsLocalResolutionWorking) {
+  // §4.2: "ensuring continued functionality for local devices even in
+  // the face of … disconnection from the wider internet."
+  Fixture f;
+  net::NodeId client = f.d.add_client("local", *f.world.oval_office, true);
+  auto stub = f.d.make_stub(client, *f.world.oval_office);
+
+  // Cut the White House off from its uplink (1600 <-> penn-ave).
+  f.d.network().set_link_down(f.world.oval_office->ns_node, f.world.white_house->ns_node,
+                              false);  // keep room<->building
+  f.d.network().set_link_down(f.world.white_house->ns_node, f.world.penn_ave->ns_node, true);
+
+  auto local = stub.resolve(f.world.speaker, RRType::BDADDR);
+  ASSERT_TRUE(local.ok()) << local.error().message;
+  EXPECT_EQ(local.value().rcode, Rcode::NoError);
+
+  // Meanwhile a remote iterative resolution into the White House fails.
+  net::NodeId remote = f.d.add_client("remote", *f.world.cabinet_room, false);
+  auto iterative = f.d.make_iterative(remote);
+  auto blocked = iterative.resolve(f.world.display, RRType::AAAA);
+  EXPECT_FALSE(blocked.ok());
+
+  // Restore and the world heals.
+  f.d.network().set_link_down(f.world.white_house->ns_node, f.world.penn_ave->ns_node, false);
+  auto healed = iterative.resolve(f.world.display, RRType::AAAA);
+  ASSERT_TRUE(healed.ok());
+  EXPECT_EQ(healed.value().rcode, Rcode::NoError);
+}
+
+TEST(Integration, SpatialDnsSdDiscovery) {
+  // §4.1: "DNS-SD augmented with spatial information makes service
+  // discovery … about finding it in the spatial environment."
+  Fixture f;
+  server::ServiceInstance service;
+  service.instance = "Oval Speaker";
+  service.service_type = "_audio._udp";
+  service.domain = f.world.oval_office->zone->domain();
+  service.host = f.world.speaker;
+  service.port = 5600;
+  service.txt = {"codec=opus"};
+  ASSERT_TRUE(
+      server::publish_service(*f.world.oval_office->zone->local_zone(), service).ok());
+
+  net::NodeId client = f.d.add_client("browser", *f.world.oval_office, true);
+  auto stub = f.d.make_stub(client, *f.world.oval_office);
+  auto browsed = resolver::browse_unicast(stub, "_audio._udp",
+                                          f.world.oval_office->zone->domain());
+  ASSERT_TRUE(browsed.ok());
+  ASSERT_EQ(browsed.value().services.size(), 1u);
+  EXPECT_EQ(browsed.value().services[0].host, f.world.speaker);
+
+  // The service is spatial: browsing the Cabinet Room finds nothing.
+  net::NodeId remote = f.d.add_client("remote-browser", *f.world.cabinet_room, true);
+  auto remote_stub = f.d.make_stub(remote, *f.world.cabinet_room);
+  auto empty = resolver::browse_unicast(remote_stub, "_audio._udp",
+                                        f.world.cabinet_room->zone->domain());
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty.value().services.empty());
+}
+
+TEST(Integration, UriNamingEndToEnd) {
+  // §2.1: capnp://mic.oval-office.…/secret resolves through the SNS.
+  Fixture f;
+  auto uri = SnsUri::parse("capnp://" + f.world.speaker.to_string() + "/control");
+  ASSERT_TRUE(uri.ok());
+  EXPECT_TRUE(uri.value().is_spatial(loc_root()));
+  net::NodeId client = f.d.add_client("app", *f.world.oval_office, true);
+  auto stub = f.d.make_stub(client, *f.world.oval_office);
+  auto result = stub.resolve(uri.value().authority, RRType::BDADDR);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().rcode, Rcode::NoError);
+}
+
+TEST(Integration, EdgeLatencyIsMillisecondScale) {
+  // §1/§4.2: AR needs ms-scale lookups; the edge nameserver delivers.
+  Fixture f;
+  net::NodeId headset = f.d.add_client("headset", *f.world.oval_office, true);
+  auto stub = f.d.make_stub(headset, *f.world.oval_office);
+  resolver::DnsCache cache;
+  stub.set_cache(&cache);
+  net::Duration worst{0};
+  for (int i = 0; i < 20; ++i) {
+    auto result = stub.resolve(f.world.display, RRType::A);
+    ASSERT_TRUE(result.ok());
+    worst = std::max(worst, result.value().latency);
+  }
+  EXPECT_LT(worst, net::ms(5));
+}
+
+TEST(Integration, ZoneTransferToSecondary) {
+  // Edge servers can replicate their zone to a secondary (resilience).
+  Fixture f;
+  auto primary = f.world.oval_office->zone->local_zone();
+  server::Zone secondary(primary->apex(), name_of("ns2.oval-office.loc"));
+  ASSERT_TRUE(secondary.load(primary->all_records()).ok());
+  EXPECT_EQ(secondary.record_count(), primary->record_count());
+  EXPECT_EQ(secondary.serial(), primary->serial());
+  auto lookup = secondary.lookup(f.world.speaker, RRType::BDADDR);
+  EXPECT_EQ(lookup.kind, server::Zone::Lookup::Kind::Success);
+}
+
+TEST(Integration, WholeWorldIsDeterministic) {
+  auto run = [](std::uint64_t seed) {
+    auto world = make_white_house_world(seed);
+    auto& d = *world.deployment;
+    net::NodeId client = d.add_client("c", *world.oval_office, true);
+    auto stub = d.make_stub(client, *world.oval_office);
+    std::vector<std::int64_t> latencies;
+    for (int i = 0; i < 10; ++i) {
+      auto result = stub.resolve(world.speaker, RRType::BDADDR);
+      latencies.push_back(result.ok() ? result.value().latency.count() : -1);
+    }
+    return latencies;
+  };
+  EXPECT_EQ(run(5), run(5));
+}
+
+}  // namespace
+}  // namespace sns::core

@@ -1,0 +1,128 @@
+// Tests for RFC 1876 LOC record encoding (§3.2's geodetic encoding).
+#include <gtest/gtest.h>
+
+#include "dns/loc.hpp"
+#include "util/rng.hpp"
+
+namespace sns::dns {
+namespace {
+
+TEST(LocSize, EncodesMantissaExponent) {
+  // 1 m = 100 cm = 1e2 -> mantissa 1, exponent 2.
+  EXPECT_EQ(encode_loc_size(1.0), 0x12);
+  // 10 km = 1e6 cm.
+  EXPECT_EQ(encode_loc_size(10000.0), 0x16);
+  // 10 m = 1e3 cm.
+  EXPECT_EQ(encode_loc_size(10.0), 0x13);
+  EXPECT_DOUBLE_EQ(decode_loc_size(0x12), 1.0);
+  EXPECT_DOUBLE_EQ(decode_loc_size(0x16), 10000.0);
+}
+
+TEST(LocSize, RoundTripIsIdempotent) {
+  // encode(decode(x)) == x for all valid encodings.
+  for (int mantissa = 1; mantissa <= 9; ++mantissa) {
+    for (int exponent = 0; exponent <= 9; ++exponent) {
+      auto encoded = static_cast<std::uint8_t>((mantissa << 4) | exponent);
+      EXPECT_EQ(encode_loc_size(decode_loc_size(encoded)), encoded);
+    }
+  }
+}
+
+TEST(Loc, WhiteHouseCoordinates) {
+  // The paper's example: 38.8974 N, 77.0374 W.
+  auto loc = LocData::from_degrees(38.8974, -77.0374, 15.0);
+  ASSERT_TRUE(loc.ok());
+  EXPECT_NEAR(loc.value().latitude_degrees(), 38.8974, 1e-6);
+  EXPECT_NEAR(loc.value().longitude_degrees(), -77.0374, 1e-6);
+  EXPECT_NEAR(loc.value().altitude_meters(), 15.0, 0.01);
+  std::string text = loc.value().to_string();
+  EXPECT_NE(text.find("N"), std::string::npos);
+  EXPECT_NE(text.find("W"), std::string::npos);
+}
+
+TEST(Loc, EquatorAndMeridianAreOffsets) {
+  auto loc = LocData::from_degrees(0.0, 0.0, 0.0);
+  ASSERT_TRUE(loc.ok());
+  EXPECT_EQ(loc.value().latitude, 1u << 31);
+  EXPECT_EQ(loc.value().longitude, 1u << 31);
+  EXPECT_EQ(loc.value().altitude, 10000000u);  // -100km reference
+}
+
+TEST(Loc, RangeChecks) {
+  EXPECT_FALSE(LocData::from_degrees(90.1, 0, 0).ok());
+  EXPECT_FALSE(LocData::from_degrees(-90.1, 0, 0).ok());
+  EXPECT_FALSE(LocData::from_degrees(0, 180.1, 0).ok());
+  EXPECT_FALSE(LocData::from_degrees(0, 0, -100001).ok());
+  EXPECT_TRUE(LocData::from_degrees(90, 180, 0).ok());
+  EXPECT_TRUE(LocData::from_degrees(-90, -180, -100000).ok());
+}
+
+TEST(Loc, WireRoundTrip) {
+  auto loc = LocData::from_degrees(51.5034, -0.1276, 6.0, 2.0, 100.0, 5.0);
+  ASSERT_TRUE(loc.ok());
+  util::ByteWriter w;
+  loc.value().encode(w);
+  EXPECT_EQ(w.size(), 16u);  // RFC 1876 fixed size
+  util::ByteReader r{std::span(w.data())};
+  auto decoded = LocData::decode(r);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value(), loc.value());
+}
+
+TEST(Loc, DecodeRejectsBadVersion) {
+  util::ByteWriter w;
+  LocData loc;
+  loc.encode(w);
+  auto wire = w.data();
+  wire[0] = 1;  // version 1 unknown
+  util::ByteReader r{std::span(wire)};
+  EXPECT_FALSE(LocData::decode(r).ok());
+}
+
+TEST(Loc, PresentationParse) {
+  std::vector<std::string> tokens{"38", "53", "50.616", "N", "77",   "2",
+                                  "14.64", "W", "15.00m", "1m", "10000m", "10m"};
+  auto loc = LocData::parse(tokens);
+  ASSERT_TRUE(loc.ok()) << loc.error().message;
+  EXPECT_NEAR(loc.value().latitude_degrees(), 38.8974, 1e-4);
+  EXPECT_NEAR(loc.value().longitude_degrees(), -77.0374, 1e-4);
+}
+
+TEST(Loc, PresentationParseDegreesOnly) {
+  std::vector<std::string> tokens{"52", "N", "0", "E", "20m"};
+  auto loc = LocData::parse(tokens);
+  ASSERT_TRUE(loc.ok()) << loc.error().message;
+  EXPECT_NEAR(loc.value().latitude_degrees(), 52.0, 1e-6);
+  EXPECT_NEAR(loc.value().altitude_meters(), 20.0, 0.01);
+}
+
+TEST(Loc, PresentationParseRejectsGarbage) {
+  EXPECT_FALSE(LocData::parse(std::vector<std::string>{"x", "N"}).ok());
+  EXPECT_FALSE(LocData::parse(std::vector<std::string>{"38"}).ok());
+  EXPECT_FALSE(LocData::parse(std::vector<std::string>{"38", "Q", "0", "E"}).ok());
+}
+
+TEST(Loc, RandomRoundTripProperty) {
+  util::Rng rng(31337);
+  for (int trial = 0; trial < 500; ++trial) {
+    double lat = rng.next_double(-90.0, 90.0);
+    double lon = rng.next_double(-180.0, 180.0);
+    double alt = rng.next_double(-100.0, 8000.0);
+    auto loc = LocData::from_degrees(lat, lon, alt);
+    ASSERT_TRUE(loc.ok());
+    // Wire round-trip is exact.
+    util::ByteWriter w;
+    loc.value().encode(w);
+    util::ByteReader r{std::span(w.data())};
+    auto decoded = LocData::decode(r);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded.value(), loc.value());
+    // Degree conversion is within the format's resolution (1/3600000 deg).
+    EXPECT_NEAR(decoded.value().latitude_degrees(), lat, 1e-6);
+    EXPECT_NEAR(decoded.value().longitude_degrees(), lon, 1e-6);
+    EXPECT_NEAR(decoded.value().altitude_meters(), alt, 0.01);
+  }
+}
+
+}  // namespace
+}  // namespace sns::dns

@@ -1,0 +1,159 @@
+// Tests for the master-file (zone file) parser, including spatial zones
+// with SNS extended types.
+#include <gtest/gtest.h>
+
+#include "dns/master.hpp"
+
+namespace sns::dns {
+namespace {
+
+const Name kOrigin = name_of("oval-office.1600.penn-ave.washington.dc.usa.loc");
+
+TEST(Master, PaperExampleZone) {
+  const char* text = R"(
+$ORIGIN oval-office.1600.penn-ave.washington.dc.usa.loc.
+$TTL 300
+@        IN SOA  ns hostmaster 1 3600 600 86400 60
+@        IN NS   ns
+ns       IN A    10.0.0.5
+mic      IN BDADDR 01:23:45:67:89:ab
+mic      IN WIFI "wh-iot" 192.0.3.10
+speaker  IN BDADDR 0a:1b:2c:3d:4e:5f
+speaker  IN DTMF 421#
+display  IN AAAA 2001:db8:0:1::12
+display  IN LOC  38 53 50.4 N 77 2 14.4 W 18.5m
+)";
+  auto records = parse_master_file(text, Name{});
+  ASSERT_TRUE(records.ok()) << records.error().message;
+  ASSERT_EQ(records.value().size(), 9u);
+
+  const auto& soa = records.value()[0];
+  EXPECT_EQ(soa.type, RRType::SOA);
+  EXPECT_EQ(soa.name, kOrigin);
+  EXPECT_EQ(std::get<SoaData>(soa.rdata).mname, name_of("ns." + kOrigin.to_string()));
+
+  const auto& mic_bd = records.value()[3];
+  EXPECT_EQ(mic_bd.type, RRType::BDADDR);
+  EXPECT_EQ(mic_bd.ttl, 300u);
+  EXPECT_EQ(mic_bd.name, name_of("mic." + kOrigin.to_string()));
+  EXPECT_EQ(std::get<BdaddrData>(mic_bd.rdata).address.to_string(), "01:23:45:67:89:ab");
+
+  const auto& wifi = records.value()[4];
+  EXPECT_EQ(std::get<WifiData>(wifi.rdata).ssid, "wh-iot");
+}
+
+TEST(Master, TtlAndClassOrderFlexible) {
+  auto a = parse_master_file("host 600 IN A 1.2.3.4", kOrigin);
+  auto b = parse_master_file("host IN 600 A 1.2.3.4", kOrigin);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a.value()[0], b.value()[0]);
+  EXPECT_EQ(a.value()[0].ttl, 600u);
+}
+
+TEST(Master, TtlUnits) {
+  auto records = parse_master_file("$TTL 2h\nhost IN A 1.2.3.4", kOrigin);
+  ASSERT_TRUE(records.ok());
+  EXPECT_EQ(records.value()[0].ttl, 7200u);
+  auto weeks = parse_master_file("host 1w IN A 1.2.3.4", kOrigin);
+  ASSERT_TRUE(weeks.ok());
+  EXPECT_EQ(weeks.value()[0].ttl, 604800u);
+}
+
+TEST(Master, OmittedOwnerRepeatsPrevious) {
+  const char* text =
+      "mic IN BDADDR 01:23:45:67:89:ab\n"
+      "    IN A 192.0.3.10\n";
+  auto records = parse_master_file(text, kOrigin);
+  ASSERT_TRUE(records.ok()) << records.error().message;
+  ASSERT_EQ(records.value().size(), 2u);
+  EXPECT_EQ(records.value()[0].name, records.value()[1].name);
+}
+
+TEST(Master, FirstRecordCannotOmitOwner) {
+  EXPECT_FALSE(parse_master_file("  IN A 1.2.3.4", kOrigin).ok());
+}
+
+TEST(Master, ParenthesesContinuation) {
+  const char* text = R"(
+@ IN SOA ns.example.com. hostmaster.example.com. (
+        42      ; serial
+        3600    ; refresh
+        600     ; retry
+        86400   ; expire
+        60 )    ; minimum
+)";
+  auto records = parse_master_file(text, kOrigin);
+  ASSERT_TRUE(records.ok()) << records.error().message;
+  ASSERT_EQ(records.value().size(), 1u);
+  EXPECT_EQ(std::get<SoaData>(records.value()[0].rdata).serial, 42u);
+  EXPECT_EQ(std::get<SoaData>(records.value()[0].rdata).minimum, 60u);
+}
+
+TEST(Master, UnbalancedParenthesesRejected) {
+  EXPECT_FALSE(parse_master_file("@ IN SOA a. b. ( 1 2 3 4", kOrigin).ok());
+}
+
+TEST(Master, CommentsIgnored) {
+  auto records = parse_master_file("; just a comment\nhost IN A 1.2.3.4 ; trailing\n", kOrigin);
+  ASSERT_TRUE(records.ok());
+  EXPECT_EQ(records.value().size(), 1u);
+}
+
+TEST(Master, RelativeNamesInRdata) {
+  const char* text =
+      "$ORIGIN zone.loc.\n"
+      "www IN CNAME server\n"
+      "@   IN NS ns\n"
+      "@   IN MX 10 mail\n"
+      "srv IN SRV 0 0 80 web\n";
+  auto records = parse_master_file(text, Name{});
+  ASSERT_TRUE(records.ok()) << records.error().message;
+  EXPECT_EQ(std::get<CnameData>(records.value()[0].rdata).target, name_of("server.zone.loc"));
+  EXPECT_EQ(std::get<NsData>(records.value()[1].rdata).nameserver, name_of("ns.zone.loc"));
+  EXPECT_EQ(std::get<MxData>(records.value()[2].rdata).exchange, name_of("mail.zone.loc"));
+  EXPECT_EQ(std::get<SrvData>(records.value()[3].rdata).target, name_of("web.zone.loc"));
+}
+
+TEST(Master, AbsoluteNamesUntouched) {
+  auto records = parse_master_file("www IN CNAME other.example.com.", kOrigin);
+  ASSERT_TRUE(records.ok());
+  EXPECT_EQ(std::get<CnameData>(records.value()[0].rdata).target, name_of("other.example.com"));
+}
+
+TEST(Master, ErrorsCarryLineNumbers) {
+  auto bad = parse_master_file("host IN A 1.2.3.4\nbroken IN NOPE foo\n", kOrigin);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.error().message.find("line 2"), std::string::npos);
+}
+
+TEST(Master, MissingTypeRejected) {
+  EXPECT_FALSE(parse_master_file("host IN", kOrigin).ok());
+  EXPECT_FALSE(parse_master_file("host 300", kOrigin).ok());
+}
+
+TEST(Master, SerializeParseRoundTrip) {
+  const char* text = R"(
+$ORIGIN room.loc.
+$TTL 120
+@       IN SOA ns hostmaster 5 3600 600 86400 60
+mic     IN BDADDR 01:23:45:67:89:ab
+mic     IN WIFI "net" 192.0.3.1
+speaker IN DTMF 12#
+lamp    IN LORA gw.room.loc. 01ab23cd
+)";
+  auto records = parse_master_file(text, Name{});
+  ASSERT_TRUE(records.ok()) << records.error().message;
+  std::string serialized = to_master_file(std::span(records.value()));
+  auto reparsed = parse_master_file(serialized, Name{});
+  ASSERT_TRUE(reparsed.ok()) << reparsed.error().message << "\n" << serialized;
+  EXPECT_EQ(reparsed.value(), records.value());
+}
+
+TEST(Master, EmptyInputYieldsNoRecords) {
+  auto records = parse_master_file("\n\n; nothing\n", kOrigin);
+  ASSERT_TRUE(records.ok());
+  EXPECT_TRUE(records.value().empty());
+}
+
+}  // namespace
+}  // namespace sns::dns

@@ -1,0 +1,122 @@
+// Tests for DNS-SD publication and the two browse paths (§4.1, §1).
+#include <gtest/gtest.h>
+
+#include "core/deployment.hpp"
+#include "resolver/browse.hpp"
+#include "server/mdns.hpp"
+
+namespace sns::server {
+namespace {
+
+using dns::name_of;
+
+const Name kDomain = name_of("oval-office.loc");
+
+ServiceInstance speaker_service() {
+  ServiceInstance service;
+  service.instance = "Oval Office Speaker";
+  service.service_type = "_audio._udp";
+  service.domain = kDomain;
+  service.host = name_of("speaker.oval-office.loc");
+  service.port = 5600;
+  service.txt = {"codec=opus", "channels=2"};
+  return service;
+}
+
+TEST(DnsSd, NamesFollowConvention) {
+  auto service = speaker_service();
+  auto type_name = service_type_name(service);
+  ASSERT_TRUE(type_name.ok());
+  EXPECT_EQ(type_name.value(), name_of("_audio._udp.oval-office.loc"));
+  auto instance_name = service_instance_name(service);
+  ASSERT_TRUE(instance_name.ok());
+  EXPECT_EQ(instance_name.value(), name_of("oval-office-speaker._audio._udp.oval-office.loc"));
+}
+
+TEST(DnsSd, PublishWritesFourRecords) {
+  Zone zone(kDomain, name_of("ns.oval-office.loc"));
+  ASSERT_TRUE(publish_service(zone, speaker_service()).ok());
+  // Enumeration PTR.
+  EXPECT_NE(zone.find(name_of("_services._dns-sd._udp.oval-office.loc"), RRType::PTR), nullptr);
+  // Browse PTR.
+  const RRset* browse = zone.find(name_of("_audio._udp.oval-office.loc"), RRType::PTR);
+  ASSERT_NE(browse, nullptr);
+  // Instance SRV + TXT.
+  Name instance = name_of("oval-office-speaker._audio._udp.oval-office.loc");
+  const RRset* srv = zone.find(instance, RRType::SRV);
+  ASSERT_NE(srv, nullptr);
+  EXPECT_EQ(std::get<dns::SrvData>(srv->front().rdata).port, 5600);
+  EXPECT_NE(zone.find(instance, RRType::TXT), nullptr);
+}
+
+TEST(Browse, UnicastFindsServicesThroughEdgeServer) {
+  auto world = core::make_white_house_world(11);
+  auto& d = *world.deployment;
+  // Publish two services into the oval office's local zone.
+  auto service = speaker_service();
+  service.domain = world.oval_office->zone->domain();
+  service.host = world.speaker;
+  ASSERT_TRUE(publish_service(*world.oval_office->zone->local_zone(), service).ok());
+  ServiceInstance mic_service = service;
+  mic_service.instance = "Oval Office Mic";
+  mic_service.host = world.mic;
+  mic_service.port = 5700;
+  ASSERT_TRUE(publish_service(*world.oval_office->zone->local_zone(), mic_service).ok());
+
+  net::NodeId client = d.add_client("browser", *world.oval_office, true);
+  auto stub = d.make_stub(client, *world.oval_office);
+  auto result =
+      resolver::browse_unicast(stub, "_audio._udp", world.oval_office->zone->domain());
+  ASSERT_TRUE(result.ok()) << result.error().message;
+  ASSERT_EQ(result.value().services.size(), 2u);
+  EXPECT_GT(result.value().total_latency.count(), 0);
+  // Sub-10ms on the LAN — the SNS path is fast.
+  EXPECT_LT(result.value().total_latency, net::ms(10));
+  bool found_port = false;
+  for (const auto& s : result.value().services)
+    if (s.port == 5700) found_port = true;
+  EXPECT_TRUE(found_port);
+}
+
+TEST(Browse, MdnsMulticastIsSlowButFindsServices) {
+  net::Network network(5);
+  net::NodeId browser = network.add_node("browser");
+  net::NodeId device = network.add_node("device");
+  network.connect(browser, device, net::wireless_link(0.0));
+  network.join_group(kMdnsGroup, browser);
+
+  MdnsResponder responder(network, device);
+  responder.publish(speaker_service());
+
+  auto result = resolver::browse_mdns(network, browser, "_audio._udp", kDomain, net::ms(500));
+  ASSERT_EQ(result.services.size(), 1u);
+  EXPECT_EQ(result.services[0].port, 5600);
+  EXPECT_EQ(result.services[0].txt.size(), 2u);
+  // The layered path burns full listening windows: structurally slow
+  // (the §1 complaint). 500 + 250 + 250 ms of windows.
+  EXPECT_GE(result.total_latency, net::ms(1000));
+}
+
+TEST(Browse, MdnsSilentWhenNothingPublished) {
+  net::Network network(6);
+  net::NodeId browser = network.add_node("browser");
+  auto result = resolver::browse_mdns(network, browser, "_video._udp", kDomain, net::ms(200));
+  EXPECT_TRUE(result.services.empty());
+  EXPECT_GE(result.total_latency, net::ms(200));  // still waited the window
+}
+
+TEST(MdnsResponder, AnswersOnlyMatchingQuestions) {
+  net::Network network(7);
+  net::NodeId browser = network.add_node("browser");
+  net::NodeId device = network.add_node("device");
+  network.connect(browser, device, net::lan_link());
+  MdnsResponder responder(network, device);
+  responder.publish(speaker_service());
+
+  // Non-matching service type: silence (not NXDOMAIN) per mDNS custom.
+  auto miss = resolver::browse_mdns(network, browser, "_printer._tcp", kDomain, net::ms(300));
+  EXPECT_TRUE(miss.services.empty());
+}
+
+}  // namespace
+}  // namespace sns::server

@@ -1,0 +1,159 @@
+// Tests for dns::Message: full-message wire round-trips, flags,
+// compression across sections, hostile input.
+#include <gtest/gtest.h>
+
+#include "dns/message.hpp"
+#include "util/rng.hpp"
+
+namespace sns::dns {
+namespace {
+
+Message sample_response() {
+  Message query = make_query(0x1234, name_of("display.oval-office.loc"), RRType::ANY);
+  Message msg = make_response(query, Rcode::NoError, true);
+  msg.answers.push_back(make_a(name_of("display.oval-office.loc"),
+                               net::Ipv4Addr{{192, 0, 3, 12}}, 120));
+  msg.answers.push_back(make_aaaa(name_of("display.oval-office.loc"),
+                                  net::Ipv6Addr::parse("2001:db8::12").value(), 120));
+  msg.authorities.push_back(
+      make_ns(name_of("oval-office.loc"), name_of("ns.oval-office.loc"), 3600));
+  msg.additionals.push_back(make_a(name_of("ns.oval-office.loc"),
+                                   net::Ipv4Addr{{10, 0, 0, 5}}, 3600));
+  return msg;
+}
+
+TEST(Message, EncodeDecodeRoundTrip) {
+  Message msg = sample_response();
+  auto wire = msg.encode();
+  auto decoded = Message::decode(std::span(wire));
+  ASSERT_TRUE(decoded.ok()) << decoded.error().message;
+  EXPECT_EQ(decoded.value(), msg);
+}
+
+TEST(Message, HeaderFlagsRoundTrip) {
+  Message msg;
+  msg.header.id = 0xbeef;
+  msg.header.qr = true;
+  msg.header.opcode = Opcode::Update;
+  msg.header.aa = true;
+  msg.header.tc = true;
+  msg.header.rd = false;
+  msg.header.ra = true;
+  msg.header.ad = true;
+  msg.header.rcode = Rcode::NXRRSet;
+  auto wire = msg.encode();
+  auto decoded = Message::decode(std::span(wire));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().header, msg.header);
+}
+
+TEST(Message, CompressionShrinksMessages) {
+  Message msg = sample_response();
+  auto wire = msg.encode();
+  // Sum of uncompressed record sizes must exceed the compressed message.
+  std::size_t uncompressed = 12;  // header
+  for (const auto& q : msg.questions) uncompressed += q.name.wire_length() + 4;
+  auto record_size = [](const ResourceRecord& rr) {
+    util::ByteWriter w;
+    rr.encode(w, nullptr);
+    return w.size();
+  };
+  for (const auto& rr : msg.answers) uncompressed += record_size(rr);
+  for (const auto& rr : msg.authorities) uncompressed += record_size(rr);
+  for (const auto& rr : msg.additionals) uncompressed += record_size(rr);
+  EXPECT_LT(wire.size(), uncompressed);
+}
+
+TEST(Message, MakeQueryShape) {
+  Message q = make_query(7, name_of("mic.oval-office.loc"), RRType::BDADDR, false);
+  EXPECT_EQ(q.header.id, 7);
+  EXPECT_FALSE(q.header.qr);
+  EXPECT_FALSE(q.header.rd);
+  ASSERT_EQ(q.questions.size(), 1u);
+  EXPECT_EQ(q.questions[0].type, RRType::BDADDR);
+  EXPECT_TRUE(q.answers.empty());
+}
+
+TEST(Message, MakeResponseEchoesQuestion) {
+  Message q = make_query(9, name_of("a.loc"), RRType::A);
+  Message r = make_response(q, Rcode::NXDomain, true);
+  EXPECT_TRUE(r.header.qr);
+  EXPECT_TRUE(r.header.aa);
+  EXPECT_EQ(r.header.id, 9);
+  EXPECT_EQ(r.header.rcode, Rcode::NXDomain);
+  ASSERT_EQ(r.questions.size(), 1u);
+  EXPECT_EQ(r.questions[0], q.questions[0]);
+}
+
+TEST(Message, DecodeRejectsTruncatedHeader) {
+  std::vector<std::uint8_t> wire{0x12, 0x34, 0x00};
+  EXPECT_FALSE(Message::decode(std::span(wire)).ok());
+}
+
+TEST(Message, DecodeRejectsCountOverrun) {
+  // Header claims one question but the body is empty.
+  Message empty;
+  auto wire = empty.encode();
+  wire[5] = 1;  // qdcount = 1
+  EXPECT_FALSE(Message::decode(std::span(wire)).ok());
+}
+
+TEST(Message, DecodeTruncatedMidRecord) {
+  Message msg = sample_response();
+  auto wire = msg.encode();
+  for (std::size_t cut : {wire.size() - 1, wire.size() - 5, wire.size() / 2, std::size_t{13}}) {
+    std::vector<std::uint8_t> clipped(wire.begin(),
+                                      wire.begin() + static_cast<std::ptrdiff_t>(cut));
+    EXPECT_FALSE(Message::decode(std::span(clipped)).ok()) << "cut at " << cut;
+  }
+}
+
+TEST(Message, FuzzBitFlipsNeverCrash) {
+  Message msg = sample_response();
+  auto wire = msg.encode();
+  util::Rng rng(11);
+  for (int trial = 0; trial < 3000; ++trial) {
+    auto mutated = wire;
+    // Flip 1-4 random bytes.
+    auto flips = 1 + rng.next_below(4);
+    for (std::uint64_t f = 0; f < flips; ++f)
+      mutated[rng.next_below(mutated.size())] ^=
+          static_cast<std::uint8_t>(1 + rng.next_below(255));
+    (void)Message::decode(std::span(mutated));  // must not crash/hang
+  }
+}
+
+TEST(Message, FuzzRandomBuffersNeverCrash) {
+  util::Rng rng(13);
+  for (int trial = 0; trial < 3000; ++trial) {
+    std::vector<std::uint8_t> wire(rng.next_below(120));
+    for (auto& b : wire) b = static_cast<std::uint8_t>(rng.next_below(256));
+    (void)Message::decode(std::span(wire));
+  }
+}
+
+TEST(Message, ToStringMentionsSections) {
+  Message msg = sample_response();
+  std::string text = msg.to_string();
+  EXPECT_NE(text.find("question:"), std::string::npos);
+  EXPECT_NE(text.find("authority:"), std::string::npos);
+  EXPECT_NE(text.find("additional:"), std::string::npos);
+  EXPECT_NE(text.find("display.oval-office.loc"), std::string::npos);
+}
+
+TEST(Message, ExtendedTypesInsideMessages) {
+  Message query = make_query(1, name_of("speaker.oval-office.loc"), RRType::BDADDR);
+  Message msg = make_response(query, Rcode::NoError, true);
+  msg.answers.push_back(make_bdaddr(name_of("speaker.oval-office.loc"),
+                                    net::Bdaddr{{0xa, 0xb, 0xc, 0xd, 0xe, 0xf}}, 60));
+  msg.answers.push_back(ResourceRecord{name_of("speaker.oval-office.loc"), RRType::WIFI,
+                                       RRClass::IN, 60,
+                                       WifiData{"wh-iot", net::Ipv4Addr{{192, 0, 3, 1}}}});
+  auto wire = msg.encode();
+  auto decoded = Message::decode(std::span(wire));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value(), msg);
+}
+
+}  // namespace
+}  // namespace sns::dns

@@ -1,0 +1,157 @@
+// Tests for mobility (§4.1): CNAME moves, in-place replacement, and
+// wire-level geodetic updates.
+#include <gtest/gtest.h>
+
+#include "core/deployment.hpp"
+#include "core/mobility.hpp"
+
+namespace sns::core {
+namespace {
+
+using dns::name_of;
+using dns::Rcode;
+using dns::RRType;
+
+TEST(Move, LeavesForwardingCname) {
+  auto world = make_white_house_world(44);
+  SpatialZone& oval = *world.oval_office->zone;
+  SpatialZone& cabinet = *world.cabinet_room->zone;
+
+  auto report = move_device(oval, cabinet, world.speaker);
+  ASSERT_TRUE(report.ok()) << report.error().message;
+  EXPECT_EQ(report.value().old_name, world.speaker);
+  EXPECT_TRUE(report.value().new_name.is_subdomain_of(cabinet.domain()));
+  EXPECT_TRUE(report.value().cname_created);
+
+  // Gone from the old zone's registry, present in the new one.
+  EXPECT_EQ(oval.find_device(world.speaker), nullptr);
+  EXPECT_NE(cabinet.find_device(report.value().new_name), nullptr);
+
+  // The old name still answers as a CNAME in both views.
+  auto lookup = oval.local_zone()->lookup(world.speaker, RRType::BDADDR);
+  EXPECT_EQ(lookup.kind, server::Zone::Lookup::Kind::CName);
+  auto global_lookup = oval.global_zone()->lookup(world.speaker, RRType::AAAA);
+  EXPECT_EQ(global_lookup.kind, server::Zone::Lookup::Kind::CName);
+}
+
+TEST(Move, ResolutionFollowsCnameAcrossZones) {
+  // After a within-White-House move (oval office -> a sibling room
+  // served by the same building infrastructure), clients resolving the
+  // old name get the CNAME plus the new record when the server is
+  // authoritative for both.
+  SnsDeployment d(45);
+  auto house = CivicName::from_components({"usa", "house"}).value();
+  ZoneOptions house_opts;
+  house_opts.network_boundary = true;  // the house owns its private LAN
+  ZoneSite& house_site = d.add_zone(house, geo::BoundingBox{0, 0, 1, 1}, nullptr, house_opts);
+  ZoneOptions room_opts;
+  room_opts.is_room = true;
+  room_opts.uplink = net::lan_link();
+  ZoneSite& room_a = d.add_zone(house.child("room-a").value(),
+                                geo::BoundingBox{0, 0, 1, 0.5}, &house_site, room_opts);
+  ZoneSite& room_b = d.add_zone(house.child("room-b").value(),
+                                geo::BoundingBox{0, 0.5, 1, 1}, &house_site, room_opts);
+
+  Device lamp;
+  lamp.function = "lamp";
+  lamp.local_addresses = {net::Bdaddr{{9, 9, 9, 9, 9, 9}}};
+  lamp.position = {0.5, 0.25, 0};
+  auto lamp_name = d.add_device(room_a, lamp);
+  ASSERT_TRUE(lamp_name.ok());
+
+  auto report = move_device(*room_a.zone, *room_b.zone, lamp_name.value());
+  ASSERT_TRUE(report.ok());
+
+  // A client inside room A resolves the old name: CNAME answer pointing
+  // at room B (the room-A server is not authoritative for room B, so it
+  // returns the alias for the client to chase).
+  net::NodeId client = d.add_client("client", room_a, true);
+  auto stub = d.make_stub(client, room_a);
+  auto result = stub.resolve(lamp_name.value(), RRType::BDADDR);
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result.value().records.empty());
+  EXPECT_EQ(result.value().records[0].type, RRType::CNAME);
+  EXPECT_EQ(std::get<dns::CnameData>(result.value().records[0].rdata).target,
+            report.value().new_name);
+
+  // Chasing the target at room B's server yields the BDADDR.
+  auto stub_b = d.make_stub(client, room_b);
+  auto chased = stub_b.resolve(report.value().new_name, RRType::BDADDR);
+  ASSERT_TRUE(chased.ok());
+  EXPECT_EQ(chased.value().rcode, Rcode::NoError);
+  ASSERT_EQ(chased.value().records.size(), 1u);
+}
+
+TEST(Replace, NameSurvivesHardwareSwap) {
+  // §1: "if the device is replaced then the replacement should assume
+  // the function of its predecessor."
+  auto world = make_white_house_world(46);
+  SpatialZone& oval = *world.oval_office->zone;
+
+  Device replacement;
+  replacement.function = "anything";  // overwritten by replace_device
+  replacement.local_addresses = {net::Bdaddr{{0xde, 0xad, 0xbe, 0xef, 0x00, 0x01}}};
+  replacement.position = {38.897291, -77.037399, 18.0};
+
+  auto name = replace_device(oval, world.speaker, replacement);
+  ASSERT_TRUE(name.ok()) << name.error().message;
+  EXPECT_EQ(name.value(), world.speaker);  // identity preserved
+
+  const dns::RRset* bd = oval.local_zone()->find(world.speaker, RRType::BDADDR);
+  ASSERT_NE(bd, nullptr);
+  EXPECT_EQ(std::get<dns::BdaddrData>(bd->front().rdata).address.to_string(),
+            "de:ad:be:ef:00:01");
+  EXPECT_FALSE(replace_device(oval, name_of("ghost.x.loc"), replacement).ok());
+}
+
+TEST(GeodeticUpdate, WireUpdateMovesDevice) {
+  auto world = make_white_house_world(47);
+  auto& d = *world.deployment;
+  SpatialZone& oval = *world.oval_office->zone;
+
+  net::NodeId client = d.add_client("updater", *world.oval_office, true);
+  auto stub = d.make_stub(client, *world.oval_office);
+
+  geo::GeoPoint new_position{38.897260, -77.037430, 18.0};
+  auto rcode = send_geodetic_update(stub, oval, world.speaker, new_position, std::nullopt, 0);
+  ASSERT_TRUE(rcode.ok()) << rcode.error().message;
+  EXPECT_EQ(rcode.value(), Rcode::NoError);
+
+  // The LOC RRset served by the zone reflects the new position...
+  const dns::RRset* loc = oval.local_zone()->find(world.speaker, RRType::LOC);
+  ASSERT_NE(loc, nullptr);
+  EXPECT_NEAR(std::get<dns::LocData>(loc->front().rdata).latitude_degrees(),
+              new_position.latitude, 1e-5);
+  // ...and the geodetic index agrees.
+  auto found = oval.devices_in(geo::BoundingBox::around(new_position, 0.00002));
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0], world.speaker);
+}
+
+TEST(GeodeticUpdate, TsigProtectedUpdateNeedsKey) {
+  auto world = make_white_house_world(48);
+  auto& d = *world.deployment;
+  SpatialZone& oval = *world.oval_office->zone;
+  dns::TsigKey key{name_of("edge-key"), {0x42, 0x42}};
+  world.oval_office->server->set_update_key(key);
+
+  net::NodeId client = d.add_client("updater", *world.oval_office, true);
+  auto stub = d.make_stub(client, *world.oval_office);
+  geo::GeoPoint new_position{38.897260, -77.037430, 18.0};
+
+  // Unsigned update refused; index unchanged.
+  auto unsigned_rcode =
+      send_geodetic_update(stub, oval, world.speaker, new_position, std::nullopt, 0);
+  ASSERT_TRUE(unsigned_rcode.ok());
+  EXPECT_EQ(unsigned_rcode.value(), Rcode::Refused);
+  EXPECT_TRUE(oval.devices_in(geo::BoundingBox::around(new_position, 0.00002)).empty());
+
+  // Signed update succeeds.
+  auto signed_rcode = send_geodetic_update(stub, oval, world.speaker, new_position, key, 12345);
+  ASSERT_TRUE(signed_rcode.ok());
+  EXPECT_EQ(signed_rcode.value(), Rcode::NoError);
+  EXPECT_EQ(oval.devices_in(geo::BoundingBox::around(new_position, 0.00002)).size(), 1u);
+}
+
+}  // namespace
+}  // namespace sns::core

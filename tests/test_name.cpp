@@ -1,0 +1,198 @@
+// Tests for dns::Name: parsing, wire form, compression, ordering.
+#include <gtest/gtest.h>
+
+#include "dns/name.hpp"
+#include "util/rng.hpp"
+
+namespace sns::dns {
+namespace {
+
+TEST(Name, ParseBasics) {
+  auto n = Name::parse("mic.oval-office.loc");
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(n.value().label_count(), 3u);
+  EXPECT_EQ(n.value().labels()[0], "mic");
+  EXPECT_EQ(n.value().to_string(), "mic.oval-office.loc");
+}
+
+TEST(Name, TrailingDotIgnored) {
+  auto a = Name::parse("a.b.");
+  auto b = Name::parse("a.b");
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a.value(), b.value());
+}
+
+TEST(Name, Root) {
+  auto root = Name::parse(".");
+  ASSERT_TRUE(root.ok());
+  EXPECT_TRUE(root.value().is_root());
+  EXPECT_EQ(root.value().to_string(), ".");
+  EXPECT_EQ(root.value().wire_length(), 1u);
+}
+
+TEST(Name, RejectsInvalid) {
+  EXPECT_FALSE(Name::parse("").ok());
+  EXPECT_FALSE(Name::parse("a..b").ok());
+  EXPECT_FALSE(Name::parse(std::string(64, 'x') + ".com").ok());  // label > 63
+  // Total > 255 octets.
+  std::string big;
+  for (int i = 0; i < 10; ++i) big += std::string(30, 'a') + ".";
+  big += "com";
+  EXPECT_FALSE(Name::parse(big).ok());
+  EXPECT_FALSE(Name::parse("a b.com").ok());  // space in label
+}
+
+TEST(Name, CaseInsensitiveEquality) {
+  EXPECT_EQ(name_of("Mic.OVAL-office.Loc"), name_of("mic.oval-office.loc"));
+}
+
+TEST(Name, SubdomainRelations) {
+  Name device = name_of("mic.oval-office.1600.penn-ave.washington.dc.usa.loc");
+  Name room = name_of("oval-office.1600.penn-ave.washington.dc.usa.loc");
+  Name loc = name_of("loc");
+  EXPECT_TRUE(device.is_subdomain_of(room));
+  EXPECT_TRUE(device.is_subdomain_of(loc));
+  EXPECT_TRUE(device.is_subdomain_of(device));
+  EXPECT_TRUE(device.is_subdomain_of(Name{}));  // everything under root
+  EXPECT_FALSE(room.is_subdomain_of(device));
+  EXPECT_FALSE(name_of("xoval-office.loc").is_subdomain_of(name_of("oval-office.loc")));
+}
+
+TEST(Name, ParentPrependConcat) {
+  Name room = name_of("oval-office.loc");
+  EXPECT_EQ(room.parent(), name_of("loc"));
+  auto mic = room.prepend("mic");
+  ASSERT_TRUE(mic.ok());
+  EXPECT_EQ(mic.value().to_string(), "mic.oval-office.loc");
+  auto joined = name_of("mic").concat(room);
+  ASSERT_TRUE(joined.ok());
+  EXPECT_EQ(joined.value(), mic.value());
+  EXPECT_FALSE(room.prepend("bad label").ok());
+}
+
+TEST(Name, StripSuffix) {
+  Name device = name_of("mic.oval-office.loc");
+  auto relative = device.strip_suffix(name_of("oval-office.loc"));
+  ASSERT_TRUE(relative.has_value());
+  EXPECT_EQ(relative->to_string(), "mic");
+  EXPECT_FALSE(device.strip_suffix(name_of("example.com")).has_value());
+  auto self = device.strip_suffix(device);
+  ASSERT_TRUE(self.has_value());
+  EXPECT_TRUE(self->is_root());
+}
+
+TEST(Name, WireRoundTripUncompressed) {
+  Name n = name_of("mic.oval-office.1600.penn-ave.washington.dc.usa.loc");
+  util::ByteWriter w;
+  n.encode(w);
+  EXPECT_EQ(w.size(), n.wire_length());
+  util::ByteReader r(std::span(w.data()));
+  auto decoded = Name::decode(r);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value(), n);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Name, CompressionSharesSuffixes) {
+  Name a = name_of("mic.oval-office.loc");
+  Name b = name_of("speaker.oval-office.loc");
+  util::ByteWriter w;
+  NameCompressor compressor;
+  a.encode(w, compressor);
+  std::size_t after_first = w.size();
+  b.encode(w, compressor);
+  // Second name should be much shorter than its full wire form: one
+  // label + a 2-byte pointer.
+  EXPECT_EQ(w.size() - after_first, 1 + 7 + 2u);
+
+  util::ByteReader r(std::span(w.data()));
+  auto da = Name::decode(r);
+  auto db = Name::decode(r);
+  ASSERT_TRUE(da.ok() && db.ok());
+  EXPECT_EQ(da.value(), a);
+  EXPECT_EQ(db.value(), b);
+}
+
+TEST(Name, CompressionExactDuplicateIsOnePointer) {
+  Name a = name_of("display.oval-office.loc");
+  util::ByteWriter w;
+  NameCompressor compressor;
+  a.encode(w, compressor);
+  std::size_t after_first = w.size();
+  a.encode(w, compressor);
+  EXPECT_EQ(w.size() - after_first, 2u);
+}
+
+TEST(Name, DecodeRejectsPointerLoops) {
+  // A pointer pointing at itself.
+  std::vector<std::uint8_t> wire{0xc0, 0x00};
+  util::ByteReader r{std::span(wire)};
+  EXPECT_FALSE(Name::decode(r).ok());
+}
+
+TEST(Name, DecodeRejectsTruncation) {
+  std::vector<std::uint8_t> wire{5, 'a', 'b'};  // label claims 5 bytes, has 2
+  util::ByteReader r{std::span(wire)};
+  EXPECT_FALSE(Name::decode(r).ok());
+  std::vector<std::uint8_t> no_terminator{1, 'a'};
+  util::ByteReader r2{std::span(no_terminator)};
+  EXPECT_FALSE(Name::decode(r2).ok());
+}
+
+TEST(Name, DecodeRejectsReservedLabelTypes) {
+  std::vector<std::uint8_t> wire{0x80, 'a', 0};  // 10xxxxxx reserved
+  util::ByteReader r{std::span(wire)};
+  EXPECT_FALSE(Name::decode(r).ok());
+}
+
+TEST(Name, CanonicalOrdering) {
+  // RFC 4034 §6.1 example ordering.
+  std::vector<Name> sorted{
+      name_of("example"),       name_of("a.example"),     name_of("yljkjljk.a.example"),
+      name_of("z.a.example"),   name_of("zabc.a.example"), name_of("z.example"),
+  };
+  for (std::size_t i = 0; i + 1 < sorted.size(); ++i) {
+    EXPECT_LT(sorted[i], sorted[i + 1])
+        << sorted[i].to_string() << " !< " << sorted[i + 1].to_string();
+  }
+}
+
+TEST(Name, OrderingCaseInsensitive) {
+  EXPECT_EQ(name_of("A.B") <=> name_of("a.b"), std::strong_ordering::equal);
+}
+
+TEST(Name, RandomWireRoundTripProperty) {
+  util::Rng rng(2024);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<std::string> labels;
+    auto count = 1 + rng.next_below(6);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      std::string label;
+      auto len = 1 + rng.next_below(12);
+      for (std::uint64_t j = 0; j < len; ++j)
+        label += static_cast<char>('a' + rng.next_below(26));
+      labels.push_back(std::move(label));
+    }
+    auto name = Name::from_labels(labels);
+    ASSERT_TRUE(name.ok());
+    util::ByteWriter w;
+    name.value().encode(w);
+    util::ByteReader r(std::span(w.data()));
+    auto decoded = Name::decode(r);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded.value(), name.value());
+  }
+}
+
+TEST(Name, FuzzDecodeNeverCrashes) {
+  util::Rng rng(7);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::vector<std::uint8_t> wire(rng.next_below(40));
+    for (auto& b : wire) b = static_cast<std::uint8_t>(rng.next_below(256));
+    util::ByteReader r{std::span(wire)};
+    (void)Name::decode(r);  // must not crash or loop
+  }
+}
+
+}  // namespace
+}  // namespace sns::dns

@@ -1,0 +1,86 @@
+// Tests for the NAT + PCP-style mapping whose lifetime follows the DNS
+// TTL (§3.1).
+#include <gtest/gtest.h>
+
+#include "net/nat.hpp"
+
+namespace sns::net {
+namespace {
+
+const Ipv4Addr kPublic{{203, 0, 113, 1}};
+
+TEST(Nat, MappingCreatedAndTranslates) {
+  NatBox nat(kPublic);
+  auto mapping = nat.request_mapping(5, 8080, ms(120000), TimePoint{0});
+  ASSERT_TRUE(mapping.ok());
+  EXPECT_EQ(mapping.value().external_ip, kPublic);
+  EXPECT_EQ(mapping.value().internal_node, 5u);
+  auto hit = nat.translate(mapping.value().external_port, ms(1000));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->internal_node, 5u);
+  EXPECT_EQ(hit->internal_port, 8080);
+}
+
+TEST(Nat, LifetimeFollowsTtl) {
+  // The §3.1 contract: mapping lives exactly as long as the DNS TTL.
+  NatBox nat(kPublic);
+  Duration ttl = std::chrono::seconds(120);
+  auto mapping = nat.request_mapping(5, 443, ttl, TimePoint{0});
+  ASSERT_TRUE(mapping.ok());
+  EXPECT_TRUE(nat.translate(mapping.value().external_port, ttl - us(1)).has_value());
+  EXPECT_FALSE(nat.translate(mapping.value().external_port, ttl).has_value());
+}
+
+TEST(Nat, RenewalKeepsPort) {
+  NatBox nat(kPublic);
+  auto first = nat.request_mapping(5, 443, ms(1000), TimePoint{0});
+  ASSERT_TRUE(first.ok());
+  auto renewed = nat.request_mapping(5, 443, ms(1000), ms(500));
+  ASSERT_TRUE(renewed.ok());
+  EXPECT_EQ(renewed.value().external_port, first.value().external_port);
+  EXPECT_EQ(renewed.value().expires, ms(1500));
+  EXPECT_EQ(nat.active_mappings(ms(1200)), 1u);
+}
+
+TEST(Nat, DistinctEndpointsGetDistinctPorts) {
+  NatBox nat(kPublic);
+  auto a = nat.request_mapping(1, 80, ms(1000), TimePoint{0});
+  auto b = nat.request_mapping(2, 80, ms(1000), TimePoint{0});
+  auto c = nat.request_mapping(1, 81, ms(1000), TimePoint{0});
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  EXPECT_NE(a.value().external_port, b.value().external_port);
+  EXPECT_NE(a.value().external_port, c.value().external_port);
+}
+
+TEST(Nat, ReleaseRemovesMapping) {
+  NatBox nat(kPublic);
+  auto mapping = nat.request_mapping(3, 22, ms(100000), TimePoint{0});
+  ASSERT_TRUE(mapping.ok());
+  nat.release_mapping(3, 22);
+  EXPECT_FALSE(nat.translate(mapping.value().external_port, ms(1)).has_value());
+  nat.release_mapping(3, 22);  // idempotent
+}
+
+TEST(Nat, ExpireSweepsOldMappings) {
+  NatBox nat(kPublic);
+  (void)nat.request_mapping(1, 80, ms(100), TimePoint{0});
+  (void)nat.request_mapping(2, 80, ms(200), TimePoint{0});
+  (void)nat.request_mapping(3, 80, ms(300), TimePoint{0});
+  EXPECT_EQ(nat.expire(ms(250)), 2u);
+  EXPECT_EQ(nat.active_mappings(ms(250)), 1u);
+}
+
+TEST(Nat, PoolExhaustion) {
+  NatBox nat(kPublic);
+  for (std::uint16_t i = 0; i < 1000; ++i)
+    ASSERT_TRUE(nat.request_mapping(i, 80, ms(10000), TimePoint{0}).ok());
+  EXPECT_FALSE(nat.request_mapping(2000, 80, ms(10000), TimePoint{0}).ok());
+}
+
+TEST(Nat, UnknownPortDoesNotTranslate) {
+  NatBox nat(kPublic);
+  EXPECT_FALSE(nat.translate(40000, TimePoint{0}).has_value());
+}
+
+}  // namespace
+}  // namespace sns::net

@@ -1,0 +1,131 @@
+// Tests for the simulated positioning providers (§3.2).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geo/geometry.hpp"
+#include "positioning/gnss.hpp"
+#include "positioning/ips.hpp"
+#include "positioning/provider.hpp"
+
+namespace sns::positioning {
+namespace {
+
+const geo::GeoPoint kTruth{38.8974, -77.0374, 18.0};
+
+TEST(Manual, PerfectFix) {
+  ManualProvider manual;
+  auto fix = manual.locate(kTruth);
+  ASSERT_TRUE(fix.has_value());
+  EXPECT_EQ(fix->position, kTruth);
+  EXPECT_LT(fix->accuracy_m, 1.0);
+}
+
+TEST(Gnss, OpenSkyMetreScaleAccuracy) {
+  GnssProvider gnss(1, SkyCondition::OpenSky);
+  double total_error = 0;
+  int fixes = 0;
+  for (int i = 0; i < 500; ++i) {
+    auto fix = gnss.locate(kTruth);
+    ASSERT_TRUE(fix.has_value());  // open sky never loses fix
+    total_error += geo::haversine_m(fix->position, kTruth);
+    ++fixes;
+  }
+  double mean_error = total_error / fixes;
+  EXPECT_GT(mean_error, 0.5);
+  EXPECT_LT(mean_error, 10.0);  // ~3m sigma
+}
+
+TEST(Gnss, IndoorDegradation) {
+  // §3.2: "GNSS is limited in its accuracy indoors".
+  GnssProvider open(2, SkyCondition::OpenSky);
+  GnssProvider urban(2, SkyCondition::Urban);
+  GnssProvider indoor(2, SkyCondition::Indoor);
+  GnssProvider deep(2, SkyCondition::DeepIndoor);
+
+  auto stats = [&](GnssProvider& provider) {
+    int lost = 0;
+    double error = 0;
+    int fixes = 0;
+    for (int i = 0; i < 500; ++i) {
+      auto fix = provider.locate(kTruth);
+      if (!fix.has_value()) {
+        ++lost;
+        continue;
+      }
+      error += geo::haversine_m(fix->position, kTruth);
+      ++fixes;
+    }
+    return std::pair{lost, fixes > 0 ? error / fixes : 1e9};
+  };
+
+  auto [open_lost, open_error] = stats(open);
+  auto [urban_lost, urban_error] = stats(urban);
+  auto [indoor_lost, indoor_error] = stats(indoor);
+  auto [deep_lost, deep_error] = stats(deep);
+
+  EXPECT_EQ(open_lost, 0);
+  EXPECT_LT(open_error, urban_error);
+  EXPECT_LT(urban_error, indoor_error);
+  EXPECT_LT(urban_lost, indoor_lost);
+  EXPECT_GT(deep_lost, 450);  // almost never a fix deep indoors
+}
+
+TEST(Gnss, ConditionSwitchable) {
+  GnssProvider gnss(3, SkyCondition::OpenSky);
+  EXPECT_EQ(gnss.condition(), SkyCondition::OpenSky);
+  gnss.set_condition(SkyCondition::DeepIndoor);
+  EXPECT_EQ(gnss.condition(), SkyCondition::DeepIndoor);
+}
+
+class IpsTest : public ::testing::Test {
+ protected:
+  // Four beacons at the corners of a ~30m room around the truth point.
+  void SetUp() override {
+    double d = 0.00015;  // ~16m in latitude degrees
+    ips_.add_beacon({kTruth.latitude - d, kTruth.longitude - d, 3});
+    ips_.add_beacon({kTruth.latitude - d, kTruth.longitude + d, 3});
+    ips_.add_beacon({kTruth.latitude + d, kTruth.longitude - d, 3});
+    ips_.add_beacon({kTruth.latitude + d, kTruth.longitude + d, 3});
+  }
+  IpsProvider ips_{99};
+};
+
+TEST_F(IpsTest, SubMetreIndoors) {
+  // The Active-BAT-style system: sub-metre where beacons cover.
+  double total_error = 0;
+  for (int i = 0; i < 100; ++i) {
+    auto fix = ips_.locate(kTruth);
+    ASSERT_TRUE(fix.has_value());
+    total_error += geo::haversine_m(fix->position, kTruth);
+  }
+  EXPECT_LT(total_error / 100, 1.0);
+}
+
+TEST_F(IpsTest, NoCoverageNoFix) {
+  geo::GeoPoint far{kTruth.latitude + 1.0, kTruth.longitude, 0};
+  EXPECT_FALSE(ips_.locate(far).has_value());
+}
+
+TEST_F(IpsTest, NeedsThreeBeacons) {
+  IpsProvider sparse(1);
+  sparse.add_beacon({kTruth.latitude, kTruth.longitude, 3});
+  sparse.add_beacon({kTruth.latitude + 0.0001, kTruth.longitude, 3});
+  EXPECT_FALSE(sparse.locate(kTruth).has_value());
+  EXPECT_EQ(sparse.beacon_count(), 2u);
+}
+
+TEST(Providers, PolymorphicUse) {
+  // The SNS core consumes providers through the interface.
+  GnssProvider gnss(5, SkyCondition::OpenSky);
+  ManualProvider manual;
+  std::vector<PositionProvider*> providers{&gnss, &manual};
+  for (PositionProvider* provider : providers) {
+    auto fix = provider->locate(kTruth);
+    ASSERT_TRUE(fix.has_value()) << provider->name();
+    EXPECT_LT(geo::haversine_m(fix->position, kTruth), 50.0) << provider->name();
+  }
+}
+
+}  // namespace
+}  // namespace sns::positioning

@@ -1,0 +1,112 @@
+// Tests for audio-beacon presence proofs (§3.1).
+#include <gtest/gtest.h>
+
+#include "core/deployment.hpp"
+#include "core/presence.hpp"
+
+namespace sns::core {
+namespace {
+
+TEST(PresenceToken, DeterministicAndSecretBound) {
+  std::vector<std::uint8_t> nonce{1, 2, 3, 4};
+  std::string t1 = presence_token("room-secret", std::span(nonce));
+  std::string t2 = presence_token("room-secret", std::span(nonce));
+  EXPECT_EQ(t1, t2);
+  EXPECT_EQ(t1.size(), 40u);  // hex SHA-1
+  EXPECT_NE(t1, presence_token("other-secret", std::span(nonce)));
+  std::vector<std::uint8_t> other_nonce{9, 9};
+  EXPECT_NE(t1, presence_token("room-secret", std::span(other_nonce)));
+}
+
+TEST(Beacon, OnlyCoLocatedListenersHear) {
+  net::Network network(3);
+  net::NodeId beacon_node = network.add_node("beacon");
+  net::NodeId inside = network.add_node("inside");
+  net::NodeId outside = network.add_node("outside");
+  network.place_in_room(beacon_node, 1);
+  network.place_in_room(inside, 1);
+  network.place_in_room(outside, 2);
+
+  PresenceBeacon beacon(network, beacon_node, "secret", 42);
+  PresenceListener inside_listener(network, inside);
+  PresenceListener outside_listener(network, outside);
+
+  EXPECT_FALSE(inside_listener.has_token());
+  std::string token = beacon.chirp();
+  EXPECT_TRUE(inside_listener.has_token());
+  EXPECT_EQ(inside_listener.last_token(), token);
+  EXPECT_FALSE(outside_listener.has_token());
+}
+
+TEST(Beacon, ChirpRotatesToken) {
+  net::Network network(4);
+  net::NodeId beacon_node = network.add_node("beacon");
+  network.place_in_room(beacon_node, 1);
+  PresenceBeacon beacon(network, beacon_node, "secret", 42);
+  std::string first = beacon.chirp();
+  std::string second = beacon.chirp();
+  EXPECT_NE(first, second);
+  EXPECT_EQ(beacon.current_token(), second);
+  // token_ref() is a live view.
+  auto ref = beacon.token_ref();
+  EXPECT_EQ(*ref, second);
+  std::string third = beacon.chirp();
+  EXPECT_EQ(*ref, third);
+}
+
+TEST(Presence, EndToEndThroughDeployment) {
+  auto world = make_white_house_world(21);
+  auto& d = *world.deployment;
+
+  // An insider who has heard no chirp yet: physically in the room, so
+  // the room check alone admits them.
+  net::NodeId insider = d.add_client("insider", *world.oval_office, true);
+  auto stub = d.make_stub(insider, *world.oval_office);
+  auto before = stub.resolve(world.mic, dns::RRType::BDADDR);
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(before.value().rcode, dns::Rcode::NoError);
+
+  // An internal-but-different-room client (e.g. elsewhere in the White
+  // House network): refused until it can present a live token.
+  net::NodeId hallway = d.add_client("hallway", *world.white_house, true);
+  auto hallway_stub = d.make_stub(hallway, *world.oval_office);
+  auto refused = hallway_stub.resolve(world.mic, dns::RRType::BDADDR);
+  ASSERT_TRUE(refused.ok());
+  EXPECT_EQ(refused.value().rcode, dns::Rcode::Refused);
+
+  // Outsiders on the public internet: refused too.
+  net::NodeId outsider = d.add_client("outsider", *world.cabinet_room, false);
+  auto outsider_stub = d.make_stub(outsider, *world.oval_office);
+  auto also_refused = outsider_stub.resolve(world.mic, dns::RRType::ANY);
+  ASSERT_TRUE(also_refused.ok());
+  EXPECT_EQ(also_refused.value().rcode, dns::Rcode::Refused);
+
+  // The speaker (unprotected) resolves for everyone inside the network.
+  auto speaker = hallway_stub.resolve(world.speaker, dns::RRType::BDADDR);
+  ASSERT_TRUE(speaker.ok());
+  EXPECT_EQ(speaker.value().rcode, dns::Rcode::NoError);
+}
+
+TEST(Presence, DeviceInRoomHearsBeaconAndGainsAccess) {
+  auto world = make_white_house_world(22);
+  auto& d = *world.deployment;
+  // The speaker device node is placed in the oval office room by
+  // add_device; after a chirp its context carries the token, so it can
+  // resolve the protected mic even though token != room check order.
+  const Device* speaker = world.oval_office->zone->find_device(world.speaker);
+  ASSERT_NE(speaker, nullptr);
+  ASSERT_NE(speaker->node, net::kInvalidNode);
+
+  world.oval_office->beacon->chirp();
+  auto ctx = d.context_for(speaker->node, *world.oval_office);
+  EXPECT_EQ(ctx.presence_tokens.size(), 1u);
+  EXPECT_TRUE(ctx.presence_tokens.contains(world.oval_office->beacon->current_token()));
+
+  auto stub = d.make_stub(speaker->node, *world.oval_office);
+  auto mic = stub.resolve(world.mic, dns::RRType::BDADDR);
+  ASSERT_TRUE(mic.ok());
+  EXPECT_EQ(mic.value().rcode, dns::Rcode::NoError);
+}
+
+}  // namespace
+}  // namespace sns::core

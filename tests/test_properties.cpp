@@ -1,0 +1,239 @@
+// Cross-cutting randomized property tests: whole-message wire
+// round-trips, zone-store consistency against a naive oracle, and
+// master-file serialisation fixpoints.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "dns/dnssec.hpp"
+#include "dns/master.hpp"
+#include "server/zone.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace sns {
+namespace {
+
+using dns::Name;
+using dns::name_of;
+using dns::ResourceRecord;
+using dns::RRType;
+
+// --- generators ---------------------------------------------------------
+
+std::string random_label(util::Rng& rng) {
+  std::string label;
+  auto len = 1 + rng.next_below(10);
+  for (std::uint64_t i = 0; i < len; ++i)
+    label += static_cast<char>('a' + rng.next_below(26));
+  return label;
+}
+
+Name random_name(util::Rng& rng, const Name& suffix) {
+  Name name = suffix;
+  auto depth = 1 + rng.next_below(3);
+  for (std::uint64_t i = 0; i < depth; ++i) {
+    auto next = name.prepend(random_label(rng));
+    if (!next.ok()) break;
+    name = std::move(next).value();
+  }
+  return name;
+}
+
+dns::Rdata random_rdata(util::Rng& rng, RRType& type_out) {
+  switch (rng.next_below(7)) {
+    case 0:
+      type_out = RRType::A;
+      return dns::AData{net::Ipv4Addr::from_u32(static_cast<std::uint32_t>(rng.next_u64()))};
+    case 1: {
+      type_out = RRType::AAAA;
+      net::Ipv6Addr a;
+      for (auto& octet : a.octets) octet = static_cast<std::uint8_t>(rng.next_below(256));
+      return dns::AaaaData{a};
+    }
+    case 2: {
+      type_out = RRType::BDADDR;
+      net::Bdaddr a;
+      for (auto& octet : a.octets) octet = static_cast<std::uint8_t>(rng.next_below(256));
+      return dns::BdaddrData{a};
+    }
+    case 3:
+      type_out = RRType::TXT;
+      return dns::TxtData{{random_label(rng), random_label(rng)}};
+    case 4:
+      type_out = RRType::WIFI;
+      return dns::WifiData{random_label(rng),
+                           net::Ipv4Addr::from_u32(static_cast<std::uint32_t>(rng.next_u64()))};
+    case 5:
+      type_out = RRType::DTMF;
+      return dns::DtmfData{net::DtmfTone{std::string(1 + rng.next_below(6), '4')}};
+    default:
+      type_out = RRType::LOC;
+      return dns::LocData::from_degrees(rng.next_double(-89, 89), rng.next_double(-179, 179),
+                                        rng.next_double(0, 1000))
+          .value();
+  }
+}
+
+ResourceRecord random_record(util::Rng& rng, const Name& zone) {
+  RRType type = RRType::A;
+  dns::Rdata rdata = random_rdata(rng, type);
+  return ResourceRecord{random_name(rng, zone), type, dns::RRClass::IN,
+                        static_cast<std::uint32_t>(30 + rng.next_below(3600)),
+                        std::move(rdata)};
+}
+
+// --- properties -----------------------------------------------------------
+
+TEST(Property, RandomMessagesRoundTripWithCompression) {
+  util::Rng rng(42);
+  const Name zone = name_of("oval-office.1600.penn-ave.washington.dc.usa.loc");
+  for (int trial = 0; trial < 300; ++trial) {
+    dns::Message msg;
+    msg.header.id = static_cast<std::uint16_t>(rng.next_u64());
+    msg.header.qr = rng.chance(0.5);
+    msg.header.aa = rng.chance(0.5);
+    msg.header.rcode = rng.chance(0.8) ? dns::Rcode::NoError : dns::Rcode::NXDomain;
+    msg.questions.push_back(
+        dns::Question{random_name(rng, zone), RRType::ANY, dns::RRClass::IN});
+    auto answers = rng.next_below(6);
+    for (std::uint64_t i = 0; i < answers; ++i)
+      msg.answers.push_back(random_record(rng, zone));
+    auto authorities = rng.next_below(3);
+    for (std::uint64_t i = 0; i < authorities; ++i)
+      msg.authorities.push_back(random_record(rng, zone));
+
+    auto wire = msg.encode();
+    auto decoded = dns::Message::decode(std::span(wire));
+    ASSERT_TRUE(decoded.ok()) << trial << ": " << decoded.error().message;
+    EXPECT_EQ(decoded.value(), msg) << "trial " << trial;
+  }
+}
+
+TEST(Property, CompressionNeverInflatesSharedSuffixMessages) {
+  util::Rng rng(43);
+  const Name zone = name_of("building.city.loc");
+  for (int trial = 0; trial < 50; ++trial) {
+    dns::Message msg;
+    msg.questions.push_back(dns::Question{random_name(rng, zone), RRType::A, dns::RRClass::IN});
+    for (int i = 0; i < 8; ++i) msg.answers.push_back(random_record(rng, zone));
+    std::size_t uncompressed = 12;
+    for (const auto& q : msg.questions) uncompressed += q.name.wire_length() + 4;
+    for (const auto& rr : msg.answers) {
+      util::ByteWriter w;
+      rr.encode(w, nullptr);
+      uncompressed += w.size();
+    }
+    EXPECT_LE(msg.encode().size(), uncompressed);
+  }
+}
+
+TEST(Property, ZoneStoreMatchesNaiveOracle) {
+  util::Rng rng(44);
+  const Name apex = name_of("zone.loc");
+  server::Zone zone(apex, name_of("ns.zone.loc"));
+  // Oracle: multimap of (name,type) -> rdata list.
+  std::map<std::pair<std::string, std::uint16_t>, std::vector<dns::Rdata>> oracle;
+
+  for (int step = 0; step < 1500; ++step) {
+    ResourceRecord rr = random_record(rng, apex);
+    if (rr.type == RRType::LOC) continue;  // avoid float-equality noise in oracle
+    auto key = std::make_pair(util::to_lower(rr.name.to_string()),
+                              static_cast<std::uint16_t>(rr.type));
+    if (rng.chance(0.75)) {
+      if (zone.add(rr).ok()) {
+        auto& list = oracle[key];
+        bool duplicate = false;
+        for (const auto& existing : list)
+          if (existing == rr.rdata) duplicate = true;
+        if (!duplicate) list.push_back(rr.rdata);
+      }
+    } else {
+      std::size_t removed = zone.remove_rrset(rr.name, rr.type);
+      auto it = oracle.find(key);
+      std::size_t expected = it == oracle.end() ? 0 : it->second.size();
+      EXPECT_EQ(removed, expected) << rr.name.to_string();
+      if (it != oracle.end()) oracle.erase(it);
+    }
+  }
+
+  // Every oracle entry must be findable, with identical multiset rdata.
+  for (const auto& [key, rdatas] : oracle) {
+    const dns::RRset* found =
+        zone.find(name_of(key.first), static_cast<RRType>(key.second));
+    ASSERT_NE(found, nullptr) << key.first;
+    EXPECT_EQ(found->size(), rdatas.size()) << key.first;
+  }
+  // Total count: oracle entries + SOA.
+  std::size_t total = 1;
+  for (const auto& [key, rdatas] : oracle) total += rdatas.size();
+  EXPECT_EQ(zone.record_count(), total);
+}
+
+TEST(Property, MasterFileSerialisationIsFixpoint) {
+  util::Rng rng(45);
+  const Name apex = name_of("field.loc");
+  for (int trial = 0; trial < 40; ++trial) {
+    std::vector<ResourceRecord> records;
+    records.push_back(dns::make_soa(apex, name_of("ns.field.loc"), 1));
+    auto count = 1 + rng.next_below(12);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      ResourceRecord rr = random_record(rng, apex);
+      if (rr.type == RRType::LOC) continue;  // text form quantises
+      records.push_back(std::move(rr));
+    }
+    std::string once = dns::to_master_file(std::span(records));
+    auto parsed = dns::parse_master_file(once, Name{});
+    ASSERT_TRUE(parsed.ok()) << parsed.error().message << "\n" << once;
+    std::string twice = dns::to_master_file(std::span(parsed.value()));
+    EXPECT_EQ(once, twice) << "trial " << trial;
+  }
+}
+
+TEST(Property, CanonicalRrsetBytesPermutationInvariant) {
+  util::Rng rng(46);
+  const Name owner = name_of("host.zone.loc");
+  for (int trial = 0; trial < 100; ++trial) {
+    dns::RRset rrset;
+    auto count = 2 + rng.next_below(5);
+    for (std::uint64_t i = 0; i < count; ++i)
+      rrset.push_back(dns::make_a(
+          owner, net::Ipv4Addr::from_u32(static_cast<std::uint32_t>(rng.next_u64())), 60));
+    auto baseline = dns::canonical_rrset_bytes(rrset);
+    for (int shuffle = 0; shuffle < 3; ++shuffle) {
+      for (std::size_t i = rrset.size(); i > 1; --i)
+        std::swap(rrset[i - 1], rrset[rng.next_below(i)]);
+      EXPECT_EQ(dns::canonical_rrset_bytes(rrset), baseline);
+    }
+  }
+}
+
+TEST(Property, SignaturesSurviveMessageTransit) {
+  // Sign an RRset, ship it inside a message over the wire, verify on
+  // the far side — end-to-end object security (§4.1).
+  util::Rng rng(47);
+  dns::ZoneKey key{name_of("zone.loc"), {1, 2, 3, 4}};
+  for (int trial = 0; trial < 100; ++trial) {
+    Name owner = random_name(rng, key.zone);
+    dns::RRset rrset{dns::make_a(
+        owner, net::Ipv4Addr::from_u32(static_cast<std::uint32_t>(rng.next_u64())), 300)};
+    auto sig = dns::sign_rrset(rrset, key, 100, 200);
+    ASSERT_TRUE(sig.ok());
+
+    dns::Message msg;
+    msg.questions.push_back(dns::Question{owner, RRType::A, dns::RRClass::IN});
+    msg.answers = rrset;
+    msg.answers.push_back(sig.value());
+    auto wire = msg.encode();
+    auto decoded = dns::Message::decode(std::span(wire));
+    ASSERT_TRUE(decoded.ok());
+
+    dns::RRset shipped{decoded.value().answers[0]};
+    const auto& shipped_sig = std::get<dns::RrsigData>(decoded.value().answers[1].rdata);
+    EXPECT_TRUE(dns::verify_rrsig(shipped, shipped_sig, key, 150).ok()) << trial;
+  }
+}
+
+}  // namespace
+}  // namespace sns

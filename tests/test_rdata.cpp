@@ -1,0 +1,253 @@
+// Tests for dns rdata codecs: wire round-trip for every type (Table 1
+// included), presentation forms, TXT fallback, malformed input.
+#include <gtest/gtest.h>
+
+#include "dns/record.hpp"
+#include "util/rng.hpp"
+
+namespace sns::dns {
+namespace {
+
+Rdata roundtrip(const Rdata& rdata, RRType type) {
+  util::ByteWriter w;
+  encode_rdata(rdata, w, nullptr);
+  util::ByteReader r(std::span(w.data()));
+  auto decoded = decode_rdata(type, r, w.size());
+  EXPECT_TRUE(decoded.ok()) << to_string(type) << ": "
+                            << (decoded.ok() ? "" : decoded.error().message);
+  return decoded.ok() ? decoded.value() : Rdata{RawData{}};
+}
+
+// --- parameterized wire round-trip over a corpus of every type -------------
+
+struct RdataCase {
+  const char* label;
+  RRType type;
+  Rdata rdata;
+};
+
+class RdataRoundTrip : public ::testing::TestWithParam<RdataCase> {};
+
+TEST_P(RdataRoundTrip, WireRoundTrip) {
+  const auto& param = GetParam();
+  EXPECT_EQ(roundtrip(param.rdata, param.type), param.rdata);
+}
+
+TEST_P(RdataRoundTrip, TypeTagMatches) {
+  const auto& param = GetParam();
+  EXPECT_EQ(rdata_type(param.rdata), param.type);
+}
+
+TEST_P(RdataRoundTrip, PresentationRoundTrip) {
+  // Types whose presentation form is parseable should round-trip
+  // through tokens as well.
+  const auto& param = GetParam();
+  switch (param.type) {
+    case RRType::RRSIG:
+    case RRType::DNSKEY:
+    case RRType::NSEC3:
+    case RRType::TSIG:
+    case RRType::OPT:
+      return;  // presentation parsing intentionally not supported
+    default:
+      break;
+  }
+  std::string text = rdata_to_string(param.rdata);
+  std::vector<std::string> tokens;
+  // Tokenise respecting quotes (like the master parser does).
+  std::size_t i = 0;
+  while (i < text.size()) {
+    if (text[i] == ' ') {
+      ++i;
+      continue;
+    }
+    if (text[i] == '"') {
+      std::size_t close = text.find('"', i + 1);
+      tokens.push_back(text.substr(i, close - i + 1));
+      i = close + 1;
+    } else {
+      std::size_t end = text.find(' ', i);
+      if (end == std::string::npos) end = text.size();
+      tokens.push_back(text.substr(i, end - i));
+      i = end;
+    }
+  }
+  auto parsed = rdata_from_tokens(param.type, tokens);
+  ASSERT_TRUE(parsed.ok()) << to_string(param.type) << ": " << parsed.error().message
+                           << " from '" << text << "'";
+  if (param.type == RRType::LOC) {
+    // LOC round-trips through text with precision quantisation; compare
+    // the decoded coordinates instead of raw bytes.
+    const auto& a = std::get<LocData>(param.rdata);
+    const auto& b = std::get<LocData>(parsed.value());
+    EXPECT_NEAR(a.latitude_degrees(), b.latitude_degrees(), 1e-5);
+    EXPECT_NEAR(a.longitude_degrees(), b.longitude_degrees(), 1e-5);
+    return;
+  }
+  EXPECT_EQ(parsed.value(), param.rdata) << to_string(param.type) << " '" << text << "'";
+}
+
+std::vector<RdataCase> all_cases() {
+  auto v6 = net::Ipv6Addr::parse("2001:db8::1").value();
+  LocData loc = LocData::from_degrees(38.8974, -77.0374, 15.0).value();
+  Nsec3Data nsec3;
+  nsec3.iterations = 5;
+  nsec3.salt = {0xaa, 0xbb};
+  nsec3.next_hashed_owner.assign(20, 0x42);
+  nsec3.types = {RRType::A, RRType::TXT, RRType::BDADDR};
+  TsigData tsig;
+  tsig.algorithm = name_of("hmac-sha1.sig-alg.reg.int");
+  tsig.time_signed = 0x123456789aULL;
+  tsig.mac = {1, 2, 3, 4};
+  tsig.original_id = 77;
+  RrsigData rrsig;
+  rrsig.type_covered = RRType::AAAA;
+  rrsig.algorithm = 250;
+  rrsig.labels = 3;
+  rrsig.original_ttl = 300;
+  rrsig.expiration = 1000000;
+  rrsig.inception = 999000;
+  rrsig.key_tag = 4242;
+  rrsig.signer = name_of("oval-office.loc");
+  rrsig.signature = {9, 8, 7};
+
+  return {
+      {"A", RRType::A, AData{net::Ipv4Addr{{192, 0, 2, 1}}}},
+      {"AAAA", RRType::AAAA, AaaaData{v6}},
+      {"NS", RRType::NS, NsData{name_of("ns.oval-office.loc")}},
+      {"CNAME", RRType::CNAME, CnameData{name_of("new.cabinet-room.loc")}},
+      {"SOA", RRType::SOA,
+       SoaData{name_of("ns.loc"), name_of("hostmaster.loc"), 7, 3600, 600, 86400, 60}},
+      {"PTR", RRType::PTR, PtrData{name_of("mic.oval-office.loc")}},
+      {"MX", RRType::MX, MxData{10, name_of("mail.loc")}},
+      {"TXT", RRType::TXT, TxtData{{"hello", "world"}}},
+      {"SRV", RRType::SRV, SrvData{0, 5, 8080, name_of("display.oval-office.loc")}},
+      {"LOC", RRType::LOC, loc},
+      {"SSHFP", RRType::SSHFP, SshfpData{4, 2, {0xde, 0xad, 0xbe, 0xef}}},
+      {"RRSIG", RRType::RRSIG, rrsig},
+      {"DNSKEY", RRType::DNSKEY, DnskeyData{256, 3, 250, {1, 2, 3}}},
+      {"NSEC3", RRType::NSEC3, nsec3},
+      {"TSIG", RRType::TSIG, tsig},
+      {"BDADDR", RRType::BDADDR, BdaddrData{net::Bdaddr{{1, 0x23, 0x45, 0x67, 0x89, 0xab}}}},
+      {"WIFI", RRType::WIFI, WifiData{"wh-iot", net::Ipv4Addr{{192, 0, 3, 1}}}},
+      {"LORA", RRType::LORA, LoraData{name_of("gw.field.loc"), net::LoraDevAddr{0x01ab23cd}}},
+      {"DTMF", RRType::DTMF, DtmfData{net::DtmfTone{"421#"}}},
+  };
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTypes, RdataRoundTrip, ::testing::ValuesIn(all_cases()),
+                         [](const ::testing::TestParamInfo<RdataCase>& param_info) {
+                           return param_info.param.label;
+                         });
+
+// --- targeted behaviours ----------------------------------------------------
+
+TEST(Rdata, UnknownTypeRoundTripsRaw) {
+  RawData raw{{1, 2, 3, 4, 5}};
+  util::ByteWriter w;
+  encode_rdata(Rdata{raw}, w, nullptr);
+  util::ByteReader r(std::span(w.data()));
+  auto decoded = decode_rdata(static_cast<RRType>(999), r, w.size());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(std::get<RawData>(decoded.value()), raw);
+}
+
+TEST(Rdata, EmptyTxtEncodesOneEmptyString) {
+  util::ByteWriter w;
+  encode_rdata(Rdata{TxtData{}}, w, nullptr);
+  EXPECT_EQ(w.size(), 1u);  // single zero-length character-string
+}
+
+TEST(Rdata, RdlengthMismatchRejected) {
+  util::ByteWriter w;
+  encode_rdata(Rdata{AData{net::Ipv4Addr{{1, 2, 3, 4}}}}, w, nullptr);
+  util::ByteReader r(std::span(w.data()));
+  EXPECT_FALSE(decode_rdata(RRType::A, r, 3).ok());  // claims 3 bytes, A needs 4
+}
+
+TEST(Rdata, TruncatedInputsRejected) {
+  for (RRType type : {RRType::A, RRType::AAAA, RRType::SOA, RRType::SRV, RRType::LOC,
+                      RRType::BDADDR, RRType::WIFI, RRType::TSIG, RRType::NSEC3}) {
+    std::vector<std::uint8_t> tiny{0x01};
+    util::ByteReader r{std::span(tiny)};
+    EXPECT_FALSE(decode_rdata(type, r, tiny.size()).ok()) << to_string(type);
+  }
+}
+
+TEST(Rdata, FuzzDecodeNeverCrashes) {
+  util::Rng rng(99);
+  std::vector<RRType> types{RRType::A,     RRType::AAAA,  RRType::SOA,   RRType::TXT,
+                            RRType::SRV,   RRType::LOC,   RRType::SSHFP, RRType::RRSIG,
+                            RRType::NSEC3, RRType::TSIG,  RRType::BDADDR, RRType::WIFI,
+                            RRType::LORA,  RRType::DTMF};
+  for (int trial = 0; trial < 3000; ++trial) {
+    std::vector<std::uint8_t> wire(rng.next_below(48));
+    for (auto& b : wire) b = static_cast<std::uint8_t>(rng.next_below(256));
+    util::ByteReader r{std::span(wire)};
+    (void)decode_rdata(types[static_cast<std::size_t>(trial) % types.size()], r, wire.size());
+  }
+}
+
+TEST(TxtFallback, AllExtendedTypes) {
+  std::vector<RdataCase> extended;
+  for (const auto& c : all_cases())
+    if (has_txt_fallback(c.type)) extended.push_back(c);
+  ASSERT_EQ(extended.size(), 4u);  // BDADDR WIFI LORA DTMF
+  for (const auto& c : extended) {
+    auto txt = to_txt_fallback(c.rdata);
+    ASSERT_TRUE(txt.ok()) << c.label;
+    auto recovered = from_txt_fallback(txt.value());
+    ASSERT_TRUE(recovered.ok()) << c.label << ": " << recovered.error().message;
+    EXPECT_EQ(recovered.value().first, c.type);
+    EXPECT_EQ(recovered.value().second, c.rdata) << c.label;
+  }
+}
+
+TEST(TxtFallback, RegularTypesHaveNone) {
+  EXPECT_FALSE(has_txt_fallback(RRType::A));
+  EXPECT_FALSE(to_txt_fallback(Rdata{AData{}}).ok());
+}
+
+TEST(TxtFallback, RejectsForeignTxt) {
+  EXPECT_FALSE(from_txt_fallback(TxtData{{"v=spf1 -all"}}).ok());
+  EXPECT_FALSE(from_txt_fallback(TxtData{{"sns:nonsense=1"}}).ok());
+  EXPECT_FALSE(from_txt_fallback(TxtData{{"sns:bluetooth=zz"}}).ok());
+  EXPECT_FALSE(from_txt_fallback(TxtData{{"a", "b"}}).ok());
+}
+
+TEST(Record, MakersProduceExpectedTypes) {
+  Name n = name_of("mic.oval-office.loc");
+  EXPECT_EQ(make_a(n, net::Ipv4Addr{{1, 2, 3, 4}}).type, RRType::A);
+  EXPECT_EQ(make_bdaddr(n, net::Bdaddr{}).type, RRType::BDADDR);
+  EXPECT_EQ(make_srv(n, 80, n).type, RRType::SRV);
+  auto soa = make_soa(name_of("oval-office.loc"), name_of("ns.oval-office.loc"), 3);
+  EXPECT_EQ(soa.type, RRType::SOA);
+  EXPECT_EQ(std::get<SoaData>(soa.rdata).serial, 3u);
+}
+
+TEST(Record, WireRoundTripWholeRecord) {
+  auto rr = make_bdaddr(name_of("speaker.oval-office.loc"),
+                        net::Bdaddr{{0x0a, 0x1b, 0x2c, 0x3d, 0x4e, 0x5f}}, 120);
+  util::ByteWriter w;
+  rr.encode(w, nullptr);
+  util::ByteReader r(std::span(w.data()));
+  auto decoded = ResourceRecord::decode(r);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value(), rr);
+}
+
+TEST(RRTypeNames, RoundTrip) {
+  for (RRType type : {RRType::A, RRType::AAAA, RRType::BDADDR, RRType::WIFI, RRType::LORA,
+                      RRType::DTMF, RRType::LOC, RRType::NSEC3}) {
+    auto parsed = rrtype_from_string(to_string(type));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value(), type);
+  }
+  auto generic = rrtype_from_string("TYPE65280");
+  ASSERT_TRUE(generic.ok());
+  EXPECT_EQ(generic.value(), RRType::BDADDR);
+  EXPECT_FALSE(rrtype_from_string("NOTATYPE").ok());
+}
+
+}  // namespace
+}  // namespace sns::dns

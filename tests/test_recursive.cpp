@@ -1,0 +1,114 @@
+// Tests for the caching recursive resolver service (§4.1).
+#include <gtest/gtest.h>
+
+#include "core/deployment.hpp"
+#include "resolver/recursive.hpp"
+
+namespace sns::resolver {
+namespace {
+
+using dns::name_of;
+using dns::Rcode;
+using dns::RRType;
+
+struct Fixture {
+  core::WhiteHouseWorld world = core::make_white_house_world(123);
+  core::SnsDeployment& d = *world.deployment;
+};
+
+TEST(Recursive, ResolvesOnBehalfOfStub) {
+  Fixture f;
+  net::NodeId service = f.d.add_recursive_resolver("isp-resolver", nullptr);
+  net::NodeId client = f.d.add_client("laptop", *f.world.cabinet_room, false);
+  f.d.network().connect(client, service, net::lan_link());
+
+  auto stub = f.d.make_plain_stub(client, service);
+  auto result = stub.resolve(f.world.display, RRType::AAAA);
+  ASSERT_TRUE(result.ok()) << result.error().message;
+  EXPECT_EQ(result.value().rcode, Rcode::NoError);
+  ASSERT_FALSE(result.value().records.empty());
+  EXPECT_EQ(result.value().records.front().type, RRType::AAAA);
+}
+
+TEST(Recursive, RaBitSetAndAaClear) {
+  Fixture f;
+  net::NodeId service = f.d.add_recursive_resolver("isp-resolver", nullptr);
+  RecursiveResolver direct(f.d.network(), service, f.d.directory(), f.d.root_node());
+  auto response = direct.handle(dns::make_query(1, f.world.display, RRType::AAAA));
+  EXPECT_TRUE(response.header.ra);
+  EXPECT_FALSE(response.header.aa);
+  EXPECT_EQ(response.header.rcode, Rcode::NoError);
+}
+
+TEST(Recursive, RefusesWithoutRdBit) {
+  Fixture f;
+  net::NodeId service = f.d.add_recursive_resolver("isp-resolver", nullptr);
+  RecursiveResolver direct(f.d.network(), service, f.d.directory(), f.d.root_node());
+  auto response =
+      direct.handle(dns::make_query(1, f.world.display, RRType::AAAA, /*rd=*/false));
+  EXPECT_EQ(response.header.rcode, Rcode::Refused);
+}
+
+TEST(Recursive, CacheCutsLatencyForSecondClient) {
+  Fixture f;
+  net::NodeId service = f.d.add_recursive_resolver("isp-resolver", nullptr);
+  net::NodeId alice = f.d.add_client("alice", *f.world.cabinet_room, false);
+  net::NodeId bob = f.d.add_client("bob", *f.world.cabinet_room, false);
+  f.d.network().connect(alice, service, net::lan_link());
+  f.d.network().connect(bob, service, net::lan_link());
+
+  auto alice_stub = f.d.make_plain_stub(alice, service);
+  auto cold = alice_stub.resolve(f.world.display, RRType::AAAA);
+  ASSERT_TRUE(cold.ok());
+
+  // Bob benefits from Alice's lookup: the shared cache answers.
+  auto bob_stub = f.d.make_plain_stub(bob, service);
+  auto warm = bob_stub.resolve(f.world.display, RRType::AAAA);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(warm.value().rcode, Rcode::NoError);
+  // Warm answer costs ~one LAN RTT; cold cost a full WAN descent.
+  EXPECT_LT(warm.value().latency * 20, cold.value().latency);
+}
+
+TEST(Recursive, ClientRttIncludesUpstreamWork) {
+  // The client's observed latency must include the recursion the
+  // service performed (nested virtual time accounting).
+  Fixture f;
+  net::NodeId service = f.d.add_recursive_resolver("isp-resolver", nullptr);
+  net::NodeId client = f.d.add_client("laptop", *f.world.cabinet_room, false);
+  f.d.network().connect(client, service, net::lan_link());
+  auto stub = f.d.make_plain_stub(client, service);
+  stub.set_timeout(net::ms(30000), 1);
+
+  auto result = stub.resolve(f.world.display, RRType::AAAA);
+  ASSERT_TRUE(result.ok());
+  // Full descent is many WAN hops: hundreds of virtual ms, far more
+  // than the client<->service LAN RTT (~0.5 ms).
+  EXPECT_GT(result.value().latency, net::ms(100));
+}
+
+TEST(Recursive, NegativeAnswersPropagate) {
+  Fixture f;
+  net::NodeId service = f.d.add_recursive_resolver("isp-resolver", nullptr);
+  RecursiveResolver direct(f.d.network(), service, f.d.directory(), f.d.root_node());
+  auto response = direct.handle(
+      dns::make_query(1, name_of("nonexistent.usa.loc"), RRType::A));
+  EXPECT_EQ(response.header.rcode, Rcode::NXDomain);
+}
+
+TEST(Recursive, InsideBoundaryResolverSeesInternalView) {
+  // A recursive resolver deployed inside the White House LAN serves the
+  // internal view to its (internal) clients.
+  Fixture f;
+  net::NodeId service = f.d.add_recursive_resolver("wh-resolver", f.world.white_house);
+  net::NodeId client = f.d.add_client("staff-laptop", *f.world.white_house, true);
+  f.d.network().connect(client, service, net::lan_link());
+  auto stub = f.d.make_plain_stub(client, service);
+  auto result = stub.resolve(f.world.speaker, RRType::BDADDR);
+  ASSERT_TRUE(result.ok()) << result.error().message;
+  EXPECT_EQ(result.value().rcode, Rcode::NoError);
+  ASSERT_FALSE(result.value().records.empty());
+}
+
+}  // namespace
+}  // namespace sns::resolver

@@ -1,0 +1,226 @@
+// Tests for the resolver stack: cache, stub (spatial search list),
+// iterative resolution with referrals.
+#include <gtest/gtest.h>
+
+#include "core/deployment.hpp"
+#include "resolver/cache.hpp"
+#include "resolver/iterative.hpp"
+#include "resolver/stub.hpp"
+
+namespace sns::resolver {
+namespace {
+
+using dns::make_a;
+using dns::name_of;
+using dns::Rcode;
+using dns::RRType;
+
+// --- DnsCache ----------------------------------------------------------------
+
+TEST(Cache, PositiveHitWithTtlDecrement) {
+  DnsCache cache;
+  dns::RRset rrset{make_a(name_of("a.loc"), net::Ipv4Addr{{1, 1, 1, 1}}, 100)};
+  cache.put(rrset, net::ms(0));
+  auto hit = cache.get(name_of("a.loc"), RRType::A, std::chrono::seconds(40));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ((*hit)[0].ttl, 60u);
+  EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST(Cache, ExpiryIsExact) {
+  DnsCache cache;
+  dns::RRset rrset{make_a(name_of("a.loc"), net::Ipv4Addr{{1, 1, 1, 1}}, 100)};
+  cache.put(rrset, net::ms(0));
+  EXPECT_TRUE(cache.get(name_of("a.loc"), RRType::A, std::chrono::seconds(100) - net::us(1))
+                  .has_value());
+  EXPECT_FALSE(cache.get(name_of("a.loc"), RRType::A, std::chrono::seconds(100)).has_value());
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(Cache, MinTtlOfSetGoverns) {
+  DnsCache cache;
+  dns::RRset rrset{make_a(name_of("a.loc"), net::Ipv4Addr{{1, 1, 1, 1}}, 100),
+                   make_a(name_of("a.loc"), net::Ipv4Addr{{2, 2, 2, 2}}, 10)};
+  cache.put(rrset, net::ms(0));
+  EXPECT_FALSE(cache.get(name_of("a.loc"), RRType::A, std::chrono::seconds(11)).has_value());
+}
+
+TEST(Cache, NegativeCaching) {
+  DnsCache cache;
+  cache.put_negative(name_of("ghost.loc"), RRType::A, Rcode::NXDomain, 60, net::ms(0));
+  auto hit = cache.get_negative(name_of("ghost.loc"), RRType::A, std::chrono::seconds(30));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, Rcode::NXDomain);
+  EXPECT_FALSE(
+      cache.get_negative(name_of("ghost.loc"), RRType::A, std::chrono::seconds(61)).has_value());
+}
+
+TEST(Cache, LruEvictsOldest) {
+  DnsCache cache(3);
+  for (int i = 0; i < 4; ++i) {
+    dns::RRset rrset{
+        make_a(name_of("h" + std::to_string(i) + ".loc"), net::Ipv4Addr{{1, 1, 1, 1}}, 100)};
+    cache.put(rrset, net::ms(0));
+  }
+  // h0 was evicted; h1..h3 remain.
+  EXPECT_FALSE(cache.get(name_of("h0.loc"), RRType::A, net::ms(1)).has_value());
+  EXPECT_TRUE(cache.get(name_of("h3.loc"), RRType::A, net::ms(1)).has_value());
+}
+
+TEST(Cache, TouchKeepsHotEntries) {
+  DnsCache cache(2);
+  dns::RRset a{make_a(name_of("a.loc"), net::Ipv4Addr{{1, 1, 1, 1}}, 100)};
+  dns::RRset b{make_a(name_of("b.loc"), net::Ipv4Addr{{1, 1, 1, 1}}, 100)};
+  dns::RRset c{make_a(name_of("c.loc"), net::Ipv4Addr{{1, 1, 1, 1}}, 100)};
+  cache.put(a, net::ms(0));
+  cache.put(b, net::ms(0));
+  (void)cache.get(name_of("a.loc"), RRType::A, net::ms(1));  // touch a
+  cache.put(c, net::ms(0));                                   // evicts b, not a
+  EXPECT_TRUE(cache.get(name_of("a.loc"), RRType::A, net::ms(2)).has_value());
+  EXPECT_FALSE(cache.get(name_of("b.loc"), RRType::A, net::ms(2)).has_value());
+}
+
+TEST(Cache, TypeIsPartOfKey) {
+  DnsCache cache;
+  dns::RRset rrset{make_a(name_of("a.loc"), net::Ipv4Addr{{1, 1, 1, 1}}, 100)};
+  cache.put(rrset, net::ms(0));
+  EXPECT_FALSE(cache.get(name_of("a.loc"), RRType::AAAA, net::ms(1)).has_value());
+}
+
+// --- Stub + iterative over a deployed world ----------------------------------
+
+struct Fixture {
+  core::WhiteHouseWorld world = core::make_white_house_world(7);
+  core::SnsDeployment& d = *world.deployment;
+};
+
+TEST(Stub, SearchListCompletesRelativeNames) {
+  Fixture f;
+  net::NodeId client = f.d.add_client("c", *f.world.oval_office, true);
+  auto stub = f.d.make_stub(client, *f.world.oval_office);
+  auto result = stub.resolve("speaker", RRType::BDADDR);
+  ASSERT_TRUE(result.ok()) << result.error().message;
+  EXPECT_EQ(result.value().rcode, Rcode::NoError);
+  EXPECT_EQ(result.value().effective_name, f.world.speaker);
+  ASSERT_EQ(result.value().records.size(), 1u);
+}
+
+TEST(Stub, AbsoluteNameSkipsSearchList) {
+  Fixture f;
+  net::NodeId client = f.d.add_client("c", *f.world.oval_office, true);
+  auto stub = f.d.make_stub(client, *f.world.oval_office);
+  auto result = stub.resolve(f.world.display.to_string() + ".", RRType::A);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().rcode, Rcode::NoError);
+}
+
+TEST(Stub, NxdomainForGarbage) {
+  Fixture f;
+  net::NodeId client = f.d.add_client("c", *f.world.oval_office, true);
+  auto stub = f.d.make_stub(client, *f.world.oval_office);
+  auto result = stub.resolve("no-such-device", RRType::A);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().rcode, Rcode::NXDomain);
+}
+
+TEST(Stub, CacheMakesRepeatLookupsInstant) {
+  Fixture f;
+  net::NodeId client = f.d.add_client("c", *f.world.oval_office, true);
+  auto stub = f.d.make_stub(client, *f.world.oval_office);
+  DnsCache cache;
+  stub.set_cache(&cache);
+
+  auto first = stub.resolve(f.world.speaker, RRType::BDADDR);
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(first.value().from_cache);
+  EXPECT_GT(first.value().latency.count(), 0);
+
+  auto second = stub.resolve(f.world.speaker, RRType::BDADDR);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second.value().from_cache);
+  EXPECT_EQ(second.value().latency.count(), 0);
+  EXPECT_EQ(second.value().records[0].rdata, first.value().records[0].rdata);
+}
+
+TEST(Stub, NegativeCachingOfNxdomain) {
+  Fixture f;
+  net::NodeId client = f.d.add_client("c", *f.world.oval_office, true);
+  auto stub = f.d.make_stub(client, *f.world.oval_office);
+  DnsCache cache;
+  stub.set_cache(&cache);
+  Name ghost = name_of("ghost." + f.world.oval_office->zone->domain().to_string());
+  ASSERT_TRUE(stub.resolve(ghost, RRType::A).ok());
+  auto cached = stub.resolve(ghost, RRType::A);
+  ASSERT_TRUE(cached.ok());
+  EXPECT_TRUE(cached.value().from_cache);
+  EXPECT_EQ(cached.value().rcode, Rcode::NXDomain);
+}
+
+TEST(Iterative, ResolvesThroughFullHierarchy) {
+  Fixture f;
+  net::NodeId client = f.d.add_client("remote", *f.world.cabinet_room, false);
+  auto iterative = f.d.make_iterative(client);
+  auto result = iterative.resolve(f.world.display, RRType::AAAA);
+  ASSERT_TRUE(result.ok()) << result.error().message;
+  EXPECT_EQ(result.value().rcode, Rcode::NoError);
+  ASSERT_FALSE(result.value().records.empty());
+  // Root -> loc is one zone cut; then usa, dc, washington, penn-ave,
+  // 1600, oval-office: at least 6 referrals.
+  EXPECT_GE(result.value().referrals_followed, 6);
+  EXPECT_GE(result.value().queries_sent, 7);
+  EXPECT_GT(result.value().latency.count(), 0);
+}
+
+TEST(Iterative, ExternalViewServedToRemoteClients) {
+  Fixture f;
+  net::NodeId client = f.d.add_client("remote", *f.world.cabinet_room, false);
+  auto iterative = f.d.make_iterative(client);
+  // The mic is presence-protected (§3.1): resolution from outside is
+  // REFUSED — the Bluetooth address never leaves the room's view.
+  auto mic = iterative.resolve(f.world.mic, RRType::BDADDR);
+  ASSERT_TRUE(mic.ok()) << mic.error().message;
+  EXPECT_EQ(mic.value().rcode, Rcode::Refused);
+  EXPECT_TRUE(mic.value().records.empty());
+  // The speaker is not protected but exists only in the internal view:
+  // outsiders get NXDOMAIN from the external view.
+  auto speaker = iterative.resolve(f.world.speaker, RRType::BDADDR);
+  ASSERT_TRUE(speaker.ok()) << speaker.error().message;
+  EXPECT_EQ(speaker.value().rcode, Rcode::NXDomain);
+}
+
+TEST(Iterative, CacheShortCircuitsSecondResolution) {
+  Fixture f;
+  net::NodeId client = f.d.add_client("remote", *f.world.cabinet_room, false);
+  auto iterative = f.d.make_iterative(client);
+  DnsCache cache;
+  iterative.set_cache(&cache);
+  auto first = iterative.resolve(f.world.display, RRType::AAAA);
+  ASSERT_TRUE(first.ok());
+  int first_queries = first.value().queries_sent;
+  auto second = iterative.resolve(f.world.display, RRType::AAAA);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second.value().queries_sent, 0);
+  EXPECT_GT(first_queries, 0);
+}
+
+TEST(Iterative, UnresolvableNameFails) {
+  Fixture f;
+  net::NodeId client = f.d.add_client("remote", *f.world.cabinet_room, false);
+  auto iterative = f.d.make_iterative(client);
+  auto result = iterative.resolve(name_of("device.nowhere.example"), RRType::A);
+  // Root is not authoritative and has no delegation: NXDOMAIN from root.
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().rcode, Rcode::NXDomain);
+}
+
+TEST(Directory, LookupByNameAndAddress) {
+  ServerDirectory directory;
+  directory.register_server(name_of("ns.zone.loc"), net::Ipv4Addr{{10, 0, 0, 7}}, 42);
+  EXPECT_EQ(directory.by_name(name_of("ns.zone.loc")), std::optional<net::NodeId>(42));
+  EXPECT_EQ(directory.by_address(net::Ipv4Addr{{10, 0, 0, 7}}), std::optional<net::NodeId>(42));
+  EXPECT_EQ(directory.by_name(name_of("nope.loc")), std::nullopt);
+  EXPECT_EQ(directory.by_address(net::Ipv4Addr{{9, 9, 9, 9}}), std::nullopt);
+}
+
+}  // namespace
+}  // namespace sns::resolver

@@ -1,0 +1,210 @@
+// Tests for connectivity selection (§2.2), EDNS0/truncation handling
+// and NSEC3 authenticated denial served by the authoritative engine.
+#include <gtest/gtest.h>
+
+#include "core/deployment.hpp"
+#include "core/selection.hpp"
+#include "dns/dnssec.hpp"
+#include "server/authoritative.hpp"
+
+namespace sns::core {
+namespace {
+
+using dns::name_of;
+using dns::RRType;
+
+const dns::Name kDevice = name_of("mic.oval-office.loc");
+
+dns::RRset full_answer() {
+  return {
+      dns::make_bdaddr(kDevice, net::Bdaddr{{1, 2, 3, 4, 5, 6}}),
+      dns::make_a(kDevice, net::Ipv4Addr{{192, 0, 3, 10}}),
+      dns::make_aaaa(kDevice, net::Ipv6Addr::parse("2001:db8::10").value()),
+      dns::make_txt(kDevice, {"sns:zigbee=00:11:22:33:44:55:66:77"}),
+      dns::ResourceRecord{kDevice, RRType::DTMF, dns::RRClass::IN, 60,
+                          dns::DtmfData{net::DtmfTone{"42#"}}},
+  };
+}
+
+TEST(Selection, ExtractsEveryFamilyIncludingFallback) {
+  auto choices = extract_addresses(full_answer());
+  ASSERT_EQ(choices.size(), 5u);
+  int fallbacks = 0;
+  for (const auto& choice : choices)
+    if (choice.from_txt_fallback) ++fallbacks;
+  EXPECT_EQ(fallbacks, 1);  // the zigbee TXT
+}
+
+TEST(Selection, PreferLocalPicksBluetooth) {
+  auto best = choose_address(full_answer(), SelectionPolicy::PreferLocal);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(best->source_type, RRType::BDADDR);
+  EXPECT_EQ(net::family_name(best->address), "bluetooth");
+}
+
+TEST(Selection, PreferGlobalPicksIpv6) {
+  auto best = choose_address(full_answer(), SelectionPolicy::PreferGlobal);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(net::family_name(best->address), "ipv6");
+}
+
+TEST(Selection, WifiYieldsItsIpv4) {
+  dns::RRset answer{dns::ResourceRecord{kDevice, RRType::WIFI, dns::RRClass::IN, 60,
+                                        dns::WifiData{"net", net::Ipv4Addr{{10, 1, 1, 1}}}}};
+  auto choices = extract_addresses(answer);
+  ASSERT_EQ(choices.size(), 1u);
+  EXPECT_EQ(choices[0].source_type, RRType::WIFI);
+  EXPECT_EQ(net::to_string(choices[0].address), "10.1.1.1");
+}
+
+TEST(Selection, EmptyAndIrrelevantAnswers) {
+  EXPECT_FALSE(choose_address({}).has_value());
+  dns::RRset irrelevant{dns::make_txt(kDevice, {"hello"}),
+                        dns::make_ns(name_of("oval-office.loc"), name_of("ns.oval-office.loc"))};
+  EXPECT_FALSE(choose_address(irrelevant).has_value());
+}
+
+// --- EDNS0 / truncation -------------------------------------------------
+
+TEST(Edns, AdvertisedSizeDefaultsTo512) {
+  dns::Message query = dns::make_query(1, kDevice, RRType::ANY);
+  EXPECT_EQ(dns::advertised_udp_size(query), dns::kClassicUdpLimit);
+  dns::add_edns(query, 4096);
+  EXPECT_EQ(dns::advertised_udp_size(query), 4096u);
+}
+
+TEST(Edns, OversizedAnswerTruncatesWithoutEdns) {
+  dns::Message query = dns::make_query(1, kDevice, RRType::TXT);
+  dns::Message response = dns::make_response(query, dns::Rcode::NoError, true);
+  for (int i = 0; i < 10; ++i)
+    response.answers.push_back(dns::make_txt(kDevice, {std::string(100, 'x')}));
+
+  auto wire = dns::encode_for_transport(query, response);
+  EXPECT_LE(wire.size(), dns::kClassicUdpLimit);
+  auto decoded = dns::Message::decode(std::span(wire));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded.value().header.tc);
+  EXPECT_TRUE(decoded.value().answers.empty());
+
+  // With EDNS the same answer goes through whole.
+  dns::Message edns_query = query;
+  dns::add_edns(edns_query, 4096);
+  auto big_wire = dns::encode_for_transport(edns_query, response);
+  auto big = dns::Message::decode(std::span(big_wire));
+  ASSERT_TRUE(big.ok());
+  EXPECT_FALSE(big.value().header.tc);
+  EXPECT_EQ(big.value().answers.size(), 10u);
+}
+
+TEST(Edns, StubRetriesTruncatedAnswers) {
+  // A device with a large TXT RRset behind a deployed edge server: the
+  // stub's first query truncates, the EDNS retry succeeds transparently.
+  auto world = make_white_house_world(66);
+  auto& d = *world.deployment;
+  auto zone = world.oval_office->zone->local_zone();
+  for (int i = 0; i < 10; ++i)
+    (void)zone->add(dns::make_txt(world.speaker,
+                                  {std::string(90, static_cast<char>('a' + i))}));
+
+  net::NodeId client = d.add_client("c", *world.oval_office, true);
+  auto stub = d.make_stub(client, *world.oval_office);
+  auto result = stub.resolve(world.speaker, RRType::TXT);
+  ASSERT_TRUE(result.ok()) << result.error().message;
+  EXPECT_EQ(result.value().rcode, dns::Rcode::NoError);
+  EXPECT_EQ(result.value().records.size(), 10u);
+}
+
+// --- NSEC3 denial from the server ----------------------------------------
+
+struct KeyedServer {
+  server::AuthoritativeServer srv{"keyed"};
+  std::shared_ptr<server::Zone> zone;
+  dns::ZoneKey key{name_of("oval-office.loc"), {9, 9, 9}};
+
+  KeyedServer() {
+    zone = std::make_shared<server::Zone>(name_of("oval-office.loc"),
+                                          name_of("ns.oval-office.loc"));
+    (void)zone->add(dns::make_bdaddr(kDevice, net::Bdaddr{{1, 2, 3, 4, 5, 6}}));
+    srv.add_zone(zone);
+    srv.set_zone_key(key, [] { return 1000u; });
+    srv.enable_nsec3({0xab}, 3);
+  }
+};
+
+TEST(Nsec3Denial, NxdomainCarriesCoveringProof) {
+  KeyedServer keyed;
+  server::ClientContext ctx;
+  ctx.internal = true;
+  auto response = keyed.srv.handle(
+      dns::make_query(1, name_of("ghost.oval-office.loc"), RRType::A), ctx);
+  EXPECT_EQ(response.header.rcode, dns::Rcode::NXDomain);
+  EXPECT_TRUE(response.header.ad);
+
+  const dns::ResourceRecord* nsec3 = nullptr;
+  const dns::ResourceRecord* rrsig = nullptr;
+  for (const auto& rr : response.authorities) {
+    if (rr.type == RRType::NSEC3) nsec3 = &rr;
+    if (rr.type == RRType::RRSIG) rrsig = &rr;
+  }
+  ASSERT_NE(nsec3, nullptr);
+  ASSERT_NE(rrsig, nullptr);
+  // The proof actually covers the query name and verifies.
+  auto covers = dns::nsec3_covers(*nsec3, name_of("ghost.oval-office.loc"),
+                                  name_of("oval-office.loc"));
+  ASSERT_TRUE(covers.ok());
+  EXPECT_TRUE(covers.value());
+  auto verified = dns::verify_rrsig({*nsec3}, std::get<dns::RrsigData>(rrsig->rdata),
+                                    keyed.key, 1000);
+  EXPECT_TRUE(verified.ok()) << verified.error().message;
+}
+
+TEST(Nsec3Denial, NodataCarriesMatchingBitmap) {
+  KeyedServer keyed;
+  server::ClientContext ctx;
+  ctx.internal = true;
+  auto response = keyed.srv.handle(dns::make_query(1, kDevice, RRType::AAAA), ctx);
+  EXPECT_EQ(response.header.rcode, dns::Rcode::NoError);
+  const dns::Nsec3Data* proof = nullptr;
+  for (const auto& rr : response.authorities)
+    if (const auto* data = std::get_if<dns::Nsec3Data>(&rr.rdata)) proof = data;
+  ASSERT_NE(proof, nullptr);
+  // Bitmap proves BDADDR exists at the name but AAAA does not.
+  EXPECT_NE(std::find(proof->types.begin(), proof->types.end(), RRType::BDADDR),
+            proof->types.end());
+  EXPECT_EQ(std::find(proof->types.begin(), proof->types.end(), RRType::AAAA),
+            proof->types.end());
+}
+
+TEST(Nsec3Denial, ChainRefreshesAfterUpdate) {
+  KeyedServer keyed;
+  server::ClientContext ctx;
+  ctx.internal = true;
+  // ghost does not exist: covered.
+  auto before = keyed.srv.handle(
+      dns::make_query(1, name_of("ghost.oval-office.loc"), RRType::A), ctx);
+  EXPECT_EQ(before.header.rcode, dns::Rcode::NXDomain);
+  // Add it (and bump the serial, as dynamic update would).
+  (void)keyed.zone->add(dns::make_a(name_of("ghost.oval-office.loc"),
+                                    net::Ipv4Addr{{10, 0, 0, 2}}));
+  keyed.zone->bump_serial();
+  auto after = keyed.srv.handle(
+      dns::make_query(2, name_of("ghost.oval-office.loc"), RRType::A), ctx);
+  EXPECT_EQ(after.header.rcode, dns::Rcode::NoError);
+  ASSERT_EQ(after.answers.size(), 2u);  // A + RRSIG
+  // And a *different* absent name still gets a valid proof from the
+  // rebuilt chain (which now includes ghost's hash).
+  auto other = keyed.srv.handle(
+      dns::make_query(3, name_of("phantom.oval-office.loc"), RRType::A), ctx);
+  EXPECT_EQ(other.header.rcode, dns::Rcode::NXDomain);
+  bool proof_found = false;
+  for (const auto& rr : other.authorities) {
+    if (rr.type != RRType::NSEC3) continue;
+    auto covers = dns::nsec3_covers(rr, name_of("phantom.oval-office.loc"),
+                                    name_of("oval-office.loc"));
+    if (covers.ok() && covers.value()) proof_found = true;
+  }
+  EXPECT_TRUE(proof_found);
+}
+
+}  // namespace
+}  // namespace sns::core

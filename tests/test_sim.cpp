@@ -1,0 +1,267 @@
+// Tests for the discrete-event simulator and network model (src/net).
+#include <gtest/gtest.h>
+
+#include "net/network.hpp"
+#include "net/sim.hpp"
+
+namespace sns::net {
+namespace {
+
+TEST(SimClock, MonotonicAdvance) {
+  SimClock clock;
+  EXPECT_EQ(clock.now(), TimePoint{0});
+  clock.advance(ms(10));
+  EXPECT_EQ(clock.now(), ms(10));
+  clock.advance_to(ms(25));
+  EXPECT_EQ(clock.now(), ms(25));
+}
+
+TEST(Scheduler, FiresInTimeOrder) {
+  SimClock clock;
+  EventScheduler scheduler(clock);
+  std::vector<int> fired;
+  scheduler.schedule_at(ms(30), [&] { fired.push_back(3); });
+  scheduler.schedule_at(ms(10), [&] { fired.push_back(1); });
+  scheduler.schedule_at(ms(20), [&] { fired.push_back(2); });
+  scheduler.run_until(ms(25));
+  EXPECT_EQ(fired, (std::vector<int>{1, 2}));
+  EXPECT_EQ(clock.now(), ms(25));
+  scheduler.run_all();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(clock.now(), ms(30));
+}
+
+TEST(Scheduler, SameInstantIsFifo) {
+  SimClock clock;
+  EventScheduler scheduler(clock);
+  std::vector<int> fired;
+  for (int i = 0; i < 5; ++i) scheduler.schedule_at(ms(5), [&fired, i] { fired.push_back(i); });
+  scheduler.run_all();
+  EXPECT_EQ(fired, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Scheduler, EventsMayScheduleEvents) {
+  SimClock clock;
+  EventScheduler scheduler(clock);
+  int count = 0;
+  std::function<void()> tick = [&] {
+    if (++count < 5) scheduler.schedule_after(ms(10), tick);
+  };
+  scheduler.schedule_at(ms(0), tick);
+  scheduler.run_all();
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(clock.now(), ms(40));
+}
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  Network network_{1234};
+};
+
+TEST_F(NetworkTest, ExchangeDeliversAndTimesPacket) {
+  NodeId a = network_.add_node("a");
+  NodeId b = network_.add_node("b");
+  network_.connect(a, b, LinkSpec{ms(5), us(0), 0.0});
+  network_.set_handler(b, [](std::span<const std::uint8_t> payload, NodeId) {
+    util::Bytes reply(payload.begin(), payload.end());
+    reply.push_back('!');
+    return reply;
+  });
+  util::Bytes ping{'h', 'i'};
+  auto result = network_.exchange(a, b, std::span(ping));
+  ASSERT_TRUE(result.ok()) << result.error().message;
+  EXPECT_EQ(result.value().response, (util::Bytes{'h', 'i', '!'}));
+  EXPECT_EQ(result.value().rtt, ms(10));  // 5 there + 5 back, no jitter
+  EXPECT_EQ(network_.clock().now(), ms(10));
+  EXPECT_EQ(result.value().attempts, 1);
+}
+
+TEST_F(NetworkTest, MultiHopRouting) {
+  NodeId a = network_.add_node("a");
+  NodeId r = network_.add_node("router");
+  NodeId b = network_.add_node("b");
+  network_.connect(a, r, LinkSpec{ms(2), us(0), 0.0});
+  network_.connect(r, b, LinkSpec{ms(3), us(0), 0.0});
+  network_.set_handler(b, [](std::span<const std::uint8_t>, NodeId) {
+    return util::Bytes{1};
+  });
+  util::Bytes payload{0};
+  auto result = network_.exchange(a, b, std::span(payload));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().rtt, ms(10));  // (2+3)*2
+  auto latency = network_.path_latency(a, b);
+  ASSERT_TRUE(latency.ok());
+  EXPECT_EQ(latency.value(), ms(5));
+}
+
+TEST_F(NetworkTest, ShortestPathPreferred) {
+  NodeId a = network_.add_node("a");
+  NodeId slow = network_.add_node("slow");
+  NodeId b = network_.add_node("b");
+  network_.connect(a, b, LinkSpec{ms(4), us(0), 0.0});
+  network_.connect(a, slow, LinkSpec{ms(10), us(0), 0.0});
+  network_.connect(slow, b, LinkSpec{ms(10), us(0), 0.0});
+  auto latency = network_.path_latency(a, b);
+  ASSERT_TRUE(latency.ok());
+  EXPECT_EQ(latency.value(), ms(4));
+}
+
+TEST_F(NetworkTest, NoRouteFails) {
+  NodeId a = network_.add_node("a");
+  NodeId b = network_.add_node("b");  // not connected
+  network_.set_handler(b, [](std::span<const std::uint8_t>, NodeId) {
+    return util::Bytes{};
+  });
+  util::Bytes payload{0};
+  EXPECT_FALSE(network_.exchange(a, b, std::span(payload)).ok());
+  EXPECT_FALSE(network_.path_latency(a, b).ok());
+}
+
+TEST_F(NetworkTest, NoHandlerFails) {
+  NodeId a = network_.add_node("a");
+  NodeId b = network_.add_node("b");
+  network_.connect(a, b, lan_link());
+  util::Bytes payload{0};
+  EXPECT_FALSE(network_.exchange(a, b, std::span(payload)).ok());
+}
+
+TEST_F(NetworkTest, LossTriggersRetryAndTimeout) {
+  NodeId a = network_.add_node("a");
+  NodeId b = network_.add_node("b");
+  network_.connect(a, b, LinkSpec{ms(1), us(0), 1.0});  // 100% loss
+  network_.set_handler(b, [](std::span<const std::uint8_t>, NodeId) {
+    return util::Bytes{};
+  });
+  util::Bytes payload{0};
+  auto result = network_.exchange(a, b, std::span(payload), ms(100), 3);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(network_.clock().now(), ms(300));  // 3 timeouts burned
+}
+
+TEST_F(NetworkTest, PartialLossEventuallySucceeds) {
+  NodeId a = network_.add_node("a");
+  NodeId b = network_.add_node("b");
+  network_.connect(a, b, LinkSpec{ms(1), us(0), 0.5});
+  network_.set_handler(b, [](std::span<const std::uint8_t>, NodeId) {
+    return util::Bytes{7};
+  });
+  // Each attempt succeeds with p = 0.5 * 0.5 (request AND response must
+  // survive); with 10 attempts p(all fail) = 0.75^10 ~ 5.6%.
+  int successes = 0;
+  for (int i = 0; i < 50; ++i) {
+    util::Bytes payload{0};
+    if (network_.exchange(a, b, std::span(payload), ms(10), 10).ok()) ++successes;
+  }
+  EXPECT_GT(successes, 38);
+}
+
+TEST_F(NetworkTest, LinkDownBlocksAndRestores) {
+  NodeId a = network_.add_node("a");
+  NodeId b = network_.add_node("b");
+  network_.connect(a, b, lan_link());
+  network_.set_handler(b, [](std::span<const std::uint8_t>, NodeId) {
+    return util::Bytes{1};
+  });
+  util::Bytes payload{0};
+  EXPECT_TRUE(network_.exchange(a, b, std::span(payload)).ok());
+  network_.set_link_down(a, b, true);
+  EXPECT_FALSE(network_.exchange(a, b, std::span(payload)).ok());
+  network_.set_link_down(a, b, false);
+  EXPECT_TRUE(network_.exchange(a, b, std::span(payload)).ok());
+}
+
+TEST_F(NetworkTest, MulticastCollectsGroupResponses) {
+  NodeId querier = network_.add_node("q");
+  for (int i = 0; i < 4; ++i) {
+    NodeId m = network_.add_node("m" + std::to_string(i));
+    network_.connect(querier, m, LinkSpec{ms(1 + i), us(0), 0.0});
+    network_.join_group(99, m);
+    bool responds = i != 2;  // member 2 stays silent
+    network_.set_handler(m, [responds, i](std::span<const std::uint8_t>, NodeId)
+                                -> std::optional<util::Bytes> {
+      if (!responds) return std::nullopt;
+      return util::Bytes{static_cast<std::uint8_t>(i)};
+    });
+  }
+  util::Bytes query{0};
+  auto responses = network_.multicast_query(querier, 99, std::span(query), ms(100));
+  ASSERT_EQ(responses.size(), 3u);
+  // Sorted by arrival: member 0 (rtt 2ms) first.
+  EXPECT_EQ(responses[0].payload, util::Bytes{0});
+  EXPECT_LT(responses[0].elapsed, responses[1].elapsed);
+  EXPECT_EQ(network_.clock().now(), ms(100));  // full window waited
+}
+
+TEST_F(NetworkTest, MulticastWindowCutsSlowResponders) {
+  NodeId querier = network_.add_node("q");
+  NodeId slow = network_.add_node("slow");
+  network_.connect(querier, slow, LinkSpec{ms(60), us(0), 0.0});
+  network_.join_group(7, slow);
+  network_.set_handler(slow, [](std::span<const std::uint8_t>, NodeId) {
+    return util::Bytes{1};
+  });
+  util::Bytes query{0};
+  auto responses = network_.multicast_query(querier, 7, std::span(query), ms(100));
+  EXPECT_TRUE(responses.empty());  // 120ms rtt > 100ms window
+}
+
+TEST_F(NetworkTest, ProcessingDelayExtendsRtt) {
+  NodeId a = network_.add_node("a");
+  NodeId b = network_.add_node("b");
+  network_.connect(a, b, LinkSpec{ms(1), us(0), 0.0});
+  network_.set_handler(b, [this](std::span<const std::uint8_t>, NodeId) {
+    network_.add_processing_delay(ms(50));
+    return util::Bytes{1};
+  });
+  util::Bytes payload{0};
+  auto result = network_.exchange(a, b, std::span(payload));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().rtt, ms(52));
+}
+
+TEST_F(NetworkTest, AudioStaysInRoom) {
+  NodeId speaker = network_.add_node("speaker");
+  NodeId same_room = network_.add_node("same");
+  NodeId other_room = network_.add_node("other");
+  NodeId no_room = network_.add_node("none");
+  network_.place_in_room(speaker, 1);
+  network_.place_in_room(same_room, 1);
+  network_.place_in_room(other_room, 2);
+  int same_heard = 0, other_heard = 0, none_heard = 0;
+  network_.set_audio_handler(same_room,
+                             [&](std::span<const std::uint8_t>, NodeId) { ++same_heard; });
+  network_.set_audio_handler(other_room,
+                             [&](std::span<const std::uint8_t>, NodeId) { ++other_heard; });
+  network_.set_audio_handler(no_room,
+                             [&](std::span<const std::uint8_t>, NodeId) { ++none_heard; });
+  util::Bytes chirp{1, 2, 3};
+  network_.audio_broadcast(speaker, std::span(chirp));
+  EXPECT_EQ(same_heard, 1);
+  EXPECT_EQ(other_heard, 0);
+  EXPECT_EQ(none_heard, 0);
+  EXPECT_EQ(network_.clock().now(), ms(150));  // chirp duration
+  EXPECT_EQ(network_.room_of(speaker), std::optional<std::uint32_t>(1));
+  EXPECT_EQ(network_.room_of(no_room), std::nullopt);
+}
+
+TEST_F(NetworkTest, DeterministicAcrossRuns) {
+  auto run = [](std::uint64_t seed) {
+    Network net(seed);
+    NodeId a = net.add_node("a");
+    NodeId b = net.add_node("b");
+    net.connect(a, b, LinkSpec{ms(3), ms(2), 0.2});
+    net.set_handler(b, [](std::span<const std::uint8_t>, NodeId) { return util::Bytes{1}; });
+    std::vector<std::int64_t> rtts;
+    for (int i = 0; i < 20; ++i) {
+      util::Bytes p{0};
+      auto r = net.exchange(a, b, std::span(p), ms(50), 4);
+      rtts.push_back(r.ok() ? r.value().rtt.count() : -1);
+    }
+    return rtts;
+  };
+  EXPECT_EQ(run(42), run(42));
+  EXPECT_NE(run(42), run(43));
+}
+
+}  // namespace
+}  // namespace sns::net

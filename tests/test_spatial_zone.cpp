@@ -1,0 +1,193 @@
+// Tests for SpatialZone: registration, zero-conf naming, split views,
+// geodetic index integration, delegation (src/core/spatial_zone).
+#include <gtest/gtest.h>
+
+#include "core/spatial_zone.hpp"
+
+namespace sns::core {
+namespace {
+
+using dns::Name;
+using dns::name_of;
+using dns::RRType;
+
+SpatialZone office_zone(IndexKind kind = IndexKind::Hilbert) {
+  auto civic = CivicName::from_components({"usa", "dc", "oval-office"}).value();
+  return SpatialZone(civic, geo::BoundingBox{38.897, -77.038, 38.898, -77.037}, kind, 8);
+}
+
+Device mic_device() {
+  Device device;
+  device.function = "mic";
+  device.local_addresses = {net::Bdaddr{{1, 2, 3, 4, 5, 6}}, net::Ipv4Addr{{192, 0, 3, 10}}};
+  device.position = {38.8975, -77.0375, 18.0};
+  return device;
+}
+
+TEST(SpatialZone, DomainDerivedFromCivic) {
+  auto zone = office_zone();
+  EXPECT_EQ(zone.domain(), name_of("oval-office.dc.usa.loc"));
+  EXPECT_EQ(zone.local_zone()->apex(), zone.domain());
+  EXPECT_EQ(zone.global_zone()->apex(), zone.domain());
+}
+
+TEST(SpatialZone, RegisterDerivesRecords) {
+  auto zone = office_zone();
+  auto name = zone.register_device(mic_device());
+  ASSERT_TRUE(name.ok()) << name.error().message;
+  EXPECT_EQ(name.value(), name_of("mic.oval-office.dc.usa.loc"));
+
+  // Local view: BDADDR + A + LOC.
+  EXPECT_NE(zone.local_zone()->find(name.value(), RRType::BDADDR), nullptr);
+  EXPECT_NE(zone.local_zone()->find(name.value(), RRType::A), nullptr);
+  const auto* loc = zone.local_zone()->find(name.value(), RRType::LOC);
+  ASSERT_NE(loc, nullptr);
+  EXPECT_NEAR(std::get<dns::LocData>(loc->front().rdata).latitude_degrees(), 38.8975, 1e-5);
+
+  // No global address: nothing in the global view.
+  EXPECT_EQ(zone.global_zone()->find(name.value(), RRType::AAAA), nullptr);
+  EXPECT_EQ(zone.global_zone()->find(name.value(), RRType::LOC), nullptr);
+}
+
+TEST(SpatialZone, GlobalAddressPublishedExternally) {
+  auto zone = office_zone();
+  Device device = mic_device();
+  device.function = "display";
+  device.global_address = net::Ipv6Addr::parse("2001:db8::12").value();
+  auto name = zone.register_device(device);
+  ASSERT_TRUE(name.ok());
+  EXPECT_NE(zone.global_zone()->find(name.value(), RRType::AAAA), nullptr);
+  EXPECT_NE(zone.global_zone()->find(name.value(), RRType::LOC), nullptr);
+  // The local link addresses still do NOT appear globally.
+  EXPECT_EQ(zone.global_zone()->find(name.value(), RRType::BDADDR), nullptr);
+}
+
+TEST(SpatialZone, ZeroConfNamingDisambiguates) {
+  // §2.3: function names stay unique within the spatial domain.
+  auto zone = office_zone();
+  auto first = zone.register_device(mic_device());
+  auto second = zone.register_device(mic_device());
+  auto third = zone.register_device(mic_device());
+  ASSERT_TRUE(first.ok() && second.ok() && third.ok());
+  EXPECT_EQ(first.value(), name_of("mic.oval-office.dc.usa.loc"));
+  EXPECT_EQ(second.value(), name_of("mic-2.oval-office.dc.usa.loc"));
+  EXPECT_EQ(third.value(), name_of("mic-3.oval-office.dc.usa.loc"));
+  EXPECT_EQ(zone.device_count(), 3u);
+}
+
+TEST(SpatialZone, FunctionNamesNormalised) {
+  auto zone = office_zone();
+  Device device = mic_device();
+  device.function = "Ceiling Light";
+  auto name = zone.register_device(device);
+  ASSERT_TRUE(name.ok());
+  EXPECT_EQ(name.value(), name_of("ceiling-light.oval-office.dc.usa.loc"));
+}
+
+TEST(SpatialZone, RejectsOutOfBoundsDevices) {
+  auto zone = office_zone();
+  Device device = mic_device();
+  device.position = {51.5, -0.12, 0};  // London, not DC
+  EXPECT_FALSE(zone.register_device(device).ok());
+}
+
+TEST(SpatialZone, GeodeticQueryFindsDevices) {
+  auto zone = office_zone();
+  auto mic = zone.register_device(mic_device());
+  Device far = mic_device();
+  far.function = "corner-sensor";
+  far.position = {38.8979, -77.0371, 18.0};
+  auto corner = zone.register_device(far);
+  ASSERT_TRUE(mic.ok() && corner.ok());
+
+  auto near_mic = zone.devices_in(geo::BoundingBox::around({38.8975, -77.0375, 0}, 0.0001));
+  ASSERT_EQ(near_mic.size(), 1u);
+  EXPECT_EQ(near_mic[0], mic.value());
+
+  auto everything = zone.devices_in(zone.bounds());
+  EXPECT_EQ(everything.size(), 2u);
+}
+
+TEST(SpatialZone, UpdatePositionMovesIndexAndLoc) {
+  auto zone = office_zone();
+  auto name = zone.register_device(mic_device()).value();
+  geo::GeoPoint new_position{38.8979, -77.0372, 18.0};
+  ASSERT_TRUE(zone.update_position(name, new_position).ok());
+
+  auto old_spot = zone.devices_in(geo::BoundingBox::around({38.8975, -77.0375, 0}, 0.0001));
+  EXPECT_TRUE(old_spot.empty());
+  auto new_spot = zone.devices_in(geo::BoundingBox::around(new_position, 0.0001));
+  ASSERT_EQ(new_spot.size(), 1u);
+
+  const auto* loc = zone.local_zone()->find(name, RRType::LOC);
+  ASSERT_NE(loc, nullptr);
+  EXPECT_NEAR(std::get<dns::LocData>(loc->front().rdata).latitude_degrees(), 38.8979, 1e-5);
+  // Out-of-zone moves are rejected (that is a zone *move*, §4.1).
+  EXPECT_FALSE(zone.update_position(name, {51.5, -0.12, 0}).ok());
+  EXPECT_FALSE(zone.update_position(name_of("ghost.oval-office.dc.usa.loc"),
+                                    new_position)
+                   .ok());
+}
+
+TEST(SpatialZone, DeregisterRemovesEverything) {
+  auto zone = office_zone();
+  auto name = zone.register_device(mic_device()).value();
+  ASSERT_TRUE(zone.deregister_device(name).ok());
+  EXPECT_EQ(zone.device_count(), 0u);
+  EXPECT_EQ(zone.local_zone()->find(name, RRType::BDADDR), nullptr);
+  EXPECT_TRUE(zone.devices_in(zone.bounds()).empty());
+  EXPECT_FALSE(zone.deregister_device(name).ok());
+  // The function name becomes reusable.
+  auto again = zone.register_device(mic_device());
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.value(), name);
+}
+
+TEST(SpatialZone, DelegationInBothViews) {
+  auto zone = office_zone();
+  Name child = name_of("closet.oval-office.dc.usa.loc");
+  Name ns = name_of("ns.closet.oval-office.dc.usa.loc");
+  ASSERT_TRUE(zone.delegate_child(child, ns, net::Ipv4Addr{{10, 0, 0, 9}}).ok());
+  for (const auto& view : {zone.local_zone(), zone.global_zone()}) {
+    auto result = view->lookup(name_of("x.closet.oval-office.dc.usa.loc"), RRType::A);
+    EXPECT_EQ(result.kind, server::Zone::Lookup::Kind::Delegation);
+  }
+}
+
+TEST(SpatialZone, AllIndexKindsBehaveIdentically) {
+  for (IndexKind kind :
+       {IndexKind::Naive, IndexKind::Hilbert, IndexKind::RTree, IndexKind::Quadtree}) {
+    auto zone = office_zone(kind);
+    auto mic = zone.register_device(mic_device());
+    ASSERT_TRUE(mic.ok());
+    auto found = zone.devices_in(geo::BoundingBox::around({38.8975, -77.0375, 0}, 0.0001));
+    EXPECT_EQ(found.size(), 1u) << zone.index().name();
+  }
+}
+
+TEST(RecordsForAddress, Table1Mapping) {
+  Name owner = name_of("dev.zone.loc");
+  Name domain = name_of("zone.loc");
+  auto check_single = [&](const net::AnyAddress& address, RRType expected) {
+    auto records = records_for_address(owner, address, domain);
+    ASSERT_EQ(records.size(), 1u);
+    EXPECT_EQ(records[0].type, expected);
+    EXPECT_EQ(records[0].name, owner);
+  };
+  check_single(net::Bdaddr{}, RRType::BDADDR);
+  check_single(net::Ipv4Addr{}, RRType::A);
+  check_single(net::Ipv6Addr{}, RRType::AAAA);
+  check_single(net::DtmfTone{"12#"}, RRType::DTMF);
+  check_single(net::LoraDevAddr{7}, RRType::LORA);
+  // Zigbee rides the TXT fallback.
+  auto zigbee = records_for_address(owner, net::ZigbeeAddr{}, domain);
+  ASSERT_EQ(zigbee.size(), 1u);
+  EXPECT_EQ(zigbee[0].type, RRType::TXT);
+  EXPECT_EQ(std::get<dns::TxtData>(zigbee[0].rdata).strings[0].substr(0, 11), "sns:zigbee=");
+  // LORA gateway name derives from the zone.
+  auto lora = records_for_address(owner, net::LoraDevAddr{0x01020304}, domain);
+  EXPECT_EQ(std::get<dns::LoraData>(lora[0].rdata).gateway, name_of("gw.zone.loc"));
+}
+
+}  // namespace
+}  // namespace sns::core

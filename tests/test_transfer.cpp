@@ -1,0 +1,120 @@
+// Tests for zone transfer (AXFR-shaped replication between edge
+// nameservers, §4.2 resilience).
+#include <gtest/gtest.h>
+
+#include "net/network.hpp"
+#include "server/transfer.hpp"
+
+namespace sns::server {
+namespace {
+
+using dns::make_a;
+using dns::make_bdaddr;
+using dns::name_of;
+
+const Name kApex = name_of("oval-office.loc");
+
+Zone primary_zone() {
+  Zone zone(kApex, name_of("ns.oval-office.loc"));
+  (void)zone.add(make_bdaddr(name_of("mic.oval-office.loc"), net::Bdaddr{{1, 2, 3, 4, 5, 6}}));
+  (void)zone.add(make_a(name_of("display.oval-office.loc"), net::Ipv4Addr{{192, 0, 3, 12}}));
+  zone.bump_serial();  // serial 2
+  return zone;
+}
+
+TEST(Transfer, RequestShape) {
+  auto request = make_transfer_request(7, kApex, 5);
+  EXPECT_EQ(request.questions.front().type, kAxfrType);
+  ASSERT_EQ(request.authorities.size(), 1u);
+  EXPECT_EQ(std::get<dns::SoaData>(request.authorities[0].rdata).serial, 5u);
+}
+
+TEST(Transfer, FullTransferWhenBehind) {
+  Zone primary = primary_zone();
+  auto response = serve_transfer(primary, make_transfer_request(1, kApex, 0));
+  EXPECT_EQ(response.header.rcode, dns::Rcode::NoError);
+  ASSERT_GE(response.answers.size(), 4u);  // SOA + 2 records + SOA
+  EXPECT_EQ(response.answers.front().type, RRType::SOA);
+  EXPECT_EQ(response.answers.back().type, RRType::SOA);
+  EXPECT_EQ(response.answers.front(), response.answers.back());
+}
+
+TEST(Transfer, SerialGateSkipsCurrentSecondary) {
+  Zone primary = primary_zone();
+  auto response = serve_transfer(primary, make_transfer_request(1, kApex, primary.serial()));
+  EXPECT_EQ(response.header.rcode, dns::Rcode::NoError);
+  EXPECT_TRUE(response.answers.empty());
+  // A *newer* claimed serial also skips (secondary ahead — odd but not fatal).
+  response = serve_transfer(primary, make_transfer_request(2, kApex, primary.serial() + 10));
+  EXPECT_TRUE(response.answers.empty());
+}
+
+TEST(Transfer, WrongZoneNotAuth) {
+  Zone primary = primary_zone();
+  auto response = serve_transfer(primary, make_transfer_request(1, name_of("other.loc"), 0));
+  EXPECT_EQ(response.header.rcode, dns::Rcode::NotAuth);
+}
+
+TEST(Transfer, ApplyReplacesContents) {
+  Zone primary = primary_zone();
+  Zone secondary(kApex, name_of("ns2.oval-office.loc"));
+  auto response = serve_transfer(primary, make_transfer_request(1, kApex, secondary.serial()));
+  auto applied = apply_transfer(secondary, response);
+  ASSERT_TRUE(applied.ok()) << applied.error().message;
+  EXPECT_TRUE(applied.value());
+  EXPECT_EQ(secondary.serial(), primary.serial());
+  EXPECT_EQ(secondary.record_count(), primary.record_count());
+  EXPECT_NE(secondary.find(name_of("mic.oval-office.loc"), RRType::BDADDR), nullptr);
+
+  // Second refresh: already current, no change.
+  auto again = serve_transfer(primary, make_transfer_request(2, kApex, secondary.serial()));
+  auto reapplied = apply_transfer(secondary, again);
+  ASSERT_TRUE(reapplied.ok());
+  EXPECT_FALSE(reapplied.value());
+}
+
+TEST(Transfer, RejectsBrokenFraming) {
+  Zone primary = primary_zone();
+  Zone secondary(kApex, name_of("ns2.oval-office.loc"));
+  auto response = serve_transfer(primary, make_transfer_request(1, kApex, 0));
+  response.answers.pop_back();  // drop the trailing SOA (truncated transfer)
+  EXPECT_FALSE(apply_transfer(secondary, response).ok());
+
+  auto error = dns::make_response(make_transfer_request(2, kApex, 0), dns::Rcode::ServFail,
+                                  true);
+  EXPECT_FALSE(apply_transfer(secondary, error).ok());
+}
+
+TEST(Transfer, OverTheSimulatedNetwork) {
+  net::Network network(9);
+  net::NodeId primary_node = network.add_node("primary");
+  net::NodeId secondary_node = network.add_node("secondary");
+  network.connect(primary_node, secondary_node, net::lan_link());
+
+  Zone primary = primary_zone();
+  network.set_handler(primary_node,
+                      [&primary](std::span<const std::uint8_t> payload, net::NodeId) {
+                        auto request = dns::Message::decode(payload);
+                        if (!request.ok()) return std::optional<util::Bytes>{};
+                        // Transfers are large: honour EDNS by encoding raw.
+                        return std::optional<util::Bytes>{
+                            serve_transfer(primary, request.value()).encode()};
+                      });
+
+  Zone secondary(kApex, name_of("ns2.oval-office.loc"));
+  auto refreshed = refresh_secondary(network, secondary_node, primary_node, secondary);
+  ASSERT_TRUE(refreshed.ok()) << refreshed.error().message;
+  EXPECT_TRUE(refreshed.value());
+  EXPECT_EQ(secondary.serial(), primary.serial());
+
+  // Primary changes -> next refresh picks it up.
+  (void)primary.add(make_a(name_of("new.oval-office.loc"), net::Ipv4Addr{{10, 0, 0, 1}}));
+  primary.bump_serial();
+  refreshed = refresh_secondary(network, secondary_node, primary_node, secondary);
+  ASSERT_TRUE(refreshed.ok());
+  EXPECT_TRUE(refreshed.value());
+  EXPECT_NE(secondary.find(name_of("new.oval-office.loc"), RRType::A), nullptr);
+}
+
+}  // namespace
+}  // namespace sns::server

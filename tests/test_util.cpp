@@ -1,0 +1,263 @@
+// Tests for src/util: byte codecs, strings, SHA-1/HMAC, RNG, Result.
+#include <gtest/gtest.h>
+
+#include "util/bytes.hpp"
+#include "util/result.hpp"
+#include "util/rng.hpp"
+#include "util/sha1.hpp"
+#include "util/strings.hpp"
+
+namespace sns::util {
+namespace {
+
+TEST(Result, ValueAndError) {
+  Result<int> ok = 42;
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 42);
+  EXPECT_EQ(ok.value_or(0), 42);
+
+  Result<int> bad = fail("boom");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error().message, "boom");
+  EXPECT_EQ(bad.value_or(7), 7);
+}
+
+TEST(Result, MapAndThen) {
+  Result<int> ok = 10;
+  auto doubled = std::move(ok).map([](int v) { return v * 2; });
+  ASSERT_TRUE(doubled.ok());
+  EXPECT_EQ(doubled.value(), 20);
+
+  Result<int> start = 5;
+  auto chained = std::move(start).and_then([](int v) -> Result<std::string> {
+    if (v > 3) return std::string("big");
+    return fail("small");
+  });
+  ASSERT_TRUE(chained.ok());
+  EXPECT_EQ(chained.value(), "big");
+
+  Result<int> err = fail("origin");
+  auto propagated = std::move(err).map([](int v) { return v + 1; });
+  ASSERT_FALSE(propagated.ok());
+  EXPECT_EQ(propagated.error().message, "origin");
+}
+
+TEST(Bytes, RoundTripIntegers) {
+  ByteWriter w;
+  w.u8(0xab);
+  w.u16(0x1234);
+  w.u32(0xdeadbeef);
+  w.u64(0x0102030405060708ULL);
+  ByteReader r(std::span(w.data()));
+  EXPECT_EQ(r.u8().value(), 0xab);
+  EXPECT_EQ(r.u16().value(), 0x1234);
+  EXPECT_EQ(r.u32().value(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64().value(), 0x0102030405060708ULL);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Bytes, BigEndianOnWire) {
+  ByteWriter w;
+  w.u16(0x0102);
+  EXPECT_EQ(w.data()[0], 0x01);
+  EXPECT_EQ(w.data()[1], 0x02);
+}
+
+TEST(Bytes, TruncationIsError) {
+  ByteWriter w;
+  w.u8(1);
+  ByteReader r(std::span(w.data()));
+  EXPECT_TRUE(r.u8().ok());
+  EXPECT_FALSE(r.u8().ok());
+  EXPECT_FALSE(r.u16().ok());
+  EXPECT_FALSE(r.u32().ok());
+  EXPECT_FALSE(r.bytes(1).ok());
+}
+
+TEST(Bytes, FailedReadLeavesCursor) {
+  ByteWriter w;
+  w.u16(0x1234);
+  ByteReader r(std::span(w.data()));
+  EXPECT_FALSE(r.u32().ok());
+  EXPECT_EQ(r.position(), 0u);
+  EXPECT_EQ(r.u16().value(), 0x1234);
+}
+
+TEST(Bytes, PatchU16) {
+  ByteWriter w;
+  w.u16(0);
+  w.u32(7);
+  w.patch_u16(0, 0xbeef);
+  ByteReader r(std::span(w.data()));
+  EXPECT_EQ(r.u16().value(), 0xbeef);
+}
+
+TEST(Bytes, SeekAndView) {
+  ByteWriter w;
+  w.raw(std::string_view("hello world"));
+  ByteReader r(std::span(w.data()));
+  ASSERT_TRUE(r.skip(6).ok());
+  EXPECT_EQ(r.string(5).value(), "world");
+  ASSERT_TRUE(r.seek(0).ok());
+  auto view = r.view(5);
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(view.value().size(), 5u);
+  EXPECT_FALSE(r.seek(100).ok());
+}
+
+TEST(Strings, SplitPreservesEmpty) {
+  auto parts = split("a..b.", '.');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Strings, SplitWhitespaceDropsEmpty) {
+  auto parts = split_whitespace("  foo \t bar\nbaz  ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "foo");
+  EXPECT_EQ(parts[2], "baz");
+}
+
+TEST(Strings, TrimAndCase) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim("\t\n"), "");
+  EXPECT_EQ(to_lower("MiXeD"), "mixed");
+  EXPECT_TRUE(iequals("ABC", "abc"));
+  EXPECT_FALSE(iequals("abc", "abd"));
+  EXPECT_FALSE(iequals("abc", "ab"));
+  EXPECT_TRUE(iends_with("mic.Oval-Office.LOC", ".loc"));
+  EXPECT_FALSE(iends_with("x", "longer"));
+}
+
+TEST(Strings, HexRoundTrip) {
+  std::vector<std::uint8_t> bytes{0x00, 0xff, 0x1a, 0x2b};
+  std::string hex = to_hex(std::span(bytes));
+  EXPECT_EQ(hex, "00ff1a2b");
+  auto back = from_hex(hex);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), bytes);
+  EXPECT_FALSE(from_hex("abc").ok());   // odd length
+  EXPECT_FALSE(from_hex("zz").ok());    // bad digit
+  auto upper = from_hex("00FF1A2B");
+  ASSERT_TRUE(upper.ok());
+  EXPECT_EQ(upper.value(), bytes);
+}
+
+TEST(Strings, Base32Hex) {
+  // RFC 4648 §10 test vector "foobar" -> "cpnmuoj1e8" (no padding).
+  std::string input = "foobar";
+  std::vector<std::uint8_t> bytes(input.begin(), input.end());
+  EXPECT_EQ(to_base32hex(std::span(bytes)), "cpnmuoj1e8");
+  std::vector<std::uint8_t> empty;
+  EXPECT_EQ(to_base32hex(std::span(empty)), "");
+}
+
+TEST(Sha1, KnownVectors) {
+  // FIPS 180-1 vectors.
+  auto hex_of = [](std::span<const std::uint8_t> data) {
+    auto digest = sha1(data);
+    return to_hex(std::span(digest.data(), digest.size()));
+  };
+  std::string abc = "abc";
+  std::vector<std::uint8_t> abc_bytes(abc.begin(), abc.end());
+  EXPECT_EQ(hex_of(std::span(abc_bytes)), "a9993e364706816aba3e25717850c26c9cd0d89d");
+  std::vector<std::uint8_t> empty;
+  EXPECT_EQ(hex_of(std::span(empty)), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+  std::string long_input = "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq";
+  std::vector<std::uint8_t> long_bytes(long_input.begin(), long_input.end());
+  EXPECT_EQ(hex_of(std::span(long_bytes)), "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+}
+
+TEST(Sha1, PaddingBoundaries) {
+  // Lengths around the 55/56/64-byte padding edges must not crash and
+  // must be distinct.
+  std::vector<std::string> digests;
+  for (std::size_t n : {54u, 55u, 56u, 63u, 64u, 65u, 119u, 120u, 128u}) {
+    std::vector<std::uint8_t> data(n, 0x61);
+    auto digest = sha1(std::span(data));
+    digests.push_back(to_hex(std::span(digest.data(), digest.size())));
+  }
+  std::sort(digests.begin(), digests.end());
+  EXPECT_EQ(std::unique(digests.begin(), digests.end()), digests.end());
+}
+
+TEST(HmacSha1, Rfc2202Vectors) {
+  // RFC 2202 test case 1.
+  std::vector<std::uint8_t> key(20, 0x0b);
+  std::string msg = "Hi There";
+  std::vector<std::uint8_t> data(msg.begin(), msg.end());
+  auto mac = hmac_sha1(std::span(key), std::span(data));
+  EXPECT_EQ(to_hex(std::span(mac.data(), mac.size())),
+            "b617318655057264e28bc0b6fb378c8ef146be00");
+
+  // RFC 2202 test case 2 ("Jefe").
+  std::string key2 = "Jefe";
+  std::vector<std::uint8_t> key2_bytes(key2.begin(), key2.end());
+  std::string msg2 = "what do ya want for nothing?";
+  std::vector<std::uint8_t> data2(msg2.begin(), msg2.end());
+  auto mac2 = hmac_sha1(std::span(key2_bytes), std::span(data2));
+  EXPECT_EQ(to_hex(std::span(mac2.data(), mac2.size())),
+            "effcdf6ae5eb2fa2d27416d5f184df9c259a7c79");
+}
+
+TEST(HmacSha1, LongKeyIsHashed) {
+  std::vector<std::uint8_t> key(100, 0xaa);
+  std::vector<std::uint8_t> data{1, 2, 3};
+  auto mac1 = hmac_sha1(std::span(key), std::span(data));
+  auto hashed_key = sha1(std::span(key));
+  std::vector<std::uint8_t> key2(hashed_key.begin(), hashed_key.end());
+  auto mac2 = hmac_sha1(std::span(key2), std::span(data));
+  EXPECT_EQ(mac1, mac2);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(123), b(123), c(124);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+  bool differs = false;
+  Rng a2(123);
+  for (int i = 0; i < 10; ++i)
+    if (a2.next_u64() != c.next_u64()) differs = true;
+  EXPECT_TRUE(differs);
+}
+
+TEST(Rng, RangesRespected) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(10), 10u);
+    double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    double ranged = rng.next_double(5.0, 6.0);
+    EXPECT_GE(ranged, 5.0);
+    EXPECT_LT(ranged, 6.0);
+  }
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(99);
+  double sum = 0.0, sq = 0.0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    double v = rng.next_gaussian(10.0, 2.0);
+    sum += v;
+    sq += v * v;
+  }
+  double mean = sum / kN;
+  double var = sq / kN - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+}  // namespace
+}  // namespace sns::util

@@ -1,0 +1,219 @@
+// Tests for the authoritative zone store and the RFC 1034 lookup
+// algorithm (src/server/zone).
+#include <gtest/gtest.h>
+
+#include "server/zone.hpp"
+
+namespace sns::server {
+namespace {
+
+using dns::make_a;
+using dns::make_cname;
+using dns::make_ns;
+using dns::make_txt;
+using dns::name_of;
+
+const Name kApex = name_of("oval-office.loc");
+
+Zone fresh_zone() { return Zone(kApex, name_of("ns.oval-office.loc")); }
+
+TEST(Zone, SynthesisedSoaAtApex) {
+  Zone zone = fresh_zone();
+  const RRset* soa = zone.find(kApex, RRType::SOA);
+  ASSERT_NE(soa, nullptr);
+  EXPECT_EQ(zone.serial(), 1u);
+  zone.bump_serial();
+  EXPECT_EQ(zone.serial(), 2u);
+}
+
+TEST(Zone, AddAndFind) {
+  Zone zone = fresh_zone();
+  ASSERT_TRUE(zone.add(make_a(name_of("mic.oval-office.loc"), net::Ipv4Addr{{1, 2, 3, 4}})).ok());
+  const RRset* found = zone.find(name_of("mic.oval-office.loc"), RRType::A);
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->size(), 1u);
+}
+
+TEST(Zone, RejectsOutOfZoneRecords) {
+  Zone zone = fresh_zone();
+  EXPECT_FALSE(zone.add(make_a(name_of("host.example.com"), net::Ipv4Addr{{1, 2, 3, 4}})).ok());
+}
+
+TEST(Zone, DuplicateRdataDeduplicated) {
+  Zone zone = fresh_zone();
+  auto rr = make_a(name_of("mic.oval-office.loc"), net::Ipv4Addr{{1, 2, 3, 4}});
+  ASSERT_TRUE(zone.add(rr).ok());
+  ASSERT_TRUE(zone.add(rr).ok());
+  EXPECT_EQ(zone.find(name_of("mic.oval-office.loc"), RRType::A)->size(), 1u);
+}
+
+TEST(Zone, CnameExclusivity) {
+  Zone zone = fresh_zone();
+  Name moved = name_of("old.oval-office.loc");
+  ASSERT_TRUE(zone.add(make_cname(moved, name_of("new.elsewhere.loc"))).ok());
+  EXPECT_FALSE(zone.add(make_a(moved, net::Ipv4Addr{{1, 2, 3, 4}})).ok());
+  Name host = name_of("host.oval-office.loc");
+  ASSERT_TRUE(zone.add(make_a(host, net::Ipv4Addr{{1, 2, 3, 4}})).ok());
+  EXPECT_FALSE(zone.add(make_cname(host, name_of("x.loc"))).ok());
+}
+
+TEST(Zone, RemoveOperations) {
+  Zone zone = fresh_zone();
+  Name mic = name_of("mic.oval-office.loc");
+  ASSERT_TRUE(zone.add(make_a(mic, net::Ipv4Addr{{1, 2, 3, 4}})).ok());
+  ASSERT_TRUE(zone.add(make_a(mic, net::Ipv4Addr{{1, 2, 3, 5}})).ok());
+  ASSERT_TRUE(zone.add(make_txt(mic, {"x"})).ok());
+
+  EXPECT_TRUE(zone.remove_record(make_a(mic, net::Ipv4Addr{{1, 2, 3, 4}})));
+  EXPECT_FALSE(zone.remove_record(make_a(mic, net::Ipv4Addr{{9, 9, 9, 9}})));
+  EXPECT_EQ(zone.find(mic, RRType::A)->size(), 1u);
+
+  EXPECT_EQ(zone.remove_rrset(mic, RRType::A), 1u);
+  EXPECT_EQ(zone.find(mic, RRType::A), nullptr);
+  EXPECT_NE(zone.find(mic, RRType::TXT), nullptr);
+
+  EXPECT_EQ(zone.remove_name(mic), 1u);
+  EXPECT_FALSE(zone.name_exists(mic));
+}
+
+TEST(ZoneLookup, SuccessAndNoData) {
+  Zone zone = fresh_zone();
+  Name mic = name_of("mic.oval-office.loc");
+  ASSERT_TRUE(zone.add(make_a(mic, net::Ipv4Addr{{1, 2, 3, 4}})).ok());
+
+  auto hit = zone.lookup(mic, RRType::A);
+  EXPECT_EQ(hit.kind, Zone::Lookup::Kind::Success);
+  ASSERT_EQ(hit.records.size(), 1u);
+
+  auto nodata = zone.lookup(mic, RRType::AAAA);
+  EXPECT_EQ(nodata.kind, Zone::Lookup::Kind::NoData);
+
+  auto nx = zone.lookup(name_of("ghost.oval-office.loc"), RRType::A);
+  EXPECT_EQ(nx.kind, Zone::Lookup::Kind::NxDomain);
+
+  auto outside = zone.lookup(name_of("x.example.com"), RRType::A);
+  EXPECT_EQ(outside.kind, Zone::Lookup::Kind::NotZone);
+}
+
+TEST(ZoneLookup, AnyQueryCollectsAllTypes) {
+  Zone zone = fresh_zone();
+  Name mic = name_of("mic.oval-office.loc");
+  ASSERT_TRUE(zone.add(make_a(mic, net::Ipv4Addr{{1, 2, 3, 4}})).ok());
+  ASSERT_TRUE(zone.add(make_txt(mic, {"v"})).ok());
+  auto any = zone.lookup(mic, RRType::ANY);
+  EXPECT_EQ(any.kind, Zone::Lookup::Kind::Success);
+  EXPECT_EQ(any.records.size(), 2u);
+}
+
+TEST(ZoneLookup, CnameReturned) {
+  Zone zone = fresh_zone();
+  Name old = name_of("old.oval-office.loc");
+  ASSERT_TRUE(zone.add(make_cname(old, name_of("new.cabinet.loc"))).ok());
+  auto result = zone.lookup(old, RRType::A);
+  EXPECT_EQ(result.kind, Zone::Lookup::Kind::CName);
+  // Direct CNAME query is a plain success.
+  auto direct = zone.lookup(old, RRType::CNAME);
+  EXPECT_EQ(direct.kind, Zone::Lookup::Kind::Success);
+}
+
+TEST(ZoneLookup, DelegationWithGlue) {
+  Zone zone = fresh_zone();
+  Name child = name_of("closet.oval-office.loc");
+  Name child_ns = name_of("ns.closet.oval-office.loc");
+  ASSERT_TRUE(zone.add(make_ns(child, child_ns)).ok());
+  ASSERT_TRUE(zone.add(make_a(child_ns, net::Ipv4Addr{{10, 0, 0, 9}})).ok());
+
+  auto result = zone.lookup(name_of("sensor.closet.oval-office.loc"), RRType::A);
+  EXPECT_EQ(result.kind, Zone::Lookup::Kind::Delegation);
+  ASSERT_EQ(result.records.size(), 1u);
+  EXPECT_EQ(result.records[0].type, RRType::NS);
+  ASSERT_EQ(result.additionals.size(), 1u);
+  EXPECT_EQ(result.additionals[0].type, RRType::A);
+
+  // Query exactly at the cut for a non-NS type: still a referral.
+  auto at_cut = zone.lookup(child, RRType::A);
+  EXPECT_EQ(at_cut.kind, Zone::Lookup::Kind::Delegation);
+  // But asking for the NS set itself at the cut answers from here.
+  auto ns_query = zone.lookup(child, RRType::NS);
+  EXPECT_EQ(ns_query.kind, Zone::Lookup::Kind::Success);
+}
+
+TEST(ZoneLookup, ApexNsIsNotDelegation) {
+  Zone zone = fresh_zone();
+  ASSERT_TRUE(zone.add(make_ns(kApex, name_of("ns.oval-office.loc"))).ok());
+  auto result = zone.lookup(name_of("mic.oval-office.loc"), RRType::A);
+  EXPECT_EQ(result.kind, Zone::Lookup::Kind::NxDomain);  // not a referral
+}
+
+TEST(ZoneLookup, EmptyNonTerminalIsNoData) {
+  Zone zone = fresh_zone();
+  // Only a deep name exists; the intermediate label owns nothing.
+  ASSERT_TRUE(
+      zone.add(make_a(name_of("sensor.shelf.oval-office.loc"), net::Ipv4Addr{{1, 1, 1, 1}}))
+          .ok());
+  auto result = zone.lookup(name_of("shelf.oval-office.loc"), RRType::A);
+  EXPECT_EQ(result.kind, Zone::Lookup::Kind::NoData);
+}
+
+TEST(ZoneLookup, WildcardSynthesis) {
+  Zone zone = fresh_zone();
+  ASSERT_TRUE(
+      zone.add(make_txt(name_of("*.sensors.oval-office.loc"), {"wildcard"})).ok());
+  auto result = zone.lookup(name_of("anything.sensors.oval-office.loc"), RRType::TXT);
+  EXPECT_EQ(result.kind, Zone::Lookup::Kind::Success);
+  EXPECT_TRUE(result.wildcard);
+  ASSERT_EQ(result.records.size(), 1u);
+  // Owner rewritten to the query name.
+  EXPECT_EQ(result.records[0].name, name_of("anything.sensors.oval-office.loc"));
+  // Wildcard does not cover the wildcard owner's parent itself.
+  auto parent = zone.lookup(name_of("sensors.oval-office.loc"), RRType::TXT);
+  EXPECT_EQ(parent.kind, Zone::Lookup::Kind::NoData);  // ENT above the wildcard
+}
+
+TEST(ZoneLookup, WildcardCname) {
+  Zone zone = fresh_zone();
+  ASSERT_TRUE(zone.add(make_cname(name_of("*.alias.oval-office.loc"),
+                                  name_of("real.oval-office.loc")))
+                  .ok());
+  auto result = zone.lookup(name_of("foo.alias.oval-office.loc"), RRType::A);
+  EXPECT_EQ(result.kind, Zone::Lookup::Kind::CName);
+  EXPECT_TRUE(result.wildcard);
+}
+
+TEST(Zone, AllRecordsCanonicalOrderAndLoad) {
+  Zone zone = fresh_zone();
+  ASSERT_TRUE(zone.add(make_a(name_of("b.oval-office.loc"), net::Ipv4Addr{{1, 1, 1, 1}})).ok());
+  ASSERT_TRUE(zone.add(make_a(name_of("a.oval-office.loc"), net::Ipv4Addr{{2, 2, 2, 2}})).ok());
+  auto all = zone.all_records();
+  EXPECT_EQ(all.size(), 3u);  // SOA + 2
+  // Canonical order: apex first, then a, then b.
+  EXPECT_EQ(all[0].type, RRType::SOA);
+  EXPECT_EQ(all[1].name, name_of("a.oval-office.loc"));
+
+  // Zone transfer: load into a fresh secondary.
+  Zone secondary(kApex, name_of("ns2.oval-office.loc"));
+  ASSERT_TRUE(secondary.load(all).ok());
+  EXPECT_EQ(secondary.record_count(), 3u);
+  EXPECT_NE(secondary.find(name_of("b.oval-office.loc"), RRType::A), nullptr);
+
+  // Loading garbage fails.
+  Zone bad(kApex, name_of("ns.oval-office.loc"));
+  EXPECT_FALSE(bad.load({make_a(name_of("x.other.loc"), net::Ipv4Addr{{1, 1, 1, 1}})}).ok());
+  EXPECT_FALSE(bad.load({make_a(name_of("x.oval-office.loc"), net::Ipv4Addr{{1, 1, 1, 1}})}).ok())
+      << "load without SOA must fail";
+}
+
+TEST(Zone, TypesAtAndNames) {
+  Zone zone = fresh_zone();
+  Name mic = name_of("mic.oval-office.loc");
+  ASSERT_TRUE(zone.add(make_a(mic, net::Ipv4Addr{{1, 2, 3, 4}})).ok());
+  ASSERT_TRUE(zone.add(make_txt(mic, {"x"})).ok());
+  auto types = zone.types_at(mic);
+  EXPECT_EQ(types.size(), 2u);
+  EXPECT_TRUE(zone.types_at(name_of("ghost.oval-office.loc")).empty());
+  auto names = zone.all_names();
+  EXPECT_EQ(names.size(), 2u);  // apex + mic
+}
+
+}  // namespace
+}  // namespace sns::server
