@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_discovery_latency.dir/bench_discovery_latency.cpp.o"
+  "CMakeFiles/bench_discovery_latency.dir/bench_discovery_latency.cpp.o.d"
+  "bench_discovery_latency"
+  "bench_discovery_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_discovery_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_edge_vs_recursive.dir/bench_edge_vs_recursive.cpp.o"
+  "CMakeFiles/bench_edge_vs_recursive.dir/bench_edge_vs_recursive.cpp.o.d"
+  "bench_edge_vs_recursive"
+  "bench_edge_vs_recursive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_edge_vs_recursive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

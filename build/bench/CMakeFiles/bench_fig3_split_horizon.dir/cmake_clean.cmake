@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_split_horizon.dir/bench_fig3_split_horizon.cpp.o"
+  "CMakeFiles/bench_fig3_split_horizon.dir/bench_fig3_split_horizon.cpp.o.d"
+  "bench_fig3_split_horizon"
+  "bench_fig3_split_horizon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_split_horizon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_hilbert.dir/bench_fig4_hilbert.cpp.o"
+  "CMakeFiles/bench_fig4_hilbert.dir/bench_fig4_hilbert.cpp.o.d"
+  "bench_fig4_hilbert"
+  "bench_fig4_hilbert.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_hilbert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_global_descent.dir/bench_global_descent.cpp.o"
+  "CMakeFiles/bench_global_descent.dir/bench_global_descent.cpp.o.d"
+  "bench_global_descent"
+  "bench_global_descent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_global_descent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

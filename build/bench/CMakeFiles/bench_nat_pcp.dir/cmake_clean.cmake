@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_nat_pcp.dir/bench_nat_pcp.cpp.o"
+  "CMakeFiles/bench_nat_pcp.dir/bench_nat_pcp.cpp.o.d"
+  "bench_nat_pcp"
+  "bench_nat_pcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_nat_pcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

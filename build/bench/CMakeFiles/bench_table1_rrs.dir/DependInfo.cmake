@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table1_rrs.cpp" "bench/CMakeFiles/bench_table1_rrs.dir/bench_table1_rrs.cpp.o" "gcc" "bench/CMakeFiles/bench_table1_rrs.dir/bench_table1_rrs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sns_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/sns_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/resolver/CMakeFiles/sns_resolver.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/sns_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sns_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/positioning/CMakeFiles/sns_positioning.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/sns_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sns_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_rrs.dir/bench_table1_rrs.cpp.o"
+  "CMakeFiles/bench_table1_rrs.dir/bench_table1_rrs.cpp.o.d"
+  "bench_table1_rrs"
+  "bench_table1_rrs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_rrs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

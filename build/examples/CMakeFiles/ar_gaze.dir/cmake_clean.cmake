@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ar_gaze.dir/ar_gaze.cpp.o"
+  "CMakeFiles/ar_gaze.dir/ar_gaze.cpp.o.d"
+  "ar_gaze"
+  "ar_gaze.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ar_gaze.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

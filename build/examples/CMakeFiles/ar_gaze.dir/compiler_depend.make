@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ar_gaze.
+# This may be replaced when dependencies are built.

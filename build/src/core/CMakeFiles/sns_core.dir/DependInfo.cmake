@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/civic.cpp" "src/core/CMakeFiles/sns_core.dir/civic.cpp.o" "gcc" "src/core/CMakeFiles/sns_core.dir/civic.cpp.o.d"
+  "/root/repo/src/core/deployment.cpp" "src/core/CMakeFiles/sns_core.dir/deployment.cpp.o" "gcc" "src/core/CMakeFiles/sns_core.dir/deployment.cpp.o.d"
+  "/root/repo/src/core/geodetic.cpp" "src/core/CMakeFiles/sns_core.dir/geodetic.cpp.o" "gcc" "src/core/CMakeFiles/sns_core.dir/geodetic.cpp.o.d"
+  "/root/repo/src/core/mobility.cpp" "src/core/CMakeFiles/sns_core.dir/mobility.cpp.o" "gcc" "src/core/CMakeFiles/sns_core.dir/mobility.cpp.o.d"
+  "/root/repo/src/core/presence.cpp" "src/core/CMakeFiles/sns_core.dir/presence.cpp.o" "gcc" "src/core/CMakeFiles/sns_core.dir/presence.cpp.o.d"
+  "/root/repo/src/core/selection.cpp" "src/core/CMakeFiles/sns_core.dir/selection.cpp.o" "gcc" "src/core/CMakeFiles/sns_core.dir/selection.cpp.o.d"
+  "/root/repo/src/core/spatial_zone.cpp" "src/core/CMakeFiles/sns_core.dir/spatial_zone.cpp.o" "gcc" "src/core/CMakeFiles/sns_core.dir/spatial_zone.cpp.o.d"
+  "/root/repo/src/core/uri.cpp" "src/core/CMakeFiles/sns_core.dir/uri.cpp.o" "gcc" "src/core/CMakeFiles/sns_core.dir/uri.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dns/CMakeFiles/sns_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/sns_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sns_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/sns_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/resolver/CMakeFiles/sns_resolver.dir/DependInfo.cmake"
+  "/root/repo/build/src/positioning/CMakeFiles/sns_positioning.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sns_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sns_core.dir/civic.cpp.o"
+  "CMakeFiles/sns_core.dir/civic.cpp.o.d"
+  "CMakeFiles/sns_core.dir/deployment.cpp.o"
+  "CMakeFiles/sns_core.dir/deployment.cpp.o.d"
+  "CMakeFiles/sns_core.dir/geodetic.cpp.o"
+  "CMakeFiles/sns_core.dir/geodetic.cpp.o.d"
+  "CMakeFiles/sns_core.dir/mobility.cpp.o"
+  "CMakeFiles/sns_core.dir/mobility.cpp.o.d"
+  "CMakeFiles/sns_core.dir/presence.cpp.o"
+  "CMakeFiles/sns_core.dir/presence.cpp.o.d"
+  "CMakeFiles/sns_core.dir/selection.cpp.o"
+  "CMakeFiles/sns_core.dir/selection.cpp.o.d"
+  "CMakeFiles/sns_core.dir/spatial_zone.cpp.o"
+  "CMakeFiles/sns_core.dir/spatial_zone.cpp.o.d"
+  "CMakeFiles/sns_core.dir/uri.cpp.o"
+  "CMakeFiles/sns_core.dir/uri.cpp.o.d"
+  "libsns_core.a"
+  "libsns_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sns_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dns/dnssec.cpp" "src/dns/CMakeFiles/sns_dns.dir/dnssec.cpp.o" "gcc" "src/dns/CMakeFiles/sns_dns.dir/dnssec.cpp.o.d"
+  "/root/repo/src/dns/loc.cpp" "src/dns/CMakeFiles/sns_dns.dir/loc.cpp.o" "gcc" "src/dns/CMakeFiles/sns_dns.dir/loc.cpp.o.d"
+  "/root/repo/src/dns/master.cpp" "src/dns/CMakeFiles/sns_dns.dir/master.cpp.o" "gcc" "src/dns/CMakeFiles/sns_dns.dir/master.cpp.o.d"
+  "/root/repo/src/dns/message.cpp" "src/dns/CMakeFiles/sns_dns.dir/message.cpp.o" "gcc" "src/dns/CMakeFiles/sns_dns.dir/message.cpp.o.d"
+  "/root/repo/src/dns/name.cpp" "src/dns/CMakeFiles/sns_dns.dir/name.cpp.o" "gcc" "src/dns/CMakeFiles/sns_dns.dir/name.cpp.o.d"
+  "/root/repo/src/dns/rdata.cpp" "src/dns/CMakeFiles/sns_dns.dir/rdata.cpp.o" "gcc" "src/dns/CMakeFiles/sns_dns.dir/rdata.cpp.o.d"
+  "/root/repo/src/dns/record.cpp" "src/dns/CMakeFiles/sns_dns.dir/record.cpp.o" "gcc" "src/dns/CMakeFiles/sns_dns.dir/record.cpp.o.d"
+  "/root/repo/src/dns/type.cpp" "src/dns/CMakeFiles/sns_dns.dir/type.cpp.o" "gcc" "src/dns/CMakeFiles/sns_dns.dir/type.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sns_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sns_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sns_dns.dir/dnssec.cpp.o"
+  "CMakeFiles/sns_dns.dir/dnssec.cpp.o.d"
+  "CMakeFiles/sns_dns.dir/loc.cpp.o"
+  "CMakeFiles/sns_dns.dir/loc.cpp.o.d"
+  "CMakeFiles/sns_dns.dir/master.cpp.o"
+  "CMakeFiles/sns_dns.dir/master.cpp.o.d"
+  "CMakeFiles/sns_dns.dir/message.cpp.o"
+  "CMakeFiles/sns_dns.dir/message.cpp.o.d"
+  "CMakeFiles/sns_dns.dir/name.cpp.o"
+  "CMakeFiles/sns_dns.dir/name.cpp.o.d"
+  "CMakeFiles/sns_dns.dir/rdata.cpp.o"
+  "CMakeFiles/sns_dns.dir/rdata.cpp.o.d"
+  "CMakeFiles/sns_dns.dir/record.cpp.o"
+  "CMakeFiles/sns_dns.dir/record.cpp.o.d"
+  "CMakeFiles/sns_dns.dir/type.cpp.o"
+  "CMakeFiles/sns_dns.dir/type.cpp.o.d"
+  "libsns_dns.a"
+  "libsns_dns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sns_dns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

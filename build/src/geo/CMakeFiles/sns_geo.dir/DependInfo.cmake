@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geo/geometry.cpp" "src/geo/CMakeFiles/sns_geo.dir/geometry.cpp.o" "gcc" "src/geo/CMakeFiles/sns_geo.dir/geometry.cpp.o.d"
+  "/root/repo/src/geo/hilbert.cpp" "src/geo/CMakeFiles/sns_geo.dir/hilbert.cpp.o" "gcc" "src/geo/CMakeFiles/sns_geo.dir/hilbert.cpp.o.d"
+  "/root/repo/src/geo/hilbert_index.cpp" "src/geo/CMakeFiles/sns_geo.dir/hilbert_index.cpp.o" "gcc" "src/geo/CMakeFiles/sns_geo.dir/hilbert_index.cpp.o.d"
+  "/root/repo/src/geo/naive_index.cpp" "src/geo/CMakeFiles/sns_geo.dir/naive_index.cpp.o" "gcc" "src/geo/CMakeFiles/sns_geo.dir/naive_index.cpp.o.d"
+  "/root/repo/src/geo/quadtree.cpp" "src/geo/CMakeFiles/sns_geo.dir/quadtree.cpp.o" "gcc" "src/geo/CMakeFiles/sns_geo.dir/quadtree.cpp.o.d"
+  "/root/repo/src/geo/rtree.cpp" "src/geo/CMakeFiles/sns_geo.dir/rtree.cpp.o" "gcc" "src/geo/CMakeFiles/sns_geo.dir/rtree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sns_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sns_geo.dir/geometry.cpp.o"
+  "CMakeFiles/sns_geo.dir/geometry.cpp.o.d"
+  "CMakeFiles/sns_geo.dir/hilbert.cpp.o"
+  "CMakeFiles/sns_geo.dir/hilbert.cpp.o.d"
+  "CMakeFiles/sns_geo.dir/hilbert_index.cpp.o"
+  "CMakeFiles/sns_geo.dir/hilbert_index.cpp.o.d"
+  "CMakeFiles/sns_geo.dir/naive_index.cpp.o"
+  "CMakeFiles/sns_geo.dir/naive_index.cpp.o.d"
+  "CMakeFiles/sns_geo.dir/quadtree.cpp.o"
+  "CMakeFiles/sns_geo.dir/quadtree.cpp.o.d"
+  "CMakeFiles/sns_geo.dir/rtree.cpp.o"
+  "CMakeFiles/sns_geo.dir/rtree.cpp.o.d"
+  "libsns_geo.a"
+  "libsns_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sns_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/address.cpp" "src/net/CMakeFiles/sns_net.dir/address.cpp.o" "gcc" "src/net/CMakeFiles/sns_net.dir/address.cpp.o.d"
+  "/root/repo/src/net/nat.cpp" "src/net/CMakeFiles/sns_net.dir/nat.cpp.o" "gcc" "src/net/CMakeFiles/sns_net.dir/nat.cpp.o.d"
+  "/root/repo/src/net/network.cpp" "src/net/CMakeFiles/sns_net.dir/network.cpp.o" "gcc" "src/net/CMakeFiles/sns_net.dir/network.cpp.o.d"
+  "/root/repo/src/net/sim.cpp" "src/net/CMakeFiles/sns_net.dir/sim.cpp.o" "gcc" "src/net/CMakeFiles/sns_net.dir/sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sns_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sns_net.dir/address.cpp.o"
+  "CMakeFiles/sns_net.dir/address.cpp.o.d"
+  "CMakeFiles/sns_net.dir/nat.cpp.o"
+  "CMakeFiles/sns_net.dir/nat.cpp.o.d"
+  "CMakeFiles/sns_net.dir/network.cpp.o"
+  "CMakeFiles/sns_net.dir/network.cpp.o.d"
+  "CMakeFiles/sns_net.dir/sim.cpp.o"
+  "CMakeFiles/sns_net.dir/sim.cpp.o.d"
+  "libsns_net.a"
+  "libsns_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sns_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

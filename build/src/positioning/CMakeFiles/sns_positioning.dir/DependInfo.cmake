@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/positioning/gnss.cpp" "src/positioning/CMakeFiles/sns_positioning.dir/gnss.cpp.o" "gcc" "src/positioning/CMakeFiles/sns_positioning.dir/gnss.cpp.o.d"
+  "/root/repo/src/positioning/ips.cpp" "src/positioning/CMakeFiles/sns_positioning.dir/ips.cpp.o" "gcc" "src/positioning/CMakeFiles/sns_positioning.dir/ips.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geo/CMakeFiles/sns_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sns_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

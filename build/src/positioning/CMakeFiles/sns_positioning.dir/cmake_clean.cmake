@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sns_positioning.dir/gnss.cpp.o"
+  "CMakeFiles/sns_positioning.dir/gnss.cpp.o.d"
+  "CMakeFiles/sns_positioning.dir/ips.cpp.o"
+  "CMakeFiles/sns_positioning.dir/ips.cpp.o.d"
+  "libsns_positioning.a"
+  "libsns_positioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sns_positioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

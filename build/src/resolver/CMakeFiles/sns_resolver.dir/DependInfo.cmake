@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/resolver/browse.cpp" "src/resolver/CMakeFiles/sns_resolver.dir/browse.cpp.o" "gcc" "src/resolver/CMakeFiles/sns_resolver.dir/browse.cpp.o.d"
+  "/root/repo/src/resolver/cache.cpp" "src/resolver/CMakeFiles/sns_resolver.dir/cache.cpp.o" "gcc" "src/resolver/CMakeFiles/sns_resolver.dir/cache.cpp.o.d"
+  "/root/repo/src/resolver/iterative.cpp" "src/resolver/CMakeFiles/sns_resolver.dir/iterative.cpp.o" "gcc" "src/resolver/CMakeFiles/sns_resolver.dir/iterative.cpp.o.d"
+  "/root/repo/src/resolver/recursive.cpp" "src/resolver/CMakeFiles/sns_resolver.dir/recursive.cpp.o" "gcc" "src/resolver/CMakeFiles/sns_resolver.dir/recursive.cpp.o.d"
+  "/root/repo/src/resolver/stub.cpp" "src/resolver/CMakeFiles/sns_resolver.dir/stub.cpp.o" "gcc" "src/resolver/CMakeFiles/sns_resolver.dir/stub.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dns/CMakeFiles/sns_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sns_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sns_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

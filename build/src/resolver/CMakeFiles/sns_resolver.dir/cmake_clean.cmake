@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sns_resolver.dir/browse.cpp.o"
+  "CMakeFiles/sns_resolver.dir/browse.cpp.o.d"
+  "CMakeFiles/sns_resolver.dir/cache.cpp.o"
+  "CMakeFiles/sns_resolver.dir/cache.cpp.o.d"
+  "CMakeFiles/sns_resolver.dir/iterative.cpp.o"
+  "CMakeFiles/sns_resolver.dir/iterative.cpp.o.d"
+  "CMakeFiles/sns_resolver.dir/recursive.cpp.o"
+  "CMakeFiles/sns_resolver.dir/recursive.cpp.o.d"
+  "CMakeFiles/sns_resolver.dir/stub.cpp.o"
+  "CMakeFiles/sns_resolver.dir/stub.cpp.o.d"
+  "libsns_resolver.a"
+  "libsns_resolver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sns_resolver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

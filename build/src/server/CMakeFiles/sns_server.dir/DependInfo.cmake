@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/server/authoritative.cpp" "src/server/CMakeFiles/sns_server.dir/authoritative.cpp.o" "gcc" "src/server/CMakeFiles/sns_server.dir/authoritative.cpp.o.d"
+  "/root/repo/src/server/mdns.cpp" "src/server/CMakeFiles/sns_server.dir/mdns.cpp.o" "gcc" "src/server/CMakeFiles/sns_server.dir/mdns.cpp.o.d"
+  "/root/repo/src/server/transfer.cpp" "src/server/CMakeFiles/sns_server.dir/transfer.cpp.o" "gcc" "src/server/CMakeFiles/sns_server.dir/transfer.cpp.o.d"
+  "/root/repo/src/server/update.cpp" "src/server/CMakeFiles/sns_server.dir/update.cpp.o" "gcc" "src/server/CMakeFiles/sns_server.dir/update.cpp.o.d"
+  "/root/repo/src/server/zone.cpp" "src/server/CMakeFiles/sns_server.dir/zone.cpp.o" "gcc" "src/server/CMakeFiles/sns_server.dir/zone.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dns/CMakeFiles/sns_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sns_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sns_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sns_server.dir/authoritative.cpp.o"
+  "CMakeFiles/sns_server.dir/authoritative.cpp.o.d"
+  "CMakeFiles/sns_server.dir/mdns.cpp.o"
+  "CMakeFiles/sns_server.dir/mdns.cpp.o.d"
+  "CMakeFiles/sns_server.dir/transfer.cpp.o"
+  "CMakeFiles/sns_server.dir/transfer.cpp.o.d"
+  "CMakeFiles/sns_server.dir/update.cpp.o"
+  "CMakeFiles/sns_server.dir/update.cpp.o.d"
+  "CMakeFiles/sns_server.dir/zone.cpp.o"
+  "CMakeFiles/sns_server.dir/zone.cpp.o.d"
+  "libsns_server.a"
+  "libsns_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sns_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

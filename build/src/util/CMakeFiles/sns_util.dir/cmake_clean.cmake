@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sns_util.dir/bytes.cpp.o"
+  "CMakeFiles/sns_util.dir/bytes.cpp.o.d"
+  "CMakeFiles/sns_util.dir/log.cpp.o"
+  "CMakeFiles/sns_util.dir/log.cpp.o.d"
+  "CMakeFiles/sns_util.dir/sha1.cpp.o"
+  "CMakeFiles/sns_util.dir/sha1.cpp.o.d"
+  "CMakeFiles/sns_util.dir/strings.cpp.o"
+  "CMakeFiles/sns_util.dir/strings.cpp.o.d"
+  "libsns_util.a"
+  "libsns_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sns_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_civic_uri.dir/test_civic_uri.cpp.o"
+  "CMakeFiles/test_civic_uri.dir/test_civic_uri.cpp.o.d"
+  "test_civic_uri"
+  "test_civic_uri.pdb"
+  "test_civic_uri[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_civic_uri.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

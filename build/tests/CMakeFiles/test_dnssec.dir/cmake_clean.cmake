@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dnssec.dir/test_dnssec.cpp.o"
+  "CMakeFiles/test_dnssec.dir/test_dnssec.cpp.o.d"
+  "test_dnssec"
+  "test_dnssec.pdb"
+  "test_dnssec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dnssec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

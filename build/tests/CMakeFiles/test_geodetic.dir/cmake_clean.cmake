@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_geodetic.dir/test_geodetic.cpp.o"
+  "CMakeFiles/test_geodetic.dir/test_geodetic.cpp.o.d"
+  "test_geodetic"
+  "test_geodetic.pdb"
+  "test_geodetic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_geodetic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_indexes.dir/test_indexes.cpp.o"
+  "CMakeFiles/test_indexes.dir/test_indexes.cpp.o.d"
+  "test_indexes"
+  "test_indexes.pdb"
+  "test_indexes[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_indexes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

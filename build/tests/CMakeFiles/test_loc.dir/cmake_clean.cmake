@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_loc.dir/test_loc.cpp.o"
+  "CMakeFiles/test_loc.dir/test_loc.cpp.o.d"
+  "test_loc"
+  "test_loc.pdb"
+  "test_loc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_loc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_master.dir/test_master.cpp.o"
+  "CMakeFiles/test_master.dir/test_master.cpp.o.d"
+  "test_master"
+  "test_master.pdb"
+  "test_master[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_master.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

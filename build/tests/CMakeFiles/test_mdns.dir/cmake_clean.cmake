@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mdns.dir/test_mdns.cpp.o"
+  "CMakeFiles/test_mdns.dir/test_mdns.cpp.o.d"
+  "test_mdns"
+  "test_mdns.pdb"
+  "test_mdns[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mdns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_positioning.dir/test_positioning.cpp.o"
+  "CMakeFiles/test_positioning.dir/test_positioning.cpp.o.d"
+  "test_positioning"
+  "test_positioning.pdb"
+  "test_positioning[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_positioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

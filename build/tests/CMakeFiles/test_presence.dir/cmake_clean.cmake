@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_presence.dir/test_presence.cpp.o"
+  "CMakeFiles/test_presence.dir/test_presence.cpp.o.d"
+  "test_presence"
+  "test_presence.pdb"
+  "test_presence[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_presence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_recursive.dir/test_recursive.cpp.o"
+  "CMakeFiles/test_recursive.dir/test_recursive.cpp.o.d"
+  "test_recursive"
+  "test_recursive.pdb"
+  "test_recursive[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_recursive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_selection_edns.dir/test_selection_edns.cpp.o"
+  "CMakeFiles/test_selection_edns.dir/test_selection_edns.cpp.o.d"
+  "test_selection_edns"
+  "test_selection_edns.pdb"
+  "test_selection_edns[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_selection_edns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

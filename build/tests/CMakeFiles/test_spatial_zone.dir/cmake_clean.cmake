@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spatial_zone.dir/test_spatial_zone.cpp.o"
+  "CMakeFiles/test_spatial_zone.dir/test_spatial_zone.cpp.o.d"
+  "test_spatial_zone"
+  "test_spatial_zone.pdb"
+  "test_spatial_zone[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spatial_zone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
