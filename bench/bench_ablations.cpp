@@ -38,7 +38,7 @@ void print_cache_ablation() {
     for (int gaze = 0; gaze < 200; ++gaze) {
       const dns::Name& target = gaze_targets[rng.next_below(gaze_targets.size())];
       auto result = stub.resolve(target, dns::RRType::ANY);
-      if (result.ok()) total += result.value().latency;
+      if (result.ok()) total += result.value().stats.latency;
     }
     double hit_rate = use_cache && (cache.hits() + cache.misses()) > 0
                           ? static_cast<double>(cache.hits()) /

@@ -86,7 +86,8 @@ Sample run_mdns(std::uint64_t seed, double loss) {
   auto result = resolver::browse_mdns(room.network, room.browser, "_sns._udp", room.domain,
                                       net::ms(1000));
   auto elapsed = room.network.clock().now() - before;
-  return {std::chrono::duration<double, std::milli>(elapsed).count(), result.services.size()};
+  return {std::chrono::duration<double, std::milli>(elapsed).count(),
+          result.ok() ? result.value().services.size() : 0};
 }
 
 Sample run_sns(std::uint64_t seed, double loss) {
@@ -138,8 +139,8 @@ void print_table() {
   auto second = stub.resolve(dns::name_of("device0.oval-office.loc"), dns::RRType::SRV);
   if (first.ok() && second.ok()) {
     std::printf("\nsingle AR-style lookup: cold %.2f ms, cached %.3f ms\n",
-                std::chrono::duration<double, std::milli>(first.value().latency).count(),
-                std::chrono::duration<double, std::milli>(second.value().latency).count());
+                std::chrono::duration<double, std::milli>(first.value().stats.latency).count(),
+                std::chrono::duration<double, std::milli>(second.value().stats.latency).count());
   }
   std::printf("\n");
 }

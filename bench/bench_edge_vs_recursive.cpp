@@ -37,7 +37,7 @@ void print_table() {
     net::NodeId local = d.add_client("headset", *world.oval_office, true);
     auto stub = d.make_stub(local, *world.oval_office);
     auto edge = stub.resolve(world.display, dns::RRType::A);
-    if (edge.ok()) edge_ms.push_back(to_ms(edge.value().latency));
+    if (edge.ok()) edge_ms.push_back(to_ms(edge.value().stats.latency));
 
     net::NodeId remote = d.add_client("remote", *world.cabinet_room, false);
     auto iterative = d.make_iterative(remote);
@@ -45,11 +45,11 @@ void print_table() {
     iterative.set_cache(&cache);
     auto cold = iterative.resolve(world.display, dns::RRType::AAAA);
     if (cold.ok()) {
-      cold_ms.push_back(to_ms(cold.value().latency));
-      cold_queries = cold.value().queries_sent;
+      cold_ms.push_back(to_ms(cold.value().stats.latency));
+      cold_queries = cold.value().stats.queries_sent;
     }
     auto warm = iterative.resolve(world.display, dns::RRType::AAAA);
-    if (warm.ok()) warm_ms.push_back(to_ms(warm.value().latency));
+    if (warm.ok()) warm_ms.push_back(to_ms(warm.value().stats.latency));
   }
 
   auto stats = [](std::vector<double>& v) {
@@ -78,11 +78,30 @@ void print_table() {
   auto offline_remote = iterative.resolve(world.display, dns::RRType::AAAA);
   std::printf("offline ablation (building uplink cut):\n");
   std::printf("  local edge resolution:   %s\n",
-              offline_local.ok() && offline_local.value().rcode == dns::Rcode::NoError
+              offline_local.ok() && offline_local.value().stats.rcode == dns::Rcode::NoError
                   ? "still works"
                   : "FAILED");
   std::printf("  remote iterative:        %s\n\n",
               offline_remote.ok() ? "unexpectedly worked" : "fails (as expected)");
+}
+
+// Machine-readable export: one instrumented cold+warm pair, dumped as a
+// span tree (per-hop timing) and the deployment's metric snapshot
+// (cache hit/miss counters, per-hop latency percentiles).
+void dump_observability() {
+  auto world = core::make_white_house_world(99);
+  auto& d = *world.deployment;
+  net::NodeId remote = d.add_client("remote", *world.cabinet_room, false);
+  auto iterative = d.make_iterative(remote);
+  resolver::DnsCache cache;
+  cache.set_metrics(&d.metrics());
+  iterative.set_cache(&cache);
+  (void)iterative.resolve(world.display, dns::RRType::AAAA);  // cold: full descent
+  (void)iterative.resolve(world.display, dns::RRType::AAAA);  // warm: cache hit
+  if (!d.tracer().roots().empty())
+    std::printf("E7 cold span tree: %s\n",
+                obs::Tracer::span_to_json(d.tracer().roots().front()).c_str());
+  std::printf("E7 metrics: %s\n\n", d.metrics().to_json().c_str());
 }
 
 void bench_edge_resolution(benchmark::State& state) {
@@ -115,6 +134,7 @@ BENCHMARK(bench_iterative_resolution);
 
 int main(int argc, char** argv) {
   print_table();
+  dump_observability();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

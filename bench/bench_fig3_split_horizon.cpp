@@ -41,12 +41,12 @@ void print_figure() {
     std::string type_text = "-";
     long long latency_us = -1;
     if (result.ok()) {
-      latency_us = result.value().latency.count();
+      latency_us = result.value().stats.latency.count();
       if (!result.value().records.empty()) {
         answer = dns::rdata_to_string(result.value().records.front().rdata);
         type_text = dns::to_string(result.value().records.front().type);
       } else {
-        answer = dns::to_string(result.value().rcode);
+        answer = dns::to_string(result.value().stats.rcode);
       }
     }
     std::string query_text = std::string(from) + " -> " + qname.labels().front();
@@ -68,6 +68,13 @@ void print_figure() {
   // 4. The protected mic from outside: refused.
   show("camera@cabinet-room (remote)", camera_stub, f.world.mic, dns::RRType::ANY);
   std::printf("\n");
+
+  // Machine-readable export: the four figure queries above left one
+  // stub.resolve span tree each (server.handle nested inside the
+  // net.exchange of every hop) plus the deployment metric snapshot.
+  std::printf("E3 span trees: %s\n", d.tracer().to_json().c_str());
+  std::printf("E3 metrics: %s\n\n", d.metrics().to_json().c_str());
+  d.tracer().clear();  // keep the benchmark loops below unbounded-growth-free
 }
 
 void bench_local_bdaddr(benchmark::State& state) {

@@ -110,6 +110,15 @@ void print_tables() {
                 answer.value().names.size());
   }
   std::printf("\n");
+
+  // Machine-readable export: the geodetic client is driven through the
+  // deployment's instrumented network, so one descent leaves a
+  // net.exchange span per hop plus the per-hop latency histogram.
+  Chain chain(4, 71);
+  auto geo_client = chain.deployment->make_geodetic_client(chain.client);
+  (void)geo_client.resolve_point(chain.target, 0.01);
+  std::printf("E9 span trees: %s\n", chain.deployment->tracer().to_json().c_str());
+  std::printf("E9 metrics: %s\n\n", chain.deployment->metrics().to_json().c_str());
 }
 
 void bench_descent(benchmark::State& state) {

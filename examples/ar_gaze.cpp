@@ -76,12 +76,12 @@ int main() {
     auto any = stub.resolve(ptr->target, dns::RRType::ANY);
     net::Duration total = d.network().clock().now() - t0;
     lookup_ms.push_back(to_ms(total));
-    if (any.ok() && any.value().rcode == dns::Rcode::NoError) {
+    if (any.ok() && any.value().stats.rcode == dns::Rcode::NoError) {
       ++resolved;
       if (fixation < 6) {
         std::printf("fixation %2d: %-10s -> %-55s %6.2f ms%s\n", fixation, target.label,
                     ptr->target.to_string().c_str(), to_ms(total),
-                    any.value().from_cache ? " (cached)" : "");
+                    any.value().stats.from_cache ? " (cached)" : "");
       }
     }
   }

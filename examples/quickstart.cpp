@@ -42,7 +42,7 @@ int main() {
                 speaker.value().effective_name.to_string().c_str());
     show_records(speaker.value().records);
     std::printf("  latency: %lld us (virtual)\n",
-                static_cast<long long>(speaker.value().latency.count()));
+                static_cast<long long>(speaker.value().stats.latency.count()));
   }
 
   // --- 2. Split horizon: the same display name, inside vs outside.
@@ -71,12 +71,12 @@ int main() {
   auto mic_outside = outside_stub.resolve(world.mic, dns::RRType::ANY);
   if (mic_outside.ok())
     std::printf("  outsider asking for the mic: %s\n",
-                dns::to_string(mic_outside.value().rcode).c_str());
+                dns::to_string(mic_outside.value().stats.rcode).c_str());
   world.oval_office->beacon->chirp();  // room beacon proves co-location
   auto mic_inside = stub.resolve(world.mic, dns::RRType::BDADDR);
   if (mic_inside.ok()) {
     std::printf("  insider (heard the chirp): %s\n",
-                dns::to_string(mic_inside.value().rcode).c_str());
+                dns::to_string(mic_inside.value().stats.rcode).c_str());
     show_records(mic_inside.value().records);
   }
 

@@ -99,11 +99,11 @@ int main() {
   auto remote = iterative.resolve(traps.back(), dns::RRType::ANY);
   std::printf("\nsatellite window open — remote lab resolves %s: %s (%.0f ms over %d queries)\n",
               traps.back().to_string().c_str(),
-              remote.ok() ? dns::to_string(remote.value().rcode).c_str() : "failed",
+              remote.ok() ? dns::to_string(remote.value().stats.rcode).c_str() : "failed",
               remote.ok()
-                  ? std::chrono::duration<double, std::milli>(remote.value().latency).count()
+                  ? std::chrono::duration<double, std::milli>(remote.value().stats.latency).count()
                   : 0.0,
-              remote.ok() ? remote.value().queries_sent : 0);
+              remote.ok() ? remote.value().stats.queries_sent : 0);
   std::printf("(the traps are LoRa-only: nothing is published in the global view,\n"
               " so outsiders get NXDOMAIN — existence itself stays private, Sec 4.2)\n");
   return 0;

@@ -8,7 +8,11 @@ using dns::Name;
 using dns::name_of;
 using util::Result;
 
-SnsDeployment::SnsDeployment(std::uint64_t seed) : seed_(seed), network_(seed) {
+SnsDeployment::SnsDeployment(std::uint64_t seed)
+    : seed_(seed), network_(seed), tracer_(network_.clock()) {
+  network_.set_metrics(&metrics_);
+  network_.set_tracer(&tracer_);
+
   // Root (".") and the .loc TLD server.
   root_node_ = network_.add_node("root-ns");
   loc_node_ = network_.add_node("loc-ns");
@@ -31,8 +35,12 @@ SnsDeployment::SnsDeployment(std::uint64_t seed) : seed_(seed), network_(seed) {
 
   root_server_ = std::make_unique<server::AuthoritativeServer>("root");
   root_server_->add_zone(root_zone_);
+  root_server_->set_metrics(&metrics_);
+  root_server_->set_tracer(&tracer_);
   loc_server_ = std::make_unique<server::AuthoritativeServer>("loc");
   loc_server_->add_zone(loc_zone_);
+  loc_server_->set_metrics(&metrics_);
+  loc_server_->set_tracer(&tracer_);
   loc_geo_ = std::make_unique<GeoResponder>(loc_root());
 
   directory_.register_server(root_ns_name, root_address, root_node_);
@@ -95,6 +103,8 @@ ZoneSite& SnsDeployment::add_zone(const CivicName& civic, const geo::BoundingBox
   // Authoritative server with split-horizon views: internal clients see
   // the local zone, everyone else the global zone.
   site.server = std::make_unique<server::AuthoritativeServer>(site.zone->domain().to_string());
+  site.server->set_metrics(&metrics_);
+  site.server->set_tracer(&tracer_);
   std::size_t internal_view = site.server->add_view("internal", server::match_internal());
   std::size_t external_view = site.server->add_view("external", server::match_any());
   site.server->add_zone(internal_view, site.zone->local_zone());
@@ -219,11 +229,16 @@ resolver::StubResolver SnsDeployment::make_stub(net::NodeId client, ZoneSite& si
   for (const ZoneSite* z = &site; z != nullptr; z = z->parent)
     suffixes.push_back(z->zone->domain());
   stub.set_search_list(std::move(suffixes));
+  stub.set_metrics(&metrics_);
+  stub.set_tracer(&tracer_);
   return stub;
 }
 
 resolver::IterativeResolver SnsDeployment::make_iterative(net::NodeId client) {
-  return resolver::IterativeResolver(network_, client, directory_, root_node_);
+  resolver::IterativeResolver iterative(network_, client, directory_, root_node_);
+  iterative.set_metrics(&metrics_);
+  iterative.set_tracer(&tracer_);
+  return iterative;
 }
 
 net::NodeId SnsDeployment::add_recursive_resolver(const std::string& name, ZoneSite* site) {
@@ -235,12 +250,17 @@ net::NodeId SnsDeployment::add_recursive_resolver(const std::string& name, ZoneS
     network_.connect(node, loc_node_, net::wan_link());
   }
   recursives_.emplace_back(network_, node, directory_, root_node_);
+  recursives_.back().set_metrics(&metrics_);
+  recursives_.back().set_tracer(&tracer_);
   recursives_.back().bind();
   return node;
 }
 
 resolver::StubResolver SnsDeployment::make_plain_stub(net::NodeId client, net::NodeId server) {
-  return resolver::StubResolver(network_, client, server);
+  resolver::StubResolver stub(network_, client, server);
+  stub.set_metrics(&metrics_);
+  stub.set_tracer(&tracer_);
+  return stub;
 }
 
 GeodeticClient SnsDeployment::make_geodetic_client(net::NodeId client) {

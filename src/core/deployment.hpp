@@ -24,6 +24,8 @@
 #include "core/mobility.hpp"
 #include "core/presence.hpp"
 #include "core/spatial_zone.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "resolver/iterative.hpp"
 #include "resolver/recursive.hpp"
 #include "resolver/stub.hpp"
@@ -65,6 +67,11 @@ class SnsDeployment {
 
   [[nodiscard]] net::Network& network() noexcept { return network_; }
   [[nodiscard]] resolver::ServerDirectory& directory() noexcept { return directory_; }
+
+  /// Deployment-wide observability: every server, resolver and network
+  /// exchange built through this deployment reports here.
+  [[nodiscard]] obs::MetricsRegistry& metrics() noexcept { return metrics_; }
+  [[nodiscard]] obs::Tracer& tracer() noexcept { return tracer_; }
   [[nodiscard]] net::NodeId root_node() const noexcept { return root_node_; }
   [[nodiscard]] net::NodeId loc_node() const noexcept { return loc_node_; }
 
@@ -117,6 +124,9 @@ class SnsDeployment {
 
   std::uint64_t seed_;
   net::Network network_;
+  // Declared after network_: tracer_ reads the network's clock.
+  obs::MetricsRegistry metrics_;
+  obs::Tracer tracer_;
   resolver::ServerDirectory directory_;
 
   std::shared_ptr<server::Zone> root_zone_;

@@ -347,8 +347,9 @@ Result<Rdata> decode_rdata(RRType type, ByteReader& reader, std::size_t rdlength
         for (std::size_t i = 0; i < bitmap.value().size(); ++i)
           for (int bit = 0; bit < 8; ++bit)
             if ((bitmap.value()[i] & (0x80 >> bit)) != 0)
-              n.types.push_back(static_cast<RRType>((window.value() << 8) | (i * 8 +
-                                static_cast<std::size_t>(bit))));
+              n.types.push_back(static_cast<RRType>(
+                  (static_cast<std::size_t>(window.value()) << 8) |
+                  (i * 8 + static_cast<std::size_t>(bit))));
       }
       return finish(std::move(n));
     }

@@ -5,6 +5,9 @@
 #include <limits>
 #include <queue>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace sns::net {
 
 using util::fail;
@@ -120,6 +123,10 @@ Result<ExchangeResult> Network::exchange(NodeId from, NodeId to,
     return fail("no route from " + nodes_[from].name + " to " + nodes_[to].name);
   if (!nodes_[to].handler) return fail("destination " + nodes_[to].name + " has no handler");
 
+  obs::ScopedSpan span(tracer_, "net.exchange");
+  span.annotate("from", nodes_[from].name);
+  span.annotate("to", nodes_[to].name);
+
   TimePoint start = clock_.now();
   for (int attempt = 1; attempt <= max_attempts; ++attempt) {
     TimePoint attempt_start = clock_.now();
@@ -145,14 +152,27 @@ Result<ExchangeResult> Network::exchange(NodeId from, NodeId to,
     }
     if (forward && response && backward) {
       clock_.advance(*backward);
-      return ExchangeResult{std::move(*response), clock_.now() - start, attempt};
+      Duration rtt = clock_.now() - start;
+      if (metrics_ != nullptr) {
+        metrics_->counter("net.exchange.count").add();
+        if (attempt > 1)
+          metrics_->counter("net.exchange.retries").add(static_cast<std::uint64_t>(attempt - 1));
+        metrics_->histogram("net.hop.latency_us")
+            .record(static_cast<std::uint64_t>(rtt.count()));
+      }
+      span.annotate("rtt_us", static_cast<std::int64_t>(rtt.count()));
+      span.annotate("attempts", static_cast<std::int64_t>(attempt));
+      return ExchangeResult{std::move(*response), rtt, attempt};
     }
+    if (metrics_ != nullptr) metrics_->counter("net.exchange.lost_attempts").add();
     // Lost somewhere (or the server stayed silent): burn the remainder
     // of this attempt's timeout (the clock may already have passed it
     // if a silent handler did slow nested work).
     TimePoint deadline = attempt_start + timeout;
     if (clock_.now() < deadline) clock_.advance_to(deadline);
   }
+  if (metrics_ != nullptr) metrics_->counter("net.exchange.timeouts").add();
+  span.annotate("outcome", "timeout");
   return fail("exchange timed out after " + std::to_string(max_attempts) + " attempts");
 }
 
@@ -161,6 +181,8 @@ void Network::join_group(std::uint32_t group, NodeId node) { groups_[group].push
 std::vector<MulticastResponse> Network::multicast_query(NodeId from, std::uint32_t group,
                                                         std::span<const std::uint8_t> payload,
                                                         Duration window) {
+  obs::ScopedSpan span(tracer_, "net.multicast");
+  if (metrics_ != nullptr) metrics_->counter("net.multicast.queries").add();
   std::vector<MulticastResponse> out;
   auto it = groups_.find(group);
   if (it != groups_.end()) {
@@ -189,6 +211,9 @@ std::vector<MulticastResponse> Network::multicast_query(NodeId from, std::uint32
               return a.elapsed < b.elapsed;
             });
   clock_.advance(window);
+  span.annotate("responses", static_cast<std::int64_t>(out.size()));
+  if (metrics_ != nullptr)
+    metrics_->counter("net.multicast.responses").add(out.size());
   return out;
 }
 

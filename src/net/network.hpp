@@ -26,6 +26,11 @@
 #include "util/result.hpp"
 #include "util/rng.hpp"
 
+namespace sns::obs {
+class MetricsRegistry;
+class Tracer;
+}  // namespace sns::obs
+
 namespace sns::net {
 
 using NodeId = std::uint32_t;
@@ -115,6 +120,15 @@ class Network {
   /// multicast arrival time instead of warping the global clock).
   void add_processing_delay(Duration d) { processing_delay_ += d; }
 
+  // -- observability ------------------------------------------------------
+  /// Attach a metrics registry / tracer (both optional, non-owning).
+  /// Exchanges then record `net.hop.latency_us`, loss and retry
+  /// counters, and emit one `net.exchange` span per datagram delivery
+  /// (nesting whatever the destination handler does under it).
+  void set_metrics(obs::MetricsRegistry* metrics) noexcept { metrics_ = metrics; }
+  void set_tracer(obs::Tracer* tracer) noexcept { tracer_ = tracer; }
+  [[nodiscard]] obs::Tracer* tracer() const noexcept { return tracer_; }
+
   // -- time ---------------------------------------------------------------
   [[nodiscard]] SimClock& clock() noexcept { return clock_; }
   [[nodiscard]] const SimClock& clock() const noexcept { return clock_; }
@@ -148,6 +162,8 @@ class Network {
   EventScheduler scheduler_;
   util::Rng rng_;
   Duration processing_delay_{0};  // accumulated by the current handler
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace sns::net

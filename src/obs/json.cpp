@@ -1,0 +1,140 @@
+#include "obs/json.hpp"
+
+#include <array>
+#include <charconv>
+#include <cstdio>
+
+namespace sns::obs {
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          std::array<char, 8> buffer{};
+          std::snprintf(buffer.data(), buffer.size(), "\\u%04x", c);
+          out += buffer.data();
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::comma() {
+  if (need_comma_) out_ += ',';
+  need_comma_ = true;
+}
+
+void JsonWriter::key_prefix(std::string_view key) {
+  comma();
+  out_ += '"';
+  out_ += json_escape(key);
+  out_ += "\":";
+}
+
+void JsonWriter::begin_object() {
+  comma();
+  out_ += '{';
+  need_comma_ = false;
+}
+
+void JsonWriter::begin_object(std::string_view key) {
+  key_prefix(key);
+  out_ += '{';
+  need_comma_ = false;
+}
+
+void JsonWriter::end_object() {
+  out_ += '}';
+  need_comma_ = true;
+}
+
+void JsonWriter::begin_array() {
+  comma();
+  out_ += '[';
+  need_comma_ = false;
+}
+
+void JsonWriter::begin_array(std::string_view key) {
+  key_prefix(key);
+  out_ += '[';
+  need_comma_ = false;
+}
+
+void JsonWriter::end_array() {
+  out_ += ']';
+  need_comma_ = true;
+}
+
+void JsonWriter::field(std::string_view key, std::string_view v) {
+  key_prefix(key);
+  out_ += '"';
+  out_ += json_escape(v);
+  out_ += '"';
+}
+
+void JsonWriter::field(std::string_view key, const char* v) {
+  field(key, std::string_view(v));
+}
+
+void JsonWriter::field(std::string_view key, std::int64_t v) {
+  key_prefix(key);
+  out_ += std::to_string(v);
+}
+
+void JsonWriter::field(std::string_view key, std::uint64_t v) {
+  key_prefix(key);
+  out_ += std::to_string(v);
+}
+
+void JsonWriter::field(std::string_view key, double v) {
+  key_prefix(key);
+  std::array<char, 32> buffer{};
+  std::snprintf(buffer.data(), buffer.size(), "%.6g", v);
+  out_ += buffer.data();
+}
+
+void JsonWriter::field(std::string_view key, bool v) {
+  key_prefix(key);
+  out_ += v ? "true" : "false";
+}
+
+void JsonWriter::value(std::string_view v) {
+  comma();
+  out_ += '"';
+  out_ += json_escape(v);
+  out_ += '"';
+}
+
+void JsonWriter::value(std::int64_t v) {
+  comma();
+  out_ += std::to_string(v);
+}
+
+void JsonWriter::value(std::uint64_t v) {
+  comma();
+  out_ += std::to_string(v);
+}
+
+void JsonWriter::value(bool v) {
+  comma();
+  out_ += v ? "true" : "false";
+}
+
+void JsonWriter::value(double v) {
+  comma();
+  std::array<char, 32> buffer{};
+  std::snprintf(buffer.data(), buffer.size(), "%.6g", v);
+  out_ += buffer.data();
+}
+
+}  // namespace sns::obs

@@ -1,0 +1,57 @@
+// json.hpp — minimal JSON emission for observability exports.
+//
+// The obs subsystem ships span trees and metric snapshots to benches in
+// machine-readable form (ISSUE: "benches emit machine-readable
+// trajectories alongside their current stdout tables"). This is a
+// write-only JSON builder: no DOM, no parsing, just correctly escaped
+// output assembled into a string. Keys are emitted in the order the
+// caller writes them, so exports are deterministic.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace sns::obs {
+
+/// Escape a string for inclusion inside JSON quotes (without the quotes).
+std::string json_escape(std::string_view text);
+
+/// Streaming JSON writer. The caller is responsible for calling
+/// begin/end in a balanced way; commas between siblings are inserted
+/// automatically.
+class JsonWriter {
+ public:
+  void begin_object();
+  void begin_object(std::string_view key);
+  void end_object();
+  void begin_array();
+  void begin_array(std::string_view key);
+  void end_array();
+
+  void field(std::string_view key, std::string_view value);
+  void field(std::string_view key, const char* value);
+  void field(std::string_view key, std::int64_t value);
+  void field(std::string_view key, std::uint64_t value);
+  void field(std::string_view key, double value);
+  void field(std::string_view key, bool value);
+
+  /// A bare value inside an array.
+  void value(std::string_view v);
+  void value(std::int64_t v);
+  void value(std::uint64_t v);
+  void value(double v);
+  void value(bool v);
+
+  [[nodiscard]] const std::string& str() const noexcept { return out_; }
+  [[nodiscard]] std::string take() noexcept { return std::move(out_); }
+
+ private:
+  void comma();
+  void key_prefix(std::string_view key);
+
+  std::string out_;
+  bool need_comma_ = false;
+};
+
+}  // namespace sns::obs

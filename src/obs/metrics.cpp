@@ -1,0 +1,123 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "obs/json.hpp"
+
+namespace sns::obs {
+
+namespace {
+constexpr std::size_t kSubBuckets = 16;  // linear sub-buckets per octave
+constexpr std::size_t kSubBits = 4;      // log2(kSubBuckets)
+}  // namespace
+
+std::size_t Histogram::bucket_of(std::uint64_t value) noexcept {
+  if (value < kSubBuckets) return static_cast<std::size_t>(value);
+  // exponent >= 4: value in [2^e, 2^(e+1)), sliced into 16 linear steps.
+  auto exponent = static_cast<std::size_t>(std::bit_width(value)) - 1;
+  std::size_t sub = static_cast<std::size_t>(value >> (exponent - kSubBits)) & (kSubBuckets - 1);
+  return (exponent - kSubBits + 1) * kSubBuckets + sub;
+}
+
+std::uint64_t Histogram::bucket_lo(std::size_t index) noexcept {
+  if (index < kSubBuckets) return index;
+  std::size_t exponent = index / kSubBuckets + kSubBits - 1;
+  std::uint64_t sub = index % kSubBuckets;
+  return (std::uint64_t{1} << exponent) + (sub << (exponent - kSubBits));
+}
+
+std::uint64_t Histogram::bucket_hi(std::size_t index) noexcept {
+  if (index < kSubBuckets) return index + 1;
+  std::size_t exponent = index / kSubBuckets + kSubBits - 1;
+  return bucket_lo(index) + (std::uint64_t{1} << (exponent - kSubBits));
+}
+
+void Histogram::record(std::uint64_t value) noexcept {
+  std::size_t index = bucket_of(value);
+  if (index >= buckets_.size()) buckets_.resize(index + 1, 0);
+  ++buckets_[index];
+  ++count_;
+  sum_ += value;
+  if (count_ == 1 || value < min_) min_ = value;
+  if (value > max_) max_ = value;
+}
+
+double Histogram::quantile(double p) const noexcept {
+  if (count_ == 0) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  // Rank of the requested quantile (1-based, ceil convention).
+  auto target = static_cast<std::uint64_t>(std::ceil(p * static_cast<double>(count_)));
+  if (target == 0) target = 1;
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) continue;
+    if (cumulative + buckets_[i] >= target) {
+      double fraction = static_cast<double>(target - cumulative) /
+                        static_cast<double>(buckets_[i]);
+      double lo = static_cast<double>(bucket_lo(i));
+      double hi = static_cast<double>(bucket_hi(i));
+      double estimate = lo + fraction * (hi - lo);
+      return std::clamp(estimate, static_cast<double>(min_), static_cast<double>(max_));
+    }
+    cumulative += buckets_[i];
+  }
+  return static_cast<double>(max_);
+}
+
+void Histogram::reset() {
+  buckets_.clear();
+  count_ = sum_ = min_ = max_ = 0;
+}
+
+std::optional<std::uint64_t> MetricsRegistry::counter_value(const std::string& name) const {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) return std::nullopt;
+  return it->second.value();
+}
+
+const Histogram* MetricsRegistry::find_histogram(const std::string& name) const {
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+std::string MetricsRegistry::to_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.begin_object("counters");
+  for (const auto& [name, counter] : counters_) w.field(name, counter.value());
+  w.end_object();
+  w.begin_object("gauges");
+  for (const auto& [name, gauge] : gauges_) w.field(name, gauge.value());
+  w.end_object();
+  w.begin_object("histograms");
+  for (const auto& [name, h] : histograms_) {
+    w.begin_object(name);
+    w.field("count", h.count());
+    w.field("sum", h.sum());
+    w.field("min", h.min());
+    w.field("max", h.max());
+    w.field("mean", h.mean());
+    w.field("p50", h.p50());
+    w.field("p90", h.p90());
+    w.field("p99", h.p99());
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+  return w.take();
+}
+
+void MetricsRegistry::reset() {
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry instance;
+  return instance;
+}
+
+}  // namespace sns::obs

@@ -1,0 +1,116 @@
+// metrics.hpp — named counters, gauges and log-scale latency histograms.
+//
+// The measurement substrate the ROADMAP's "runs as fast as the hardware
+// allows" goal needs: you can't optimise hot paths you can't see. Every
+// resolver, server, cache and the network layer report into a
+// MetricsRegistry; benches export it as JSON alongside their stdout
+// tables, the way OpenFLAME attributes latency to hierarchy levels in
+// its federated spatial-DNS deployments.
+//
+// Metric naming scheme (dot-separated, lowercase; documented in
+// DESIGN.md §7): `<layer>.<component>.<measure>[_<unit>]`, e.g.
+//   resolver.cache.hit            counter
+//   net.hop.latency_us            histogram (microseconds)
+//   resolver.iterative.fanout     histogram (dimensionless)
+//
+// The registry is process-wide by default (MetricsRegistry::global())
+// but injectable everywhere for tests: each SnsDeployment owns its own
+// instance so parallel test fixtures never share state.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace sns::obs {
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept { value_ += n; }
+  [[nodiscard]] std::uint64_t value() const noexcept { return value_; }
+  void reset() noexcept { value_ = 0; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void set(double v) noexcept { value_ = v; }
+  void add(double v) noexcept { value_ += v; }
+  [[nodiscard]] double value() const noexcept { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Log-linear histogram (HdrHistogram-style): one octave per power of
+/// two, 16 linear sub-buckets per octave, so quantile estimates carry at
+/// most ~6% relative error while recording stays O(1) with no
+/// allocation beyond the bucket array. Values are non-negative integers
+/// (typically microseconds).
+class Histogram {
+ public:
+  void record(std::uint64_t value) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] std::uint64_t sum() const noexcept { return sum_; }
+  [[nodiscard]] std::uint64_t min() const noexcept { return count_ == 0 ? 0 : min_; }
+  [[nodiscard]] std::uint64_t max() const noexcept { return max_; }
+  [[nodiscard]] double mean() const noexcept {
+    return count_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+
+  /// Quantile estimate, p in [0, 1]. Interpolated within the bucket the
+  /// rank falls into and clamped to the observed [min, max].
+  [[nodiscard]] double quantile(double p) const noexcept;
+  [[nodiscard]] double p50() const noexcept { return quantile(0.50); }
+  [[nodiscard]] double p90() const noexcept { return quantile(0.90); }
+  [[nodiscard]] double p99() const noexcept { return quantile(0.99); }
+
+  void reset();
+
+ private:
+  static std::size_t bucket_of(std::uint64_t value) noexcept;
+  static std::uint64_t bucket_lo(std::size_t index) noexcept;
+  static std::uint64_t bucket_hi(std::size_t index) noexcept;
+
+  std::vector<std::uint64_t> buckets_;  // grown on demand
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+/// Named metric store. Lookups create on first use; references stay
+/// stable for the registry's lifetime (node-based map), so hot paths
+/// can cache `Counter&` once and bump it without a string lookup.
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name) { return counters_[name]; }
+  Gauge& gauge(const std::string& name) { return gauges_[name]; }
+  Histogram& histogram(const std::string& name) { return histograms_[name]; }
+
+  /// Read-only lookups (no creation) for tests and exporters.
+  [[nodiscard]] std::optional<std::uint64_t> counter_value(const std::string& name) const;
+  [[nodiscard]] const Histogram* find_histogram(const std::string& name) const;
+
+  /// Full snapshot:
+  /// {"counters":{...},"gauges":{...},"histograms":{name:{count,sum,
+  ///  min,max,mean,p50,p90,p99},...}}
+  [[nodiscard]] std::string to_json() const;
+
+  void reset();
+
+  /// Process-wide default instance for code with no injected registry.
+  static MetricsRegistry& global();
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace sns::obs

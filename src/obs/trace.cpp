@@ -1,0 +1,104 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+
+#include "obs/json.hpp"
+
+namespace sns::obs {
+
+int Span::depth() const noexcept {
+  int deepest = 0;
+  for (const Span& child : children) deepest = std::max(deepest, child.depth());
+  return deepest + 1;
+}
+
+int Span::count(std::string_view span_name) const noexcept {
+  int total = name == span_name ? 1 : 0;
+  for (const Span& child : children) total += child.count(span_name);
+  return total;
+}
+
+const std::string* Span::attribute(std::string_view key) const noexcept {
+  for (const auto& [k, v] : attributes)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+void Tracer::begin_span(std::string name) {
+  Span span;
+  span.name = std::move(name);
+  span.start = clock_->now();
+  stack_.push_back(std::move(span));
+}
+
+void Tracer::annotate(std::string key, std::string value) {
+  if (stack_.empty()) return;
+  stack_.back().attributes.emplace_back(std::move(key), std::move(value));
+}
+
+void Tracer::annotate(std::string key, std::int64_t value) {
+  annotate(std::move(key), std::to_string(value));
+}
+
+void Tracer::annotate_at(std::size_t depth, std::string key, std::string value) {
+  if (depth >= stack_.size()) return;  // span already closed: drop quietly
+  stack_[depth].attributes.emplace_back(std::move(key), std::move(value));
+}
+
+void Tracer::end_span() {
+  if (stack_.empty()) return;  // unbalanced end: ignore rather than crash
+  Span finished = std::move(stack_.back());
+  stack_.pop_back();
+  finished.end = clock_->now();
+  if (!stack_.empty()) {
+    stack_.back().children.push_back(std::move(finished));
+    return;
+  }
+  roots_.push_back(std::move(finished));
+  if (roots_.size() > max_roots_) roots_.erase(roots_.begin());
+}
+
+void Tracer::clear() {
+  stack_.clear();
+  roots_.clear();
+}
+
+namespace {
+
+void write_span(JsonWriter& w, const Span& span) {
+  w.begin_object();
+  w.field("name", span.name);
+  w.field("start_us", span.start.count());
+  w.field("end_us", span.end.count());
+  if (!span.attributes.empty()) {
+    w.begin_object("attrs");
+    for (const auto& [key, value] : span.attributes) w.field(key, value);
+    w.end_object();
+  }
+  if (!span.children.empty()) {
+    w.begin_array("children");
+    for (const Span& child : span.children) write_span(w, child);
+    w.end_array();
+  }
+  w.end_object();
+}
+
+}  // namespace
+
+std::string Tracer::to_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.begin_array("spans");
+  for (const Span& span : roots_) write_span(w, span);
+  w.end_array();
+  w.end_object();
+  return w.take();
+}
+
+std::string Tracer::span_to_json(const Span& span) {
+  JsonWriter w;
+  write_span(w, span);
+  return w.take();
+}
+
+}  // namespace sns::obs

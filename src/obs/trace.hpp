@@ -1,0 +1,112 @@
+// trace.hpp — per-query span trees over simulated time.
+//
+// A Tracer records what a resolution *did*: one span per upstream hop,
+// referral, CNAME restart, cache probe and concurrent-border branch
+// (§3.1/§3.2's per-hop timing stories are only checkable with this).
+// The simulator is single-threaded, so the tracer keeps a simple span
+// stack: begin_span() nests under the currently open span, end_span()
+// pops. Finished root spans accumulate in a bounded ring for export.
+//
+// Span names follow the taxonomy in DESIGN.md §7:
+//   stub.resolve, resolver.iterative, resolver.hop, resolver.branch,
+//   resolver.referral, resolver.cname_restart, resolver.cache.probe,
+//   recursive.handle, server.handle, net.exchange
+//
+// All instrumentation goes through ScopedSpan, which is null-safe: a
+// component holding `Tracer* tracer_ = nullptr` pays one pointer test
+// when tracing is off.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/sim.hpp"
+
+namespace sns::obs {
+
+struct Span {
+  std::string name;
+  net::TimePoint start{0};
+  net::TimePoint end{0};
+  std::vector<std::pair<std::string, std::string>> attributes;
+  std::vector<Span> children;
+
+  [[nodiscard]] net::Duration duration() const noexcept { return end - start; }
+  /// Depth of this subtree: a leaf is 1.
+  [[nodiscard]] int depth() const noexcept;
+  /// Number of spans named `name` anywhere in this subtree.
+  [[nodiscard]] int count(std::string_view span_name) const noexcept;
+  /// First attribute value with this key, if any.
+  [[nodiscard]] const std::string* attribute(std::string_view key) const noexcept;
+};
+
+class Tracer {
+ public:
+  /// Timestamps come from the simulation clock (virtual time).
+  explicit Tracer(const net::SimClock& clock, std::size_t max_roots = 1024)
+      : clock_(&clock), max_roots_(max_roots) {}
+
+  void begin_span(std::string name);
+  /// Annotate the innermost open span.
+  void annotate(std::string key, std::string value);
+  void annotate(std::string key, std::int64_t value);
+  /// Annotate the open span at stack index `depth` (0 = outermost).
+  /// Lets a ScopedSpan annotate itself while children are open.
+  void annotate_at(std::size_t depth, std::string key, std::string value);
+  void end_span();
+
+  /// Finished root spans, oldest first (bounded: oldest are dropped
+  /// beyond max_roots).
+  [[nodiscard]] const std::vector<Span>& roots() const noexcept { return roots_; }
+  [[nodiscard]] std::size_t open_depth() const noexcept { return stack_.size(); }
+  void clear();
+
+  /// {"spans":[{name,start_us,end_us,attrs:{...},children:[...]},...]}
+  [[nodiscard]] std::string to_json() const;
+  /// Export a single span tree in the same shape.
+  static std::string span_to_json(const Span& span);
+
+ private:
+  const net::SimClock* clock_;
+  std::size_t max_roots_;
+  std::vector<Span> stack_;  // open spans, innermost last
+  std::vector<Span> roots_;  // finished top-level spans
+};
+
+/// RAII span: begins on construction (when a tracer is attached) and
+/// ends on destruction. Safe to construct with tracer == nullptr.
+class ScopedSpan {
+ public:
+  ScopedSpan(Tracer* tracer, std::string name) : tracer_(tracer) {
+    if (tracer_ != nullptr) {
+      tracer_->begin_span(std::move(name));
+      depth_ = tracer_->open_depth() - 1;
+    }
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+  ~ScopedSpan() {
+    if (tracer_ != nullptr) tracer_->end_span();
+  }
+
+  /// Annotates *this* span even if child spans have since opened.
+  void annotate(std::string key, std::string value) {
+    if (tracer_ != nullptr) tracer_->annotate_at(depth_, std::move(key), std::move(value));
+  }
+  void annotate(std::string key, std::int64_t value) {
+    if (tracer_ != nullptr) tracer_->annotate_at(depth_, std::move(key), std::to_string(value));
+  }
+
+ private:
+  Tracer* tracer_;
+  std::size_t depth_ = 0;
+};
+
+/// Point event: a zero-duration span (referral followed, CNAME restart).
+inline void trace_event(Tracer* tracer, std::string name) {
+  ScopedSpan span(tracer, std::move(name));
+}
+
+}  // namespace sns::obs

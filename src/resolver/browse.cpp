@@ -44,8 +44,10 @@ Result<BrowseResult> browse_unicast(StubResolver& stub, const std::string& servi
 
   auto ptr = stub.resolve(type_name.value(), RRType::PTR);
   if (!ptr.ok()) return ptr.error();
-  out.total_latency += ptr.value().latency;
-  ++out.queries_sent;
+  out.stats.rcode = ptr.value().stats.rcode;
+  out.stats.latency += ptr.value().stats.latency;
+  ++out.stats.queries_sent;
+  out.stats.from_cache = ptr.value().stats.from_cache;
 
   for (const auto& rr : ptr.value().records) {
     const auto* target = std::get_if<dns::PtrData>(&rr.rdata);
@@ -54,35 +56,36 @@ Result<BrowseResult> browse_unicast(StubResolver& stub, const std::string& servi
     service.instance = target->target;
 
     auto srv = stub.resolve(target->target, RRType::SRV);
-    ++out.queries_sent;
+    ++out.stats.queries_sent;
     if (srv.ok()) {
-      out.total_latency += srv.value().latency;
+      out.stats.latency += srv.value().stats.latency;
       fill_from_records(service, srv.value().records);
     }
     auto txt = stub.resolve(target->target, RRType::TXT);
-    ++out.queries_sent;
+    ++out.stats.queries_sent;
     if (txt.ok()) {
-      out.total_latency += txt.value().latency;
+      out.stats.latency += txt.value().stats.latency;
       fill_from_records(service, txt.value().records);
     }
-    service.discovered_after = out.total_latency;
+    service.discovered_after = out.stats.latency;
     out.services.push_back(std::move(service));
   }
   return out;
 }
 
-BrowseResult browse_mdns(net::Network& network, net::NodeId self, const std::string& service_type,
-                         const Name& domain, net::Duration window) {
+Result<BrowseResult> browse_mdns(net::Network& network, net::NodeId self,
+                                 const std::string& service_type, const Name& domain,
+                                 net::Duration window) {
   BrowseResult out;
   net::TimePoint start = network.clock().now();
 
   auto type_name = type_name_in_domain(service_type, domain);
-  if (!type_name.ok()) return out;
+  if (!type_name.ok()) return type_name.error();
 
   constexpr std::uint32_t kMdnsGroup = 5353;  // matches server::kMdnsGroup
   Message ptr_query = dns::make_query(1, type_name.value(), RRType::PTR, false);
   auto wire = ptr_query.encode();
-  ++out.queries_sent;
+  ++out.stats.queries_sent;
   auto responses = network.multicast_query(self, kMdnsGroup, std::span(wire), window);
 
   for (const auto& response : responses) {
@@ -98,7 +101,7 @@ BrowseResult browse_mdns(net::Network& network, net::NodeId self, const std::str
       for (RRType follow_type : {RRType::SRV, RRType::TXT}) {
         Message follow = dns::make_query(2, target->target, follow_type, false);
         auto follow_wire = follow.encode();
-        ++out.queries_sent;
+        ++out.stats.queries_sent;
         auto follow_responses =
             network.multicast_query(self, kMdnsGroup, std::span(follow_wire), window / 2);
         for (const auto& fr : follow_responses) {
@@ -110,7 +113,8 @@ BrowseResult browse_mdns(net::Network& network, net::NodeId self, const std::str
       out.services.push_back(std::move(service));
     }
   }
-  out.total_latency = network.clock().now() - start;
+  out.stats.rcode = dns::Rcode::NoError;
+  out.stats.latency = network.clock().now() - start;
   return out;
 }
 

@@ -26,10 +26,12 @@ struct DiscoveredService {
   net::Duration discovered_after{0};
 };
 
+/// Result of one browse sweep. Accounting lives in `stats`, the shape
+/// shared with Resolution and IterativeResult (`stats.latency` is the
+/// end-to-end wall time of the whole sweep).
 struct BrowseResult {
+  QueryStats stats;
   std::vector<DiscoveredService> services;
-  net::Duration total_latency{0};
-  int queries_sent = 0;
 };
 
 /// Unicast DNS-SD against a spatial zone: PTR enumeration then SRV/TXT
@@ -39,7 +41,10 @@ util::Result<BrowseResult> browse_unicast(StubResolver& stub, const std::string&
 
 /// Multicast mDNS browse: PTR query to the mDNS group, wait a listening
 /// window, then per-instance SRV/TXT queries (again multicast).
-BrowseResult browse_mdns(net::Network& network, net::NodeId self, const std::string& service_type,
-                         const dns::Name& domain, net::Duration window = net::ms(1000));
+/// Fails (Result error) when the service-type name cannot be formed in
+/// `domain`; an empty browse window is a success with zero services.
+util::Result<BrowseResult> browse_mdns(net::Network& network, net::NodeId self,
+                                       const std::string& service_type, const dns::Name& domain,
+                                       net::Duration window = net::ms(1000));
 
 }  // namespace sns::resolver

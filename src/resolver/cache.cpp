@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+
 namespace sns::resolver {
 
 void DnsCache::put(const RRset& records, net::TimePoint now) {
@@ -20,6 +22,7 @@ void DnsCache::put_answer(const Name& qname, RRType qtype, const RRset& records,
   if (existing != positive_.end()) lru_.erase(existing->second.lru);
   lru_.push_front(key);
   positive_[key] = PositiveEntry{records, now, now + std::chrono::seconds(min_ttl), lru_.begin()};
+  if (metrics_ != nullptr) metrics_->counter("resolver.cache.insert").add();
   evict_if_needed();
 }
 
@@ -38,9 +41,11 @@ std::optional<RRset> DnsCache::get(const Name& name, RRType type, net::TimePoint
       positive_.erase(it);
     }
     ++misses_;
+    if (metrics_ != nullptr) metrics_->counter("resolver.cache.miss").add();
     return std::nullopt;
   }
   ++hits_;
+  if (metrics_ != nullptr) metrics_->counter("resolver.cache.hit").add();
   touch(it->second, key);
   // Serve with decremented TTLs (RFC 1035 §7.3 behaviour).
   auto age = std::chrono::duration_cast<std::chrono::seconds>(now - it->second.inserted).count();
@@ -59,6 +64,7 @@ std::optional<dns::Rcode> DnsCache::get_negative(const Name& name, RRType type,
     negative_.erase(it);
     return std::nullopt;
   }
+  if (metrics_ != nullptr) metrics_->counter("resolver.cache.negative_hit").add();
   return it->second.rcode;
 }
 
@@ -78,6 +84,7 @@ void DnsCache::evict_if_needed() {
   while (positive_.size() > capacity_) {
     positive_.erase(lru_.back());
     lru_.pop_back();
+    if (metrics_ != nullptr) metrics_->counter("resolver.cache.evict").add();
   }
 }
 

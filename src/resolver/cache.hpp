@@ -15,6 +15,10 @@
 #include "dns/type.hpp"
 #include "net/sim.hpp"
 
+namespace sns::obs {
+class MetricsRegistry;
+}  // namespace sns::obs
+
 namespace sns::resolver {
 
 using dns::Name;
@@ -50,6 +54,10 @@ class DnsCache {
   [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
   [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
 
+  /// Report into a registry (non-owning; nullptr detaches). Counters:
+  /// resolver.cache.{hit,miss,negative_hit,insert,evict}.
+  void set_metrics(obs::MetricsRegistry* metrics) noexcept { metrics_ = metrics; }
+
  private:
   struct Key {
     Name name;
@@ -76,6 +84,7 @@ class DnsCache {
   std::list<Key> lru_;  // front = most recent
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+  obs::MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace sns::resolver

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/log.hpp"
 
 namespace sns::resolver {
@@ -34,10 +36,11 @@ IterativeResolver::IterativeResolver(net::Network& network, net::NodeId self,
     : network_(network), self_(self), directory_(directory), root_server_(root_server) {}
 
 Result<Message> IterativeResolver::query_server(net::NodeId server, const Name& name, RRType type,
-                                                IterativeResult& stats) {
+                                                QueryStats& stats) {
   Message query = dns::make_query(next_id_++, name, type, /*recursion_desired=*/false);
   auto wire = query.encode();
   ++stats.queries_sent;
+  if (metrics_ != nullptr) metrics_->counter("resolver.iterative.queries").add();
   auto result = network_.exchange(self_, server, std::span(wire));
   if (!result.ok()) return result.error();
   auto response = Message::decode(std::span(result.value().response));
@@ -50,32 +53,56 @@ Result<IterativeResult> IterativeResolver::resolve(const Name& name, RRType type
   Name qname = name;
   std::vector<net::NodeId> candidates{root_server_};
 
+  obs::ScopedSpan root_span(tracer_, "resolver.iterative");
+  root_span.annotate("name", name.to_string());
+  root_span.annotate("type", dns::to_string(type));
+
   for (int guard = 0; guard < 32; ++guard) {
     if (cache_ != nullptr) {
+      obs::ScopedSpan probe(tracer_, "resolver.cache.probe");
+      probe.annotate("name", qname.to_string());
       if (auto cached = cache_->get(qname, type, network_.clock().now())) {
+        probe.annotate("outcome", "hit");
         out.records.insert(out.records.end(), cached->begin(), cached->end());
-        out.rcode = Rcode::NoError;
+        out.stats.rcode = Rcode::NoError;
+        out.stats.from_cache = out.stats.queries_sent == 0;
         return out;
       }
       if (auto negative = cache_->get_negative(qname, type, network_.clock().now())) {
-        out.rcode = *negative;
+        probe.annotate("outcome", "negative_hit");
+        out.stats.rcode = *negative;
+        out.stats.from_cache = out.stats.queries_sent == 0;
         return out;
       }
+      probe.annotate("outcome", "miss");
     }
 
-    out.fanout_max = std::max(out.fanout_max, static_cast<int>(candidates.size()));
+    out.stats.fanout_max = std::max(out.stats.fanout_max, static_cast<int>(candidates.size()));
 
     // Query every candidate; concurrent pursuit is charged max() RTT in
-    // out.latency (queries overlap in real time).
+    // out.stats.latency (queries overlap in real time). One
+    // `resolver.hop` span per descent level; when border ambiguity
+    // fans out, each concurrently pursued server gets its own
+    // `resolver.branch` child span.
+    obs::ScopedSpan hop_span(tracer_, "resolver.hop");
+    hop_span.annotate("qname", qname.to_string());
+    hop_span.annotate("fanout", static_cast<std::int64_t>(candidates.size()));
     std::optional<Message> chosen;
     std::vector<Message> referrals;
     net::Duration hop_latency{0};
     for (net::NodeId server : candidates) {
+      obs::ScopedSpan branch_span(tracer_, "resolver.branch");
+      branch_span.annotate("server", network_.node_name(server));
       net::TimePoint t0 = network_.clock().now();
-      auto response = query_server(server, qname, type, out);
-      hop_latency = std::max(hop_latency, network_.clock().now() - t0);
-      if (!response.ok()) continue;
+      auto response = query_server(server, qname, type, out.stats);
+      net::Duration branch_latency = network_.clock().now() - t0;
+      hop_latency = std::max(hop_latency, branch_latency);
+      if (!response.ok()) {
+        branch_span.annotate("outcome", "no_response");
+        continue;
+      }
       Message& msg = response.value();
+      branch_span.annotate("rcode", dns::to_string(msg.header.rcode));
       // Terminal: an answer, any authoritative error (NXDOMAIN, REFUSED
       // from a presence rule, ...), or an authoritative NODATA.
       if (!msg.answers.empty() || msg.header.rcode != Rcode::NoError ||
@@ -85,7 +112,10 @@ Result<IterativeResult> IterativeResolver::resolve(const Name& name, RRType type
         referrals.push_back(std::move(msg));
       }
     }
-    out.latency += hop_latency;
+    out.stats.latency += hop_latency;
+    if (metrics_ != nullptr)
+      metrics_->histogram("resolver.hop.latency_us")
+          .record(static_cast<std::uint64_t>(hop_latency.count()));
 
     if (chosen.has_value()) {
       const Message& msg = *chosen;
@@ -103,13 +133,19 @@ Result<IterativeResult> IterativeResolver::resolve(const Name& name, RRType type
         if (!has_qtype && cname != nullptr && type != RRType::CNAME && type != RRType::ANY) {
           qname = cname->target;
           candidates = {root_server_};
+          if (metrics_ != nullptr) metrics_->counter("resolver.iterative.cname_restarts").add();
+          obs::trace_event(tracer_, "resolver.cname_restart");
           continue;
         }
-        out.rcode = Rcode::NoError;
+        out.stats.rcode = Rcode::NoError;
+        root_span.annotate("rcode", dns::to_string(out.stats.rcode));
+        if (metrics_ != nullptr)
+          metrics_->histogram("resolver.iterative.latency_us")
+              .record(static_cast<std::uint64_t>(out.stats.latency.count()));
         return out;
       }
       // Authoritative NXDOMAIN or NODATA.
-      out.rcode = msg.header.rcode;
+      out.stats.rcode = msg.header.rcode;
       if (cache_ != nullptr) {
         std::uint32_t ttl = 60;
         for (const auto& rr : msg.authorities)
@@ -117,6 +153,10 @@ Result<IterativeResult> IterativeResolver::resolve(const Name& name, RRType type
             ttl = std::min(rr.ttl, soa->minimum);
         cache_->put_negative(qname, type, msg.header.rcode, ttl, network_.clock().now());
       }
+      root_span.annotate("rcode", dns::to_string(out.stats.rcode));
+      if (metrics_ != nullptr)
+        metrics_->histogram("resolver.iterative.latency_us")
+            .record(static_cast<std::uint64_t>(out.stats.latency.count()));
       return out;
     }
 
@@ -124,7 +164,9 @@ Result<IterativeResult> IterativeResolver::resolve(const Name& name, RRType type
 
     // Collect next-hop servers from every referral (border ambiguity:
     // several zones may claim the point; pursue all of them).
-    ++out.referrals_followed;
+    ++out.stats.referrals_followed;
+    if (metrics_ != nullptr) metrics_->counter("resolver.iterative.referrals").add();
+    obs::trace_event(tracer_, "resolver.referral");
     std::vector<net::NodeId> next;
     for (const Message& msg : referrals) {
       for (const auto& rr : msg.authorities) {

@@ -20,6 +20,12 @@
 #include "dns/message.hpp"
 #include "net/network.hpp"
 #include "resolver/cache.hpp"
+#include "resolver/query_stats.hpp"
+
+namespace sns::obs {
+class MetricsRegistry;
+class Tracer;
+}  // namespace sns::obs
 
 namespace sns::resolver {
 
@@ -37,15 +43,12 @@ class ServerDirectory {
   std::map<std::uint32_t, net::NodeId> by_address_;
 };
 
-/// Outcome of one iterative resolution, with work accounting for the
-/// E7/E9 benches.
+/// Outcome of one iterative resolution. Work accounting for the E7/E9
+/// benches lives in `stats`, the shape shared with Resolution and
+/// BrowseResult.
 struct IterativeResult {
-  dns::Rcode rcode = dns::Rcode::ServFail;
+  QueryStats stats;
   dns::RRset records;
-  net::Duration latency{0};
-  int queries_sent = 0;       // total upstream queries
-  int referrals_followed = 0;
-  int fanout_max = 1;         // max concurrent referral pursuit (border case)
 };
 
 class IterativeResolver {
@@ -54,6 +57,8 @@ class IterativeResolver {
                     net::NodeId root_server);
 
   void set_cache(DnsCache* cache) { cache_ = cache; }
+  void set_metrics(obs::MetricsRegistry* metrics) noexcept { metrics_ = metrics; }
+  void set_tracer(obs::Tracer* tracer) noexcept { tracer_ = tracer; }
 
   util::Result<IterativeResult> resolve(const dns::Name& name, dns::RRType type);
 
@@ -64,7 +69,7 @@ class IterativeResolver {
   };
 
   util::Result<dns::Message> query_server(net::NodeId server, const dns::Name& name,
-                                          dns::RRType type, IterativeResult& stats);
+                                          dns::RRType type, QueryStats& stats);
 
   net::Network& network_;
   net::NodeId self_;
@@ -72,6 +77,8 @@ class IterativeResolver {
   net::NodeId root_server_;
   DnsCache* cache_ = nullptr;
   std::uint16_t next_id_ = 100;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace sns::resolver

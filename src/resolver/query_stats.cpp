@@ -1,0 +1,20 @@
+#include "resolver/query_stats.hpp"
+
+#include "obs/json.hpp"
+
+namespace sns::resolver {
+
+std::string QueryStats::to_json() const {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.field("rcode", dns::to_string(rcode));
+  w.field("latency_us", static_cast<std::int64_t>(latency.count()));
+  w.field("queries_sent", static_cast<std::int64_t>(queries_sent));
+  w.field("from_cache", from_cache);
+  w.field("referrals_followed", static_cast<std::int64_t>(referrals_followed));
+  w.field("fanout_max", static_cast<std::int64_t>(fanout_max));
+  w.end_object();
+  return w.take();
+}
+
+}  // namespace sns::resolver

@@ -1,0 +1,37 @@
+// query_stats.hpp — the one shape every resolver front-end reports.
+//
+// Resolution (stub), IterativeResult (iterative) and BrowseResult
+// (DNS-SD browse) used to carry three divergent ad-hoc accounting
+// structs; the obs layer and the benches now consume a single
+// QueryStats embedded in all three. Field semantics are identical
+// across front-ends:
+//   rcode               final DNS response code of the operation
+//   latency             virtual time consumed end to end
+//   queries_sent        upstream queries issued (0 on a pure cache hit)
+//   from_cache          answered entirely from a local DnsCache
+//   referrals_followed  delegation hops chased (0 for stub/browse)
+//   fanout_max          max concurrent referral pursuit (border case; 1
+//                       when no branching happened)
+#pragma once
+
+#include <string>
+
+#include "dns/type.hpp"
+#include "net/sim.hpp"
+
+namespace sns::resolver {
+
+struct QueryStats {
+  dns::Rcode rcode = dns::Rcode::ServFail;
+  net::Duration latency{0};
+  int queries_sent = 0;
+  bool from_cache = false;
+  int referrals_followed = 0;
+  int fanout_max = 1;
+
+  /// Machine-readable form for bench trajectories:
+  /// {"rcode":"NOERROR","latency_us":412,"queries_sent":8,...}
+  [[nodiscard]] std::string to_json() const;
+};
+
+}  // namespace sns::resolver

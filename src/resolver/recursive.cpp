@@ -1,5 +1,7 @@
 #include "resolver/recursive.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/log.hpp"
 
 namespace sns::resolver {
@@ -19,6 +21,8 @@ RecursiveResolver::RecursiveResolver(net::Network& network, net::NodeId node,
 
 Message RecursiveResolver::handle(const Message& query) {
   ++queries_served_;
+  if (metrics_ != nullptr) metrics_->counter("resolver.recursive.queries").add();
+  obs::ScopedSpan span(tracer_, "recursive.handle");
   if (query.questions.size() != 1) return dns::make_response(query, Rcode::FormErr, false);
   if (!query.header.rd) {
     // We are not authoritative for anything; without RD there is
@@ -28,16 +32,19 @@ Message RecursiveResolver::handle(const Message& query) {
     return refused;
   }
   const auto& question = query.questions.front();
+  span.annotate("name", question.name.to_string());
+  span.annotate("type", dns::to_string(question.type));
 
   auto result = iterative_.resolve(question.name, question.type);
   Message response = dns::make_response(
-      query, result.ok() ? result.value().rcode : Rcode::ServFail, /*authoritative=*/false);
+      query, result.ok() ? result.value().stats.rcode : Rcode::ServFail, /*authoritative=*/false);
   response.header.ra = true;
   if (result.ok()) {
     response.answers = std::move(result).value().records;
   } else {
     util::log_debug("recursive", "resolution failed: ", result.error().message);
   }
+  span.annotate("rcode", dns::to_string(response.header.rcode));
   return response;
 }
 

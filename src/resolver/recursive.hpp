@@ -42,12 +42,26 @@ class RecursiveResolver {
   [[nodiscard]] const DnsCache& cache() const noexcept { return cache_; }
   [[nodiscard]] std::uint64_t queries_served() const noexcept { return queries_served_; }
 
+  /// Attach observability sinks; forwarded to the inner iterative
+  /// resolver and cache (metrics only — the cache emits no spans).
+  void set_metrics(obs::MetricsRegistry* metrics) noexcept {
+    metrics_ = metrics;
+    iterative_.set_metrics(metrics);
+    cache_.set_metrics(metrics);
+  }
+  void set_tracer(obs::Tracer* tracer) noexcept {
+    tracer_ = tracer;
+    iterative_.set_tracer(tracer);
+  }
+
  private:
   net::Network& network_;
   net::NodeId node_;
   IterativeResolver iterative_;
   DnsCache cache_;
   std::uint64_t queries_served_ = 0;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace sns::resolver

@@ -1,5 +1,7 @@
 #include "resolver/stub.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/strings.hpp"
 
 namespace sns::resolver {
@@ -49,38 +51,56 @@ Result<dns::Message> StubResolver::exchange(const Message& query) {
 
 Result<Resolution> StubResolver::resolve_absolute(const Name& name, RRType type) {
   net::TimePoint start = network_.clock().now();
+  obs::ScopedSpan span(tracer_, "stub.resolve");
+  span.annotate("name", name.to_string());
+  span.annotate("type", dns::to_string(type));
 
   if (cache_ != nullptr) {
+    obs::ScopedSpan probe(tracer_, "resolver.cache.probe");
     if (auto cached = cache_->get(name, type, start)) {
+      probe.annotate("outcome", "hit");
+      span.annotate("from_cache", "true");
       Resolution r;
-      r.rcode = Rcode::NoError;
+      r.stats.rcode = Rcode::NoError;
       r.records = std::move(*cached);
-      r.from_cache = true;
+      r.stats.from_cache = true;
       r.effective_name = name;
       return r;
     }
     if (auto negative = cache_->get_negative(name, type, start)) {
+      probe.annotate("outcome", "negative_hit");
+      span.annotate("from_cache", "true");
       Resolution r;
-      r.rcode = *negative;
-      r.from_cache = true;
+      r.stats.rcode = *negative;
+      r.stats.from_cache = true;
       r.effective_name = name;
       return r;
     }
+    probe.annotate("outcome", "miss");
   }
 
   Message query = dns::make_query(next_id_++, name, type);
   auto response = exchange(query);
-  if (!response.ok()) return response.error();
+  if (metrics_ != nullptr) metrics_->counter("resolver.stub.queries").add();
+  if (!response.ok()) {
+    if (metrics_ != nullptr) metrics_->counter("resolver.stub.failures").add();
+    return response.error();
+  }
   const Message& msg = response.value();
 
   Resolution r;
-  r.rcode = msg.header.rcode;
+  r.stats.rcode = msg.header.rcode;
   r.records = msg.answers;
-  r.latency = network_.clock().now() - start;
+  r.stats.latency = network_.clock().now() - start;
+  r.stats.queries_sent = 1;
   r.effective_name = name;
+  span.annotate("rcode", dns::to_string(r.stats.rcode));
+  if (metrics_ != nullptr)
+    metrics_->histogram("resolver.stub.latency_us")
+        .record(static_cast<std::uint64_t>(r.stats.latency.count()));
 
   if (cache_ != nullptr) {
-    if (r.rcode == Rcode::NoError && !r.records.empty()) {
+    if (r.stats.rcode == Rcode::NoError && !r.records.empty()) {
       // Cache each RRset (grouped by name+type) separately, plus the
       // whole answer under the question key (covers ANY and CNAME-chain
       // answers whose records carry different names/types).
@@ -96,13 +116,15 @@ Result<Resolution> StubResolver::resolve_absolute(const Name& name, RRType type)
         i = j;
       }
       cache_->put_answer(name, type, r.records, network_.clock().now());
-    } else if (r.rcode == Rcode::NXDomain || (r.rcode == Rcode::NoError && r.records.empty())) {
+    } else if (r.stats.rcode == Rcode::NXDomain ||
+               (r.stats.rcode == Rcode::NoError && r.records.empty())) {
       // Negative cache using the SOA MINIMUM from the authority section.
       std::uint32_t ttl = 60;
       for (const auto& rr : msg.authorities)
         if (const auto* soa = std::get_if<dns::SoaData>(&rr.rdata))
           ttl = std::min(rr.ttl, soa->minimum);
-      cache_->put_negative(name, type, r.rcode == Rcode::NoError ? Rcode::NoError : Rcode::NXDomain,
+      cache_->put_negative(name, type,
+                           r.stats.rcode == Rcode::NoError ? Rcode::NoError : Rcode::NXDomain,
                            ttl, network_.clock().now());
     }
   }
@@ -128,8 +150,8 @@ Result<Resolution> StubResolver::resolve(std::string_view name_text, RRType type
   std::optional<Resolution> fallback;
   auto consider = [&](Result<Resolution> result) -> std::optional<Result<Resolution>> {
     if (!result.ok()) return std::nullopt;
-    if (result.value().rcode == Rcode::NoError) return result;
-    if (!fallback.has_value() || result.value().rcode == Rcode::NXDomain)
+    if (result.value().stats.rcode == Rcode::NoError) return result;
+    if (!fallback.has_value() || result.value().stats.rcode == Rcode::NXDomain)
       fallback = std::move(result).value();
     return std::nullopt;
   };

@@ -16,16 +16,21 @@
 #include "dns/message.hpp"
 #include "net/network.hpp"
 #include "resolver/cache.hpp"
+#include "resolver/query_stats.hpp"
+
+namespace sns::obs {
+class MetricsRegistry;
+class Tracer;
+}  // namespace sns::obs
 
 namespace sns::resolver {
 
-/// Result of one stub resolution.
+/// Result of one stub resolution. Accounting lives in `stats`, the
+/// shape shared with IterativeResult and BrowseResult.
 struct Resolution {
-  dns::Rcode rcode = dns::Rcode::ServFail;
-  dns::RRset records;                    // final answer RRset(s), CNAMEs included
-  net::Duration latency{0};              // virtual time consumed
-  bool from_cache = false;
-  dns::Name effective_name;              // after search-list completion
+  QueryStats stats;
+  dns::RRset records;        // final answer RRset(s), CNAMEs included
+  dns::Name effective_name;  // after search-list completion
 };
 
 class StubResolver {
@@ -40,6 +45,8 @@ class StubResolver {
   void set_search_list(std::vector<dns::Name> suffixes);
   void set_cache(DnsCache* cache) { cache_ = cache; }
   void set_timeout(net::Duration timeout, int attempts);
+  void set_metrics(obs::MetricsRegistry* metrics) noexcept { metrics_ = metrics; }
+  void set_tracer(obs::Tracer* tracer) noexcept { tracer_ = tracer; }
 
   /// Resolve a possibly-relative name.
   util::Result<Resolution> resolve(std::string_view name_text, dns::RRType type);
@@ -64,6 +71,8 @@ class StubResolver {
   net::Duration timeout_ = net::ms(2000);
   int attempts_ = 3;
   std::uint16_t next_id_ = 1;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace sns::resolver

@@ -1,5 +1,7 @@
 #include "server/authoritative.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "server/update.hpp"
 #include "util/log.hpp"
 
@@ -165,7 +167,17 @@ std::vector<std::shared_ptr<Zone>> AuthoritativeServer::zones_for(const ClientCo
 
 Message AuthoritativeServer::handle(const Message& query, const ClientContext& ctx) {
   ++queries_served_;
+  if (metrics_ != nullptr) metrics_->counter("server.queries").add();
+  obs::ScopedSpan span(tracer_, "server.handle");
+  span.annotate("server", name_);
+  if (!query.questions.empty()) span.annotate("name", query.questions.front().name.to_string());
 
+  Message response = handle_query(query, ctx);
+  span.annotate("rcode", dns::to_string(response.header.rcode));
+  return response;
+}
+
+Message AuthoritativeServer::handle_query(const Message& query, const ClientContext& ctx) {
   if (query.header.opcode == dns::Opcode::Update) return process_update(*this, query, ctx);
 
   if (query.questions.size() != 1) return dns::make_response(query, Rcode::FormErr, false);
@@ -173,6 +185,7 @@ Message AuthoritativeServer::handle(const Message& query, const ClientContext& c
 
   const View* view = match_view(ctx);
   if (view == nullptr) return dns::make_response(query, Rcode::Refused, false);
+  if (tracer_ != nullptr) tracer_->annotate("view", view->name);
 
   auto zone = find_zone(*view, question.name);
   if (zone == nullptr) return dns::make_response(query, Rcode::Refused, false);
@@ -180,6 +193,7 @@ Message AuthoritativeServer::handle(const Message& query, const ClientContext& c
   if (presence_denied(question.name, ctx)) {
     util::log_debug("authoritative", name_, ": refused (presence) ",
                     question.name.to_string());
+    if (metrics_ != nullptr) metrics_->counter("server.refused.presence").add();
     return dns::make_response(query, Rcode::Refused, true);
   }
 

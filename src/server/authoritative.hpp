@@ -26,6 +26,11 @@
 #include "net/network.hpp"
 #include "server/zone.hpp"
 
+namespace sns::obs {
+class MetricsRegistry;
+class Tracer;
+}  // namespace sns::obs
+
 namespace sns::server {
 
 /// Everything the server may know about the querying client. On the
@@ -91,6 +96,11 @@ class AuthoritativeServer {
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
   [[nodiscard]] std::uint64_t queries_served() const noexcept { return queries_served_; }
 
+  /// Observability sinks: `server.queries` / `server.refused.presence`
+  /// counters and one `server.handle` span per query.
+  void set_metrics(obs::MetricsRegistry* metrics) noexcept { metrics_ = metrics; }
+  void set_tracer(obs::Tracer* tracer) noexcept { tracer_ = tracer; }
+
   /// Zones visible to `ctx` (used by the update processor and tests).
   [[nodiscard]] std::vector<std::shared_ptr<Zone>> zones_for(const ClientContext& ctx) const;
 
@@ -105,6 +115,7 @@ class AuthoritativeServer {
     std::vector<std::shared_ptr<Zone>> zones;
   };
 
+  [[nodiscard]] dns::Message handle_query(const dns::Message& query, const ClientContext& ctx);
   [[nodiscard]] const View* match_view(const ClientContext& ctx) const;
   [[nodiscard]] std::shared_ptr<Zone> find_zone(const View& view, const Name& qname) const;
   [[nodiscard]] bool presence_denied(const Name& qname, const ClientContext& ctx) const;
@@ -126,6 +137,8 @@ class AuthoritativeServer {
   std::map<const Zone*, std::pair<std::uint32_t, std::vector<dns::ResourceRecord>>>
       nsec3_cache_;
   std::uint64_t queries_served_ = 0;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace sns::server

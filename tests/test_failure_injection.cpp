@@ -92,7 +92,7 @@ TEST(FailureInjection, FlappingUplinkEventuallyResolves) {
     d.network().set_link_down(world.white_house->ns_node, world.penn_ave->ns_node, false);
     auto up = iterative.resolve(world.display, RRType::AAAA);
     ASSERT_TRUE(up.ok()) << "cycle " << cycle;
-    EXPECT_EQ(up.value().rcode, Rcode::NoError);
+    EXPECT_EQ(up.value().stats.rcode, Rcode::NoError);
   }
 }
 
@@ -115,7 +115,7 @@ TEST(FailureInjection, HeavyLossStillConvergesWithRetries) {
   int successes = 0;
   for (int i = 0; i < 30; ++i) {
     auto result = stub.resolve(name_of("dev.zone.loc"), RRType::A);
-    if (result.ok() && result.value().rcode == Rcode::NoError) ++successes;
+    if (result.ok() && result.value().stats.rcode == Rcode::NoError) ++successes;
   }
   EXPECT_GE(successes, 28);  // p(12 straight losses) ~ (1-0.49)^12
 }

@@ -30,11 +30,11 @@ TEST(Integration, Figure3LocalBluetoothResolution) {
   auto stub = f.d.make_stub(mic->node, *f.world.oval_office);
   auto result = stub.resolve("speaker", RRType::BDADDR);
   ASSERT_TRUE(result.ok());
-  EXPECT_EQ(result.value().rcode, Rcode::NoError);
+  EXPECT_EQ(result.value().stats.rcode, Rcode::NoError);
   ASSERT_EQ(result.value().records.size(), 1u);
   EXPECT_EQ(result.value().records[0].type, RRType::BDADDR);
   // LAN-local: well under a millisecond of virtual time.
-  EXPECT_LT(result.value().latency, net::ms(5));
+  EXPECT_LT(result.value().stats.latency, net::ms(5));
 }
 
 TEST(Integration, Figure3RemoteCameraGetsGlobalAAAA) {
@@ -46,7 +46,7 @@ TEST(Integration, Figure3RemoteCameraGetsGlobalAAAA) {
   auto iterative = f.d.make_iterative(camera->node);
   auto result = iterative.resolve(f.world.display, RRType::AAAA);
   ASSERT_TRUE(result.ok()) << result.error().message;
-  EXPECT_EQ(result.value().rcode, Rcode::NoError);
+  EXPECT_EQ(result.value().stats.rcode, Rcode::NoError);
   ASSERT_FALSE(result.value().records.empty());
   EXPECT_EQ(result.value().records[0].type, RRType::AAAA);
   // And it cannot see the display's local Bluetooth address.
@@ -124,7 +124,7 @@ TEST(Integration, OfflineEdgeKeepsLocalResolutionWorking) {
 
   auto local = stub.resolve(f.world.speaker, RRType::BDADDR);
   ASSERT_TRUE(local.ok()) << local.error().message;
-  EXPECT_EQ(local.value().rcode, Rcode::NoError);
+  EXPECT_EQ(local.value().stats.rcode, Rcode::NoError);
 
   // Meanwhile a remote iterative resolution into the White House fails.
   net::NodeId remote = f.d.add_client("remote", *f.world.cabinet_room, false);
@@ -136,7 +136,7 @@ TEST(Integration, OfflineEdgeKeepsLocalResolutionWorking) {
   f.d.network().set_link_down(f.world.white_house->ns_node, f.world.penn_ave->ns_node, false);
   auto healed = iterative.resolve(f.world.display, RRType::AAAA);
   ASSERT_TRUE(healed.ok());
-  EXPECT_EQ(healed.value().rcode, Rcode::NoError);
+  EXPECT_EQ(healed.value().stats.rcode, Rcode::NoError);
 }
 
 TEST(Integration, SpatialDnsSdDiscovery) {
@@ -180,7 +180,7 @@ TEST(Integration, UriNamingEndToEnd) {
   auto stub = f.d.make_stub(client, *f.world.oval_office);
   auto result = stub.resolve(uri.value().authority, RRType::BDADDR);
   ASSERT_TRUE(result.ok());
-  EXPECT_EQ(result.value().rcode, Rcode::NoError);
+  EXPECT_EQ(result.value().stats.rcode, Rcode::NoError);
 }
 
 TEST(Integration, EdgeLatencyIsMillisecondScale) {
@@ -194,7 +194,7 @@ TEST(Integration, EdgeLatencyIsMillisecondScale) {
   for (int i = 0; i < 20; ++i) {
     auto result = stub.resolve(f.world.display, RRType::A);
     ASSERT_TRUE(result.ok());
-    worst = std::max(worst, result.value().latency);
+    worst = std::max(worst, result.value().stats.latency);
   }
   EXPECT_LT(worst, net::ms(5));
 }
@@ -220,7 +220,7 @@ TEST(Integration, WholeWorldIsDeterministic) {
     std::vector<std::int64_t> latencies;
     for (int i = 0; i < 10; ++i) {
       auto result = stub.resolve(world.speaker, RRType::BDADDR);
-      latencies.push_back(result.ok() ? result.value().latency.count() : -1);
+      latencies.push_back(result.ok() ? result.value().stats.latency.count() : -1);
     }
     return latencies;
   };

@@ -69,9 +69,9 @@ TEST(Browse, UnicastFindsServicesThroughEdgeServer) {
       resolver::browse_unicast(stub, "_audio._udp", world.oval_office->zone->domain());
   ASSERT_TRUE(result.ok()) << result.error().message;
   ASSERT_EQ(result.value().services.size(), 2u);
-  EXPECT_GT(result.value().total_latency.count(), 0);
+  EXPECT_GT(result.value().stats.latency.count(), 0);
   // Sub-10ms on the LAN — the SNS path is fast.
-  EXPECT_LT(result.value().total_latency, net::ms(10));
+  EXPECT_LT(result.value().stats.latency, net::ms(10));
   bool found_port = false;
   for (const auto& s : result.value().services)
     if (s.port == 5700) found_port = true;
@@ -89,20 +89,22 @@ TEST(Browse, MdnsMulticastIsSlowButFindsServices) {
   responder.publish(speaker_service());
 
   auto result = resolver::browse_mdns(network, browser, "_audio._udp", kDomain, net::ms(500));
-  ASSERT_EQ(result.services.size(), 1u);
-  EXPECT_EQ(result.services[0].port, 5600);
-  EXPECT_EQ(result.services[0].txt.size(), 2u);
+  ASSERT_TRUE(result.ok()) << result.error().message;
+  ASSERT_EQ(result.value().services.size(), 1u);
+  EXPECT_EQ(result.value().services[0].port, 5600);
+  EXPECT_EQ(result.value().services[0].txt.size(), 2u);
   // The layered path burns full listening windows: structurally slow
   // (the §1 complaint). 500 + 250 + 250 ms of windows.
-  EXPECT_GE(result.total_latency, net::ms(1000));
+  EXPECT_GE(result.value().stats.latency, net::ms(1000));
 }
 
 TEST(Browse, MdnsSilentWhenNothingPublished) {
   net::Network network(6);
   net::NodeId browser = network.add_node("browser");
   auto result = resolver::browse_mdns(network, browser, "_video._udp", kDomain, net::ms(200));
-  EXPECT_TRUE(result.services.empty());
-  EXPECT_GE(result.total_latency, net::ms(200));  // still waited the window
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().services.empty());
+  EXPECT_GE(result.value().stats.latency, net::ms(200));  // still waited the window
 }
 
 TEST(MdnsResponder, AnswersOnlyMatchingQuestions) {
@@ -115,7 +117,8 @@ TEST(MdnsResponder, AnswersOnlyMatchingQuestions) {
 
   // Non-matching service type: silence (not NXDOMAIN) per mDNS custom.
   auto miss = resolver::browse_mdns(network, browser, "_printer._tcp", kDomain, net::ms(300));
-  EXPECT_TRUE(miss.services.empty());
+  ASSERT_TRUE(miss.ok());
+  EXPECT_TRUE(miss.value().services.empty());
 }
 
 }  // namespace

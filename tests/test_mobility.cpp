@@ -78,7 +78,7 @@ TEST(Move, ResolutionFollowsCnameAcrossZones) {
   auto stub_b = d.make_stub(client, room_b);
   auto chased = stub_b.resolve(report.value().new_name, RRType::BDADDR);
   ASSERT_TRUE(chased.ok());
-  EXPECT_EQ(chased.value().rcode, Rcode::NoError);
+  EXPECT_EQ(chased.value().stats.rcode, Rcode::NoError);
   ASSERT_EQ(chased.value().records.size(), 1u);
 }
 

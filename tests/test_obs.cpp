@@ -1,0 +1,292 @@
+// Tests for the observability subsystem: counter/gauge/histogram math,
+// span trees over a real multi-referral resolution, and JSON export.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/deployment.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "resolver/cache.hpp"
+#include "resolver/iterative.hpp"
+
+namespace sns::obs {
+namespace {
+
+using dns::Rcode;
+using dns::RRType;
+
+// --- Counters and gauges -----------------------------------------------------
+
+TEST(Metrics, CounterArithmetic) {
+  MetricsRegistry registry;
+  registry.counter("a.b.c").add();
+  registry.counter("a.b.c").add(41);
+  EXPECT_EQ(registry.counter("a.b.c").value(), 42u);
+  EXPECT_EQ(registry.counter_value("a.b.c"), 42u);
+  EXPECT_EQ(registry.counter_value("no.such"), std::nullopt);
+
+  registry.counter("a.b.c").reset();
+  EXPECT_EQ(registry.counter("a.b.c").value(), 0u);
+}
+
+TEST(Metrics, GaugeSetAndAdd) {
+  MetricsRegistry registry;
+  registry.gauge("g").set(2.5);
+  registry.gauge("g").add(-1.0);
+  EXPECT_DOUBLE_EQ(registry.gauge("g").value(), 1.5);
+}
+
+TEST(Metrics, ReferencesStayStableAcrossInserts) {
+  MetricsRegistry registry;
+  Counter& first = registry.counter("first");
+  for (int i = 0; i < 100; ++i) registry.counter("other." + std::to_string(i));
+  first.add(7);
+  EXPECT_EQ(registry.counter_value("first"), 7u);
+}
+
+// --- Histogram ---------------------------------------------------------------
+
+TEST(Histogram, BasicStatistics) {
+  Histogram h;
+  for (std::uint64_t v : {10u, 20u, 30u, 40u}) h.record(v);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.sum(), 100u);
+  EXPECT_EQ(h.min(), 10u);
+  EXPECT_EQ(h.max(), 40u);
+  EXPECT_DOUBLE_EQ(h.mean(), 25.0);
+}
+
+TEST(Histogram, EmptyIsAllZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(Histogram, QuantilesWithinLogLinearError) {
+  // 16 sub-buckets per octave bound the relative quantile error at
+  // ~1/16; use 7% as the test tolerance.
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 10000; ++v) h.record(v);
+  EXPECT_NEAR(h.p50(), 5000.0, 5000.0 * 0.07);
+  EXPECT_NEAR(h.p90(), 9000.0, 9000.0 * 0.07);
+  EXPECT_NEAR(h.p99(), 9900.0, 9900.0 * 0.07);
+  // Quantiles are clamped to observed extremes.
+  EXPECT_GE(h.quantile(0.0), 1.0);
+  EXPECT_LE(h.quantile(1.0), 10000.0);
+}
+
+TEST(Histogram, SingleValueQuantilesAreExact) {
+  Histogram h;
+  h.record(777);
+  EXPECT_DOUBLE_EQ(h.p50(), 777.0);
+  EXPECT_DOUBLE_EQ(h.p99(), 777.0);
+}
+
+TEST(Histogram, ResetClears) {
+  Histogram h;
+  h.record(123);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+}
+
+// --- JSON export -------------------------------------------------------------
+
+TEST(Json, WriterEscapesAndNests) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("plain", "value");
+  w.field("tricky", "a\"b\\c\nd");
+  w.begin_array("list");
+  w.value(std::int64_t{1});
+  w.value(true);
+  w.end_array();
+  w.end_object();
+  EXPECT_EQ(w.str(),
+            "{\"plain\":\"value\",\"tricky\":\"a\\\"b\\\\c\\nd\",\"list\":[1,true]}");
+}
+
+TEST(Metrics, JsonExportRoundTrip) {
+  MetricsRegistry registry;
+  registry.counter("resolver.cache.hit").add(3);
+  registry.gauge("load").set(0.5);
+  registry.histogram("net.hop.latency_us").record(1000);
+  registry.histogram("net.hop.latency_us").record(3000);
+
+  std::string json = registry.to_json();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"resolver.cache.hit\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"sum\":4000"), std::string::npos);
+
+  // The export reflects live state: another hit shows up on re-export.
+  registry.counter("resolver.cache.hit").add();
+  EXPECT_NE(registry.to_json().find("\"resolver.cache.hit\":4"), std::string::npos);
+}
+
+// --- Tracer ------------------------------------------------------------------
+
+TEST(Tracer, SpansNestViaStack) {
+  net::SimClock clock;
+  Tracer tracer(clock);
+  tracer.begin_span("outer");
+  clock.advance(net::ms(1));
+  tracer.begin_span("inner");
+  clock.advance(net::ms(2));
+  tracer.end_span();
+  tracer.end_span();
+
+  ASSERT_EQ(tracer.roots().size(), 1u);
+  const Span& outer = tracer.roots().front();
+  EXPECT_EQ(outer.name, "outer");
+  EXPECT_EQ(outer.duration(), net::ms(3));
+  ASSERT_EQ(outer.children.size(), 1u);
+  EXPECT_EQ(outer.children[0].name, "inner");
+  EXPECT_EQ(outer.children[0].duration(), net::ms(2));
+  EXPECT_EQ(outer.depth(), 2);
+  EXPECT_EQ(outer.count("inner"), 1);
+}
+
+TEST(Tracer, ScopedSpanAnnotatesItselfNotOpenChild) {
+  net::SimClock clock;
+  Tracer tracer(clock);
+  {
+    ScopedSpan parent(&tracer, "parent");
+    ScopedSpan child(&tracer, "child");
+    parent.annotate("who", "parent");  // child is still open
+    child.annotate("who", "child");
+  }
+  ASSERT_EQ(tracer.roots().size(), 1u);
+  const Span& parent = tracer.roots().front();
+  ASSERT_NE(parent.attribute("who"), nullptr);
+  EXPECT_EQ(*parent.attribute("who"), "parent");
+  ASSERT_EQ(parent.children.size(), 1u);
+  EXPECT_EQ(*parent.children[0].attribute("who"), "child");
+}
+
+TEST(Tracer, NullTracerIsSafe) {
+  ScopedSpan span(nullptr, "nothing");
+  span.annotate("key", "value");
+  trace_event(nullptr, "event");  // must not crash
+}
+
+TEST(Tracer, BoundedRootsDropOldest) {
+  net::SimClock clock;
+  Tracer tracer(clock, /*max_roots=*/2);
+  for (int i = 0; i < 5; ++i) trace_event(&tracer, "e" + std::to_string(i));
+  ASSERT_EQ(tracer.roots().size(), 2u);
+  EXPECT_EQ(tracer.roots()[0].name, "e3");
+  EXPECT_EQ(tracer.roots()[1].name, "e4");
+}
+
+TEST(Tracer, JsonExportShapesSpans) {
+  net::SimClock clock;
+  Tracer tracer(clock);
+  {
+    ScopedSpan span(&tracer, "root");
+    span.annotate("k", "v");
+    trace_event(&tracer, "leaf");
+  }
+  std::string json = tracer.to_json();
+  EXPECT_NE(json.find("\"spans\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"root\""), std::string::npos);
+  EXPECT_NE(json.find("\"attrs\":{\"k\":\"v\"}"), std::string::npos);
+  EXPECT_NE(json.find("\"children\":[{\"name\":\"leaf\""), std::string::npos);
+}
+
+// --- End-to-end: spans + metrics through the White House world ---------------
+
+TEST(ObsIntegration, IterativeResolutionProducesDeepSpanTree) {
+  auto world = core::make_white_house_world(9001);
+  auto& d = *world.deployment;
+  net::NodeId client = d.add_client("remote", *world.cabinet_room, false);
+  auto iterative = d.make_iterative(client);
+
+  auto result = iterative.resolve(world.display, RRType::AAAA);
+  ASSERT_TRUE(result.ok()) << result.error().message;
+  EXPECT_EQ(result.value().stats.rcode, Rcode::NoError);
+
+  ASSERT_FALSE(d.tracer().roots().empty());
+  const Span& root = d.tracer().roots().back();
+  EXPECT_EQ(root.name, "resolver.iterative");
+  // resolver.iterative -> resolver.hop -> resolver.branch ->
+  // net.exchange -> server.handle: well past the required 3 levels.
+  EXPECT_GE(root.depth(), 3);
+  // Root -> loc -> usa -> dc -> washington -> penn-ave -> 1600 ->
+  // oval-office: one hop span per descent level.
+  EXPECT_GE(root.count("resolver.hop"), 7);
+  EXPECT_GE(root.count("resolver.branch"), 7);
+  EXPECT_GE(root.count("net.exchange"), 7);
+  EXPECT_GE(root.count("server.handle"), 7);
+  EXPECT_GE(root.count("resolver.referral"), 6);
+  ASSERT_NE(root.attribute("rcode"), nullptr);
+  EXPECT_EQ(*root.attribute("rcode"), "NOERROR");
+
+  // Metric side of the same story.
+  EXPECT_GE(d.metrics().counter_value("resolver.iterative.queries").value_or(0),
+            static_cast<std::uint64_t>(result.value().stats.queries_sent));
+  const Histogram* hops = d.metrics().find_histogram("net.hop.latency_us");
+  ASSERT_NE(hops, nullptr);
+  EXPECT_GE(hops->count(), 7u);
+}
+
+TEST(ObsIntegration, CacheCountersMatchStubBehaviour) {
+  auto world = core::make_white_house_world(9002);
+  auto& d = *world.deployment;
+  net::NodeId client = d.add_client("device", *world.oval_office, true);
+  auto stub = d.make_stub(client, *world.oval_office);
+  resolver::DnsCache cache;
+  cache.set_metrics(&d.metrics());
+  stub.set_cache(&cache);
+
+  auto first = stub.resolve("speaker", RRType::A);
+  ASSERT_TRUE(first.ok()) << first.error().message;
+  EXPECT_FALSE(first.value().stats.from_cache);
+  auto second = stub.resolve("speaker", RRType::A);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second.value().stats.from_cache);
+
+  // One miss (first probe), one hit (second probe); inserts recorded.
+  EXPECT_EQ(d.metrics().counter_value("resolver.cache.hit").value_or(0), 1u);
+  EXPECT_GE(d.metrics().counter_value("resolver.cache.miss").value_or(0), 1u);
+  EXPECT_GE(d.metrics().counter_value("resolver.cache.insert").value_or(0), 1u);
+
+  // The stub's latency histogram saw exactly the uncached resolution.
+  const Histogram* latency = d.metrics().find_histogram("resolver.stub.latency_us");
+  ASSERT_NE(latency, nullptr);
+  EXPECT_EQ(latency->count(), 1u);
+  EXPECT_EQ(latency->sum(),
+            static_cast<std::uint64_t>(first.value().stats.latency.count()));
+
+  // Cached resolutions still produce a span, with the probe inside.
+  ASSERT_FALSE(d.tracer().roots().empty());
+  const Span& cached_span = d.tracer().roots().back();
+  EXPECT_EQ(cached_span.name, "stub.resolve");
+  EXPECT_EQ(cached_span.count("resolver.cache.probe"), 1);
+  ASSERT_NE(cached_span.attribute("from_cache"), nullptr);
+}
+
+TEST(ObsIntegration, QueryStatsJsonSharedShape) {
+  resolver::QueryStats stats;
+  stats.rcode = Rcode::NoError;
+  stats.latency = net::ms(3);
+  stats.queries_sent = 2;
+  stats.referrals_followed = 1;
+  std::string json = stats.to_json();
+  EXPECT_NE(json.find("\"rcode\":\"NOERROR\""), std::string::npos);
+  EXPECT_NE(json.find("\"latency_us\":3000"), std::string::npos);
+  EXPECT_NE(json.find("\"queries_sent\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"from_cache\":false"), std::string::npos);
+  EXPECT_NE(json.find("\"referrals_followed\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"fanout_max\":1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sns::obs

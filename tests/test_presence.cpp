@@ -64,7 +64,7 @@ TEST(Presence, EndToEndThroughDeployment) {
   auto stub = d.make_stub(insider, *world.oval_office);
   auto before = stub.resolve(world.mic, dns::RRType::BDADDR);
   ASSERT_TRUE(before.ok());
-  EXPECT_EQ(before.value().rcode, dns::Rcode::NoError);
+  EXPECT_EQ(before.value().stats.rcode, dns::Rcode::NoError);
 
   // An internal-but-different-room client (e.g. elsewhere in the White
   // House network): refused until it can present a live token.
@@ -72,19 +72,19 @@ TEST(Presence, EndToEndThroughDeployment) {
   auto hallway_stub = d.make_stub(hallway, *world.oval_office);
   auto refused = hallway_stub.resolve(world.mic, dns::RRType::BDADDR);
   ASSERT_TRUE(refused.ok());
-  EXPECT_EQ(refused.value().rcode, dns::Rcode::Refused);
+  EXPECT_EQ(refused.value().stats.rcode, dns::Rcode::Refused);
 
   // Outsiders on the public internet: refused too.
   net::NodeId outsider = d.add_client("outsider", *world.cabinet_room, false);
   auto outsider_stub = d.make_stub(outsider, *world.oval_office);
   auto also_refused = outsider_stub.resolve(world.mic, dns::RRType::ANY);
   ASSERT_TRUE(also_refused.ok());
-  EXPECT_EQ(also_refused.value().rcode, dns::Rcode::Refused);
+  EXPECT_EQ(also_refused.value().stats.rcode, dns::Rcode::Refused);
 
   // The speaker (unprotected) resolves for everyone inside the network.
   auto speaker = hallway_stub.resolve(world.speaker, dns::RRType::BDADDR);
   ASSERT_TRUE(speaker.ok());
-  EXPECT_EQ(speaker.value().rcode, dns::Rcode::NoError);
+  EXPECT_EQ(speaker.value().stats.rcode, dns::Rcode::NoError);
 }
 
 TEST(Presence, DeviceInRoomHearsBeaconAndGainsAccess) {
@@ -105,7 +105,7 @@ TEST(Presence, DeviceInRoomHearsBeaconAndGainsAccess) {
   auto stub = d.make_stub(speaker->node, *world.oval_office);
   auto mic = stub.resolve(world.mic, dns::RRType::BDADDR);
   ASSERT_TRUE(mic.ok());
-  EXPECT_EQ(mic.value().rcode, dns::Rcode::NoError);
+  EXPECT_EQ(mic.value().stats.rcode, dns::Rcode::NoError);
 }
 
 }  // namespace

@@ -25,7 +25,7 @@ TEST(Recursive, ResolvesOnBehalfOfStub) {
   auto stub = f.d.make_plain_stub(client, service);
   auto result = stub.resolve(f.world.display, RRType::AAAA);
   ASSERT_TRUE(result.ok()) << result.error().message;
-  EXPECT_EQ(result.value().rcode, Rcode::NoError);
+  EXPECT_EQ(result.value().stats.rcode, Rcode::NoError);
   ASSERT_FALSE(result.value().records.empty());
   EXPECT_EQ(result.value().records.front().type, RRType::AAAA);
 }
@@ -65,9 +65,9 @@ TEST(Recursive, CacheCutsLatencyForSecondClient) {
   auto bob_stub = f.d.make_plain_stub(bob, service);
   auto warm = bob_stub.resolve(f.world.display, RRType::AAAA);
   ASSERT_TRUE(warm.ok());
-  EXPECT_EQ(warm.value().rcode, Rcode::NoError);
+  EXPECT_EQ(warm.value().stats.rcode, Rcode::NoError);
   // Warm answer costs ~one LAN RTT; cold cost a full WAN descent.
-  EXPECT_LT(warm.value().latency * 20, cold.value().latency);
+  EXPECT_LT(warm.value().stats.latency * 20, cold.value().stats.latency);
 }
 
 TEST(Recursive, ClientRttIncludesUpstreamWork) {
@@ -84,7 +84,7 @@ TEST(Recursive, ClientRttIncludesUpstreamWork) {
   ASSERT_TRUE(result.ok());
   // Full descent is many WAN hops: hundreds of virtual ms, far more
   // than the client<->service LAN RTT (~0.5 ms).
-  EXPECT_GT(result.value().latency, net::ms(100));
+  EXPECT_GT(result.value().stats.latency, net::ms(100));
 }
 
 TEST(Recursive, NegativeAnswersPropagate) {
@@ -106,7 +106,7 @@ TEST(Recursive, InsideBoundaryResolverSeesInternalView) {
   auto stub = f.d.make_plain_stub(client, service);
   auto result = stub.resolve(f.world.speaker, RRType::BDADDR);
   ASSERT_TRUE(result.ok()) << result.error().message;
-  EXPECT_EQ(result.value().rcode, Rcode::NoError);
+  EXPECT_EQ(result.value().stats.rcode, Rcode::NoError);
   ASSERT_FALSE(result.value().records.empty());
 }
 

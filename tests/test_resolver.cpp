@@ -100,7 +100,7 @@ TEST(Stub, SearchListCompletesRelativeNames) {
   auto stub = f.d.make_stub(client, *f.world.oval_office);
   auto result = stub.resolve("speaker", RRType::BDADDR);
   ASSERT_TRUE(result.ok()) << result.error().message;
-  EXPECT_EQ(result.value().rcode, Rcode::NoError);
+  EXPECT_EQ(result.value().stats.rcode, Rcode::NoError);
   EXPECT_EQ(result.value().effective_name, f.world.speaker);
   ASSERT_EQ(result.value().records.size(), 1u);
 }
@@ -111,7 +111,7 @@ TEST(Stub, AbsoluteNameSkipsSearchList) {
   auto stub = f.d.make_stub(client, *f.world.oval_office);
   auto result = stub.resolve(f.world.display.to_string() + ".", RRType::A);
   ASSERT_TRUE(result.ok());
-  EXPECT_EQ(result.value().rcode, Rcode::NoError);
+  EXPECT_EQ(result.value().stats.rcode, Rcode::NoError);
 }
 
 TEST(Stub, NxdomainForGarbage) {
@@ -120,7 +120,7 @@ TEST(Stub, NxdomainForGarbage) {
   auto stub = f.d.make_stub(client, *f.world.oval_office);
   auto result = stub.resolve("no-such-device", RRType::A);
   ASSERT_TRUE(result.ok());
-  EXPECT_EQ(result.value().rcode, Rcode::NXDomain);
+  EXPECT_EQ(result.value().stats.rcode, Rcode::NXDomain);
 }
 
 TEST(Stub, CacheMakesRepeatLookupsInstant) {
@@ -132,13 +132,13 @@ TEST(Stub, CacheMakesRepeatLookupsInstant) {
 
   auto first = stub.resolve(f.world.speaker, RRType::BDADDR);
   ASSERT_TRUE(first.ok());
-  EXPECT_FALSE(first.value().from_cache);
-  EXPECT_GT(first.value().latency.count(), 0);
+  EXPECT_FALSE(first.value().stats.from_cache);
+  EXPECT_GT(first.value().stats.latency.count(), 0);
 
   auto second = stub.resolve(f.world.speaker, RRType::BDADDR);
   ASSERT_TRUE(second.ok());
-  EXPECT_TRUE(second.value().from_cache);
-  EXPECT_EQ(second.value().latency.count(), 0);
+  EXPECT_TRUE(second.value().stats.from_cache);
+  EXPECT_EQ(second.value().stats.latency.count(), 0);
   EXPECT_EQ(second.value().records[0].rdata, first.value().records[0].rdata);
 }
 
@@ -152,8 +152,8 @@ TEST(Stub, NegativeCachingOfNxdomain) {
   ASSERT_TRUE(stub.resolve(ghost, RRType::A).ok());
   auto cached = stub.resolve(ghost, RRType::A);
   ASSERT_TRUE(cached.ok());
-  EXPECT_TRUE(cached.value().from_cache);
-  EXPECT_EQ(cached.value().rcode, Rcode::NXDomain);
+  EXPECT_TRUE(cached.value().stats.from_cache);
+  EXPECT_EQ(cached.value().stats.rcode, Rcode::NXDomain);
 }
 
 TEST(Iterative, ResolvesThroughFullHierarchy) {
@@ -162,13 +162,13 @@ TEST(Iterative, ResolvesThroughFullHierarchy) {
   auto iterative = f.d.make_iterative(client);
   auto result = iterative.resolve(f.world.display, RRType::AAAA);
   ASSERT_TRUE(result.ok()) << result.error().message;
-  EXPECT_EQ(result.value().rcode, Rcode::NoError);
+  EXPECT_EQ(result.value().stats.rcode, Rcode::NoError);
   ASSERT_FALSE(result.value().records.empty());
   // Root -> loc is one zone cut; then usa, dc, washington, penn-ave,
   // 1600, oval-office: at least 6 referrals.
-  EXPECT_GE(result.value().referrals_followed, 6);
-  EXPECT_GE(result.value().queries_sent, 7);
-  EXPECT_GT(result.value().latency.count(), 0);
+  EXPECT_GE(result.value().stats.referrals_followed, 6);
+  EXPECT_GE(result.value().stats.queries_sent, 7);
+  EXPECT_GT(result.value().stats.latency.count(), 0);
 }
 
 TEST(Iterative, ExternalViewServedToRemoteClients) {
@@ -179,13 +179,13 @@ TEST(Iterative, ExternalViewServedToRemoteClients) {
   // REFUSED — the Bluetooth address never leaves the room's view.
   auto mic = iterative.resolve(f.world.mic, RRType::BDADDR);
   ASSERT_TRUE(mic.ok()) << mic.error().message;
-  EXPECT_EQ(mic.value().rcode, Rcode::Refused);
+  EXPECT_EQ(mic.value().stats.rcode, Rcode::Refused);
   EXPECT_TRUE(mic.value().records.empty());
   // The speaker is not protected but exists only in the internal view:
   // outsiders get NXDOMAIN from the external view.
   auto speaker = iterative.resolve(f.world.speaker, RRType::BDADDR);
   ASSERT_TRUE(speaker.ok()) << speaker.error().message;
-  EXPECT_EQ(speaker.value().rcode, Rcode::NXDomain);
+  EXPECT_EQ(speaker.value().stats.rcode, Rcode::NXDomain);
 }
 
 TEST(Iterative, CacheShortCircuitsSecondResolution) {
@@ -196,10 +196,10 @@ TEST(Iterative, CacheShortCircuitsSecondResolution) {
   iterative.set_cache(&cache);
   auto first = iterative.resolve(f.world.display, RRType::AAAA);
   ASSERT_TRUE(first.ok());
-  int first_queries = first.value().queries_sent;
+  int first_queries = first.value().stats.queries_sent;
   auto second = iterative.resolve(f.world.display, RRType::AAAA);
   ASSERT_TRUE(second.ok());
-  EXPECT_EQ(second.value().queries_sent, 0);
+  EXPECT_EQ(second.value().stats.queries_sent, 0);
   EXPECT_GT(first_queries, 0);
 }
 
@@ -210,7 +210,7 @@ TEST(Iterative, UnresolvableNameFails) {
   auto result = iterative.resolve(name_of("device.nowhere.example"), RRType::A);
   // Root is not authoritative and has no delegation: NXDOMAIN from root.
   ASSERT_TRUE(result.ok());
-  EXPECT_EQ(result.value().rcode, Rcode::NXDomain);
+  EXPECT_EQ(result.value().stats.rcode, Rcode::NXDomain);
 }
 
 TEST(Directory, LookupByNameAndAddress) {

@@ -110,7 +110,7 @@ TEST(Edns, StubRetriesTruncatedAnswers) {
   auto stub = d.make_stub(client, *world.oval_office);
   auto result = stub.resolve(world.speaker, RRType::TXT);
   ASSERT_TRUE(result.ok()) << result.error().message;
-  EXPECT_EQ(result.value().rcode, dns::Rcode::NoError);
+  EXPECT_EQ(result.value().stats.rcode, dns::Rcode::NoError);
   EXPECT_EQ(result.value().records.size(), 10u);
 }
 
