@@ -1,0 +1,297 @@
+// bench_hotpath — the resolution hot path, measured in queries/sec.
+//
+// Every resolution in the paper's split-horizon (§3.1) and geodetic
+// descent (§3.2) paths is a chain of Name-keyed lookups: zone probes on
+// the authoritative side, cache probes on the resolver side, and name
+// compression on every encoded message. This driver pins a number on
+// each stage plus the assembled stub→recursive→authoritative stack, and
+// writes BENCH_hotpath.json so later PRs have a trajectory to beat:
+//
+//   { "bench": "hotpath", "date": "...", "config": {...},
+//     "results": [ {"name": ..., "ops": ..., "seconds": ...,
+//                   "qps": ..., "p50_ns": ..., "p90_ns": ..., "p99_ns": ...} ] }
+//
+// Wall-clock time measures CPU cost of the machinery; network latency
+// inside the end-to-end stage is simulated and does not consume wall
+// time, so qps there is "how fast one core turns the resolution crank".
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <string>
+#include <vector>
+
+#include "core/deployment.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "resolver/cache.hpp"
+#include "server/zone.hpp"
+#include "util/rng.hpp"
+
+using namespace sns;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+struct Row {
+  std::string name;
+  std::uint64_t ops = 0;
+  double seconds = 0.0;
+  double qps = 0.0;
+  double p50_ns = 0.0;
+  double p90_ns = 0.0;
+  double p99_ns = 0.0;
+};
+
+double elapsed_s(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// Times `op` per call into a histogram; returns the finished row.
+template <typename Op>
+Row timed(const std::string& name, std::uint64_t ops, Op&& op) {
+  obs::Histogram latency;
+  auto t0 = Clock::now();
+  for (std::uint64_t i = 0; i < ops; ++i) {
+    auto s = Clock::now();
+    op(i);
+    latency.record(
+        static_cast<std::uint64_t>(std::chrono::nanoseconds(Clock::now() - s).count()));
+  }
+  Row row{name, ops, elapsed_s(t0), 0, latency.p50(), latency.p90(), latency.p99()};
+  row.qps = static_cast<double>(ops) / row.seconds;
+  return row;
+}
+
+/// A deep civic hierarchy under one authoritative apex: `rooms` rooms
+/// spread over floors/buildings/streets, `devices` leaf records each —
+/// the shape §4.2's edge servers hold, scaled up.
+struct DeepZone {
+  server::Zone zone{dns::name_of("city.state.usa.loc"), dns::name_of("ns.city.state.usa.loc")};
+  std::vector<dns::Name> owners;      // existing leaf names
+  std::vector<dns::Name> missing;     // same shape, no records
+  std::vector<dns::Name> mixed_case;  // existing names, mangled case
+};
+
+DeepZone make_deep_zone(int buildings, int floors, int rooms, int devices) {
+  DeepZone dz;
+  int host = 1;
+  for (int b = 0; b < buildings; ++b) {
+    for (int f = 0; f < floors; ++f) {
+      for (int r = 0; r < rooms; ++r) {
+        for (int d = 0; d < devices; ++d) {
+          std::string leaf = "dev" + std::to_string(d) + ".room" + std::to_string(r) + ".floor" +
+                             std::to_string(f) + ".bldg" + std::to_string(b) +
+                             ".main-street.city.state.usa.loc";
+          auto name = dns::name_of(leaf);
+          auto addr = net::Ipv4Addr{{10, static_cast<std::uint8_t>(host >> 8),
+                                     static_cast<std::uint8_t>(host & 0xff), 1}};
+          ++host;
+          (void)dz.zone.add(dns::make_a(name, addr));
+          dz.owners.push_back(name);
+          dz.missing.push_back(dns::name_of("ghost" + leaf));
+          std::string upper = leaf;
+          for (std::size_t i = 0; i < upper.size(); i += 2)
+            upper[i] = static_cast<char>(std::toupper(static_cast<unsigned char>(upper[i])));
+          dz.mixed_case.push_back(dns::name_of(upper));
+        }
+      }
+    }
+  }
+  return dz;
+}
+
+/// Authoritative exact-match lookups on the deep zone: 60% exact hits,
+/// 20% case-mangled hits, 20% NXDOMAIN (walks the wildcard path).
+Row bench_zone_lookup(std::uint64_t ops) {
+  auto dz = make_deep_zone(4, 4, 8, 8);  // 1024 leaves, 9-label owners
+  util::Rng rng(42);
+  std::uint64_t n = dz.owners.size();
+  return timed("zone_lookup_uncached", ops, [&](std::uint64_t) {
+    std::uint64_t pick = rng.next_below(n);
+    std::uint64_t which = rng.next_below(10);
+    const dns::Name& q = which < 6   ? dz.owners[pick]
+                         : which < 8 ? dz.mixed_case[pick]
+                                     : dz.missing[pick];
+    auto result = dz.zone.lookup(q, dns::RRType::A);
+    if (result.kind == server::Zone::Lookup::Kind::NotZone) std::abort();
+  });
+}
+
+/// Name comparison in canonical order — the primitive under every map
+/// probe (deep, case-mixed names).
+Row bench_name_compare(std::uint64_t ops) {
+  auto dz = make_deep_zone(2, 2, 4, 8);
+  std::vector<dns::Name> names = dz.owners;
+  names.insert(names.end(), dz.mixed_case.begin(), dz.mixed_case.end());
+  util::Rng rng(7);
+  std::uint64_t n = names.size();
+  std::uint64_t sink = 0;
+  Row row = timed("name_compare", ops, [&](std::uint64_t) {
+    const dns::Name& a = names[rng.next_below(n)];
+    const dns::Name& b = names[rng.next_below(n)];
+    sink += (a == b) ? 1u : 0u;
+    sink += (a <=> b) == std::strong_ordering::less ? 1u : 0u;
+  });
+  if (sink == 0xdeadbeef) std::printf("impossible\n");
+  return row;
+}
+
+/// Resolver cache under a hot-key mix: 70% hits on a small hot set,
+/// 15% cold misses, 15% negative probes.
+Row bench_cache(std::uint64_t ops) {
+  auto dz = make_deep_zone(4, 4, 8, 8);
+  resolver::DnsCache cache(4096);
+  net::TimePoint now{};
+  for (const auto& owner : dz.owners) {
+    dns::RRset set{dns::make_a(owner, net::Ipv4Addr{{10, 0, 0, 1}}, 3600)};
+    cache.put(set, now);
+  }
+  for (std::size_t i = 0; i < 256; ++i)
+    cache.put_negative(dz.missing[i], dns::RRType::A, dns::Rcode::NXDomain, 3600, now);
+  util::Rng rng(11);
+  std::uint64_t n = dz.owners.size();
+  return timed("cache_mixed", ops, [&](std::uint64_t) {
+    std::uint64_t which = rng.next_below(100);
+    if (which < 70) {
+      (void)cache.get(dz.owners[rng.next_below(64)], dns::RRType::A, now);
+    } else if (which < 85) {
+      (void)cache.get(dz.owners[64 + rng.next_below(n - 64)], dns::RRType::AAAA, now);
+    } else {
+      (void)cache.get_negative(dz.missing[rng.next_below(256)], dns::RRType::A, now);
+    }
+  });
+}
+
+/// Full message encode with compression: a referral-shaped response
+/// (answer + authority + glue, heavy suffix sharing).
+Row bench_message_encode(std::uint64_t ops) {
+  dns::Message query = dns::make_query(
+      1, dns::name_of("dev1.room2.floor3.bldg0.main-street.city.state.usa.loc"), dns::RRType::A);
+  dns::Message response = dns::make_response(query, dns::Rcode::NoError, true);
+  const auto& qname = query.questions.front().name;
+  response.answers.push_back(dns::make_a(qname, net::Ipv4Addr{{10, 1, 2, 3}}));
+  for (int i = 0; i < 4; ++i) {
+    auto ns = dns::name_of("ns" + std::to_string(i) + ".city.state.usa.loc");
+    response.authorities.push_back(dns::make_ns(dns::name_of("city.state.usa.loc"), ns));
+    response.additionals.push_back(
+        dns::make_a(ns, net::Ipv4Addr{{10, 9, 9, static_cast<std::uint8_t>(i + 1)}}));
+  }
+  std::size_t sink = 0;
+  Row row = timed("message_encode", ops, [&](std::uint64_t) {
+    auto wire = response.encode();
+    sink += wire.size();
+  });
+  if (sink == 1) std::printf("impossible\n");
+  return row;
+}
+
+/// The assembled stack: stub (with its own cache) → recursive resolver
+/// → authoritative hierarchy, over the simulated White House world.
+/// Zipf-ish mix: 70% hot names (cached after first touch), 15% unique
+/// cold misses (full descent + NXDOMAIN), 15% repeat misses (negative
+/// cache hits).
+Row bench_end_to_end(std::uint64_t ops) {
+  auto world = core::make_white_house_world(1234);
+  auto& d = *world.deployment;
+  net::NodeId rec = d.add_recursive_resolver("rec", world.white_house);
+  net::NodeId client = d.add_client("bench-client", *world.oval_office, true);
+  auto stub = d.make_plain_stub(client, rec);
+  resolver::DnsCache stub_cache(4096);
+  stub.set_cache(&stub_cache);
+
+  std::vector<std::pair<dns::Name, dns::RRType>> hot = {
+      {world.display, dns::RRType::A},     {world.display, dns::RRType::AAAA},
+      {world.speaker, dns::RRType::A},     {world.speaker, dns::RRType::BDADDR},
+      {world.camera, dns::RRType::AAAA},
+  };
+  std::vector<dns::Name> repeat_missing;
+  for (int i = 0; i < 32; ++i)
+    repeat_missing.push_back(dns::name_of(
+        "nope" + std::to_string(i) + ".oval-office.1600.penn-ave.washington.dc.usa.loc"));
+
+  util::Rng rng(99);
+  std::uint64_t cold = 0;
+  return timed("end_to_end_mix", ops, [&](std::uint64_t) {
+    std::uint64_t which = rng.next_below(100);
+    if (which < 70) {
+      const auto& [name, type] = hot[rng.next_below(hot.size())];
+      (void)stub.resolve(name, type);
+    } else if (which < 85) {
+      auto unique = dns::name_of("cold" + std::to_string(cold++) +
+                                 ".1600.penn-ave.washington.dc.usa.loc");
+      (void)stub.resolve(unique, dns::RRType::A);
+    } else {
+      (void)stub.resolve(repeat_missing[rng.next_below(repeat_missing.size())], dns::RRType::A);
+    }
+  });
+}
+
+std::string today() {
+  std::time_t t = std::time(nullptr);
+  char buf[16];
+  std::tm tm{};
+  gmtime_r(&t, &tm);
+  std::strftime(buf, sizeof buf, "%Y-%m-%d", &tm);
+  return buf;
+}
+
+void write_json(const std::string& path, const std::vector<Row>& rows) {
+  obs::JsonWriter json;
+  json.begin_object();
+  json.field("bench", "hotpath");
+  json.field("date", today());
+  json.begin_object("config");
+  json.field("zone_leaves", std::int64_t{1024});
+  json.field("owner_depth_labels", std::int64_t{9});
+  json.field("cache_capacity", std::int64_t{4096});
+  json.field("build", SNS_BUILD_TYPE);
+  json.end_object();
+  json.begin_array("results");
+  for (const auto& row : rows) {
+    json.begin_object();
+    json.field("name", row.name);
+    json.field("ops", static_cast<std::uint64_t>(row.ops));
+    json.field("seconds", row.seconds);
+    json.field("qps", row.qps);
+    json.field("p50_ns", row.p50_ns);
+    json.field("p90_ns", row.p90_ns);
+    json.field("p99_ns", row.p99_ns);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fputs(json.str().c_str(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = argc > 1 ? argv[1] : "BENCH_hotpath.json";
+
+  std::vector<Row> rows;
+  rows.push_back(bench_name_compare(2'000'000));
+  rows.push_back(bench_zone_lookup(400'000));
+  rows.push_back(bench_cache(2'000'000));
+  rows.push_back(bench_message_encode(400'000));
+  rows.push_back(bench_end_to_end(60'000));
+
+  std::printf("%-24s %14s %10s %12s %10s %10s %10s\n", "stage", "ops", "seconds", "qps", "p50 ns",
+              "p90 ns", "p99 ns");
+  for (const auto& row : rows)
+    std::printf("%-24s %14llu %10.3f %12.0f %10.0f %10.0f %10.0f\n", row.name.c_str(),
+                static_cast<unsigned long long>(row.ops), row.seconds, row.qps, row.p50_ns,
+                row.p90_ns, row.p99_ns);
+
+  write_json(out_path, rows);
+  return 0;
+}

@@ -47,8 +47,19 @@ Header unpack_flags(std::uint16_t id, std::uint16_t flags) {
 
 }  // namespace
 
-util::Bytes Message::encode() const {
+util::Bytes Message::encode() const { return encode_with_layout().wire; }
+
+Message::Encoded Message::encode_with_layout() const {
   util::ByteWriter out;
+  // One allocation: sum the uncompressed upper bounds up front
+  // (compression only shrinks the real encoding).
+  std::size_t estimate = 12;
+  for (const auto& q : questions) estimate += q.name.wire_length() + 4;
+  for (const auto& rr : answers) estimate += rr.wire_estimate();
+  for (const auto& rr : authorities) estimate += rr.wire_estimate();
+  for (const auto& rr : additionals) estimate += rr.wire_estimate();
+  out.reserve(estimate);
+
   NameCompressor compressor;
   out.u16(header.id);
   out.u16(pack_flags(header));
@@ -61,10 +72,11 @@ util::Bytes Message::encode() const {
     out.u16(static_cast<std::uint16_t>(q.type));
     out.u16(static_cast<std::uint16_t>(q.klass));
   }
+  std::size_t questions_end = out.size();
   for (const auto& rr : answers) rr.encode(out, &compressor);
   for (const auto& rr : authorities) rr.encode(out, &compressor);
   for (const auto& rr : additionals) rr.encode(out, &compressor);
-  return std::move(out).take();
+  return Encoded{std::move(out).take(), questions_end};
 }
 
 Result<Message> Message::decode(std::span<const std::uint8_t> wire) {
@@ -169,15 +181,21 @@ std::size_t advertised_udp_size(const Message& message) {
   return kClassicUdpLimit;
 }
 
-util::Bytes encode_for_transport(const Message& query, Message response) {
+util::Bytes encode_for_transport(const Message& query, const Message& response) {
   std::size_t limit = advertised_udp_size(query);
-  util::Bytes wire = response.encode();
-  if (wire.size() <= limit) return wire;
-  // Too big for the client's transport: signal truncation (RFC 2181
-  // §9 behaviour — drop the partial sections entirely).
-  Message truncated = make_response(query, response.header.rcode, response.header.aa);
-  truncated.header.tc = true;
-  return truncated.encode();
+  Message::Encoded enc = response.encode_with_layout();
+  if (enc.wire.size() <= limit) return std::move(enc.wire);
+  // Too big for the client's transport: signal truncation (RFC 2181 §9
+  // behaviour — drop the partial sections entirely). The header +
+  // question prefix of the full encoding *is* the truncated message
+  // once TC is set and the record counts are zeroed, so no re-encode:
+  // question names compress only against earlier question names, which
+  // all live inside the prefix.
+  util::Bytes wire(enc.wire.begin(),
+                   enc.wire.begin() + static_cast<std::ptrdiff_t>(enc.questions_end));
+  wire[2] |= 0x02;                                   // TC bit (0x0200, high octet)
+  for (std::size_t i = 6; i < 12; ++i) wire[i] = 0;  // ancount/nscount/arcount = 0
+  return wire;
 }
 
 }  // namespace sns::dns

@@ -51,6 +51,15 @@ struct Message {
   [[nodiscard]] util::Bytes encode() const;
   static util::Result<Message> decode(std::span<const std::uint8_t> wire);
 
+  /// encode() plus section layout: the wire offset where the question
+  /// section ends. encode_for_transport derives a truncated (TC=1)
+  /// reply from this prefix instead of re-encoding the whole message.
+  struct Encoded {
+    util::Bytes wire;
+    std::size_t questions_end = 0;
+  };
+  [[nodiscard]] Encoded encode_with_layout() const;
+
   /// Multi-line dig-style rendering for logs and examples.
   [[nodiscard]] std::string to_string() const;
 
@@ -80,6 +89,8 @@ std::size_t advertised_udp_size(const Message& message);
 /// Encode `response` respecting the querier's advertised limit: when
 /// the full encoding exceeds it, return a truncated (TC=1, empty
 /// sections) encoding instead so the client retries with EDNS/TCP.
-util::Bytes encode_for_transport(const Message& query, Message response);
+/// The truncated form is the already-encoded header + question prefix
+/// with the TC bit set and the record counts zeroed — no second encode.
+util::Bytes encode_for_transport(const Message& query, const Message& response);
 
 }  // namespace sns::dns

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 #include <cstdlib>
+#include <cstring>
 
 #include "util/strings.hpp"
 
@@ -26,17 +27,31 @@ bool valid_label(std::string_view label) {
   });
 }
 
-std::string suffix_key(const Name& name, std::size_t from_label) {
-  std::string key;
-  const auto& labels = name.labels();
-  for (std::size_t i = from_label; i < labels.size(); ++i) {
-    key += util::to_lower(labels[i]);
-    key += '.';
-  }
-  return key;
+constexpr char ascii_lower(char c) noexcept {
+  return (c >= 'A' && c <= 'Z') ? static_cast<char>(c + ('a' - 'A')) : c;
 }
 
 }  // namespace
+
+void Name::repack() {
+  packed_.clear();
+  offsets_.clear();
+  std::size_t total = 0;
+  for (const auto& label : labels_) total += 1 + label.size();
+  packed_.reserve(total);
+  offsets_.reserve(labels_.size());
+  for (const auto& label : labels_) {
+    offsets_.push_back(static_cast<std::uint8_t>(packed_.size()));
+    packed_.push_back(static_cast<char>(static_cast<unsigned char>(label.size())));
+    for (char c : label) packed_.push_back(ascii_lower(c));
+  }
+  std::uint64_t h = 14695981039346656037ULL;
+  for (char c : packed_) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  hash_ = static_cast<std::size_t>(h);
+}
 
 Result<Name> Name::parse(std::string_view text) {
   text = util::trim(text);
@@ -48,6 +63,7 @@ Result<Name> Name::parse(std::string_view text) {
     if (!valid_label(label)) return fail("name: invalid label '" + label + "'");
     out.labels_.push_back(std::move(label));
   }
+  out.repack();
   if (out.wire_length() > kMaxWire) return fail("name: exceeds 255 octets");
   return out;
 }
@@ -58,6 +74,7 @@ Result<Name> Name::from_labels(std::vector<std::string> labels) {
     if (!valid_label(label)) return fail("name: invalid label '" + label + "'");
     out.labels_.push_back(std::move(label));
   }
+  out.repack();
   if (out.wire_length() > kMaxWire) return fail("name: exceeds 255 octets");
   return out;
 }
@@ -67,23 +84,19 @@ std::string Name::to_string() const {
   return util::join(labels_, ".");
 }
 
-std::size_t Name::wire_length() const noexcept {
-  std::size_t total = 1;  // terminal zero octet
-  for (const auto& label : labels_) total += 1 + label.size();
-  return total;
-}
-
 bool Name::is_subdomain_of(const Name& ancestor) const {
-  if (ancestor.labels_.size() > labels_.size()) return false;
-  std::size_t offset = labels_.size() - ancestor.labels_.size();
-  for (std::size_t i = 0; i < ancestor.labels_.size(); ++i)
-    if (!util::iequals(labels_[offset + i], ancestor.labels_[i])) return false;
-  return true;
+  std::size_t mine = labels_.size(), theirs = ancestor.labels_.size();
+  if (theirs == 0) return true;
+  if (theirs > mine) return false;
+  std::string_view tail =
+      theirs == mine ? std::string_view(packed_) : packed_suffix(mine - theirs);
+  return tail == ancestor.packed_;
 }
 
 Name Name::parent() const {
   Name out;
   out.labels_.assign(labels_.begin() + 1, labels_.end());
+  out.repack();
   return out;
 }
 
@@ -93,6 +106,7 @@ Result<Name> Name::prepend(std::string_view label) const {
   out.labels_.reserve(labels_.size() + 1);
   out.labels_.emplace_back(label);
   out.labels_.insert(out.labels_.end(), labels_.begin(), labels_.end());
+  out.repack();
   if (out.wire_length() > kMaxWire) return fail("name: exceeds 255 octets");
   return out;
 }
@@ -101,6 +115,7 @@ Result<Name> Name::concat(const Name& suffix) const {
   Name out;
   out.labels_ = labels_;
   out.labels_.insert(out.labels_.end(), suffix.labels_.begin(), suffix.labels_.end());
+  out.repack();
   if (out.wire_length() > kMaxWire) return fail("name: concatenation exceeds 255 octets");
   return out;
 }
@@ -110,6 +125,7 @@ std::optional<Name> Name::strip_suffix(const Name& suffix) const {
   Name out;
   out.labels_.assign(labels_.begin(),
                      labels_.end() - static_cast<std::ptrdiff_t>(suffix.labels_.size()));
+  out.repack();
   return out;
 }
 
@@ -168,40 +184,37 @@ Result<Name> Name::decode(util::ByteReader& reader) {
   if (resume_at.has_value()) {
     if (auto s = reader.seek(*resume_at); !s.ok()) return fail("name: bad resume position");
   }
+  out.repack();
   return out;
 }
 
-bool operator==(const Name& a, const Name& b) {
-  return (a <=> b) == std::strong_ordering::equal;
-}
-
 std::strong_ordering operator<=>(const Name& a, const Name& b) {
-  // Canonical order: compare from the rightmost label.
-  std::size_t na = a.labels_.size(), nb = b.labels_.size();
+  if (a.hash_ == b.hash_ && a.packed_ == b.packed_) return std::strong_ordering::equal;
+  // Canonical order: compare from the rightmost label. Labels are
+  // already lowercased in the packed key, so each step is one memcmp.
+  std::size_t na = a.offsets_.size(), nb = b.offsets_.size();
   std::size_t common = std::min(na, nb);
   for (std::size_t i = 1; i <= common; ++i) {
-    const std::string& la = a.labels_[na - i];
-    const std::string& lb = b.labels_[nb - i];
-    std::size_t len = std::min(la.size(), lb.size());
-    for (std::size_t j = 0; j < len; ++j) {
-      auto ca = static_cast<unsigned char>(std::tolower(static_cast<unsigned char>(la[j])));
-      auto cb = static_cast<unsigned char>(std::tolower(static_cast<unsigned char>(lb[j])));
-      if (ca != cb) return ca <=> cb;
-    }
-    if (la.size() != lb.size()) return la.size() <=> lb.size();
+    std::size_t oa = a.offsets_[na - i], ob = b.offsets_[nb - i];
+    std::size_t la = static_cast<std::uint8_t>(a.packed_[oa]);
+    std::size_t lb = static_cast<std::uint8_t>(b.packed_[ob]);
+    int cmp = std::memcmp(a.packed_.data() + oa + 1, b.packed_.data() + ob + 1,
+                          std::min(la, lb));
+    if (cmp != 0) return cmp < 0 ? std::strong_ordering::less : std::strong_ordering::greater;
+    if (la != lb) return la <=> lb;
   }
   return na <=> nb;
 }
 
 std::optional<std::uint16_t> NameCompressor::find(const Name& name, std::size_t from_label) const {
-  auto it = offsets_.find(suffix_key(name, from_label));
+  auto it = offsets_.find(name.packed_suffix(from_label));
   if (it == offsets_.end()) return std::nullopt;
   return it->second;
 }
 
 void NameCompressor::remember(const Name& name, std::size_t from_label, std::size_t offset) {
   if (offset > 0x3fff) return;  // beyond pointer reach
-  offsets_.emplace(suffix_key(name, from_label), static_cast<std::uint16_t>(offset));
+  offsets_.emplace(name.packed_suffix(from_label), static_cast<std::uint16_t>(offset));
 }
 
 Name name_of(std::string_view text) {

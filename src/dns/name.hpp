@@ -6,15 +6,24 @@
 // eight labels. Names compare and sort case-insensitively in canonical
 // DNS order (by label, right to left), which the zone store and NSEC3
 // chain rely on.
+//
+// Because every zone probe, cache probe and compression lookup keys on
+// a Name, construction computes a *canonical packed key* once: the
+// lowercased wire-form bytes (length byte + lowercased label bytes per
+// label, no terminal zero) plus per-label offsets and an FNV-1a hash.
+// Equality is then one memcmp, hashing is free, and suffix-structured
+// containers (Zone's owner index, the NameCompressor) can probe with
+// packed_suffix() views without materialising ancestor names.
 #pragma once
 
 #include <compare>
 #include <cstdint>
+#include <functional>
 #include <optional>
-#include <map>
 #include <span>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "util/bytes.hpp"
@@ -45,7 +54,25 @@ class Name {
   [[nodiscard]] std::string to_string() const;
 
   /// Wire length in octets (labels + length bytes + terminal zero).
-  [[nodiscard]] std::size_t wire_length() const noexcept;
+  [[nodiscard]] std::size_t wire_length() const noexcept { return packed_.size() + 1; }
+
+  /// Canonical packed key: lowercased wire-form bytes without the
+  /// terminal zero. Two names are equal iff their packed keys are
+  /// byte-identical; the root's key is empty. Views returned here are
+  /// invalidated by assigning to this Name.
+  [[nodiscard]] std::string_view packed() const noexcept { return packed_; }
+
+  /// Packed key of the suffix starting at label `from_label` (the whole
+  /// key at 0, empty at label_count()). Suffix keys of one name are
+  /// suffix bytes of its packed key, which is what the zone index and
+  /// the compressor probe with.
+  [[nodiscard]] std::string_view packed_suffix(std::size_t from_label) const noexcept {
+    if (from_label >= offsets_.size()) return {};
+    return std::string_view(packed_).substr(offsets_[from_label]);
+  }
+
+  /// Cached FNV-1a hash of packed(); equal names hash equal.
+  [[nodiscard]] std::size_t hash() const noexcept { return hash_; }
 
   /// True if this name equals `ancestor` or is beneath it.
   [[nodiscard]] bool is_subdomain_of(const Name& ancestor) const;
@@ -72,14 +99,26 @@ class Name {
   /// success it is positioned just past the name's in-place bytes.
   static util::Result<Name> decode(util::ByteReader& reader);
 
-  /// Case-insensitive equality.
-  friend bool operator==(const Name& a, const Name& b);
+  /// Case-insensitive equality (one hash check + memcmp on packed keys).
+  friend bool operator==(const Name& a, const Name& b) {
+    return a.hash_ == b.hash_ && a.packed_ == b.packed_;
+  }
   /// Canonical DNS ordering (RFC 4034 §6.1): label-by-label, rightmost
   /// label most significant, case-insensitive.
   friend std::strong_ordering operator<=>(const Name& a, const Name& b);
 
  private:
-  std::vector<std::string> labels_;
+  /// Rebuild packed_/offsets_/hash_ from labels_. Every mutation path
+  /// ends with this, so the invariants hold for any reachable Name.
+  void repack();
+
+  static constexpr std::size_t kEmptyHash =
+      static_cast<std::size_t>(14695981039346656037ULL);  // FNV-1a offset basis
+
+  std::vector<std::string> labels_;    // original case, for display/encode
+  std::string packed_;                 // canonical packed key (lowercased)
+  std::vector<std::uint8_t> offsets_;  // packed_ index of each label's length byte
+  std::size_t hash_ = kEmptyHash;
 };
 
 /// Per-message state for RFC 1035 §4.1.4 name compression. Tracks the
@@ -94,11 +133,21 @@ class NameCompressor {
   void remember(const Name& name, std::size_t from_label, std::size_t offset);
 
  private:
-  // Key: lowercase presentation of the suffix starting at from_label.
-  std::map<std::string, std::uint16_t> offsets_;
+  // Keys are packed_suffix() views into the Names being encoded — no
+  // per-suffix string is materialised. The compressor therefore must
+  // not outlive the message whose names it indexes (it never does: one
+  // compressor lives on the stack of one Message::encode call).
+  std::unordered_map<std::string_view, std::uint16_t> offsets_;
 };
 
 /// Convenience for literals in tests/examples: aborts on invalid input.
 Name name_of(std::string_view text);
 
 }  // namespace sns::dns
+
+/// Names are hashable with their cached packed-key hash, so
+/// unordered_map<Name, T> works out of the box (zone index, caches).
+template <>
+struct std::hash<sns::dns::Name> {
+  std::size_t operator()(const sns::dns::Name& name) const noexcept { return name.hash(); }
+};

@@ -178,6 +178,47 @@ void encode_rdata(const Rdata& rdata, ByteWriter& out, NameCompressor* compresso
   std::visit(Visitor{out, put_name}, rdata);
 }
 
+std::size_t rdata_wire_estimate(const Rdata& rdata) {
+  struct Visitor {
+    std::size_t operator()(const AData&) const { return 4; }
+    std::size_t operator()(const AaaaData&) const { return 16; }
+    std::size_t operator()(const NsData& d) const { return d.nameserver.wire_length(); }
+    std::size_t operator()(const CnameData& d) const { return d.target.wire_length(); }
+    std::size_t operator()(const SoaData& d) const {
+      return d.mname.wire_length() + d.rname.wire_length() + 20;
+    }
+    std::size_t operator()(const PtrData& d) const { return d.target.wire_length(); }
+    std::size_t operator()(const MxData& d) const { return 2 + d.exchange.wire_length(); }
+    std::size_t operator()(const TxtData& d) const {
+      std::size_t total = 1;  // empty TXT still encodes one empty string
+      for (const auto& s : d.strings) total += 1 + s.size();
+      return total;
+    }
+    std::size_t operator()(const SrvData& d) const { return 6 + d.target.wire_length(); }
+    std::size_t operator()(const LocData&) const { return 16; }
+    std::size_t operator()(const SshfpData& d) const { return 2 + d.fingerprint.size(); }
+    std::size_t operator()(const OptData& d) const { return d.options.size(); }
+    std::size_t operator()(const RrsigData& d) const {
+      return 18 + d.signer.wire_length() + d.signature.size();
+    }
+    std::size_t operator()(const DnskeyData& d) const { return 4 + d.public_key.size(); }
+    std::size_t operator()(const Nsec3Data& d) const {
+      // Each distinct window block is at most 34 octets.
+      return 6 + d.salt.size() + d.next_hashed_owner.size() +
+             34 * std::min<std::size_t>(d.types.size(), 256);
+    }
+    std::size_t operator()(const TsigData& d) const {
+      return d.algorithm.wire_length() + 16 + d.mac.size() + d.other.size();
+    }
+    std::size_t operator()(const BdaddrData&) const { return 6; }
+    std::size_t operator()(const WifiData& d) const { return 1 + d.ssid.size() + 4; }
+    std::size_t operator()(const LoraData& d) const { return d.gateway.wire_length() + 4; }
+    std::size_t operator()(const DtmfData& d) const { return 1 + d.tone.digits.size(); }
+    std::size_t operator()(const RawData& d) const { return d.bytes.size(); }
+  };
+  return std::visit(Visitor{}, rdata);
+}
+
 Result<Rdata> decode_rdata(RRType type, ByteReader& reader, std::size_t rdlength) {
   std::size_t end = reader.position() + rdlength;
   if (end > reader.buffer().size()) return fail("rdata: rdlength exceeds message");

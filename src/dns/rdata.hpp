@@ -184,6 +184,11 @@ RRType rdata_type(const Rdata& rdata);
 /// form for signing).
 void encode_rdata(const Rdata& rdata, util::ByteWriter& out, NameCompressor* compressor);
 
+/// Upper bound on the encoded (uncompressed) wire size of `rdata`.
+/// Cheap — no encoding happens — and used to reserve message buffers
+/// up front; compression can only shrink the real encoding.
+std::size_t rdata_wire_estimate(const Rdata& rdata);
+
 /// Decode RDATA of `type` from a reader positioned at the RDATA start;
 /// `rdlength` bytes belong to this record. Compression pointers inside
 /// rdata may reference earlier message bytes.

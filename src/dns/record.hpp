@@ -27,6 +27,12 @@ struct ResourceRecord {
   void encode(util::ByteWriter& out, NameCompressor* compressor) const;
   static util::Result<ResourceRecord> decode(util::ByteReader& reader);
 
+  /// Upper bound on the encoded wire size (uncompressed): owner name +
+  /// 10 fixed octets + rdata estimate. Used to reserve buffers.
+  [[nodiscard]] std::size_t wire_estimate() const {
+    return name.wire_length() + 10 + rdata_wire_estimate(rdata);
+  }
+
   friend bool operator==(const ResourceRecord&, const ResourceRecord&) = default;
 };
 

@@ -6,6 +6,10 @@
 
 namespace sns::resolver {
 
+void DnsCache::bump_counter(const char* name) {
+  if (metrics_ != nullptr) metrics_->counter(name).add();
+}
+
 void DnsCache::put(const RRset& records, net::TimePoint now) {
   if (records.empty()) return;
   put_answer(records.front().name, records.front().type, records, now);
@@ -22,14 +26,27 @@ void DnsCache::put_answer(const Name& qname, RRType qtype, const RRset& records,
   if (existing != positive_.end()) lru_.erase(existing->second.lru);
   lru_.push_front(key);
   positive_[key] = PositiveEntry{records, now, now + std::chrono::seconds(min_ttl), lru_.begin()};
-  if (metrics_ != nullptr) metrics_->counter("resolver.cache.insert").add();
-  evict_if_needed();
+  bump_counter("resolver.cache.insert");
+  while (positive_.size() > capacity_) {
+    positive_.erase(lru_.back());
+    lru_.pop_back();
+    bump_counter("resolver.cache.evict");
+  }
 }
 
 void DnsCache::put_negative(const Name& name, RRType type, dns::Rcode rcode, std::uint32_t ttl,
                             net::TimePoint now) {
   Key key{name, static_cast<std::uint16_t>(type)};
-  negative_[key] = NegativeEntry{rcode, now + std::chrono::seconds(ttl)};
+  auto existing = negative_.find(key);
+  if (existing != negative_.end()) neg_lru_.erase(existing->second.lru);
+  neg_lru_.push_front(key);
+  negative_[key] = NegativeEntry{rcode, now + std::chrono::seconds(ttl), neg_lru_.begin()};
+  bump_counter("resolver.cache.negative_insert");
+  while (negative_.size() > capacity_) {
+    negative_.erase(neg_lru_.back());
+    neg_lru_.pop_back();
+    bump_counter("resolver.cache.negative_evict");
+  }
 }
 
 std::optional<RRset> DnsCache::get(const Name& name, RRType type, net::TimePoint now) {
@@ -41,12 +58,14 @@ std::optional<RRset> DnsCache::get(const Name& name, RRType type, net::TimePoint
       positive_.erase(it);
     }
     ++misses_;
-    if (metrics_ != nullptr) metrics_->counter("resolver.cache.miss").add();
+    bump_counter("resolver.cache.miss");
     return std::nullopt;
   }
   ++hits_;
-  if (metrics_ != nullptr) metrics_->counter("resolver.cache.hit").add();
-  touch(it->second, key);
+  bump_counter("resolver.cache.hit");
+  lru_.erase(it->second.lru);
+  lru_.push_front(key);
+  it->second.lru = lru_.begin();
   // Serve with decremented TTLs (RFC 1035 §7.3 behaviour).
   auto age = std::chrono::duration_cast<std::chrono::seconds>(now - it->second.inserted).count();
   RRset out = it->second.records;
@@ -61,10 +80,14 @@ std::optional<dns::Rcode> DnsCache::get_negative(const Name& name, RRType type,
   auto it = negative_.find(key);
   if (it == negative_.end()) return std::nullopt;
   if (it->second.expires <= now) {
+    neg_lru_.erase(it->second.lru);
     negative_.erase(it);
     return std::nullopt;
   }
-  if (metrics_ != nullptr) metrics_->counter("resolver.cache.negative_hit").add();
+  bump_counter("resolver.cache.negative_hit");
+  neg_lru_.erase(it->second.lru);
+  neg_lru_.push_front(key);
+  it->second.lru = neg_lru_.begin();
   return it->second.rcode;
 }
 
@@ -72,20 +95,7 @@ void DnsCache::clear() {
   positive_.clear();
   negative_.clear();
   lru_.clear();
-}
-
-void DnsCache::touch(PositiveEntry& entry, const Key& key) {
-  lru_.erase(entry.lru);
-  lru_.push_front(key);
-  entry.lru = lru_.begin();
-}
-
-void DnsCache::evict_if_needed() {
-  while (positive_.size() > capacity_) {
-    positive_.erase(lru_.back());
-    lru_.pop_back();
-    if (metrics_ != nullptr) metrics_->counter("resolver.cache.evict").add();
-  }
+  neg_lru_.clear();
 }
 
 }  // namespace sns::resolver

@@ -5,11 +5,17 @@
 // broadcast-based discovery" — caching is what makes repeated AR gaze
 // lookups cheap. The cache runs on simulated time, so TTL behaviour is
 // exact and testable.
+//
+// Both stores are hash maps keyed by (packed name, qtype): the Name's
+// canonical packed key makes hashing free and equality one memcmp, so
+// a probe costs O(1) instead of O(depth × label length) tree compares.
+// Positive and negative entries carry independent LRU chains bounded by
+// the same capacity; evictions are counted per store.
 #pragma once
 
 #include <list>
-#include <map>
 #include <optional>
+#include <unordered_map>
 
 #include "dns/record.hpp"
 #include "dns/type.hpp"
@@ -49,39 +55,51 @@ class DnsCache {
 
   void clear();
   [[nodiscard]] std::size_t size() const noexcept { return positive_.size() + negative_.size(); }
+  [[nodiscard]] std::size_t negative_size() const noexcept { return negative_.size(); }
 
   // Statistics for the cache ablation bench (E10).
   [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
   [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
 
   /// Report into a registry (non-owning; nullptr detaches). Counters:
-  /// resolver.cache.{hit,miss,negative_hit,insert,evict}.
+  /// resolver.cache.{hit,miss,negative_hit,insert,evict,negative_insert,
+  /// negative_evict}.
   void set_metrics(obs::MetricsRegistry* metrics) noexcept { metrics_ = metrics; }
 
  private:
   struct Key {
     Name name;
     std::uint16_t type;
-    friend auto operator<=>(const Key&, const Key&) = default;
+    friend bool operator==(const Key& a, const Key& b) {
+      return a.type == b.type && a.name == b.name;
+    }
   };
+  struct KeyHash {
+    std::size_t operator()(const Key& key) const noexcept {
+      // The name hash is already well mixed (FNV-1a); fold the type in.
+      return key.name.hash() ^ (static_cast<std::size_t>(key.type) * 0x9e3779b97f4a7c15ULL);
+    }
+  };
+  using LruList = std::list<Key>;
   struct PositiveEntry {
     RRset records;
     net::TimePoint inserted{0};
     net::TimePoint expires{0};
-    std::list<Key>::iterator lru;
+    LruList::iterator lru;
   };
   struct NegativeEntry {
     dns::Rcode rcode = dns::Rcode::NXDomain;
     net::TimePoint expires{0};
+    LruList::iterator lru;
   };
 
-  void touch(PositiveEntry& entry, const Key& key);
-  void evict_if_needed();
+  void bump_counter(const char* name);
 
   std::size_t capacity_;
-  std::map<Key, PositiveEntry> positive_;
-  std::map<Key, NegativeEntry> negative_;
-  std::list<Key> lru_;  // front = most recent
+  std::unordered_map<Key, PositiveEntry, KeyHash> positive_;
+  std::unordered_map<Key, NegativeEntry, KeyHash> negative_;
+  LruList lru_;      // positive entries, front = most recent
+  LruList neg_lru_;  // negative entries, front = most recent
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
   obs::MetricsRegistry* metrics_ = nullptr;

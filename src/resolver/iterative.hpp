@@ -15,7 +15,7 @@
 // benches need.
 #pragma once
 
-#include <map>
+#include <unordered_map>
 
 #include "dns/message.hpp"
 #include "net/network.hpp"
@@ -39,8 +39,10 @@ class ServerDirectory {
   [[nodiscard]] std::optional<net::NodeId> by_address(net::Ipv4Addr address) const;
 
  private:
-  std::map<dns::Name, net::NodeId> by_name_;
-  std::map<std::uint32_t, net::NodeId> by_address_;
+  // Hashed on both sides: ns-name lookups ride the Name's cached
+  // packed-key hash, addresses are already integers.
+  std::unordered_map<dns::Name, net::NodeId> by_name_;
+  std::unordered_map<std::uint32_t, net::NodeId> by_address_;
 };
 
 /// Outcome of one iterative resolution. Work accounting for the E7/E9

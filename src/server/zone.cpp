@@ -9,14 +9,36 @@ using util::Status;
 
 Zone::Zone(Name apex, Name primary_ns) : apex_(std::move(apex)) {
   auto soa = dns::make_soa(apex_, primary_ns, 1);
-  nodes_[apex_][RRType::SOA] = {std::move(soa)};
+  node_for(apex_)[RRType::SOA] = {std::move(soa)};
+}
+
+const Zone::NodeMap* Zone::node_of(std::string_view packed_owner) const {
+  auto it = index_.find(packed_owner);
+  return it == index_.end() ? nullptr : it->second;
+}
+
+Zone::NodeMap& Zone::node_for(const Name& owner) {
+  auto [it, inserted] = nodes_.try_emplace(owner);
+  if (inserted) index_.emplace(it->first.packed(), &it->second);
+  return it->second;
+}
+
+void Zone::erase_node(NodeStore::iterator it) {
+  index_.erase(it->first.packed());
+  nodes_.erase(it);
+}
+
+void Zone::rebuild_index() {
+  index_.clear();
+  index_.reserve(nodes_.size());
+  for (auto& [owner, node] : nodes_) index_.emplace(owner.packed(), &node);
 }
 
 Status Zone::add(ResourceRecord rr) {
   if (!rr.name.is_subdomain_of(apex_))
     return fail("zone " + apex_.to_string() + ": record " + rr.name.to_string() +
                 " outside zone");
-  auto& node = nodes_[rr.name];
+  auto& node = node_for(rr.name);
   if (rr.type == RRType::CNAME) {
     // CNAME must be alone at a node (ignoring DNSSEC metadata).
     for (const auto& [type, rrset] : node)
@@ -40,7 +62,7 @@ std::size_t Zone::remove_rrset(const Name& owner, RRType type) {
   if (it == node->second.end()) return 0;
   std::size_t n = it->second.size();
   node->second.erase(it);
-  if (node->second.empty()) nodes_.erase(node);
+  if (node->second.empty()) erase_node(node);
   return n;
 }
 
@@ -49,7 +71,7 @@ std::size_t Zone::remove_name(const Name& owner) {
   if (node == nodes_.end()) return 0;
   std::size_t n = 0;
   for (const auto& [type, rrset] : node->second) n += rrset.size();
-  nodes_.erase(node);
+  erase_node(node);
   return n;
 }
 
@@ -65,30 +87,31 @@ bool Zone::remove_record(const ResourceRecord& rr) {
   bool any = removed != rrset.end();
   rrset.erase(removed, rrset.end());
   if (rrset.empty()) node->second.erase(it);
-  if (node->second.empty()) nodes_.erase(node);
+  if (node->second.empty()) erase_node(node);
   return any;
 }
 
 const RRset* Zone::find(const Name& owner, RRType type) const {
-  auto node = nodes_.find(owner);
-  if (node == nodes_.end()) return nullptr;
-  auto it = node->second.find(type);
-  return it == node->second.end() ? nullptr : &it->second;
+  const NodeMap* node = node_of(owner.packed());
+  if (node == nullptr) return nullptr;
+  auto it = node->find(type);
+  return it == node->end() ? nullptr : &it->second;
 }
 
 bool Zone::name_exists(const Name& owner) const {
-  // A name "exists" if it owns records or is an empty non-terminal
-  // (some descendant owns records).
+  // A name "exists" if it owns records (hash probe) or is an empty
+  // non-terminal — some descendant owns records (ordered-map walk).
+  if (node_of(owner.packed()) != nullptr) return true;
   auto it = nodes_.lower_bound(owner);
   if (it == nodes_.end()) return false;
-  return it->first == owner || it->first.is_subdomain_of(owner);
+  return it->first.is_subdomain_of(owner);
 }
 
 std::vector<RRType> Zone::types_at(const Name& owner) const {
   std::vector<RRType> out;
-  auto node = nodes_.find(owner);
-  if (node == nodes_.end()) return out;
-  for (const auto& [type, rrset] : node->second)
+  const NodeMap* node = node_of(owner.packed());
+  if (node == nullptr) return out;
+  for (const auto& [type, rrset] : *node)
     if (!rrset.empty()) out.push_back(type);
   return out;
 }
@@ -99,21 +122,22 @@ Zone::Lookup Zone::lookup(const Name& qname, RRType qtype) const {
     result.kind = Lookup::Kind::NotZone;
     return result;
   }
+  const std::size_t below_apex = qname.label_count() - apex_.label_count();
 
-  // 1. Delegation cut: walk ancestors of qname strictly below the apex,
-  //    topmost first; an NS set there (other than at qname==cut with
-  //    qtype==NS? — referral anyway per RFC 1034) is a referral.
-  std::vector<Name> ancestors;
-  for (Name n = qname; n.label_count() > apex_.label_count(); n = n.parent())
-    ancestors.push_back(n);
-  std::reverse(ancestors.begin(), ancestors.end());  // topmost first
-  for (const auto& ancestor : ancestors) {
-    const RRset* ns = find(ancestor, RRType::NS);
-    if (ns != nullptr && !(ancestor == qname && qtype == RRType::NS)) {
+  // 1. Delegation cut: probe every ancestor of qname strictly below the
+  //    apex, topmost first, by packed suffix (label index i = leftmost
+  //    retained label; i == 0 is qname itself). An NS set there (other
+  //    than qname==cut with qtype==NS) is a referral.
+  for (std::size_t i = below_apex; i-- > 0;) {
+    const NodeMap* node = node_of(qname.packed_suffix(i));
+    if (node == nullptr) continue;
+    auto ns_it = node->find(RRType::NS);
+    if (ns_it != node->end() && !(i == 0 && qtype == RRType::NS)) {
+      const RRset& ns = ns_it->second;
       result.kind = Lookup::Kind::Delegation;
-      result.records = *ns;
+      result.records = ns;
       // Glue: in-zone addresses of the delegated nameservers.
-      for (const auto& rr : *ns) {
+      for (const auto& rr : ns) {
         if (const auto* data = std::get_if<dns::NsData>(&rr.rdata)) {
           for (RRType glue_type : {RRType::A, RRType::AAAA}) {
             if (const RRset* glue = find(data->nameserver, glue_type))
@@ -126,22 +150,21 @@ Zone::Lookup Zone::lookup(const Name& qname, RRType qtype) const {
   }
 
   // 2. Exact node.
-  auto node = nodes_.find(qname);
-  if (node != nodes_.end()) {
-    auto exact = node->second.find(qtype);
+  if (const NodeMap* node = node_of(qname.packed())) {
     if (qtype == RRType::ANY) {
-      for (const auto& [type, rrset] : node->second)
+      for (const auto& [type, rrset] : *node)
         result.records.insert(result.records.end(), rrset.begin(), rrset.end());
       result.kind = result.records.empty() ? Lookup::Kind::NoData : Lookup::Kind::Success;
       return result;
     }
-    if (exact != node->second.end() && !exact->second.empty()) {
+    auto exact = node->find(qtype);
+    if (exact != node->end() && !exact->second.empty()) {
       result.kind = Lookup::Kind::Success;
       result.records = exact->second;
       return result;
     }
-    auto cname = node->second.find(RRType::CNAME);
-    if (cname != node->second.end() && !cname->second.empty()) {
+    auto cname = node->find(RRType::CNAME);
+    if (cname != node->end() && !cname->second.empty()) {
       result.kind = Lookup::Kind::CName;
       result.records = cname->second;
       return result;
@@ -156,25 +179,29 @@ Zone::Lookup Zone::lookup(const Name& qname, RRType qtype) const {
     return result;
   }
 
-  // 4. Wildcard synthesis: *.<closest enclosing existing name>.
-  for (Name n = qname; n.label_count() > apex_.label_count(); n = n.parent()) {
-    auto star = n.parent().prepend("*");
-    if (!star.ok()) break;
-    const RRset* wild = find(star.value(), qtype);
-    if (wild != nullptr) {
+  // 4. Wildcard synthesis: *.<ancestor>, closest ancestor first —
+  //    probed as packed "\1*" + suffix keys, no Name construction.
+  std::string star_key;
+  for (std::size_t i = 0; i < below_apex; ++i) {
+    star_key.assign("\001*", 2);
+    star_key.append(qname.packed_suffix(i + 1));
+    const NodeMap* node = node_of(star_key);
+    if (node == nullptr) continue;
+    auto wild = node->find(qtype);
+    if (wild != node->end()) {
       result.kind = Lookup::Kind::Success;
       result.wildcard = true;
-      for (ResourceRecord rr : *wild) {
+      for (ResourceRecord rr : wild->second) {
         rr.name = qname;  // synthesise the owner
         result.records.push_back(std::move(rr));
       }
       return result;
     }
-    const RRset* wild_cname = find(star.value(), RRType::CNAME);
-    if (wild_cname != nullptr) {
+    auto wild_cname = node->find(RRType::CNAME);
+    if (wild_cname != node->end()) {
       result.kind = Lookup::Kind::CName;
       result.wildcard = true;
-      for (ResourceRecord rr : *wild_cname) {
+      for (ResourceRecord rr : wild_cname->second) {
         rr.name = qname;
         result.records.push_back(std::move(rr));
       }
@@ -229,7 +256,7 @@ void Zone::bump_serial() {
 }
 
 Status Zone::load(std::vector<ResourceRecord> records) {
-  std::map<Name, std::map<RRType, RRset>> fresh;
+  NodeStore fresh;
   for (auto& rr : records) {
     if (!rr.name.is_subdomain_of(apex_))
       return fail("zone load: record " + rr.name.to_string() + " outside zone");
@@ -238,6 +265,7 @@ Status Zone::load(std::vector<ResourceRecord> records) {
   if (!fresh.contains(apex_) || !fresh[apex_].contains(RRType::SOA))
     return fail("zone load: missing SOA at apex");
   nodes_ = std::move(fresh);
+  rebuild_index();
   return util::ok_status();
 }
 

@@ -5,10 +5,19 @@
 // CNAME, delegation cut (NS below the apex), wildcard synthesis, NODATA
 // vs NXDOMAIN. Spatial zones (SNS core) are ordinary Zones whose apex is
 // a civic name — that is the paper's central trick.
+//
+// Storage is two-tier: the canonical-order std::map remains the owner
+// of record data (NSEC3 chain, AXFR and empty-non-terminal walks need
+// the ordering), while a hash index keyed by packed owner-name bytes
+// serves every exact-match probe. The lookup algorithm walks delegation
+// cuts and wildcards with packed_suffix() views of the query name, so a
+// full RFC 1034 lookup allocates no ancestor Names at all.
 #pragma once
 
 #include <map>
 #include <optional>
+#include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "dns/record.hpp"
@@ -26,6 +35,14 @@ class Zone {
   /// Creates an empty zone; a SOA is synthesised at the apex so the
   /// zone is immediately serveable.
   Zone(Name apex, Name primary_ns);
+
+  // The hash index holds views into the node map's key storage, so the
+  // store is movable (map nodes are pointer-stable) but not copyable —
+  // zones are shared via shared_ptr throughout the system anyway.
+  Zone(const Zone&) = delete;
+  Zone& operator=(const Zone&) = delete;
+  Zone(Zone&&) = default;
+  Zone& operator=(Zone&&) = default;
 
   [[nodiscard]] const Name& apex() const noexcept { return apex_; }
 
@@ -77,9 +94,23 @@ class Zone {
   util::Status load(std::vector<ResourceRecord> records);
 
  private:
+  using NodeMap = std::map<RRType, RRset>;
+  using NodeStore = std::map<Name, NodeMap>;
+
+  /// Hash probe by packed owner bytes; nullptr if the owner is absent.
+  [[nodiscard]] const NodeMap* node_of(std::string_view packed_owner) const;
+  /// Node for `owner`, created (and indexed) if absent.
+  NodeMap& node_for(const Name& owner);
+  /// Erase a node from both tiers.
+  void erase_node(NodeStore::iterator it);
+  void rebuild_index();
+
   Name apex_;
   // Owner -> type -> rrset, canonical order (Name::operator<=>).
-  std::map<Name, std::map<RRType, RRset>> nodes_;
+  NodeStore nodes_;
+  // Exact-match index: packed owner-name bytes -> node. Views point at
+  // the key Names inside nodes_ (node-based map: stable addresses).
+  std::unordered_map<std::string_view, NodeMap*> index_;
 };
 
 }  // namespace sns::server

@@ -64,6 +64,10 @@ class ByteWriter {
   [[nodiscard]] const Bytes& data() const& noexcept { return out_; }
   [[nodiscard]] Bytes take() && noexcept { return std::move(out_); }
 
+  /// Pre-size the buffer for `n` total bytes (callers sum wire-length
+  /// estimates so one allocation serves the whole message).
+  void reserve(std::size_t n) { out_.reserve(n); }
+
   void u8(std::uint8_t v);
   void u16(std::uint16_t v);
   void u32(std::uint32_t v);

@@ -66,7 +66,7 @@ Sha1Digest sha1(std::span<const std::uint8_t> data) {
   // Padding: 0x80, zeros, then 64-bit big-endian bit length.
   std::uint8_t tail[128] = {};
   std::size_t rem = data.size() - full_blocks * 64;
-  std::memcpy(tail, data.data() + full_blocks * 64, rem);
+  if (rem != 0) std::memcpy(tail, data.data() + full_blocks * 64, rem);  // data may be {nullptr,0}
   tail[rem] = 0x80;
   std::size_t tail_len = (rem + 1 + 8 <= 64) ? 64 : 128;
   std::uint64_t bit_len = static_cast<std::uint64_t>(data.size()) * 8;

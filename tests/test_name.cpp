@@ -1,8 +1,12 @@
 // Tests for dns::Name: parsing, wire form, compression, ordering.
 #include <gtest/gtest.h>
 
+#include <cctype>
+#include <compare>
+
 #include "dns/name.hpp"
 #include "util/rng.hpp"
+#include "util/strings.hpp"
 
 namespace sns::dns {
 namespace {
@@ -181,6 +185,131 @@ TEST(Name, RandomWireRoundTripProperty) {
     auto decoded = Name::decode(r);
     ASSERT_TRUE(decoded.ok());
     EXPECT_EQ(decoded.value(), name.value());
+  }
+}
+
+// --- Packed representation vs the label-by-label reference ------------------
+//
+// The packed key (lowercased wire bytes + offsets + cached hash) must be
+// observationally identical to the original per-character tolower
+// semantics. The reference comparator below *is* that original
+// implementation; the property tests drive both over random deep names.
+
+std::strong_ordering reference_compare(const Name& a, const Name& b) {
+  std::size_t na = a.labels().size(), nb = b.labels().size();
+  std::size_t common = std::min(na, nb);
+  for (std::size_t i = 1; i <= common; ++i) {
+    const std::string& la = a.labels()[na - i];
+    const std::string& lb = b.labels()[nb - i];
+    std::size_t len = std::min(la.size(), lb.size());
+    for (std::size_t j = 0; j < len; ++j) {
+      auto ca = static_cast<unsigned char>(std::tolower(static_cast<unsigned char>(la[j])));
+      auto cb = static_cast<unsigned char>(std::tolower(static_cast<unsigned char>(lb[j])));
+      if (ca != cb) return ca <=> cb;
+    }
+    if (la.size() != lb.size()) return la.size() <=> lb.size();
+  }
+  return na <=> nb;
+}
+
+Name random_name(util::Rng& rng, bool mixed_case) {
+  std::vector<std::string> labels;
+  auto count = 1 + rng.next_below(8);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::string label;
+    auto len = 1 + rng.next_below(10);
+    for (std::uint64_t j = 0; j < len; ++j) {
+      // Small alphabet so random pairs share prefixes/suffixes often.
+      char c = static_cast<char>('a' + rng.next_below(4));
+      if (mixed_case && rng.chance(0.5))
+        c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+      label += c;
+    }
+    labels.push_back(std::move(label));
+  }
+  auto name = Name::from_labels(std::move(labels));
+  EXPECT_TRUE(name.ok());
+  return std::move(name).value();
+}
+
+TEST(NamePacked, OrderingAgreesWithReferenceProperty) {
+  util::Rng rng(4034);
+  for (int trial = 0; trial < 4000; ++trial) {
+    Name a = random_name(rng, true);
+    Name b = random_name(rng, true);
+    EXPECT_EQ(a <=> b, reference_compare(a, b))
+        << a.to_string() << " vs " << b.to_string();
+    EXPECT_EQ(a == b, reference_compare(a, b) == std::strong_ordering::equal);
+    EXPECT_EQ(a <=> a, std::strong_ordering::equal);
+  }
+}
+
+TEST(NamePacked, HashEqualityMatchesNameEquality) {
+  util::Rng rng(1035);
+  for (int trial = 0; trial < 2000; ++trial) {
+    Name a = random_name(rng, true);
+    // A case-mangled copy of `a`: equal name, must hash equal.
+    std::vector<std::string> mangled;
+    for (const auto& label : a.labels()) {
+      std::string copy = label;
+      for (auto& c : copy)
+        if (rng.chance(0.5)) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+      mangled.push_back(std::move(copy));
+    }
+    Name b = Name::from_labels(std::move(mangled)).value();
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(a.hash(), b.hash());
+    EXPECT_EQ(std::hash<Name>{}(a), a.hash());
+
+    // Unequal names: hashes may collide in principle but a systematic
+    // collision would break every hashed container; check disagreement
+    // implies inequality rather than the (unprovable) converse.
+    Name c = random_name(rng, true);
+    if (a.hash() != c.hash()) {
+      EXPECT_NE(a, c);
+    }
+  }
+}
+
+TEST(NamePacked, PackedSuffixMatchesParentChain) {
+  Name device = name_of("Mic.Oval-Office.1600.Penn-Ave.Washington.DC.USA.Loc");
+  Name walk = device;
+  for (std::size_t i = 0; i < device.label_count(); ++i) {
+    EXPECT_EQ(device.packed_suffix(i), walk.packed());
+    walk = walk.parent();
+  }
+  EXPECT_EQ(device.packed_suffix(device.label_count()), std::string_view{});
+  EXPECT_TRUE(device.packed().find("mic") != std::string_view::npos);  // lowercased
+}
+
+TEST(NamePacked, SubdomainAgreesWithReferenceProperty) {
+  util::Rng rng(1918);
+  auto reference_subdomain = [](const Name& sub, const Name& anc) {
+    if (anc.labels().size() > sub.labels().size()) return false;
+    std::size_t offset = sub.labels().size() - anc.labels().size();
+    for (std::size_t i = 0; i < anc.labels().size(); ++i)
+      if (util::to_lower(sub.labels()[offset + i]) != util::to_lower(anc.labels()[i]))
+        return false;
+    return true;
+  };
+  for (int trial = 0; trial < 2000; ++trial) {
+    Name a = random_name(rng, true);
+    Name b = random_name(rng, true);
+    EXPECT_EQ(a.is_subdomain_of(b), reference_subdomain(a, b))
+        << a.to_string() << " under " << b.to_string();
+    // Every tail of `a` is an ancestor of `a`.
+    for (Name n = a; !n.is_root(); n = n.parent()) EXPECT_TRUE(a.is_subdomain_of(n));
+  }
+}
+
+TEST(NamePacked, WireLengthMatchesEncodedSize) {
+  util::Rng rng(255);
+  for (int trial = 0; trial < 500; ++trial) {
+    Name n = random_name(rng, true);
+    util::ByteWriter w;
+    n.encode(w);
+    EXPECT_EQ(n.wire_length(), w.size());
+    EXPECT_EQ(n.packed().size() + 1, w.size());
   }
 }
 

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "core/deployment.hpp"
+#include "obs/metrics.hpp"
 #include "resolver/cache.hpp"
 #include "resolver/iterative.hpp"
 #include "resolver/stub.hpp"
@@ -85,6 +86,69 @@ TEST(Cache, TypeIsPartOfKey) {
   dns::RRset rrset{make_a(name_of("a.loc"), net::Ipv4Addr{{1, 1, 1, 1}}, 100)};
   cache.put(rrset, net::ms(0));
   EXPECT_FALSE(cache.get(name_of("a.loc"), RRType::AAAA, net::ms(1)).has_value());
+}
+
+TEST(Cache, NegativeStoreIsBounded) {
+  DnsCache cache(3);
+  for (int i = 0; i < 10; ++i)
+    cache.put_negative(name_of("g" + std::to_string(i) + ".loc"), RRType::A, Rcode::NXDomain, 60,
+                       net::ms(0));
+  EXPECT_EQ(cache.negative_size(), 3u);
+  // Oldest entries went first; the three most recent remain.
+  EXPECT_FALSE(cache.get_negative(name_of("g0.loc"), RRType::A, net::ms(1)).has_value());
+  EXPECT_FALSE(cache.get_negative(name_of("g6.loc"), RRType::A, net::ms(1)).has_value());
+  EXPECT_TRUE(cache.get_negative(name_of("g7.loc"), RRType::A, net::ms(1)).has_value());
+  EXPECT_TRUE(cache.get_negative(name_of("g9.loc"), RRType::A, net::ms(1)).has_value());
+}
+
+TEST(Cache, NegativeTouchKeepsHotEntries) {
+  DnsCache cache(2);
+  cache.put_negative(name_of("a.loc"), RRType::A, Rcode::NXDomain, 60, net::ms(0));
+  cache.put_negative(name_of("b.loc"), RRType::A, Rcode::NXDomain, 60, net::ms(0));
+  (void)cache.get_negative(name_of("a.loc"), RRType::A, net::ms(1));  // touch a
+  cache.put_negative(name_of("c.loc"), RRType::A, Rcode::NXDomain, 60, net::ms(0));
+  EXPECT_TRUE(cache.get_negative(name_of("a.loc"), RRType::A, net::ms(2)).has_value());
+  EXPECT_FALSE(cache.get_negative(name_of("b.loc"), RRType::A, net::ms(2)).has_value());
+}
+
+TEST(Cache, NegativeExpiryErasesEntry) {
+  DnsCache cache;
+  cache.put_negative(name_of("ghost.loc"), RRType::A, Rcode::NXDomain, 60, net::ms(0));
+  EXPECT_EQ(cache.negative_size(), 1u);
+  EXPECT_FALSE(
+      cache.get_negative(name_of("ghost.loc"), RRType::A, std::chrono::seconds(60)).has_value());
+  EXPECT_EQ(cache.negative_size(), 0u);  // expired probe erased the entry
+}
+
+TEST(Cache, ReinsertUpdatesRcodeWithoutGrowing) {
+  DnsCache cache(4);
+  cache.put_negative(name_of("x.loc"), RRType::A, Rcode::NXDomain, 60, net::ms(0));
+  cache.put_negative(name_of("x.loc"), RRType::A, Rcode::NoError, 60, net::ms(0));  // NODATA now
+  EXPECT_EQ(cache.negative_size(), 1u);
+  auto hit = cache.get_negative(name_of("x.loc"), RRType::A, net::ms(1));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, Rcode::NoError);
+}
+
+TEST(Cache, MetricsCountersTrackNegativeLifecycle) {
+  obs::MetricsRegistry metrics;
+  DnsCache cache(2);
+  cache.set_metrics(&metrics);
+  for (int i = 0; i < 3; ++i)
+    cache.put_negative(name_of("n" + std::to_string(i) + ".loc"), RRType::A, Rcode::NXDomain, 60,
+                       net::ms(0));
+  (void)cache.get_negative(name_of("n2.loc"), RRType::A, net::ms(1));
+  EXPECT_EQ(metrics.counter_value("resolver.cache.negative_insert"), 3u);
+  EXPECT_EQ(metrics.counter_value("resolver.cache.negative_evict"), 1u);
+  EXPECT_EQ(metrics.counter_value("resolver.cache.negative_hit"), 1u);
+
+  dns::RRset rrset{make_a(name_of("a.loc"), net::Ipv4Addr{{1, 1, 1, 1}}, 100)};
+  cache.put(rrset, net::ms(0));
+  (void)cache.get(name_of("a.loc"), RRType::A, net::ms(1));
+  (void)cache.get(name_of("zzz.loc"), RRType::A, net::ms(1));
+  EXPECT_EQ(metrics.counter_value("resolver.cache.insert"), 1u);
+  EXPECT_EQ(metrics.counter_value("resolver.cache.hit"), 1u);
+  EXPECT_EQ(metrics.counter_value("resolver.cache.miss"), 1u);
 }
 
 // --- Stub + iterative over a deployed world ----------------------------------

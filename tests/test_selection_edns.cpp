@@ -96,6 +96,26 @@ TEST(Edns, OversizedAnswerTruncatesWithoutEdns) {
   EXPECT_EQ(big.value().answers.size(), 10u);
 }
 
+TEST(Edns, TruncationPrefixMatchesFullReencode) {
+  // The fast path patches the already-encoded header+question prefix;
+  // it must produce byte-for-byte what a from-scratch encode of the
+  // emptied TC response would.
+  dns::Message query = dns::make_query(7, kDevice, RRType::TXT);
+  dns::Message response = dns::make_response(query, dns::Rcode::NoError, true);
+  for (int i = 0; i < 10; ++i)
+    response.answers.push_back(dns::make_txt(kDevice, {std::string(100, 'x')}));
+  response.authorities.push_back(dns::make_ns(name_of("loc"), name_of("ns.loc")));
+
+  auto fast = dns::encode_for_transport(query, response);
+
+  dns::Message reference = response;
+  reference.header.tc = true;
+  reference.answers.clear();
+  reference.authorities.clear();
+  reference.additionals.clear();
+  EXPECT_EQ(fast, reference.encode());
+}
+
 TEST(Edns, StubRetriesTruncatedAnswers) {
   // A device with a large TXT RRset behind a deployed edge server: the
   // stub's first query truncates, the EDNS retry succeeds transparently.
