@@ -1,0 +1,228 @@
+// bench_transport — the real-socket serving path, measured in queries/sec.
+//
+// Everything bench_hotpath measures happens in simulated time; this
+// driver pins numbers on the part the simulator cannot see: the epoll
+// event loop, UDP datagram handling and RFC 7766 TCP framing, measured
+// over the loopback interface with snsd's exact serving stack
+// (AuthoritativeServer behind DnsTransportServer). Three stages:
+//
+//   udp_loopback        blocking client, one datagram round trip per op
+//   tcp_reuse           one TCP connection, framed query per op
+//   tcp_connect_per_q   fresh TCP connect + query + close per op
+//
+// The reuse-vs-reconnect pair quantifies why sns-dig keeps its retry
+// connection open. Output mirrors BENCH_hotpath.json:
+//
+//   { "bench": "transport", "date": "...", "config": {...},
+//     "results": [ {"name": ..., "ops": ..., "seconds": ...,
+//                   "qps": ..., "p50_ns": ..., "p90_ns": ..., "p99_ns": ...} ] }
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dns/master.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "server/authoritative.hpp"
+#include "transport/client.hpp"
+#include "transport/dns_server.hpp"
+#include "transport/event_loop.hpp"
+
+using namespace sns;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+struct Row {
+  std::string name;
+  std::uint64_t ops = 0;
+  double seconds = 0.0;
+  double qps = 0.0;
+  double p50_ns = 0.0;
+  double p90_ns = 0.0;
+  double p99_ns = 0.0;
+};
+
+double elapsed_s(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+template <typename Op>
+Row timed(const std::string& name, std::uint64_t ops, Op&& op) {
+  obs::Histogram latency;
+  auto t0 = Clock::now();
+  for (std::uint64_t i = 0; i < ops; ++i) {
+    auto s = Clock::now();
+    op(i);
+    latency.record(
+        static_cast<std::uint64_t>(std::chrono::nanoseconds(Clock::now() - s).count()));
+  }
+  Row row{name, ops, elapsed_s(t0), 0, latency.p50(), latency.p90(), latency.p99()};
+  row.qps = static_cast<double>(ops) / row.seconds;
+  return row;
+}
+
+constexpr std::string_view kZoneText = R"(
+$ORIGIN bench.loc.
+$TTL 300
+@        IN SOA  ns hostmaster 1 3600 600 86400 60
+@        IN NS   ns
+ns       IN A    192.0.2.1
+mic      IN BDADDR 01:23:45:67:89:ab
+mic      IN WIFI  "bench-iot" 192.0.3.10
+door     IN DTMF  42#
+)";
+
+/// snsd's serving stack on an ephemeral loopback port, event loop on a
+/// background thread. Lives for the whole benchmark run.
+struct LoopbackServer {
+  std::shared_ptr<server::Zone> zone;
+  std::unique_ptr<server::AuthoritativeServer> engine;
+  std::unique_ptr<transport::EventLoop> loop;
+  std::unique_ptr<transport::DnsTransportServer> server;
+  std::thread thread;
+  transport::Endpoint at;
+
+  LoopbackServer() {
+    auto records = dns::parse_master_file(kZoneText, dns::Name{});
+    if (!records.ok()) die("zone parse", records.error().message);
+    zone = std::make_shared<server::Zone>(dns::name_of("bench.loc"),
+                                          dns::name_of("ns.bench.loc"));
+    if (auto loaded = zone->load(records.value()); !loaded.ok())
+      die("zone load", loaded.error().message);
+    engine = std::make_unique<server::AuthoritativeServer>("bench");
+    engine->add_zone(zone);
+
+    loop = std::make_unique<transport::EventLoop>();
+    if (!loop->valid()) die("event loop", "init failed");
+    server = std::make_unique<transport::DnsTransportServer>(
+        *loop, [this](const dns::Message& query, const transport::Endpoint&, transport::Via) {
+          return engine->handle(query, server::ClientContext{});
+        });
+    if (auto started = server->start(transport::loopback(0)); !started.ok())
+      die("bind", started.error().message);
+    at = server->local();
+    thread = std::thread([this] { loop->run(); });
+  }
+
+  ~LoopbackServer() {
+    loop->stop();
+    thread.join();
+    server->close();
+  }
+
+  [[noreturn]] static void die(const char* what, const std::string& why) {
+    std::fprintf(stderr, "bench_transport: %s: %s\n", what, why.c_str());
+    std::exit(1);
+  }
+};
+
+dns::Message query_of(std::uint64_t i) {
+  return dns::make_query(static_cast<std::uint16_t>(i & 0xffff), dns::name_of("mic.bench.loc"),
+                         dns::RRType::BDADDR);
+}
+
+constexpr auto kTimeout = std::chrono::milliseconds(2000);
+
+Row bench_udp(LoopbackServer& srv, std::uint64_t ops) {
+  transport::QueryOptions options;
+  return timed("udp_loopback", ops, [&](std::uint64_t i) {
+    auto response = transport::udp_query(srv.at, query_of(i), options);
+    if (!response.ok() || response.value().answers.empty())
+      LoopbackServer::die("udp_loopback", "query failed");
+  });
+}
+
+Row bench_tcp_reuse(LoopbackServer& srv, std::uint64_t ops) {
+  transport::TcpClient client;
+  if (auto connected = client.connect(srv.at, kTimeout); !connected.ok())
+    LoopbackServer::die("tcp connect", connected.error().message);
+  return timed("tcp_reuse", ops, [&](std::uint64_t i) {
+    auto response = client.query(query_of(i), kTimeout);
+    if (!response.ok() || response.value().answers.empty())
+      LoopbackServer::die("tcp_reuse", "query failed");
+  });
+}
+
+Row bench_tcp_connect_per_query(LoopbackServer& srv, std::uint64_t ops) {
+  transport::QueryOptions options;
+  return timed("tcp_connect_per_q", ops, [&](std::uint64_t i) {
+    auto response = transport::tcp_query(srv.at, query_of(i), options);
+    if (!response.ok() || response.value().answers.empty())
+      LoopbackServer::die("tcp_connect_per_q", "query failed");
+  });
+}
+
+std::string today() {
+  std::time_t t = std::time(nullptr);
+  char buf[16];
+  std::tm tm{};
+  gmtime_r(&t, &tm);
+  std::strftime(buf, sizeof buf, "%Y-%m-%d", &tm);
+  return buf;
+}
+
+void write_json(const std::string& path, const std::vector<Row>& rows) {
+  obs::JsonWriter json;
+  json.begin_object();
+  json.field("bench", "transport");
+  json.field("date", today());
+  json.begin_object("config");
+  json.field("interface", "loopback");
+  json.field("zone_records", std::int64_t{6});
+  json.field("build", SNS_BUILD_TYPE);
+  json.end_object();
+  json.begin_array("results");
+  for (const auto& row : rows) {
+    json.begin_object();
+    json.field("name", row.name);
+    json.field("ops", static_cast<std::uint64_t>(row.ops));
+    json.field("seconds", row.seconds);
+    json.field("qps", row.qps);
+    json.field("p50_ns", row.p50_ns);
+    json.field("p90_ns", row.p90_ns);
+    json.field("p99_ns", row.p99_ns);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fputs(json.str().c_str(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = argc > 1 ? argv[1] : "BENCH_transport.json";
+  std::uint64_t scale = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 1;
+
+  LoopbackServer srv;
+  std::printf("serving bench.loc on %s\n", srv.at.to_string().c_str());
+
+  std::vector<Row> rows;
+  rows.push_back(bench_udp(srv, 30'000 * scale));
+  rows.push_back(bench_tcp_reuse(srv, 30'000 * scale));
+  rows.push_back(bench_tcp_connect_per_query(srv, 5'000 * scale));
+
+  std::printf("%-20s %12s %10s %12s %10s %10s %10s\n", "stage", "ops", "seconds", "qps", "p50 ns",
+              "p90 ns", "p99 ns");
+  for (const auto& row : rows)
+    std::printf("%-20s %12llu %10.3f %12.0f %10.0f %10.0f %10.0f\n", row.name.c_str(),
+                static_cast<unsigned long long>(row.ops), row.seconds, row.qps, row.p50_ns,
+                row.p90_ns, row.p99_ns);
+
+  write_json(out_path, rows);
+  return 0;
+}

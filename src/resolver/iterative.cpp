@@ -42,6 +42,15 @@ Result<Message> IterativeResolver::query_server(net::NodeId server, const Name& 
   ++stats.queries_sent;
   if (metrics_ != nullptr) metrics_->counter("resolver.iterative.queries").add();
   auto result = network_.exchange(self_, server, std::span(wire));
+  if (metrics_ != nullptr) {
+    // ExchangeResult.attempts used to be dropped here: surface the
+    // per-exchange retry/timeout outcome the same way the stub does.
+    if (!result.ok())
+      metrics_->counter("resolver.exchange.timeout").add();
+    else if (result.value().attempts > 1)
+      metrics_->counter("resolver.exchange.retry")
+          .add(static_cast<std::uint64_t>(result.value().attempts - 1));
+  }
   if (!result.ok()) return result.error();
   auto response = Message::decode(std::span(result.value().response));
   if (!response.ok()) return fail("iterative: malformed response");

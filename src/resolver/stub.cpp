@@ -16,6 +16,16 @@ using util::Result;
 StubResolver::StubResolver(net::Network& network, net::NodeId self, net::NodeId server)
     : network_(network), self_(self), server_(server) {}
 
+void StubResolver::record_exchange_outcome(const util::Result<net::ExchangeResult>& result) {
+  if (metrics_ == nullptr) return;
+  if (!result.ok()) {
+    metrics_->counter("resolver.exchange.timeout").add();
+  } else if (result.value().attempts > 1) {
+    metrics_->counter("resolver.exchange.retry")
+        .add(static_cast<std::uint64_t>(result.value().attempts - 1));
+  }
+}
+
 void StubResolver::set_search_list(std::vector<Name> suffixes) {
   search_list_ = std::move(suffixes);
 }
@@ -28,6 +38,7 @@ void StubResolver::set_timeout(net::Duration timeout, int attempts) {
 Result<dns::Message> StubResolver::exchange(const Message& query) {
   auto wire = query.encode();
   auto result = network_.exchange(self_, server_, std::span(wire), timeout_, attempts_);
+  record_exchange_outcome(result);
   if (!result.ok()) return result.error();
   auto response = Message::decode(std::span(result.value().response));
   if (!response.ok()) return fail("stub: malformed response: " + response.error().message);
@@ -41,6 +52,7 @@ Result<dns::Message> StubResolver::exchange(const Message& query) {
     auto retry_wire = retry.encode();
     auto retry_result =
         network_.exchange(self_, server_, std::span(retry_wire), timeout_, attempts_);
+    record_exchange_outcome(retry_result);
     if (!retry_result.ok()) return retry_result.error();
     auto retry_response = Message::decode(std::span(retry_result.value().response));
     if (!retry_response.ok()) return fail("stub: malformed EDNS retry response");

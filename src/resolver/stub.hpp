@@ -62,6 +62,10 @@ class StubResolver {
 
  private:
   util::Result<Resolution> resolve_absolute(const dns::Name& name, dns::RRType type);
+  /// Feed one ExchangeResult's timeout/retry accounting into
+  /// `resolver.exchange.{timeout,retry}` (attempts beyond the first are
+  /// retries; a failed exchange is a timeout).
+  void record_exchange_outcome(const util::Result<net::ExchangeResult>& result);
 
   net::Network& network_;
   net::NodeId self_;

@@ -1,0 +1,211 @@
+#include "transport/client.hpp"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+
+namespace sns::transport {
+
+using util::fail;
+using util::Result;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Milliseconds left until `deadline`, clamped to >= 0.
+int ms_remaining(Clock::time_point deadline) {
+  auto left = std::chrono::duration_cast<std::chrono::milliseconds>(deadline - Clock::now());
+  return left.count() <= 0 ? 0 : static_cast<int>(left.count());
+}
+
+/// Wait until `fd` has `events` ready or the deadline passes.
+Result<util::Unit> wait_for(int fd, short events, Clock::time_point deadline) {
+  for (;;) {
+    pollfd pfd{fd, events, 0};
+    int r = ::poll(&pfd, 1, ms_remaining(deadline));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return fail(errno_message("poll"));
+    }
+    if (r == 0) return fail("timed out");
+    if ((pfd.revents & (POLLERR | POLLHUP | POLLNVAL)) != 0 && (pfd.revents & events) == 0)
+      return fail("connection error");
+    return util::Unit{};
+  }
+}
+
+/// The query actually sent over UDP: ensure an OPT advertising
+/// `edns_udp_size` unless the caller built their own or disabled EDNS.
+dns::Message udp_form(const dns::Message& query, const QueryOptions& options) {
+  if (options.edns_udp_size == 0 ||
+      dns::advertised_udp_size(query) != dns::kClassicUdpLimit)
+    return query;
+  dns::Message with_edns = query;
+  dns::add_edns(with_edns, options.edns_udp_size);
+  return with_edns;
+}
+
+}  // namespace
+
+Result<dns::Message> udp_query(const Endpoint& server, const dns::Message& query,
+                               const QueryOptions& options) {
+  FdHandle fd(::socket(AF_INET, SOCK_DGRAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) return fail(errno_message("socket(udp)"));
+  sockaddr_in sa{};
+  server.to_sockaddr(sa);
+  // connect() scopes recv to the server's address — stray datagrams
+  // from other peers never reach us.
+  if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&sa), sizeof(sa)) < 0)
+    return fail(errno_message("connect(udp)"));
+
+  auto wire = udp_form(query, options).encode();
+  std::string last_error = "no attempts made";
+  for (int attempt = 0; attempt < std::max(options.attempts, 1); ++attempt) {
+    if (::send(fd.get(), wire.data(), wire.size(), 0) < 0) {
+      last_error = errno_message("send(udp)");
+      continue;
+    }
+    auto deadline = Clock::now() + options.timeout;
+    for (;;) {
+      auto ready = wait_for(fd.get(), POLLIN, deadline);
+      if (!ready.ok()) {
+        last_error = "udp " + server.to_string() + ": " + ready.error().message;
+        break;  // next attempt
+      }
+      std::uint8_t buf[65535];
+      ssize_t n = ::recv(fd.get(), buf, sizeof(buf), 0);
+      if (n < 0) {
+        if (errno == EINTR || errno == EAGAIN) continue;
+        last_error = errno_message("recv(udp)");
+        break;
+      }
+      auto response = dns::Message::decode(std::span(buf, static_cast<std::size_t>(n)));
+      if (!response.ok() || response.value().header.id != query.header.id)
+        continue;  // garbage or spoofed id: keep listening until deadline
+      return response;
+    }
+  }
+  return fail(last_error);
+}
+
+util::Status TcpClient::connect(const Endpoint& server, std::chrono::milliseconds timeout) {
+  disconnect();
+  reader_ = FrameReader();
+  FdHandle fd(::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) return fail(errno_message("socket(tcp)"));
+  sockaddr_in sa{};
+  server.to_sockaddr(sa);
+  if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&sa), sizeof(sa)) < 0) {
+    if (errno != EINPROGRESS) return fail(errno_message("connect(tcp " + server.to_string() + ")"));
+    auto ready = wait_for(fd.get(), POLLOUT, Clock::now() + timeout);
+    if (!ready.ok()) return fail("tcp connect " + server.to_string() + ": " +
+                                 ready.error().message);
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &err, &len) < 0 || err != 0) {
+      errno = err;
+      return fail(errno_message("connect(tcp " + server.to_string() + ")"));
+    }
+  }
+  int one = 1;
+  ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  fd_ = std::move(fd);
+  return util::ok_status();
+}
+
+Result<dns::Message> TcpClient::query(const dns::Message& query_msg,
+                                      std::chrono::milliseconds timeout) {
+  if (!fd_.valid()) return fail("tcp client not connected");
+  auto query_wire = query_msg.encode();
+  auto framed = frame_message(std::span(query_wire));
+  if (!framed.ok()) return framed.error();
+  auto deadline = Clock::now() + timeout;
+
+  std::size_t sent = 0;
+  while (sent < framed.value().size()) {
+    ssize_t n = ::send(fd_.get(), framed.value().data() + sent, framed.value().size() - sent,
+                       MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        auto ready = wait_for(fd_.get(), POLLOUT, deadline);
+        if (!ready.ok()) {
+          disconnect();
+          return fail("tcp send: " + ready.error().message);
+        }
+        continue;
+      }
+      disconnect();
+      return fail(errno_message("send(tcp)"));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+
+  for (;;) {
+    if (auto frame = reader_.next()) {
+      auto response = dns::Message::decode(std::span(*frame));
+      if (!response.ok()) {
+        disconnect();
+        return fail("tcp: malformed response: " + response.error().message);
+      }
+      if (response.value().header.id != query_msg.header.id) continue;  // stale pipeline reply
+      return response;
+    }
+    if (reader_.failed()) {
+      disconnect();
+      return fail("tcp framing: " + reader_.error());
+    }
+    auto ready = wait_for(fd_.get(), POLLIN, deadline);
+    if (!ready.ok()) {
+      disconnect();
+      return fail("tcp recv: " + ready.error().message);
+    }
+    std::uint8_t buf[16384];
+    ssize_t n = ::recv(fd_.get(), buf, sizeof(buf), 0);
+    if (n == 0) {
+      disconnect();
+      return fail("tcp: server closed the connection");
+    }
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      disconnect();
+      return fail(errno_message("recv(tcp)"));
+    }
+    reader_.feed(std::span(buf, static_cast<std::size_t>(n)));
+  }
+}
+
+Result<dns::Message> tcp_query(const Endpoint& server, const dns::Message& query,
+                               const QueryOptions& options) {
+  TcpClient client;
+  auto connected = client.connect(server, options.timeout);
+  if (!connected.ok()) return connected.error();
+  return client.query(query, options.timeout);
+}
+
+Result<AutoQueryResult> query_auto(const Endpoint& server, const dns::Message& query,
+                                   const QueryOptions& options, bool force_tcp) {
+  AutoQueryResult out;
+  if (!force_tcp) {
+    auto udp = udp_query(server, query, options);
+    if (!udp.ok()) return udp.error();
+    if (!udp.value().header.tc) {
+      out.response = std::move(udp).value();
+      return out;
+    }
+    out.retried_tcp = true;  // RFC 7766 §5: truncated → retry over TCP
+  }
+  auto tcp = tcp_query(server, query, options);
+  if (!tcp.ok()) return tcp.error();
+  out.response = std::move(tcp).value();
+  out.used_tcp = true;
+  return out;
+}
+
+}  // namespace sns::transport

@@ -1,0 +1,72 @@
+// client.hpp — blocking DNS client primitives over real sockets.
+//
+// The query side of the transport subsystem: plain blocking calls with
+// poll()-based deadlines, because a CLI client (sns-dig), a loopback
+// test and a bench driver all want straight-line code, not an event
+// loop. Three layers:
+//
+//   udp_query   one datagram exchange, id-checked, with retries
+//   TcpClient   a persistent RFC 7766 connection — connect once, send
+//               many framed queries (the connection-reuse half of
+//               bench_transport's reuse-vs-reconnect comparison)
+//   query_auto  the resolution policy clients actually want: try UDP,
+//               and when the server answers TC=1, transparently retry
+//               the same question over TCP (RFC 7766 §5).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#include "dns/message.hpp"
+#include "transport/frame.hpp"
+#include "transport/socket.hpp"
+
+namespace sns::transport {
+
+struct QueryOptions {
+  std::chrono::milliseconds timeout{2000};  // per attempt
+  int attempts = 2;                         // UDP retransmissions
+  /// EDNS0 payload size advertised on UDP queries that carry no OPT of
+  /// their own; 0 = do not add EDNS (classic 512-byte behaviour).
+  std::uint16_t edns_udp_size = 1232;
+};
+
+/// One UDP exchange. Responses with a mismatched transaction id are
+/// ignored (off-path spoofing hygiene), not returned.
+util::Result<dns::Message> udp_query(const Endpoint& server, const dns::Message& query,
+                                     const QueryOptions& options = {});
+
+/// Persistent DNS-over-TCP connection.
+class TcpClient {
+ public:
+  TcpClient() = default;
+
+  util::Status connect(const Endpoint& server, std::chrono::milliseconds timeout);
+  [[nodiscard]] bool connected() const noexcept { return fd_.valid(); }
+  void disconnect() { fd_.reset(); }
+
+  /// Send one framed query and block for its framed response.
+  util::Result<dns::Message> query(const dns::Message& query_msg,
+                                   std::chrono::milliseconds timeout);
+
+ private:
+  FdHandle fd_;
+  FrameReader reader_;
+};
+
+/// One-shot TCP exchange (connect, query, close).
+util::Result<dns::Message> tcp_query(const Endpoint& server, const dns::Message& query,
+                                     const QueryOptions& options = {});
+
+struct AutoQueryResult {
+  dns::Message response;
+  bool used_tcp = false;      // final answer travelled over TCP
+  bool retried_tcp = false;   // UDP answered TC=1 first
+};
+
+/// UDP with automatic truncation→TCP fallback. `force_tcp` skips UDP
+/// entirely (sns-dig's +tcp).
+util::Result<AutoQueryResult> query_auto(const Endpoint& server, const dns::Message& query,
+                                         const QueryOptions& options = {}, bool force_tcp = false);
+
+}  // namespace sns::transport

@@ -1,0 +1,32 @@
+#include "transport/dns_server.hpp"
+
+namespace sns::transport {
+
+DnsTransportServer::DnsTransportServer(EventLoop& loop, DnsHandler handler,
+                                       TcpListener::Options tcp_options)
+    : udp_(loop, handler), tcp_(loop, std::move(handler), tcp_options) {}
+
+util::Status DnsTransportServer::start(const Endpoint& at) {
+  constexpr int kEphemeralAttempts = 8;
+  util::Status last = util::ok_status();
+  for (int attempt = 0; attempt < kEphemeralAttempts; ++attempt) {
+    auto tcp_status = tcp_.bind(at);
+    if (!tcp_status.ok()) return tcp_status;
+    Endpoint realised = tcp_.local();
+    auto udp_status = udp_.bind(realised);
+    if (udp_status.ok()) return util::ok_status();
+    last = udp_status;
+    tcp_.close();
+    // A fixed port that UDP cannot bind will not free itself; only
+    // ephemeral picks are worth retrying.
+    if (at.port != 0) break;
+  }
+  return last;
+}
+
+void DnsTransportServer::close() {
+  udp_.close();
+  tcp_.close();
+}
+
+}  // namespace sns::transport

@@ -1,0 +1,42 @@
+// dns_server.hpp — UDP + TCP DNS service on one port.
+//
+// The deployable composition: one DnsTransportServer binds both
+// transports to the same address/port (RFC 7766 requires serving both),
+// resolves ephemeral ports (port 0) for tests and benches, and feeds a
+// single DnsHandler. `snsd` wraps this around AuthoritativeServer; the
+// loopback tests wrap it around canned-zone handlers.
+#pragma once
+
+#include "transport/tcp_listener.hpp"
+#include "transport/udp_listener.hpp"
+
+namespace sns::transport {
+
+class DnsTransportServer {
+ public:
+  DnsTransportServer(EventLoop& loop, DnsHandler handler,
+                     TcpListener::Options tcp_options = TcpListener::Options());
+
+  /// Bind UDP and TCP to `at`. With port 0 the kernel picks the TCP
+  /// port and UDP then binds the same number (retried on the rare
+  /// collision where that UDP port is already taken).
+  util::Status start(const Endpoint& at);
+  void close();
+
+  /// The realised endpoint (both transports) after start().
+  [[nodiscard]] const Endpoint& local() const noexcept { return udp_.local(); }
+
+  [[nodiscard]] UdpListener& udp() noexcept { return udp_; }
+  [[nodiscard]] TcpListener& tcp() noexcept { return tcp_; }
+
+  void set_metrics(obs::MetricsRegistry* metrics) noexcept {
+    udp_.set_metrics(metrics);
+    tcp_.set_metrics(metrics);
+  }
+
+ private:
+  UdpListener udp_;
+  TcpListener tcp_;
+};
+
+}  // namespace sns::transport

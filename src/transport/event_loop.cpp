@@ -1,0 +1,186 @@
+#include "transport/event_loop.hpp"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <limits>
+
+#include "util/log.hpp"
+
+namespace sns::transport {
+
+using util::fail;
+
+namespace {
+constexpr std::int64_t kNoDeadline = std::numeric_limits<std::int64_t>::max();
+}
+
+EventLoop::EventLoop()
+    : epoll_fd_(::epoll_create1(EPOLL_CLOEXEC)),
+      wake_fd_(::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK)),
+      earliest_tick_(kNoDeadline),
+      epoch_(std::chrono::steady_clock::now()) {
+  if (!epoll_fd_.valid() || !wake_fd_.valid()) {
+    util::log_warn("transport", "event loop init failed: ", errno_message("epoll/eventfd"));
+    return;
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = wake_fd_.get();
+  ::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, wake_fd_.get(), &ev);
+}
+
+EventLoop::~EventLoop() = default;
+
+TimePoint EventLoop::now() const {
+  return std::chrono::duration_cast<Duration>(std::chrono::steady_clock::now() - epoch_);
+}
+
+util::Status EventLoop::watch(int fd, std::uint32_t events, IoHandler handler) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  bool known = handlers_.count(fd) > 0;
+  int op = known ? EPOLL_CTL_MOD : EPOLL_CTL_ADD;
+  if (::epoll_ctl(epoll_fd_.get(), op, fd, &ev) < 0) return fail(errno_message("epoll_ctl(add)"));
+  handlers_[fd] = std::move(handler);
+  return util::ok_status();
+}
+
+util::Status EventLoop::modify(int fd, std::uint32_t events) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_MOD, fd, &ev) < 0)
+    return fail(errno_message("epoll_ctl(mod)"));
+  return util::ok_status();
+}
+
+void EventLoop::unwatch(int fd) {
+  if (handlers_.erase(fd) > 0) ::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_DEL, fd, nullptr);
+}
+
+EventLoop::TimerId EventLoop::schedule_at(TimePoint t, std::function<void()> fn) {
+  TimerId id = next_timer_id_++;
+  std::int64_t deadline = tick_of(t);
+  // Never schedule into the past: a due-now timer fires on the next
+  // advance, exactly like EventScheduler's same-instant semantics.
+  deadline = std::max(deadline, current_tick_ + 1);
+  wheel_[static_cast<std::size_t>(deadline) % kWheelSlots].push_back(
+      Timer{id, deadline, std::move(fn)});
+  timer_slots_.emplace(id, deadline);
+  ++active_timers_;
+  earliest_tick_ = std::min(earliest_tick_, deadline);
+  return id;
+}
+
+bool EventLoop::cancel(TimerId id) {
+  auto it = timer_slots_.find(id);
+  if (it == timer_slots_.end()) return false;
+  auto& slot = wheel_[static_cast<std::size_t>(it->second) % kWheelSlots];
+  for (auto timer = slot.begin(); timer != slot.end(); ++timer) {
+    if (timer->id == id) {
+      slot.erase(timer);
+      break;
+    }
+  }
+  timer_slots_.erase(it);
+  --active_timers_;
+  return true;
+}
+
+void EventLoop::recompute_earliest() {
+  earliest_tick_ = kNoDeadline;
+  if (active_timers_ == 0) return;
+  for (const auto& slot : wheel_)
+    for (const auto& timer : slot) earliest_tick_ = std::min(earliest_tick_, timer.deadline_tick);
+}
+
+void EventLoop::advance_timers() {
+  std::int64_t now_tick = now().count() / kTickUs;
+  if (now_tick <= current_tick_ || earliest_tick_ > now_tick) {
+    current_tick_ = std::max(current_tick_, now_tick);
+    return;
+  }
+
+  // Collect everything due. When the elapsed span covers the whole
+  // wheel, sweep every slot once instead of revisiting slots per tick.
+  std::vector<Timer> due;
+  auto harvest = [&](std::vector<Timer>& slot) {
+    auto keep = slot.begin();
+    for (auto& timer : slot) {
+      if (timer.deadline_tick <= now_tick)
+        due.push_back(std::move(timer));
+      else
+        *keep++ = std::move(timer);
+    }
+    slot.erase(keep, slot.end());
+  };
+  if (now_tick - current_tick_ >= static_cast<std::int64_t>(kWheelSlots)) {
+    for (auto& slot : wheel_) harvest(slot);
+  } else {
+    for (std::int64_t tick = current_tick_ + 1; tick <= now_tick; ++tick)
+      harvest(wheel_[static_cast<std::size_t>(tick) % kWheelSlots]);
+  }
+  current_tick_ = now_tick;
+
+  // Deadline order, then scheduling order — the EventScheduler guarantee.
+  std::sort(due.begin(), due.end(), [](const Timer& a, const Timer& b) {
+    return a.deadline_tick != b.deadline_tick ? a.deadline_tick < b.deadline_tick : a.id < b.id;
+  });
+  for (auto& timer : due) {
+    timer_slots_.erase(timer.id);
+    --active_timers_;
+  }
+  if (!due.empty()) recompute_earliest();
+  for (auto& timer : due) timer.fn();
+}
+
+int EventLoop::next_timeout_ms(int max_wait_ms) const {
+  if (earliest_tick_ == kNoDeadline) return max_wait_ms;
+  std::int64_t delta_us = earliest_tick_ * kTickUs - now().count();
+  // Ceil to ms so we never wake before the deadline's tick.
+  std::int64_t delta_ms = std::max<std::int64_t>(0, (delta_us + 999) / 1000);
+  delta_ms = std::min<std::int64_t>(delta_ms, std::numeric_limits<int>::max());
+  int timer_ms = static_cast<int>(delta_ms);
+  return max_wait_ms < 0 ? timer_ms : std::min(timer_ms, max_wait_ms);
+}
+
+int EventLoop::run_once(int max_wait_ms) {
+  constexpr int kMaxEvents = 64;
+  epoll_event events[kMaxEvents];
+  int n = ::epoll_wait(epoll_fd_.get(), events, kMaxEvents, next_timeout_ms(max_wait_ms));
+  int dispatched = 0;
+  for (int i = 0; i < std::max(n, 0); ++i) {
+    int fd = events[i].data.fd;
+    if (fd == wake_fd_.get()) {
+      std::uint64_t drain = 0;
+      [[maybe_unused]] auto r = ::read(wake_fd_.get(), &drain, sizeof(drain));
+      continue;
+    }
+    // A handler earlier in this batch may have unwatched this fd; the
+    // copy keeps the callable alive if the handler unwatches itself.
+    auto it = handlers_.find(fd);
+    if (it == handlers_.end()) continue;
+    IoHandler handler = it->second;
+    handler(events[i].events);
+    ++dispatched;
+  }
+  advance_timers();
+  return dispatched;
+}
+
+void EventLoop::run() {
+  while (!stopped()) run_once();
+}
+
+void EventLoop::stop() {
+  stop_requested_.store(true, std::memory_order_relaxed);
+  std::uint64_t one = 1;
+  [[maybe_unused]] auto r = ::write(wake_fd_.get(), &one, sizeof(one));
+}
+
+}  // namespace sns::transport

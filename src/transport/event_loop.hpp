@@ -1,0 +1,129 @@
+// event_loop.hpp — non-blocking epoll event loop with a timer wheel.
+//
+// The real-socket twin of net::EventScheduler (src/net/sim.hpp): the
+// timer API deliberately mirrors it — schedule_at / schedule_after /
+// pending — so engine code written against the simulator's scheduler
+// ports to the socket world by swapping the loop object, not the call
+// sites (DESIGN.md §9, "sim-vs-socket symmetry"). On top of timers it
+// adds what only a real kernel has: file-descriptor readiness.
+//
+// Timers live in a hashed timer wheel (256 slots × 1.024 ms ticks, a
+// power of two so tick conversion is a shift). Insertion and expiry of
+// a due tick are O(1); epoll_wait sleeps until the earliest deadline,
+// tracked incrementally on insert and recomputed by a wheel sweep only
+// when the earliest timer fires — the classic trade against a heap's
+// O(log n) insert, and the right one for a DNS server whose timer load
+// is thousands of identical idle timeouts that are usually cancelled.
+//
+// Threading: the loop is single-threaded by design. Every method except
+// stop() must be called from the loop thread (or before run() starts);
+// stop() may be called from any thread — it pokes an internal eventfd
+// to wake a sleeping epoll_wait.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "transport/socket.hpp"
+#include "util/result.hpp"
+
+namespace sns::transport {
+
+/// Microseconds since loop construction (monotonic, wall-time backed —
+/// the same vocabulary as net::TimePoint, but real).
+using Duration = std::chrono::microseconds;
+using TimePoint = std::chrono::microseconds;
+
+class EventLoop {
+ public:
+  using TimerId = std::uint64_t;
+  static constexpr TimerId kInvalidTimer = 0;
+  /// Bitmask of EPOLLIN / EPOLLOUT / EPOLLERR / EPOLLHUP as delivered.
+  using IoHandler = std::function<void(std::uint32_t events)>;
+
+  EventLoop();
+  ~EventLoop();
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  [[nodiscard]] bool valid() const noexcept { return epoll_fd_.valid(); }
+
+  // -- fd watchers --------------------------------------------------------
+  /// Watch `fd` for `events` (EPOLLIN and/or EPOLLOUT). One handler per
+  /// fd; re-adding an fd replaces its handler and interest set.
+  util::Status watch(int fd, std::uint32_t events, IoHandler handler);
+  /// Change the interest set, keeping the handler.
+  util::Status modify(int fd, std::uint32_t events);
+  /// Stop watching. Safe to call from inside any handler, including for
+  /// an fd whose events are still queued for dispatch this iteration.
+  void unwatch(int fd);
+
+  // -- timers (EventScheduler-mirroring surface) --------------------------
+  TimerId schedule_at(TimePoint t, std::function<void()> fn);
+  TimerId schedule_after(Duration d, std::function<void()> fn) {
+    return schedule_at(now() + d, std::move(fn));
+  }
+  /// Cancel a pending timer; false if it already fired or never existed.
+  bool cancel(TimerId id);
+  [[nodiscard]] std::size_t pending() const noexcept { return active_timers_; }
+
+  [[nodiscard]] TimePoint now() const;
+
+  // -- driving ------------------------------------------------------------
+  /// Poll once: sleep until an fd is ready, the next timer is due, or
+  /// `max_wait` elapses (negative = no cap), then dispatch everything
+  /// due. Returns the number of io events dispatched.
+  int run_once(int max_wait_ms = -1);
+  /// run_once until stop() is called.
+  void run();
+  /// Wake the loop and make run() return. Thread- and signal-safe.
+  void stop();
+  [[nodiscard]] bool stopped() const noexcept {
+    return stop_requested_.load(std::memory_order_relaxed);
+  }
+  /// Re-arm a stopped loop so run() can be called again.
+  void reset_stop() noexcept { stop_requested_ = false; }
+
+  [[nodiscard]] std::size_t watched_fds() const noexcept { return handlers_.size(); }
+
+ private:
+  // Wheel geometry: 256 slots, one tick = 1024 us. An idle-timeout-heavy
+  // server mostly schedules within a few hundred ticks; longer timers
+  // just survive multiple laps via their absolute deadline.
+  static constexpr std::size_t kWheelSlots = 256;
+  static constexpr std::int64_t kTickUs = 1024;
+
+  struct Timer {
+    TimerId id;
+    std::int64_t deadline_tick;
+    std::function<void()> fn;
+  };
+
+  [[nodiscard]] std::int64_t tick_of(TimePoint t) const noexcept {
+    return (t.count() + kTickUs - 1) / kTickUs;
+  }
+  /// Fire every timer due at or before the tick containing now().
+  void advance_timers();
+  /// Sweep the wheel for the earliest live deadline (after the cached
+  /// earliest fired); kInt64Max when no timers remain.
+  void recompute_earliest();
+  [[nodiscard]] int next_timeout_ms(int max_wait_ms) const;
+
+  FdHandle epoll_fd_;
+  FdHandle wake_fd_;  // eventfd poked by stop()
+  std::unordered_map<int, IoHandler> handlers_;
+  std::vector<std::vector<Timer>> wheel_{kWheelSlots};
+  std::size_t active_timers_ = 0;
+  std::int64_t current_tick_ = 0;
+  std::int64_t earliest_tick_;  // lower bound on the earliest live deadline
+  std::unordered_map<TimerId, std::int64_t> timer_slots_;  // id -> deadline tick
+  TimerId next_timer_id_ = 1;
+  std::chrono::steady_clock::time_point epoch_;
+  std::atomic<bool> stop_requested_{false};
+};
+
+}  // namespace sns::transport

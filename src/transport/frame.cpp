@@ -1,0 +1,60 @@
+#include "transport/frame.hpp"
+
+#include <cstring>
+
+namespace sns::transport {
+
+void FrameReader::feed(std::span<const std::uint8_t> data) {
+  if (failed_) return;
+  // Compact before growing: drop the already-consumed prefix so the
+  // buffer stays proportional to the unparsed tail, not stream history.
+  if (consumed_ > 0) {
+    buffer_.erase(buffer_.begin(), buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  buffer_.insert(buffer_.end(), data.begin(), data.end());
+}
+
+std::optional<util::Bytes> FrameReader::next() {
+  if (failed_) return std::nullopt;
+  std::size_t avail = buffer_.size() - consumed_;
+  if (avail < 2) return std::nullopt;
+  std::size_t length = (static_cast<std::size_t>(buffer_[consumed_]) << 8) |
+                       static_cast<std::size_t>(buffer_[consumed_ + 1]);
+  if (length == 0) {
+    failed_ = true;
+    error_ = "zero-length DNS/TCP frame";
+    return std::nullopt;
+  }
+  if (length > max_frame_) {
+    failed_ = true;
+    error_ = "frame of " + std::to_string(length) + " bytes exceeds limit of " +
+             std::to_string(max_frame_);
+    return std::nullopt;
+  }
+  if (avail < 2 + length) return std::nullopt;  // wait for more stream
+  auto begin = buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_ + 2);
+  util::Bytes frame(begin, begin + static_cast<std::ptrdiff_t>(length));
+  consumed_ += 2 + length;
+  return frame;
+}
+
+bool FrameReader::mid_frame() const noexcept {
+  if (failed_) return false;
+  return buffer_.size() - consumed_ > 0;  // anything unconsumed is a partial frame
+}
+
+util::Result<util::Bytes> frame_message(std::span<const std::uint8_t> wire) {
+  if (wire.empty()) return util::fail("cannot frame an empty message");
+  if (wire.size() > 65535)
+    return util::fail("message of " + std::to_string(wire.size()) +
+                      " bytes exceeds the TCP frame limit");
+  util::Bytes out;
+  out.reserve(wire.size() + 2);
+  out.push_back(static_cast<std::uint8_t>(wire.size() >> 8));
+  out.push_back(static_cast<std::uint8_t>(wire.size() & 0xff));
+  out.insert(out.end(), wire.begin(), wire.end());
+  return out;
+}
+
+}  // namespace sns::transport

@@ -1,0 +1,67 @@
+// frame.hpp — RFC 7766 §8 two-byte length framing for DNS over TCP.
+//
+// A pure state machine, deliberately socket-free so the edge cases the
+// kernel will eventually throw at us (length prefixes split across
+// reads, several pipelined queries in one read, zero-length frames,
+// oversized frames, connections dying mid-message) are all testable as
+// plain byte sequences. The TCP listener and client both drive one
+// FrameReader per connection.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/bytes.hpp"
+#include "util/result.hpp"
+
+namespace sns::transport {
+
+/// Incremental decoder for a stream of length-prefixed DNS messages.
+///
+///   reader.feed(bytes_from_read);
+///   while (auto frame = reader.next()) handle(*frame);
+///   if (reader.failed()) close_connection(reader.error());
+///
+/// Once failed() the reader stays failed (the stream is unframeable —
+/// resynchronising on a byte stream is impossible) and next() returns
+/// nothing.
+class FrameReader {
+ public:
+  /// `max_frame` rejects frames whose declared length exceeds it. The
+  /// wire format caps lengths at 65535; a server may impose less.
+  explicit FrameReader(std::size_t max_frame = 65535) : max_frame_(max_frame) {}
+
+  /// Append raw stream bytes. Cheap: bytes are copied once into the
+  /// pending buffer and handed out per frame without re-copying tails.
+  void feed(std::span<const std::uint8_t> data);
+
+  /// Extract the next complete message, if one is buffered.
+  [[nodiscard]] std::optional<util::Bytes> next();
+
+  [[nodiscard]] bool failed() const noexcept { return failed_; }
+  [[nodiscard]] const std::string& error() const noexcept { return error_; }
+
+  /// True when a message is cut off mid-frame (length prefix or body
+  /// partially received) — i.e. a disconnect now would lose data.
+  [[nodiscard]] bool mid_frame() const noexcept;
+  /// Bytes buffered but not yet returned by next().
+  [[nodiscard]] std::size_t buffered() const noexcept { return buffer_.size() - consumed_; }
+
+ private:
+  std::size_t max_frame_;
+  util::Bytes buffer_;
+  std::size_t consumed_ = 0;  // prefix of buffer_ already handed out
+  bool failed_ = false;
+  std::string error_;
+};
+
+/// Prepend the two-byte length prefix to an encoded message. Fails when
+/// `wire` cannot be framed (empty or > 65535 bytes — RFC 7766 has no
+/// jumbo frames; the server answers such a query with a truncated
+/// response instead, which over TCP means "give up").
+util::Result<util::Bytes> frame_message(std::span<const std::uint8_t> wire);
+
+}  // namespace sns::transport

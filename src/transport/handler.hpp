@@ -1,0 +1,26 @@
+// handler.hpp — the seam between kernel sockets and the DNS engine.
+//
+// Both listeners deliver decoded queries through the same DnsHandler,
+// which is the exact shape AuthoritativeServer::handle already has
+// (Message in, Message out) — the engine never learns which transport
+// carried a query beyond the `via` tag it may use for policy (e.g.
+// never truncating over TCP, which the listeners already enforce).
+#pragma once
+
+#include <functional>
+
+#include "dns/message.hpp"
+#include "transport/socket.hpp"
+
+namespace sns::transport {
+
+enum class Via { Udp, Tcp };
+
+inline const char* to_string(Via via) { return via == Via::Udp ? "udp" : "tcp"; }
+
+/// Produce the response for one query. Runs on the event-loop thread;
+/// must not block.
+using DnsHandler =
+    std::function<dns::Message(const dns::Message& query, const Endpoint& peer, Via via)>;
+
+}  // namespace sns::transport

@@ -1,0 +1,105 @@
+#include "transport/socket.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace sns::transport {
+
+using util::fail;
+using util::Result;
+
+void FdHandle::reset() noexcept {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+std::string Endpoint::to_string() const {
+  return address.to_string() + ":" + std::to_string(port);
+}
+
+Result<Endpoint> Endpoint::parse(std::string_view text, std::uint16_t default_port) {
+  Endpoint ep;
+  ep.port = default_port;
+  auto colon = text.find(':');
+  std::string_view addr_part = text;
+  if (colon != std::string_view::npos) {
+    addr_part = text.substr(0, colon);
+    std::string_view port_part = text.substr(colon + 1);
+    if (port_part.empty()) return fail("endpoint: empty port in '" + std::string(text) + "'");
+    std::uint32_t port = 0;
+    for (char c : port_part) {
+      if (c < '0' || c > '9') return fail("endpoint: bad port in '" + std::string(text) + "'");
+      port = port * 10 + static_cast<std::uint32_t>(c - '0');
+      if (port > 65535) return fail("endpoint: port out of range in '" + std::string(text) + "'");
+    }
+    ep.port = static_cast<std::uint16_t>(port);
+  }
+  auto addr = net::Ipv4Addr::parse(addr_part);
+  if (!addr.ok()) return addr.error();
+  ep.address = addr.value();
+  return ep;
+}
+
+void Endpoint::to_sockaddr(sockaddr_in& sa) const {
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(port);
+  sa.sin_addr.s_addr = htonl(address.as_u32());
+}
+
+Endpoint Endpoint::from_sockaddr(const sockaddr_in& sa) {
+  Endpoint ep;
+  ep.address = net::Ipv4Addr::from_u32(ntohl(sa.sin_addr.s_addr));
+  ep.port = ntohs(sa.sin_port);
+  return ep;
+}
+
+std::string errno_message(std::string_view context) {
+  return std::string(context) + ": " + std::strerror(errno);
+}
+
+util::Status set_nonblocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return fail(errno_message("fcntl(F_GETFL)"));
+  if (::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) return fail(errno_message("fcntl(F_SETFL)"));
+  return util::ok_status();
+}
+
+Result<FdHandle> bind_udp(const Endpoint& at) {
+  FdHandle fd(::socket(AF_INET, SOCK_DGRAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) return fail(errno_message("socket(udp)"));
+  sockaddr_in sa{};
+  at.to_sockaddr(sa);
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&sa), sizeof(sa)) < 0)
+    return fail(errno_message("bind(udp " + at.to_string() + ")"));
+  return fd;
+}
+
+Result<FdHandle> listen_tcp(const Endpoint& at) {
+  FdHandle fd(::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) return fail(errno_message("socket(tcp)"));
+  int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in sa{};
+  at.to_sockaddr(sa);
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&sa), sizeof(sa)) < 0)
+    return fail(errno_message("bind(tcp " + at.to_string() + ")"));
+  if (::listen(fd.get(), 128) < 0) return fail(errno_message("listen"));
+  return fd;
+}
+
+Result<Endpoint> local_endpoint(int fd) {
+  sockaddr_in sa{};
+  socklen_t len = sizeof(sa);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&sa), &len) < 0)
+    return fail(errno_message("getsockname"));
+  return Endpoint::from_sockaddr(sa);
+}
+
+}  // namespace sns::transport

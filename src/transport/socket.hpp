@@ -1,0 +1,92 @@
+// socket.hpp — thin RAII layer over BSD sockets for the transport
+// subsystem.
+//
+// Everything else in the repo speaks simulated time and simulated
+// links; this file is where real file descriptors enter the picture.
+// It stays deliberately small: an owning fd handle, an IPv4 endpoint
+// value type that converts to/from sockaddr_in, and the handful of
+// socket constructors the DNS listeners and clients need. All sockets
+// the event loop touches are non-blocking; the client helpers use
+// blocking sockets with poll()-based deadlines.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "net/address.hpp"
+#include "util/result.hpp"
+
+struct sockaddr_in;  // avoid pulling <netinet/in.h> into every includer
+
+namespace sns::transport {
+
+/// Owning file descriptor. Close-on-destroy, movable, non-copyable.
+class FdHandle {
+ public:
+  FdHandle() = default;
+  explicit FdHandle(int fd) noexcept : fd_(fd) {}
+  ~FdHandle() { reset(); }
+
+  FdHandle(const FdHandle&) = delete;
+  FdHandle& operator=(const FdHandle&) = delete;
+  FdHandle(FdHandle&& other) noexcept : fd_(other.release()) {}
+  FdHandle& operator=(FdHandle&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = other.release();
+    }
+    return *this;
+  }
+
+  [[nodiscard]] int get() const noexcept { return fd_; }
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  int release() noexcept {
+    int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  void reset() noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// IPv4 address + port. The SNS address vocabulary (net::Ipv4Addr) on
+/// one side, sockaddr_in on the other.
+struct Endpoint {
+  net::Ipv4Addr address{};
+  std::uint16_t port = 0;
+
+  /// "127.0.0.1:5353" (the port is always printed).
+  [[nodiscard]] std::string to_string() const;
+  /// Parse "a.b.c.d" or "a.b.c.d:port"; `default_port` applies when no
+  /// colon is present.
+  static util::Result<Endpoint> parse(std::string_view text, std::uint16_t default_port = 0);
+
+  void to_sockaddr(sockaddr_in& sa) const;
+  static Endpoint from_sockaddr(const sockaddr_in& sa);
+
+  friend bool operator==(const Endpoint&, const Endpoint&) = default;
+};
+
+inline Endpoint loopback(std::uint16_t port) {
+  return Endpoint{net::Ipv4Addr{{127, 0, 0, 1}}, port};
+}
+
+/// Non-blocking UDP socket bound to `at` (port 0 picks an ephemeral
+/// port; query the realised one with local_endpoint).
+util::Result<FdHandle> bind_udp(const Endpoint& at);
+
+/// Non-blocking listening TCP socket on `at` (SO_REUSEADDR, backlog 128).
+util::Result<FdHandle> listen_tcp(const Endpoint& at);
+
+/// The locally bound address of a socket (resolves ephemeral ports).
+util::Result<Endpoint> local_endpoint(int fd);
+
+util::Status set_nonblocking(int fd);
+
+/// errno rendered as "context: strerror" for Result errors.
+std::string errno_message(std::string_view context);
+
+}  // namespace sns::transport

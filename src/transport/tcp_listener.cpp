@@ -1,0 +1,199 @@
+#include "transport/tcp_listener.hpp"
+
+#include <netinet/in.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+#include "obs/metrics.hpp"
+#include "util/log.hpp"
+
+namespace sns::transport {
+
+TcpListener::TcpListener(EventLoop& loop, DnsHandler handler, Options options)
+    : loop_(loop), handler_(std::move(handler)), options_(options) {}
+
+TcpListener::~TcpListener() { close(); }
+
+util::Status TcpListener::bind(const Endpoint& at) {
+  auto fd = listen_tcp(at);
+  if (!fd.ok()) return fd.error();
+  auto local = local_endpoint(fd.value().get());
+  if (!local.ok()) return local.error();
+  bound_ = local.value();
+  listen_fd_ = std::move(fd).value();
+  return loop_.watch(listen_fd_.get(), EPOLLIN, [this](std::uint32_t) { on_accept(); });
+}
+
+void TcpListener::close() {
+  while (!conns_.empty()) close_conn(conns_.begin()->first, nullptr);
+  if (listen_fd_.valid()) {
+    loop_.unwatch(listen_fd_.get());
+    listen_fd_.reset();
+  }
+}
+
+void TcpListener::bump(const char* counter) {
+  if (metrics_ != nullptr && counter != nullptr) metrics_->counter(counter).add();
+}
+
+void TcpListener::on_accept() {
+  for (;;) {
+    sockaddr_in sa{};
+    socklen_t sa_len = sizeof(sa);
+    int raw = ::accept4(listen_fd_.get(), reinterpret_cast<sockaddr*>(&sa), &sa_len,
+                        SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (raw < 0) {
+      if (errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR)
+        util::log_warn("transport", "accept: ", errno_message("accept4"));
+      return;
+    }
+    if (conns_.size() >= options_.max_connections) {
+      ::close(raw);
+      bump("transport.tcp.rejected");
+      continue;
+    }
+    auto conn = std::make_unique<Conn>(options_.max_frame);
+    conn->fd = FdHandle(raw);
+    conn->peer = Endpoint::from_sockaddr(sa);
+    int fd = raw;
+    auto status =
+        loop_.watch(fd, EPOLLIN, [this, fd](std::uint32_t events) { on_conn_event(fd, events); });
+    if (!status.ok()) continue;  // Conn destructor closes raw
+    arm_idle(fd, *conn);
+    conns_.emplace(fd, std::move(conn));
+    bump("transport.tcp.accepted");
+  }
+}
+
+void TcpListener::arm_idle(int fd, Conn& conn) {
+  if (conn.idle_timer != EventLoop::kInvalidTimer) loop_.cancel(conn.idle_timer);
+  conn.idle_timer = loop_.schedule_after(options_.idle_timeout, [this, fd] {
+    auto it = conns_.find(fd);
+    if (it == conns_.end()) return;
+    it->second->idle_timer = EventLoop::kInvalidTimer;  // fired, nothing to cancel
+    close_conn(fd, "transport.tcp.idle_closed");
+  });
+}
+
+void TcpListener::close_conn(int fd, const char* counter) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  if (it->second->idle_timer != EventLoop::kInvalidTimer) loop_.cancel(it->second->idle_timer);
+  loop_.unwatch(fd);
+  conns_.erase(it);  // FdHandle closes the socket
+  bump(counter);
+  bump("transport.tcp.closed");
+}
+
+void TcpListener::on_conn_event(int fd, std::uint32_t events) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  Conn& conn = *it->second;
+  if ((events & (EPOLLHUP | EPOLLERR)) != 0) {
+    close_conn(fd, nullptr);
+    return;
+  }
+  if ((events & EPOLLOUT) != 0) {
+    flush_output(fd, conn);
+    if (conns_.find(fd) == conns_.end()) return;  // flush closed it
+  }
+  if ((events & EPOLLIN) != 0) read_input(fd, conn);
+}
+
+void TcpListener::read_input(int fd, Conn& conn) {
+  std::uint8_t buf[16384];
+  for (;;) {
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n == 0) {
+      // Orderly shutdown. A disconnect mid-message just discards the
+      // partial frame — there is nobody left to answer.
+      close_conn(fd, nullptr);
+      return;
+    }
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) break;
+      close_conn(fd, nullptr);
+      return;
+    }
+    arm_idle(fd, conn);
+    conn.reader.feed(std::span(buf, static_cast<std::size_t>(n)));
+
+    while (auto frame = conn.reader.next()) {
+      auto query = dns::Message::decode(std::span(*frame));
+      dns::Message response;
+      if (!query.ok()) {
+        bump("transport.tcp.malformed");
+        if (frame->size() < 2) {
+          close_conn(fd, "transport.tcp.frame_errors");
+          return;
+        }
+        response.header.id = static_cast<std::uint16_t>(((*frame)[0] << 8) | (*frame)[1]);
+        response.header.qr = true;
+        response.header.rcode = dns::Rcode::FormErr;
+      } else {
+        bump("transport.tcp.queries");
+        TimePoint handle_start = loop_.now();
+        response = handler_(query.value(), conn.peer, Via::Tcp);
+        if (metrics_ != nullptr)
+          metrics_->histogram("transport.tcp.handle_us")
+              .record(static_cast<std::uint64_t>((loop_.now() - handle_start).count()));
+      }
+      auto response_wire = response.encode();
+      auto framed = frame_message(std::span(response_wire));
+      if (!framed.ok()) {
+        // Unframeable (>64 KiB) answer: degrade to ServFail rather than
+        // silently dropping the query (TCP has no TC escape hatch).
+        dns::Message servfail;
+        servfail.header.id = response.header.id;
+        servfail.header.qr = true;
+        servfail.header.rcode = dns::Rcode::ServFail;
+        auto servfail_wire = servfail.encode();
+        framed = frame_message(std::span(servfail_wire));
+      }
+      conn.out.insert(conn.out.end(), framed.value().begin(), framed.value().end());
+      bump("transport.tcp.responses");
+    }
+
+    if (conn.reader.failed()) {
+      util::log_debug("transport", "tcp framing error from ", conn.peer.to_string(), ": ",
+                      conn.reader.error());
+      flush_output(fd, conn);  // best effort for already-answered queries
+      close_conn(fd, "transport.tcp.frame_errors");
+      return;
+    }
+    if (conn.out.size() - conn.out_off > options_.max_buffered) {
+      close_conn(fd, "transport.tcp.overflow_closed");
+      return;
+    }
+  }
+  flush_output(fd, conn);
+}
+
+void TcpListener::flush_output(int fd, Conn& conn) {
+  while (conn.out_off < conn.out.size()) {
+    ssize_t n = ::write(fd, conn.out.data() + conn.out_off, conn.out.size() - conn.out_off);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      close_conn(fd, nullptr);
+      return;
+    }
+    conn.out_off += static_cast<std::size_t>(n);
+  }
+  if (conn.out_off >= conn.out.size()) {
+    conn.out.clear();
+    conn.out_off = 0;
+    if (conn.writable_armed) {
+      conn.writable_armed = false;
+      (void)loop_.modify(fd, EPOLLIN);
+    }
+  } else if (!conn.writable_armed) {
+    conn.writable_armed = true;
+    (void)loop_.modify(fd, EPOLLIN | EPOLLOUT);
+  }
+}
+
+}  // namespace sns::transport

@@ -1,0 +1,96 @@
+// tcp_listener.hpp — DNS-over-TCP (RFC 7766) on real sockets.
+//
+// TCP is the fallback that makes UDP truncation honest: PR 3 taught the
+// encoder to patch a TC=1 prefix, and this listener is what carries the
+// retry. Each accepted connection runs three little state machines:
+//
+//   read side   FrameReader reassembles length-prefixed queries out of
+//               arbitrary read() boundaries; every complete frame is
+//               decoded and answered immediately, so pipelined queries
+//               (RFC 7766 §6.2.1.1) are served in arrival order without
+//               waiting for the client to stop sending.
+//   write side  responses append to a per-connection output buffer;
+//               partial write()s park the remainder and arm EPOLLOUT,
+//               which is disarmed once the buffer drains.
+//   liveness    an idle timer (event-loop timer wheel) closes
+//               connections quiet for longer than `idle_timeout`; any
+//               read or write activity re-arms it.
+//
+// Responses are never truncated over TCP; a response that cannot fit
+// the 16-bit frame length degrades to ServFail.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <unordered_map>
+
+#include "transport/event_loop.hpp"
+#include "transport/frame.hpp"
+#include "transport/handler.hpp"
+
+namespace sns::obs {
+class MetricsRegistry;
+}
+
+namespace sns::transport {
+
+struct TcpOptions {
+  Duration idle_timeout = std::chrono::seconds(30);
+  std::size_t max_connections = 1024;
+  std::size_t max_frame = 65535;       // reject larger declared query frames
+  std::size_t max_buffered = 1 << 20;  // close a peer that won't read its answers
+};
+
+class TcpListener {
+ public:
+  using Options = TcpOptions;
+
+  TcpListener(EventLoop& loop, DnsHandler handler, Options options = Options());
+  ~TcpListener();
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  util::Status bind(const Endpoint& at);
+  void close();
+
+  [[nodiscard]] const Endpoint& local() const noexcept { return bound_; }
+  [[nodiscard]] std::size_t open_connections() const noexcept { return conns_.size(); }
+
+  /// Counters: transport.tcp.{accepted,rejected,queries,responses,
+  /// frame_errors,malformed,idle_closed,overflow_closed,closed}.
+  /// Histogram: transport.tcp.handle_us.
+  void set_metrics(obs::MetricsRegistry* metrics) noexcept { metrics_ = metrics; }
+
+ private:
+  struct Conn {
+    FdHandle fd;
+    Endpoint peer;
+    FrameReader reader;
+    util::Bytes out;            // unsent response bytes
+    std::size_t out_off = 0;    // sent prefix of `out`
+    EventLoop::TimerId idle_timer = EventLoop::kInvalidTimer;
+    bool writable_armed = false;
+
+    explicit Conn(std::size_t max_frame) : reader(max_frame) {}
+  };
+
+  void on_accept();
+  void on_conn_event(int fd, std::uint32_t events);
+  /// Read until EAGAIN, answering every complete frame. May close.
+  void read_input(int fd, Conn& conn);
+  /// Push buffered output; arms/disarms EPOLLOUT. May close.
+  void flush_output(int fd, Conn& conn);
+  void arm_idle(int fd, Conn& conn);
+  void close_conn(int fd, const char* counter);
+  void bump(const char* counter);
+
+  EventLoop& loop_;
+  DnsHandler handler_;
+  Options options_;
+  FdHandle listen_fd_;
+  Endpoint bound_;
+  std::unordered_map<int, std::unique_ptr<Conn>> conns_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+};
+
+}  // namespace sns::transport

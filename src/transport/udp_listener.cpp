@@ -1,0 +1,95 @@
+#include "transport/udp_listener.hpp"
+
+#include <netinet/in.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+
+#include <cerrno>
+
+#include "obs/metrics.hpp"
+#include "util/log.hpp"
+
+namespace sns::transport {
+
+namespace {
+
+/// Minimal FORMERR reply for a datagram we could not decode: echo the
+/// transaction id (first two bytes) so the querier can correlate, QR=1,
+/// no sections. If not even the id survived, stay silent.
+std::optional<util::Bytes> formerr_reply(std::span<const std::uint8_t> wire) {
+  if (wire.size() < 2) return std::nullopt;
+  dns::Message reply;
+  reply.header.id = static_cast<std::uint16_t>((wire[0] << 8) | wire[1]);
+  reply.header.qr = true;
+  reply.header.rcode = dns::Rcode::FormErr;
+  return reply.encode();
+}
+
+}  // namespace
+
+UdpListener::UdpListener(EventLoop& loop, DnsHandler handler)
+    : loop_(loop), handler_(std::move(handler)) {}
+
+UdpListener::~UdpListener() { close(); }
+
+util::Status UdpListener::bind(const Endpoint& at) {
+  auto fd = bind_udp(at);
+  if (!fd.ok()) return fd.error();
+  auto local = local_endpoint(fd.value().get());
+  if (!local.ok()) return local.error();
+  bound_ = local.value();
+  fd_ = std::move(fd).value();
+  return loop_.watch(fd_.get(), EPOLLIN, [this](std::uint32_t) { on_readable(); });
+}
+
+void UdpListener::close() {
+  if (!fd_.valid()) return;
+  loop_.unwatch(fd_.get());
+  fd_.reset();
+}
+
+void UdpListener::on_readable() {
+  // Drain, but bounded: a flood must not starve timers and TCP peers.
+  constexpr int kMaxDatagramsPerWake = 64;
+  std::uint8_t buf[65535];
+  for (int i = 0; i < kMaxDatagramsPerWake; ++i) {
+    sockaddr_in sa{};
+    socklen_t sa_len = sizeof(sa);
+    ssize_t n = ::recvfrom(fd_.get(), buf, sizeof(buf), 0, reinterpret_cast<sockaddr*>(&sa),
+                           &sa_len);
+    if (n < 0) {
+      if (errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR)
+        util::log_warn("transport", "udp recvfrom: ", errno_message("recvfrom"));
+      return;
+    }
+    Endpoint peer = Endpoint::from_sockaddr(sa);
+    std::span<const std::uint8_t> wire(buf, static_cast<std::size_t>(n));
+
+    auto query = dns::Message::decode(wire);
+    util::Bytes reply_wire;
+    if (!query.ok()) {
+      if (metrics_ != nullptr) metrics_->counter("transport.udp.malformed").add();
+      auto formerr = formerr_reply(wire);
+      if (!formerr) continue;
+      reply_wire = std::move(*formerr);
+    } else {
+      if (metrics_ != nullptr) metrics_->counter("transport.udp.queries").add();
+      TimePoint handle_start = loop_.now();
+      dns::Message response = handler_(query.value(), peer, Via::Udp);
+      if (metrics_ != nullptr)
+        metrics_->histogram("transport.udp.handle_us")
+            .record(static_cast<std::uint64_t>((loop_.now() - handle_start).count()));
+      reply_wire = dns::encode_for_transport(query.value(), response);
+      // TC bit lives in byte 2, bit 0x02 — counted so operators can see
+      // how often clients are being pushed to TCP.
+      if (metrics_ != nullptr && reply_wire.size() > 2 && (reply_wire[2] & 0x02) != 0)
+        metrics_->counter("transport.udp.truncated").add();
+    }
+
+    ssize_t sent = ::sendto(fd_.get(), reply_wire.data(), reply_wire.size(), 0,
+                            reinterpret_cast<const sockaddr*>(&sa), sa_len);
+    if (sent >= 0 && metrics_ != nullptr) metrics_->counter("transport.udp.responses").add();
+  }
+}
+
+}  // namespace sns::transport

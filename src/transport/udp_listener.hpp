@@ -1,0 +1,49 @@
+// udp_listener.hpp — DNS-over-UDP on a real socket.
+//
+// One datagram, one query, one response. The listener drains the socket
+// on every readiness event (bounded per wake so timers are not starved
+// under flood), decodes with the hostile-input-safe Message::decode,
+// and encodes replies through dns::encode_for_transport — which honours
+// the querier's EDNS0 advertised payload size and falls back to a
+// TC=1 header+question prefix when the answer does not fit (the client
+// then retries over TCP; see tcp_listener.hpp for the other half).
+#pragma once
+
+#include "transport/event_loop.hpp"
+#include "transport/handler.hpp"
+
+namespace sns::obs {
+class MetricsRegistry;
+}
+
+namespace sns::transport {
+
+class UdpListener {
+ public:
+  UdpListener(EventLoop& loop, DnsHandler handler);
+  ~UdpListener();
+  UdpListener(const UdpListener&) = delete;
+  UdpListener& operator=(const UdpListener&) = delete;
+
+  /// Bind and start serving. Port 0 picks an ephemeral port; the
+  /// realised endpoint is available from local() afterwards.
+  util::Status bind(const Endpoint& at);
+  void close();
+
+  [[nodiscard]] const Endpoint& local() const noexcept { return bound_; }
+
+  /// Counters: transport.udp.{queries,responses,truncated,malformed}.
+  /// Histogram: transport.udp.handle_us.
+  void set_metrics(obs::MetricsRegistry* metrics) noexcept { metrics_ = metrics; }
+
+ private:
+  void on_readable();
+
+  EventLoop& loop_;
+  DnsHandler handler_;
+  FdHandle fd_;
+  Endpoint bound_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+};
+
+}  // namespace sns::transport

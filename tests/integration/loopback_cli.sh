@@ -1,0 +1,113 @@
+#!/bin/sh
+# End-to-end loopback test for the transport subsystem CLIs.
+#
+# Starts snsd on 127.0.0.1 with an ephemeral port (discovered through
+# --port-file), then drives sns-dig through the paths that matter:
+# UDP lookups of SNS extended types, a forced-TCP lookup, and a
+# classic-512-byte query whose answer must come back truncated and be
+# transparently retried over TCP. Finally SIGUSR1 must produce a
+# metrics JSON snapshot that reflects the traffic.
+#
+# usage: loopback_cli.sh <snsd> <sns-dig> <zone-file>
+set -u
+
+SNSD=$1
+DIG=$2
+ZONE=$3
+
+TMP=$(mktemp -d)
+PORT_FILE=$TMP/port
+METRICS_FILE=$TMP/metrics.json
+SNSD_PID=
+
+cleanup() {
+  if [ -n "$SNSD_PID" ]; then
+    kill "$SNSD_PID" 2>/dev/null
+    wait "$SNSD_PID" 2>/dev/null
+  fi
+  rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+fail() {
+  echo "FAIL: $*" >&2
+  exit 1
+}
+
+"$SNSD" --zone "$ZONE" --listen 127.0.0.1 --port 0 \
+        --port-file "$PORT_FILE" --metrics-file "$METRICS_FILE" &
+SNSD_PID=$!
+
+# Wait for the daemon to bind and publish its port.
+tries=0
+while [ ! -s "$PORT_FILE" ]; do
+  tries=$((tries + 1))
+  [ "$tries" -le 100 ] || fail "snsd never wrote $PORT_FILE"
+  kill -0 "$SNSD_PID" 2>/dev/null || fail "snsd exited during startup"
+  sleep 0.05
+done
+PORT=$(cat "$PORT_FILE")
+echo "snsd listening on 127.0.0.1:$PORT"
+
+# 1. UDP lookup of a Bluetooth beacon record.
+OUT=$("$DIG" @127.0.0.1 -p "$PORT" speaker.lab.loc BDADDR +short) ||
+  fail "BDADDR query errored"
+[ "$OUT" = "01:23:45:67:89:ab" ] || fail "BDADDR answer mismatch: '$OUT'"
+
+# 2. UDP lookup of a Wi-Fi locator record.
+OUT=$("$DIG" @127.0.0.1 -p "$PORT" printer.lab.loc WIFI +short) ||
+  fail "WIFI query errored"
+case "$OUT" in
+  *lab-iot*192.0.3.20*) ;;
+  *) fail "WIFI answer mismatch: '$OUT'" ;;
+esac
+
+# 3. Forced-TCP lookup of a DTMF record.
+OUT=$("$DIG" @127.0.0.1 -p "$PORT" door.lab.loc DTMF +tcp +short) ||
+  fail "TCP DTMF query errored"
+[ "$OUT" = "42#" ] || fail "DTMF answer mismatch: '$OUT'"
+
+# 4. LOC record over UDP, full output: the server must mark itself
+#    authoritative and answer NOERROR.
+OUT=$("$DIG" @127.0.0.1 -p "$PORT" desk.lab.loc LOC) || fail "LOC query errored"
+case "$OUT" in
+  *"rcode=NOERROR"*) ;;
+  *) fail "LOC response not NOERROR: $OUT" ;;
+esac
+
+# 5. NXDOMAIN for a name outside the zone data.
+OUT=$("$DIG" @127.0.0.1 -p "$PORT" ghost.lab.loc A) || fail "NXDOMAIN query errored"
+case "$OUT" in
+  *"rcode=NXDOMAIN"*) ;;
+  *) fail "expected NXDOMAIN: $OUT" ;;
+esac
+
+# 6. The tentpole path: classic 512-byte UDP client, oversized answer.
+#    sns-dig must report the truncation and come back with the full
+#    8-record TXT RRset fetched over TCP.
+OUT=$("$DIG" @127.0.0.1 -p "$PORT" big.lab.loc TXT +bufsize=0 +short) ||
+  fail "truncation query errored"
+case "$OUT" in
+  *"Truncated, retrying over TCP"*) ;;
+  *) fail "expected truncation retry notice: $OUT" ;;
+esac
+COUNT=$(echo "$OUT" | grep -c "padding-padding")
+[ "$COUNT" -eq 8 ] || fail "expected 8 TXT answers after TCP retry, got $COUNT"
+
+# 7. SIGUSR1 metrics snapshot reflects the traffic above.
+kill -USR1 "$SNSD_PID"
+tries=0
+while [ ! -s "$METRICS_FILE" ]; do
+  tries=$((tries + 1))
+  [ "$tries" -le 100 ] || fail "snsd never wrote metrics snapshot"
+  sleep 0.05
+done
+grep -q '"transport.udp.queries"' "$METRICS_FILE" || fail "metrics missing udp.queries"
+grep -q '"transport.udp.truncated"' "$METRICS_FILE" || fail "metrics missing udp.truncated"
+grep -q '"transport.tcp.queries"' "$METRICS_FILE" || fail "metrics missing tcp.queries"
+
+# 8. Graceful shutdown.
+kill "$SNSD_PID"
+wait "$SNSD_PID"
+SNSD_PID=
+echo "PASS: loopback CLI integration"

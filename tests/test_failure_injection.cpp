@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "core/deployment.hpp"
+#include "obs/metrics.hpp"
 #include "resolver/iterative.hpp"
 #include "resolver/stub.hpp"
 #include "util/rng.hpp"
@@ -111,6 +112,8 @@ TEST(FailureInjection, HeavyLossStillConvergesWithRetries) {
     return ctx;
   });
   resolver::StubResolver stub(network, client, server_node);
+  obs::MetricsRegistry metrics;
+  stub.set_metrics(&metrics);
   stub.set_timeout(net::ms(20), 12);  // aggressive retry under loss
   int successes = 0;
   for (int i = 0; i < 30; ++i) {
@@ -118,6 +121,9 @@ TEST(FailureInjection, HeavyLossStillConvergesWithRetries) {
     if (result.ok() && result.value().stats.rcode == Rcode::NoError) ++successes;
   }
   EXPECT_GE(successes, 28);  // p(12 straight losses) ~ (1-0.49)^12
+  // 30% loss each way means most resolutions needed extra attempts; the
+  // per-exchange retry accounting must surface that, not drop it.
+  EXPECT_GE(metrics.counter_value("resolver.exchange.retry").value_or(0), 1u);
 }
 
 TEST(FailureInjection, SilentServerBurnsTimeoutNotForever) {
@@ -129,11 +135,17 @@ TEST(FailureInjection, SilentServerBurnsTimeoutNotForever) {
     return std::optional<util::Bytes>{};  // receives, never answers
   });
   resolver::StubResolver stub(network, client, mute);
+  obs::MetricsRegistry metrics;
+  stub.set_metrics(&metrics);
   stub.set_timeout(net::ms(100), 3);
   net::TimePoint before = network.clock().now();
   auto result = stub.resolve(name_of("x.loc"), RRType::A);
   EXPECT_FALSE(result.ok());
   EXPECT_EQ(network.clock().now() - before, net::ms(300));  // exactly 3 timeouts
+  // The exhausted exchange lands in resolver.exchange.timeout (one per
+  // failed exchange, not per attempt); nothing succeeded, so no retries.
+  EXPECT_EQ(metrics.counter_value("resolver.exchange.timeout").value_or(0), 1u);
+  EXPECT_EQ(metrics.counter_value("resolver.exchange.retry").value_or(0), 0u);
 }
 
 TEST(FailureInjection, CnameIntoDeadZoneReturnsPartialChain) {

@@ -1,0 +1,184 @@
+// TCP framing state machine under hostile stream arithmetic: RFC 7766
+// length prefixes split across reads, pipelined messages, zero-length
+// and oversized frames, disconnect mid-message. Pure byte-sequence
+// tests — no sockets — which is the point of FrameReader being a
+// standalone state machine.
+#include <gtest/gtest.h>
+
+#include "transport/frame.hpp"
+#include "util/rng.hpp"
+
+namespace sns::transport {
+namespace {
+
+util::Bytes frame_of(std::initializer_list<std::uint8_t> payload) {
+  util::Bytes out;
+  out.reserve(payload.size() + 2);
+  out.push_back(static_cast<std::uint8_t>(payload.size() >> 8));
+  out.push_back(static_cast<std::uint8_t>(payload.size() & 0xff));
+  for (std::uint8_t b : payload) out.push_back(b);
+  return out;
+}
+
+TEST(TransportFraming, SingleMessageRoundTrip) {
+  FrameReader reader;
+  auto wire = frame_of({0xde, 0xad, 0xbe, 0xef});
+  reader.feed(std::span(wire));
+  auto frame = reader.next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(*frame, (util::Bytes{0xde, 0xad, 0xbe, 0xef}));
+  EXPECT_FALSE(reader.next().has_value());
+  EXPECT_FALSE(reader.mid_frame());
+}
+
+TEST(TransportFraming, LengthPrefixSplitAcrossReads) {
+  // The two length bytes arrive in separate read()s — the classic
+  // short-read bug. Then the body itself arrives byte by byte.
+  FrameReader reader;
+  auto wire = frame_of({1, 2, 3});
+  for (std::size_t i = 0; i < wire.size(); ++i) {
+    EXPECT_FALSE(reader.next().has_value()) << "frame completed early at byte " << i;
+    reader.feed(std::span(&wire[i], 1));
+    if (i + 1 < wire.size()) {
+      EXPECT_TRUE(reader.mid_frame());
+    }
+  }
+  auto frame = reader.next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(*frame, (util::Bytes{1, 2, 3}));
+}
+
+TEST(TransportFraming, PipelinedMessagesInOneRead) {
+  FrameReader reader;
+  util::Bytes wire = frame_of({0xaa});
+  auto second = frame_of({0xbb, 0xcc});
+  auto third = frame_of({0xdd});
+  wire.insert(wire.end(), second.begin(), second.end());
+  wire.insert(wire.end(), third.begin(), third.end());
+  reader.feed(std::span(wire));
+  EXPECT_EQ(*reader.next(), (util::Bytes{0xaa}));
+  EXPECT_EQ(*reader.next(), (util::Bytes{0xbb, 0xcc}));
+  EXPECT_EQ(*reader.next(), (util::Bytes{0xdd}));
+  EXPECT_FALSE(reader.next().has_value());
+  EXPECT_FALSE(reader.mid_frame());
+}
+
+TEST(TransportFraming, PipelineStraddlingChunks) {
+  // Two messages delivered as three arbitrary chunks whose boundaries
+  // align with nothing.
+  FrameReader reader;
+  util::Bytes wire = frame_of({1, 2, 3, 4, 5});
+  auto second = frame_of({6, 7});
+  wire.insert(wire.end(), second.begin(), second.end());
+  reader.feed(std::span(wire.data(), 3));
+  EXPECT_FALSE(reader.next().has_value());
+  reader.feed(std::span(wire.data() + 3, 5));
+  EXPECT_EQ(*reader.next(), (util::Bytes{1, 2, 3, 4, 5}));
+  EXPECT_FALSE(reader.next().has_value());
+  EXPECT_TRUE(reader.mid_frame());
+  reader.feed(std::span(wire.data() + 8, wire.size() - 8));
+  EXPECT_EQ(*reader.next(), (util::Bytes{6, 7}));
+}
+
+TEST(TransportFraming, ZeroLengthMessageIsFatal) {
+  FrameReader reader;
+  util::Bytes wire{0x00, 0x00, 0xff};  // length 0 then junk
+  reader.feed(std::span(wire));
+  EXPECT_FALSE(reader.next().has_value());
+  EXPECT_TRUE(reader.failed());
+  EXPECT_NE(reader.error().find("zero-length"), std::string::npos);
+  // Failed readers stay failed: feeding more never resurrects the stream.
+  auto more = frame_of({1});
+  reader.feed(std::span(more));
+  EXPECT_FALSE(reader.next().has_value());
+  EXPECT_TRUE(reader.failed());
+}
+
+TEST(TransportFraming, OversizedFrameRejected) {
+  FrameReader reader(1024);
+  util::Bytes wire{0x04, 0x01};  // declares 1025 bytes > limit 1024
+  reader.feed(std::span(wire));
+  EXPECT_FALSE(reader.next().has_value());
+  EXPECT_TRUE(reader.failed());
+  EXPECT_NE(reader.error().find("exceeds"), std::string::npos);
+}
+
+TEST(TransportFraming, MaxLengthFrameAccepted) {
+  // 65535 is legal: the wire format's ceiling, not beyond it.
+  FrameReader reader;
+  util::Bytes wire{0xff, 0xff};
+  util::Bytes body(65535, 0x42);
+  reader.feed(std::span(wire));
+  EXPECT_FALSE(reader.next().has_value());
+  reader.feed(std::span(body));
+  auto frame = reader.next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->size(), 65535u);
+}
+
+TEST(TransportFraming, MidMessageDisconnectIsDetectable) {
+  // A peer that dies after sending half a message: the reader reports
+  // mid_frame() so the connection owner knows data was lost (vs a clean
+  // between-messages close).
+  FrameReader reader;
+  auto wire = frame_of({1, 2, 3, 4});
+  reader.feed(std::span(wire.data(), wire.size() - 2));
+  EXPECT_FALSE(reader.next().has_value());
+  EXPECT_TRUE(reader.mid_frame());
+
+  FrameReader clean;
+  auto full = frame_of({9});
+  clean.feed(std::span(full));
+  EXPECT_TRUE(clean.next().has_value());
+  EXPECT_FALSE(clean.mid_frame());
+}
+
+TEST(TransportFraming, FrameMessageRejectsEmptyAndJumbo) {
+  util::Bytes empty;
+  EXPECT_FALSE(frame_message(std::span(empty)).ok());
+  util::Bytes jumbo(65536, 0);
+  EXPECT_FALSE(frame_message(std::span(jumbo)).ok());
+  util::Bytes max(65535, 7);
+  auto framed = frame_message(std::span(max));
+  ASSERT_TRUE(framed.ok());
+  EXPECT_EQ(framed.value().size(), 65537u);
+  EXPECT_EQ(framed.value()[0], 0xff);
+  EXPECT_EQ(framed.value()[1], 0xff);
+}
+
+TEST(TransportFraming, PropertyRandomChunkingPreservesMessages) {
+  // Any sequence of messages, fed in any chunking, comes out intact and
+  // in order — the invariant every other framing test is a corner of.
+  util::Rng rng(20240806);
+  for (int round = 0; round < 50; ++round) {
+    std::vector<util::Bytes> messages;
+    util::Bytes stream;
+    std::size_t count = 1 + rng.next_below(8);
+    for (std::size_t m = 0; m < count; ++m) {
+      util::Bytes payload(1 + rng.next_below(700));
+      for (auto& b : payload) b = static_cast<std::uint8_t>(rng.next_below(256));
+      auto framed = frame_message(std::span(payload));
+      ASSERT_TRUE(framed.ok());
+      stream.insert(stream.end(), framed.value().begin(), framed.value().end());
+      messages.push_back(std::move(payload));
+    }
+
+    FrameReader reader;
+    std::vector<util::Bytes> decoded;
+    std::size_t offset = 0;
+    while (offset < stream.size()) {
+      std::size_t chunk = 1 + rng.next_below(97);
+      chunk = std::min(chunk, stream.size() - offset);
+      reader.feed(std::span(stream.data() + offset, chunk));
+      offset += chunk;
+      while (auto frame = reader.next()) decoded.push_back(std::move(*frame));
+    }
+    ASSERT_FALSE(reader.failed());
+    EXPECT_FALSE(reader.mid_frame());
+    ASSERT_EQ(decoded.size(), messages.size());
+    for (std::size_t m = 0; m < messages.size(); ++m) EXPECT_EQ(decoded[m], messages[m]);
+  }
+}
+
+}  // namespace
+}  // namespace sns::transport

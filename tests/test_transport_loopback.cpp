@@ -1,0 +1,257 @@
+// Real-socket loopback tests: DnsTransportServer on 127.0.0.1 with an
+// ephemeral port, the event loop on a background thread, and the
+// blocking client querying it — the same plumbing snsd/sns-dig use,
+// exercised in-process. Covers UDP serving, TCP serving, EDNS0-aware
+// truncation with automatic TCP retry, connection reuse, idle-timeout
+// reaping, malformed-datagram handling and event-loop timer semantics.
+#include <gtest/gtest.h>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <thread>
+
+#include "dns/master.hpp"
+#include "obs/metrics.hpp"
+#include "server/authoritative.hpp"
+#include "transport/client.hpp"
+#include "transport/dns_server.hpp"
+#include "transport/event_loop.hpp"
+
+namespace sns::transport {
+namespace {
+
+using dns::name_of;
+using dns::RRType;
+
+constexpr std::string_view kZoneText = R"(
+$ORIGIN office.loc.
+$TTL 300
+@        IN SOA  ns hostmaster 1 3600 600 86400 60
+@        IN NS   ns
+ns       IN A    192.0.2.1
+mic      IN BDADDR 01:23:45:67:89:ab
+mic      IN WIFI  "office-iot" 192.0.3.10
+door     IN DTMF  42#
+big      IN TXT  "padding-padding-padding-padding-padding-padding-padding-padding-padding-1"
+big      IN TXT  "padding-padding-padding-padding-padding-padding-padding-padding-padding-2"
+big      IN TXT  "padding-padding-padding-padding-padding-padding-padding-padding-padding-3"
+big      IN TXT  "padding-padding-padding-padding-padding-padding-padding-padding-padding-4"
+big      IN TXT  "padding-padding-padding-padding-padding-padding-padding-padding-padding-5"
+big      IN TXT  "padding-padding-padding-padding-padding-padding-padding-padding-padding-6"
+big      IN TXT  "padding-padding-padding-padding-padding-padding-padding-padding-padding-7"
+big      IN TXT  "padding-padding-padding-padding-padding-padding-padding-padding-padding-8"
+)";
+
+class TransportLoopback : public ::testing::Test {
+ protected:
+  void start(TcpListener::Options tcp_options = TcpListener::Options()) {
+    auto records = dns::parse_master_file(kZoneText, dns::Name{});
+    ASSERT_TRUE(records.ok()) << records.error().message;
+    zone_ = std::make_shared<server::Zone>(name_of("office.loc"), name_of("ns.office.loc"));
+    ASSERT_TRUE(zone_->load(records.value()).ok());
+    engine_ = std::make_unique<server::AuthoritativeServer>("loopback-test");
+    engine_->add_zone(zone_);
+
+    loop_ = std::make_unique<EventLoop>();
+    ASSERT_TRUE(loop_->valid());
+    transport_ = std::make_unique<DnsTransportServer>(
+        *loop_,
+        [this](const dns::Message& query, const Endpoint&, Via) {
+          return engine_->handle(query, server::ClientContext{});
+        },
+        tcp_options);
+    transport_->set_metrics(&metrics_);
+    auto started = transport_->start(loopback(0));
+    ASSERT_TRUE(started.ok()) << started.error().message;
+    server_ = transport_->local();
+    ASSERT_NE(server_.port, 0);
+    loop_thread_ = std::thread([this] { loop_->run(); });
+  }
+
+  void TearDown() override {
+    if (loop_thread_.joinable()) {
+      loop_->stop();
+      loop_thread_.join();
+    }
+    if (transport_) transport_->close();
+  }
+
+  static dns::Message make(const char* name, RRType type, std::uint16_t id = 0x1234) {
+    return dns::make_query(id, name_of(name), type);
+  }
+
+  obs::MetricsRegistry metrics_;
+  std::shared_ptr<server::Zone> zone_;
+  std::unique_ptr<server::AuthoritativeServer> engine_;
+  std::unique_ptr<EventLoop> loop_;
+  std::unique_ptr<DnsTransportServer> transport_;
+  std::thread loop_thread_;
+  Endpoint server_;
+};
+
+TEST_F(TransportLoopback, UdpQueryAnswersFromZone) {
+  start();
+  auto response = udp_query(server_, make("mic.office.loc", RRType::BDADDR));
+  ASSERT_TRUE(response.ok()) << response.error().message;
+  EXPECT_EQ(response.value().header.rcode, dns::Rcode::NoError);
+  EXPECT_TRUE(response.value().header.aa);
+  ASSERT_EQ(response.value().answers.size(), 1u);
+  EXPECT_EQ(dns::rdata_to_string(response.value().answers[0].rdata), "01:23:45:67:89:ab");
+}
+
+TEST_F(TransportLoopback, TcpQueryAnswersFromZone) {
+  start();
+  auto response = tcp_query(server_, make("door.office.loc", RRType::DTMF));
+  ASSERT_TRUE(response.ok()) << response.error().message;
+  ASSERT_EQ(response.value().answers.size(), 1u);
+  EXPECT_EQ(dns::rdata_to_string(response.value().answers[0].rdata), "42#");
+}
+
+TEST_F(TransportLoopback, NxDomainOverBothTransports) {
+  start();
+  auto udp = udp_query(server_, make("ghost.office.loc", RRType::A));
+  ASSERT_TRUE(udp.ok());
+  EXPECT_EQ(udp.value().header.rcode, dns::Rcode::NXDomain);
+  auto tcp = tcp_query(server_, make("ghost.office.loc", RRType::A));
+  ASSERT_TRUE(tcp.ok());
+  EXPECT_EQ(tcp.value().header.rcode, dns::Rcode::NXDomain);
+}
+
+TEST_F(TransportLoopback, TruncatedUdpAnswerRetriesOverTcp) {
+  start();
+  // Classic 512-byte client (no EDNS): the 8-TXT answer cannot fit, so
+  // UDP must come back TC=1 and query_auto must transparently fetch the
+  // full answer over TCP.
+  QueryOptions classic;
+  classic.edns_udp_size = 0;
+  auto bare = udp_query(server_, make("big.office.loc", RRType::TXT), classic);
+  ASSERT_TRUE(bare.ok());
+  EXPECT_TRUE(bare.value().header.tc);
+  EXPECT_TRUE(bare.value().answers.empty());
+
+  auto out = query_auto(server_, make("big.office.loc", RRType::TXT), classic);
+  ASSERT_TRUE(out.ok()) << out.error().message;
+  EXPECT_TRUE(out.value().retried_tcp);
+  EXPECT_TRUE(out.value().used_tcp);
+  EXPECT_FALSE(out.value().response.header.tc);
+  EXPECT_EQ(out.value().response.answers.size(), 8u);
+
+  // And the retried answer is byte-for-byte what direct TCP serves.
+  auto direct = tcp_query(server_, make("big.office.loc", RRType::TXT));
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(out.value().response, direct.value());
+  EXPECT_GE(metrics_.counter_value("transport.udp.truncated").value_or(0), 1u);
+}
+
+TEST_F(TransportLoopback, EdnsPayloadAvoidsTruncation) {
+  start();
+  // The same big answer fits a 1232-byte advertisement: no TC, no TCP.
+  auto out = query_auto(server_, make("big.office.loc", RRType::TXT));
+  ASSERT_TRUE(out.ok());
+  EXPECT_FALSE(out.value().retried_tcp);
+  EXPECT_FALSE(out.value().used_tcp);
+  EXPECT_EQ(out.value().response.answers.size(), 8u);
+}
+
+TEST_F(TransportLoopback, TcpConnectionReuseServesManyQueries) {
+  start();
+  TcpClient client;
+  ASSERT_TRUE(client.connect(server_, std::chrono::milliseconds(2000)).ok());
+  for (std::uint16_t i = 0; i < 16; ++i) {
+    auto response = client.query(make("mic.office.loc", RRType::WIFI, i), //
+                                 std::chrono::milliseconds(2000));
+    ASSERT_TRUE(response.ok()) << response.error().message;
+    EXPECT_EQ(response.value().header.id, i);
+    ASSERT_EQ(response.value().answers.size(), 1u);
+  }
+  // All 16 rode one accepted connection.
+  EXPECT_EQ(metrics_.counter_value("transport.tcp.accepted").value_or(0), 1u);
+  EXPECT_EQ(metrics_.counter_value("transport.tcp.queries").value_or(0), 16u);
+}
+
+TEST_F(TransportLoopback, IdleTcpConnectionsAreReaped) {
+  TcpListener::Options options;
+  options.idle_timeout = std::chrono::milliseconds(80);
+  start(options);
+  TcpClient client;
+  ASSERT_TRUE(client.connect(server_, std::chrono::milliseconds(2000)).ok());
+  // First query keeps the connection warm…
+  ASSERT_TRUE(client.query(make("mic.office.loc", RRType::BDADDR), //
+                           std::chrono::milliseconds(2000))
+                  .ok());
+  // …then silence longer than the idle timeout gets us hung up on.
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  auto late = client.query(make("mic.office.loc", RRType::BDADDR), //
+                           std::chrono::milliseconds(500));
+  EXPECT_FALSE(late.ok());
+  EXPECT_GE(metrics_.counter_value("transport.tcp.idle_closed").value_or(0), 1u);
+}
+
+TEST_F(TransportLoopback, MalformedUdpDatagramGetsFormErr) {
+  start();
+  int fd = ::socket(AF_INET, SOCK_DGRAM | SOCK_CLOEXEC, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in sa{};
+  server_.to_sockaddr(sa);
+  std::uint8_t garbage[] = {0xab, 0xcd, 0xff, 0xff, 0xff};  // id 0xabcd, then noise
+  ASSERT_EQ(::sendto(fd, garbage, sizeof(garbage), 0, reinterpret_cast<sockaddr*>(&sa),
+                     sizeof(sa)),
+            static_cast<ssize_t>(sizeof(garbage)));
+  timeval tv{2, 0};
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  std::uint8_t buf[512];
+  ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+  ::close(fd);
+  ASSERT_GT(n, 0);
+  auto reply = dns::Message::decode(std::span(buf, static_cast<std::size_t>(n)));
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply.value().header.id, 0xabcd);
+  EXPECT_EQ(reply.value().header.rcode, dns::Rcode::FormErr);
+  EXPECT_EQ(metrics_.counter_value("transport.udp.malformed").value_or(0), 1u);
+}
+
+// --- event-loop timer semantics (the EventScheduler mirror) ---------------
+
+TEST(TransportEventLoop, TimersFireInDeadlineThenScheduleOrder) {
+  EventLoop loop;
+  ASSERT_TRUE(loop.valid());
+  std::vector<int> order;
+  loop.schedule_after(std::chrono::milliseconds(30), [&] { order.push_back(3); });
+  loop.schedule_after(std::chrono::milliseconds(5), [&] { order.push_back(1); });
+  loop.schedule_after(std::chrono::milliseconds(5), [&] { order.push_back(2); });
+  EXPECT_EQ(loop.pending(), 3u);
+  auto deadline = loop.now() + std::chrono::milliseconds(500);
+  while (loop.pending() > 0 && loop.now() < deadline) loop.run_once(50);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(TransportEventLoop, CancelledTimerNeverFires) {
+  EventLoop loop;
+  ASSERT_TRUE(loop.valid());
+  bool fired = false;
+  auto id = loop.schedule_after(std::chrono::milliseconds(5), [&] { fired = true; });
+  EXPECT_TRUE(loop.cancel(id));
+  EXPECT_FALSE(loop.cancel(id));  // second cancel is a no-op
+  EXPECT_EQ(loop.pending(), 0u);
+  loop.run_once(30);
+  EXPECT_FALSE(fired);
+}
+
+TEST(TransportEventLoop, TimerCallbackCanRescheduleItself) {
+  EventLoop loop;
+  ASSERT_TRUE(loop.valid());
+  int ticks = 0;
+  std::function<void()> tick = [&] {
+    if (++ticks < 3) loop.schedule_after(std::chrono::milliseconds(2), tick);
+  };
+  loop.schedule_after(std::chrono::milliseconds(2), tick);
+  auto deadline = loop.now() + std::chrono::milliseconds(2000);
+  while (ticks < 3 && loop.now() < deadline) loop.run_once(20);
+  EXPECT_EQ(ticks, 3);
+  EXPECT_EQ(loop.pending(), 0u);
+}
+
+}  // namespace
+}  // namespace sns::transport
