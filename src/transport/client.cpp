@@ -42,10 +42,13 @@ Result<util::Unit> wait_for(int fd, short events, Clock::time_point deadline) {
 
 /// The query actually sent over UDP: ensure an OPT advertising
 /// `edns_udp_size` unless the caller built their own or disabled EDNS.
+/// Presence is checked directly — RFC 6891 allows at most one OPT, and
+/// advertised_udp_size() clamps to 512, so a caller-built OPT
+/// advertising <= 512 bytes must not get a second one appended.
 dns::Message udp_form(const dns::Message& query, const QueryOptions& options) {
-  if (options.edns_udp_size == 0 ||
-      dns::advertised_udp_size(query) != dns::kClassicUdpLimit)
-    return query;
+  if (options.edns_udp_size == 0) return query;
+  for (const auto& rr : query.additionals)
+    if (rr.type == dns::RRType::OPT) return query;
   dns::Message with_edns = query;
   dns::add_edns(with_edns, options.edns_udp_size);
   return with_edns;

@@ -16,6 +16,12 @@ using util::fail;
 
 namespace {
 constexpr std::int64_t kNoDeadline = std::numeric_limits<std::int64_t>::max();
+
+/// Dispatch token carried in epoll_data: fd in the low 32 bits, the
+/// registration generation in the high 32 (see Watch in the header).
+std::uint64_t pack_token(int fd, std::uint32_t gen) {
+  return (static_cast<std::uint64_t>(gen) << 32) | static_cast<std::uint32_t>(fd);
+}
 }
 
 EventLoop::EventLoop()
@@ -29,7 +35,7 @@ EventLoop::EventLoop()
   }
   epoll_event ev{};
   ev.events = EPOLLIN;
-  ev.data.fd = wake_fd_.get();
+  ev.data.u64 = pack_token(wake_fd_.get(), 0);  // gen 0 is reserved for the eventfd
   ::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, wake_fd_.get(), &ev);
 }
 
@@ -40,20 +46,27 @@ TimePoint EventLoop::now() const {
 }
 
 util::Status EventLoop::watch(int fd, std::uint32_t events, IoHandler handler) {
+  auto it = handlers_.find(fd);
+  bool known = it != handlers_.end();
+  // Same live fd keeps its generation across handler replacement; a
+  // fresh registration (including an fd number the kernel reused after a
+  // close) gets a new one so stale queued events can't reach it.
+  std::uint32_t gen = known ? it->second.gen : ++watch_gen_;
   epoll_event ev{};
   ev.events = events;
-  ev.data.fd = fd;
-  bool known = handlers_.count(fd) > 0;
+  ev.data.u64 = pack_token(fd, gen);
   int op = known ? EPOLL_CTL_MOD : EPOLL_CTL_ADD;
   if (::epoll_ctl(epoll_fd_.get(), op, fd, &ev) < 0) return fail(errno_message("epoll_ctl(add)"));
-  handlers_[fd] = std::move(handler);
+  handlers_[fd] = Watch{gen, std::move(handler)};
   return util::ok_status();
 }
 
 util::Status EventLoop::modify(int fd, std::uint32_t events) {
+  auto it = handlers_.find(fd);
+  if (it == handlers_.end()) return fail("epoll_ctl(mod): fd not watched");
   epoll_event ev{};
   ev.events = events;
-  ev.data.fd = fd;
+  ev.data.u64 = pack_token(fd, it->second.gen);
   if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_MOD, fd, &ev) < 0)
     return fail(errno_message("epoll_ctl(mod)"));
   return util::ok_status();
@@ -80,7 +93,8 @@ EventLoop::TimerId EventLoop::schedule_at(TimePoint t, std::function<void()> fn)
 bool EventLoop::cancel(TimerId id) {
   auto it = timer_slots_.find(id);
   if (it == timer_slots_.end()) return false;
-  auto& slot = wheel_[static_cast<std::size_t>(it->second) % kWheelSlots];
+  std::int64_t deadline = it->second;
+  auto& slot = wheel_[static_cast<std::size_t>(deadline) % kWheelSlots];
   for (auto timer = slot.begin(); timer != slot.end(); ++timer) {
     if (timer->id == id) {
       slot.erase(timer);
@@ -89,6 +103,10 @@ bool EventLoop::cancel(TimerId id) {
   }
   timer_slots_.erase(it);
   --active_timers_;
+  // Cancelling the earliest timer would leave earliest_tick_ pointing at
+  // a deadline nobody holds; once wall time passed it, next_timeout_ms()
+  // would return 0 forever and run() would busy-spin on epoll_wait.
+  if (deadline == earliest_tick_) recompute_earliest();
   return true;
 }
 
@@ -135,7 +153,10 @@ void EventLoop::advance_timers() {
     timer_slots_.erase(timer.id);
     --active_timers_;
   }
-  if (!due.empty()) recompute_earliest();
+  // Recompute whenever the cached earliest is not ahead of now — even
+  // with nothing due, a stale bound (e.g. left by a cancel) must move
+  // forward or next_timeout_ms() degenerates to a zero timeout.
+  if (earliest_tick_ <= now_tick) recompute_earliest();
   for (auto& timer : due) timer.fn();
 }
 
@@ -155,17 +176,22 @@ int EventLoop::run_once(int max_wait_ms) {
   int n = ::epoll_wait(epoll_fd_.get(), events, kMaxEvents, next_timeout_ms(max_wait_ms));
   int dispatched = 0;
   for (int i = 0; i < std::max(n, 0); ++i) {
-    int fd = events[i].data.fd;
+    std::uint64_t token = events[i].data.u64;
+    int fd = static_cast<int>(token & 0xffffffffu);
     if (fd == wake_fd_.get()) {
       std::uint64_t drain = 0;
       [[maybe_unused]] auto r = ::read(wake_fd_.get(), &drain, sizeof(drain));
       continue;
     }
-    // A handler earlier in this batch may have unwatched this fd; the
-    // copy keeps the callable alive if the handler unwatches itself.
+    // A handler earlier in this batch may have unwatched this fd — and
+    // an accept may have reused the number for a brand-new connection.
+    // The generation check drops events queued for the dead registration
+    // so they never reach the newcomer; the copy keeps the callable
+    // alive if the handler unwatches itself.
     auto it = handlers_.find(fd);
-    if (it == handlers_.end()) continue;
-    IoHandler handler = it->second;
+    if (it == handlers_.end() || it->second.gen != static_cast<std::uint32_t>(token >> 32))
+      continue;
+    IoHandler handler = it->second.handler;
     handler(events[i].events);
     ++dispatched;
   }

@@ -11,9 +11,10 @@
 // power of two so tick conversion is a shift). Insertion and expiry of
 // a due tick are O(1); epoll_wait sleeps until the earliest deadline,
 // tracked incrementally on insert and recomputed by a wheel sweep only
-// when the earliest timer fires — the classic trade against a heap's
-// O(log n) insert, and the right one for a DNS server whose timer load
-// is thousands of identical idle timeouts that are usually cancelled.
+// when the earliest timer fires or is cancelled — the classic trade
+// against a heap's O(log n) insert, and the right one for a DNS server
+// whose timer load is thousands of identical idle timeouts that are
+// usually cancelled (a cancel only sweeps when it removed the earliest).
 //
 // Threading: the loop is single-threaded by design. Every method except
 // stop() must be called from the loop thread (or before run() starts);
@@ -103,19 +104,29 @@ class EventLoop {
     std::function<void()> fn;
   };
 
+  // Registration epoch for an fd. Dispatch keys on (fd, gen) packed into
+  // epoll_data.u64: if a handler earlier in a batch closes an fd and a
+  // new connection reuses the number, stale queued events carry the old
+  // generation and are dropped instead of reaching the new handler.
+  struct Watch {
+    std::uint32_t gen;
+    IoHandler handler;
+  };
+
   [[nodiscard]] std::int64_t tick_of(TimePoint t) const noexcept {
     return (t.count() + kTickUs - 1) / kTickUs;
   }
   /// Fire every timer due at or before the tick containing now().
   void advance_timers();
   /// Sweep the wheel for the earliest live deadline (after the cached
-  /// earliest fired); kInt64Max when no timers remain.
+  /// earliest fired or was cancelled); kInt64Max when no timers remain.
   void recompute_earliest();
   [[nodiscard]] int next_timeout_ms(int max_wait_ms) const;
 
   FdHandle epoll_fd_;
   FdHandle wake_fd_;  // eventfd poked by stop()
-  std::unordered_map<int, IoHandler> handlers_;
+  std::unordered_map<int, Watch> handlers_;
+  std::uint32_t watch_gen_ = 0;  // last generation handed out by watch()
   std::vector<std::vector<Timer>> wheel_{kWheelSlots};
   std::size_t active_timers_ = 0;
   std::int64_t current_tick_ = 0;

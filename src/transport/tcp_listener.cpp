@@ -127,6 +127,10 @@ void TcpListener::read_input(int fd, Conn& conn) {
       if (!query.ok()) {
         bump("transport.tcp.malformed");
         if (frame->size() < 2) {
+          // No id to echo a FormErr with — drop the connection, but only
+          // after flushing answers already buffered for earlier
+          // pipelined queries (mirrors the reader.failed() path below).
+          flush_output(fd, conn);
           close_conn(fd, "transport.tcp.frame_errors");
           return;
         }

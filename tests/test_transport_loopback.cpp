@@ -10,6 +10,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <optional>
 #include <thread>
 
 #include "dns/master.hpp"
@@ -212,6 +213,84 @@ TEST_F(TransportLoopback, MalformedUdpDatagramGetsFormErr) {
   EXPECT_EQ(metrics_.counter_value("transport.udp.malformed").value_or(0), 1u);
 }
 
+TEST_F(TransportLoopback, PipelinedAnswerFlushedBeforeBadFrameCloses) {
+  start();
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in sa{};
+  server_.to_sockaddr(sa);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)), 0);
+  timeval tv{2, 0};
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+
+  // One valid query, then a 1-byte frame — undecodable, with no id to
+  // echo a FormErr back, so the server hangs up. The buffered answer to
+  // the first query must still be flushed before the close.
+  auto query_wire = make("mic.office.loc", RRType::BDADDR, 0x77aa).encode();
+  auto framed = frame_message(std::span(query_wire));
+  ASSERT_TRUE(framed.ok());
+  auto bytes = framed.value();
+  bytes.insert(bytes.end(), {0x00, 0x01, 0xff});
+  ASSERT_EQ(::send(fd, bytes.data(), bytes.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(bytes.size()));
+
+  FrameReader reader;
+  std::optional<dns::Message> response;
+  while (!response) {
+    if (auto frame = reader.next()) {
+      auto decoded = dns::Message::decode(std::span(*frame));
+      ASSERT_TRUE(decoded.ok());
+      response = std::move(decoded).value();
+      break;
+    }
+    ASSERT_FALSE(reader.failed());
+    std::uint8_t buf[4096];
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    ASSERT_GT(n, 0) << "connection closed before the buffered answer was flushed";
+    reader.feed(std::span(buf, static_cast<std::size_t>(n)));
+  }
+  ::close(fd);
+  EXPECT_EQ(response->header.id, 0x77aa);
+  ASSERT_EQ(response->answers.size(), 1u);
+  EXPECT_EQ(dns::rdata_to_string(response->answers[0].rdata), "01:23:45:67:89:ab");
+  EXPECT_GE(metrics_.counter_value("transport.tcp.frame_errors").value_or(0), 1u);
+}
+
+TEST(TransportClient, CallerBuiltSmallOptIsNotDuplicated) {
+  // A caller-built OPT advertising <= 512 bytes looks exactly like "no
+  // EDNS" through advertised_udp_size()'s clamp; udp_query must detect
+  // the record itself and not append a second OPT (RFC 6891 allows one).
+  int fd = ::socket(AF_INET, SOCK_DGRAM | SOCK_CLOEXEC, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in bind_sa{};
+  loopback(0).to_sockaddr(bind_sa);
+  ASSERT_EQ(::bind(fd, reinterpret_cast<sockaddr*>(&bind_sa), sizeof(bind_sa)), 0);
+  auto sink = local_endpoint(fd);
+  ASSERT_TRUE(sink.ok());
+
+  auto query = dns::make_query(0x5150, name_of("mic.office.loc"), RRType::BDADDR);
+  dns::add_edns(query, 512);
+  QueryOptions options;
+  options.attempts = 1;
+  options.timeout = std::chrono::milliseconds(100);
+  std::thread sender([&] { (void)udp_query(sink.value(), query, options); });
+
+  timeval tv{2, 0};
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  std::uint8_t buf[2048];
+  ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+  sender.join();
+  ::close(fd);
+  ASSERT_GT(n, 0);
+  auto seen = dns::Message::decode(std::span(buf, static_cast<std::size_t>(n)));
+  ASSERT_TRUE(seen.ok()) << seen.error().message;
+  std::size_t opt_count = 0;
+  for (const auto& rr : seen.value().additionals)
+    if (rr.type == RRType::OPT) ++opt_count;
+  EXPECT_EQ(opt_count, 1u);
+  EXPECT_EQ(dns::advertised_udp_size(seen.value()), dns::kClassicUdpLimit);
+}
+
 // --- event-loop timer semantics (the EventScheduler mirror) ---------------
 
 TEST(TransportEventLoop, TimersFireInDeadlineThenScheduleOrder) {
@@ -237,6 +316,30 @@ TEST(TransportEventLoop, CancelledTimerNeverFires) {
   EXPECT_EQ(loop.pending(), 0u);
   loop.run_once(30);
   EXPECT_FALSE(fired);
+}
+
+TEST(TransportEventLoop, CancelledEarliestTimerDoesNotBusySpin) {
+  // Regression: cancelling the earliest timer used to leave the cached
+  // earliest deadline stale. Once wall time passed it, next_timeout_ms()
+  // returned 0 forever and run_once() degenerated into a busy spin —
+  // the common path, since every TCP read cancels and re-arms an idle
+  // timer. With the fix, each run_once() below sleeps until the long
+  // timer is due, so only a handful of iterations ever happen.
+  EventLoop loop;
+  ASSERT_TRUE(loop.valid());
+  bool fired = false;
+  auto earliest = loop.schedule_after(std::chrono::milliseconds(5), [] {});
+  loop.schedule_after(std::chrono::milliseconds(150), [&] { fired = true; });
+  EXPECT_TRUE(loop.cancel(earliest));
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));  // pass the cancelled deadline
+  int iterations = 0;
+  auto deadline = loop.now() + std::chrono::milliseconds(3000);
+  while (!fired && loop.now() < deadline) {
+    loop.run_once(500);
+    ++iterations;
+  }
+  EXPECT_TRUE(fired);
+  EXPECT_LT(iterations, 50);
 }
 
 TEST(TransportEventLoop, TimerCallbackCanRescheduleItself) {
