@@ -16,6 +16,14 @@
 //   { "bench": "transport", "date": "...", "config": {...},
 //     "results": [ {"name": ..., "ops": ..., "seconds": ...,
 //                   "qps": ..., "p50_ns": ..., "p90_ns": ..., "p99_ns": ...} ] }
+//
+// A second mode, `bench_transport --runtime [out.json] [scale]`, drives
+// the multi-core serving runtime (src/runtime/) instead: M client
+// threads hammer a ServerRuntime with 1 and then N SO_REUSEPORT worker
+// shards, writing BENCH_runtime.json. Row names encode the topology
+// (udp_shard4_c8 = 4 shards, 8 client threads); the shard1_c1 row is
+// the serial baseline comparable to udp_loopback above.
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -28,6 +36,7 @@
 #include "dns/master.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "runtime/runtime.hpp"
 #include "server/authoritative.hpp"
 #include "transport/client.hpp"
 #include "transport/dns_server.hpp"
@@ -46,6 +55,8 @@ struct Row {
   double p50_ns = 0.0;
   double p90_ns = 0.0;
   double p99_ns = 0.0;
+  std::size_t shards = 0;   // runtime mode only; 0 = n/a
+  std::size_t clients = 0;  // runtime mode only; 0 = n/a
 };
 
 double elapsed_s(Clock::time_point t0) {
@@ -78,6 +89,21 @@ mic      IN WIFI  "bench-iot" 192.0.3.10
 door     IN DTMF  42#
 )";
 
+[[noreturn]] void die(const char* what, const std::string& why) {
+  std::fprintf(stderr, "bench_transport: %s: %s\n", what, why.c_str());
+  std::exit(1);
+}
+
+std::shared_ptr<server::Zone> make_bench_zone() {
+  auto records = dns::parse_master_file(kZoneText, dns::Name{});
+  if (!records.ok()) die("zone parse", records.error().message);
+  auto zone = std::make_shared<server::Zone>(dns::name_of("bench.loc"),
+                                             dns::name_of("ns.bench.loc"));
+  if (auto loaded = zone->load(records.value()); !loaded.ok())
+    die("zone load", loaded.error().message);
+  return zone;
+}
+
 /// snsd's serving stack on an ephemeral loopback port, event loop on a
 /// background thread. Lives for the whole benchmark run.
 struct LoopbackServer {
@@ -89,12 +115,7 @@ struct LoopbackServer {
   transport::Endpoint at;
 
   LoopbackServer() {
-    auto records = dns::parse_master_file(kZoneText, dns::Name{});
-    if (!records.ok()) die("zone parse", records.error().message);
-    zone = std::make_shared<server::Zone>(dns::name_of("bench.loc"),
-                                          dns::name_of("ns.bench.loc"));
-    if (auto loaded = zone->load(records.value()); !loaded.ok())
-      die("zone load", loaded.error().message);
+    zone = make_bench_zone();
     engine = std::make_unique<server::AuthoritativeServer>("bench");
     engine->add_zone(zone);
 
@@ -115,11 +136,6 @@ struct LoopbackServer {
     thread.join();
     server->close();
   }
-
-  [[noreturn]] static void die(const char* what, const std::string& why) {
-    std::fprintf(stderr, "bench_transport: %s: %s\n", what, why.c_str());
-    std::exit(1);
-  }
 };
 
 dns::Message query_of(std::uint64_t i) {
@@ -134,18 +150,18 @@ Row bench_udp(LoopbackServer& srv, std::uint64_t ops) {
   return timed("udp_loopback", ops, [&](std::uint64_t i) {
     auto response = transport::udp_query(srv.at, query_of(i), options);
     if (!response.ok() || response.value().answers.empty())
-      LoopbackServer::die("udp_loopback", "query failed");
+      die("udp_loopback", "query failed");
   });
 }
 
 Row bench_tcp_reuse(LoopbackServer& srv, std::uint64_t ops) {
   transport::TcpClient client;
   if (auto connected = client.connect(srv.at, kTimeout); !connected.ok())
-    LoopbackServer::die("tcp connect", connected.error().message);
+    die("tcp connect", connected.error().message);
   return timed("tcp_reuse", ops, [&](std::uint64_t i) {
     auto response = client.query(query_of(i), kTimeout);
     if (!response.ok() || response.value().answers.empty())
-      LoopbackServer::die("tcp_reuse", "query failed");
+      die("tcp_reuse", "query failed");
   });
 }
 
@@ -154,8 +170,75 @@ Row bench_tcp_connect_per_query(LoopbackServer& srv, std::uint64_t ops) {
   return timed("tcp_connect_per_q", ops, [&](std::uint64_t i) {
     auto response = transport::tcp_query(srv.at, query_of(i), options);
     if (!response.ok() || response.value().answers.empty())
-      LoopbackServer::die("tcp_connect_per_q", "query failed");
+      die("tcp_connect_per_q", "query failed");
   });
+}
+
+// --runtime mode: the multi-core serving runtime under a multi-threaded
+// load generator. Each client thread runs its own blocking socket loop;
+// the shared Histogram is safe to record into concurrently (atomic
+// buckets, see obs/metrics.hpp).
+
+/// M client threads, each firing `ops_per_client` queries back to back.
+/// `via_tcp` selects one framed connection per client (reuse pattern)
+/// versus one UDP socket per query.
+Row bench_runtime(const std::string& name, const transport::Endpoint& at, std::size_t shards,
+                  std::size_t clients, std::uint64_t ops_per_client, bool via_tcp) {
+  obs::Histogram latency;
+  std::atomic<std::uint64_t> failures{0};
+  auto client_loop = [&](std::size_t c) {
+    transport::QueryOptions options;
+    std::unique_ptr<transport::TcpClient> tcp;
+    if (via_tcp) {
+      tcp = std::make_unique<transport::TcpClient>();
+      if (auto connected = tcp->connect(at, kTimeout); !connected.ok()) {
+        failures.fetch_add(ops_per_client);
+        return;
+      }
+    }
+    for (std::uint64_t i = 0; i < ops_per_client; ++i) {
+      auto query = query_of(c * ops_per_client + i);
+      auto s = Clock::now();
+      auto response = via_tcp ? tcp->query(query, kTimeout)
+                              : transport::udp_query(at, query, options);
+      latency.record(
+          static_cast<std::uint64_t>(std::chrono::nanoseconds(Clock::now() - s).count()));
+      if (!response.ok() || response.value().answers.empty()) failures.fetch_add(1);
+    }
+  };
+
+  auto t0 = Clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (std::size_t c = 0; c < clients; ++c) threads.emplace_back(client_loop, c);
+  for (auto& t : threads) t.join();
+  double seconds = elapsed_s(t0);
+
+  if (failures.load() != 0) die(name.c_str(), "lost or failed queries under load");
+  std::uint64_t ops = ops_per_client * clients;
+  Row row{name, ops, seconds, 0, latency.p50(), latency.p90(), latency.p99(), shards, clients};
+  row.qps = static_cast<double>(ops) / seconds;
+  return row;
+}
+
+/// Start a runtime with `shards` workers on an ephemeral loopback port,
+/// run the UDP and TCP load stages against it, tear it down.
+void bench_runtime_topology(std::vector<Row>& rows, std::size_t shards, std::size_t clients,
+                            std::uint64_t ops_per_client) {
+  runtime::RuntimeOptions options;
+  options.threads = shards;
+  runtime::ServerRuntime rt("bench", options);
+  if (auto started = rt.start(transport::loopback(0), {make_bench_zone()}); !started.ok())
+    die("runtime start", started.error().message);
+  auto label = [&](const char* proto) {
+    return std::string(proto) + "_shard" + std::to_string(shards) + "_c" +
+           std::to_string(clients);
+  };
+  rows.push_back(bench_runtime(label("udp"), rt.local(), shards, clients, ops_per_client,
+                               /*via_tcp=*/false));
+  rows.push_back(bench_runtime(label("tcp"), rt.local(), shards, clients, ops_per_client,
+                               /*via_tcp=*/true));
+  rt.drain_and_stop();
 }
 
 std::string today() {
@@ -167,14 +250,16 @@ std::string today() {
   return buf;
 }
 
-void write_json(const std::string& path, const std::vector<Row>& rows) {
+void write_json(const std::string& path, const char* bench_name, const std::vector<Row>& rows) {
   obs::JsonWriter json;
   json.begin_object();
-  json.field("bench", "transport");
+  json.field("bench", bench_name);
   json.field("date", today());
   json.begin_object("config");
   json.field("interface", "loopback");
   json.field("zone_records", std::int64_t{6});
+  json.field("hardware_threads",
+             static_cast<std::uint64_t>(std::thread::hardware_concurrency()));
   json.field("build", SNS_BUILD_TYPE);
   json.end_object();
   json.begin_array("results");
@@ -187,6 +272,10 @@ void write_json(const std::string& path, const std::vector<Row>& rows) {
     json.field("p50_ns", row.p50_ns);
     json.field("p90_ns", row.p90_ns);
     json.field("p99_ns", row.p99_ns);
+    if (row.shards != 0) {
+      json.field("shards", static_cast<std::uint64_t>(row.shards));
+      json.field("clients", static_cast<std::uint64_t>(row.clients));
+    }
     json.end_object();
   }
   json.end_array();
@@ -202,27 +291,51 @@ void write_json(const std::string& path, const std::vector<Row>& rows) {
   std::printf("wrote %s\n", path.c_str());
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  std::string out_path = argc > 1 ? argv[1] : "BENCH_transport.json";
-  std::uint64_t scale = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 1;
-
-  LoopbackServer srv;
-  std::printf("serving bench.loc on %s\n", srv.at.to_string().c_str());
-
-  std::vector<Row> rows;
-  rows.push_back(bench_udp(srv, 30'000 * scale));
-  rows.push_back(bench_tcp_reuse(srv, 30'000 * scale));
-  rows.push_back(bench_tcp_connect_per_query(srv, 5'000 * scale));
-
+void print_rows(const std::vector<Row>& rows) {
   std::printf("%-20s %12s %10s %12s %10s %10s %10s\n", "stage", "ops", "seconds", "qps", "p50 ns",
               "p90 ns", "p99 ns");
   for (const auto& row : rows)
     std::printf("%-20s %12llu %10.3f %12.0f %10.0f %10.0f %10.0f\n", row.name.c_str(),
                 static_cast<unsigned long long>(row.ops), row.seconds, row.qps, row.p50_ns,
                 row.p90_ns, row.p99_ns);
+}
 
-  write_json(out_path, rows);
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool runtime_mode = argc > 1 && std::string_view(argv[1]) == "--runtime";
+  int arg0 = runtime_mode ? 2 : 1;
+  std::string out_path = argc > arg0 ? argv[arg0]
+                         : runtime_mode ? "BENCH_runtime.json"
+                                        : "BENCH_transport.json";
+  std::uint64_t scale = argc > arg0 + 1 ? std::strtoull(argv[arg0 + 1], nullptr, 10) : 1;
+
+  std::vector<Row> rows;
+  if (runtime_mode) {
+    // Topology sweep: serial baseline, then concurrency on one shard,
+    // then the same concurrency fanned across SO_REUSEPORT shards. On a
+    // multi-core box the last row is where the qps multiple comes from;
+    // on one core it still shows the runtime absorbing concurrent load
+    // without falling below the serial baseline.
+    std::size_t shards = std::max<std::size_t>(2, std::thread::hardware_concurrency());
+    std::size_t clients = std::max<std::size_t>(8, 2 * shards);
+    std::uint64_t per_client = 4'000 * scale;
+    bench_runtime_topology(rows, 1, 1, 16'000 * scale);
+    bench_runtime_topology(rows, 1, clients, per_client);
+    bench_runtime_topology(rows, shards, clients, per_client);
+    print_rows(rows);
+    write_json(out_path, "runtime", rows);
+    return 0;
+  }
+
+  LoopbackServer srv;
+  std::printf("serving bench.loc on %s\n", srv.at.to_string().c_str());
+
+  rows.push_back(bench_udp(srv, 30'000 * scale));
+  rows.push_back(bench_tcp_reuse(srv, 30'000 * scale));
+  rows.push_back(bench_tcp_connect_per_query(srv, 5'000 * scale));
+
+  print_rows(rows);
+  write_json(out_path, "transport", rows);
   return 0;
 }

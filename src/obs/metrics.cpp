@@ -9,8 +9,23 @@
 namespace sns::obs {
 
 namespace {
-constexpr std::size_t kSubBuckets = 16;  // linear sub-buckets per octave
-constexpr std::size_t kSubBits = 4;      // log2(kSubBuckets)
+
+/// Lower an atomic min/max bound with a CAS loop (relaxed: metric
+/// bounds are statistics, not synchronisation).
+void update_min(std::atomic<std::uint64_t>& slot, std::uint64_t value) noexcept {
+  std::uint64_t prev = slot.load(std::memory_order_relaxed);
+  while (value < prev &&
+         !slot.compare_exchange_weak(prev, value, std::memory_order_relaxed)) {
+  }
+}
+
+void update_max(std::atomic<std::uint64_t>& slot, std::uint64_t value) noexcept {
+  std::uint64_t prev = slot.load(std::memory_order_relaxed);
+  while (value > prev &&
+         !slot.compare_exchange_weak(prev, value, std::memory_order_relaxed)) {
+  }
+}
+
 }  // namespace
 
 std::size_t Histogram::bucket_of(std::uint64_t value) noexcept {
@@ -35,56 +50,109 @@ std::uint64_t Histogram::bucket_hi(std::size_t index) noexcept {
 }
 
 void Histogram::record(std::uint64_t value) noexcept {
-  std::size_t index = bucket_of(value);
-  if (index >= buckets_.size()) buckets_.resize(index + 1, 0);
-  ++buckets_[index];
-  ++count_;
-  sum_ += value;
-  if (count_ == 1 || value < min_) min_ = value;
-  if (value > max_) max_ = value;
+  buckets_[bucket_of(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  update_min(min_, value);
+  update_max(max_, value);
 }
 
 double Histogram::quantile(double p) const noexcept {
-  if (count_ == 0) return 0.0;
+  std::uint64_t n = count();
+  if (n == 0) return 0.0;
   p = std::clamp(p, 0.0, 1.0);
   // Rank of the requested quantile (1-based, ceil convention).
-  auto target = static_cast<std::uint64_t>(std::ceil(p * static_cast<double>(count_)));
+  auto target = static_cast<std::uint64_t>(std::ceil(p * static_cast<double>(n)));
   if (target == 0) target = 1;
+  std::uint64_t observed_min = min();
+  std::uint64_t observed_max = max();
   std::uint64_t cumulative = 0;
   for (std::size_t i = 0; i < buckets_.size(); ++i) {
-    if (buckets_[i] == 0) continue;
-    if (cumulative + buckets_[i] >= target) {
+    std::uint64_t in_bucket = buckets_[i].load(std::memory_order_relaxed);
+    if (in_bucket == 0) continue;
+    if (cumulative + in_bucket >= target) {
       double fraction = static_cast<double>(target - cumulative) /
-                        static_cast<double>(buckets_[i]);
+                        static_cast<double>(in_bucket);
       double lo = static_cast<double>(bucket_lo(i));
       double hi = static_cast<double>(bucket_hi(i));
       double estimate = lo + fraction * (hi - lo);
-      return std::clamp(estimate, static_cast<double>(min_), static_cast<double>(max_));
+      return std::clamp(estimate, static_cast<double>(observed_min),
+                        static_cast<double>(observed_max));
     }
-    cumulative += buckets_[i];
+    cumulative += in_bucket;
   }
-  return static_cast<double>(max_);
+  return static_cast<double>(observed_max);
 }
 
-void Histogram::reset() {
-  buckets_.clear();
-  count_ = sum_ = min_ = max_ = 0;
+void Histogram::merge_from(const Histogram& other) noexcept {
+  std::uint64_t other_count = other.count();
+  if (other_count == 0) return;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    std::uint64_t n = other.buckets_[i].load(std::memory_order_relaxed);
+    if (n != 0) buckets_[i].fetch_add(n, std::memory_order_relaxed);
+  }
+  count_.fetch_add(other_count, std::memory_order_relaxed);
+  sum_.fetch_add(other.sum(), std::memory_order_relaxed);
+  update_min(min_, other.min());
+  update_max(max_, other.max());
+}
+
+void Histogram::reset() noexcept {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<std::uint64_t>::max(), std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard lock(mu_);
+  return counters_[name];
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard lock(mu_);
+  return gauges_[name];
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard lock(mu_);
+  return histograms_[name];
 }
 
 std::optional<std::uint64_t> MetricsRegistry::counter_value(const std::string& name) const {
+  std::lock_guard lock(mu_);
   auto it = counters_.find(name);
   if (it == counters_.end()) return std::nullopt;
   return it->second.value();
 }
 
+std::optional<double> MetricsRegistry::gauge_value(const std::string& name) const {
+  std::lock_guard lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) return std::nullopt;
+  return it->second.value();
+}
+
 const Histogram* MetricsRegistry::find_histogram(const std::string& name) const {
+  std::lock_guard lock(mu_);
   auto it = histograms_.find(name);
   return it == histograms_.end() ? nullptr : &it->second;
 }
 
-std::string MetricsRegistry::to_json() const {
-  JsonWriter w;
-  w.begin_object();
+void MetricsRegistry::merge_from(const MetricsRegistry& other) {
+  // scoped_lock orders both mutexes deadlock-free; merging a registry
+  // into itself would self-deadlock and makes no sense anyway.
+  if (&other == this) return;
+  std::scoped_lock lock(mu_, other.mu_);
+  for (const auto& [name, counter] : other.counters_) counters_[name].add(counter.value());
+  for (const auto& [name, gauge] : other.gauges_) gauges_[name].add(gauge.value());
+  for (const auto& [name, histogram] : other.histograms_)
+    histograms_[name].merge_from(histogram);
+}
+
+void MetricsRegistry::write_fields(JsonWriter& w) const {
+  std::lock_guard lock(mu_);
   w.begin_object("counters");
   for (const auto& [name, counter] : counters_) w.field(name, counter.value());
   w.end_object();
@@ -105,14 +173,21 @@ std::string MetricsRegistry::to_json() const {
     w.end_object();
   }
   w.end_object();
+}
+
+std::string MetricsRegistry::to_json() const {
+  JsonWriter w;
+  w.begin_object();
+  write_fields(w);
   w.end_object();
   return w.take();
 }
 
 void MetricsRegistry::reset() {
-  counters_.clear();
-  gauges_.clear();
-  histograms_.clear();
+  std::lock_guard lock(mu_);
+  for (auto& [name, counter] : counters_) counter.reset();
+  for (auto& [name, gauge] : gauges_) gauge.set(0.0);
+  for (auto& [name, histogram] : histograms_) histogram.reset();
 }
 
 MetricsRegistry& MetricsRegistry::global() {

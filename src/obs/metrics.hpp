@@ -11,56 +11,90 @@
 // DESIGN.md §7): `<layer>.<component>.<measure>[_<unit>]`, e.g.
 //   resolver.cache.hit            counter
 //   net.hop.latency_us            histogram (microseconds)
-//   resolver.iterative.fanout     histogram (dimensionless)
+//   runtime.worker.connections    gauge (per-shard)
+//
+// Threading model (DESIGN.md §10): ownership is per shard — each
+// runtime worker (and the simulator, and each SnsDeployment) owns its
+// own registry and is that registry's only writer on the hot path. The
+// primitives are nevertheless individually thread-safe (relaxed
+// atomics), because dump/merge paths *read* a live shard's registry
+// from another thread: SIGUSR1 aggregation walks every worker registry
+// while the workers keep serving. Reads taken mid-traffic are
+// instantaneous-but-approximate (a histogram's count may be one ahead
+// of its sum); per-metric totals are never torn. Registry map structure
+// is guarded by a small mutex that only the first use of a name and the
+// dump/merge paths take; hot paths cache `Counter&` once (references
+// are stable for the registry's lifetime) and pay one relaxed atomic
+// add per event.
 //
 // The registry is process-wide by default (MetricsRegistry::global())
-// but injectable everywhere for tests: each SnsDeployment owns its own
-// instance so parallel test fixtures never share state.
+// but injectable everywhere for tests: each SnsDeployment and each
+// runtime worker owns its own instance so parallel fixtures and shards
+// never contend.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstdint>
+#include <limits>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <string>
-#include <vector>
 
 namespace sns::obs {
 
+class JsonWriter;
+
 class Counter {
  public:
-  void add(std::uint64_t n = 1) noexcept { value_ += n; }
-  [[nodiscard]] std::uint64_t value() const noexcept { return value_; }
-  void reset() noexcept { value_ = 0; }
+  void add(std::uint64_t n = 1) noexcept { value_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
 
  private:
-  std::uint64_t value_ = 0;
+  std::atomic<std::uint64_t> value_{0};
 };
 
 class Gauge {
  public:
-  void set(double v) noexcept { value_ = v; }
-  void add(double v) noexcept { value_ += v; }
-  [[nodiscard]] double value() const noexcept { return value_; }
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  void add(double v) noexcept { value_.fetch_add(v, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const noexcept { return value_.load(std::memory_order_relaxed); }
 
  private:
-  double value_ = 0.0;
+  std::atomic<double> value_{0.0};
 };
 
 /// Log-linear histogram (HdrHistogram-style): one octave per power of
 /// two, 16 linear sub-buckets per octave, so quantile estimates carry at
 /// most ~6% relative error while recording stays O(1) with no
-/// allocation beyond the bucket array. Values are non-negative integers
-/// (typically microseconds).
+/// allocation at all — the bucket array is a fixed ~8 KiB covering the
+/// full uint64 range, which is what lets record() be a lock-free
+/// fetch_add and lets a dump thread read a shard's histogram while the
+/// shard keeps recording. Values are non-negative integers (typically
+/// microseconds).
 class Histogram {
  public:
   void record(std::uint64_t value) noexcept;
 
-  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
-  [[nodiscard]] std::uint64_t sum() const noexcept { return sum_; }
-  [[nodiscard]] std::uint64_t min() const noexcept { return count_ == 0 ? 0 : min_; }
-  [[nodiscard]] std::uint64_t max() const noexcept { return max_; }
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t min() const noexcept {
+    return count() == 0 ? 0 : min_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t max() const noexcept {
+    return max_.load(std::memory_order_relaxed);
+  }
   [[nodiscard]] double mean() const noexcept {
-    return count_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(count_);
+    std::uint64_t n = count();
+    return n == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(n);
   }
 
   /// Quantile estimate, p in [0, 1]. Interpolated within the bucket the
@@ -70,44 +104,68 @@ class Histogram {
   [[nodiscard]] double p90() const noexcept { return quantile(0.90); }
   [[nodiscard]] double p99() const noexcept { return quantile(0.99); }
 
-  void reset();
+  /// Fold another histogram's observations into this one (shard merge
+  /// on dump). The source may be recording concurrently; the merge is
+  /// then approximate in the same way a concurrent read is.
+  void merge_from(const Histogram& other) noexcept;
+
+  void reset() noexcept;
 
  private:
+  static constexpr std::size_t kSubBuckets = 16;  // linear sub-buckets per octave
+  static constexpr std::size_t kSubBits = 4;      // log2(kSubBuckets)
+  // Highest index is bucket_of(UINT64_MAX) = (63-4+1)*16 + 15 = 975.
+  static constexpr std::size_t kBucketCount = (64 - kSubBits) * kSubBuckets + kSubBuckets;
+
   static std::size_t bucket_of(std::uint64_t value) noexcept;
   static std::uint64_t bucket_lo(std::size_t index) noexcept;
   static std::uint64_t bucket_hi(std::size_t index) noexcept;
 
-  std::vector<std::uint64_t> buckets_;  // grown on demand
-  std::uint64_t count_ = 0;
-  std::uint64_t sum_ = 0;
-  std::uint64_t min_ = 0;
-  std::uint64_t max_ = 0;
+  std::array<std::atomic<std::uint64_t>, kBucketCount> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> min_{std::numeric_limits<std::uint64_t>::max()};
+  std::atomic<std::uint64_t> max_{0};
 };
 
 /// Named metric store. Lookups create on first use; references stay
 /// stable for the registry's lifetime (node-based map), so hot paths
-/// can cache `Counter&` once and bump it without a string lookup.
+/// can cache `Counter&` once and bump it without a string lookup or the
+/// structure mutex.
 class MetricsRegistry {
  public:
-  Counter& counter(const std::string& name) { return counters_[name]; }
-  Gauge& gauge(const std::string& name) { return gauges_[name]; }
-  Histogram& histogram(const std::string& name) { return histograms_[name]; }
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
 
   /// Read-only lookups (no creation) for tests and exporters.
   [[nodiscard]] std::optional<std::uint64_t> counter_value(const std::string& name) const;
+  [[nodiscard]] std::optional<double> gauge_value(const std::string& name) const;
   [[nodiscard]] const Histogram* find_histogram(const std::string& name) const;
+
+  /// Fold another registry's metrics into this one: counters and gauges
+  /// add, histograms merge bucket-wise. The source may belong to a live
+  /// shard that is still recording.
+  void merge_from(const MetricsRegistry& other);
 
   /// Full snapshot:
   /// {"counters":{...},"gauges":{...},"histograms":{name:{count,sum,
   ///  min,max,mean,p50,p90,p99},...}}
   [[nodiscard]] std::string to_json() const;
+  /// The same three sub-objects written into an enclosing object the
+  /// caller has already opened (fleet dumps nest one per shard).
+  void write_fields(JsonWriter& w) const;
 
+  /// Zero every metric in place. Entry names (and cached references)
+  /// survive — a reset registry reports 0, not absence.
   void reset();
 
   /// Process-wide default instance for code with no injected registry.
   static MetricsRegistry& global();
 
  private:
+  // mu_ guards map *structure* only; metric values are atomics.
+  mutable std::mutex mu_;
   std::map<std::string, Counter> counters_;
   std::map<std::string, Gauge> gauges_;
   std::map<std::string, Histogram> histograms_;

@@ -3,9 +3,15 @@
 // A Tracer records what a resolution *did*: one span per upstream hop,
 // referral, CNAME restart, cache probe and concurrent-border branch
 // (§3.1/§3.2's per-hop timing stories are only checkable with this).
-// The simulator is single-threaded, so the tracer keeps a simple span
+//
+// Threading: a Tracer is a strictly single-owner object — the span
+// stack makes no sense interleaved across threads. Under the shard
+// model (DESIGN.md §10) that owner is one runtime worker, one
+// SnsDeployment, or the simulator thread; unlike MetricsRegistry there
+// is no cross-thread dump path, so the tracer stays a plain span
 // stack: begin_span() nests under the currently open span, end_span()
-// pops. Finished root spans accumulate in a bounded ring for export.
+// pops. Finished root spans accumulate in a bounded ring for export,
+// read by the owner (never by another live thread).
 //
 // Span names follow the taxonomy in DESIGN.md §7:
 //   stub.resolve, resolver.iterative, resolver.hop, resolver.branch,

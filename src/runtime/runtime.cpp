@@ -1,0 +1,172 @@
+#include "runtime/runtime.hpp"
+
+#include <thread>
+
+#include "obs/json.hpp"
+#include "util/log.hpp"
+
+namespace sns::runtime {
+
+std::size_t ZoneSnapshot::record_count() const {
+  std::size_t total = 0;
+  for (const auto& zone : zones) total += zone->record_count();
+  return total;
+}
+
+ServerRuntime::ServerRuntime(std::string name, RuntimeOptions options)
+    : name_(std::move(name)), options_(options) {}
+
+ServerRuntime::~ServerRuntime() { stop(); }
+
+util::Status ServerRuntime::start(const transport::Endpoint& at,
+                                  std::vector<std::shared_ptr<server::Zone>> zones) {
+  if (started_) return util::fail("runtime already started");
+  publish(std::move(zones));
+
+  std::size_t n = options_.threads;
+  if (n == 0) n = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+
+  WorkerOptions worker_options{options_.tcp, options_.stats_interval};
+  transport::Endpoint bind_at = at;
+  for (std::size_t i = 0; i < n; ++i) {
+    auto worker = std::make_unique<Worker>(i, worker_options);
+    worker->set_stats_hook([this](obs::MetricsRegistry& m) {
+      m.gauge("runtime.worker.snapshot_generation")
+          .set(static_cast<double>(store_.generation()));
+    });
+    auto status = worker->start(bind_at, /*reuse_port=*/true, make_handler(*worker));
+    if (!status.ok()) {
+      stop();
+      return status;
+    }
+    // Worker 0 realises an ephemeral port; every sibling then shares
+    // the concrete endpoint through SO_REUSEPORT.
+    if (i == 0) bind_at = worker->local();
+    workers_.push_back(std::move(worker));
+  }
+  started_ = true;
+  util::log_info("runtime", name_, ": ", workers_.size(), " worker shard",
+                 workers_.size() == 1 ? "" : "s", " on ", bind_at.to_string());
+  return util::ok_status();
+}
+
+std::uint64_t ServerRuntime::publish(std::vector<std::shared_ptr<server::Zone>> zones) {
+  auto snap = std::make_shared<ZoneSnapshot>();
+  snap->zones = std::move(zones);
+  return store_.publish(std::move(snap));
+}
+
+const transport::Endpoint& ServerRuntime::local() const {
+  static const transport::Endpoint kUnbound{};
+  return workers_.empty() ? kUnbound : workers_.front()->local();
+}
+
+transport::DnsHandler ServerRuntime::make_handler(Worker& worker) {
+  auto shard = std::make_shared<Shard>();
+  return [this, shard, &worker](const dns::Message& query, const transport::Endpoint&,
+                                transport::Via) {
+    // One atomic load per query; the engine is rebuilt only when the
+    // snapshot actually changed (reload/update), which it almost never
+    // did — pointer equality is the fast path.
+    auto snap = store_.acquire();
+    if (shard->snap != snap) {
+      shard->engine = build_engine(*snap, &worker.metrics());
+      shard->snap = std::move(snap);
+      worker.metrics().counter("runtime.worker.snapshot_refresh").add();
+    }
+    // Real clients are outside every spatial view; split-horizon
+    // deployments would map source addresses to richer contexts here.
+    server::ClientContext ctx;
+    if (query.header.opcode == dns::Opcode::Update) return apply_update(query, ctx);
+    return shard->engine->handle(query, ctx);
+  };
+}
+
+std::unique_ptr<server::AuthoritativeServer> ServerRuntime::build_engine(
+    const ZoneSnapshot& snap, obs::MetricsRegistry* metrics) const {
+  auto engine = std::make_unique<server::AuthoritativeServer>(name_);
+  for (const auto& zone : snap.zones) engine->add_zone(zone);
+  if (update_key_) engine->set_update_key(*update_key_);
+  engine->set_metrics(metrics);
+  return engine;
+}
+
+dns::Message ServerRuntime::apply_update(const dns::Message& query,
+                                         const server::ClientContext& ctx) {
+  // RFC 2136 write path: serialise writers, deep-copy the zone set,
+  // run the full update machinery (zone check, prerequisites, TSIG)
+  // against the copy, and publish only on success. Readers keep
+  // serving the old snapshot throughout — a failed or refused update
+  // leaves no trace.
+  std::lock_guard lock(update_mu_);
+  auto cur = store_.acquire();
+
+  ZoneSnapshot next;
+  next.zones.reserve(cur->zones.size());
+  for (const auto& zone : cur->zones) {
+    auto copy = std::make_shared<server::Zone>(zone->apex(), zone->apex());
+    if (auto loaded = copy->load(zone->all_records()); !loaded.ok()) {
+      util::log_warn("runtime", "update copy-on-write failed: ", loaded.error().message);
+      runtime_metrics_.counter("runtime.zone.update_refused").add();
+      return dns::make_response(query, dns::Rcode::ServFail, false);
+    }
+    next.zones.push_back(std::move(copy));
+  }
+
+  server::AuthoritativeServer scratch(name_);
+  for (const auto& zone : next.zones) scratch.add_zone(zone);
+  if (update_key_) scratch.set_update_key(*update_key_);
+  dns::Message response = scratch.handle(query, ctx);
+
+  if (response.header.rcode == dns::Rcode::NoError) {
+    auto snap = std::make_shared<ZoneSnapshot>(std::move(next));
+    store_.publish(std::move(snap));
+    runtime_metrics_.counter("runtime.zone.update").add();
+  } else {
+    runtime_metrics_.counter("runtime.zone.update_refused").add();
+  }
+  return response;
+}
+
+void ServerRuntime::merge_metrics(obs::MetricsRegistry& into) const {
+  into.merge_from(runtime_metrics_);
+  for (const auto& worker : workers_) into.merge_from(worker->metrics());
+}
+
+std::string ServerRuntime::metrics_json() const {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.field("workers", static_cast<std::uint64_t>(workers_.size()));
+  w.field("generation", generation());
+  obs::MetricsRegistry total;
+  merge_metrics(total);
+  w.begin_object("total");
+  total.write_fields(w);
+  w.end_object();
+  w.begin_array("shards");
+  for (const auto& worker : workers_) {
+    w.begin_object();
+    w.field("worker", static_cast<std::uint64_t>(worker->index()));
+    worker->metrics().write_fields(w);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.take();
+}
+
+void ServerRuntime::drain_and_stop() {
+  for (auto& worker : workers_) worker->begin_drain(options_.drain_grace);
+  for (auto& worker : workers_) worker->join();
+  workers_.clear();
+  started_ = false;
+}
+
+void ServerRuntime::stop() {
+  for (auto& worker : workers_) worker->stop();
+  for (auto& worker : workers_) worker->join();
+  workers_.clear();
+  started_ = false;
+}
+
+}  // namespace sns::runtime

@@ -1,0 +1,128 @@
+// runtime.hpp — multi-core authoritative serving runtime.
+//
+// PR 4's transport serves a zone from one epoll thread; this subsystem
+// is the ROADMAP's "as fast as the hardware allows" answer for the
+// serving side. A ServerRuntime spawns N Workers (default: one per
+// hardware thread), each with its own event loop and SO_REUSEPORT
+// listeners on the shared endpoint, all answering from the same zone
+// data through an RCU-lite SnapshotStore:
+//
+//   read path    every query does one atomic snapshot acquire; each
+//                worker keeps a shard-private AuthoritativeServer
+//                engine that is rebuilt (cheaply — zones are shared
+//                immutably) only when the acquired snapshot changes.
+//   write path   SIGHUP reloads and RFC 2136 dynamic updates build a
+//                copy-on-write successor snapshot off to the side and
+//                publish it with one atomic exchange. Serving never
+//                pauses; in-flight queries finish on the old snapshot,
+//                which dies with its last reference.
+//
+// Observability is shard-aware: every worker owns a MetricsRegistry
+// (zero hot-path sharing); metrics_json() merges the fleet into
+// "total" plus a per-shard breakdown, which is what snsd dumps on
+// SIGUSR1. See DESIGN.md §10 for the ownership rules.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "runtime/snapshot.hpp"
+#include "runtime/worker.hpp"
+#include "server/authoritative.hpp"
+
+namespace sns::runtime {
+
+struct RuntimeOptions {
+  /// Worker shards; 0 = std::thread::hardware_concurrency (min 1).
+  std::size_t threads = 0;
+  transport::TcpOptions tcp;
+  /// How long drain_and_stop() waits for owed TCP answers to flush
+  /// before force-closing the stragglers.
+  transport::Duration drain_grace = std::chrono::seconds(5);
+  transport::Duration stats_interval = std::chrono::milliseconds(500);
+};
+
+/// One immutable generation of serving state. Zones are frozen once
+/// the snapshot is published: the only code allowed to mutate a Zone
+/// is the copy-on-write writer path, and it only touches copies that
+/// are not yet visible to any reader.
+struct ZoneSnapshot {
+  std::vector<std::shared_ptr<server::Zone>> zones;
+  [[nodiscard]] std::size_t record_count() const;
+};
+
+class ServerRuntime {
+ public:
+  explicit ServerRuntime(std::string name, RuntimeOptions options = {});
+  ~ServerRuntime();
+  ServerRuntime(const ServerRuntime&) = delete;
+  ServerRuntime& operator=(const ServerRuntime&) = delete;
+
+  /// Require TSIG on RFC 2136 dynamic updates. Set before start().
+  void set_update_key(dns::TsigKey key) { update_key_ = std::move(key); }
+
+  /// Publish the initial snapshot, bind every shard to `at` (worker 0
+  /// realises ephemeral ports; siblings join it via SO_REUSEPORT) and
+  /// start the serving threads.
+  util::Status start(const transport::Endpoint& at,
+                     std::vector<std::shared_ptr<server::Zone>> zones);
+
+  /// Atomically replace the served zone set (the SIGHUP live-reload
+  /// path). Readers flip at their next acquire; returns the new
+  /// generation.
+  std::uint64_t publish(std::vector<std::shared_ptr<server::Zone>> zones);
+
+  [[nodiscard]] std::shared_ptr<const ZoneSnapshot> snapshot() const { return store_.acquire(); }
+  [[nodiscard]] std::uint64_t generation() const noexcept { return store_.generation(); }
+
+  /// Realised endpoint (after start(); meaningful with port 0).
+  [[nodiscard]] const transport::Endpoint& local() const;
+  [[nodiscard]] std::size_t worker_count() const noexcept { return workers_.size(); }
+  [[nodiscard]] bool running() const noexcept { return started_; }
+
+  /// Control-plane registry: runtime.zone.{reload,reload_failed,
+  /// update,update_refused} counters. Owned by the thread driving the
+  /// runtime (main), readable everywhere.
+  [[nodiscard]] obs::MetricsRegistry& metrics() noexcept { return runtime_metrics_; }
+
+  /// Fold fleet-wide totals (control plane + every shard) into `into`.
+  void merge_metrics(obs::MetricsRegistry& into) const;
+
+  /// {"workers":N,"generation":G,"total":{...},"shards":[{"worker":0,
+  ///  ...},...]} — totals merged across the control plane and every
+  /// shard, then the per-shard breakdown.
+  [[nodiscard]] std::string metrics_json() const;
+
+  /// Graceful shutdown: every shard stops accepting, flushes owed TCP
+  /// answers (bounded by drain_grace), then threads are joined.
+  void drain_and_stop();
+  /// Immediate shutdown: stop loops, join, discard workers.
+  void stop();
+
+ private:
+  // Shard-private engine cache; lives in the handler closure and is
+  // only ever touched by that worker's thread.
+  struct Shard {
+    std::shared_ptr<const ZoneSnapshot> snap;
+    std::unique_ptr<server::AuthoritativeServer> engine;
+  };
+
+  transport::DnsHandler make_handler(Worker& worker);
+  [[nodiscard]] std::unique_ptr<server::AuthoritativeServer> build_engine(
+      const ZoneSnapshot& snap, obs::MetricsRegistry* metrics) const;
+  dns::Message apply_update(const dns::Message& query, const server::ClientContext& ctx);
+
+  std::string name_;
+  RuntimeOptions options_;
+  std::optional<dns::TsigKey> update_key_;
+  SnapshotStore<ZoneSnapshot> store_;
+  std::mutex update_mu_;  // serialises RFC 2136 copy-on-write writers
+  std::vector<std::unique_ptr<Worker>> workers_;
+  obs::MetricsRegistry runtime_metrics_;
+  bool started_ = false;
+};
+
+}  // namespace sns::runtime

@@ -1,0 +1,78 @@
+#include "runtime/worker.hpp"
+
+#include "util/log.hpp"
+
+namespace sns::runtime {
+
+Worker::Worker(std::size_t index, WorkerOptions options)
+    : index_(index), options_(options) {}
+
+Worker::~Worker() {
+  stop();
+  join();
+}
+
+util::Status Worker::start(const transport::Endpoint& at, bool reuse_port,
+                           transport::DnsHandler handler) {
+  if (!loop_.valid()) return util::fail("worker " + std::to_string(index_) + ": event loop init");
+  server_ = std::make_unique<transport::DnsTransportServer>(loop_, std::move(handler),
+                                                            options_.tcp);
+  server_->set_metrics(&metrics_);
+  if (auto started = server_->start(at, reuse_port); !started.ok()) return started;
+
+  // Self-rescheduling gauge refresh; armed before run() starts, so the
+  // timer (like everything else on the loop) is loop-thread-owned.
+  loop_.schedule_after(options_.stats_interval, [this] { stats_tick(); });
+  refresh_stats();
+
+  thread_ = std::thread([this] {
+    util::log_debug("runtime", "worker ", index_, " serving on ", server_->local().to_string());
+    loop_.run();
+  });
+  return util::ok_status();
+}
+
+void Worker::begin_drain(transport::Duration grace) {
+  loop_.post([this, grace] {
+    server_->drain();
+    drain_check();
+    loop_.schedule_after(grace, [this] {
+      if (!loop_.stopped()) {
+        metrics_.counter("runtime.worker.drain_forced").add();
+        loop_.stop();
+      }
+    });
+  });
+}
+
+void Worker::drain_check() {
+  if (server_->drained()) {
+    loop_.stop();
+    return;
+  }
+  loop_.schedule_after(std::chrono::milliseconds(10), [this] { drain_check(); });
+}
+
+void Worker::stop() { loop_.stop(); }
+
+void Worker::join() {
+  if (thread_.joinable()) thread_.join();
+}
+
+void Worker::stats_tick() {
+  refresh_stats();
+  loop_.schedule_after(options_.stats_interval, [this] { stats_tick(); });
+}
+
+void Worker::refresh_stats() {
+  if (server_ != nullptr) {
+    metrics_.gauge("runtime.worker.connections")
+        .set(static_cast<double>(server_->tcp().open_connections()));
+    metrics_.gauge("runtime.worker.queue_depth_bytes")
+        .set(static_cast<double>(server_->tcp().buffered_bytes()));
+  }
+  metrics_.gauge("runtime.worker.timers_pending").set(static_cast<double>(loop_.pending()));
+  if (stats_hook_) stats_hook_(metrics_);
+}
+
+}  // namespace sns::runtime

@@ -1,0 +1,82 @@
+// worker.hpp — one serving shard of the multi-core runtime.
+//
+// A Worker is the unit of parallelism: its own transport::EventLoop on
+// its own thread, its own UDP+TCP listeners bound to the shared
+// endpoint via SO_REUSEPORT (the kernel spreads datagrams and accepts
+// across sibling shards), and its own obs::MetricsRegistry so the hot
+// path never contends on a shared counter cache line. Nothing inside a
+// worker is touched by another thread except through two doors:
+// EventLoop::post() (the control plane injecting loop-owned work, e.g.
+// drain) and the registry's relaxed atomics (the dump path reading a
+// live shard's numbers). See DESIGN.md §10 for the ownership table.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <thread>
+
+#include "obs/metrics.hpp"
+#include "transport/dns_server.hpp"
+#include "transport/event_loop.hpp"
+
+namespace sns::runtime {
+
+struct WorkerOptions {
+  transport::TcpOptions tcp;
+  /// Cadence of the self-scheduled gauge refresh (connections, queue
+  /// depth, snapshot generation) on the worker's own loop.
+  transport::Duration stats_interval = std::chrono::milliseconds(500);
+};
+
+class Worker {
+ public:
+  Worker(std::size_t index, WorkerOptions options);
+  ~Worker();
+  Worker(const Worker&) = delete;
+  Worker& operator=(const Worker&) = delete;
+
+  /// Extra gauges folded into each stats refresh (the runtime uses
+  /// this to stamp the current snapshot generation). Set before
+  /// start(); runs on the worker thread.
+  void set_stats_hook(std::function<void(obs::MetricsRegistry&)> hook) {
+    stats_hook_ = std::move(hook);
+  }
+
+  /// Bind both listeners to `at` (SO_REUSEPORT when `reuse_port`) with
+  /// `handler` as the query entry point, then start the serving
+  /// thread. The handler runs on this worker's thread only.
+  util::Status start(const transport::Endpoint& at, bool reuse_port,
+                     transport::DnsHandler handler);
+
+  /// Graceful shutdown: posts a drain to the loop (stop accepting,
+  /// flush owed TCP answers), polls for completion on the loop's own
+  /// timer wheel, and force-stops at `grace`. join() afterwards.
+  void begin_drain(transport::Duration grace);
+
+  /// Immediate stop (thread-safe); join() afterwards.
+  void stop();
+  void join();
+
+  [[nodiscard]] std::size_t index() const noexcept { return index_; }
+  [[nodiscard]] const transport::Endpoint& local() const noexcept { return server_->local(); }
+  [[nodiscard]] obs::MetricsRegistry& metrics() noexcept { return metrics_; }
+  [[nodiscard]] const obs::MetricsRegistry& metrics() const noexcept { return metrics_; }
+  [[nodiscard]] transport::EventLoop& loop() noexcept { return loop_; }
+  [[nodiscard]] bool running() const noexcept { return thread_.joinable(); }
+
+ private:
+  void refresh_stats();
+  void stats_tick();
+  void drain_check();
+
+  std::size_t index_;
+  WorkerOptions options_;
+  obs::MetricsRegistry metrics_;
+  transport::EventLoop loop_;
+  std::unique_ptr<transport::DnsTransportServer> server_;
+  std::function<void(obs::MetricsRegistry&)> stats_hook_;
+  std::thread thread_;
+};
+
+}  // namespace sns::runtime

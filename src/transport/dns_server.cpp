@@ -6,14 +6,14 @@ DnsTransportServer::DnsTransportServer(EventLoop& loop, DnsHandler handler,
                                        TcpListener::Options tcp_options)
     : udp_(loop, handler), tcp_(loop, std::move(handler), tcp_options) {}
 
-util::Status DnsTransportServer::start(const Endpoint& at) {
+util::Status DnsTransportServer::start(const Endpoint& at, bool reuse_port) {
   constexpr int kEphemeralAttempts = 8;
   util::Status last = util::ok_status();
   for (int attempt = 0; attempt < kEphemeralAttempts; ++attempt) {
-    auto tcp_status = tcp_.bind(at);
+    auto tcp_status = tcp_.bind(at, reuse_port);
     if (!tcp_status.ok()) return tcp_status;
     Endpoint realised = tcp_.local();
-    auto udp_status = udp_.bind(realised);
+    auto udp_status = udp_.bind(realised, reuse_port);
     if (udp_status.ok()) return util::ok_status();
     last = udp_status;
     tcp_.close();
@@ -27,6 +27,11 @@ util::Status DnsTransportServer::start(const Endpoint& at) {
 void DnsTransportServer::close() {
   udp_.close();
   tcp_.close();
+}
+
+void DnsTransportServer::drain() {
+  udp_.close();
+  tcp_.drain();
 }
 
 }  // namespace sns::transport

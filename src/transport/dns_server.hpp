@@ -19,9 +19,20 @@ class DnsTransportServer {
 
   /// Bind UDP and TCP to `at`. With port 0 the kernel picks the TCP
   /// port and UDP then binds the same number (retried on the rare
-  /// collision where that UDP port is already taken).
-  util::Status start(const Endpoint& at);
+  /// collision where that UDP port is already taken). `reuse_port`
+  /// sets SO_REUSEPORT on both sockets so N worker shards can share
+  /// one endpoint (src/runtime/).
+  util::Status start(const Endpoint& at, bool reuse_port = false);
   void close();
+
+  /// Graceful shutdown, phase 1 (loop thread only): stop taking new
+  /// work — the UDP socket closes (peers retry against the siblings
+  /// still bound), TCP stops accepting and flushes what it owes.
+  /// Complete when drained() turns true.
+  void drain();
+  [[nodiscard]] bool drained() const noexcept {
+    return tcp_.draining() && tcp_.open_connections() == 0;
+  }
 
   /// The realised endpoint (both transports) after start().
   [[nodiscard]] const Endpoint& local() const noexcept { return udp_.local(); }

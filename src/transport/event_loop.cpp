@@ -170,6 +170,24 @@ int EventLoop::next_timeout_ms(int max_wait_ms) const {
   return max_wait_ms < 0 ? timer_ms : std::min(timer_ms, max_wait_ms);
 }
 
+void EventLoop::post(std::function<void()> fn) {
+  {
+    std::lock_guard lock(posted_mu_);
+    posted_.push_back(std::move(fn));
+  }
+  std::uint64_t one = 1;
+  [[maybe_unused]] auto r = ::write(wake_fd_.get(), &one, sizeof(one));
+}
+
+void EventLoop::drain_posted() {
+  std::vector<std::function<void()>> tasks;
+  {
+    std::lock_guard lock(posted_mu_);
+    tasks.swap(posted_);
+  }
+  for (auto& task : tasks) task();
+}
+
 int EventLoop::run_once(int max_wait_ms) {
   constexpr int kMaxEvents = 64;
   epoll_event events[kMaxEvents];
@@ -196,6 +214,7 @@ int EventLoop::run_once(int max_wait_ms) {
     ++dispatched;
   }
   advance_timers();
+  drain_posted();
   return dispatched;
 }
 

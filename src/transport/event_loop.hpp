@@ -17,15 +17,19 @@
 // usually cancelled (a cancel only sweeps when it removed the earliest).
 //
 // Threading: the loop is single-threaded by design. Every method except
-// stop() must be called from the loop thread (or before run() starts);
-// stop() may be called from any thread — it pokes an internal eventfd
-// to wake a sleeping epoll_wait.
+// stop() and post() must be called from the loop thread (or before
+// run() starts); stop() and post() may be called from any thread —
+// both poke an internal eventfd to wake a sleeping epoll_wait, and
+// post() is how another thread (the runtime's control plane) injects
+// work that must run with loop-thread ownership (drain a listener,
+// touch connection state).
 #pragma once
 
 #include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -81,6 +85,12 @@ class EventLoop {
   int run_once(int max_wait_ms = -1);
   /// run_once until stop() is called.
   void run();
+  /// Queue `fn` to run on the loop thread after the current poll cycle
+  /// and wake the loop. Thread-safe (this is the cross-thread entry
+  /// point; everything else on the loop stays single-owner). Tasks run
+  /// in post order.
+  void post(std::function<void()> fn);
+
   /// Wake the loop and make run() return. Thread- and signal-safe.
   void stop();
   [[nodiscard]] bool stopped() const noexcept {
@@ -118,6 +128,8 @@ class EventLoop {
   }
   /// Fire every timer due at or before the tick containing now().
   void advance_timers();
+  /// Run everything post()ed since the last drain (loop thread only).
+  void drain_posted();
   /// Sweep the wheel for the earliest live deadline (after the cached
   /// earliest fired or was cancelled); kInt64Max when no timers remain.
   void recompute_earliest();
@@ -135,6 +147,8 @@ class EventLoop {
   TimerId next_timer_id_ = 1;
   std::chrono::steady_clock::time_point epoch_;
   std::atomic<bool> stop_requested_{false};
+  std::mutex posted_mu_;  // guards posted_ (the only cross-thread state)
+  std::vector<std::function<void()>> posted_;
 };
 
 }  // namespace sns::transport

@@ -71,9 +71,14 @@ util::Status set_nonblocking(int fd) {
   return util::ok_status();
 }
 
-Result<FdHandle> bind_udp(const Endpoint& at) {
+Result<FdHandle> bind_udp(const Endpoint& at, bool reuse_port) {
   FdHandle fd(::socket(AF_INET, SOCK_DGRAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0));
   if (!fd.valid()) return fail(errno_message("socket(udp)"));
+  if (reuse_port) {
+    int one = 1;
+    if (::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one)) < 0)
+      return fail(errno_message("setsockopt(SO_REUSEPORT udp)"));
+  }
   sockaddr_in sa{};
   at.to_sockaddr(sa);
   if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&sa), sizeof(sa)) < 0)
@@ -81,11 +86,14 @@ Result<FdHandle> bind_udp(const Endpoint& at) {
   return fd;
 }
 
-Result<FdHandle> listen_tcp(const Endpoint& at) {
+Result<FdHandle> listen_tcp(const Endpoint& at, bool reuse_port) {
   FdHandle fd(::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0));
   if (!fd.valid()) return fail(errno_message("socket(tcp)"));
   int one = 1;
   ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (reuse_port &&
+      ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one)) < 0)
+    return fail(errno_message("setsockopt(SO_REUSEPORT tcp)"));
   sockaddr_in sa{};
   at.to_sockaddr(sa);
   if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&sa), sizeof(sa)) < 0)

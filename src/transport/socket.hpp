@@ -75,11 +75,16 @@ inline Endpoint loopback(std::uint16_t port) {
 }
 
 /// Non-blocking UDP socket bound to `at` (port 0 picks an ephemeral
-/// port; query the realised one with local_endpoint).
-util::Result<FdHandle> bind_udp(const Endpoint& at);
+/// port; query the realised one with local_endpoint). With
+/// `reuse_port`, SO_REUSEPORT is set before bind so N worker shards
+/// can bind the same address and let the kernel spread datagrams
+/// across them (the runtime's multi-core serving model).
+util::Result<FdHandle> bind_udp(const Endpoint& at, bool reuse_port = false);
 
-/// Non-blocking listening TCP socket on `at` (SO_REUSEADDR, backlog 128).
-util::Result<FdHandle> listen_tcp(const Endpoint& at);
+/// Non-blocking listening TCP socket on `at` (SO_REUSEADDR, backlog
+/// 128). `reuse_port` as for bind_udp: the kernel load-balances
+/// incoming connections across all listeners sharing the port.
+util::Result<FdHandle> listen_tcp(const Endpoint& at, bool reuse_port = false);
 
 /// The locally bound address of a socket (resolves ephemeral ports).
 util::Result<Endpoint> local_endpoint(int fd);

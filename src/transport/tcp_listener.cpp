@@ -17,8 +17,9 @@ TcpListener::TcpListener(EventLoop& loop, DnsHandler handler, Options options)
 
 TcpListener::~TcpListener() { close(); }
 
-util::Status TcpListener::bind(const Endpoint& at) {
-  auto fd = listen_tcp(at);
+util::Status TcpListener::bind(const Endpoint& at, bool reuse_port) {
+  draining_ = false;
+  auto fd = listen_tcp(at, reuse_port);
   if (!fd.ok()) return fd.error();
   auto local = local_endpoint(fd.value().get());
   if (!local.ok()) return local.error();
@@ -33,6 +34,26 @@ void TcpListener::close() {
     loop_.unwatch(listen_fd_.get());
     listen_fd_.reset();
   }
+}
+
+void TcpListener::drain() {
+  draining_ = true;
+  if (listen_fd_.valid()) {
+    loop_.unwatch(listen_fd_.get());
+    listen_fd_.reset();
+  }
+  // Connections with fully-flushed output have nothing owed to them;
+  // ones mid-flush are closed by flush_output once the buffer empties.
+  std::vector<int> idle;
+  for (const auto& [fd, conn] : conns_)
+    if (conn->out_off >= conn->out.size()) idle.push_back(fd);
+  for (int fd : idle) close_conn(fd, "transport.tcp.drained");
+}
+
+std::size_t TcpListener::buffered_bytes() const noexcept {
+  std::size_t total = 0;
+  for (const auto& [fd, conn] : conns_) total += conn->out.size() - conn->out_off;
+  return total;
 }
 
 void TcpListener::bump(const char* counter) {
@@ -190,6 +211,12 @@ void TcpListener::flush_output(int fd, Conn& conn) {
   if (conn.out_off >= conn.out.size()) {
     conn.out.clear();
     conn.out_off = 0;
+    if (draining_) {
+      // Last owed byte written: the graceful-shutdown contract
+      // ("flush in-flight answers, then go away") is fulfilled.
+      close_conn(fd, "transport.tcp.drained");
+      return;
+    }
     if (conn.writable_armed) {
       conn.writable_armed = false;
       (void)loop_.modify(fd, EPOLLIN);

@@ -50,11 +50,20 @@ class TcpListener {
   TcpListener(const TcpListener&) = delete;
   TcpListener& operator=(const TcpListener&) = delete;
 
-  util::Status bind(const Endpoint& at);
+  util::Status bind(const Endpoint& at, bool reuse_port = false);
   void close();
+
+  /// Graceful-shutdown entry (loop thread only): stop accepting, close
+  /// every connection with nothing left to flush, and close the rest as
+  /// soon as their buffered responses drain. open_connections() hitting
+  /// zero is the drain-complete signal.
+  void drain();
+  [[nodiscard]] bool draining() const noexcept { return draining_; }
 
   [[nodiscard]] const Endpoint& local() const noexcept { return bound_; }
   [[nodiscard]] std::size_t open_connections() const noexcept { return conns_.size(); }
+  /// Total response bytes buffered and not yet written (all conns).
+  [[nodiscard]] std::size_t buffered_bytes() const noexcept;
 
   /// Counters: transport.tcp.{accepted,rejected,queries,responses,
   /// frame_errors,malformed,idle_closed,overflow_closed,closed}.
@@ -91,6 +100,7 @@ class TcpListener {
   Endpoint bound_;
   std::unordered_map<int, std::unique_ptr<Conn>> conns_;
   obs::MetricsRegistry* metrics_ = nullptr;
+  bool draining_ = false;
 };
 
 }  // namespace sns::transport

@@ -32,8 +32,8 @@ UdpListener::UdpListener(EventLoop& loop, DnsHandler handler)
 
 UdpListener::~UdpListener() { close(); }
 
-util::Status UdpListener::bind(const Endpoint& at) {
-  auto fd = bind_udp(at);
+util::Status UdpListener::bind(const Endpoint& at, bool reuse_port) {
+  auto fd = bind_udp(at, reuse_port);
   if (!fd.ok()) return fd.error();
   auto local = local_endpoint(fd.value().get());
   if (!local.ok()) return local.error();

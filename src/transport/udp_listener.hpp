@@ -27,7 +27,9 @@ class UdpListener {
 
   /// Bind and start serving. Port 0 picks an ephemeral port; the
   /// realised endpoint is available from local() afterwards.
-  util::Status bind(const Endpoint& at);
+  /// `reuse_port` sets SO_REUSEPORT so sibling worker shards can bind
+  /// the same endpoint (kernel-level load spreading).
+  util::Status bind(const Endpoint& at, bool reuse_port = false);
   void close();
 
   [[nodiscard]] const Endpoint& local() const noexcept { return bound_; }

@@ -1,12 +1,15 @@
 #!/bin/sh
 # End-to-end loopback test for the transport subsystem CLIs.
 #
-# Starts snsd on 127.0.0.1 with an ephemeral port (discovered through
-# --port-file), then drives sns-dig through the paths that matter:
-# UDP lookups of SNS extended types, a forced-TCP lookup, and a
-# classic-512-byte query whose answer must come back truncated and be
-# transparently retried over TCP. Finally SIGUSR1 must produce a
-# metrics JSON snapshot that reflects the traffic.
+# Starts snsd (4 worker shards) on 127.0.0.1 with an ephemeral port
+# (discovered through --port-file), then drives sns-dig through the
+# paths that matter: UDP lookups of SNS extended types, a forced-TCP
+# lookup, a classic-512-byte query whose answer must come back
+# truncated and be transparently retried over TCP, and a burst of
+# concurrent clients spread across the SO_REUSEPORT shards. Mid-run
+# the zone file is rewritten and SIGHUPed: answers must flip to the
+# new data without a restart. Finally SIGUSR1 must produce a metrics
+# JSON snapshot that reflects the traffic (fleet totals + per shard).
 #
 # usage: loopback_cli.sh <snsd> <sns-dig> <zone-file>
 set -u
@@ -18,6 +21,7 @@ ZONE=$3
 TMP=$(mktemp -d)
 PORT_FILE=$TMP/port
 METRICS_FILE=$TMP/metrics.json
+LIVE_ZONE=$TMP/zone.loc
 SNSD_PID=
 
 cleanup() {
@@ -34,7 +38,10 @@ fail() {
   exit 1
 }
 
-"$SNSD" --zone "$ZONE" --listen 127.0.0.1 --port 0 \
+# Serve from a private copy so the reload step can rewrite it.
+cp "$ZONE" "$LIVE_ZONE"
+
+"$SNSD" --zone "$LIVE_ZONE" --listen 127.0.0.1 --port 0 --threads 4 \
         --port-file "$PORT_FILE" --metrics-file "$METRICS_FILE" &
 SNSD_PID=$!
 
@@ -94,7 +101,45 @@ esac
 COUNT=$(echo "$OUT" | grep -c "padding-padding")
 [ "$COUNT" -eq 8 ] || fail "expected 8 TXT answers after TCP retry, got $COUNT"
 
-# 7. SIGUSR1 metrics snapshot reflects the traffic above.
+# 7. Concurrent burst across the SO_REUSEPORT shards: 4 parallel
+#    clients, 8 queries each, mixed UDP and TCP. Every single answer
+#    must be correct — a shard cross-wiring or dropping a response
+#    fails its client's loop.
+for c in 1 2 3 4; do
+  (
+    for i in 1 2 3 4 5 6 7 8; do
+      OUT=$("$DIG" @127.0.0.1 -p "$PORT" speaker.lab.loc BDADDR +short) &&
+        [ "$OUT" = "01:23:45:67:89:ab" ] || exit 1
+      OUT=$("$DIG" @127.0.0.1 -p "$PORT" door.lab.loc DTMF +tcp +short) &&
+        [ "$OUT" = "42#" ] || exit 1
+    done
+  ) &
+  eval "CLIENT_$c=$!"
+done
+for c in 1 2 3 4; do
+  eval "wait \$CLIENT_$c" || fail "concurrent client $c saw a bad or missing answer"
+done
+echo "concurrent burst across 4 shards OK"
+
+# 8. SIGHUP live reload: rewrite the zone (speaker moves to a new
+#    Bluetooth address), signal snsd, and the served answer must flip
+#    without a restart. Queries keep being answered throughout.
+sed 's/01:23:45:67:89:ab/aa:bb:cc:dd:ee:ff/' "$LIVE_ZONE" > "$LIVE_ZONE.new"
+mv "$LIVE_ZONE.new" "$LIVE_ZONE"
+kill -HUP "$SNSD_PID"
+tries=0
+while :; do
+  OUT=$("$DIG" @127.0.0.1 -p "$PORT" speaker.lab.loc BDADDR +short) ||
+    fail "query errored during live reload"
+  [ "$OUT" = "aa:bb:cc:dd:ee:ff" ] && break
+  [ "$OUT" = "01:23:45:67:89:ab" ] || fail "unexpected answer during reload: '$OUT'"
+  tries=$((tries + 1))
+  [ "$tries" -le 100 ] || fail "answer never flipped after SIGHUP reload"
+  sleep 0.05
+done
+echo "SIGHUP reload flipped the answer after $tries stale reads"
+
+# 9. SIGUSR1 metrics snapshot reflects the traffic above.
 kill -USR1 "$SNSD_PID"
 tries=0
 while [ ! -s "$METRICS_FILE" ]; do
@@ -105,8 +150,11 @@ done
 grep -q '"transport.udp.queries"' "$METRICS_FILE" || fail "metrics missing udp.queries"
 grep -q '"transport.udp.truncated"' "$METRICS_FILE" || fail "metrics missing udp.truncated"
 grep -q '"transport.tcp.queries"' "$METRICS_FILE" || fail "metrics missing tcp.queries"
+grep -q '"workers":4' "$METRICS_FILE" || fail "metrics missing 4-worker fleet header"
+grep -q '"shards"' "$METRICS_FILE" || fail "metrics missing per-shard breakdown"
+grep -q '"runtime.zone.reload":1' "$METRICS_FILE" || fail "metrics missing reload counter"
 
-# 8. Graceful shutdown.
+# 10. Graceful shutdown.
 kill "$SNSD_PID"
 wait "$SNSD_PID"
 SNSD_PID=

@@ -1,0 +1,125 @@
+// SnapshotStore concurrency tests: the RCU-lite primitive under the
+// multi-core serving runtime. The hammer tests are the point — many
+// reader threads acquiring while a writer republishes as fast as it
+// can — and they are what the ThreadSanitizer CI job watches: a torn
+// pointer, a freed snapshot or a lost update shows up here first.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "runtime/snapshot.hpp"
+
+namespace sns::runtime {
+namespace {
+
+// A snapshot whose fields are self-checking: `twin` is always derived
+// from `serial` before publication, so a reader observing the pair out
+// of sync has seen a torn or half-built snapshot.
+struct Checked {
+  std::uint64_t serial = 0;
+  std::uint64_t twin = 1;  // 2 * serial + 1, always
+
+  static std::shared_ptr<const Checked> make(std::uint64_t serial) {
+    auto snap = std::make_shared<Checked>();
+    snap->serial = serial;
+    snap->twin = 2 * serial + 1;
+    return snap;
+  }
+  [[nodiscard]] bool consistent() const { return twin == 2 * serial + 1; }
+};
+
+TEST(SnapshotStore, StartsEmptyWithGenerationZero) {
+  SnapshotStore<Checked> store;
+  EXPECT_EQ(store.acquire(), nullptr);
+  EXPECT_EQ(store.generation(), 0u);
+}
+
+TEST(SnapshotStore, InitialSnapshotConstructorPublishes) {
+  SnapshotStore<Checked> store(Checked::make(7));
+  ASSERT_NE(store.acquire(), nullptr);
+  EXPECT_EQ(store.acquire()->serial, 7u);
+  EXPECT_EQ(store.generation(), 1u);
+}
+
+TEST(SnapshotStore, PublishReplacesAndBumpsGeneration) {
+  SnapshotStore<Checked> store;
+  EXPECT_EQ(store.publish(Checked::make(1)), 1u);
+  EXPECT_EQ(store.publish(Checked::make(2)), 2u);
+  EXPECT_EQ(store.acquire()->serial, 2u);
+  EXPECT_EQ(store.generation(), 2u);
+}
+
+TEST(SnapshotStore, AcquiredSnapshotOutlivesReplacement) {
+  SnapshotStore<Checked> store;
+  store.publish(Checked::make(1));
+  auto pinned = store.acquire();
+  store.publish(Checked::make(2));
+  // The old generation stays alive (and intact) for as long as some
+  // reader holds it — the RCU grace period via refcount.
+  EXPECT_EQ(pinned->serial, 1u);
+  EXPECT_TRUE(pinned->consistent());
+  EXPECT_EQ(store.acquire()->serial, 2u);
+}
+
+TEST(SnapshotStore, HammerReadersNeverSeeTornOrStaleReorderedState) {
+  // One writer republishing flat out; several readers acquiring in a
+  // tight loop. Every acquired snapshot must be internally consistent
+  // and serials must be monotone per reader (a snapshot can be stale,
+  // but time cannot run backwards).
+  SnapshotStore<Checked> store;
+  store.publish(Checked::make(0));
+
+  constexpr int kReaders = 4;
+  constexpr std::uint64_t kWrites = 4000;
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> torn{0}, regressed{0};
+
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r)
+    readers.emplace_back([&] {
+      std::uint64_t last = 0;
+      while (!done.load(std::memory_order_acquire)) {
+        auto snap = store.acquire();
+        if (snap == nullptr || !snap->consistent()) torn.fetch_add(1);
+        if (snap != nullptr && snap->serial < last) regressed.fetch_add(1);
+        if (snap != nullptr) last = snap->serial;
+      }
+    });
+
+  for (std::uint64_t i = 1; i <= kWrites; ++i) store.publish(Checked::make(i));
+  done.store(true, std::memory_order_release);
+  for (auto& t : readers) t.join();
+
+  EXPECT_EQ(torn.load(), 0u);
+  EXPECT_EQ(regressed.load(), 0u);
+  EXPECT_EQ(store.generation(), kWrites + 1);
+  EXPECT_EQ(store.acquire()->serial, kWrites);
+}
+
+TEST(SnapshotStore, ConcurrentUpdatesComposeInsteadOfLosingWork) {
+  // update() is read-modify-write under the writer mutex: two threads
+  // each incrementing the serial K times must land on exactly 2K.
+  SnapshotStore<Checked> store;
+  store.publish(Checked::make(0));
+
+  constexpr std::uint64_t kPerThread = 2000;
+  auto bump = [&] {
+    for (std::uint64_t i = 0; i < kPerThread; ++i)
+      store.update([](const SnapshotStore<Checked>::Ptr& cur) {
+        return Checked::make(cur->serial + 1);
+      });
+  };
+  std::thread a(bump), b(bump);
+  a.join();
+  b.join();
+
+  EXPECT_EQ(store.acquire()->serial, 2 * kPerThread);
+  EXPECT_EQ(store.generation(), 2 * kPerThread + 1);
+}
+
+}  // namespace
+}  // namespace sns::runtime

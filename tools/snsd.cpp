@@ -2,19 +2,26 @@
 //
 // Loads a master-file zone (including the paper's Table 1 extended
 // types: LOC, BDADDR, WIFI, LORA, DTMF) and serves it authoritatively
-// over real UDP and TCP sockets via the transport subsystem. This is
-// the deployment story of §4.1 made concrete: an SNS zone is an
-// ordinary DNS zone, and snsd is an ordinary (small) DNS server.
+// over real UDP and TCP sockets via the multi-core serving runtime
+// (src/runtime/): N worker shards share the port through SO_REUSEPORT
+// and answer from an RCU-lite zone snapshot, so reloads and RFC 2136
+// dynamic updates land without pausing serving. This is the deployment
+// story of §4.1 made concrete: an SNS zone is an ordinary DNS zone,
+// and snsd is an ordinary (small, now multi-core) DNS server.
 //
-//   snsd --zone office.loc --listen 127.0.0.1 --port 5353
+//   snsd --zone office.loc --listen 127.0.0.1 --port 5353 --threads 4
 //
 // Operational surface:
-//   SIGUSR1          dump the obs::MetricsRegistry snapshot as JSON
+//   SIGHUP           re-parse --zone and publish it atomically; on a
+//                    parse error the old snapshot keeps serving
+//   SIGUSR1          dump fleet metrics JSON (totals + per shard)
 //   --metrics-dump N dump the same JSON every N seconds
 //   --port-file P    write the realised port (for --port 0) to P,
 //                    which is how the loopback integration test finds us
-//   SIGINT/SIGTERM   graceful shutdown
+//   SIGINT/SIGTERM   graceful drain: stop accepting, flush in-flight
+//                    TCP answers, join the workers
 
+#include <atomic>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -23,24 +30,28 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "dns/master.hpp"
 #include "obs/metrics.hpp"
-#include "server/authoritative.hpp"
-#include "transport/dns_server.hpp"
-#include "transport/event_loop.hpp"
+#include "runtime/runtime.hpp"
+#include "server/zone.hpp"
 #include "util/log.hpp"
+#include "util/result.hpp"
 
 namespace {
 
-volatile std::sig_atomic_t g_stop = 0;
-volatile std::sig_atomic_t g_dump_metrics = 0;
+std::atomic<bool> g_stop{false};
+std::atomic<bool> g_dump_metrics{false};
+std::atomic<bool> g_reload{false};
 
 void on_signal(int sig) {
   if (sig == SIGUSR1)
-    g_dump_metrics = 1;
+    g_dump_metrics.store(true);
+  else if (sig == SIGHUP)
+    g_reload.store(true);
   else
-    g_stop = 1;
+    g_stop.store(true);
 }
 
 struct Args {
@@ -48,6 +59,7 @@ struct Args {
   std::string origin = ".";
   std::string listen = "127.0.0.1";
   std::uint16_t port = 5353;
+  std::size_t threads = 0;  // 0 = hardware_concurrency
   std::string port_file;
   std::string metrics_file;  // empty = stderr
   long metrics_dump_seconds = 0;
@@ -61,6 +73,7 @@ int usage(const char* argv0) {
                "  --origin NAME        $ORIGIN applied before the file's own (default .)\n"
                "  --listen ADDR        IPv4 address to bind (default 127.0.0.1)\n"
                "  --port N             UDP+TCP port; 0 picks an ephemeral port (default 5353)\n"
+               "  --threads N          worker shards; 0 = one per hardware thread (default)\n"
                "  --port-file PATH     write the realised port to PATH once bound\n"
                "  --metrics-dump N     dump metrics JSON every N seconds\n"
                "  --metrics-file PATH  metrics JSON destination (default stderr)\n"
@@ -69,8 +82,37 @@ int usage(const char* argv0) {
   return 2;
 }
 
-void dump_metrics(const Args& args, sns::obs::MetricsRegistry& metrics) {
-  std::string json = metrics.to_json();
+/// Parse the master file at `path` into a servable Zone (apex = the
+/// SOA owner). Shared by startup and the SIGHUP reload path.
+sns::util::Result<std::shared_ptr<sns::server::Zone>> load_zone(const std::string& path,
+                                                               const std::string& origin_text) {
+  std::ifstream in(path);
+  if (!in) return sns::util::fail("cannot read zone file " + path);
+  std::ostringstream text;
+  text << in.rdbuf();
+
+  auto origin = sns::dns::Name::parse(origin_text);
+  if (!origin.ok()) return origin.error();
+  auto records = sns::dns::parse_master_file(text.str(), origin.value());
+  if (!records.ok()) return records.error();
+
+  const sns::dns::ResourceRecord* soa = nullptr;
+  for (const auto& rr : records.value())
+    if (rr.type == sns::dns::RRType::SOA) {
+      soa = &rr;
+      break;
+    }
+  if (soa == nullptr) return sns::util::fail("zone file has no SOA record");
+
+  auto* soa_data = std::get_if<sns::dns::SoaData>(&soa->rdata);
+  auto zone = std::make_shared<sns::server::Zone>(
+      soa->name, soa_data != nullptr ? soa_data->mname : soa->name);
+  if (auto loaded = zone->load(records.value()); !loaded.ok()) return loaded.error();
+  return zone;
+}
+
+void dump_metrics(const Args& args, sns::runtime::ServerRuntime& runtime) {
+  std::string json = runtime.metrics_json();
   if (args.metrics_file.empty()) {
     std::fprintf(stderr, "%s\n", json.c_str());
     return;
@@ -95,6 +137,8 @@ int main(int argc, char** argv) {
       args.listen = value;
     else if (arg == "--port" && (value = next()))
       args.port = static_cast<std::uint16_t>(std::atoi(value));
+    else if (arg == "--threads" && (value = next()))
+      args.threads = static_cast<std::size_t>(std::atol(value));
     else if (arg == "--port-file" && (value = next()))
       args.port_file = value;
     else if (arg == "--metrics-dump" && (value = next()))
@@ -109,107 +153,79 @@ int main(int argc, char** argv) {
   if (args.zone_file.empty()) return usage(argv[0]);
   if (args.verbose) sns::util::set_log_level(sns::util::LogLevel::Info);
 
-  // --- load the zone -------------------------------------------------------
-  std::ifstream in(args.zone_file);
-  if (!in) {
-    std::fprintf(stderr, "snsd: cannot read zone file %s\n", args.zone_file.c_str());
-    return 1;
-  }
-  std::ostringstream text;
-  text << in.rdbuf();
-
-  auto origin = sns::dns::Name::parse(args.origin);
-  if (!origin.ok()) {
-    std::fprintf(stderr, "snsd: bad origin: %s\n", origin.error().message.c_str());
-    return 1;
-  }
-  auto records = sns::dns::parse_master_file(text.str(), origin.value());
-  if (!records.ok()) {
-    std::fprintf(stderr, "snsd: zone parse error: %s\n", records.error().message.c_str());
+  auto zone = load_zone(args.zone_file, args.origin);
+  if (!zone.ok()) {
+    std::fprintf(stderr, "snsd: %s\n", zone.error().message.c_str());
     return 1;
   }
 
-  // The SOA owner is the apex; serve exactly that zone.
-  const sns::dns::ResourceRecord* soa = nullptr;
-  for (const auto& rr : records.value())
-    if (rr.type == sns::dns::RRType::SOA) {
-      soa = &rr;
-      break;
-    }
-  if (soa == nullptr) {
-    std::fprintf(stderr, "snsd: zone file has no SOA record\n");
-    return 1;
-  }
-  auto* soa_data = std::get_if<sns::dns::SoaData>(&soa->rdata);
-  auto zone = std::make_shared<sns::server::Zone>(
-      soa->name, soa_data != nullptr ? soa_data->mname : soa->name);
-  if (auto loaded = zone->load(records.value()); !loaded.ok()) {
-    std::fprintf(stderr, "snsd: zone load error: %s\n", loaded.error().message.c_str());
-    return 1;
-  }
-
-  // --- engine + transport --------------------------------------------------
-  auto& metrics = sns::obs::MetricsRegistry::global();
-  sns::server::AuthoritativeServer server("snsd");
-  server.add_zone(zone);
-  server.set_metrics(&metrics);
-
-  sns::transport::EventLoop loop;
-  if (!loop.valid()) {
-    std::fprintf(stderr, "snsd: event loop init failed\n");
-    return 1;
-  }
-  sns::transport::DnsTransportServer transport(
-      loop,
-      [&server](const sns::dns::Message& query, const sns::transport::Endpoint&,
-                sns::transport::Via) {
-        // Real clients are outside every spatial view; split-horizon
-        // deployments would map source addresses to richer contexts here.
-        return server.handle(query, sns::server::ClientContext{});
-      });
-  transport.set_metrics(&metrics);
+  sns::runtime::RuntimeOptions options;
+  options.threads = args.threads;
+  sns::runtime::ServerRuntime runtime("snsd", options);
 
   auto listen = sns::transport::Endpoint::parse(args.listen, args.port);
   if (!listen.ok()) {
     std::fprintf(stderr, "snsd: bad listen address: %s\n", listen.error().message.c_str());
     return 1;
   }
-  if (auto started = transport.start(listen.value()); !started.ok()) {
+  if (auto started = runtime.start(listen.value(), {zone.value()}); !started.ok()) {
     std::fprintf(stderr, "snsd: %s\n", started.error().message.c_str());
     return 1;
   }
 
   if (!args.port_file.empty()) {
     std::ofstream pf(args.port_file, std::ios::trunc);
-    pf << transport.local().port << '\n';
+    pf << runtime.local().port << '\n';
   }
-  std::fprintf(stderr, "snsd: serving %s (%zu records) on %s (udp+tcp)\n",
-               zone->apex().to_string().c_str(), zone->record_count(),
-               transport.local().to_string().c_str());
+  std::fprintf(stderr, "snsd: serving %s (%zu records) on %s (udp+tcp, %zu worker%s)\n",
+               zone.value()->apex().to_string().c_str(), zone.value()->record_count(),
+               runtime.local().to_string().c_str(), runtime.worker_count(),
+               runtime.worker_count() == 1 ? "" : "s");
 
   std::signal(SIGINT, on_signal);
   std::signal(SIGTERM, on_signal);
   std::signal(SIGUSR1, on_signal);
+  std::signal(SIGHUP, on_signal);
 
-  if (args.metrics_dump_seconds > 0) {
-    // Self-rescheduling wheel timer — the real-socket analogue of the
-    // simulator's recurring beacon events.
-    std::function<void()> periodic = [&] {
-      dump_metrics(args, metrics);
-      loop.schedule_after(std::chrono::seconds(args.metrics_dump_seconds), periodic);
-    };
-    loop.schedule_after(std::chrono::seconds(args.metrics_dump_seconds), periodic);
-  }
-
-  while (g_stop == 0) {
-    loop.run_once(200);  // short cap so signal flags are polled promptly
-    if (g_dump_metrics != 0) {
-      g_dump_metrics = 0;
-      dump_metrics(args, metrics);
+  // The workers own the event loops; the main thread is a pure control
+  // plane polling signal flags and the periodic-dump clock.
+  constexpr auto kPoll = std::chrono::milliseconds(50);
+  auto next_dump = std::chrono::steady_clock::now() +
+                   std::chrono::seconds(std::max(args.metrics_dump_seconds, 0L));
+  while (!g_stop.load()) {
+    std::this_thread::sleep_for(kPoll);
+    if (g_dump_metrics.exchange(false)) dump_metrics(args, runtime);
+    if (args.metrics_dump_seconds > 0 && std::chrono::steady_clock::now() >= next_dump) {
+      next_dump += std::chrono::seconds(args.metrics_dump_seconds);
+      dump_metrics(args, runtime);
+    }
+    if (g_reload.exchange(false)) {
+      // SIGHUP live reload: parse off to the side, publish atomically.
+      // A broken file must never take down serving — the old snapshot
+      // stays live and the failure is logged + counted instead.
+      std::size_t old_records = runtime.snapshot()->record_count();
+      auto fresh = load_zone(args.zone_file, args.origin);
+      if (!fresh.ok()) {
+        runtime.metrics().counter("runtime.zone.reload_failed").add();
+        std::fprintf(stderr, "snsd: zone reload failed (still serving old data): %s\n",
+                     fresh.error().message.c_str());
+        continue;
+      }
+      std::size_t new_records = fresh.value()->record_count();
+      std::uint64_t generation = runtime.publish({fresh.value()});
+      runtime.metrics().counter("runtime.zone.reload").add();
+      std::fprintf(stderr, "snsd: reloaded %s: %zu -> %zu records (generation %llu)\n",
+                   fresh.value()->apex().to_string().c_str(), old_records, new_records,
+                   static_cast<unsigned long long>(generation));
     }
   }
+
+  // Fleet totals must be summed before the workers are torn down.
+  sns::obs::MetricsRegistry totals;
+  runtime.merge_metrics(totals);
+  std::uint64_t served = totals.counter_value("server.queries").value_or(0);
+  runtime.drain_and_stop();
   std::fprintf(stderr, "snsd: shutting down after %llu queries\n",
-               static_cast<unsigned long long>(server.queries_served()));
-  transport.close();
+               static_cast<unsigned long long>(served));
   return 0;
 }
