@@ -146,7 +146,15 @@ void MetricsRegistry::merge_from(const MetricsRegistry& other) {
   if (&other == this) return;
   std::scoped_lock lock(mu_, other.mu_);
   for (const auto& [name, counter] : other.counters_) counters_[name].add(counter.value());
-  for (const auto& [name, gauge] : other.gauges_) gauges_[name].add(gauge.value());
+  for (const auto& [name, gauge] : other.gauges_) {
+    Gauge& dst = gauges_[name];
+    if (gauge.merge_policy() == Gauge::Merge::Max) {
+      dst.set_merge(Gauge::Merge::Max);
+      dst.set(std::max(dst.value(), gauge.value()));
+    } else {
+      dst.add(gauge.value());
+    }
+  }
   for (const auto& [name, histogram] : other.histograms_)
     histograms_[name].merge_from(histogram);
 }

@@ -60,12 +60,25 @@ class Counter {
 
 class Gauge {
  public:
+  /// How MetricsRegistry::merge_from folds this gauge into a fleet
+  /// total. Most gauges are additive across shards (connections, queue
+  /// depth: the fleet total is the sum of per-shard values). Max is for
+  /// fleet-wide facts every shard reports independently (snapshot
+  /// generation), where summing would multiply by the shard count.
+  enum class Merge : std::uint8_t { Sum, Max };
+
   void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
   void add(double v) noexcept { value_.fetch_add(v, std::memory_order_relaxed); }
   [[nodiscard]] double value() const noexcept { return value_.load(std::memory_order_relaxed); }
 
+  void set_merge(Merge m) noexcept { merge_.store(m, std::memory_order_relaxed); }
+  [[nodiscard]] Merge merge_policy() const noexcept {
+    return merge_.load(std::memory_order_relaxed);
+  }
+
  private:
   std::atomic<double> value_{0.0};
+  std::atomic<Merge> merge_{Merge::Sum};
 };
 
 /// Log-linear histogram (HdrHistogram-style): one octave per power of
@@ -143,8 +156,10 @@ class MetricsRegistry {
   [[nodiscard]] std::optional<double> gauge_value(const std::string& name) const;
   [[nodiscard]] const Histogram* find_histogram(const std::string& name) const;
 
-  /// Fold another registry's metrics into this one: counters and gauges
-  /// add, histograms merge bucket-wise. The source may belong to a live
+  /// Fold another registry's metrics into this one: counters add,
+  /// gauges merge per their declared policy (sum by default, max for
+  /// non-additive gauges — the destination adopts the source's policy),
+  /// histograms merge bucket-wise. The source may belong to a live
   /// shard that is still recording.
   void merge_from(const MetricsRegistry& other);
 

@@ -31,8 +31,11 @@ util::Status ServerRuntime::start(const transport::Endpoint& at,
   for (std::size_t i = 0; i < n; ++i) {
     auto worker = std::make_unique<Worker>(i, worker_options);
     worker->set_stats_hook([this](obs::MetricsRegistry& m) {
-      m.gauge("runtime.worker.snapshot_generation")
-          .set(static_cast<double>(store_.generation()));
+      // Every shard reports the same fleet-wide generation; max-merge
+      // keeps the fleet "total" from multiplying it by the shard count.
+      auto& gen = m.gauge("runtime.worker.snapshot_generation");
+      gen.set_merge(obs::Gauge::Merge::Max);
+      gen.set(static_cast<double>(store_.generation()));
     });
     auto status = worker->start(bind_at, /*reuse_port=*/true, make_handler(*worker));
     if (!status.ok()) {
@@ -93,38 +96,45 @@ std::unique_ptr<server::AuthoritativeServer> ServerRuntime::build_engine(
 
 dns::Message ServerRuntime::apply_update(const dns::Message& query,
                                          const server::ClientContext& ctx) {
-  // RFC 2136 write path: serialise writers, deep-copy the zone set,
-  // run the full update machinery (zone check, prerequisites, TSIG)
-  // against the copy, and publish only on success. Readers keep
-  // serving the old snapshot throughout — a failed or refused update
-  // leaves no trace.
-  std::lock_guard lock(update_mu_);
-  auto cur = store_.acquire();
-
-  ZoneSnapshot next;
-  next.zones.reserve(cur->zones.size());
-  for (const auto& zone : cur->zones) {
-    auto copy = std::make_shared<server::Zone>(zone->apex(), zone->apex());
-    if (auto loaded = copy->load(zone->all_records()); !loaded.ok()) {
-      util::log_warn("runtime", "update copy-on-write failed: ", loaded.error().message);
-      runtime_metrics_.counter("runtime.zone.update_refused").add();
-      return dns::make_response(query, dns::Rcode::ServFail, false);
+  // RFC 2136 write path, run entirely inside SnapshotStore::update()
+  // so the read-copy-publish step serialises with every other writer
+  // on the store's own mutex — in particular with publish() (the
+  // SIGHUP live-reload path on the control-plane thread). A reload
+  // landing mid-update can no longer be silently reverted by a
+  // successor built from the pre-reload snapshot, and vice versa.
+  // The machinery itself is unchanged: deep-copy the zone set, run
+  // the full update (zone check, prerequisites, TSIG) against the
+  // copy, and publish only on success by returning the successor.
+  // Readers keep serving the old snapshot throughout — a failed or
+  // refused update returns nullptr and leaves no trace.
+  dns::Message response;
+  store_.update([&](const SnapshotStore<ZoneSnapshot>::Ptr& cur)
+                    -> SnapshotStore<ZoneSnapshot>::Ptr {
+    ZoneSnapshot next;
+    next.zones.reserve(cur->zones.size());
+    for (const auto& zone : cur->zones) {
+      auto copy = std::make_shared<server::Zone>(zone->apex(), zone->apex());
+      if (auto loaded = copy->load(zone->all_records()); !loaded.ok()) {
+        util::log_warn("runtime", "update copy-on-write failed: ", loaded.error().message);
+        runtime_metrics_.counter("runtime.zone.update_refused").add();
+        response = dns::make_response(query, dns::Rcode::ServFail, false);
+        return nullptr;
+      }
+      next.zones.push_back(std::move(copy));
     }
-    next.zones.push_back(std::move(copy));
-  }
 
-  server::AuthoritativeServer scratch(name_);
-  for (const auto& zone : next.zones) scratch.add_zone(zone);
-  if (update_key_) scratch.set_update_key(*update_key_);
-  dns::Message response = scratch.handle(query, ctx);
+    server::AuthoritativeServer scratch(name_);
+    for (const auto& zone : next.zones) scratch.add_zone(zone);
+    if (update_key_) scratch.set_update_key(*update_key_);
+    response = scratch.handle(query, ctx);
 
-  if (response.header.rcode == dns::Rcode::NoError) {
-    auto snap = std::make_shared<ZoneSnapshot>(std::move(next));
-    store_.publish(std::move(snap));
+    if (response.header.rcode != dns::Rcode::NoError) {
+      runtime_metrics_.counter("runtime.zone.update_refused").add();
+      return nullptr;
+    }
     runtime_metrics_.counter("runtime.zone.update").add();
-  } else {
-    runtime_metrics_.counter("runtime.zone.update_refused").add();
-  }
+    return std::make_shared<ZoneSnapshot>(std::move(next));
+  });
   return response;
 }
 

@@ -24,7 +24,6 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -118,8 +117,10 @@ class ServerRuntime {
   std::string name_;
   RuntimeOptions options_;
   std::optional<dns::TsigKey> update_key_;
+  // All writers — publish() reloads and apply_update()'s RFC 2136
+  // read-copy-publish — serialise on the store's own writer mutex, so
+  // neither path can lose the other's work.
   SnapshotStore<ZoneSnapshot> store_;
-  std::mutex update_mu_;  // serialises RFC 2136 copy-on-write writers
   std::vector<std::unique_ptr<Worker>> workers_;
   obs::MetricsRegistry runtime_metrics_;
   bool started_ = false;

@@ -56,7 +56,11 @@ class SnapshotStore {
   }
 
   /// Monotonic publish count; 0 until the first publish. Safe from any
-  /// thread (workers export it as a gauge).
+  /// thread (workers export it as a gauge). Loosely coupled to
+  /// acquire(): the count is bumped immediately *before* the pointer
+  /// store, so a racing reader may briefly pair the new generation
+  /// with the previous snapshot — but never a published snapshot with
+  /// a stale count.
   [[nodiscard]] std::uint64_t generation() const noexcept {
     return generation_.load(std::memory_order_acquire);
   }
@@ -65,20 +69,26 @@ class SnapshotStore {
   /// returns. Returns the new generation.
   std::uint64_t publish(Ptr next) {
     std::lock_guard lock(writer_mu_);
+    std::uint64_t gen = generation_.fetch_add(1, std::memory_order_acq_rel) + 1;
     current_.store(std::move(next), std::memory_order_release);
-    return generation_.fetch_add(1, std::memory_order_acq_rel) + 1;
+    return gen;
   }
 
   /// Writer side, read-modify-write: `fn` receives the current
   /// snapshot and returns its successor; the whole step runs under the
-  /// writer mutex so concurrent update() calls compose instead of
-  /// losing each other's work. Returns the new generation.
+  /// writer mutex so concurrent update() and publish() calls compose
+  /// instead of losing each other's work. `fn` may return nullptr to
+  /// abort, leaving the store untouched (no generation bump) — the
+  /// refused-RFC-2136-update path. Returns the resulting generation
+  /// either way.
   template <typename Fn>
   std::uint64_t update(Fn&& fn) {
     std::lock_guard lock(writer_mu_);
     Ptr next = std::forward<Fn>(fn)(current_.load(std::memory_order_acquire));
+    if (next == nullptr) return generation_.load(std::memory_order_acquire);
+    std::uint64_t gen = generation_.fetch_add(1, std::memory_order_acq_rel) + 1;
     current_.store(std::move(next), std::memory_order_release);
-    return generation_.fetch_add(1, std::memory_order_acq_rel) + 1;
+    return gen;
   }
 
  private:

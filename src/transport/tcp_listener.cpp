@@ -104,9 +104,11 @@ void TcpListener::close_conn(int fd, const char* counter) {
   if (it == conns_.end()) return;
   if (it->second->idle_timer != EventLoop::kInvalidTimer) loop_.cancel(it->second->idle_timer);
   loop_.unwatch(fd);
-  conns_.erase(it);  // FdHandle closes the socket
+  // Count before the close so a peer that observed our EOF also
+  // observes the close reason in the metrics.
   bump(counter);
   bump("transport.tcp.closed");
+  conns_.erase(it);  // FdHandle closes the socket
 }
 
 void TcpListener::on_conn_event(int fd, std::uint32_t events) {

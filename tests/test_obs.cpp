@@ -38,6 +38,29 @@ TEST(Metrics, GaugeSetAndAdd) {
   EXPECT_DOUBLE_EQ(registry.gauge("g").value(), 1.5);
 }
 
+TEST(Metrics, MergeHonoursGaugePolicy) {
+  // Shard registries fold into a fleet total: additive gauges sum,
+  // Max-policy gauges (e.g. the snapshot generation every shard
+  // reports independently) take the maximum instead of multiplying by
+  // the shard count.
+  MetricsRegistry shard_a, shard_b, total;
+  shard_a.counter("server.queries").add(3);
+  shard_b.counter("server.queries").add(4);
+  shard_a.gauge("runtime.worker.connections").set(5.0);
+  shard_b.gauge("runtime.worker.connections").set(2.0);
+  for (auto* shard : {&shard_a, &shard_b}) {
+    auto& gen = shard->gauge("runtime.worker.snapshot_generation");
+    gen.set_merge(Gauge::Merge::Max);
+    gen.set(9.0);
+  }
+
+  total.merge_from(shard_a);
+  total.merge_from(shard_b);
+  EXPECT_EQ(total.counter_value("server.queries"), 7u);
+  EXPECT_DOUBLE_EQ(total.gauge_value("runtime.worker.connections").value(), 7.0);
+  EXPECT_DOUBLE_EQ(total.gauge_value("runtime.worker.snapshot_generation").value(), 9.0);
+}
+
 TEST(Metrics, ReferencesStayStableAcrossInserts) {
   MetricsRegistry registry;
   Counter& first = registry.counter("first");

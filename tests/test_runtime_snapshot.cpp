@@ -121,5 +121,61 @@ TEST(SnapshotStore, ConcurrentUpdatesComposeInsteadOfLosingWork) {
   EXPECT_EQ(store.generation(), 2 * kPerThread + 1);
 }
 
+TEST(SnapshotStore, UpdateReturningNullAbortsWithoutPublishing) {
+  // The refused-dynamic-update path: a callback that returns nullptr
+  // leaves the current snapshot and generation untouched.
+  SnapshotStore<Checked> store;
+  store.publish(Checked::make(5));
+
+  std::uint64_t gen = store.update(
+      [](const SnapshotStore<Checked>::Ptr&) -> SnapshotStore<Checked>::Ptr {
+        return nullptr;
+      });
+  EXPECT_EQ(gen, 1u);
+  EXPECT_EQ(store.generation(), 1u);
+  EXPECT_EQ(store.acquire()->serial, 5u);
+}
+
+TEST(SnapshotStore, PublishAndUpdateSerialiseWithoutLostWork) {
+  // The reload-vs-dynamic-update race: one thread republishing
+  // wholesale (SIGHUP reload shape) while another read-modify-writes
+  // through update() (RFC 2136 shape). Because both writers hold the
+  // store's writer mutex across their whole step, every update()
+  // increment lands on whatever snapshot is current at that moment —
+  // an update can never publish a successor built from a snapshot a
+  // concurrent publish() already replaced.
+  SnapshotStore<Checked> store;
+  store.publish(Checked::make(0));
+
+  constexpr std::uint64_t kUpdates = 2000;
+  constexpr std::uint64_t kReloadBase = 1u << 20;
+  std::atomic<bool> stop{false};
+
+  std::thread reloader([&] {
+    // do-while: at least one reload is guaranteed, so the final
+    // snapshot always has a reload in its history regardless of how
+    // the scheduler interleaves the threads.
+    std::uint64_t i = 0;
+    do {
+      store.publish(Checked::make(kReloadBase + (i++ % 16) * kReloadBase));
+    } while (!stop.load(std::memory_order_acquire));
+  });
+  for (std::uint64_t i = 0; i < kUpdates; ++i)
+    store.update([](const SnapshotStore<Checked>::Ptr& cur) {
+      return Checked::make(cur->serial + 1);
+    });
+  stop.store(true, std::memory_order_release);
+  reloader.join();
+
+  // The final serial must be a reload base plus however many updates
+  // landed after that reload — an update applied to a stale
+  // pre-reload snapshot would publish a small serial that silently
+  // reverted the reload.
+  auto last = store.acquire();
+  EXPECT_TRUE(last->consistent());
+  EXPECT_GE(last->serial, kReloadBase);
+  EXPECT_LE(last->serial % kReloadBase, kUpdates);
+}
+
 }  // namespace
 }  // namespace sns::runtime

@@ -249,6 +249,16 @@ TEST_F(TransportLoopback, PipelinedAnswerFlushedBeforeBadFrameCloses) {
     ASSERT_GT(n, 0) << "connection closed before the buffered answer was flushed";
     reader.feed(std::span(buf, static_cast<std::size_t>(n)));
   }
+  // The trailing bad frame is what makes the server hang up, and the
+  // server counts the frame error before closing the socket — so wait
+  // for EOF before sampling the counter, or the check races the
+  // server thread's processing of the second frame.
+  ssize_t eof = 0;
+  do {
+    std::uint8_t drain[256];
+    eof = ::recv(fd, drain, sizeof(drain), 0);
+  } while (eof > 0);
+  EXPECT_EQ(eof, 0) << "expected the server to close after the bad frame";
   ::close(fd);
   EXPECT_EQ(response->header.id, 0x77aa);
   ASSERT_EQ(response->answers.size(), 1u);

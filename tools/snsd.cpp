@@ -22,6 +22,7 @@
 //                    TCP answers, join the workers
 
 #include <atomic>
+#include <cerrno>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -73,7 +74,7 @@ int usage(const char* argv0) {
                "  --origin NAME        $ORIGIN applied before the file's own (default .)\n"
                "  --listen ADDR        IPv4 address to bind (default 127.0.0.1)\n"
                "  --port N             UDP+TCP port; 0 picks an ephemeral port (default 5353)\n"
-               "  --threads N          worker shards; 0 = one per hardware thread (default)\n"
+               "  --threads N          worker shards, 0..1024; 0 = one per hardware thread (default)\n"
                "  --port-file PATH     write the realised port to PATH once bound\n"
                "  --metrics-dump N     dump metrics JSON every N seconds\n"
                "  --metrics-file PATH  metrics JSON destination (default stderr)\n"
@@ -137,8 +138,20 @@ int main(int argc, char** argv) {
       args.listen = value;
     else if (arg == "--port" && (value = next()))
       args.port = static_cast<std::uint16_t>(std::atoi(value));
-    else if (arg == "--threads" && (value = next()))
-      args.threads = static_cast<std::size_t>(std::atol(value));
+    else if (arg == "--threads" && (value = next())) {
+      // Parsed strictly: a negative or garbage value cast to size_t
+      // would ask the runtime for ~2^64 worker shards.
+      constexpr long kMaxThreads = 1024;
+      char* end = nullptr;
+      errno = 0;
+      long n = std::strtol(value, &end, 10);
+      if (errno != 0 || end == value || *end != '\0' || n < 0 || n > kMaxThreads) {
+        std::fprintf(stderr, "snsd: invalid --threads '%s' (expected 0..%ld)\n", value,
+                     kMaxThreads);
+        return 2;
+      }
+      args.threads = static_cast<std::size_t>(n);
+    }
     else if (arg == "--port-file" && (value = next()))
       args.port_file = value;
     else if (arg == "--metrics-dump" && (value = next()))
