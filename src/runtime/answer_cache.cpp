@@ -1,0 +1,172 @@
+#include "runtime/answer_cache.hpp"
+
+#include "dns/message.hpp"
+#include "server/authoritative.hpp"
+#include "server/zone.hpp"
+
+namespace sns::runtime {
+
+namespace {
+
+// Header flag bits (wire order), mirroring dns/message.cpp.
+constexpr std::uint16_t kQrBit = 0x8000;
+constexpr std::uint16_t kOpcodeMask = 0x7800;
+constexpr std::uint16_t kAaBit = 0x0400;
+constexpr std::uint16_t kTcBit = 0x0200;
+constexpr std::uint16_t kRdBit = 0x0100;
+constexpr std::uint16_t kAdBit = 0x0020;
+
+char ascii_lower(std::uint8_t c) {
+  return (c >= 'A' && c <= 'Z') ? static_cast<char>(c + ('a' - 'A')) : static_cast<char>(c);
+}
+
+std::uint16_t rd16(std::span<const std::uint8_t> wire, std::size_t at) {
+  return static_cast<std::uint16_t>((wire[at] << 8) | wire[at + 1]);
+}
+
+void wr16(util::Bytes& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v & 0xff));
+}
+
+/// The only additional section the fast path accepts: exactly one
+/// empty-rdata OPT (root owner), which is what every EDNS0 client sends
+/// and the engine ignores. Anything else could make Message::decode
+/// fail (FORMERR on the decoded path), so equivalence demands we bail.
+bool is_plain_opt(std::span<const std::uint8_t> wire, std::size_t at) {
+  // 0x00 root name, type OPT, class = payload size, 4 TTL bytes, rdlen 0.
+  constexpr std::size_t kEmptyOptLen = 11;
+  if (wire.size() - at != kEmptyOptLen) return false;
+  return wire[at] == 0 && rd16(wire, at + 1) == static_cast<std::uint16_t>(dns::RRType::OPT) &&
+         rd16(wire, at + 9) == 0;
+}
+
+}  // namespace
+
+std::shared_ptr<const AnswerCache> AnswerCache::build(
+    const std::vector<std::shared_ptr<server::Zone>>& zones) {
+  auto cache = std::make_shared<AnswerCache>();
+
+  // The templates come out of the very engine + encoder the decoded
+  // path runs, so a hit cannot drift from what the slow path would
+  // serve. The scratch engine mirrors ServerRuntime::build_engine's
+  // single catch-all view with no signing and no presence rules — the
+  // configuration under which answers depend only on (qname, qtype).
+  server::AuthoritativeServer scratch("answer-cache");
+  for (const auto& zone : zones) scratch.add_zone(zone);
+  server::ClientContext ctx;
+
+  for (const auto& zone : zones) {
+    const dns::Name* owner = nullptr;
+    dns::RRType type{};
+    for (const auto& rr : zone->all_records()) {
+      if (owner != nullptr && rr.name == *owner && rr.type == type) continue;  // same RRset
+      owner = &rr.name;
+      type = rr.type;
+
+      auto query = dns::make_query(0, rr.name, rr.type, /*recursion_desired=*/false);
+      dns::Message response = scratch.handle(query, ctx);
+      // Only plain authoritative positives are cacheable: a delegation,
+      // occluded glue, NODATA-with-SOA or anything carrying authority/
+      // additional records has per-query structure the splice below
+      // cannot reproduce.
+      if (response.header.rcode != dns::Rcode::NoError || !response.header.aa ||
+          response.answers.empty() || !response.authorities.empty() ||
+          !response.additionals.empty())
+        continue;
+
+      auto encoded = response.encode_with_layout();
+      // Whether a >512-byte reply fits depends on the querier's EDNS
+      // advertised size, which only the decoded path evaluates.
+      if (encoded.wire.size() > dns::kClassicUdpLimit) continue;
+
+      Entry entry;
+      entry.answers.assign(encoded.wire.begin() +
+                               static_cast<std::ptrdiff_t>(encoded.questions_end),
+                           encoded.wire.end());
+      entry.ancount = static_cast<std::uint16_t>(response.answers.size());
+
+      std::string key(rr.name.packed());
+      key.push_back(static_cast<char>(static_cast<std::uint16_t>(rr.type) >> 8));
+      key.push_back(static_cast<char>(static_cast<std::uint16_t>(rr.type) & 0xff));
+      cache->entries_.try_emplace(std::move(key), std::move(entry));
+    }
+  }
+  return cache;
+}
+
+bool AnswerCache::try_answer(std::span<const std::uint8_t> query_wire,
+                             util::Bytes& reply) const {
+  constexpr std::size_t kHeader = 12;
+  // Smallest hittable query: header + root name + qtype + qclass.
+  if (entries_.empty() || query_wire.size() < kHeader + 1 + 4) return false;
+
+  std::uint16_t flags = rd16(query_wire, 2);
+  if ((flags & kQrBit) != 0) return false;         // a response, not a query
+  if ((flags & kOpcodeMask) != 0) return false;    // only opcode Query (Update → engine!)
+  if (rd16(query_wire, 4) != 1) return false;      // qdcount
+  if (rd16(query_wire, 6) != 0) return false;      // ancount
+  if (rd16(query_wire, 8) != 0) return false;      // nscount
+  std::uint16_t arcount = rd16(query_wire, 10);
+  if (arcount > 1) return false;
+
+  // Walk the question name: plain labels only (a compression pointer in
+  // a question is legal but nothing our clients emit — slow path), and
+  // lowercase into the probe key exactly as Name::packed() does.
+  std::string key;
+  key.reserve(48);
+  std::size_t pos = kHeader;
+  for (;;) {
+    if (pos >= query_wire.size()) return false;
+    std::uint8_t len = query_wire[pos];
+    if (len == 0) {
+      ++pos;
+      break;
+    }
+    if (len > 63) return false;  // compression pointer or malformed
+    if (pos + 1 + len > query_wire.size()) return false;
+    if (key.size() + 1 + len > 255) return false;  // name too long to be valid
+    key.push_back(static_cast<char>(len));
+    for (std::size_t i = 0; i < len; ++i) key.push_back(ascii_lower(query_wire[pos + 1 + i]));
+    pos += 1 + static_cast<std::size_t>(len);
+  }
+  if (pos + 4 > query_wire.size()) return false;
+  std::uint16_t qtype = rd16(query_wire, pos);
+  if (rd16(query_wire, pos + 2) != 1) return false;  // class IN only
+  std::size_t question_end = pos + 4;
+
+  // Everything after the question must be either nothing or the one
+  // empty OPT; arbitrary trailing bytes go to the decoded path.
+  if (arcount == 0 ? question_end != query_wire.size()
+                   : !is_plain_opt(query_wire, question_end))
+    return false;
+
+  key.push_back(static_cast<char>(qtype >> 8));
+  key.push_back(static_cast<char>(qtype & 0xff));
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return false;
+  const Entry& entry = it->second;
+
+  // Assemble: patched header, the client's question bytes verbatim
+  // (case echoed; identical label lengths keep the template's
+  // compression pointers valid), precompiled answer bytes. The flag
+  // mapping reproduces make_response: opcode/TC/RD/AD echoed, QR and
+  // AA set, RA and RCODE cleared, Z bits dropped.
+  std::size_t question_len = question_end - kHeader;
+  reply.clear();
+  reply.reserve(kHeader + question_len + entry.answers.size());
+  reply.push_back(query_wire[0]);  // id
+  reply.push_back(query_wire[1]);
+  wr16(reply, static_cast<std::uint16_t>(
+                  (flags & (kOpcodeMask | kTcBit | kRdBit | kAdBit)) | kQrBit | kAaBit));
+  wr16(reply, 1);              // qdcount
+  wr16(reply, entry.ancount);  // ancount
+  wr16(reply, 0);              // nscount
+  wr16(reply, 0);              // arcount (the engine never echoes an OPT)
+  reply.insert(reply.end(), query_wire.begin() + kHeader,
+               query_wire.begin() + static_cast<std::ptrdiff_t>(question_end));
+  reply.insert(reply.end(), entry.answers.begin(), entry.answers.end());
+  return true;
+}
+
+}  // namespace sns::runtime

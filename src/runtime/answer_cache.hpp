@@ -1,0 +1,81 @@
+// answer_cache.hpp — precompiled positive answers for the UDP hot path.
+//
+// A query that hits an authoritative RRset costs, on the decoded path,
+// a full Message::decode, an engine walk and a Message::encode. But an
+// authoritative server's positive answers are a pure function of the
+// zone contents: for a snapshot of the zone, the wire bytes of the
+// answer to (qname, qtype) never change. This cache precomputes them
+// once per snapshot — by running the *real* engine and encoder at
+// build time — so a hit at serving time is a key probe, one memcpy and
+// a 12-byte header patch.
+//
+// Concurrency comes from immutability, not locking: the cache is built
+// off to the side, sealed, and published *inside* a ZoneSnapshot
+// through the runtime's SnapshotStore. Every reader thread sees either
+// the old snapshot (with its old cache) or the new one; the generation
+// bump that publishes a SIGHUP reload or an RFC 2136 update replaces
+// the cache wholesale, so invalidation is free and there is no
+// hit-after-update window. See DESIGN.md §12.
+//
+// Byte-for-byte equivalence with the decoded path is maintained by
+// construction (the templates come out of the same engine + encoder)
+// plus splicing: the reply echoes the *client's* question bytes
+// verbatim, and the header patch reproduces exactly the flag mapping
+// make_response applies (opcode/RD/TC/AD echoed, QR+AA set, RA/RCODE
+// cleared). Anything the fast path cannot prove equivalent — unusual
+// counts, compressed question names, non-IN class, a reply over 512
+// bytes (whose fit depends on the querier's EDNS size), a (name, type)
+// the engine would answer with anything but a plain positive RRset —
+// falls through to the decoded path.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace sns::server {
+class Zone;
+}
+
+namespace sns::obs {
+class MetricsRegistry;
+}
+
+namespace sns::runtime {
+
+class AnswerCache {
+ public:
+  /// Precompile every cacheable (owner, type) of `zones`. Cacheable
+  /// means: the engine's answer is a plain authoritative positive
+  /// (NoError, non-empty answers, empty authority/additional) — apex
+  /// and in-zone RRsets qualify; delegations, glue, wildcard-synthesis
+  /// sources and anything occluded below a cut do not.
+  [[nodiscard]] static std::shared_ptr<const AnswerCache> build(
+      const std::vector<std::shared_ptr<server::Zone>>& zones);
+
+  /// Fast-path attempt on a raw query datagram. On hit, assembles the
+  /// complete reply into `reply` and returns true. Returns false (and
+  /// leaves `reply` alone) whenever equivalence with the decoded path
+  /// cannot be guaranteed cheaply; the caller then takes that path.
+  [[nodiscard]] bool try_answer(std::span<const std::uint8_t> query_wire,
+                                util::Bytes& reply) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+
+ private:
+  struct Entry {
+    util::Bytes answers;      // wire bytes after the question section
+    std::uint16_t ancount = 0;
+  };
+
+  // Key: canonical packed qname bytes (lowercased wire form, as
+  // dns::Name::packed()) + 2 big-endian qtype bytes.
+  std::unordered_map<std::string, Entry> entries_;
+};
+
+}  // namespace sns::runtime

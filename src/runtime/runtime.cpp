@@ -26,7 +26,7 @@ util::Status ServerRuntime::start(const transport::Endpoint& at,
   std::size_t n = options_.threads;
   if (n == 0) n = std::max<std::size_t>(1, std::thread::hardware_concurrency());
 
-  WorkerOptions worker_options{options_.tcp, options_.stats_interval};
+  WorkerOptions worker_options{options_.tcp, options_.stats_interval, options_.udp_batch};
   transport::Endpoint bind_at = at;
   for (std::size_t i = 0; i < n; ++i) {
     auto worker = std::make_unique<Worker>(i, worker_options);
@@ -37,7 +37,8 @@ util::Status ServerRuntime::start(const transport::Endpoint& at,
       gen.set_merge(obs::Gauge::Merge::Max);
       gen.set(static_cast<double>(store_.generation()));
     });
-    auto status = worker->start(bind_at, /*reuse_port=*/true, make_handler(*worker));
+    auto status = worker->start(bind_at, /*reuse_port=*/true, make_handler(*worker),
+                                make_raw_handler(*worker));
     if (!status.ok()) {
       stop();
       return status;
@@ -54,9 +55,18 @@ util::Status ServerRuntime::start(const transport::Endpoint& at,
 }
 
 std::uint64_t ServerRuntime::publish(std::vector<std::shared_ptr<server::Zone>> zones) {
+  return store_.publish(make_snapshot(std::move(zones)));
+}
+
+std::shared_ptr<ZoneSnapshot> ServerRuntime::make_snapshot(
+    std::vector<std::shared_ptr<server::Zone>> zones) const {
   auto snap = std::make_shared<ZoneSnapshot>();
   snap->zones = std::move(zones);
-  return store_.publish(std::move(snap));
+  // Precompiling here — off the serving path, before the snapshot is
+  // visible to any reader — is what lets serving-time hits skip
+  // decode/engine/encode entirely without a single lock (DESIGN.md §12).
+  if (options_.answer_cache) snap->answer_cache = AnswerCache::build(snap->zones);
+  return snap;
 }
 
 const transport::Endpoint& ServerRuntime::local() const {
@@ -66,6 +76,10 @@ const transport::Endpoint& ServerRuntime::local() const {
 
 transport::DnsHandler ServerRuntime::make_handler(Worker& worker) {
   auto shard = std::make_shared<Shard>();
+  // Created eagerly: with the answer cache absorbing steady-state UDP
+  // traffic, a shard may not build an engine for a long time, and the
+  // fleet dump should still show the counter (as zero).
+  worker.metrics().counter("runtime.worker.snapshot_refresh");
   return [this, shard, &worker](const dns::Message& query, const transport::Endpoint&,
                                 transport::Via) {
     // One atomic load per query; the engine is rebuilt only when the
@@ -82,6 +96,29 @@ transport::DnsHandler ServerRuntime::make_handler(Worker& worker) {
     server::ClientContext ctx;
     if (query.header.opcode == dns::Opcode::Update) return apply_update(query, ctx);
     return shard->engine->handle(query, ctx);
+  };
+}
+
+transport::RawDnsHandler ServerRuntime::make_raw_handler(Worker& worker) {
+  if (!options_.answer_cache) return nullptr;
+  // Counter references are stable for the registry's lifetime; taking
+  // them here (before the worker thread starts) keeps the hot path to
+  // one relaxed add. Creating them eagerly also makes the cache's
+  // counters visible in fleet dumps from the first SIGUSR1 on.
+  auto& hits = worker.metrics().counter("runtime.answer_cache.hit");
+  auto& misses = worker.metrics().counter("runtime.answer_cache.miss");
+  return [this, &hits, &misses](std::span<const std::uint8_t> wire, const transport::Endpoint&,
+                                transport::Via, util::Bytes& reply) {
+    auto snap = store_.acquire();
+    if (snap->answer_cache != nullptr && snap->answer_cache->try_answer(wire, reply)) {
+      hits.add();
+      return true;
+    }
+    // Misses include every datagram the fast path cannot prove
+    // equivalent (negative answers, malformed input, exotic flags) —
+    // they all fall through to the decoded path.
+    misses.add();
+    return false;
   };
 }
 
@@ -133,7 +170,10 @@ dns::Message ServerRuntime::apply_update(const dns::Message& query,
       return nullptr;
     }
     runtime_metrics_.counter("runtime.zone.update").add();
-    return std::make_shared<ZoneSnapshot>(std::move(next));
+    // make_snapshot precompiles the successor's answer cache before the
+    // publish below makes it visible — a reader never pairs new zones
+    // with the old cache or vice versa.
+    return make_snapshot(std::move(next.zones));
   });
   return response;
 }

@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "runtime/answer_cache.hpp"
 #include "runtime/snapshot.hpp"
 #include "runtime/worker.hpp"
 #include "server/authoritative.hpp"
@@ -42,14 +43,25 @@ struct RuntimeOptions {
   /// before force-closing the stragglers.
   transport::Duration drain_grace = std::chrono::seconds(5);
   transport::Duration stats_interval = std::chrono::milliseconds(500);
+  /// Datagrams per UDP syscall round on each shard (recvmmsg/sendmmsg);
+  /// 1 disables batching, and non-Linux builds clamp to 1.
+  std::size_t udp_batch = transport::kUdpBatchDefault;
+  /// Precompile positive answers into every published snapshot and
+  /// serve cache hits on the UDP wire fast path (DESIGN.md §12).
+  bool answer_cache = true;
 };
 
 /// One immutable generation of serving state. Zones are frozen once
 /// the snapshot is published: the only code allowed to mutate a Zone
 /// is the copy-on-write writer path, and it only touches copies that
-/// are not yet visible to any reader.
+/// are not yet visible to any reader. The precompiled-answer cache is
+/// part of the snapshot for the same reason the zones are: a reader
+/// sees cache and zone data consistent by construction, and the
+/// generation bump that publishes new zones retires the old cache with
+/// them — invalidation needs no locking and has no stale-hit window.
 struct ZoneSnapshot {
   std::vector<std::shared_ptr<server::Zone>> zones;
+  std::shared_ptr<const AnswerCache> answer_cache;  // null when disabled
   [[nodiscard]] std::size_t record_count() const;
 };
 
@@ -110,6 +122,11 @@ class ServerRuntime {
   };
 
   transport::DnsHandler make_handler(Worker& worker);
+  transport::RawDnsHandler make_raw_handler(Worker& worker);
+  /// Snapshot construction: seals the zone list and precompiles the
+  /// answer cache (when enabled).
+  [[nodiscard]] std::shared_ptr<ZoneSnapshot> make_snapshot(
+      std::vector<std::shared_ptr<server::Zone>> zones) const;
   [[nodiscard]] std::unique_ptr<server::AuthoritativeServer> build_engine(
       const ZoneSnapshot& snap, obs::MetricsRegistry* metrics) const;
   dns::Message apply_update(const dns::Message& query, const server::ClientContext& ctx);

@@ -13,11 +13,13 @@ Worker::~Worker() {
 }
 
 util::Status Worker::start(const transport::Endpoint& at, bool reuse_port,
-                           transport::DnsHandler handler) {
+                           transport::DnsHandler handler, transport::RawDnsHandler raw) {
   if (!loop_.valid()) return util::fail("worker " + std::to_string(index_) + ": event loop init");
   server_ = std::make_unique<transport::DnsTransportServer>(loop_, std::move(handler),
                                                             options_.tcp);
   server_->set_metrics(&metrics_);
+  server_->set_udp_batch(options_.udp_batch);
+  if (raw) server_->set_raw_udp_handler(std::move(raw));
   if (auto started = server_->start(at, reuse_port); !started.ok()) return started;
 
   // Self-rescheduling gauge refresh; armed before run() starts, so the

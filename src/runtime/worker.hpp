@@ -27,6 +27,8 @@ struct WorkerOptions {
   /// Cadence of the self-scheduled gauge refresh (connections, queue
   /// depth, snapshot generation) on the worker's own loop.
   transport::Duration stats_interval = std::chrono::milliseconds(500);
+  /// Datagrams per UDP syscall round (UdpListener::set_batch_size).
+  std::size_t udp_batch = transport::kUdpBatchDefault;
 };
 
 class Worker {
@@ -44,10 +46,11 @@ class Worker {
   }
 
   /// Bind both listeners to `at` (SO_REUSEPORT when `reuse_port`) with
-  /// `handler` as the query entry point, then start the serving
-  /// thread. The handler runs on this worker's thread only.
+  /// `handler` as the query entry point — preceded on UDP by the
+  /// optional `raw` wire fast path (handler.hpp) — then start the
+  /// serving thread. Both handlers run on this worker's thread only.
   util::Status start(const transport::Endpoint& at, bool reuse_port,
-                     transport::DnsHandler handler);
+                     transport::DnsHandler handler, transport::RawDnsHandler raw = nullptr);
 
   /// Graceful shutdown: posts a drain to the loop (stop accepting,
   /// flush owed TCP answers), polls for completion on the loop's own

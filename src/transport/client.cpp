@@ -82,9 +82,15 @@ Result<dns::Message> udp_query(const Endpoint& server, const dns::Message& query
         break;  // next attempt
       }
       std::uint8_t buf[65535];
-      ssize_t n = ::recv(fd.get(), buf, sizeof(buf), 0);
+      ssize_t n;
+      do {
+        n = ::recv(fd.get(), buf, sizeof(buf), 0);
+      } while (n < 0 && errno == EINTR);  // stray signal: just retry the read
       if (n < 0) {
-        if (errno == EINTR || errno == EAGAIN) continue;
+        // Not readable after all (spurious wakeup, or a datagram the
+        // kernel dropped after poll reported it): go back to poll()
+        // rather than spinning on recv until the deadline.
+        if (errno == EAGAIN || errno == EWOULDBLOCK) continue;
         last_error = errno_message("recv(udp)");
         break;
       }

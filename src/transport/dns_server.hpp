@@ -45,6 +45,16 @@ class DnsTransportServer {
     tcp_.set_metrics(metrics);
   }
 
+  /// UDP syscall batching (see UdpListener::set_batch_size). Set before
+  /// start().
+  void set_udp_batch(std::size_t n) noexcept { udp_.set_batch_size(n); }
+
+  /// Wire-level UDP fast path (handler.hpp); the precompiled-answer
+  /// cache hooks in here. TCP keeps the decoded path: it is the
+  /// truncation-retry fallback and already amortises syscalls through
+  /// pipelining.
+  void set_raw_udp_handler(RawDnsHandler raw) { udp_.set_raw_handler(std::move(raw)); }
+
  private:
   UdpListener udp_;
   TcpListener tcp_;

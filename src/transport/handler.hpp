@@ -23,4 +23,14 @@ inline const char* to_string(Via via) { return via == Via::Udp ? "udp" : "tcp"; 
 using DnsHandler =
     std::function<dns::Message(const dns::Message& query, const Endpoint& peer, Via via)>;
 
+/// Optional wire-level fast path, tried *before* Message::decode. Given
+/// the raw query datagram, either produce the complete reply wire into
+/// `reply` and return true, or return false to fall through to the
+/// decoded DnsHandler. This is how the runtime's precompiled-answer
+/// cache turns a hit into header-patch + memcpy with no decode, no
+/// engine walk and no encode (src/runtime/answer_cache.hpp). Same
+/// threading contract as DnsHandler: event-loop thread, must not block.
+using RawDnsHandler = std::function<bool(std::span<const std::uint8_t> query_wire,
+                                         const Endpoint& peer, Via via, util::Bytes& reply)>;
+
 }  // namespace sns::transport

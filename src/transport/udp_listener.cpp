@@ -4,6 +4,7 @@
 #include <sys/epoll.h>
 #include <sys/socket.h>
 
+#include <algorithm>
 #include <cerrno>
 
 #include "obs/metrics.hpp"
@@ -12,6 +13,13 @@
 namespace sns::transport {
 
 namespace {
+
+/// Per-readiness-event drain budget (both paths): a flood must not
+/// starve timers and TCP peers sharing the loop.
+constexpr int kMaxDatagramsPerWake = 64;
+
+/// Largest UDP payload a DNS message can occupy.
+constexpr std::size_t kDatagramMax = 65535;
 
 /// Minimal FORMERR reply for a datagram we could not decode: echo the
 /// transaction id (first two bytes) so the querier can correlate, QR=1,
@@ -39,6 +47,12 @@ util::Status UdpListener::bind(const Endpoint& at, bool reuse_port) {
   if (!local.ok()) return local.error();
   bound_ = local.value();
   fd_ = std::move(fd).value();
+  if (metrics_ != nullptr) {
+    // Create the flood/ops metrics eagerly so fleet dumps report
+    // zeroes rather than absence before the first event.
+    metrics_->counter("transport.udp.send_errors");
+    if (batch_size_ > 1) metrics_->histogram("transport.udp.batch_size");
+  }
   return loop_.watch(fd_.get(), EPOLLIN, [this](std::uint32_t) { on_readable(); });
 }
 
@@ -48,30 +62,29 @@ void UdpListener::close() {
   fd_.reset();
 }
 
-void UdpListener::on_readable() {
-  // Drain, but bounded: a flood must not starve timers and TCP peers.
-  constexpr int kMaxDatagramsPerWake = 64;
-  std::uint8_t buf[65535];
-  for (int i = 0; i < kMaxDatagramsPerWake; ++i) {
-    sockaddr_in sa{};
-    socklen_t sa_len = sizeof(sa);
-    ssize_t n = ::recvfrom(fd_.get(), buf, sizeof(buf), 0, reinterpret_cast<sockaddr*>(&sa),
-                           &sa_len);
-    if (n < 0) {
-      if (errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR)
-        util::log_warn("transport", "udp recvfrom: ", errno_message("recvfrom"));
-      return;
-    }
-    Endpoint peer = Endpoint::from_sockaddr(sa);
-    std::span<const std::uint8_t> wire(buf, static_cast<std::size_t>(n));
+void UdpListener::set_batch_size(std::size_t n) noexcept {
+  if (!kUdpBatchSupported) n = 1;
+  batch_size_ = std::clamp<std::size_t>(n, 1, kMaxBatch);
+}
 
+void UdpListener::on_readable() {
+  if (batch_size_ > 1)
+    on_readable_batch(kMaxDatagramsPerWake);
+  else
+    on_readable_single(kMaxDatagramsPerWake);
+}
+
+bool UdpListener::process_datagram(std::span<const std::uint8_t> wire, const Endpoint& peer,
+                                   util::Bytes& reply) {
+  if (raw_handler_ && raw_handler_(wire, peer, Via::Udp, reply)) {
+    if (metrics_ != nullptr) metrics_->counter("transport.udp.queries").add();
+  } else {
     auto query = dns::Message::decode(wire);
-    util::Bytes reply_wire;
     if (!query.ok()) {
       if (metrics_ != nullptr) metrics_->counter("transport.udp.malformed").add();
       auto formerr = formerr_reply(wire);
-      if (!formerr) continue;
-      reply_wire = std::move(*formerr);
+      if (!formerr) return false;
+      reply = std::move(*formerr);
     } else {
       if (metrics_ != nullptr) metrics_->counter("transport.udp.queries").add();
       TimePoint handle_start = loop_.now();
@@ -79,17 +92,141 @@ void UdpListener::on_readable() {
       if (metrics_ != nullptr)
         metrics_->histogram("transport.udp.handle_us")
             .record(static_cast<std::uint64_t>((loop_.now() - handle_start).count()));
-      reply_wire = dns::encode_for_transport(query.value(), response);
-      // TC bit lives in byte 2, bit 0x02 — counted so operators can see
-      // how often clients are being pushed to TCP.
-      if (metrics_ != nullptr && reply_wire.size() > 2 && (reply_wire[2] & 0x02) != 0)
-        metrics_->counter("transport.udp.truncated").add();
+      reply = dns::encode_for_transport(query.value(), response);
     }
+  }
+  // TC bit lives in byte 2, bit 0x02 — counted so operators can see
+  // how often clients are being pushed to TCP.
+  if (metrics_ != nullptr && reply.size() > 2 && (reply[2] & 0x02) != 0)
+    metrics_->counter("transport.udp.truncated").add();
+  return true;
+}
 
-    ssize_t sent = ::sendto(fd_.get(), reply_wire.data(), reply_wire.size(), 0,
-                            reinterpret_cast<const sockaddr*>(&sa), sa_len);
-    if (sent >= 0 && metrics_ != nullptr) metrics_->counter("transport.udp.responses").add();
+void UdpListener::count_send_error(int err) {
+  if (metrics_ != nullptr) metrics_->counter("transport.udp.send_errors").add();
+  // Rate-limited: a saturated send buffer must not turn into a log
+  // flood that makes the saturation worse.
+  TimePoint now = loop_.now();
+  if (now - last_send_warn_ >= std::chrono::seconds(1)) {
+    last_send_warn_ = now;
+    errno = err;
+    util::log_warn("transport", "udp send failed (reply dropped): ", errno_message("sendto"));
   }
 }
+
+void UdpListener::on_readable_single(int budget) {
+  std::uint8_t buf[kDatagramMax];
+  for (int i = 0; i < budget; ++i) {
+    sockaddr_in sa{};
+    socklen_t sa_len = sizeof(sa);
+    ssize_t n = ::recvfrom(fd_.get(), buf, sizeof(buf), 0, reinterpret_cast<sockaddr*>(&sa),
+                           &sa_len);
+    if (n < 0) {
+      // A stray signal must not abort the drain: retry without burning
+      // budget progress. Only empty-socket or a real error ends it.
+      if (errno == EINTR) continue;
+      if (errno != EAGAIN && errno != EWOULDBLOCK)
+        util::log_warn("transport", "udp recvfrom: ", errno_message("recvfrom"));
+      return;
+    }
+    Endpoint peer = Endpoint::from_sockaddr(sa);
+    util::Bytes reply;
+    if (!process_datagram(std::span(buf, static_cast<std::size_t>(n)), peer, reply)) continue;
+
+    ssize_t sent = ::sendto(fd_.get(), reply.data(), reply.size(), 0,
+                            reinterpret_cast<const sockaddr*>(&sa), sa_len);
+    if (sent < 0) {
+      count_send_error(errno);
+    } else if (metrics_ != nullptr) {
+      metrics_->counter("transport.udp.responses").add();
+    }
+  }
+}
+
+#if defined(__linux__)
+
+void UdpListener::on_readable_batch(int budget) {
+  const std::size_t batch = batch_size_;
+  if (batch_buffers_.size() < batch * kDatagramMax)
+    batch_buffers_.resize(batch * kDatagramMax);
+
+  mmsghdr recv_msgs[kMaxBatch];
+  iovec recv_iovs[kMaxBatch];
+  sockaddr_in peers[kMaxBatch];
+  util::Bytes replies[kMaxBatch];
+  mmsghdr send_msgs[kMaxBatch];
+  iovec send_iovs[kMaxBatch];
+
+  while (budget > 0) {
+    unsigned want = static_cast<unsigned>(std::min<int>(budget, static_cast<int>(batch)));
+    for (unsigned i = 0; i < want; ++i) {
+      recv_iovs[i] = {batch_buffers_.data() + i * kDatagramMax, kDatagramMax};
+      recv_msgs[i] = {};
+      recv_msgs[i].msg_hdr.msg_iov = &recv_iovs[i];
+      recv_msgs[i].msg_hdr.msg_iovlen = 1;
+      recv_msgs[i].msg_hdr.msg_name = &peers[i];
+      recv_msgs[i].msg_hdr.msg_namelen = sizeof(peers[i]);
+      peers[i] = {};
+    }
+    int received = ::recvmmsg(fd_.get(), recv_msgs, want, 0, nullptr);
+    if (received < 0) {
+      // Same drain contract as the single path: EINTR retries, an
+      // empty socket or a real error ends the wake.
+      if (errno == EINTR) continue;
+      if (errno != EAGAIN && errno != EWOULDBLOCK)
+        util::log_warn("transport", "udp recvmmsg: ", errno_message("recvmmsg"));
+      return;
+    }
+    budget -= received;
+    if (metrics_ != nullptr)
+      metrics_->histogram("transport.udp.batch_size")
+          .record(static_cast<std::uint64_t>(received));
+
+    // Answer the whole batch, then push every owed reply with one
+    // sendmmsg. Replies keep batch order; datagrams owing nothing
+    // (sub-2-byte garbage) are compacted out.
+    unsigned owed = 0;
+    for (unsigned i = 0; i < static_cast<unsigned>(received); ++i) {
+      std::span<const std::uint8_t> wire(batch_buffers_.data() + i * kDatagramMax,
+                                         recv_msgs[i].msg_len);
+      Endpoint peer = Endpoint::from_sockaddr(peers[i]);
+      if (!process_datagram(wire, peer, replies[owed])) continue;
+      send_iovs[owed] = {replies[owed].data(), replies[owed].size()};
+      send_msgs[owed] = {};
+      send_msgs[owed].msg_hdr.msg_iov = &send_iovs[owed];
+      send_msgs[owed].msg_hdr.msg_iovlen = 1;
+      // Reply to the slot the datagram arrived in, not slot `owed`.
+      send_msgs[owed].msg_hdr.msg_name = &peers[i];
+      send_msgs[owed].msg_hdr.msg_namelen = recv_msgs[i].msg_hdr.msg_namelen;
+      ++owed;
+    }
+
+    unsigned sent_total = 0;
+    while (sent_total < owed) {
+      int sent = ::sendmmsg(fd_.get(), send_msgs + sent_total, owed - sent_total, 0);
+      if (sent < 0) {
+        if (errno == EINTR) continue;
+        // Send buffer full (or a per-destination error on the first
+        // pending reply): UDP may drop, so count every undelivered
+        // reply and move on — the client retransmits.
+        int err = errno;
+        for (unsigned i = sent_total; i < owed; ++i) count_send_error(err);
+        break;
+      }
+      sent_total += static_cast<unsigned>(sent);
+      if (metrics_ != nullptr)
+        metrics_->counter("transport.udp.responses").add(static_cast<std::uint64_t>(sent));
+    }
+
+    // recvmmsg returning fewer than asked means the socket is dry.
+    if (static_cast<unsigned>(received) < want) return;
+  }
+}
+
+#else  // !__linux__
+
+void UdpListener::on_readable_batch(int budget) { on_readable_single(budget); }
+
+#endif
 
 }  // namespace sns::transport

@@ -7,7 +7,17 @@
 // the querier's EDNS0 advertised payload size and falls back to a
 // TC=1 header+question prefix when the answer does not fit (the client
 // then retries over TCP; see tcp_listener.hpp for the other half).
+//
+// On Linux the drain runs in batch mode: one recvmmsg() pulls up to
+// `batch_size` datagrams, every reply is collected, and one sendmmsg()
+// pushes them all back out — two syscalls per wake instead of two per
+// datagram, which is where the per-datagram serving cost lives once
+// encoding is cached (DESIGN.md §12). Platforms without the mmsg
+// syscalls (and batch_size <= 1) use the single-datagram path; both
+// paths produce byte-identical replies for identical input.
 #pragma once
+
+#include <vector>
 
 #include "transport/event_loop.hpp"
 #include "transport/handler.hpp"
@@ -17,6 +27,20 @@ class MetricsRegistry;
 }
 
 namespace sns::transport {
+
+/// True when this build can batch datagram syscalls (Linux recvmmsg/
+/// sendmmsg); elsewhere set_batch_size clamps to the single path.
+#if defined(__linux__)
+inline constexpr bool kUdpBatchSupported = true;
+#else
+inline constexpr bool kUdpBatchSupported = false;
+#endif
+
+/// Default datagrams per recvmmsg/sendmmsg round. 32 keeps the
+/// per-listener receive buffers at 32 × 64 KiB = 2 MiB while amortising
+/// the syscall pair ~30× under load; the per-wake drain bound still
+/// caps total work per readiness event.
+inline constexpr std::size_t kUdpBatchDefault = kUdpBatchSupported ? 32 : 1;
 
 class UdpListener {
  public:
@@ -34,18 +58,46 @@ class UdpListener {
 
   [[nodiscard]] const Endpoint& local() const noexcept { return bound_; }
 
-  /// Counters: transport.udp.{queries,responses,truncated,malformed}.
-  /// Histogram: transport.udp.handle_us.
+  /// Datagrams drained/answered per syscall round. Clamped to
+  /// [1, kMaxBatch]; values > 1 need kUdpBatchSupported (clamped to 1
+  /// otherwise). 1 selects the plain recvfrom/sendto path. Call before
+  /// bind() or from the loop thread.
+  void set_batch_size(std::size_t n) noexcept;
+  [[nodiscard]] std::size_t batch_size() const noexcept { return batch_size_; }
+
+  /// Wire-level fast path consulted before Message::decode; see
+  /// handler.hpp. Null (default) means every datagram takes the
+  /// decoded path.
+  void set_raw_handler(RawDnsHandler raw) { raw_handler_ = std::move(raw); }
+
+  /// Counters: transport.udp.{queries,responses,truncated,malformed,
+  /// send_errors}. Histograms: transport.udp.{handle_us,batch_size}.
   void set_metrics(obs::MetricsRegistry* metrics) noexcept { metrics_ = metrics; }
+
+  /// Hard ceiling on batch_size (bounds the preallocated buffers).
+  static constexpr std::size_t kMaxBatch = 64;
 
  private:
   void on_readable();
+  void on_readable_single(int budget);
+  void on_readable_batch(int budget);
+  /// Decode/handle one datagram; false when no reply is owed (not even
+  /// a FORMERR: the id did not survive). Shared by both drain paths.
+  bool process_datagram(std::span<const std::uint8_t> wire, const Endpoint& peer,
+                        util::Bytes& reply);
+  void count_send_error(int err);
 
   EventLoop& loop_;
   DnsHandler handler_;
+  RawDnsHandler raw_handler_;
   FdHandle fd_;
   Endpoint bound_;
   obs::MetricsRegistry* metrics_ = nullptr;
+  std::size_t batch_size_ = kUdpBatchDefault;
+  // Batch-mode receive buffers, one 64 KiB slot per batch entry,
+  // allocated lazily on the first batched wake.
+  std::vector<std::uint8_t> batch_buffers_;
+  TimePoint last_send_warn_{TimePoint::min()};
 };
 
 }  // namespace sns::transport

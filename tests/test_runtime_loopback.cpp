@@ -259,6 +259,97 @@ TEST_F(RuntimeLoopback, MetricsJsonMergesFleetTotalsAndPerShardBreakdown) {
   EXPECT_NE(json.find("\"shards\""), std::string::npos);
   EXPECT_NE(json.find("transport.udp.queries"), std::string::npos);
   EXPECT_NE(json.find("runtime.worker.snapshot_refresh"), std::string::npos);
+  // The batching/answer-cache observability surface must be in the
+  // SIGUSR1 fleet dump from the first query on (created eagerly, so a
+  // zero shows up as a zero rather than as absence).
+  EXPECT_NE(json.find("runtime.answer_cache.hit"), std::string::npos);
+  EXPECT_NE(json.find("runtime.answer_cache.miss"), std::string::npos);
+  EXPECT_NE(json.find("transport.udp.send_errors"), std::string::npos);
+  if (transport::kUdpBatchSupported) {
+    EXPECT_NE(json.find("transport.udp.batch_size"), std::string::npos);
+  }
+}
+
+TEST_F(RuntimeLoopback, AnswerCacheHitsAndMissesAreCounted) {
+  start(1);
+  // Positive RRset queries ride the precompiled fast path…
+  for (std::uint16_t i = 0; i < 3; ++i)
+    ASSERT_TRUE(transport::udp_query(server_, make("t0.stress.loc", RRType::TXT, i)).ok());
+  // …while an NXDOMAIN (per-query authority section) must fall through.
+  auto nx = transport::udp_query(server_, make("ghost.stress.loc", RRType::TXT, 9));
+  ASSERT_TRUE(nx.ok());
+  EXPECT_EQ(nx.value().header.rcode, dns::Rcode::NXDomain);
+
+  obs::MetricsRegistry totals;
+  runtime_->merge_metrics(totals);
+  EXPECT_GE(totals.counter_value("runtime.answer_cache.hit").value_or(0), 3u);
+  EXPECT_GE(totals.counter_value("runtime.answer_cache.miss").value_or(0), 1u);
+}
+
+TEST_F(RuntimeLoopback, CacheOnAndCacheOffServeIdenticalAnswers) {
+  start(1);  // cache on (default)
+  auto zone = make_zone("generation-one");
+  ASSERT_NE(zone, nullptr);
+  RuntimeOptions no_cache;
+  no_cache.threads = 1;
+  no_cache.answer_cache = false;
+  ServerRuntime plain("runtime-test-nocache", no_cache);
+  ASSERT_TRUE(plain.start(transport::loopback(0), {zone}).ok());
+
+  // Same ids, same questions, both transports' UDP path: the decoded
+  // messages must be indistinguishable with and without the cache.
+  const std::pair<const char*, RRType> probes[] = {
+      {"t0.stress.loc", RRType::TXT},   // cache hit
+      {"T3.STRESS.loc", RRType::TXT},   // case-mangled hit (case echoed)
+      {"ns.stress.loc", RRType::A},     // hit
+      {"ghost.stress.loc", RRType::A},  // NXDOMAIN: both decode
+      {"ns.stress.loc", RRType::TXT},   // NODATA: both decode
+      {"stress.loc", RRType::SOA},      // apex
+  };
+  std::uint16_t id = 0x4100;
+  for (const auto& [name, type] : probes) {
+    auto with_cache = transport::udp_query(server_, make(name, type, id));
+    auto without = transport::udp_query(plain.local(), make(name, type, id));
+    ASSERT_TRUE(with_cache.ok()) << name;
+    ASSERT_TRUE(without.ok()) << name;
+    EXPECT_EQ(with_cache.value(), without.value()) << name;
+    ++id;
+  }
+  plain.stop();
+}
+
+TEST_F(RuntimeLoopback, AnswerCacheNeverSurvivesAGenerationBump) {
+  start(1);
+  // Prime the fast path: this answer now exists as precompiled bytes.
+  auto first = transport::udp_query(server_, make("marker.stress.loc", RRType::TXT, 1));
+  ASSERT_TRUE(first.ok());
+  ASSERT_EQ(first.value().answers.size(), 1u);
+  EXPECT_EQ(dns::rdata_to_string(first.value().answers[0].rdata), "\"generation-one\"");
+
+  // Path 1: zone reload (what SIGHUP drives). The very next query must
+  // serve the new bytes — a stale hit would come back "generation-one".
+  auto zone2 = make_zone("generation-two");
+  ASSERT_NE(zone2, nullptr);
+  std::uint64_t generation = runtime_->publish({zone2});
+  EXPECT_EQ(generation, 2u);
+  auto second = transport::udp_query(server_, make("marker.stress.loc", RRType::TXT, 2));
+  ASSERT_TRUE(second.ok());
+  ASSERT_EQ(second.value().answers.size(), 1u);
+  EXPECT_EQ(dns::rdata_to_string(second.value().answers[0].rdata), "\"generation-two\"");
+
+  // Path 2: RFC 2136 dynamic update widening the very RRset the cache
+  // just served. The successor snapshot's cache must carry both strings.
+  auto update = server::make_update_add(
+      0x2136, name_of("stress.loc"),
+      dns::make_txt(name_of("marker.stress.loc"), {"added-by-update"}));
+  auto ack = transport::tcp_query(server_, update);
+  ASSERT_TRUE(ack.ok()) << ack.error().message;
+  ASSERT_EQ(ack.value().header.rcode, dns::Rcode::NoError);
+  EXPECT_EQ(runtime_->generation(), 3u);
+
+  auto third = transport::udp_query(server_, make("marker.stress.loc", RRType::TXT, 3));
+  ASSERT_TRUE(third.ok());
+  EXPECT_EQ(third.value().answers.size(), 2u);
 }
 
 TEST_F(RuntimeLoopback, DrainStopsListenersAndJoinsWorkers) {

@@ -7,9 +7,12 @@
 #include <gtest/gtest.h>
 
 #include <netinet/in.h>
+#include <pthread.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
+#include <csignal>
 #include <optional>
 #include <thread>
 
@@ -264,6 +267,127 @@ TEST_F(TransportLoopback, PipelinedAnswerFlushedBeforeBadFrameCloses) {
   ASSERT_EQ(response->answers.size(), 1u);
   EXPECT_EQ(dns::rdata_to_string(response->answers[0].rdata), "01:23:45:67:89:ab");
   EXPECT_GE(metrics_.counter_value("transport.tcp.frame_errors").value_or(0), 1u);
+}
+
+// Regression for the EINTR drain-abort bug: a signal landing while the
+// listener drains its socket used to end the whole readiness pass (the
+// recvfrom EINTR was treated like EAGAIN). The serving thread is
+// peppered with no-op signals below while a client runs sequential
+// queries; every one of them must still be answered. Covers both drain
+// paths (the fixture's default batch size picks recvmmsg on Linux).
+extern "C" void transport_test_noop_signal(int) {}
+
+TEST_F(TransportLoopback, SignalPepperedServingThreadAnswersEveryQuery) {
+  struct sigaction action{};
+  struct sigaction previous{};
+  action.sa_handler = transport_test_noop_signal;  // deliberately no SA_RESTART
+  sigemptyset(&action.sa_mask);
+  ASSERT_EQ(sigaction(SIGUSR2, &action, &previous), 0);
+  start();
+
+  std::atomic<bool> stop{false};
+  std::thread pepper([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      pthread_kill(loop_thread_.native_handle(), SIGUSR2);
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+  });
+
+  int answered = 0;
+  for (std::uint16_t i = 0; i < 200; ++i) {
+    auto response = udp_query(server_, make("mic.office.loc", RRType::BDADDR, i));
+    if (response.ok() && response.value().header.id == i &&
+        response.value().answers.size() == 1u)
+      ++answered;
+  }
+  stop.store(true, std::memory_order_release);
+  pepper.join();
+  sigaction(SIGUSR2, &previous, nullptr);
+  EXPECT_EQ(answered, 200);
+}
+
+// --- sendto/sendmmsg failure accounting ------------------------------------
+
+// A reply sized in (65507, 65535] passes the EDNS advertised-size check
+// (the client advertises 65535) but exceeds the IPv4 UDP payload
+// ceiling, so the send syscall itself fails with EMSGSIZE — the only
+// portable way to make a loopback send fail deterministically. The
+// listener must count the dropped reply instead of losing it silently.
+class SendErrorLoopback : public ::testing::Test {
+ protected:
+  void start(std::size_t udp_batch) {
+    // 12 header + 22 question ("jumbo.office.loc" IN TXT) = 34 bytes,
+    // then kRecords answers at 28 bytes each (2-byte compression
+    // pointer owner + 10 fixed + 16 rdata): 34 + 28 * 2339 = 65526.
+    constexpr std::size_t kRecords = 2339;
+    auto jumbo = name_of("jumbo.office.loc");
+    std::vector<dns::ResourceRecord> records;
+    records.reserve(kRecords + 2);
+    records.push_back(dns::make_soa(name_of("office.loc"), name_of("ns.office.loc"), 1));
+    records.push_back(dns::make_ns(name_of("office.loc"), name_of("ns.office.loc")));
+    for (std::size_t i = 0; i < kRecords; ++i) {
+      char text[16];
+      std::snprintf(text, sizeof(text), "DDDDDDDDDDD%04zu", i);  // 15 chars
+      records.push_back(dns::make_txt(jumbo, {text}));
+    }
+    zone_ = std::make_shared<server::Zone>(name_of("office.loc"), name_of("ns.office.loc"));
+    ASSERT_TRUE(zone_->load(records).ok());
+    engine_ = std::make_unique<server::AuthoritativeServer>("send-error-test");
+    engine_->add_zone(zone_);
+
+    loop_ = std::make_unique<EventLoop>();
+    ASSERT_TRUE(loop_->valid());
+    transport_ = std::make_unique<DnsTransportServer>(
+        *loop_, [this](const dns::Message& query, const Endpoint&, Via) {
+          return engine_->handle(query, server::ClientContext{});
+        });
+    transport_->set_metrics(&metrics_);
+    transport_->set_udp_batch(udp_batch);
+    ASSERT_TRUE(transport_->start(loopback(0)).ok());
+    server_ = transport_->local();
+    loop_thread_ = std::thread([this] { loop_->run(); });
+  }
+
+  void TearDown() override {
+    if (loop_thread_.joinable()) {
+      loop_->stop();
+      loop_thread_.join();
+    }
+    if (transport_) transport_->close();
+  }
+
+  void expect_send_error_counted() {
+    QueryOptions options;
+    options.edns_udp_size = 65535;  // reply passes the truncation check…
+    options.attempts = 1;
+    options.timeout = std::chrono::milliseconds(300);
+    auto query = dns::make_query(0x6a6a, name_of("jumbo.office.loc"), RRType::TXT);
+    auto response = udp_query(server_, query, options);
+    EXPECT_FALSE(response.ok());  // …and dies in the send syscall instead
+    EXPECT_GE(metrics_.counter_value("transport.udp.send_errors").value_or(0), 1u);
+    // The query was handled; only the reply was lost.
+    EXPECT_GE(metrics_.counter_value("transport.udp.queries").value_or(0), 1u);
+    EXPECT_EQ(metrics_.counter_value("transport.udp.responses").value_or(0), 0u);
+  }
+
+  obs::MetricsRegistry metrics_;
+  std::shared_ptr<server::Zone> zone_;
+  std::unique_ptr<server::AuthoritativeServer> engine_;
+  std::unique_ptr<EventLoop> loop_;
+  std::unique_ptr<DnsTransportServer> transport_;
+  std::thread loop_thread_;
+  Endpoint server_;
+};
+
+TEST_F(SendErrorLoopback, FailedSendtoIsCountedNotSilent) {
+  start(/*udp_batch=*/1);
+  expect_send_error_counted();
+}
+
+TEST_F(SendErrorLoopback, FailedSendmmsgIsCountedNotSilent) {
+  if (!kUdpBatchSupported) GTEST_SKIP() << "no batched datagram syscalls on this platform";
+  start(/*udp_batch=*/16);
+  expect_send_error_counted();
 }
 
 TEST(TransportClient, CallerBuiltSmallOptIsNotDuplicated) {

@@ -61,6 +61,8 @@ struct Args {
   std::string listen = "127.0.0.1";
   std::uint16_t port = 5353;
   std::size_t threads = 0;  // 0 = hardware_concurrency
+  std::size_t udp_batch = sns::transport::kUdpBatchDefault;
+  bool answer_cache = true;
   std::string port_file;
   std::string metrics_file;  // empty = stderr
   long metrics_dump_seconds = 0;
@@ -75,11 +77,14 @@ int usage(const char* argv0) {
                "  --listen ADDR        IPv4 address to bind (default 127.0.0.1)\n"
                "  --port N             UDP+TCP port; 0 picks an ephemeral port (default 5353)\n"
                "  --threads N          worker shards, 0..1024; 0 = one per hardware thread (default)\n"
+               "  --udp-batch N        datagrams per UDP syscall round, 1..64 (default %zu;\n"
+               "                       1 = plain recvfrom/sendto)\n"
+               "  --no-answer-cache    disable the per-snapshot precompiled-answer cache\n"
                "  --port-file PATH     write the realised port to PATH once bound\n"
                "  --metrics-dump N     dump metrics JSON every N seconds\n"
                "  --metrics-file PATH  metrics JSON destination (default stderr)\n"
                "  --verbose            info-level logging\n",
-               argv0);
+               argv0, sns::transport::kUdpBatchDefault);
   return 2;
 }
 
@@ -152,6 +157,22 @@ int main(int argc, char** argv) {
       }
       args.threads = static_cast<std::size_t>(n);
     }
+    else if (arg == "--udp-batch" && (value = next())) {
+      // Same strict parse as --threads: the listener clamps, but a typo
+      // should be a usage error, not a silently-clamped surprise.
+      char* end = nullptr;
+      errno = 0;
+      long n = std::strtol(value, &end, 10);
+      if (errno != 0 || end == value || *end != '\0' || n < 1 ||
+          n > static_cast<long>(sns::transport::UdpListener::kMaxBatch)) {
+        std::fprintf(stderr, "snsd: invalid --udp-batch '%s' (expected 1..%zu)\n", value,
+                     sns::transport::UdpListener::kMaxBatch);
+        return 2;
+      }
+      args.udp_batch = static_cast<std::size_t>(n);
+    }
+    else if (arg == "--no-answer-cache")
+      args.answer_cache = false;
     else if (arg == "--port-file" && (value = next()))
       args.port_file = value;
     else if (arg == "--metrics-dump" && (value = next()))
@@ -174,6 +195,8 @@ int main(int argc, char** argv) {
 
   sns::runtime::RuntimeOptions options;
   options.threads = args.threads;
+  options.udp_batch = args.udp_batch;
+  options.answer_cache = args.answer_cache;
   sns::runtime::ServerRuntime runtime("snsd", options);
 
   auto listen = sns::transport::Endpoint::parse(args.listen, args.port);
