@@ -23,6 +23,16 @@
 // shards, writing BENCH_runtime.json. Row names encode the topology
 // (udp_shard4_c8 = 4 shards, 8 client threads); the shard1_c1 row is
 // the serial baseline comparable to udp_loopback above.
+//
+// A third mode, `bench_transport --churn [out.json] [scale]`, measures
+// the paper's mobility workload end to end: a fleet of device records
+// re-homing through RFC 2136 dynamic updates (delete + add in one
+// UPDATE) against a live runtime while reader threads keep querying,
+// swept over 1k/10k/100k-record zones. Each size also times the
+// pre-redesign deep-copy baseline (rebuild the whole zone from its
+// canonical records, which is what every update used to cost) so the
+// update row carries a speedup_vs_deepcopy field. Writes
+// BENCH_update.json; scale 0 is CI smoke.
 #include <netinet/in.h>
 #include <sys/socket.h>
 #include <unistd.h>
@@ -44,6 +54,8 @@
 #include "obs/metrics.hpp"
 #include "runtime/runtime.hpp"
 #include "server/authoritative.hpp"
+#include "server/update.hpp"
+#include "server/zone.hpp"
 #include "transport/client.hpp"
 #include "transport/dns_server.hpp"
 #include "transport/event_loop.hpp"
@@ -61,8 +73,11 @@ struct Row {
   double p50_ns = 0.0;
   double p90_ns = 0.0;
   double p99_ns = 0.0;
-  std::size_t shards = 0;   // runtime mode only; 0 = n/a
-  std::size_t clients = 0;  // runtime mode only; 0 = n/a
+  std::size_t shards = 0;        // runtime mode only; 0 = n/a
+  std::size_t clients = 0;       // runtime mode only; 0 = n/a
+  std::size_t zone_records = 0;  // churn mode only; 0 = n/a
+  double deepcopy_qps = 0.0;     // churn mode only; 0 = n/a
+  double speedup = 0.0;          // churn mode only; 0 = n/a
 };
 
 double elapsed_s(Clock::time_point t0) {
@@ -103,11 +118,9 @@ door     IN DTMF  42#
 std::shared_ptr<server::Zone> make_bench_zone() {
   auto records = dns::parse_master_file(kZoneText, dns::Name{});
   if (!records.ok()) die("zone parse", records.error().message);
-  auto zone = std::make_shared<server::Zone>(dns::name_of("bench.loc"),
-                                             dns::name_of("ns.bench.loc"));
-  if (auto loaded = zone->load(records.value()); !loaded.ok())
-    die("zone load", loaded.error().message);
-  return zone;
+  auto view = server::build_zone_view(dns::name_of("bench.loc"), std::move(records).value());
+  if (!view.ok()) die("zone build", view.error().message);
+  return std::make_shared<server::Zone>(std::move(view).value());
 }
 
 /// snsd's serving stack on an ephemeral loopback port, event loop on a
@@ -414,7 +427,7 @@ void bench_runtime_topology(std::vector<Row>& rows, std::size_t shards, std::siz
   runtime::RuntimeOptions options;
   options.threads = shards;
   runtime::ServerRuntime rt("bench", options);
-  if (auto started = rt.start(transport::loopback(0), {make_bench_zone()}); !started.ok())
+  if (auto started = rt.start(transport::loopback(0), {make_bench_zone()->view()}); !started.ok())
     die("runtime start", started.error().message);
   auto label = [&](const char* proto, std::size_t c) {
     return std::string(proto) + "_shard" + std::to_string(shards) + "_c" + std::to_string(c);
@@ -429,6 +442,115 @@ void bench_runtime_topology(std::vector<Row>& rows, std::size_t shards, std::siz
   rows.push_back(bench_runtime_pipelined(label("udp_pipe64", 1), rt.local(), shards, 1,
                                          pipelined_ops, /*window=*/64));
   rt.drain_and_stop();
+}
+
+// ---- churn mode (BENCH_update.json) ----------------------------------
+
+dns::Name device_name(std::size_t i) {
+  return dns::name_of("dev" + std::to_string(i) + ".churn.loc");
+}
+
+server::ZoneViewPtr make_device_zone(std::size_t devices) {
+  const auto apex = dns::name_of("churn.loc");
+  server::ZoneBuilder builder(apex);
+  (void)builder.add(dns::make_soa(apex, dns::name_of("ns.churn.loc"), 1));
+  (void)builder.add(dns::make_ns(apex, dns::name_of("ns.churn.loc")));
+  (void)builder.add(dns::make_a(dns::name_of("ns.churn.loc"), net::Ipv4Addr{{192, 0, 2, 1}}));
+  for (std::size_t i = 0; i < devices; ++i)
+    (void)builder.add(dns::make_txt(device_name(i), {"home-0"}));
+  auto view = std::move(builder).build();
+  if (!view.ok()) die("churn zone build", view.error().message);
+  return std::move(view).value();
+}
+
+/// One device re-homing: delete its TXT RRset and add the new home in
+/// a single UPDATE message (the §4.1 mobility op).
+dns::Message make_rehome(std::uint16_t id, const dns::Name& apex, const dns::Name& dev,
+                         std::uint64_t generation) {
+  auto msg = server::make_update_add(
+      id, apex, dns::make_txt(dev, {"home-" + std::to_string(generation)}));
+  auto del = server::make_update_delete_rrset(id, apex, dev, dns::RRType::TXT);
+  msg.authorities.insert(msg.authorities.begin(), del.authorities.begin(),
+                         del.authorities.end());
+  return msg;
+}
+
+void bench_churn_size(std::vector<Row>& rows, std::size_t devices, std::uint64_t updates,
+                      std::size_t readers) {
+  auto view = make_device_zone(devices);
+  const auto apex = view->apex();
+
+  // Deep-copy baseline: what every accepted update cost before the
+  // immutable-zone redesign — rebuild the entire zone from its
+  // canonical record stream.
+  double deepcopy_qps;
+  {
+    auto records = view->all_records();
+    int trials = devices >= 50'000 ? 3 : 10;
+    auto t0 = Clock::now();
+    for (int i = 0; i < trials; ++i) {
+      auto rebuilt = server::build_zone_view(apex, records);
+      if (!rebuilt.ok()) die("baseline rebuild", rebuilt.error().message);
+    }
+    deepcopy_qps = trials / elapsed_s(t0);
+  }
+
+  runtime::RuntimeOptions options;
+  options.threads = 2;
+  runtime::ServerRuntime rt("churn", options);
+  if (auto started = rt.start(transport::loopback(0), {view}); !started.ok())
+    die("churn runtime start", started.error().message);
+
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> reads{0}, read_failures{0};
+  std::vector<std::thread> reader_threads;
+  reader_threads.reserve(readers);
+  for (std::size_t r = 0; r < readers; ++r)
+    reader_threads.emplace_back([&, r] {
+      // Stride through the fleet; every queried device always exists
+      // (the delete+add lands atomically in one snapshot flip).
+      std::uint64_t i = r;
+      auto id = static_cast<std::uint16_t>(0x4000 + r);
+      while (!done.load(std::memory_order_acquire)) {
+        auto name = device_name((i++ * 7919) % devices);
+        auto got = transport::udp_query(rt.local(), dns::make_query(id, name, dns::RRType::TXT));
+        if (!got.ok() || got.value().answers.size() != 1) read_failures.fetch_add(1);
+        reads.fetch_add(1);
+      }
+    });
+
+  obs::Histogram latency;
+  auto t0 = Clock::now();
+  for (std::uint64_t i = 0; i < updates; ++i) {
+    auto dev = device_name(i % devices);
+    auto s = Clock::now();
+    auto ack = transport::udp_query(rt.local(),
+                                    make_rehome(static_cast<std::uint16_t>(i), apex, dev, i + 1));
+    latency.record(
+        static_cast<std::uint64_t>(std::chrono::nanoseconds(Clock::now() - s).count()));
+    if (!ack.ok()) die("churn update", ack.error().message);
+    if (ack.value().header.rcode != dns::Rcode::NoError)
+      die("churn update", "rcode " + dns::to_string(ack.value().header.rcode));
+  }
+  double seconds = elapsed_s(t0);
+  done.store(true, std::memory_order_release);
+  for (auto& t : reader_threads) t.join();
+
+  if (read_failures.load() != 0) die("churn reads", "reader saw a missing or torn record");
+  auto final_serial = rt.snapshot()->zones.front()->serial();
+  if (final_serial != 1 + updates) die("churn serial", "commit lost under churn");
+  rt.drain_and_stop();
+
+  std::string prefix = "churn_" + std::to_string(devices);
+  Row up{prefix + "_update", updates, seconds, 0, latency.p50(), latency.p90(), latency.p99(),
+         options.threads, readers, devices + 3, deepcopy_qps, 0};
+  up.qps = static_cast<double>(updates) / seconds;
+  up.speedup = up.qps / deepcopy_qps;
+  rows.push_back(up);
+  Row rd{prefix + "_read", reads.load(), seconds, 0, 0, 0, 0, options.threads, readers,
+         devices + 3, 0, 0};
+  rd.qps = static_cast<double>(reads.load()) / seconds;
+  rows.push_back(rd);
 }
 
 std::string today() {
@@ -468,6 +590,12 @@ void write_json(const std::string& path, const char* bench_name, const std::vect
       json.field("shards", static_cast<std::uint64_t>(row.shards));
       json.field("clients", static_cast<std::uint64_t>(row.clients));
     }
+    if (row.zone_records != 0)
+      json.field("zone_records", static_cast<std::uint64_t>(row.zone_records));
+    if (row.deepcopy_qps != 0.0) {
+      json.field("deepcopy_baseline_qps", row.deepcopy_qps);
+      json.field("speedup_vs_deepcopy", row.speedup);
+    }
     json.end_object();
   }
   json.end_array();
@@ -495,14 +623,32 @@ void print_rows(const std::vector<Row>& rows) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool runtime_mode = argc > 1 && std::string_view(argv[1]) == "--runtime";
-  int arg0 = runtime_mode ? 2 : 1;
+  std::string_view mode = argc > 1 ? std::string_view(argv[1]) : std::string_view{};
+  bool runtime_mode = mode == "--runtime";
+  bool churn_mode = mode == "--churn";
+  int arg0 = (runtime_mode || churn_mode) ? 2 : 1;
   std::string out_path = argc > arg0 ? argv[arg0]
+                         : churn_mode ? "BENCH_update.json"
                          : runtime_mode ? "BENCH_runtime.json"
                                         : "BENCH_transport.json";
   std::uint64_t scale = argc > arg0 + 1 ? std::strtoull(argv[arg0 + 1], nullptr, 10) : 1;
 
   std::vector<Row> rows;
+  if (churn_mode) {
+    // Mobility churn: device records re-homing via RFC 2136 while
+    // readers serve, swept over zone sizes. Scale 0 is CI smoke —
+    // one small size, enough updates to cross a few snapshot flips.
+    constexpr std::size_t kReaders = 2;
+    if (scale == 0) {
+      bench_churn_size(rows, 1'000, 300, kReaders);
+    } else {
+      for (std::size_t devices : {std::size_t{1'000}, std::size_t{10'000}, std::size_t{100'000}})
+        bench_churn_size(rows, devices, 2'000 * scale, kReaders);
+    }
+    print_rows(rows);
+    write_json(out_path, "update_churn", rows);
+    return 0;
+  }
   if (runtime_mode) {
     // Topology sweep: serial baseline, then concurrency on one shard,
     // then the same concurrency fanned across SO_REUSEPORT shards, each

@@ -32,6 +32,16 @@ Name must(Result<Name> name) {
   return std::move(name).value();
 }
 
+// The registry mutators edit through the facade's one-op commits
+// (which deliberately leave the serial alone), then publish the whole
+// edit as one serial bump per zone — mirroring the old explicit
+// bump_serial() call, now an empty forced-bump transaction.
+void publish_serial(server::Zone& zone) {
+  auto txn = zone.txn();
+  txn.bump_serial();
+  (void)zone.commit(std::move(txn));
+}
+
 }  // namespace
 
 std::vector<dns::ResourceRecord> records_for_address(const Name& owner,
@@ -96,8 +106,8 @@ Result<Name> SpatialZone::register_device(Device device) {
   names_by_entry_[id] = device.name;
   Name assigned = device.name;
   devices_.push_back(std::move(device));
-  local_zone_->bump_serial();
-  global_zone_->bump_serial();
+  publish_serial(*local_zone_);
+  publish_serial(*global_zone_);
   return assigned;
 }
 
@@ -143,8 +153,8 @@ Status SpatialZone::deregister_device(const Name& name) {
     entry_ids_.erase(entry);
   }
   devices_.erase(it);
-  local_zone_->bump_serial();
-  global_zone_->bump_serial();
+  publish_serial(*local_zone_);
+  publish_serial(*global_zone_);
   return util::ok_status();
 }
 
@@ -195,8 +205,8 @@ Status SpatialZone::update_position(const Name& name, const geo::GeoPoint& posit
       if (auto s = global_zone_->add(dns::make_loc(name, loc.value())); !s.ok()) return s;
     }
   }
-  local_zone_->bump_serial();
-  global_zone_->bump_serial();
+  publish_serial(*local_zone_);
+  publish_serial(*global_zone_);
   return util::ok_status();
 }
 

@@ -1,10 +1,14 @@
 #include "runtime/answer_cache.hpp"
 
+#include <set>
+
 #include "dns/message.hpp"
 #include "server/authoritative.hpp"
 #include "server/zone.hpp"
 
 namespace sns::runtime {
+
+using dns::RRType;
 
 namespace {
 
@@ -41,19 +45,32 @@ bool is_plain_opt(std::span<const std::uint8_t> wire, std::size_t at) {
          rd16(wire, at + 9) == 0;
 }
 
+std::string make_key(std::string_view packed_name, dns::RRType type) {
+  std::string key(packed_name);
+  key.push_back(static_cast<char>(static_cast<std::uint16_t>(type) >> 8));
+  key.push_back(static_cast<char>(static_cast<std::uint16_t>(type) & 0xff));
+  return key;
+}
+
+/// The scratch engine mirrors ServerRuntime::build_engine's single
+/// catch-all view with no signing and no presence rules — the
+/// configuration under which answers depend only on (qname, qtype).
+server::AuthoritativeServer make_scratch(const AnswerCache::ZoneViews& zones) {
+  server::AuthoritativeServer scratch("answer-cache");
+  for (const auto& view : zones)
+    scratch.add_zone(std::make_shared<server::Zone>(view));
+  return scratch;
+}
+
 }  // namespace
 
-std::shared_ptr<const AnswerCache> AnswerCache::build(
-    const std::vector<std::shared_ptr<server::Zone>>& zones) {
+std::shared_ptr<const AnswerCache> AnswerCache::build(const ZoneViews& zones) {
   auto cache = std::make_shared<AnswerCache>();
 
   // The templates come out of the very engine + encoder the decoded
   // path runs, so a hit cannot drift from what the slow path would
-  // serve. The scratch engine mirrors ServerRuntime::build_engine's
-  // single catch-all view with no signing and no presence rules — the
-  // configuration under which answers depend only on (qname, qtype).
-  server::AuthoritativeServer scratch("answer-cache");
-  for (const auto& zone : zones) scratch.add_zone(zone);
+  // serve.
+  server::AuthoritativeServer scratch = make_scratch(zones);
   server::ClientContext ctx;
 
   for (const auto& zone : zones) {
@@ -80,16 +97,63 @@ std::shared_ptr<const AnswerCache> AnswerCache::build(
       // advertised size, which only the decoded path evaluates.
       if (encoded.wire.size() > dns::kClassicUdpLimit) continue;
 
-      Entry entry;
-      entry.answers.assign(encoded.wire.begin() +
-                               static_cast<std::ptrdiff_t>(encoded.questions_end),
-                           encoded.wire.end());
-      entry.ancount = static_cast<std::uint16_t>(response.answers.size());
+      auto entry = std::make_shared<Entry>();
+      entry->key = make_key(rr.name.packed(), rr.type);
+      entry->hash = util::fnv1a(entry->key);
+      entry->answers.assign(encoded.wire.begin() +
+                                static_cast<std::ptrdiff_t>(encoded.questions_end),
+                            encoded.wire.end());
+      entry->ancount = static_cast<std::uint16_t>(response.answers.size());
+      cache->entries_.set(std::move(entry));
+    }
+  }
+  return cache;
+}
 
-      std::string key(rr.name.packed());
-      key.push_back(static_cast<char>(static_cast<std::uint16_t>(rr.type) >> 8));
-      key.push_back(static_cast<char>(static_cast<std::uint16_t>(rr.type) & 0xff));
-      cache->entries_.try_emplace(std::move(key), std::move(entry));
+std::shared_ptr<const AnswerCache> AnswerCache::rebuild(const AnswerCache& parent,
+                                                        const ZoneViews& old_zones,
+                                                        const ZoneViews& new_zones,
+                                                        const std::vector<dns::Name>& touched) {
+  auto cache = std::make_shared<AnswerCache>();
+  cache->entries_ = parent.entries_;  // O(1): persistent structural share
+
+  server::AuthoritativeServer scratch = make_scratch(new_zones);
+  server::ClientContext ctx;
+
+  for (const dns::Name& name : touched) {
+    // Invalidate every type the owner carried before OR after the
+    // commit: removed types must lose their entries, added/changed
+    // types must regain fresh ones. Types outside the union cannot
+    // have changed answers while delegations are untouched (negative
+    // and synthesized answers are never cached).
+    std::set<RRType> types;
+    for (const auto& view : old_zones)
+      for (RRType t : view->types_at(name)) types.insert(t);
+    for (const auto& view : new_zones)
+      for (RRType t : view->types_at(name)) types.insert(t);
+
+    for (RRType type : types) {
+      std::string key = make_key(name.packed(), type);
+      std::size_t hash = util::fnv1a(key);
+      cache->entries_.erase(key, hash);
+
+      auto query = dns::make_query(0, name, type, /*recursion_desired=*/false);
+      dns::Message response = scratch.handle(query, ctx);
+      if (response.header.rcode != dns::Rcode::NoError || !response.header.aa ||
+          response.answers.empty() || !response.authorities.empty() ||
+          !response.additionals.empty())
+        continue;
+      auto encoded = response.encode_with_layout();
+      if (encoded.wire.size() > dns::kClassicUdpLimit) continue;
+
+      auto entry = std::make_shared<Entry>();
+      entry->key = std::move(key);
+      entry->hash = hash;
+      entry->answers.assign(encoded.wire.begin() +
+                                static_cast<std::ptrdiff_t>(encoded.questions_end),
+                            encoded.wire.end());
+      entry->ancount = static_cast<std::uint16_t>(response.answers.size());
+      cache->entries_.set(std::move(entry));
     }
   }
   return cache;
@@ -143,9 +207,8 @@ bool AnswerCache::try_answer(std::span<const std::uint8_t> query_wire,
 
   key.push_back(static_cast<char>(qtype >> 8));
   key.push_back(static_cast<char>(qtype & 0xff));
-  auto it = entries_.find(key);
-  if (it == entries_.end()) return false;
-  const Entry& entry = it->second;
+  const Entry* entry = entries_.find(key, util::fnv1a(key));
+  if (entry == nullptr) return false;
 
   // Assemble: patched header, the client's question bytes verbatim
   // (case echoed; identical label lengths keep the template's
@@ -154,18 +217,18 @@ bool AnswerCache::try_answer(std::span<const std::uint8_t> query_wire,
   // AA set, RA and RCODE cleared, Z bits dropped.
   std::size_t question_len = question_end - kHeader;
   reply.clear();
-  reply.reserve(kHeader + question_len + entry.answers.size());
+  reply.reserve(kHeader + question_len + entry->answers.size());
   reply.push_back(query_wire[0]);  // id
   reply.push_back(query_wire[1]);
   wr16(reply, static_cast<std::uint16_t>(
                   (flags & (kOpcodeMask | kTcBit | kRdBit | kAdBit)) | kQrBit | kAaBit));
-  wr16(reply, 1);              // qdcount
-  wr16(reply, entry.ancount);  // ancount
-  wr16(reply, 0);              // nscount
-  wr16(reply, 0);              // arcount (the engine never echoes an OPT)
+  wr16(reply, 1);               // qdcount
+  wr16(reply, entry->ancount);  // ancount
+  wr16(reply, 0);               // nscount
+  wr16(reply, 0);               // arcount (the engine never echoes an OPT)
   reply.insert(reply.end(), query_wire.begin() + kHeader,
                query_wire.begin() + static_cast<std::ptrdiff_t>(question_end));
-  reply.insert(reply.end(), entry.answers.begin(), entry.answers.end());
+  reply.insert(reply.end(), entry->answers.begin(), entry->answers.end());
   return true;
 }
 

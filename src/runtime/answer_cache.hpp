@@ -17,6 +17,17 @@
 // the cache wholesale, so invalidation is free and there is no
 // hit-after-update window. See DESIGN.md §12.
 //
+// Since the zone redesign (DESIGN.md §13) a snapshot's zones are
+// immutable ZoneViews and a commit reports which owners it touched —
+// so the cache no longer has to be recomputed from scratch per update.
+// Entries live in a persistent hash trie (util::PMap): rebuild() copies
+// the parent cache in O(1), then re-derives only the touched owners'
+// entries against the successor views. A 100k-entry cache under
+// single-device churn costs a handful of engine calls per update, not
+// 100k. The fallback remains: delegation changes (NS touched) and
+// wholesale reloads occlude/reveal entire subtrees, so those take the
+// full build() path.
+//
 // Byte-for-byte equivalence with the decoded path is maintained by
 // construction (the templates come out of the same engine + encoder)
 // plus splicing: the reply echoes the *client's* question bytes
@@ -33,30 +44,42 @@
 #include <memory>
 #include <span>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "util/bytes.hpp"
+#include "util/pmap.hpp"
 
-namespace sns::server {
-class Zone;
+namespace sns::dns {
+class Name;
 }
 
-namespace sns::obs {
-class MetricsRegistry;
+namespace sns::server {
+class ZoneView;
 }
 
 namespace sns::runtime {
 
 class AnswerCache {
  public:
+  using ZoneViews = std::vector<std::shared_ptr<const server::ZoneView>>;
+
   /// Precompile every cacheable (owner, type) of `zones`. Cacheable
   /// means: the engine's answer is a plain authoritative positive
   /// (NoError, non-empty answers, empty authority/additional) — apex
   /// and in-zone RRsets qualify; delegations, glue, wildcard-synthesis
   /// sources and anything occluded below a cut do not.
-  [[nodiscard]] static std::shared_ptr<const AnswerCache> build(
-      const std::vector<std::shared_ptr<server::Zone>>& zones);
+  [[nodiscard]] static std::shared_ptr<const AnswerCache> build(const ZoneViews& zones);
+
+  /// Incremental successor: share the parent's entries, then re-derive
+  /// only `touched` owners against the successor `zones` — for each
+  /// touched owner, every type it carried in the old views or carries
+  /// in the new ones is invalidated and (when still cacheable)
+  /// recomputed. Sound ONLY when no delegation changed: callers must
+  /// route NS-touching commits (and anything they cannot enumerate)
+  /// through build(). Cost: O(touched × (depth + engine call)).
+  [[nodiscard]] static std::shared_ptr<const AnswerCache> rebuild(
+      const AnswerCache& parent, const ZoneViews& old_zones, const ZoneViews& new_zones,
+      const std::vector<dns::Name>& touched);
 
   /// Fast-path attempt on a raw query datagram. On hit, assembles the
   /// complete reply into `reply` and returns true. Returns false (and
@@ -69,13 +92,21 @@ class AnswerCache {
 
  private:
   struct Entry {
-    util::Bytes answers;      // wire bytes after the question section
+    // Key: canonical packed qname bytes (lowercased wire form, as
+    // dns::Name::packed()) + 2 big-endian qtype bytes; hash cached so
+    // persistent-trie probes and inserts never rehash.
+    std::string key;
+    std::size_t hash = 0;
+    util::Bytes answers;  // wire bytes after the question section
     std::uint16_t ancount = 0;
+
+    [[nodiscard]] std::string_view key_view() const noexcept { return key; }
+    [[nodiscard]] std::size_t key_hash() const noexcept { return hash; }
   };
 
-  // Key: canonical packed qname bytes (lowercased wire form, as
-  // dns::Name::packed()) + 2 big-endian qtype bytes.
-  std::unordered_map<std::string, Entry> entries_;
+  // Persistent: copying `entries_` is O(1) and shares all structure,
+  // which is what makes rebuild() proportional to the touched set.
+  util::PMap<Entry> entries_;
 };
 
 }  // namespace sns::runtime

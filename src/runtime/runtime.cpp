@@ -19,7 +19,7 @@ ServerRuntime::ServerRuntime(std::string name, RuntimeOptions options)
 ServerRuntime::~ServerRuntime() { stop(); }
 
 util::Status ServerRuntime::start(const transport::Endpoint& at,
-                                  std::vector<std::shared_ptr<server::Zone>> zones) {
+                                  std::vector<server::ZoneViewPtr> zones) {
   if (started_) return util::fail("runtime already started");
   publish(std::move(zones));
 
@@ -54,18 +54,43 @@ util::Status ServerRuntime::start(const transport::Endpoint& at,
   return util::ok_status();
 }
 
-std::uint64_t ServerRuntime::publish(std::vector<std::shared_ptr<server::Zone>> zones) {
+std::uint64_t ServerRuntime::publish(std::vector<server::ZoneViewPtr> zones) {
   return store_.publish(make_snapshot(std::move(zones)));
 }
 
 std::shared_ptr<ZoneSnapshot> ServerRuntime::make_snapshot(
-    std::vector<std::shared_ptr<server::Zone>> zones) const {
+    std::vector<server::ZoneViewPtr> zones) const {
   auto snap = std::make_shared<ZoneSnapshot>();
   snap->zones = std::move(zones);
   // Precompiling here — off the serving path, before the snapshot is
   // visible to any reader — is what lets serving-time hits skip
   // decode/engine/encode entirely without a single lock (DESIGN.md §12).
   if (options_.answer_cache) snap->answer_cache = AnswerCache::build(snap->zones);
+  return snap;
+}
+
+std::shared_ptr<ZoneSnapshot> ServerRuntime::make_successor(
+    const ZoneSnapshot& parent, std::vector<server::ZoneViewPtr> zones,
+    const std::vector<dns::Name>& touched, bool full_rebuild) {
+  // Per-name invalidation is sound only when the commit enumerated its
+  // touched owners and no delegation moved (an NS change occludes or
+  // reveals whole subtrees). Everything else shares the parent cache
+  // and re-derives O(touched) entries — this is what keeps a dynamic
+  // update O(records touched × depth) end to end instead of O(zone).
+  if (!options_.answer_cache) {
+    auto snap = std::make_shared<ZoneSnapshot>();
+    snap->zones = std::move(zones);
+    return snap;
+  }
+  if (full_rebuild || parent.answer_cache == nullptr) {
+    runtime_metrics_.counter("runtime.answer_cache.rebuild_full").add();
+    return make_snapshot(std::move(zones));
+  }
+  runtime_metrics_.counter("runtime.answer_cache.rebuild_incremental").add();
+  auto snap = std::make_shared<ZoneSnapshot>();
+  snap->zones = std::move(zones);
+  snap->answer_cache =
+      AnswerCache::rebuild(*parent.answer_cache, parent.zones, snap->zones, touched);
   return snap;
 }
 
@@ -125,7 +150,10 @@ transport::RawDnsHandler ServerRuntime::make_raw_handler(Worker& worker) {
 std::unique_ptr<server::AuthoritativeServer> ServerRuntime::build_engine(
     const ZoneSnapshot& snap, obs::MetricsRegistry* metrics) const {
   auto engine = std::make_unique<server::AuthoritativeServer>(name_);
-  for (const auto& zone : snap.zones) engine->add_zone(zone);
+  // Each shard wraps the shared immutable views in its own facades —
+  // O(1) per zone, no record is copied, and no facade ever crosses a
+  // thread.
+  for (const auto& view : snap.zones) engine->add_zone(std::make_shared<server::Zone>(view));
   if (update_key_) engine->set_update_key(*update_key_);
   engine->set_metrics(metrics);
   return engine;
@@ -139,29 +167,24 @@ dns::Message ServerRuntime::apply_update(const dns::Message& query,
   // SIGHUP live-reload path on the control-plane thread). A reload
   // landing mid-update can no longer be silently reverted by a
   // successor built from the pre-reload snapshot, and vice versa.
-  // The machinery itself is unchanged: deep-copy the zone set, run
-  // the full update (zone check, prerequisites, TSIG) against the
-  // copy, and publish only on success by returning the successor.
+  //
+  // Since the immutable-zone redesign this step is O(records touched ×
+  // depth), not O(zone): the current views are wrapped in throwaway
+  // facades (no copying), the update engine commits transactions whose
+  // successors share all untouched structure, and the commit logs say
+  // exactly which owners the precompiled-answer cache must re-derive.
   // Readers keep serving the old snapshot throughout — a failed or
   // refused update returns nullptr and leaves no trace.
   dns::Message response;
   store_.update([&](const SnapshotStore<ZoneSnapshot>::Ptr& cur)
                     -> SnapshotStore<ZoneSnapshot>::Ptr {
-    ZoneSnapshot next;
-    next.zones.reserve(cur->zones.size());
-    for (const auto& zone : cur->zones) {
-      auto copy = std::make_shared<server::Zone>(zone->apex(), zone->apex());
-      if (auto loaded = copy->load(zone->all_records()); !loaded.ok()) {
-        util::log_warn("runtime", "update copy-on-write failed: ", loaded.error().message);
-        runtime_metrics_.counter("runtime.zone.update_refused").add();
-        response = dns::make_response(query, dns::Rcode::ServFail, false);
-        return nullptr;
-      }
-      next.zones.push_back(std::move(copy));
-    }
+    std::vector<std::shared_ptr<server::Zone>> facades;
+    facades.reserve(cur->zones.size());
+    for (const auto& view : cur->zones)
+      facades.push_back(std::make_shared<server::Zone>(view));
 
     server::AuthoritativeServer scratch(name_);
-    for (const auto& zone : next.zones) scratch.add_zone(zone);
+    for (const auto& facade : facades) scratch.add_zone(facade);
     if (update_key_) scratch.set_update_key(*update_key_);
     response = scratch.handle(query, ctx);
 
@@ -170,10 +193,21 @@ dns::Message ServerRuntime::apply_update(const dns::Message& query,
       return nullptr;
     }
     runtime_metrics_.counter("runtime.zone.update").add();
-    // make_snapshot precompiles the successor's answer cache before the
-    // publish below makes it visible — a reader never pairs new zones
-    // with the old cache or vice versa.
-    return make_snapshot(std::move(next.zones));
+
+    std::vector<server::ZoneViewPtr> new_zones;
+    new_zones.reserve(facades.size());
+    std::vector<dns::Name> touched;
+    bool full_rebuild = false;
+    for (const auto& facade : facades) {
+      auto log = facade->take_commit_log();
+      new_zones.push_back(facade->view());
+      if (log.overflow || log.ns_touched) full_rebuild = true;
+      touched.insert(touched.end(), log.touched.begin(), log.touched.end());
+    }
+    // The successor's answer cache is sealed before the publish below
+    // makes it visible — a reader never pairs new zones with the old
+    // cache or vice versa.
+    return make_successor(*cur, std::move(new_zones), touched, full_rebuild);
   });
   return response;
 }

@@ -51,16 +51,17 @@ struct RuntimeOptions {
   bool answer_cache = true;
 };
 
-/// One immutable generation of serving state. Zones are frozen once
-/// the snapshot is published: the only code allowed to mutate a Zone
-/// is the copy-on-write writer path, and it only touches copies that
-/// are not yet visible to any reader. The precompiled-answer cache is
-/// part of the snapshot for the same reason the zones are: a reader
-/// sees cache and zone data consistent by construction, and the
+/// One immutable generation of serving state. Zones are ZoneViews —
+/// immutable by type, not by convention: the writer paths (SIGHUP
+/// reload, RFC 2136) build *successor* views through the transaction
+/// API, sharing all untouched structure with the current generation,
+/// and publish them with one atomic exchange. The precompiled-answer
+/// cache is part of the snapshot for the same reason the zones are: a
+/// reader sees cache and zone data consistent by construction, and the
 /// generation bump that publishes new zones retires the old cache with
 /// them — invalidation needs no locking and has no stale-hit window.
 struct ZoneSnapshot {
-  std::vector<std::shared_ptr<server::Zone>> zones;
+  std::vector<server::ZoneViewPtr> zones;
   std::shared_ptr<const AnswerCache> answer_cache;  // null when disabled
   [[nodiscard]] std::size_t record_count() const;
 };
@@ -78,13 +79,12 @@ class ServerRuntime {
   /// Publish the initial snapshot, bind every shard to `at` (worker 0
   /// realises ephemeral ports; siblings join it via SO_REUSEPORT) and
   /// start the serving threads.
-  util::Status start(const transport::Endpoint& at,
-                     std::vector<std::shared_ptr<server::Zone>> zones);
+  util::Status start(const transport::Endpoint& at, std::vector<server::ZoneViewPtr> zones);
 
   /// Atomically replace the served zone set (the SIGHUP live-reload
   /// path). Readers flip at their next acquire; returns the new
   /// generation.
-  std::uint64_t publish(std::vector<std::shared_ptr<server::Zone>> zones);
+  std::uint64_t publish(std::vector<server::ZoneViewPtr> zones);
 
   [[nodiscard]] std::shared_ptr<const ZoneSnapshot> snapshot() const { return store_.acquire(); }
   [[nodiscard]] std::uint64_t generation() const noexcept { return store_.generation(); }
@@ -124,9 +124,16 @@ class ServerRuntime {
   transport::DnsHandler make_handler(Worker& worker);
   transport::RawDnsHandler make_raw_handler(Worker& worker);
   /// Snapshot construction: seals the zone list and precompiles the
-  /// answer cache (when enabled).
+  /// answer cache from scratch (when enabled).
   [[nodiscard]] std::shared_ptr<ZoneSnapshot> make_snapshot(
-      std::vector<std::shared_ptr<server::Zone>> zones) const;
+      std::vector<server::ZoneViewPtr> zones) const;
+  /// Successor snapshot after a commit: reuses the parent's answer
+  /// cache incrementally when the commit enumerated its touched owners
+  /// and left every delegation alone; falls back to make_snapshot's
+  /// full precompile otherwise.
+  [[nodiscard]] std::shared_ptr<ZoneSnapshot> make_successor(
+      const ZoneSnapshot& parent, std::vector<server::ZoneViewPtr> zones,
+      const std::vector<dns::Name>& touched, bool full_rebuild);
   [[nodiscard]] std::unique_ptr<server::AuthoritativeServer> build_engine(
       const ZoneSnapshot& snap, obs::MetricsRegistry* metrics) const;
   dns::Message apply_update(const dns::Message& query, const server::ClientContext& ctx);

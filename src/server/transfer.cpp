@@ -64,7 +64,9 @@ Result<bool> apply_transfer(Zone& zone, const Message& response) {
 
   std::vector<dns::ResourceRecord> records(response.answers.begin(),
                                            response.answers.end() - 1);
-  if (auto s = zone.load(std::move(records)); !s.ok()) return s.error();
+  auto built = build_zone_view(zone.apex(), std::move(records));
+  if (!built.ok()) return built.error();
+  zone.replace(std::move(built).value());
   return true;
 }
 

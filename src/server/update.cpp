@@ -66,24 +66,27 @@ Message process_update(AuthoritativeServer& server, const Message& request,
   }
 
   // Update operations (RFC 2136 §3.4), from the authority section.
-  bool changed = false;
+  // All ops stage into one transaction (later ops see earlier ones),
+  // and the commit bumps the serial automatically iff any op was
+  // accepted — there is no separate bump step to forget.
+  ZoneTxn txn = zone->txn();
   for (const auto& update : working.authorities) {
     if (!update.name.is_subdomain_of(zone->apex()))
       return dns::make_response(request, Rcode::NotZone, false);
     if (update.klass == RRClass::IN) {
       ResourceRecord rr = update;
-      if (zone->add(std::move(rr)).ok()) changed = true;
+      (void)txn.add(std::move(rr));
     } else if (update.klass == RRClass::ANY && update.type == RRType::ANY) {
-      changed = zone->remove_name(update.name) > 0 || changed;
+      (void)txn.remove_name(update.name);
     } else if (update.klass == RRClass::ANY) {
-      changed = zone->remove_rrset(update.name, update.type) > 0 || changed;
+      (void)txn.remove_rrset(update.name, update.type);
     } else if (update.klass == RRClass::NONE) {
       ResourceRecord rr = update;
       rr.klass = RRClass::IN;
-      changed = zone->remove_record(rr) || changed;
+      (void)txn.remove_record(rr);
     }
   }
-  if (changed) zone->bump_serial();
+  (void)zone->commit(std::move(txn));
 
   return dns::make_response(request, Rcode::NoError, true);
 }

@@ -1,122 +1,40 @@
 #include "server/zone.hpp"
 
 #include <algorithm>
+#include <utility>
 
 namespace sns::server {
 
 using util::fail;
 using util::Status;
 
-Zone::Zone(Name apex, Name primary_ns) : apex_(std::move(apex)) {
-  auto soa = dns::make_soa(apex_, primary_ns, 1);
-  node_for(apex_)[RRType::SOA] = {std::move(soa)};
-}
+// ---------------------------------------------------------------- ZoneView
 
-const Zone::NodeMap* Zone::node_of(std::string_view packed_owner) const {
-  auto it = index_.find(packed_owner);
-  return it == index_.end() ? nullptr : it->second;
-}
-
-Zone::NodeMap& Zone::node_for(const Name& owner) {
-  auto [it, inserted] = nodes_.try_emplace(owner);
-  if (inserted) index_.emplace(it->first.packed(), &it->second);
-  return it->second;
-}
-
-void Zone::erase_node(NodeStore::iterator it) {
-  index_.erase(it->first.packed());
-  nodes_.erase(it);
-}
-
-void Zone::rebuild_index() {
-  index_.clear();
-  index_.reserve(nodes_.size());
-  for (auto& [owner, node] : nodes_) index_.emplace(owner.packed(), &node);
-}
-
-Status Zone::add(ResourceRecord rr) {
-  if (!rr.name.is_subdomain_of(apex_))
-    return fail("zone " + apex_.to_string() + ": record " + rr.name.to_string() +
-                " outside zone");
-  auto& node = node_for(rr.name);
-  if (rr.type == RRType::CNAME) {
-    // CNAME must be alone at a node (ignoring DNSSEC metadata).
-    for (const auto& [type, rrset] : node)
-      if (type != RRType::CNAME && type != RRType::RRSIG && !rrset.empty())
-        return fail("zone: CNAME cannot coexist with other data at " + rr.name.to_string());
-  } else if (node.contains(RRType::CNAME) && rr.type != RRType::RRSIG) {
-    return fail("zone: data cannot be added beside CNAME at " + rr.name.to_string());
-  }
-  auto& rrset = node[rr.type];
-  // De-duplicate identical rdata (RFC 2136 §4 semantics).
-  for (const auto& existing : rrset)
-    if (existing.rdata == rr.rdata) return util::ok_status();
-  rrset.push_back(std::move(rr));
-  return util::ok_status();
-}
-
-std::size_t Zone::remove_rrset(const Name& owner, RRType type) {
-  auto node = nodes_.find(owner);
-  if (node == nodes_.end()) return 0;
-  auto it = node->second.find(type);
-  if (it == node->second.end()) return 0;
-  std::size_t n = it->second.size();
-  node->second.erase(it);
-  if (node->second.empty()) erase_node(node);
-  return n;
-}
-
-std::size_t Zone::remove_name(const Name& owner) {
-  auto node = nodes_.find(owner);
-  if (node == nodes_.end()) return 0;
-  std::size_t n = 0;
-  for (const auto& [type, rrset] : node->second) n += rrset.size();
-  erase_node(node);
-  return n;
-}
-
-bool Zone::remove_record(const ResourceRecord& rr) {
-  auto node = nodes_.find(rr.name);
-  if (node == nodes_.end()) return false;
-  auto it = node->second.find(rr.type);
-  if (it == node->second.end()) return false;
-  auto& rrset = it->second;
-  auto removed = std::remove_if(rrset.begin(), rrset.end(), [&](const ResourceRecord& existing) {
-    return existing.rdata == rr.rdata;
-  });
-  bool any = removed != rrset.end();
-  rrset.erase(removed, rrset.end());
-  if (rrset.empty()) node->second.erase(it);
-  if (node->second.empty()) erase_node(node);
-  return any;
-}
-
-const RRset* Zone::find(const Name& owner, RRType type) const {
-  const NodeMap* node = node_of(owner.packed());
+const RRset* ZoneView::find(const Name& owner, RRType type) const {
+  const ZoneNode* node = node_of(owner.packed(), owner.hash());
   if (node == nullptr) return nullptr;
-  auto it = node->find(type);
-  return it == node->end() ? nullptr : &it->second;
+  auto it = node->types.find(type);
+  return it == node->types.end() ? nullptr : &it->second;
 }
 
-bool Zone::name_exists(const Name& owner) const {
+bool ZoneView::name_exists(const Name& owner) const {
   // A name "exists" if it owns records (hash probe) or is an empty
-  // non-terminal — some descendant owns records (ordered-map walk).
-  if (node_of(owner.packed()) != nullptr) return true;
-  auto it = nodes_.lower_bound(owner);
-  if (it == nodes_.end()) return false;
-  return it->first.is_subdomain_of(owner);
+  // non-terminal — some descendant owns records (ordered-tree walk).
+  if (node_of(owner.packed(), owner.hash()) != nullptr) return true;
+  const ZoneNode* next = tree_.lower_bound(owner);
+  return next != nullptr && next->owner.is_subdomain_of(owner);
 }
 
-std::vector<RRType> Zone::types_at(const Name& owner) const {
+std::vector<RRType> ZoneView::types_at(const Name& owner) const {
   std::vector<RRType> out;
-  const NodeMap* node = node_of(owner.packed());
+  const ZoneNode* node = node_of(owner.packed(), owner.hash());
   if (node == nullptr) return out;
-  for (const auto& [type, rrset] : *node)
+  for (const auto& [type, rrset] : node->types)
     if (!rrset.empty()) out.push_back(type);
   return out;
 }
 
-Zone::Lookup Zone::lookup(const Name& qname, RRType qtype) const {
+ZoneView::Lookup ZoneView::lookup(const Name& qname, RRType qtype) const {
   Lookup result;
   if (!qname.is_subdomain_of(apex_)) {
     result.kind = Lookup::Kind::NotZone;
@@ -129,10 +47,11 @@ Zone::Lookup Zone::lookup(const Name& qname, RRType qtype) const {
   //    retained label; i == 0 is qname itself). An NS set there (other
   //    than qname==cut with qtype==NS) is a referral.
   for (std::size_t i = below_apex; i-- > 0;) {
-    const NodeMap* node = node_of(qname.packed_suffix(i));
+    std::string_view suffix = qname.packed_suffix(i);
+    const ZoneNode* node = node_of(suffix, util::fnv1a(suffix));
     if (node == nullptr) continue;
-    auto ns_it = node->find(RRType::NS);
-    if (ns_it != node->end() && !(i == 0 && qtype == RRType::NS)) {
+    auto ns_it = node->types.find(RRType::NS);
+    if (ns_it != node->types.end() && !(i == 0 && qtype == RRType::NS)) {
       const RRset& ns = ns_it->second;
       result.kind = Lookup::Kind::Delegation;
       result.records = ns;
@@ -150,21 +69,21 @@ Zone::Lookup Zone::lookup(const Name& qname, RRType qtype) const {
   }
 
   // 2. Exact node.
-  if (const NodeMap* node = node_of(qname.packed())) {
+  if (const ZoneNode* node = node_of(qname.packed(), qname.hash())) {
     if (qtype == RRType::ANY) {
-      for (const auto& [type, rrset] : *node)
+      for (const auto& [type, rrset] : node->types)
         result.records.insert(result.records.end(), rrset.begin(), rrset.end());
       result.kind = result.records.empty() ? Lookup::Kind::NoData : Lookup::Kind::Success;
       return result;
     }
-    auto exact = node->find(qtype);
-    if (exact != node->end() && !exact->second.empty()) {
+    auto exact = node->types.find(qtype);
+    if (exact != node->types.end() && !exact->second.empty()) {
       result.kind = Lookup::Kind::Success;
       result.records = exact->second;
       return result;
     }
-    auto cname = node->find(RRType::CNAME);
-    if (cname != node->end() && !cname->second.empty()) {
+    auto cname = node->types.find(RRType::CNAME);
+    if (cname != node->types.end() && !cname->second.empty()) {
       result.kind = Lookup::Kind::CName;
       result.records = cname->second;
       return result;
@@ -185,10 +104,10 @@ Zone::Lookup Zone::lookup(const Name& qname, RRType qtype) const {
   for (std::size_t i = 0; i < below_apex; ++i) {
     star_key.assign("\001*", 2);
     star_key.append(qname.packed_suffix(i + 1));
-    const NodeMap* node = node_of(star_key);
+    const ZoneNode* node = node_of(star_key, util::fnv1a(star_key));
     if (node == nullptr) continue;
-    auto wild = node->find(qtype);
-    if (wild != node->end()) {
+    auto wild = node->types.find(qtype);
+    if (wild != node->types.end()) {
       result.kind = Lookup::Kind::Success;
       result.wildcard = true;
       for (ResourceRecord rr : wild->second) {
@@ -197,8 +116,8 @@ Zone::Lookup Zone::lookup(const Name& qname, RRType qtype) const {
       }
       return result;
     }
-    auto wild_cname = node->find(RRType::CNAME);
-    if (wild_cname != node->end()) {
+    auto wild_cname = node->types.find(RRType::CNAME);
+    if (wild_cname != node->types.end()) {
       result.kind = Lookup::Kind::CName;
       result.wildcard = true;
       for (ResourceRecord rr : wild_cname->second) {
@@ -213,60 +132,315 @@ Zone::Lookup Zone::lookup(const Name& qname, RRType qtype) const {
   return result;
 }
 
-std::vector<ResourceRecord> Zone::all_records() const {
+std::vector<ResourceRecord> ZoneView::all_records() const {
   std::vector<ResourceRecord> out;
-  for (const auto& [owner, types] : nodes_)
-    for (const auto& [type, rrset] : types)
+  out.reserve(record_count_);
+  tree_.for_each([&](const ZoneNode& node) {
+    for (const auto& [type, rrset] : node.types)
       out.insert(out.end(), rrset.begin(), rrset.end());
+  });
   return out;
 }
 
-std::vector<std::pair<Name, std::vector<RRType>>> Zone::all_names() const {
+std::vector<std::pair<Name, std::vector<RRType>>> ZoneView::all_names() const {
   std::vector<std::pair<Name, std::vector<RRType>>> out;
-  out.reserve(nodes_.size());
-  for (const auto& [owner, types] : nodes_) {
+  out.reserve(tree_.size());
+  tree_.for_each([&](const ZoneNode& node) {
     std::vector<RRType> list;
-    for (const auto& [type, rrset] : types)
+    for (const auto& [type, rrset] : node.types)
       if (!rrset.empty()) list.push_back(type);
-    if (!list.empty()) out.emplace_back(owner, std::move(list));
-  }
+    if (!list.empty()) out.emplace_back(node.owner, std::move(list));
+  });
   return out;
 }
 
-std::size_t Zone::record_count() const {
-  std::size_t n = 0;
-  for (const auto& [owner, types] : nodes_)
-    for (const auto& [type, rrset] : types) n += rrset.size();
-  return n;
-}
-
-std::uint32_t Zone::serial() const {
+std::uint32_t ZoneView::serial() const {
   const RRset* soa = find(apex_, RRType::SOA);
   if (soa == nullptr || soa->empty()) return 0;
   const auto* data = std::get_if<dns::SoaData>(&soa->front().rdata);
   return data == nullptr ? 0 : data->serial;
 }
 
-void Zone::bump_serial() {
-  auto node = nodes_.find(apex_);
-  if (node == nodes_.end()) return;
-  auto it = node->second.find(RRType::SOA);
-  if (it == node->second.end() || it->second.empty()) return;
-  if (auto* data = std::get_if<dns::SoaData>(&it->second.front().rdata)) ++data->serial;
+// -------------------------------------------------------------- ZoneBuilder
+
+Status ZoneBuilder::add(ResourceRecord rr) {
+  if (!rr.name.is_subdomain_of(apex_))
+    return fail("zone load: record " + rr.name.to_string() + " outside zone");
+  auto& rrset = staging_[rr.name][rr.type];
+  rrset.push_back(std::move(rr));
+  return util::ok_status();
 }
 
-Status Zone::load(std::vector<ResourceRecord> records) {
-  NodeStore fresh;
-  for (auto& rr : records) {
-    if (!rr.name.is_subdomain_of(apex_))
-      return fail("zone load: record " + rr.name.to_string() + " outside zone");
-    fresh[rr.name][rr.type].push_back(std::move(rr));
-  }
-  if (!fresh.contains(apex_) || !fresh[apex_].contains(RRType::SOA))
+util::Result<ZoneViewPtr> ZoneBuilder::build() && {
+  auto apex_it = staging_.find(apex_);
+  if (apex_it == staging_.end() || !apex_it->second.contains(RRType::SOA))
     return fail("zone load: missing SOA at apex");
-  nodes_ = std::move(fresh);
-  rebuild_index();
+  auto view = std::shared_ptr<ZoneView>(new ZoneView());
+  view->apex_ = std::move(apex_);
+  for (auto& [owner, types] : staging_) {
+    auto node = std::make_shared<ZoneNode>();
+    node->owner = owner;
+    node->types = std::move(types);
+    view->record_count_ += node->record_count();
+    ZoneNodePtr frozen = std::move(node);
+    view->tree_.set(frozen);
+    view->index_.set(std::move(frozen));
+  }
+  return ZoneViewPtr(std::move(view));
+}
+
+util::Result<ZoneViewPtr> build_zone_view(Name apex, std::vector<ResourceRecord> records) {
+  ZoneBuilder builder(std::move(apex));
+  for (auto& rr : records)
+    if (auto status = builder.add(std::move(rr)); !status.ok()) return status.error();
+  return std::move(builder).build();
+}
+
+// ----------------------------------------------------------------- ZoneTxn
+
+ZoneTxn::ZoneTxn(ZoneViewPtr base)
+    : base_(std::move(base)),
+      apex_(base_->apex_),
+      tree_(base_->tree_),
+      index_(base_->index_),
+      record_count_(base_->record_count_) {}
+
+const ZoneNode* ZoneTxn::node_of(const Name& owner) const noexcept {
+  return index_.find(owner.packed(), owner.hash());
+}
+
+void ZoneTxn::set_node(ZoneNode node) {
+  ZoneNodePtr frozen = std::make_shared<const ZoneNode>(std::move(node));
+  tree_.set(frozen);
+  index_.set(std::move(frozen));
+}
+
+void ZoneTxn::erase_node(const Name& owner) {
+  tree_.erase(owner);
+  index_.erase(owner.packed(), owner.hash());
+}
+
+Status ZoneTxn::add(ResourceRecord rr) {
+  if (!rr.name.is_subdomain_of(apex_))
+    return fail("zone " + apex_.to_string() + ": record " + rr.name.to_string() +
+                " outside zone");
+  const ZoneNode* existing = node_of(rr.name);
+  if (rr.type == RRType::CNAME) {
+    // CNAME must be alone at a node (ignoring DNSSEC metadata).
+    if (existing != nullptr) {
+      for (const auto& [type, rrset] : existing->types)
+        if (type != RRType::CNAME && type != RRType::RRSIG && !rrset.empty())
+          return fail("zone: CNAME cannot coexist with other data at " + rr.name.to_string());
+    }
+  } else if (existing != nullptr && existing->types.contains(RRType::CNAME) &&
+             rr.type != RRType::RRSIG) {
+    return fail("zone: data cannot be added beside CNAME at " + rr.name.to_string());
+  }
+  if (existing != nullptr) {
+    auto it = existing->types.find(rr.type);
+    if (it != existing->types.end()) {
+      // De-duplicate identical rdata (RFC 2136 §4 semantics). The op
+      // still counts as accepted: update callers bump on acceptance.
+      for (const auto& have : it->second) {
+        if (have.rdata == rr.rdata) {
+          dirty_ = true;
+          return util::ok_status();
+        }
+      }
+    }
+  }
+  Name owner = rr.name;
+  RRType type = rr.type;
+  ZoneNode node = existing != nullptr ? *existing : ZoneNode{owner, {}};
+  node.types[type].push_back(std::move(rr));
+  set_node(std::move(node));
+  ++record_count_;
+  touched_.insert(std::move(owner));
+  if (type == RRType::NS) ns_touched_ = true;
+  dirty_ = true;
   return util::ok_status();
+}
+
+std::size_t ZoneTxn::remove_rrset(const Name& owner, RRType type) {
+  const ZoneNode* existing = node_of(owner);
+  if (existing == nullptr) return 0;
+  auto it = existing->types.find(type);
+  if (it == existing->types.end()) return 0;
+  std::size_t n = it->second.size();
+  if (existing->types.size() == 1) {
+    erase_node(owner);
+  } else {
+    ZoneNode node = *existing;
+    node.types.erase(type);
+    set_node(std::move(node));
+  }
+  record_count_ -= n;
+  touched_.insert(owner);
+  if (type == RRType::NS) ns_touched_ = true;
+  dirty_ = true;
+  return n;
+}
+
+std::size_t ZoneTxn::remove_name(const Name& owner) {
+  const ZoneNode* existing = node_of(owner);
+  if (existing == nullptr) return 0;
+  std::size_t n = existing->record_count();
+  if (existing->types.contains(RRType::NS)) ns_touched_ = true;
+  erase_node(owner);
+  record_count_ -= n;
+  touched_.insert(owner);
+  dirty_ = true;
+  return n;
+}
+
+bool ZoneTxn::remove_record(const ResourceRecord& rr) {
+  const ZoneNode* existing = node_of(rr.name);
+  if (existing == nullptr) return false;
+  auto it = existing->types.find(rr.type);
+  if (it == existing->types.end()) return false;
+  std::size_t matches = 0;
+  for (const auto& have : it->second)
+    if (have.rdata == rr.rdata) ++matches;
+  if (matches == 0) return false;
+  ZoneNode node = *existing;
+  auto& rrset = node.types[rr.type];
+  rrset.erase(std::remove_if(rrset.begin(), rrset.end(),
+                             [&](const ResourceRecord& have) { return have.rdata == rr.rdata; }),
+              rrset.end());
+  if (rrset.empty()) node.types.erase(rr.type);
+  if (node.types.empty())
+    erase_node(rr.name);
+  else
+    set_node(std::move(node));
+  record_count_ -= matches;
+  touched_.insert(rr.name);
+  if (rr.type == RRType::NS) ns_touched_ = true;
+  dirty_ = true;
+  return true;
+}
+
+const RRset* ZoneTxn::find(const Name& owner, RRType type) const {
+  const ZoneNode* node = node_of(owner);
+  if (node == nullptr) return nullptr;
+  auto it = node->types.find(type);
+  return it == node->types.end() ? nullptr : &it->second;
+}
+
+bool ZoneTxn::name_exists(const Name& owner) const {
+  if (node_of(owner) != nullptr) return true;
+  const ZoneNode* next = tree_.lower_bound(owner);
+  return next != nullptr && next->owner.is_subdomain_of(owner);
+}
+
+std::vector<RRType> ZoneTxn::types_at(const Name& owner) const {
+  std::vector<RRType> out;
+  const ZoneNode* node = node_of(owner);
+  if (node == nullptr) return out;
+  for (const auto& [type, rrset] : node->types)
+    if (!rrset.empty()) out.push_back(type);
+  return out;
+}
+
+ZoneTxn::Commit ZoneTxn::commit(Serial policy) && {
+  if (forced_bump_ || (policy == Serial::BumpOnChange && dirty_)) {
+    if (const ZoneNode* apex_node = node_of(apex_)) {
+      auto it = apex_node->types.find(RRType::SOA);
+      if (it != apex_node->types.end() && !it->second.empty()) {
+        ZoneNode node = *apex_node;
+        if (auto* data = std::get_if<dns::SoaData>(&node.types[RRType::SOA].front().rdata)) {
+          ++data->serial;
+          set_node(std::move(node));
+          touched_.insert(apex_);
+          dirty_ = true;
+        }
+      }
+    }
+  }
+  auto view = std::shared_ptr<ZoneView>(new ZoneView());
+  view->apex_ = std::move(apex_);
+  view->tree_ = std::move(tree_);
+  view->index_ = std::move(index_);
+  view->record_count_ = record_count_;
+  Commit result;
+  result.view = std::move(view);
+  result.touched.assign(touched_.begin(), touched_.end());
+  result.ns_touched = ns_touched_;
+  result.changed = dirty_;
+  return result;
+}
+
+// -------------------------------------------------------------------- Zone
+
+namespace {
+ZoneViewPtr fresh_view(const Name& apex, const Name& primary_ns) {
+  ZoneBuilder builder(apex);
+  // The synthesised SOA cannot fail validation; assert via value().
+  (void)builder.add(dns::make_soa(apex, primary_ns, 1));
+  return std::move(builder).build().value();
+}
+}  // namespace
+
+Zone::Zone(Name apex, Name primary_ns) : view_(fresh_view(apex, primary_ns)) {}
+
+Zone::Zone(ZoneViewPtr view) : view_(std::move(view)) {}
+
+void Zone::fold(const ZoneTxn::Commit& commit) {
+  ++log_.commits;
+  log_.ns_touched = log_.ns_touched || commit.ns_touched;
+  if (log_.overflow) return;
+  log_.touched.insert(commit.touched.begin(), commit.touched.end());
+  if (log_.touched.size() > kMaxTouched) {
+    log_.touched.clear();
+    log_.overflow = true;
+  }
+}
+
+ZoneTxn::Commit Zone::commit(ZoneTxn txn, ZoneTxn::Serial policy) {
+  auto result = std::move(txn).commit(policy);
+  view_ = result.view;
+  fold(result);
+  return result;
+}
+
+void Zone::replace(ZoneViewPtr view) {
+  view_ = std::move(view);
+  ++log_.commits;
+  log_.touched.clear();
+  log_.overflow = true;
+}
+
+Zone::CommitLog Zone::take_commit_log() {
+  CommitLog out = std::move(log_);
+  log_ = CommitLog{};
+  return out;
+}
+
+util::Status Zone::add(ResourceRecord rr) {
+  ZoneTxn txn(view_);
+  auto status = txn.add(std::move(rr));
+  if (status.ok()) (void)commit(std::move(txn), ZoneTxn::Serial::Keep);
+  return status;
+}
+
+std::size_t Zone::remove_rrset(const Name& owner, RRType type) {
+  ZoneTxn txn(view_);
+  std::size_t n = txn.remove_rrset(owner, type);
+  if (n > 0) (void)commit(std::move(txn), ZoneTxn::Serial::Keep);
+  return n;
+}
+
+std::size_t Zone::remove_name(const Name& owner) {
+  ZoneTxn txn(view_);
+  std::size_t n = txn.remove_name(owner);
+  if (n > 0) (void)commit(std::move(txn), ZoneTxn::Serial::Keep);
+  return n;
+}
+
+bool Zone::remove_record(const ResourceRecord& rr) {
+  ZoneTxn txn(view_);
+  bool any = txn.remove_record(rr);
+  if (any) (void)commit(std::move(txn), ZoneTxn::Serial::Keep);
+  return any;
 }
 
 }  // namespace sns::server

@@ -1,26 +1,48 @@
-// zone.hpp — authoritative zone store.
+// zone.hpp — immutable zone snapshots + the transactional write API.
 //
-// A Zone owns every record under one apex, sorted in canonical name
-// order, and answers the RFC 1034 §4.3.2 lookup algorithm: exact match,
-// CNAME, delegation cut (NS below the apex), wildcard synthesis, NODATA
-// vs NXDOMAIN. Spatial zones (SNS core) are ordinary Zones whose apex is
-// a civic name — that is the paper's central trick.
+// A zone is no longer a mutable object: readers hold a `ZoneView`, an
+// immutable snapshot answering the RFC 1034 §4.3.2 lookup algorithm
+// (exact match, CNAME, delegation cut, wildcard synthesis, NODATA vs
+// NXDOMAIN — spatial zones are ordinary zones whose apex is a civic
+// name, the paper's central trick). Writers never touch a view; they
+// stage changes in a `ZoneTxn` opened on a view and `commit()` a NEW
+// view that shares all unmodified structure with its parent.
 //
-// Storage is two-tier: the canonical-order std::map remains the owner
-// of record data (NSEC3 chain, AXFR and empty-non-terminal walks need
-// the ordering), while a hash index keyed by packed owner-name bytes
-// serves every exact-match probe. The lookup algorithm walks delegation
-// cuts and wildcards with packed_suffix() views of the query name, so a
-// full RFC 1034 lookup allocates no ancestor Names at all.
+// Storage is two structurally shared tiers over the same immutable
+// ZoneNode leaves (zone_store.hpp):
+//
+//   * a path-copying treap in canonical name order (AXFR walks,
+//     empty-non-terminal checks, NSEC3 chain input), and
+//   * a persistent hash trie keyed by packed owner-name bytes
+//     (util::PMap) serving every exact-match probe — the lookup
+//     algorithm walks delegation cuts and wildcards with
+//     packed_suffix() views of the query name, allocating no
+//     ancestor Names.
+//
+// A commit therefore costs O(records touched × depth), not O(zone):
+// under the paper's churn workload (a fleet of devices re-homing via
+// RFC 2136 while reader shards serve) updates no longer serialise on
+// whole-zone copies. Commits also report which owners they touched
+// (and whether any delegation changed), which is what lets the
+// runtime's precompiled-answer cache rebuild incrementally.
+//
+// `Zone` remains as a thin mutable facade over the current view —
+// single-threaded call sites (simulator deployments, tests, tools)
+// keep their familiar object identity while every mutation internally
+// becomes a one-op transaction. The old footguns are gone: there is
+// no public `bump_serial()` (commits bump the serial) and no mutable
+// `load()` (bulk builds go through ZoneBuilder).
 #pragma once
 
 #include <map>
-#include <optional>
+#include <memory>
+#include <set>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
 
 #include "dns/record.hpp"
+#include "server/zone_store.hpp"
+#include "util/pmap.hpp"
 #include "util/result.hpp"
 
 namespace sns::server {
@@ -30,34 +52,19 @@ using dns::ResourceRecord;
 using dns::RRset;
 using dns::RRType;
 
-class Zone {
+class ZoneBuilder;
+class ZoneTxn;
+
+/// Immutable snapshot of one zone. Freely shared across threads with
+/// no synchronisation: every member is const after construction and
+/// reads never touch a refcount. Obtain one from ZoneBuilder::build()
+/// or ZoneTxn::commit().
+class ZoneView {
  public:
-  /// Creates an empty zone; a SOA is synthesised at the apex so the
-  /// zone is immediately serveable.
-  Zone(Name apex, Name primary_ns);
-
-  // The hash index holds views into the node map's key storage, so the
-  // store is movable (map nodes are pointer-stable) but not copyable —
-  // zones are shared via shared_ptr throughout the system anyway.
-  Zone(const Zone&) = delete;
-  Zone& operator=(const Zone&) = delete;
-  Zone(Zone&&) = default;
-  Zone& operator=(Zone&&) = default;
-
   [[nodiscard]] const Name& apex() const noexcept { return apex_; }
 
-  /// Add one record. Fails if the owner is outside the zone. Adding a
-  /// CNAME alongside other data (or vice versa) is rejected per RFC 1034.
-  util::Status add(ResourceRecord rr);
-
-  /// Remove a whole RRset; returns number of records removed.
-  std::size_t remove_rrset(const Name& owner, RRType type);
-  /// Remove every record at `owner`.
-  std::size_t remove_name(const Name& owner);
-  /// Remove one exact record (name, type, rdata).
-  bool remove_record(const ResourceRecord& rr);
-
   [[nodiscard]] const RRset* find(const Name& owner, RRType type) const;
+  /// True if `owner` owns records or is an empty non-terminal.
   [[nodiscard]] bool name_exists(const Name& owner) const;
   /// Types present at `owner` (empty if the name does not exist).
   [[nodiscard]] std::vector<RRType> types_at(const Name& owner) const;
@@ -84,33 +91,212 @@ class Zone {
   /// All owner names with their type lists (NSEC3 chain input).
   [[nodiscard]] std::vector<std::pair<Name, std::vector<RRType>>> all_names() const;
 
-  [[nodiscard]] std::size_t record_count() const;
+  [[nodiscard]] std::size_t record_count() const noexcept { return record_count_; }
 
-  /// SOA serial management (dynamic updates bump it).
+  /// Serial of the apex SOA (0 if somehow absent).
   [[nodiscard]] std::uint32_t serial() const;
-  void bump_serial();
-
-  /// Replace full contents from a record list (zone transfer apply).
-  util::Status load(std::vector<ResourceRecord> records);
 
  private:
-  using NodeMap = std::map<RRType, RRset>;
-  using NodeStore = std::map<Name, NodeMap>;
+  friend class ZoneBuilder;
+  friend class ZoneTxn;
+  ZoneView() = default;
 
-  /// Hash probe by packed owner bytes; nullptr if the owner is absent.
-  [[nodiscard]] const NodeMap* node_of(std::string_view packed_owner) const;
-  /// Node for `owner`, created (and indexed) if absent.
-  NodeMap& node_for(const Name& owner);
-  /// Erase a node from both tiers.
-  void erase_node(NodeStore::iterator it);
-  void rebuild_index();
+  /// Exact-match probe by packed owner bytes + their FNV-1a hash.
+  [[nodiscard]] const ZoneNode* node_of(std::string_view packed_owner,
+                                        std::size_t hash) const noexcept {
+    return index_.find(packed_owner, hash);
+  }
 
   Name apex_;
-  // Owner -> type -> rrset, canonical order (Name::operator<=>).
-  NodeStore nodes_;
-  // Exact-match index: packed owner-name bytes -> node. Views point at
-  // the key Names inside nodes_ (node-based map: stable addresses).
-  std::unordered_map<std::string_view, NodeMap*> index_;
+  NameTree tree_;              // canonical order; shares leaves with index_
+  util::PMap<ZoneNode> index_;  // packed-name exact-match probes
+  std::size_t record_count_ = 0;
+};
+using ZoneViewPtr = std::shared_ptr<const ZoneView>;
+
+/// Bulk construction of a fresh view (master-file load, AXFR apply).
+/// Permissive like a zone file: no CNAME-exclusivity or duplicate
+/// checks — the file is the authority on its own contents. build()
+/// insists only on an apex SOA.
+class ZoneBuilder {
+ public:
+  explicit ZoneBuilder(Name apex) : apex_(std::move(apex)) {}
+
+  /// Stage one record. Fails only if the owner is outside the zone.
+  util::Status add(ResourceRecord rr);
+
+  [[nodiscard]] util::Result<ZoneViewPtr> build() &&;
+
+ private:
+  Name apex_;
+  std::map<Name, std::map<RRType, RRset>> staging_;
+};
+
+/// Stage records straight into a view: builder boilerplate for the
+/// common "apex + record list" case.
+util::Result<ZoneViewPtr> build_zone_view(Name apex, std::vector<ResourceRecord> records);
+
+/// A transaction over one base view. Stage adds/removes (with RFC
+/// 1034 CNAME exclusivity and RFC 2136 rdata de-duplication), read
+/// your own writes, then commit() a new view sharing every untouched
+/// node with the base. The txn keeps the base view alive for its own
+/// lifetime — that pin is what makes its internal in-place
+/// fast path sound (any node a published view can reach is provably
+/// shared, hence copied, never patched).
+///
+/// Not thread-safe; one txn belongs to one thread. Concurrent txns on
+/// the same base produce independent successors — reconciling them is
+/// the caller's problem (the runtime serialises committers through
+/// SnapshotStore::update()).
+class ZoneTxn {
+ public:
+  explicit ZoneTxn(ZoneViewPtr base);
+
+  /// Add one record. Fails if the owner is outside the zone or the add
+  /// violates CNAME exclusivity. Re-adding identical rdata is a no-op
+  /// that still reports success AND marks the txn dirty — RFC 2136
+  /// callers bump the serial on any accepted update op.
+  util::Status add(ResourceRecord rr);
+
+  /// Remove a whole RRset; returns number of records removed.
+  std::size_t remove_rrset(const Name& owner, RRType type);
+  /// Remove every record at `owner`.
+  std::size_t remove_name(const Name& owner);
+  /// Remove one exact record (name, type, rdata).
+  bool remove_record(const ResourceRecord& rr);
+
+  // Read-your-writes views of the staged state.
+  [[nodiscard]] const Name& apex() const noexcept { return apex_; }
+  [[nodiscard]] const RRset* find(const Name& owner, RRType type) const;
+  [[nodiscard]] bool name_exists(const Name& owner) const;
+  [[nodiscard]] std::vector<RRType> types_at(const Name& owner) const;
+
+  /// Force a serial bump at commit even if nothing changed.
+  void bump_serial() noexcept { forced_bump_ = true; }
+  /// True once any op succeeded (including de-dup no-op adds).
+  [[nodiscard]] bool dirty() const noexcept { return dirty_; }
+
+  enum class Serial {
+    BumpOnChange,  // ++serial iff the txn is dirty (RFC 2136 semantics)
+    Keep,          // never bump (facade one-op edits, tests)
+  };
+
+  struct Commit {
+    ZoneViewPtr view;
+    /// Owners whose node changed (apex included when the serial moved).
+    /// The incremental answer-cache rebuild invalidates exactly these.
+    std::vector<Name> touched;
+    /// An NS RRset was added or removed somewhere: delegation cuts can
+    /// occlude or reveal whole subtrees, so per-name invalidation is
+    /// unsound and consumers must fall back to a full rebuild.
+    bool ns_touched = false;
+    bool changed = false;
+  };
+  [[nodiscard]] Commit commit(Serial policy = Serial::BumpOnChange) &&;
+
+ private:
+  [[nodiscard]] const ZoneNode* node_of(const Name& owner) const noexcept;
+  void set_node(ZoneNode node);
+  void erase_node(const Name& owner);
+
+  ZoneViewPtr base_;  // pins shared structure: required for soundness
+  Name apex_;
+  NameTree tree_;
+  util::PMap<ZoneNode> index_;
+  std::size_t record_count_ = 0;
+  std::set<Name> touched_;
+  bool ns_touched_ = false;
+  bool dirty_ = false;
+  bool forced_bump_ = false;
+};
+
+/// Mutable facade over the current ZoneView — the object identity the
+/// rest of the system passes around (AuthoritativeServer engines, the
+/// simulator's deployments, tests). Reads delegate to the current
+/// view; each legacy mutator is a one-op transaction that never bumps
+/// the serial (matching the old Zone, where serial management was an
+/// explicit separate step). Multi-op writers should open txn() and
+/// commit() once.
+///
+/// Not thread-safe. The runtime never shares a facade across threads:
+/// each shard engine wraps the published views in its own facades, and
+/// the RFC 2136 path builds throwaway facades inside the snapshot
+/// store's writer critical section. view() hands out the current
+/// snapshot, which IS safe to read anywhere.
+class Zone {
+ public:
+  /// Creates an empty zone; a SOA (serial 1) is synthesised at the
+  /// apex so the zone is immediately serveable.
+  Zone(Name apex, Name primary_ns);
+  /// Wrap an existing snapshot.
+  explicit Zone(ZoneViewPtr view);
+
+  Zone(const Zone&) = delete;
+  Zone& operator=(const Zone&) = delete;
+  Zone(Zone&&) = default;
+  Zone& operator=(Zone&&) = default;
+
+  [[nodiscard]] const Name& apex() const noexcept { return view_->apex(); }
+
+  /// Current snapshot; O(1), immutable, safe to share across threads.
+  [[nodiscard]] const ZoneViewPtr& view() const noexcept { return view_; }
+  /// Open a transaction on the current snapshot.
+  [[nodiscard]] ZoneTxn txn() const { return ZoneTxn(view_); }
+  /// Commit a transaction: the new view becomes current and the commit
+  /// record (touched owners, delegation flag) is folded into the log.
+  ZoneTxn::Commit commit(ZoneTxn txn, ZoneTxn::Serial policy = ZoneTxn::Serial::BumpOnChange);
+  /// Wholesale replacement (AXFR apply, SIGHUP reload). Logged as an
+  /// overflow: incremental consumers must rebuild fully.
+  void replace(ZoneViewPtr view);
+
+  /// What the facade's committers touched since the log was last
+  /// taken; the runtime drains this to rebuild its answer cache
+  /// incrementally after an update cycle.
+  struct CommitLog {
+    std::set<Name> touched;
+    bool ns_touched = false;
+    /// Tracking gave up (wholesale replace, or too many touched
+    /// owners to be worth enumerating): treat everything as touched.
+    bool overflow = false;
+    std::size_t commits = 0;
+  };
+  [[nodiscard]] const CommitLog& commit_log() const noexcept { return log_; }
+  CommitLog take_commit_log();
+
+  // Legacy one-op mutators (Zone::add semantics preserved exactly).
+  util::Status add(ResourceRecord rr);
+  std::size_t remove_rrset(const Name& owner, RRType type);
+  std::size_t remove_name(const Name& owner);
+  bool remove_record(const ResourceRecord& rr);
+
+  // Reads — delegate to the current view.
+  using Lookup = ZoneView::Lookup;
+  [[nodiscard]] const RRset* find(const Name& owner, RRType type) const {
+    return view_->find(owner, type);
+  }
+  [[nodiscard]] bool name_exists(const Name& owner) const { return view_->name_exists(owner); }
+  [[nodiscard]] std::vector<RRType> types_at(const Name& owner) const {
+    return view_->types_at(owner);
+  }
+  [[nodiscard]] Lookup lookup(const Name& qname, RRType qtype) const {
+    return view_->lookup(qname, qtype);
+  }
+  [[nodiscard]] std::vector<ResourceRecord> all_records() const { return view_->all_records(); }
+  [[nodiscard]] std::vector<std::pair<Name, std::vector<RRType>>> all_names() const {
+    return view_->all_names();
+  }
+  [[nodiscard]] std::size_t record_count() const { return view_->record_count(); }
+  [[nodiscard]] std::uint32_t serial() const { return view_->serial(); }
+
+ private:
+  // Past this many distinct touched owners the log stops enumerating
+  // and flips to overflow — a full cache rebuild is cheaper anyway.
+  static constexpr std::size_t kMaxTouched = 4096;
+
+  void fold(const ZoneTxn::Commit& commit);
+
+  ZoneViewPtr view_;
+  CommitLog log_;
 };
 
 }  // namespace sns::server

@@ -1,0 +1,120 @@
+#include "server/zone_store.hpp"
+
+namespace sns::server {
+
+// Sole ownership (use_count 1 on a pointer held by value) proves no
+// frozen tree can reach this node, so the running mutation may patch
+// it in place — the transient that makes bulk builds and multi-op
+// txns run at in-place speed while committed trees stay immutable.
+NameTree::TreePtr NameTree::owned(TreePtr n) {
+  if (n.use_count() == 1) return n;
+  return std::make_shared<TreeNode>(*n);
+}
+
+NameTree::TreePtr NameTree::rotate_right(TreePtr t) {
+  // Precondition: t and t->left exclusively owned by the caller.
+  TreePtr l = std::move(t->left);
+  t->left = std::move(l->right);
+  l->right = std::move(t);
+  return l;
+}
+
+NameTree::TreePtr NameTree::rotate_left(TreePtr t) {
+  TreePtr r = std::move(t->right);
+  t->right = std::move(r->left);
+  r->left = std::move(t);
+  return r;
+}
+
+NameTree::TreePtr NameTree::set_rec(TreePtr t, ZoneNodePtr value, bool& added) {
+  if (t == nullptr) {
+    added = true;
+    auto n = std::make_shared<TreeNode>();
+    n->value = std::move(value);
+    return n;
+  }
+  auto cmp = value->owner <=> t->value->owner;
+  if (cmp == std::strong_ordering::equal) {
+    t = owned(std::move(t));
+    t->value = std::move(value);
+    return t;
+  }
+  if (cmp < 0) {
+    t = owned(std::move(t));
+    t->left = set_rec(std::move(t->left), std::move(value), added);
+    // Restore the heap property on the cached name hash. Subtrees
+    // returned by set_rec are exclusively owned, so rotations move
+    // pointers without further copies.
+    if (t->left->value->owner.hash() > t->value->owner.hash())
+      return rotate_right(std::move(t));
+    return t;
+  }
+  t = owned(std::move(t));
+  t->right = set_rec(std::move(t->right), std::move(value), added);
+  if (t->right->value->owner.hash() > t->value->owner.hash())
+    return rotate_left(std::move(t));
+  return t;
+}
+
+NameTree::TreePtr NameTree::merge(TreePtr a, TreePtr b) {
+  if (a == nullptr) return b;
+  if (b == nullptr) return a;
+  if (a->value->owner.hash() >= b->value->owner.hash()) {
+    a = owned(std::move(a));
+    a->right = merge(std::move(a->right), std::move(b));
+    return a;
+  }
+  b = owned(std::move(b));
+  b->left = merge(std::move(a), std::move(b->left));
+  return b;
+}
+
+NameTree::TreePtr NameTree::erase_rec(TreePtr t, const Name& owner, bool& removed) {
+  if (t == nullptr) return nullptr;
+  auto cmp = owner <=> t->value->owner;
+  if (cmp == std::strong_ordering::equal) {
+    removed = true;
+    // Copy the child pointers out, then drop our reference to the
+    // erased node — never move from its members: the node may still
+    // be shared with a frozen snapshot, and moving would gut it.
+    TreePtr l = t->left;
+    TreePtr r = t->right;
+    t.reset();
+    return merge(std::move(l), std::move(r));
+  }
+  t = owned(std::move(t));
+  if (cmp < 0)
+    t->left = erase_rec(std::move(t->left), owner, removed);
+  else
+    t->right = erase_rec(std::move(t->right), owner, removed);
+  return t;
+}
+
+void NameTree::set(ZoneNodePtr value) {
+  bool added = false;
+  root_ = set_rec(std::move(root_), std::move(value), added);
+  if (added) ++size_;
+}
+
+bool NameTree::erase(const Name& owner) {
+  bool removed = false;
+  root_ = erase_rec(std::move(root_), owner, removed);
+  if (removed) --size_;
+  return removed;
+}
+
+const ZoneNode* NameTree::lower_bound(const Name& key) const noexcept {
+  const TreeNode* t = root_.get();
+  const ZoneNode* best = nullptr;
+  while (t != nullptr) {
+    if (t->value->owner < key) {
+      t = t->right.get();
+    } else {
+      best = t->value.get();
+      t = t->left.get();
+    }
+  }
+  return best;
+}
+
+}  // namespace sns::server

@@ -1,0 +1,111 @@
+// zone_store.hpp — persistent storage primitives for immutable zones.
+//
+// A zone's contents live in two structurally shared tiers that a
+// ZoneTxn commit path-copies together:
+//
+//   * NameTree — a path-copying treap over owner names in canonical
+//     DNS order (Name::operator<=>), the tier that AXFR walks,
+//     empty-non-terminal checks lower_bound through, and the NSEC3
+//     chain is built from. Treap priorities are the owner's cached
+//     FNV-1a hash, so the shape is a deterministic function of the key
+//     set — two zones holding the same names share no structure yet
+//     have identical depth profiles, and rebalancing needs no RNG.
+//
+//   * util::PMap<ZoneNode> — the packed-name exact-match index
+//     (declared in zone.hpp next to its user), sharing the same
+//     shared_ptr<const ZoneNode> leaves as the tree.
+//
+// Both tiers point at the SAME immutable ZoneNode objects; an update
+// allocates one new node for the touched owner and path-copies
+// O(depth) interior nodes per tier. Everything else — every other
+// owner's RRsets included — is shared with the parent snapshot by
+// refcount alone.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string_view>
+
+#include "dns/record.hpp"
+
+namespace sns::server {
+
+using dns::Name;
+using dns::RRset;
+using dns::RRType;
+
+/// One owner name and every RRset at it. Immutable once published: a
+/// txn that changes a node replaces the whole node (RRsets at one
+/// owner are small — the per-record cost hides inside the node copy).
+struct ZoneNode {
+  Name owner;
+  std::map<RRType, RRset> types;
+
+  // util::PMap entry interface — keyed by canonical packed bytes with
+  // the Name's cached hash, so index probes cost zero extra hashing.
+  [[nodiscard]] std::string_view key_view() const noexcept { return owner.packed(); }
+  [[nodiscard]] std::size_t key_hash() const noexcept { return owner.hash(); }
+
+  [[nodiscard]] std::size_t record_count() const noexcept {
+    std::size_t n = 0;
+    for (const auto& [type, rrset] : types) n += rrset.size();
+    return n;
+  }
+};
+using ZoneNodePtr = std::shared_ptr<const ZoneNode>;
+
+/// Persistent ordered map Name -> ZoneNode (canonical DNS order).
+/// Copying a NameTree is copying one pointer; set/erase path-copy the
+/// touched root-to-leaf spine unless this tree is the spine's sole
+/// owner (the transient case — a txn mutating its private copy), in
+/// which case nodes are patched in place. Reads never touch refcounts
+/// and are safe from any thread against a frozen copy.
+class NameTree {
+ public:
+  /// Insert or replace the node owning `value->owner`.
+  void set(ZoneNodePtr value);
+
+  /// Remove the node owning `owner`; false if absent.
+  bool erase(const Name& owner);
+
+  /// First node with owner >= `key` in canonical order, or nullptr.
+  /// This is what empty-non-terminal detection probes.
+  [[nodiscard]] const ZoneNode* lower_bound(const Name& key) const noexcept;
+
+  /// In-order (canonical) visit of every node.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    walk(root_.get(), fn);
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+ private:
+  struct TreeNode {
+    ZoneNodePtr value;
+    std::shared_ptr<TreeNode> left;
+    std::shared_ptr<TreeNode> right;
+  };
+  using TreePtr = std::shared_ptr<TreeNode>;
+
+  static TreePtr owned(TreePtr n);
+  static TreePtr rotate_left(TreePtr t);
+  static TreePtr rotate_right(TreePtr t);
+  static TreePtr set_rec(TreePtr t, ZoneNodePtr value, bool& added);
+  static TreePtr erase_rec(TreePtr t, const Name& owner, bool& removed);
+  static TreePtr merge(TreePtr a, TreePtr b);
+
+  template <typename Fn>
+  static void walk(const TreeNode* n, Fn& fn) {
+    if (n == nullptr) return;
+    walk(n->left.get(), fn);
+    fn(*n->value);
+    walk(n->right.get(), fn);
+  }
+
+  TreePtr root_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace sns::server

@@ -1,0 +1,221 @@
+// pmap.hpp — persistent (structurally shared) hash map.
+//
+// The write-path primitive under the immutable-zone redesign: a
+// bitmap-compressed hash-array-mapped trie whose set/erase path-copy
+// only the O(log32 n) nodes between the root and the touched entry.
+// Copying a PMap is copying one shared_ptr; the copy and the original
+// share every untouched node, so a ZoneTxn commit (or an incremental
+// answer-cache rebuild) costs O(entries touched × depth), not O(map).
+//
+// Entries are immutable payloads held by shared_ptr<const E>; E
+// exposes its own key:
+//
+//   std::string_view key_view() const;   // stable for E's lifetime
+//   std::size_t      key_hash() const;   // fnv1a(key_view()), cached
+//
+// Mutation uses the transient trick: a node whose use_count() is 1 is
+// owned exclusively by the running operation (nodes reachable from any
+// shared map root always hold count >= 2, because copying a parent
+// bumps every child), so it is patched in place instead of copied.
+// Bulk builds therefore run at in-place speed while committed maps
+// stay frozen. Thread-safety contract: a PMap value is mutated by at
+// most one thread; *snapshots* (copies) of it may be read from any
+// number of threads concurrently — reads traverse raw pointers and
+// never touch a refcount.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace sns::util {
+
+/// FNV-1a over arbitrary bytes — the same function dns::Name caches
+/// for its packed key, so Name::hash() and fnv1a(name.packed()) agree.
+inline std::size_t fnv1a(std::string_view bytes) noexcept {
+  std::uint64_t h = 14695981039346656037ULL;
+  for (char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return static_cast<std::size_t>(h);
+}
+
+template <typename E>
+class PMap {
+ public:
+  using Ptr = std::shared_ptr<const E>;
+
+  /// Entry with this exact key, or nullptr. Wait-free, no refcounts.
+  [[nodiscard]] const E* find(std::string_view key, std::size_t hash) const noexcept {
+    const Node* n = root_.get();
+    unsigned shift = 0;
+    while (n != nullptr) {
+      if (!n->entries.empty()) {
+        for (const auto& e : n->entries)
+          if (e->key_hash() == hash && e->key_view() == key) return e.get();
+        return nullptr;
+      }
+      std::uint32_t bit = bit_of(hash, shift);
+      if ((n->bitmap & bit) == 0) return nullptr;
+      n = n->children[slot_of(n->bitmap, bit)].get();
+      shift += kBits;
+    }
+    return nullptr;
+  }
+
+  /// Insert or replace. The path to the entry is copied unless this map
+  /// is the sole owner of it (freshly built nodes mutate in place).
+  void set(Ptr entry) {
+    bool added = false;
+    std::size_t hash = entry->key_hash();
+    root_ = set_rec(std::move(root_), std::move(entry), hash, 0, added);
+    if (added) ++size_;
+  }
+
+  /// Remove by key; false if absent.
+  bool erase(std::string_view key, std::size_t hash) {
+    if (root_ == nullptr) return false;
+    bool removed = false;
+    root_ = erase_rec(std::move(root_), key, hash, 0, removed);
+    if (removed) --size_;
+    return removed;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  /// Visit every entry (unspecified order).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    walk(root_.get(), fn);
+  }
+
+ private:
+  static constexpr unsigned kBits = 5;  // 32-way branching
+
+  // A node is terminal when `entries` is non-empty: one entry is a
+  // plain leaf; several share an identical 64-bit hash (a collision
+  // bucket — with FNV-1a over distinct packed names this is all but
+  // unreachable, but correctness must not depend on that). Otherwise
+  // it is an interior node: `children` dense over the bitmap.
+  struct Node {
+    std::uint32_t bitmap = 0;
+    std::vector<std::shared_ptr<Node>> children;
+    std::vector<Ptr> entries;
+  };
+  using NodePtr = std::shared_ptr<Node>;
+
+  static std::uint32_t bit_of(std::size_t hash, unsigned shift) noexcept {
+    // Hash bits exhaust after 64/5 levels; past that only equal-hash
+    // keys remain and they land in a collision bucket before this is
+    // ever consulted again.
+    std::size_t chunk = shift >= 64 ? 0 : (hash >> shift) & 31u;
+    return std::uint32_t{1} << chunk;
+  }
+  static std::size_t slot_of(std::uint32_t bitmap, std::uint32_t bit) noexcept {
+    return static_cast<std::size_t>(std::popcount(bitmap & (bit - 1)));
+  }
+
+  /// The transient trick: sole ownership (use_count 1 on a pointer we
+  /// hold by value) proves no snapshot can reach this node, so the
+  /// operation may patch it in place.
+  static NodePtr owned(NodePtr n) {
+    if (n.use_count() == 1) return n;
+    return std::make_shared<Node>(*n);
+  }
+
+  static NodePtr leaf_of(Ptr entry) {
+    auto n = std::make_shared<Node>();
+    n->entries.push_back(std::move(entry));
+    return n;
+  }
+
+  static NodePtr set_rec(NodePtr n, Ptr entry, std::size_t hash, unsigned shift, bool& added) {
+    if (n == nullptr) {
+      added = true;
+      return leaf_of(std::move(entry));
+    }
+    if (!n->entries.empty()) {
+      std::size_t have = n->entries.front()->key_hash();
+      if (have == hash) {
+        n = owned(std::move(n));
+        for (auto& e : n->entries) {
+          if (e->key_view() == entry->key_view()) {
+            e = std::move(entry);  // replace
+            return n;
+          }
+        }
+        n->entries.push_back(std::move(entry));
+        added = true;
+        return n;
+      }
+      // Split: push the existing terminal one level down (shared, not
+      // copied — terminals are depth-independent), then insert.
+      auto inner = std::make_shared<Node>();
+      std::uint32_t bit = bit_of(have, shift);
+      inner->bitmap = bit;
+      inner->children.push_back(std::move(n));
+      return set_rec(std::move(inner), std::move(entry), hash, shift, added);
+    }
+    std::uint32_t bit = bit_of(hash, shift);
+    std::size_t slot = slot_of(n->bitmap, bit);
+    n = owned(std::move(n));
+    if ((n->bitmap & bit) != 0) {
+      n->children[slot] =
+          set_rec(std::move(n->children[slot]), std::move(entry), hash, shift + kBits, added);
+    } else {
+      n->bitmap |= bit;
+      n->children.insert(n->children.begin() + static_cast<std::ptrdiff_t>(slot),
+                         leaf_of(std::move(entry)));
+      added = true;
+    }
+    return n;
+  }
+
+  static NodePtr erase_rec(NodePtr n, std::string_view key, std::size_t hash, unsigned shift,
+                           bool& removed) {
+    if (!n->entries.empty()) {
+      for (std::size_t i = 0; i < n->entries.size(); ++i) {
+        if (n->entries[i]->key_hash() == hash && n->entries[i]->key_view() == key) {
+          removed = true;
+          if (n->entries.size() == 1) return nullptr;
+          n = owned(std::move(n));
+          n->entries.erase(n->entries.begin() + static_cast<std::ptrdiff_t>(i));
+          return n;
+        }
+      }
+      return n;  // absent: untouched
+    }
+    std::uint32_t bit = bit_of(hash, shift);
+    if ((n->bitmap & bit) == 0) return n;
+    std::size_t slot = slot_of(n->bitmap, bit);
+    n = owned(std::move(n));
+    n->children[slot] = erase_rec(std::move(n->children[slot]), key, hash, shift + kBits, removed);
+    if (n->children[slot] == nullptr) {
+      n->bitmap &= ~bit;
+      n->children.erase(n->children.begin() + static_cast<std::ptrdiff_t>(slot));
+    }
+    if (n->children.empty()) return nullptr;
+    // Canonical collapse: a chain down to one terminal child folds
+    // into that child, keeping probes shallow after heavy churn.
+    if (n->children.size() == 1 && !n->children.front()->entries.empty())
+      return n->children.front();
+    return n;
+  }
+
+  template <typename Fn>
+  static void walk(const Node* n, Fn& fn) {
+    if (n == nullptr) return;
+    for (const auto& e : n->entries) fn(*e);
+    for (const auto& c : n->children) walk(c.get(), fn);
+  }
+
+  NodePtr root_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace sns::util

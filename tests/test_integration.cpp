@@ -203,8 +203,9 @@ TEST(Integration, ZoneTransferToSecondary) {
   // Edge servers can replicate their zone to a secondary (resilience).
   Fixture f;
   auto primary = f.world.oval_office->zone->local_zone();
-  server::Zone secondary(primary->apex(), name_of("ns2.oval-office.loc"));
-  ASSERT_TRUE(secondary.load(primary->all_records()).ok());
+  auto view = server::build_zone_view(primary->apex(), primary->all_records());
+  ASSERT_TRUE(view.ok()) << view.error().message;
+  server::Zone secondary(std::move(view).value());
   EXPECT_EQ(secondary.record_count(), primary->record_count());
   EXPECT_EQ(secondary.serial(), primary->serial());
   auto lookup = secondary.lookup(f.world.speaker, RRType::BDADDR);

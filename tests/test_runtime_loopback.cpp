@@ -51,14 +51,13 @@ big      IN TXT  "padding-padding-padding-padding-padding-padding-padding-paddin
 big      IN TXT  "padding-padding-padding-padding-padding-padding-padding-padding-padding-8"
 marker   IN TXT  ")";
 
-std::shared_ptr<server::Zone> make_zone(const std::string& marker_value) {
+server::ZoneViewPtr make_zone(const std::string& marker_value) {
   std::string text = std::string(kZoneHead) + marker_value + "\"\n";
   auto records = dns::parse_master_file(text, dns::Name{});
   if (!records.ok()) return nullptr;
-  auto zone =
-      std::make_shared<server::Zone>(name_of("stress.loc"), name_of("ns.stress.loc"));
-  if (!zone->load(records.value()).ok()) return nullptr;
-  return zone;
+  auto view = server::build_zone_view(name_of("stress.loc"), std::move(records).value());
+  if (!view.ok()) return nullptr;
+  return std::move(view).value();
 }
 
 constexpr auto kTimeout = std::chrono::milliseconds(2000);
@@ -233,6 +232,33 @@ TEST_F(RuntimeLoopback, DynamicUpdatePublishesCopyOnWriteSnapshot) {
   EXPECT_EQ(runtime_->metrics().counter_value("runtime.zone.update").value_or(0), 1u);
   // Copy-on-write: the pre-update snapshot is untouched.
   EXPECT_EQ(before->record_count(), runtime_->snapshot()->record_count() - 1);
+}
+
+TEST_F(RuntimeLoopback, UpdateCyclePreservesSoaMnameOverTheWire) {
+  // Regression: the old update path rebuilt each zone as
+  // Zone(apex, apex), silently replacing the SOA primary NS. The SOA
+  // served after a dynamic-update cycle must keep its MNAME and RNAME,
+  // with only the serial moving.
+  start(1);
+  auto before = transport::udp_query(server_, make("stress.loc", RRType::SOA, 0x5301));
+  ASSERT_TRUE(before.ok()) << before.error().message;
+  ASSERT_EQ(before.value().answers.size(), 1u);
+  const auto soa_before = std::get<dns::SoaData>(before.value().answers[0].rdata);
+  ASSERT_EQ(soa_before.mname, name_of("ns.stress.loc"));
+
+  auto update = server::make_update_add(
+      0x5302, name_of("stress.loc"), dns::make_txt(name_of("roam.stress.loc"), {"re-homed"}));
+  auto ack = transport::tcp_query(server_, update);
+  ASSERT_TRUE(ack.ok()) << ack.error().message;
+  ASSERT_EQ(ack.value().header.rcode, dns::Rcode::NoError);
+
+  auto after = transport::udp_query(server_, make("stress.loc", RRType::SOA, 0x5303));
+  ASSERT_TRUE(after.ok()) << after.error().message;
+  ASSERT_EQ(after.value().answers.size(), 1u);
+  const auto soa_after = std::get<dns::SoaData>(after.value().answers[0].rdata);
+  EXPECT_EQ(soa_after.mname, soa_before.mname);
+  EXPECT_EQ(soa_after.rname, soa_before.rname);
+  EXPECT_EQ(soa_after.serial, soa_before.serial + 1);
 }
 
 TEST_F(RuntimeLoopback, RefusedUpdateLeavesSnapshotAlone) {

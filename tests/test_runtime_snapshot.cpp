@@ -7,10 +7,12 @@
 
 #include <atomic>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "runtime/snapshot.hpp"
+#include "server/zone.hpp"
 
 namespace sns::runtime {
 namespace {
@@ -175,6 +177,73 @@ TEST(SnapshotStore, PublishAndUpdateSerialiseWithoutLostWork) {
   EXPECT_TRUE(last->consistent());
   EXPECT_GE(last->serial, kReloadBase);
   EXPECT_LE(last->serial % kReloadBase, kUpdates);
+}
+
+TEST(SnapshotStore, ZoneViewReadersVsCommittersHammer) {
+  // The immutable-zone redesign under its intended load: reader
+  // threads run real lookups on acquired ZoneViews while a committer
+  // chains ZoneTxn commits through the store flat out. Structural
+  // sharing means almost every node a reader walks is also reachable
+  // from the committer's successor views — the TSan CI job watches
+  // this for a write to shared structure.
+  using server::Zone;
+  using server::ZoneTxn;
+  using server::ZoneView;
+  const auto apex = dns::name_of("hammer.loc");
+  auto dev = [&](std::uint64_t i) {
+    return dns::name_of("dev" + std::to_string(i) + ".hammer.loc");
+  };
+
+  constexpr std::uint64_t kDevices = 64;
+  server::ZoneBuilder builder(apex);
+  ASSERT_TRUE(builder.add(dns::make_soa(apex, dns::name_of("ns.hammer.loc"), 1)).ok());
+  for (std::uint64_t i = 0; i < kDevices; ++i)
+    ASSERT_TRUE(builder.add(dns::make_txt(dev(i), {"home-0"})).ok());
+  auto initial = std::move(builder).build();
+  ASSERT_TRUE(initial.ok());
+
+  SnapshotStore<ZoneView> store(initial.value());
+
+  constexpr int kReaders = 4;
+  constexpr std::uint64_t kCommits = 2000;
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> bad_lookups{0}, serial_regressions{0};
+
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r)
+    readers.emplace_back([&, r] {
+      std::uint32_t last_serial = 0;
+      std::uint64_t i = static_cast<std::uint64_t>(r);
+      while (!done.load(std::memory_order_acquire)) {
+        auto view = store.acquire();
+        auto hit = view->lookup(dev(i++ % kDevices), dns::RRType::TXT);
+        if (hit.kind != ZoneView::Lookup::Kind::Success || hit.records.size() != 1)
+          bad_lookups.fetch_add(1);
+        std::uint32_t serial = view->serial();
+        if (serial < last_serial) serial_regressions.fetch_add(1);
+        last_serial = serial;
+      }
+    });
+
+  // Each commit re-homes one device: delete its TXT RRset, add the new
+  // home — the RFC 2136 mobility op, serial bumped by the commit.
+  for (std::uint64_t i = 0; i < kCommits; ++i) {
+    store.update([&](const SnapshotStore<ZoneView>::Ptr& cur) {
+      ZoneTxn txn(cur);
+      txn.remove_rrset(dev(i % kDevices), dns::RRType::TXT);
+      EXPECT_TRUE(txn.add(dns::make_txt(dev(i % kDevices), {"home-" + std::to_string(i)})).ok());
+      return std::move(txn).commit().view;
+    });
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& t : readers) t.join();
+
+  EXPECT_EQ(bad_lookups.load(), 0u);
+  EXPECT_EQ(serial_regressions.load(), 0u);
+  auto final_view = store.acquire();
+  EXPECT_EQ(final_view->serial(), 1u + kCommits);
+  EXPECT_EQ(final_view->record_count(), 1u + kDevices);
 }
 
 }  // namespace

@@ -203,10 +203,14 @@ TEST(Nsec3Denial, ChainRefreshesAfterUpdate) {
   auto before = keyed.srv.handle(
       dns::make_query(1, name_of("ghost.oval-office.loc"), RRType::A), ctx);
   EXPECT_EQ(before.header.rcode, dns::Rcode::NXDomain);
-  // Add it (and bump the serial, as dynamic update would).
-  (void)keyed.zone->add(dns::make_a(name_of("ghost.oval-office.loc"),
-                                    net::Ipv4Addr{{10, 0, 0, 2}}));
-  keyed.zone->bump_serial();
+  // Add it and bump the serial in one transaction, as dynamic update would.
+  {
+    auto txn = keyed.zone->txn();
+    ASSERT_TRUE(txn.add(dns::make_a(name_of("ghost.oval-office.loc"),
+                                    net::Ipv4Addr{{10, 0, 0, 2}}))
+                    .ok());
+    (void)keyed.zone->commit(std::move(txn));
+  }
   auto after = keyed.srv.handle(
       dns::make_query(2, name_of("ghost.oval-office.loc"), RRType::A), ctx);
   EXPECT_EQ(after.header.rcode, dns::Rcode::NoError);

@@ -14,11 +14,17 @@ using dns::name_of;
 
 const Name kApex = name_of("oval-office.loc");
 
+void bump_serial(Zone& zone) {
+  auto txn = zone.txn();
+  txn.bump_serial();
+  (void)zone.commit(std::move(txn));
+}
+
 Zone primary_zone() {
   Zone zone(kApex, name_of("ns.oval-office.loc"));
   (void)zone.add(make_bdaddr(name_of("mic.oval-office.loc"), net::Bdaddr{{1, 2, 3, 4, 5, 6}}));
   (void)zone.add(make_a(name_of("display.oval-office.loc"), net::Ipv4Addr{{192, 0, 3, 12}}));
-  zone.bump_serial();  // serial 2
+  bump_serial(zone);  // serial 2
   return zone;
 }
 
@@ -109,7 +115,7 @@ TEST(Transfer, OverTheSimulatedNetwork) {
 
   // Primary changes -> next refresh picks it up.
   (void)primary.add(make_a(name_of("new.oval-office.loc"), net::Ipv4Addr{{10, 0, 0, 1}}));
-  primary.bump_serial();
+  bump_serial(primary);
   refreshed = refresh_secondary(network, secondary_node, primary_node, secondary);
   ASSERT_TRUE(refreshed.ok());
   EXPECT_TRUE(refreshed.value());

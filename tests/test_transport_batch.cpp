@@ -54,9 +54,9 @@ big      IN TXT  "padding-padding-padding-padding-padding-padding-padding-paddin
 std::shared_ptr<server::Zone> make_zone() {
   auto records = dns::parse_master_file(kZoneText, dns::Name{});
   if (!records.ok()) return nullptr;
-  auto zone = std::make_shared<server::Zone>(name_of("office.loc"), name_of("ns.office.loc"));
-  if (!zone->load(records.value()).ok()) return nullptr;
-  return zone;
+  auto view = server::build_zone_view(name_of("office.loc"), std::move(records).value());
+  if (!view.ok()) return nullptr;
+  return std::make_shared<server::Zone>(std::move(view).value());
 }
 
 /// One serving stack: engine + loop + DnsTransportServer, with the loop
@@ -273,7 +273,7 @@ TEST(TransportBatch, BatchModeIsByteForByteEquivalentToSingleDatagramMode) {
 TEST(TransportBatch, AnswerCacheHitsAreByteForByteEquivalentToDecodedPath) {
   auto zone = make_zone();
   ASSERT_NE(zone, nullptr);
-  auto cache = runtime::AnswerCache::build({zone});
+  auto cache = runtime::AnswerCache::build({zone->view()});
   ASSERT_NE(cache, nullptr);
   EXPECT_GT(cache->size(), 0u);
 
@@ -302,7 +302,7 @@ TEST(TransportBatch, AnswerCacheHitsAreByteForByteEquivalentToDecodedPath) {
 TEST(TransportBatch, CacheServesPositivesAndFallsThroughForTheRest) {
   auto zone = make_zone();
   ASSERT_NE(zone, nullptr);
-  auto cache = runtime::AnswerCache::build({zone});
+  auto cache = runtime::AnswerCache::build({zone->view()});
   ASSERT_NE(cache, nullptr);
 
   auto probe = [&](dns::Message query) {

@@ -53,8 +53,9 @@ class TransportLoopback : public ::testing::Test {
   void start(TcpListener::Options tcp_options = TcpListener::Options()) {
     auto records = dns::parse_master_file(kZoneText, dns::Name{});
     ASSERT_TRUE(records.ok()) << records.error().message;
-    zone_ = std::make_shared<server::Zone>(name_of("office.loc"), name_of("ns.office.loc"));
-    ASSERT_TRUE(zone_->load(records.value()).ok());
+    auto view = server::build_zone_view(name_of("office.loc"), std::move(records).value());
+    ASSERT_TRUE(view.ok()) << view.error().message;
+    zone_ = std::make_shared<server::Zone>(std::move(view).value());
     engine_ = std::make_unique<server::AuthoritativeServer>("loopback-test");
     engine_->add_zone(zone_);
 
@@ -330,8 +331,9 @@ class SendErrorLoopback : public ::testing::Test {
       std::snprintf(text, sizeof(text), "DDDDDDDDDDD%04zu", i);  // 15 chars
       records.push_back(dns::make_txt(jumbo, {text}));
     }
-    zone_ = std::make_shared<server::Zone>(name_of("office.loc"), name_of("ns.office.loc"));
-    ASSERT_TRUE(zone_->load(records).ok());
+    auto view = server::build_zone_view(name_of("office.loc"), std::move(records));
+    ASSERT_TRUE(view.ok()) << view.error().message;
+    zone_ = std::make_shared<server::Zone>(std::move(view).value());
     engine_ = std::make_unique<server::AuthoritativeServer>("send-error-test");
     engine_->add_zone(zone_);
 

@@ -22,7 +22,11 @@ TEST(Zone, SynthesisedSoaAtApex) {
   const RRset* soa = zone.find(kApex, RRType::SOA);
   ASSERT_NE(soa, nullptr);
   EXPECT_EQ(zone.serial(), 1u);
-  zone.bump_serial();
+  // Serial management is transactional now: a forced-bump empty txn is
+  // the explicit-bump idiom (commits of real changes bump implicitly).
+  auto txn = zone.txn();
+  txn.bump_serial();
+  (void)zone.commit(std::move(txn));
   EXPECT_EQ(zone.serial(), 2u);
 }
 
@@ -190,17 +194,21 @@ TEST(Zone, AllRecordsCanonicalOrderAndLoad) {
   EXPECT_EQ(all[0].type, RRType::SOA);
   EXPECT_EQ(all[1].name, name_of("a.oval-office.loc"));
 
-  // Zone transfer: load into a fresh secondary.
-  Zone secondary(kApex, name_of("ns2.oval-office.loc"));
-  ASSERT_TRUE(secondary.load(all).ok());
+  // Zone transfer: build a fresh secondary view from the record list.
+  auto secondary_view = server::build_zone_view(kApex, all);
+  ASSERT_TRUE(secondary_view.ok());
+  Zone secondary(std::move(secondary_view).value());
   EXPECT_EQ(secondary.record_count(), 3u);
   EXPECT_NE(secondary.find(name_of("b.oval-office.loc"), RRType::A), nullptr);
 
-  // Loading garbage fails.
-  Zone bad(kApex, name_of("ns.oval-office.loc"));
-  EXPECT_FALSE(bad.load({make_a(name_of("x.other.loc"), net::Ipv4Addr{{1, 1, 1, 1}})}).ok());
-  EXPECT_FALSE(bad.load({make_a(name_of("x.oval-office.loc"), net::Ipv4Addr{{1, 1, 1, 1}})}).ok())
-      << "load without SOA must fail";
+  // Building from garbage fails.
+  EXPECT_FALSE(
+      server::build_zone_view(kApex, {make_a(name_of("x.other.loc"), net::Ipv4Addr{{1, 1, 1, 1}})})
+          .ok());
+  EXPECT_FALSE(server::build_zone_view(
+                   kApex, {make_a(name_of("x.oval-office.loc"), net::Ipv4Addr{{1, 1, 1, 1}})})
+                   .ok())
+      << "build without SOA must fail";
 }
 
 TEST(Zone, TypesAtAndNames) {

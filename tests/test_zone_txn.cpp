@@ -1,0 +1,382 @@
+// Tests for the immutable ZoneView + transactional write API
+// (src/server/zone): serial policies, structural sharing, base-view
+// isolation, the incremental answer-cache rebuild the commit logs
+// feed, and a differential property test replaying randomly
+// interleaved transactions.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/answer_cache.hpp"
+#include "server/authoritative.hpp"
+#include "server/update.hpp"
+#include "server/zone.hpp"
+
+namespace sns::server {
+namespace {
+
+using dns::make_a;
+using dns::make_cname;
+using dns::make_ns;
+using dns::make_soa;
+using dns::make_txt;
+using dns::name_of;
+
+const Name kApex = name_of("fleet.loc");
+
+Name sub(const std::string& label) { return name_of(label + ".fleet.loc"); }
+
+ZoneViewPtr base_view() {
+  ZoneBuilder builder(kApex);
+  (void)builder.add(make_soa(kApex, sub("ns"), 1));
+  (void)builder.add(make_ns(kApex, sub("ns")));
+  (void)builder.add(make_a(sub("ns"), net::Ipv4Addr{{192, 0, 2, 1}}));
+  for (int i = 0; i < 8; ++i)
+    (void)builder.add(make_txt(sub("dev" + std::to_string(i)), {"home-" + std::to_string(i)}));
+  auto view = std::move(builder).build();
+  EXPECT_TRUE(view.ok());
+  return std::move(view).value();
+}
+
+TEST(ZoneTxn, CommitBumpsSerialOnChangeOnly) {
+  auto base = base_view();
+  EXPECT_EQ(base->serial(), 1u);
+
+  // A dirty txn under BumpOnChange bumps exactly once.
+  ZoneTxn txn(base);
+  ASSERT_TRUE(txn.add(make_txt(sub("dev8"), {"home-8"})).ok());
+  auto commit = std::move(txn).commit();
+  EXPECT_TRUE(commit.changed);
+  EXPECT_EQ(commit.view->serial(), 2u);
+
+  // An empty txn is a no-op: same serial, changed == false.
+  auto noop = ZoneTxn(commit.view);
+  auto unchanged = std::move(noop).commit();
+  EXPECT_FALSE(unchanged.changed);
+  EXPECT_EQ(unchanged.view->serial(), 2u);
+
+  // Serial::Keep never bumps, even for a dirty txn…
+  ZoneTxn keep(commit.view);
+  ASSERT_TRUE(keep.add(make_txt(sub("dev9"), {"home-9"})).ok());
+  auto kept = std::move(keep).commit(ZoneTxn::Serial::Keep);
+  EXPECT_TRUE(kept.changed);
+  EXPECT_EQ(kept.view->serial(), 2u);
+
+  // …unless bump_serial() forces it.
+  ZoneTxn forced(kept.view);
+  forced.bump_serial();
+  auto bumped = std::move(forced).commit(ZoneTxn::Serial::Keep);
+  EXPECT_TRUE(bumped.changed);
+  EXPECT_EQ(bumped.view->serial(), 3u);
+}
+
+TEST(ZoneTxn, DedupNoOpAddStillMarksDirty) {
+  // RFC 2136: re-adding identical rdata is accepted, and an accepted
+  // update op bumps the serial even though the zone data is unchanged.
+  auto base = base_view();
+  ZoneTxn txn(base);
+  ASSERT_TRUE(txn.add(make_txt(sub("dev0"), {"home-0"})).ok());
+  EXPECT_TRUE(txn.dirty());
+  auto commit = std::move(txn).commit();
+  EXPECT_EQ(commit.view->serial(), base->serial() + 1);
+  EXPECT_EQ(commit.view->find(sub("dev0"), RRType::TXT)->size(), 1u);
+}
+
+TEST(ZoneTxn, SoaMnameSurvivesUpdateCycle) {
+  // Regression: the old runtime rebuilt zones via Zone(apex, apex),
+  // silently replacing the SOA primary NS with the apex. A full RFC
+  // 2136 cycle through the engine must leave MNAME and RNAME intact.
+  auto base = base_view();
+  const auto before = std::get<dns::SoaData>(base->find(kApex, RRType::SOA)->front().rdata);
+  ASSERT_EQ(before.mname, sub("ns"));
+
+  auto zone = std::make_shared<Zone>(base);
+  AuthoritativeServer engine("txn-test");
+  engine.add_zone(zone);
+  ClientContext ctx;
+  auto ack = engine.handle(
+      make_update_add(0x2136, kApex, make_txt(sub("roamer"), {"re-homed"})), ctx);
+  ASSERT_EQ(ack.header.rcode, dns::Rcode::NoError);
+
+  const auto after = std::get<dns::SoaData>(zone->find(kApex, RRType::SOA)->front().rdata);
+  EXPECT_EQ(after.mname, before.mname);
+  EXPECT_EQ(after.rname, before.rname);
+  EXPECT_EQ(after.serial, before.serial + 1);
+  EXPECT_NE(zone->find(sub("roamer"), RRType::TXT), nullptr);
+}
+
+TEST(ZoneTxn, BaseViewIsolatedFromCommit) {
+  auto base = base_view();
+  std::size_t base_count = base->record_count();
+
+  ZoneTxn txn(base);
+  EXPECT_EQ(txn.remove_rrset(sub("dev3"), RRType::TXT), 1u);
+  ASSERT_TRUE(txn.add(make_txt(sub("dev100"), {"new-home"})).ok());
+  auto commit = std::move(txn).commit();
+
+  // The base snapshot is untouched by the committed successor.
+  EXPECT_EQ(base->record_count(), base_count);
+  EXPECT_NE(base->find(sub("dev3"), RRType::TXT), nullptr);
+  EXPECT_EQ(base->find(sub("dev100"), RRType::TXT), nullptr);
+  EXPECT_EQ(base->serial(), 1u);
+
+  EXPECT_EQ(commit.view->find(sub("dev3"), RRType::TXT), nullptr);
+  EXPECT_NE(commit.view->find(sub("dev100"), RRType::TXT), nullptr);
+}
+
+TEST(ZoneTxn, CommitSharesUntouchedStructureWithBase) {
+  auto base = base_view();
+  ZoneTxn txn(base);
+  ASSERT_TRUE(txn.add(make_txt(sub("dev0"), {"moved"})).ok());
+  auto commit = std::move(txn).commit();
+
+  // Untouched owners resolve to the very same RRset object in both
+  // views — the successor shares nodes instead of copying the zone.
+  for (int i = 1; i < 8; ++i) {
+    Name owner = sub("dev" + std::to_string(i));
+    EXPECT_EQ(base->find(owner, RRType::TXT), commit.view->find(owner, RRType::TXT))
+        << owner.to_string();
+  }
+  // The touched owner (and the apex, whose serial moved) diverge.
+  EXPECT_NE(base->find(sub("dev0"), RRType::TXT), commit.view->find(sub("dev0"), RRType::TXT));
+  EXPECT_NE(base->find(kApex, RRType::SOA), commit.view->find(kApex, RRType::SOA));
+}
+
+TEST(ZoneTxn, ReadYourWrites) {
+  auto base = base_view();
+  ZoneTxn txn(base);
+  ASSERT_TRUE(txn.add(make_txt(sub("staged"), {"pending"})).ok());
+  EXPECT_EQ(txn.remove_rrset(sub("dev1"), RRType::TXT), 1u);
+
+  // Staged state is visible inside the txn, invisible outside it.
+  EXPECT_NE(txn.find(sub("staged"), RRType::TXT), nullptr);
+  EXPECT_EQ(txn.find(sub("dev1"), RRType::TXT), nullptr);
+  EXPECT_FALSE(txn.name_exists(sub("dev1")));
+  EXPECT_EQ(base->find(sub("staged"), RRType::TXT), nullptr);
+  EXPECT_TRUE(base->name_exists(sub("dev1")));
+}
+
+TEST(ZoneTxn, CnameExclusivityEnforced) {
+  auto base = base_view();
+  ZoneTxn txn(base);
+  ASSERT_TRUE(txn.add(make_cname(sub("alias"), sub("dev0"))).ok());
+  EXPECT_FALSE(txn.add(make_a(sub("alias"), net::Ipv4Addr{{10, 0, 0, 1}})).ok());
+  EXPECT_FALSE(txn.add(make_cname(sub("dev0"), sub("dev1"))).ok());
+}
+
+TEST(ZoneTxn, TouchedOwnersAndNsFlagReported) {
+  auto base = base_view();
+  {
+    ZoneTxn txn(base);
+    ASSERT_TRUE(txn.add(make_txt(sub("dev0"), {"moved"})).ok());
+    auto commit = std::move(txn).commit();
+    // dev0 plus the apex (serial bump) — nothing else.
+    EXPECT_FALSE(commit.ns_touched);
+    ASSERT_EQ(commit.touched.size(), 2u);
+    EXPECT_TRUE((commit.touched[0] == kApex) != (commit.touched[1] == kApex));
+  }
+  {
+    ZoneTxn txn(base);
+    ASSERT_TRUE(txn.add(make_ns(sub("child"), sub("ns.child"))).ok());
+    auto commit = std::move(txn).commit();
+    EXPECT_TRUE(commit.ns_touched);
+  }
+  {
+    ZoneTxn txn(base);
+    EXPECT_EQ(txn.remove_rrset(kApex, RRType::NS), 1u);
+    auto commit = std::move(txn).commit();
+    EXPECT_TRUE(commit.ns_touched);
+  }
+}
+
+TEST(ZoneTxn, EmptyNonTerminalDisappearsWithItsLeaf) {
+  // Erasing the only deep name under an ENT must take the ENT with it
+  // (the treap range probe, not a stale index entry, decides this).
+  auto base = base_view();
+  ZoneTxn grow(base);
+  ASSERT_TRUE(grow.add(make_a(sub("sensor.shelf"), net::Ipv4Addr{{10, 0, 0, 9}})).ok());
+  auto with = std::move(grow).commit();
+  EXPECT_EQ(with.view->lookup(sub("shelf"), RRType::A).kind, ZoneView::Lookup::Kind::NoData);
+
+  ZoneTxn shrink(with.view);
+  EXPECT_EQ(shrink.remove_name(sub("sensor.shelf")), 1u);
+  auto without = std::move(shrink).commit();
+  EXPECT_EQ(without.view->lookup(sub("shelf"), RRType::A).kind,
+            ZoneView::Lookup::Kind::NxDomain);
+  // The intermediate state still serves NoData from its own snapshot.
+  EXPECT_EQ(with.view->lookup(sub("shelf"), RRType::A).kind, ZoneView::Lookup::Kind::NoData);
+}
+
+TEST(ZoneFacade, CommitLogAccumulatesAndDrains) {
+  Zone zone(base_view());
+  {
+    auto txn = zone.txn();
+    ASSERT_TRUE(txn.add(make_txt(sub("dev0"), {"moved"})).ok());
+    (void)zone.commit(std::move(txn));
+  }
+  {
+    auto txn = zone.txn();
+    EXPECT_EQ(txn.remove_rrset(sub("dev1"), RRType::TXT), 1u);
+    (void)zone.commit(std::move(txn));
+  }
+  const auto& log = zone.commit_log();
+  EXPECT_EQ(log.commits, 2u);
+  EXPECT_FALSE(log.overflow);
+  EXPECT_TRUE(log.touched.count(sub("dev0")) == 1 && log.touched.count(sub("dev1")) == 1);
+
+  auto drained = zone.take_commit_log();
+  EXPECT_EQ(drained.commits, 2u);
+  EXPECT_EQ(zone.commit_log().commits, 0u);
+  EXPECT_TRUE(zone.commit_log().touched.empty());
+
+  // Wholesale replacement can't enumerate owners: it logs an overflow.
+  zone.replace(base_view());
+  EXPECT_TRUE(zone.commit_log().overflow);
+}
+
+TEST(AnswerCacheRebuild, IncrementalMatchesFullBuildAfterCommit) {
+  auto base = base_view();
+  auto before = runtime::AnswerCache::build({base});
+  ASSERT_NE(before, nullptr);
+
+  ZoneTxn txn(base);
+  ASSERT_TRUE(txn.add(make_txt(sub("dev2"), {"second-string"})).ok());
+  EXPECT_EQ(txn.remove_rrset(sub("dev5"), RRType::TXT), 1u);
+  auto commit = std::move(txn).commit();
+
+  auto incremental = runtime::AnswerCache::rebuild(*before, {base}, {commit.view},
+                                                   commit.touched);
+  auto full = runtime::AnswerCache::build({commit.view});
+  ASSERT_NE(incremental, nullptr);
+  ASSERT_NE(full, nullptr);
+  EXPECT_EQ(incremental->size(), full->size());
+
+  // Every (name, type) the new view serves must answer byte-for-byte
+  // identically from the incremental and the from-scratch cache.
+  for (const auto& [owner, types] : commit.view->all_names()) {
+    for (RRType type : types) {
+      auto query = dns::make_query(0x7a7a, owner, type);
+      auto wire = query.encode();
+      util::Bytes inc_reply, full_reply;
+      bool inc_hit = incremental->try_answer(std::span(wire), inc_reply);
+      bool full_hit = full->try_answer(std::span(wire), full_reply);
+      EXPECT_EQ(inc_hit, full_hit) << owner.to_string() << " " << dns::to_string(type);
+      if (inc_hit && full_hit) {
+        EXPECT_EQ(inc_reply, full_reply) << owner.to_string();
+      }
+    }
+  }
+  // The removed RRset must not answer from the incremental cache.
+  auto gone = dns::make_query(0x7a7b, sub("dev5"), RRType::TXT);
+  auto gone_wire = gone.encode();
+  util::Bytes reply;
+  EXPECT_FALSE(incremental->try_answer(std::span(gone_wire), reply));
+}
+
+// Differential property test: randomly interleaved multi-op
+// transactions and the same ops replayed one at a time in program
+// order on a second zone must land on byte-identical record sets —
+// and rebuilding from scratch out of all_records() must agree with
+// both. Txn semantics are sequential (read-your-writes), so each
+// staged op sees exactly what a one-op replay at that point would.
+TEST(ZoneTxnProperty, InterleavedCommitsMatchOneOpReplay) {
+  // Deterministic xorshift so failures reproduce.
+  std::uint64_t state = 0x5a172136deadbeefULL;
+  auto rng = [&state]() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+
+  Zone chained(base_view());
+  Zone replayed(base_view());
+
+  struct Op {
+    enum Kind { Add, RemoveRRset, RemoveRecord, RemoveName } kind;
+    ResourceRecord rr;  // Add / RemoveRecord
+    Name owner;         // RemoveRRset / RemoveName
+    bool accepted;      // outcome on the chained txn
+    std::size_t count;  // removal count on the chained txn
+  };
+
+  constexpr int kRounds = 60;
+  for (int round = 0; round < kRounds; ++round) {
+    auto txn = chained.txn();
+    std::vector<Op> ops;
+    std::size_t n = 1 + rng() % 5;
+    for (std::size_t i = 0; i < n; ++i) {
+      Name owner = sub("dev" + std::to_string(rng() % 12));
+      switch (rng() % 5) {
+        case 0: {
+          Op op{Op::Add, make_txt(owner, {"home-" + std::to_string(rng() % 6)}), owner, false, 0};
+          op.accepted = txn.add(op.rr).ok();
+          ops.push_back(op);
+          break;
+        }
+        case 1: {
+          Op op{Op::Add,
+                make_a(owner, net::Ipv4Addr{{10, 0, 0, static_cast<std::uint8_t>(rng() % 8)}}),
+                owner, false, 0};
+          op.accepted = txn.add(op.rr).ok();
+          ops.push_back(op);
+          break;
+        }
+        case 2: {
+          Op op{Op::RemoveRRset, {}, owner, false, 0};
+          op.count = txn.remove_rrset(owner, RRType::TXT);
+          ops.push_back(op);
+          break;
+        }
+        case 3: {
+          Op op{Op::RemoveRecord,
+                make_a(owner, net::Ipv4Addr{{10, 0, 0, static_cast<std::uint8_t>(rng() % 8)}}),
+                owner, false, 0};
+          op.accepted = txn.remove_record(op.rr);
+          ops.push_back(op);
+          break;
+        }
+        default: {
+          Op op{Op::RemoveName, {}, owner, false, 0};
+          op.count = txn.remove_name(owner);
+          ops.push_back(op);
+          break;
+        }
+      }
+    }
+    (void)chained.commit(std::move(txn), ZoneTxn::Serial::Keep);
+
+    // Replay in program order; every outcome must match the txn's.
+    for (const auto& op : ops) {
+      switch (op.kind) {
+        case Op::Add:
+          EXPECT_EQ(replayed.add(op.rr).ok(), op.accepted);
+          break;
+        case Op::RemoveRRset:
+          EXPECT_EQ(replayed.remove_rrset(op.owner, RRType::TXT), op.count);
+          break;
+        case Op::RemoveRecord:
+          EXPECT_EQ(replayed.remove_record(op.rr), op.accepted);
+          break;
+        case Op::RemoveName:
+          EXPECT_EQ(replayed.remove_name(op.owner), op.count);
+          break;
+      }
+    }
+  }
+
+  // Byte-identical canonical record streams, and a from-scratch build
+  // of those records reproduces them exactly — shared nodes hold the
+  // same logical content a fresh build would.
+  auto records = chained.all_records();
+  EXPECT_EQ(records, replayed.all_records());
+  auto rebuilt = build_zone_view(kApex, records);
+  ASSERT_TRUE(rebuilt.ok());
+  EXPECT_EQ(rebuilt.value()->all_records(), records);
+  EXPECT_EQ(rebuilt.value()->record_count(), chained.record_count());
+}
+
+}  // namespace
+}  // namespace sns::server

@@ -88,10 +88,12 @@ int usage(const char* argv0) {
   return 2;
 }
 
-/// Parse the master file at `path` into a servable Zone (apex = the
-/// SOA owner). Shared by startup and the SIGHUP reload path.
-sns::util::Result<std::shared_ptr<sns::server::Zone>> load_zone(const std::string& path,
-                                                               const std::string& origin_text) {
+/// Parse the master file at `path` into a servable immutable zone view
+/// (apex = the SOA owner). Shared by startup and the SIGHUP reload
+/// path — both hand the frozen view to the runtime, which publishes it
+/// atomically.
+sns::util::Result<sns::server::ZoneViewPtr> load_zone(const std::string& path,
+                                                      const std::string& origin_text) {
   std::ifstream in(path);
   if (!in) return sns::util::fail("cannot read zone file " + path);
   std::ostringstream text;
@@ -110,11 +112,7 @@ sns::util::Result<std::shared_ptr<sns::server::Zone>> load_zone(const std::strin
     }
   if (soa == nullptr) return sns::util::fail("zone file has no SOA record");
 
-  auto* soa_data = std::get_if<sns::dns::SoaData>(&soa->rdata);
-  auto zone = std::make_shared<sns::server::Zone>(
-      soa->name, soa_data != nullptr ? soa_data->mname : soa->name);
-  if (auto loaded = zone->load(records.value()); !loaded.ok()) return loaded.error();
-  return zone;
+  return sns::server::build_zone_view(soa->name, std::move(records).value());
 }
 
 void dump_metrics(const Args& args, sns::runtime::ServerRuntime& runtime) {
