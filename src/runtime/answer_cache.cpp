@@ -52,6 +52,26 @@ std::string make_key(std::string_view packed_name, dns::RRType type) {
   return key;
 }
 
+/// A response the fast path may cache under (qname, qtype): a plain
+/// authoritative positive whose every answer record is literally the
+/// queried RRset. A delegation, occluded glue, NODATA-with-SOA or
+/// anything carrying authority/additional records has per-query
+/// structure the header-patch splice cannot reproduce. The owner/type
+/// check guards the incremental path: the engine chases CNAMEs, so a
+/// query for a type the owner no longer carries can still produce a
+/// positive answer dragging in ANOTHER owner's records — caching that
+/// would pin those records under a key no commit touching their real
+/// owner ever invalidates.
+bool cacheable(const dns::Message& response, const dns::Name& qname, dns::RRType qtype) {
+  if (response.header.rcode != dns::Rcode::NoError || !response.header.aa ||
+      response.answers.empty() || !response.authorities.empty() ||
+      !response.additionals.empty())
+    return false;
+  for (const auto& rr : response.answers)
+    if (rr.name != qname || rr.type != qtype) return false;
+  return true;
+}
+
 /// The scratch engine mirrors ServerRuntime::build_engine's single
 /// catch-all view with no signing and no presence rules — the
 /// configuration under which answers depend only on (qname, qtype).
@@ -83,14 +103,7 @@ std::shared_ptr<const AnswerCache> AnswerCache::build(const ZoneViews& zones) {
 
       auto query = dns::make_query(0, rr.name, rr.type, /*recursion_desired=*/false);
       dns::Message response = scratch.handle(query, ctx);
-      // Only plain authoritative positives are cacheable: a delegation,
-      // occluded glue, NODATA-with-SOA or anything carrying authority/
-      // additional records has per-query structure the splice below
-      // cannot reproduce.
-      if (response.header.rcode != dns::Rcode::NoError || !response.header.aa ||
-          response.answers.empty() || !response.authorities.empty() ||
-          !response.additionals.empty())
-        continue;
+      if (!cacheable(response, rr.name, rr.type)) continue;
 
       auto encoded = response.encode_with_layout();
       // Whether a >512-byte reply fits depends on the querier's EDNS
@@ -126,23 +139,33 @@ std::shared_ptr<const AnswerCache> AnswerCache::rebuild(const AnswerCache& paren
     // types must regain fresh ones. Types outside the union cannot
     // have changed answers while delegations are untouched (negative
     // and synthesized answers are never cached).
-    std::set<RRType> types;
+    std::set<RRType> stale;
     for (const auto& view : old_zones)
-      for (RRType t : view->types_at(name)) types.insert(t);
+      for (RRType t : view->types_at(name)) stale.insert(t);
+    // But only types the owner carries NOW regain entries — the same
+    // enumeration build() runs. Querying a departed type is not a
+    // no-op: if the commit left a CNAME at the owner, the engine
+    // chases it and answers with the target's records, an entry
+    // build() would never create and no later commit would ever
+    // invalidate (cacheable() rejects it too; this keeps the probe
+    // set minimal).
+    std::set<RRType> present;
     for (const auto& view : new_zones)
-      for (RRType t : view->types_at(name)) types.insert(t);
+      for (RRType t : view->types_at(name)) present.insert(t);
 
-    for (RRType type : types) {
+    for (RRType type : stale) {
+      if (present.contains(type)) continue;  // erased + re-derived below
+      std::string key = make_key(name.packed(), type);
+      cache->entries_.erase(key, util::fnv1a(key));
+    }
+    for (RRType type : present) {
       std::string key = make_key(name.packed(), type);
       std::size_t hash = util::fnv1a(key);
       cache->entries_.erase(key, hash);
 
       auto query = dns::make_query(0, name, type, /*recursion_desired=*/false);
       dns::Message response = scratch.handle(query, ctx);
-      if (response.header.rcode != dns::Rcode::NoError || !response.header.aa ||
-          response.answers.empty() || !response.authorities.empty() ||
-          !response.additionals.empty())
-        continue;
+      if (!cacheable(response, name, type)) continue;
       auto encoded = response.encode_with_layout();
       if (encoded.wire.size() > dns::kClassicUdpLimit) continue;
 

@@ -73,8 +73,10 @@ class AnswerCache {
   /// Incremental successor: share the parent's entries, then re-derive
   /// only `touched` owners against the successor `zones` — for each
   /// touched owner, every type it carried in the old views or carries
-  /// in the new ones is invalidated and (when still cacheable)
-  /// recomputed. Sound ONLY when no delegation changed: callers must
+  /// in the new ones is invalidated, and exactly the types present in
+  /// the new views are (when still cacheable) recomputed — mirroring
+  /// build()'s enumeration, so no entry exists here that a full build
+  /// would not create. Sound ONLY when no delegation changed: callers must
   /// route NS-touching commits (and anything they cannot enumerate)
   /// through build(). Cost: O(touched × (depth + engine call)).
   [[nodiscard]] static std::shared_ptr<const AnswerCache> rebuild(

@@ -1,6 +1,7 @@
 #include "server/zone.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <utility>
 
 namespace sns::server {
@@ -396,6 +397,11 @@ void Zone::fold(const ZoneTxn::Commit& commit) {
 }
 
 ZoneTxn::Commit Zone::commit(ZoneTxn txn, ZoneTxn::Serial policy) {
+  // A txn opened on anything but the current view would, once
+  // installed below, silently drop every commit made since it was
+  // opened (lost update). The facade is single-threaded, so a stale
+  // base is always caller misuse — catch it loudly.
+  assert(txn.base() == view_ && "ZoneTxn committed against a stale Zone view");
   auto result = std::move(txn).commit(policy);
   view_ = result.view;
   fold(result);

@@ -167,6 +167,9 @@ class ZoneTxn {
 
   // Read-your-writes views of the staged state.
   [[nodiscard]] const Name& apex() const noexcept { return apex_; }
+  /// The view this txn was opened on (Zone::commit checks it still is
+  /// the facade's current view — see there).
+  [[nodiscard]] const ZoneViewPtr& base() const noexcept { return base_; }
   [[nodiscard]] const RRset* find(const Name& owner, RRType type) const;
   [[nodiscard]] bool name_exists(const Name& owner) const;
   [[nodiscard]] std::vector<RRType> types_at(const Name& owner) const;
@@ -244,6 +247,10 @@ class Zone {
   [[nodiscard]] ZoneTxn txn() const { return ZoneTxn(view_); }
   /// Commit a transaction: the new view becomes current and the commit
   /// record (touched owners, delegation flag) is folded into the log.
+  /// The txn must have been opened on the CURRENT view (via txn());
+  /// committing one opened on a stale view would silently discard
+  /// every commit made in between, so that misuse is asserted against
+  /// in debug builds.
   ZoneTxn::Commit commit(ZoneTxn txn, ZoneTxn::Serial policy = ZoneTxn::Serial::BumpOnChange);
   /// Wholesale replacement (AXFR apply, SIGHUP reload). Logged as an
   /// overflow: incremental consumers must rebuild fully.

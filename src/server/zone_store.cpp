@@ -1,6 +1,32 @@
 #include "server/zone_store.hpp"
 
+#include <random>
+
 namespace sns::server {
+
+namespace {
+// splitmix64 finaliser: full avalanche, so even owner names crafted
+// for monotone FNV-1a hashes come out with independent-looking
+// priorities once the seed is mixed in.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+}  // namespace
+
+std::uint64_t NameTree::priority(const Name& owner) {
+  // One seed per process: priorities must agree wherever two trees
+  // share structure, but an RFC 2136 client who could predict them
+  // could degenerate the treap to O(n) depth (linear updates and a
+  // recursion/destructor chain deep enough to threaten the stack).
+  static const std::uint64_t seed = [] {
+    std::random_device rd;
+    return (static_cast<std::uint64_t>(rd()) << 32) | rd();
+  }();
+  return mix64(static_cast<std::uint64_t>(owner.hash()) ^ seed);
+}
 
 // Sole ownership (use_count 1 on a pointer held by value) proves no
 // frozen tree can reach this node, so the running mutation may patch
@@ -42,16 +68,16 @@ NameTree::TreePtr NameTree::set_rec(TreePtr t, ZoneNodePtr value, bool& added) {
   if (cmp < 0) {
     t = owned(std::move(t));
     t->left = set_rec(std::move(t->left), std::move(value), added);
-    // Restore the heap property on the cached name hash. Subtrees
+    // Restore the heap property on the seeded priority. Subtrees
     // returned by set_rec are exclusively owned, so rotations move
     // pointers without further copies.
-    if (t->left->value->owner.hash() > t->value->owner.hash())
+    if (priority(t->left->value->owner) > priority(t->value->owner))
       return rotate_right(std::move(t));
     return t;
   }
   t = owned(std::move(t));
   t->right = set_rec(std::move(t->right), std::move(value), added);
-  if (t->right->value->owner.hash() > t->value->owner.hash())
+  if (priority(t->right->value->owner) > priority(t->value->owner))
     return rotate_left(std::move(t));
   return t;
 }
@@ -59,7 +85,7 @@ NameTree::TreePtr NameTree::set_rec(TreePtr t, ZoneNodePtr value, bool& added) {
 NameTree::TreePtr NameTree::merge(TreePtr a, TreePtr b) {
   if (a == nullptr) return b;
   if (b == nullptr) return a;
-  if (a->value->owner.hash() >= b->value->owner.hash()) {
+  if (priority(a->value->owner) >= priority(b->value->owner)) {
     a = owned(std::move(a));
     a->right = merge(std::move(a->right), std::move(b));
     return a;

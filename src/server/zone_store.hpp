@@ -6,10 +6,13 @@
 //   * NameTree — a path-copying treap over owner names in canonical
 //     DNS order (Name::operator<=>), the tier that AXFR walks,
 //     empty-non-terminal checks lower_bound through, and the NSEC3
-//     chain is built from. Treap priorities are the owner's cached
-//     FNV-1a hash, so the shape is a deterministic function of the key
-//     set — two zones holding the same names share no structure yet
-//     have identical depth profiles, and rebalancing needs no RNG.
+//     chain is built from. Treap priorities mix the owner's cached
+//     FNV-1a hash with a per-process random seed: consistent across
+//     every tree in the process (structural sharing merges subtrees
+//     built at different times) yet unpredictable to clients, so an
+//     RFC 2136 updater cannot craft owner names whose priorities
+//     degenerate the treap to a list. Rebalancing needs no per-node
+//     RNG state.
 //
 //   * util::PMap<ZoneNode> — the packed-name exact-match index
 //     (declared in zone.hpp next to its user), sharing the same
@@ -22,6 +25,7 @@
 // refcount alone.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string_view>
@@ -88,6 +92,11 @@ class NameTree {
     std::shared_ptr<TreeNode> right;
   };
   using TreePtr = std::shared_ptr<TreeNode>;
+
+  /// Heap priority of a node: the owner's cached hash keyed with a
+  /// per-process random seed (see the file comment — the shape must
+  /// not be a function attacker-supplied names can predict).
+  static std::uint64_t priority(const Name& owner);
 
   static TreePtr owned(TreePtr n);
   static TreePtr rotate_left(TreePtr t);

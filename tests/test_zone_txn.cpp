@@ -275,6 +275,72 @@ TEST(AnswerCacheRebuild, IncrementalMatchesFullBuildAfterCommit) {
   EXPECT_FALSE(incremental->try_answer(std::span(gone_wire), reply));
 }
 
+TEST(AnswerCacheRebuild, CnameRehomeNeverPinsForeignRecords) {
+  // Regression: rebuild() used to re-derive every type in the old/new
+  // union at a touched owner. Replacing dev0's TXT with a CNAME to
+  // dev1 made it query (dev0, TXT); the engine chases the CNAME and
+  // answers with dev1's TXT — an entry build() would never create. A
+  // later commit touching only dev1 recomputed (dev1, TXT) but not
+  // (dev0, TXT), so the fast path served dev1's stale records under
+  // dev0's key until an unrelated full rebuild.
+  auto base = base_view();
+  auto cache0 = runtime::AnswerCache::build({base});
+  ASSERT_NE(cache0, nullptr);
+
+  // Commit 1: dev0 re-homes — its TXT becomes a CNAME to dev1.
+  ZoneTxn alias(base);
+  EXPECT_EQ(alias.remove_rrset(sub("dev0"), RRType::TXT), 1u);
+  ASSERT_TRUE(alias.add(make_cname(sub("dev0"), sub("dev1"))).ok());
+  auto c1 = std::move(alias).commit();
+  auto cache1 = runtime::AnswerCache::rebuild(*cache0, {base}, {c1.view}, c1.touched);
+
+  // Commit 2 touches only dev1 (and the apex): its TXT changes.
+  ZoneTxn rehome(c1.view);
+  EXPECT_EQ(rehome.remove_rrset(sub("dev1"), RRType::TXT), 1u);
+  ASSERT_TRUE(rehome.add(make_txt(sub("dev1"), {"moved"})).ok());
+  auto c2 = std::move(rehome).commit();
+  auto cache2 = runtime::AnswerCache::rebuild(*cache1, {c1.view}, {c2.view}, c2.touched);
+
+  // (dev0, TXT) must MISS so the decoded path chases the CNAME against
+  // the live view — a hit could only serve dev1's pre-commit records.
+  auto query = dns::make_query(0x2136, sub("dev0"), RRType::TXT);
+  auto wire = query.encode();
+  util::Bytes reply;
+  EXPECT_FALSE(cache2->try_answer(std::span(wire), reply));
+
+  // And the incremental chain agrees hit-for-hit with a fresh build.
+  auto full = runtime::AnswerCache::build({c2.view});
+  EXPECT_EQ(cache2->size(), full->size());
+  for (const auto& [owner, types] : c2.view->all_names()) {
+    for (RRType type : types) {
+      auto probe = dns::make_query(0x7b7b, owner, type);
+      auto probe_wire = probe.encode();
+      util::Bytes inc_reply, full_reply;
+      bool inc_hit = cache2->try_answer(std::span(probe_wire), inc_reply);
+      bool full_hit = full->try_answer(std::span(probe_wire), full_reply);
+      EXPECT_EQ(inc_hit, full_hit) << owner.to_string() << " " << dns::to_string(type);
+      if (inc_hit && full_hit) {
+        EXPECT_EQ(inc_reply, full_reply) << owner.to_string();
+      }
+    }
+  }
+}
+
+#ifndef NDEBUG
+TEST(ZoneFacadeDeathTest, CommittingStaleTxnAsserts) {
+  // Committing a txn opened before an intervening commit would install
+  // a view that silently discards that commit (lost update); debug
+  // builds must refuse instead of publishing it.
+  Zone zone(base_view());
+  auto stale = zone.txn();
+  ASSERT_TRUE(stale.add(make_txt(sub("late"), {"stale-base"})).ok());
+  auto fresh = zone.txn();
+  ASSERT_TRUE(fresh.add(make_txt(sub("dev0"), {"intervening"})).ok());
+  (void)zone.commit(std::move(fresh));
+  EXPECT_DEATH((void)zone.commit(std::move(stale)), "stale Zone view");
+}
+#endif
+
 // Differential property test: randomly interleaved multi-op
 // transactions and the same ops replayed one at a time in program
 // order on a second zone must land on byte-identical record sets —
