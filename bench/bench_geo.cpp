@@ -1,0 +1,450 @@
+// bench_geo — the synthetic city: reverse geodetic queries at scale.
+//
+// §3.2's complexity claim ("naive … O(n) for n devices … space-filling
+// curves … logarithmic complexity … alternatives such as R-trees")
+// measured where it matters: a city of thousands of buildings and a
+// million devices, raced in memory AND end to end over the real UDP
+// socket stack while RFC 2136 churn re-homes devices concurrently.
+//
+// Stages:
+//
+//   mem_*   in-memory index race at kCityDevices entries: naive linear
+//           scan vs the packed Hilbert-interval index (bulk-loaded) vs
+//           the STR bulk-loaded R-tree, across five area sizes from a
+//           room to a district. The headline shape: Hilbert and R-tree
+//           stay ~flat in n and ~linear in hits; naive pays O(n) per
+//           query no matter how small the box.
+//   e5_*    the old bench_geodetic_index sweep, folded in: all four
+//           SpatialIndex implementations plus the flat layout swept
+//           over n = 16..65536 at a building-sized box (E5's crossover
+//           story: naive wins small, loses big).
+//   e2e_*   a live ServerRuntime serving the same city as a zone;
+//           reader threads issue AREA queries over UDP (EDNS 1232,
+//           truncation → TCP retry handled by the client) while a
+//           churn thread re-homes devices through RFC 2136 delete+add
+//           pairs, each publishing a snapshot with an incrementally
+//           rebuilt SpatialView.
+//
+// Usage: bench_geo [out.json] [scale]   (scale 0 = CI smoke)
+//
+// Every mode — smoke included — asserts the paper's claim directly:
+// the Hilbert-interval index must beat the naive scan by ≥5x at one
+// million entries on the smallest box, else exit 1.
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dns/record.hpp"
+#include "geo/flat_hilbert_index.hpp"
+#include "geo/hilbert_index.hpp"
+#include "geo/naive_index.hpp"
+#include "geo/quadtree.hpp"
+#include "geo/rtree.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "runtime/runtime.hpp"
+#include "server/update.hpp"
+#include "server/zone.hpp"
+#include "spatial/area.hpp"
+#include "transport/client.hpp"
+#include "util/rng.hpp"
+
+using namespace sns;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+// A 0.2° x 0.2° city (~22 km square) centred on the usual test town.
+const geo::BoundingBox kCity{38.80, -77.15, 39.00, -76.95};
+constexpr std::size_t kCityDevices = 1'000'000;
+constexpr std::size_t kCityBuildings = 4'000;
+constexpr int kGridOrder = 12;  // cell ~ 0.2/2^12 deg ~ 5.4 m
+
+// Query boxes from a room to a district (side in degrees; 0.001° lat
+// ~ 111 m).
+struct AreaSize {
+  const char* name;
+  double side;
+};
+constexpr AreaSize kAreaSizes[] = {
+    {"room", 0.0004}, {"floor", 0.002}, {"building", 0.01}, {"block", 0.04}, {"district", 0.12}};
+
+struct Row {
+  std::string name;
+  std::uint64_t entries = 0;
+  double area_deg = 0.0;  // query box side; 0 = n/a
+  std::uint64_t ops = 0;
+  double seconds = 0.0;
+  double qps = 0.0;
+  double p50_ns = 0.0;
+  double p90_ns = 0.0;
+  double p99_ns = 0.0;
+  double avg_hits = 0.0;
+  double speedup_vs_naive = 0.0;  // same box size, same n; 0 = n/a
+};
+
+[[noreturn]] void die(const char* what, const std::string& why) {
+  std::fprintf(stderr, "bench_geo: %s: %s\n", what, why.c_str());
+  std::exit(1);
+}
+
+/// Deterministic synthetic city: buildings uniform across the domain,
+/// devices gaussian around their building (σ ~ 22 m).
+std::vector<std::pair<geo::EntryId, geo::GeoPoint>> make_city(std::size_t devices,
+                                                              std::size_t buildings,
+                                                              std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<geo::GeoPoint> centers;
+  centers.reserve(buildings);
+  for (std::size_t b = 0; b < buildings; ++b)
+    centers.push_back({rng.next_double(kCity.min_lat + 0.01, kCity.max_lat - 0.01),
+                       rng.next_double(kCity.min_lon + 0.01, kCity.max_lon - 0.01), 0});
+  std::vector<std::pair<geo::EntryId, geo::GeoPoint>> points;
+  points.reserve(devices);
+  for (std::size_t i = 0; i < devices; ++i) {
+    const auto& c = centers[i % buildings];
+    points.push_back(
+        {static_cast<geo::EntryId>(i),
+         {std::clamp(c.latitude + rng.next_gaussian(0, 0.0002), kCity.min_lat, kCity.max_lat),
+          std::clamp(c.longitude + rng.next_gaussian(0, 0.0002), kCity.min_lon, kCity.max_lon),
+          0}});
+  }
+  return points;
+}
+
+/// A query box of side `side` centred near some building so hit counts
+/// are representative (an empty box flatters every index equally).
+geo::BoundingBox sample_box(util::Rng& rng, double side) {
+  double lat = rng.next_double(kCity.min_lat + 0.01, kCity.max_lat - 0.01 - side);
+  double lon = rng.next_double(kCity.min_lon + 0.01, kCity.max_lon - 0.01 - side);
+  return geo::BoundingBox{lat, lon, lat + side, lon + side};
+}
+
+Row time_index_queries(const geo::SpatialIndex& index, const std::string& row_name,
+                       double side, std::uint64_t ops) {
+  util::Rng rng(2024);
+  obs::Histogram latency;
+  std::uint64_t hits = 0;
+  auto t0 = Clock::now();
+  for (std::uint64_t i = 0; i < ops; ++i) {
+    auto box = sample_box(rng, side);
+    auto s = Clock::now();
+    auto found = index.query(box);
+    latency.record(
+        static_cast<std::uint64_t>(std::chrono::nanoseconds(Clock::now() - s).count()));
+    hits += found.size();
+  }
+  Row row;
+  row.name = row_name;
+  row.entries = index.size();
+  row.area_deg = side;
+  row.ops = ops;
+  row.seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+  row.qps = static_cast<double>(ops) / row.seconds;
+  row.p50_ns = latency.p50();
+  row.p90_ns = latency.p90();
+  row.p99_ns = latency.p99();
+  row.avg_hits = static_cast<double>(hits) / static_cast<double>(ops);
+  return row;
+}
+
+/// The at-scale race: one city, three contenders, five box sizes.
+/// Returns the smallest-box hilbert-vs-naive speedup for the gate.
+double bench_city_race(std::vector<Row>& rows, bool smoke) {
+  std::printf("building synthetic city: %zu devices / %zu buildings...\n", kCityDevices,
+              kCityBuildings);
+  auto points = make_city(kCityDevices, kCityBuildings, 7);
+
+  geo::NaiveIndex naive;
+  for (const auto& [id, p] : points) naive.insert(id, p);
+  geo::FlatHilbertIndex hilbert(kCity, kGridOrder);
+  hilbert.bulk_load(points);
+  geo::RTree rtree;
+  rtree.bulk_load(points);
+  std::printf("built: naive=%zu hilbert=%zu rtree(h=%d)=%zu\n", naive.size(), hilbert.size(),
+              rtree.height(), rtree.size());
+
+  double gate_speedup = 0.0;
+  for (const auto& area : kAreaSizes) {
+    // The naive scan costs O(n) per op at n=1M; keep its rep count low.
+    std::uint64_t fast_ops = smoke ? 300 : 3'000;
+    std::uint64_t naive_ops = smoke ? 20 : 100;
+    auto naive_row =
+        time_index_queries(naive, std::string("mem_naive_") + area.name, area.side, naive_ops);
+    auto hilbert_row = time_index_queries(
+        hilbert, std::string("mem_hilbert_") + area.name, area.side, fast_ops);
+    auto rtree_row =
+        time_index_queries(rtree, std::string("mem_rtree_") + area.name, area.side, fast_ops);
+    hilbert_row.speedup_vs_naive = naive_row.p50_ns / hilbert_row.p50_ns;
+    rtree_row.speedup_vs_naive = naive_row.p50_ns / rtree_row.p50_ns;
+    if (area.side == kAreaSizes[0].side) gate_speedup = hilbert_row.speedup_vs_naive;
+    rows.push_back(naive_row);
+    rows.push_back(hilbert_row);
+    rows.push_back(rtree_row);
+  }
+  return gate_speedup;
+}
+
+/// E5 folded in from the retired bench_geodetic_index: the small-n
+/// sweep where the crossover lives, all implementations, one
+/// building-sized box.
+void bench_e5_sweep(std::vector<Row>& rows, bool smoke) {
+  constexpr double kSide = 0.01;
+  for (std::size_t n : {std::size_t{16}, std::size_t{256}, std::size_t{4'096},
+                        std::size_t{65'536}}) {
+    auto points = make_city(n, std::max<std::size_t>(1, n / 16), 11);
+    std::vector<std::unique_ptr<geo::SpatialIndex>> contenders;
+    contenders.push_back(std::make_unique<geo::NaiveIndex>());
+    contenders.push_back(std::make_unique<geo::HilbertIndex>(kCity, 10));
+    contenders.push_back(std::make_unique<geo::FlatHilbertIndex>(kCity, 10));
+    contenders.push_back(std::make_unique<geo::RTree>());
+    contenders.push_back(std::make_unique<geo::Quadtree>(kCity));
+    std::uint64_t ops = smoke ? 50 : (n > 16'384 ? 500 : 2'000);
+    Row naive_row;
+    for (auto& index : contenders) {
+      for (const auto& [id, p] : points) index->insert(id, p);
+      auto row = time_index_queries(
+          *index, "e5_" + std::string(index->name()) + "_n" + std::to_string(n), kSide, ops);
+      if (std::strcmp(index->name(), "naive") == 0)
+        naive_row = row;
+      else
+        row.speedup_vs_naive = naive_row.p50_ns / row.p50_ns;
+      rows.push_back(row);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: the city as a served zone, AREA queries over real sockets
+// under concurrent RFC 2136 re-homing churn.
+
+server::ZoneViewPtr make_city_zone(const std::vector<std::pair<geo::EntryId, geo::GeoPoint>>&
+                                       points) {
+  const auto apex = dns::name_of("city.loc");
+  std::vector<dns::ResourceRecord> records;
+  records.reserve(points.size() + 2);
+  records.push_back(dns::make_soa(apex, dns::name_of("ns.city.loc"), 1));
+  records.push_back(dns::make_ns(apex, dns::name_of("ns.city.loc")));
+  for (const auto& [id, p] : points) {
+    auto loc = dns::LocData::from_degrees(p.latitude, p.longitude);
+    if (!loc.ok()) die("loc encode", loc.error().message);
+    records.push_back(dns::make_loc(dns::name_of("d" + std::to_string(id) + ".city.loc"),
+                                    loc.value()));
+  }
+  auto view = server::build_zone_view(apex, std::move(records));
+  if (!view.ok()) die("zone build", view.error().message);
+  return std::move(view).value();
+}
+
+void bench_e2e(std::vector<Row>& rows, bool smoke) {
+  const std::size_t devices = smoke ? 20'000 : kCityDevices;
+  const std::size_t buildings = smoke ? 200 : kCityBuildings;
+  std::printf("building e2e city zone: %zu devices...\n", devices);
+  auto points = make_city(devices, buildings, 7);
+  auto zone = make_city_zone(points);
+
+  runtime::RuntimeOptions options;
+  options.threads = 2;
+  options.drain_grace = std::chrono::milliseconds(500);
+  runtime::ServerRuntime runtime("bench-geo", options);
+  if (auto started = runtime.start(transport::loopback(0), {zone}); !started.ok())
+    die("runtime start", started.error().message);
+  auto server = runtime.local();
+  std::printf("serving city.loc (%zu records) on %s\n", zone->record_count(),
+              server.to_string().c_str());
+
+  // Churn thread: re-home random devices (delete + add, two UPDATEs)
+  // over one reused TCP connection for the whole measurement window.
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> updates{0}, update_failures{0};
+  std::thread churn([&] {
+    util::Rng rng(31);
+    transport::TcpClient tcp;
+    if (!tcp.connect(server, std::chrono::milliseconds(2000)).ok()) {
+      update_failures.fetch_add(1);
+      return;
+    }
+    const auto apex = dns::name_of("city.loc");
+    std::uint16_t id = 1;
+    while (!stop.load(std::memory_order_acquire)) {
+      auto device = static_cast<std::size_t>(rng.next_double(0, 1) *
+                                             static_cast<double>(devices));
+      auto owner = dns::name_of("d" + std::to_string(device % devices) + ".city.loc");
+      auto fresh = dns::LocData::from_degrees(
+          rng.next_double(kCity.min_lat, kCity.max_lat),
+          rng.next_double(kCity.min_lon, kCity.max_lon));
+      if (!fresh.ok()) continue;
+      auto del = tcp.query(
+          server::make_update_delete_rrset(++id, apex, owner, dns::RRType::LOC),
+          std::chrono::milliseconds(2000));
+      auto add = tcp.query(
+          server::make_update_add(++id, apex, dns::make_loc(owner, fresh.value())),
+          std::chrono::milliseconds(2000));
+      if (!del.ok() || !add.ok() || add.value().header.rcode != dns::Rcode::NoError)
+        update_failures.fetch_add(1);
+      else
+        updates.fetch_add(1);
+    }
+  });
+
+  // Reader: AREA queries per box size over UDP; big answers truncate
+  // and retry over TCP inside query_auto, which is the deployed path.
+  util::Rng rng(17);
+  transport::QueryOptions qopts;
+  qopts.edns_udp_size = 1232;
+  std::uint16_t qid = 100;
+  auto churn_t0 = Clock::now();
+  for (const auto& area : kAreaSizes) {
+    std::uint64_t ops = smoke ? 40 : 400;
+    obs::Histogram latency;
+    std::uint64_t hits = 0, failures = 0;
+    auto t0 = Clock::now();
+    for (std::uint64_t i = 0; i < ops; ++i) {
+      auto query =
+          spatial::make_area_query(++qid, dns::name_of("city.loc"), sample_box(rng, area.side));
+      auto s = Clock::now();
+      auto out = transport::query_auto(server, query, qopts);
+      latency.record(
+          static_cast<std::uint64_t>(std::chrono::nanoseconds(Clock::now() - s).count()));
+      if (!out.ok() || out.value().response.header.rcode != dns::Rcode::NoError)
+        ++failures;
+      else
+        hits += out.value().response.answers.size();
+    }
+    if (failures != 0) die("e2e queries failed", std::to_string(failures) + " of " +
+                                                     std::to_string(ops));
+    Row row;
+    row.name = std::string("e2e_") + area.name;
+    row.entries = devices;
+    row.area_deg = area.side;
+    row.ops = ops;
+    row.seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+    row.qps = static_cast<double>(ops) / row.seconds;
+    row.p50_ns = latency.p50();
+    row.p90_ns = latency.p90();
+    row.p99_ns = latency.p99();
+    row.avg_hits = static_cast<double>(hits) / static_cast<double>(ops);
+    rows.push_back(row);
+  }
+
+  stop.store(true, std::memory_order_release);
+  churn.join();
+  double churn_seconds = std::chrono::duration<double>(Clock::now() - churn_t0).count();
+  if (updates.load() == 0 || update_failures.load() != 0)
+    die("e2e churn", std::to_string(updates.load()) + " updates, " +
+                         std::to_string(update_failures.load()) + " failures");
+  Row churn_row;
+  churn_row.name = "e2e_churn_rehomings";
+  churn_row.entries = devices;
+  churn_row.ops = updates.load();
+  churn_row.seconds = churn_seconds;
+  churn_row.qps = static_cast<double>(updates.load()) / churn_seconds;
+  rows.push_back(churn_row);
+
+  obs::MetricsRegistry totals;
+  runtime.merge_metrics(totals);
+  std::printf("e2e: %llu re-homings, %llu incremental / %llu full spatial rebuilds\n",
+              static_cast<unsigned long long>(updates.load()),
+              static_cast<unsigned long long>(
+                  totals.counter_value("runtime.spatial.rebuild_incremental").value_or(0)),
+              static_cast<unsigned long long>(
+                  totals.counter_value("runtime.spatial.rebuild_full").value_or(0)));
+  runtime.drain_and_stop();
+}
+
+std::string today() {
+  std::time_t t = std::time(nullptr);
+  std::tm tm{};
+  gmtime_r(&t, &tm);
+  char buf[16];
+  std::strftime(buf, sizeof buf, "%Y-%m-%d", &tm);
+  return buf;
+}
+
+void write_json(const std::string& path, const std::vector<Row>& rows) {
+  obs::JsonWriter json;
+  json.begin_object();
+  json.field("bench", "geo");
+  json.field("date", today());
+  json.begin_object("config");
+  json.field("city_devices", static_cast<std::uint64_t>(kCityDevices));
+  json.field("city_buildings", static_cast<std::uint64_t>(kCityBuildings));
+  json.field("grid_order", std::int64_t{kGridOrder});
+  json.field("hardware_threads",
+             static_cast<std::uint64_t>(std::thread::hardware_concurrency()));
+  json.field("build", SNS_BUILD_TYPE);
+  json.end_object();
+  json.begin_array("results");
+  for (const auto& row : rows) {
+    json.begin_object();
+    json.field("name", row.name);
+    json.field("entries", static_cast<std::uint64_t>(row.entries));
+    if (row.area_deg != 0.0) json.field("area_deg", row.area_deg);
+    json.field("ops", static_cast<std::uint64_t>(row.ops));
+    json.field("seconds", row.seconds);
+    json.field("qps", row.qps);
+    if (row.p50_ns != 0.0) {
+      json.field("p50_ns", row.p50_ns);
+      json.field("p90_ns", row.p90_ns);
+      json.field("p99_ns", row.p99_ns);
+    }
+    json.field("avg_hits", row.avg_hits);
+    if (row.speedup_vs_naive != 0.0) json.field("speedup_vs_naive", row.speedup_vs_naive);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) die("cannot write", path);
+  std::fputs(json.str().c_str(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+void print_rows(const std::vector<Row>& rows) {
+  std::printf("%-24s %10s %10s %8s %12s %12s %12s %10s %9s\n", "stage", "entries", "area",
+              "ops", "qps", "p50 ns", "p99 ns", "avg hits", "vs naive");
+  for (const auto& row : rows)
+    std::printf("%-24s %10llu %10.4f %8llu %12.1f %12.0f %12.0f %10.1f %9.1f\n",
+                row.name.c_str(), static_cast<unsigned long long>(row.entries), row.area_deg,
+                static_cast<unsigned long long>(row.ops), row.qps, row.p50_ns, row.p99_ns,
+                row.avg_hits, row.speedup_vs_naive);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = argc > 1 ? argv[1] : "BENCH_geo.json";
+  std::uint64_t scale = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 1;
+  bool smoke = scale == 0;
+
+  std::vector<Row> rows;
+  double gate_speedup = bench_city_race(rows, smoke);
+  bench_e5_sweep(rows, smoke);
+  bench_e2e(rows, smoke);
+  print_rows(rows);
+  write_json(out_path, rows);
+
+  // The paper's claim, enforced: at one million devices the interval
+  // index must beat the naive scan by a wide margin on a room-sized
+  // box. 5x is a deliberately loose floor — the measured gap is orders
+  // of magnitude — so only a real regression trips it.
+  constexpr double kMinSpeedup = 5.0;
+  std::printf("gate: hilbert vs naive at %zu entries (room box): %.1fx (floor %.0fx)\n",
+              kCityDevices, gate_speedup, kMinSpeedup);
+  if (gate_speedup < kMinSpeedup) {
+    std::fprintf(stderr, "bench_geo: FAIL — hilbert speedup %.2fx below %.0fx floor\n",
+                 gate_speedup, kMinSpeedup);
+    return 1;
+  }
+  return 0;
+}

@@ -44,7 +44,10 @@ Result<SnsUri> SnsUri::parse(std::string_view text) {
 
 std::string SnsUri::to_string() const {
   std::string out = scheme + "://" + authority.to_string();
-  if (port.has_value()) out += ":" + std::to_string(*port);
+  if (port.has_value()) {
+    out += ':';
+    out += std::to_string(*port);
+  }
   out += path;
   return out;
 }

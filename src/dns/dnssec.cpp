@@ -4,6 +4,14 @@
 
 #include "util/strings.hpp"
 
+// GCC 12 reports a spurious -Wstringop-overread through the memcmp
+// that vector<unsigned char>'s synthesized <=> inlines into the sorts
+// below (PR 105329 family) — the bound it warns about is the "negative
+// size" branch the comparison can never take.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wstringop-overread"
+#endif
+
 namespace sns::dns {
 
 using util::Bytes;

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <array>
 #include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <map>
 
 #include "util/strings.hpp"
@@ -37,6 +40,7 @@ RRType rdata_type(const Rdata& rdata) {
     RRType operator()(const WifiData&) const { return RRType::WIFI; }
     RRType operator()(const LoraData&) const { return RRType::LORA; }
     RRType operator()(const DtmfData&) const { return RRType::DTMF; }
+    RRType operator()(const AreaData&) const { return RRType::AREA; }
     RRType operator()(const RawData&) const { return RRType::ANY; }
   };
   return std::visit(Visitor{}, rdata);
@@ -55,6 +59,24 @@ Result<std::string> decode_character_string(ByteReader& reader) {
   auto len = reader.u8();
   if (!len.ok()) return len.error();
   return reader.string(len.value());
+}
+
+// AREA fixed point: 1e-7 degrees, two's complement. llround keeps the
+// encode/decode pair an exact round trip for every value a decoded
+// AreaData can hold (the quotient of an int32 by 1e7 is exact in a
+// double).
+std::uint32_t area_fixed(double degrees) {
+  return static_cast<std::uint32_t>(static_cast<std::int32_t>(std::llround(degrees * 1e7)));
+}
+
+double area_degrees(std::uint32_t fixed) {
+  return static_cast<double>(static_cast<std::int32_t>(fixed)) / 1e7;
+}
+
+std::string area_coord_string(double degrees) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.7f", degrees);
+  return buf;
 }
 
 }  // namespace
@@ -173,6 +195,12 @@ void encode_rdata(const Rdata& rdata, ByteWriter& out, NameCompressor* compresso
       out.u32(d.devaddr.value);
     }
     void operator()(const DtmfData& d) const { encode_character_string(out, d.tone.digits); }
+    void operator()(const AreaData& d) const {
+      out.u32(area_fixed(d.min_lat));
+      out.u32(area_fixed(d.min_lon));
+      out.u32(area_fixed(d.max_lat));
+      out.u32(area_fixed(d.max_lon));
+    }
     void operator()(const RawData& d) const { out.raw(std::span(d.bytes)); }
   };
   std::visit(Visitor{out, put_name}, rdata);
@@ -214,6 +242,7 @@ std::size_t rdata_wire_estimate(const Rdata& rdata) {
     std::size_t operator()(const WifiData& d) const { return 1 + d.ssid.size() + 4; }
     std::size_t operator()(const LoraData& d) const { return d.gateway.wire_length() + 4; }
     std::size_t operator()(const DtmfData& d) const { return 1 + d.tone.digits.size(); }
+    std::size_t operator()(const AreaData&) const { return 16; }
     std::size_t operator()(const RawData& d) const { return d.bytes.size(); }
   };
   return std::visit(Visitor{}, rdata);
@@ -452,6 +481,14 @@ Result<Rdata> decode_rdata(RRType type, ByteReader& reader, std::size_t rdlength
       if (!parsed.ok()) return parsed.error();
       return finish(DtmfData{std::move(parsed).value()});
     }
+    case RRType::AREA: {
+      auto min_lat = reader.u32(), min_lon = reader.u32(), max_lat = reader.u32(),
+           max_lon = reader.u32();
+      if (!min_lat.ok() || !min_lon.ok() || !max_lat.ok() || !max_lon.ok())
+        return fail("rdata: truncated AREA");
+      return finish(AreaData{area_degrees(min_lat.value()), area_degrees(min_lon.value()),
+                             area_degrees(max_lat.value()), area_degrees(max_lon.value())});
+    }
     default: {
       auto bytes = reader.bytes(rdlength);
       if (!bytes.ok()) return bytes.error();
@@ -511,7 +548,10 @@ std::string rdata_to_string(const Rdata& rdata) {
                         std::to_string(d.iterations) + " " +
                         (d.salt.empty() ? "-" : util::to_hex(d.salt)) + " " +
                         util::to_base32hex(d.next_hashed_owner);
-      for (RRType t : d.types) out += " " + to_string(t);
+      for (RRType t : d.types) {
+        out += ' ';
+        out += to_string(t);
+      }
       return out;
     }
     std::string operator()(const TsigData& d) const {
@@ -526,6 +566,10 @@ std::string rdata_to_string(const Rdata& rdata) {
       return d.gateway.to_string() + " " + d.devaddr.to_string();
     }
     std::string operator()(const DtmfData& d) const { return d.tone.to_string(); }
+    std::string operator()(const AreaData& d) const {
+      return area_coord_string(d.min_lat) + " " + area_coord_string(d.min_lon) + " " +
+             area_coord_string(d.max_lat) + " " + area_coord_string(d.max_lon);
+    }
     std::string operator()(const RawData& d) const {
       return "\\# " + std::to_string(d.bytes.size()) + " " + util::to_hex(d.bytes);
     }
@@ -684,6 +728,17 @@ Result<Rdata> rdata_from_tokens(RRType type, std::span<const std::string> tokens
       auto tone = net::DtmfTone::parse(tokens[0]);
       if (!tone.ok()) return tone.error();
       return Rdata{DtmfData{std::move(tone).value()}};
+    }
+    case RRType::AREA: {
+      if (auto s = need(4); !s.ok()) return s.error();
+      double coords[4];
+      for (int i = 0; i < 4; ++i) {
+        char* endp = nullptr;
+        coords[i] = std::strtod(tokens[static_cast<std::size_t>(i)].c_str(), &endp);
+        if (endp == tokens[static_cast<std::size_t>(i)].c_str() || *endp != '\0')
+          return fail("AREA: bad coordinate '" + tokens[static_cast<std::size_t>(i)] + "'");
+      }
+      return Rdata{AreaData{coords[0], coords[1], coords[2], coords[3]}};
     }
     default:
       return fail("rdata_from_tokens: unsupported type " + to_string(type));

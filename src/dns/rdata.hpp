@@ -164,6 +164,21 @@ struct DtmfData {
   friend bool operator==(const DtmfData&, const DtmfData&) = default;
 };
 
+/// Reverse geodetic area query (the spatial subsystem's wire protocol):
+/// a geodetic bounding box carried in the additional section of an AREA
+/// query, the same trick EDNS plays with OPT — question sections cannot
+/// carry rdata. Coordinates travel as two's-complement 1e-7-degree
+/// fixed point (~1 cm), network order, 16 bytes total; values assigned
+/// from doubles should come through area_box()/from_box() in
+/// src/spatial/ so both ends round identically.
+struct AreaData {
+  double min_lat = 0.0;
+  double min_lon = 0.0;
+  double max_lat = 0.0;
+  double max_lon = 0.0;
+  friend bool operator==(const AreaData&, const AreaData&) = default;
+};
+
 /// RFC 3597 opaque rdata for types we do not model.
 struct RawData {
   util::Bytes bytes;
@@ -172,7 +187,7 @@ struct RawData {
 
 using Rdata = std::variant<AData, AaaaData, NsData, CnameData, SoaData, PtrData, MxData, TxtData,
                            SrvData, LocData, SshfpData, OptData, RrsigData, DnskeyData, Nsec3Data,
-                           TsigData, BdaddrData, WifiData, LoraData, DtmfData, RawData>;
+                           TsigData, BdaddrData, WifiData, LoraData, DtmfData, AreaData, RawData>;
 
 /// The wire type this rdata naturally belongs to (RawData → nullopt;
 /// the owning record supplies the numeric type).

@@ -22,6 +22,7 @@ constexpr TypeEntry kTypes[] = {
     {RRType::RRSIG, "RRSIG"},   {RRType::DNSKEY, "DNSKEY"}, {RRType::NSEC3, "NSEC3"},
     {RRType::TSIG, "TSIG"},     {RRType::ANY, "ANY"},     {RRType::BDADDR, "BDADDR"},
     {RRType::WIFI, "WIFI"},     {RRType::LORA, "LORA"},   {RRType::DTMF, "DTMF"},
+    {RRType::AREA, "AREA"},
 };
 }  // namespace
 

@@ -37,6 +37,7 @@ enum class RRType : std::uint16_t {
   WIFI = 65281,    // (ssid, ipv4)
   LORA = 65282,    // (gateway, devaddr)
   DTMF = 65283,    // audio tone prefix
+  AREA = 65284,    // reverse geodetic area query (bounding box)
 };
 
 enum class RRClass : std::uint16_t {

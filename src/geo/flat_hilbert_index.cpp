@@ -1,0 +1,76 @@
+#include "geo/flat_hilbert_index.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace sns::geo {
+
+void FlatHilbertIndex::insert(EntryId id, const GeoPoint& point) {
+  keys_.push_back(Key{grid_.point_to_d(point), id});
+  points_.push_back(point);
+  dirty_ = true;
+}
+
+void FlatHilbertIndex::bulk_load(std::vector<std::pair<EntryId, GeoPoint>> entries) {
+  keys_.clear();
+  points_.clear();
+  keys_.reserve(keys_.size() + entries.size());
+  points_.reserve(points_.size() + entries.size());
+  for (const auto& [id, point] : entries) {
+    keys_.push_back(Key{grid_.point_to_d(point), id});
+    points_.push_back(point);
+  }
+  dirty_ = true;
+  ensure_sorted();
+}
+
+bool FlatHilbertIndex::remove(EntryId id) {
+  // Compact both parallel arrays in one pass. Order is preserved, so a
+  // sorted array stays sorted and no re-sort is charged.
+  std::size_t keep = 0;
+  for (std::size_t i = 0; i < keys_.size(); ++i) {
+    if (keys_[i].id == id) continue;
+    keys_[keep] = keys_[i];
+    points_[keep] = points_[i];
+    ++keep;
+  }
+  bool removed = keep != keys_.size();
+  keys_.resize(keep);
+  points_.resize(keep);
+  return removed;
+}
+
+void FlatHilbertIndex::ensure_sorted() const {
+  if (!dirty_) return;
+  // Indirect sort, then apply the permutation to both parallel arrays.
+  std::vector<std::uint32_t> perm(keys_.size());
+  std::iota(perm.begin(), perm.end(), 0u);
+  std::sort(perm.begin(), perm.end(), [&](std::uint32_t a, std::uint32_t b) {
+    return keys_[a].d != keys_[b].d ? keys_[a].d < keys_[b].d : keys_[a].id < keys_[b].id;
+  });
+  std::vector<Key> keys(keys_.size());
+  std::vector<GeoPoint> points(points_.size());
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    keys[i] = keys_[perm[i]];
+    points[i] = points_[perm[i]];
+  }
+  keys_ = std::move(keys);
+  points_ = std::move(points);
+  dirty_ = false;
+}
+
+std::vector<EntryId> FlatHilbertIndex::query(const BoundingBox& query) const {
+  ensure_sorted();
+  std::vector<EntryId> out;
+  for (const auto& interval : grid_.decompose(query)) {
+    auto lo = std::lower_bound(keys_.begin(), keys_.end(), interval.lo,
+                               [](const Key& k, HilbertD d) { return k.d < d; });
+    for (auto it = lo; it != keys_.end() && it->d <= interval.hi; ++it) {
+      auto i = static_cast<std::size_t>(it - keys_.begin());
+      if (query.contains(points_[i])) out.push_back(it->id);
+    }
+  }
+  return out;
+}
+
+}  // namespace sns::geo

@@ -1,0 +1,64 @@
+// flat_hilbert_index.hpp — the Hilbert index at production scale.
+//
+// HilbertIndex (the diagram-scale reference) keys a std::map of
+// per-cell vectors: every entry costs a red-black node plus a vector
+// header, and a million devices means a million pointer-chasing cache
+// misses before the first containment check. This implementation packs
+// the same information into one flat array sorted by curve distance:
+//
+//   entry        16 bytes (curve distance + id), points parallel
+//   build        O(n log n) one-time sort (or free via bulk_load of
+//                presorted data)
+//   query        decompose into O(perimeter) intervals, binary-search
+//                each interval's [lo, hi] span, scan contiguously
+//   insert       append + dirty flag; the next query absorbs a re-sort
+//
+// The serving-path SpatialView (src/spatial/) uses the same layout but
+// immutable + snapshot-shared; this class is the mutable SpatialIndex
+// adapter so benches and property tests can race the flat layout
+// against the map-based reference, the R-tree and the quadtree on
+// identical workloads.
+#pragma once
+
+#include <vector>
+
+#include "geo/hilbert.hpp"
+#include "geo/index.hpp"
+
+namespace sns::geo {
+
+class FlatHilbertIndex final : public SpatialIndex {
+ public:
+  /// `order` picks precision: cell side = domain side / 2^order.
+  FlatHilbertIndex(BoundingBox domain, int order) : grid_(domain, order) {}
+
+  void insert(EntryId id, const GeoPoint& point) override;
+  bool remove(EntryId id) override;
+  [[nodiscard]] std::vector<EntryId> query(const BoundingBox& query) const override;
+  [[nodiscard]] std::size_t size() const override { return keys_.size(); }
+  [[nodiscard]] const char* name() const override { return "flat_hilbert"; }
+
+  /// Adopt a whole entry set at once (synthetic-city benches): one
+  /// sort, no per-insert dirty churn.
+  void bulk_load(std::vector<std::pair<EntryId, GeoPoint>> entries);
+
+  [[nodiscard]] const HilbertGrid& grid() const noexcept { return grid_; }
+
+ private:
+  struct Key {
+    HilbertD d;
+    EntryId id;
+  };
+
+  void ensure_sorted() const;
+
+  HilbertGrid grid_;
+  // Parallel arrays sorted by curve distance (after ensure_sorted):
+  // keys_ is what queries binary-search and scan; points_ carries the
+  // exact coordinates for the final containment check.
+  mutable std::vector<Key> keys_;
+  mutable std::vector<GeoPoint> points_;
+  mutable bool dirty_ = false;
+};
+
+}  // namespace sns::geo

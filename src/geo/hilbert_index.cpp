@@ -7,16 +7,17 @@ namespace sns::geo {
 void HilbertIndex::insert(EntryId id, const GeoPoint& point) {
   HilbertD d = grid_.point_to_d(point);
   buckets_[d].push_back(Entry{id, point});
-  cells_[id] = d;
+  cells_.emplace(id, d);
   ++size_;
 }
 
 bool HilbertIndex::remove(EntryId id) {
-  auto cell = cells_.find(id);
-  if (cell == cells_.end()) return false;
-  auto bucket = buckets_.find(cell->second);
+  auto [first, last] = cells_.equal_range(id);
+  if (first == last) return false;
   bool removed = false;
-  if (bucket != buckets_.end()) {
+  for (auto cell = first; cell != last; ++cell) {
+    auto bucket = buckets_.find(cell->second);
+    if (bucket == buckets_.end()) continue;
     auto& entries = bucket->second;
     auto it = std::remove_if(entries.begin(), entries.end(),
                              [&](const Entry& e) { return e.id == id; });
@@ -24,9 +25,9 @@ bool HilbertIndex::remove(EntryId id) {
     entries.erase(it, entries.end());
     if (entries.empty()) buckets_.erase(bucket);
     size_ -= dropped;
-    removed = dropped > 0;
+    removed = removed || dropped > 0;
   }
-  cells_.erase(cell);
+  cells_.erase(first, last);
   return removed;
 }
 

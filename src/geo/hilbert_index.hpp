@@ -33,7 +33,9 @@ class HilbertIndex final : public SpatialIndex {
   };
   HilbertGrid grid_;
   std::map<HilbertD, std::vector<Entry>> buckets_;
-  std::map<EntryId, HilbertD> cells_;  // reverse index for remove()
+  // Reverse index for remove(); a multimap because duplicate ids can
+  // land in different cells and remove must clear all of them.
+  std::multimap<EntryId, HilbertD> cells_;
   std::size_t size_ = 0;
 };
 

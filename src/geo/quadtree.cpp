@@ -75,8 +75,11 @@ void Quadtree::insert(EntryId id, const GeoPoint& point) {
 }
 
 bool Quadtree::remove(EntryId id) {
-  // Exhaustive walk; acceptable for the SNS's rare relocations.
+  // Exhaustive walk; acceptable for the SNS's rare relocations. The
+  // walk covers every leaf: duplicate ids may straddle leaves and the
+  // contract is that remove clears all of them.
   std::vector<Node*> stack{root_.get()};
+  bool removed = false;
   while (!stack.empty()) {
     Node* node = stack.back();
     stack.pop_back();
@@ -86,13 +89,13 @@ bool Quadtree::remove(EntryId id) {
       if (it != node->entries.end()) {
         size_ -= static_cast<std::size_t>(node->entries.end() - it);
         node->entries.erase(it, node->entries.end());
-        return true;
+        removed = true;
       }
     } else {
       for (auto& quadrant : node->quadrants) stack.push_back(quadrant.get());
     }
   }
-  return false;
+  return removed;
 }
 
 std::vector<EntryId> Quadtree::query(const BoundingBox& query) const {

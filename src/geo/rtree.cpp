@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <limits>
 
 namespace sns::geo {
@@ -201,7 +202,87 @@ void RTree::insert(EntryId id, const GeoPoint& point) {
 
 void RTree::insert_box(EntryId id, const BoundingBox& box) { insert_impl(id, box); }
 
+void RTree::bulk_load(const std::vector<std::pair<EntryId, GeoPoint>>& points) {
+  // STR (Leutenegger et al. 1997): P = ceil(n/M) leaves arranged in a
+  // sqrt(P) x sqrt(P) tiling — sort by one axis, cut into vertical
+  // slices of S*M entries, sort each slice by the other axis, pack
+  // leaves of M. Then treat the packed nodes as the next level's
+  // entries and repeat until one root remains.
+  root_ = std::make_unique<Node>();
+  size_ = points.size();
+  if (points.empty()) return;
+
+  std::vector<Node::LeafEntry> entries;
+  entries.reserve(points.size());
+  for (const auto& [id, p] : points)
+    entries.push_back(Node::LeafEntry{
+        id, BoundingBox{p.latitude, p.longitude, p.latitude, p.longitude}});
+
+  const std::size_t cap = max_entries_;
+  auto leaf_count = (entries.size() + cap - 1) / cap;
+  auto slices = static_cast<std::size_t>(
+      std::ceil(std::sqrt(static_cast<double>(leaf_count))));
+  std::size_t slice_len = slices * cap;
+
+  std::sort(entries.begin(), entries.end(), [](const Node::LeafEntry& a,
+                                               const Node::LeafEntry& b) {
+    return a.box.min_lon < b.box.min_lon;
+  });
+
+  std::vector<std::unique_ptr<Node>> level;
+  level.reserve(leaf_count);
+  for (std::size_t s = 0; s < entries.size(); s += slice_len) {
+    auto slice_end = std::min(entries.size(), s + slice_len);
+    std::sort(entries.begin() + static_cast<std::ptrdiff_t>(s),
+              entries.begin() + static_cast<std::ptrdiff_t>(slice_end),
+              [](const Node::LeafEntry& a, const Node::LeafEntry& b) {
+                return a.box.min_lat < b.box.min_lat;
+              });
+    for (std::size_t i = s; i < slice_end; i += cap) {
+      auto node = std::make_unique<Node>();
+      node->leaf = true;
+      auto run_end = std::min(slice_end, i + cap);
+      node->entries.assign(entries.begin() + static_cast<std::ptrdiff_t>(i),
+                           entries.begin() + static_cast<std::ptrdiff_t>(run_end));
+      node->recompute_box();
+      level.push_back(std::move(node));
+    }
+  }
+
+  // Pack levels upward. Nodes within a level are already in tile order,
+  // so grouping consecutive runs keeps parent boxes tight.
+  while (level.size() > 1) {
+    std::vector<std::unique_ptr<Node>> parents;
+    parents.reserve((level.size() + cap - 1) / cap);
+    for (std::size_t i = 0; i < level.size(); i += cap) {
+      auto parent = std::make_unique<Node>();
+      parent->leaf = false;
+      auto run_end = std::min(level.size(), i + cap);
+      for (std::size_t j = i; j < run_end; ++j) {
+        level[j]->parent = parent.get();
+        parent->children.push_back(std::move(level[j]));
+      }
+      parent->recompute_box();
+      parents.push_back(std::move(parent));
+    }
+    level = std::move(parents);
+  }
+  root_ = std::move(level.front());
+  root_->parent = nullptr;
+}
+
 bool RTree::remove(EntryId id) {
+  // The SpatialIndex contract says remove clears ALL entries under the
+  // id (duplicate ids are the caller's bug, but every index must agree
+  // on the outcome). Each pass unhooks one entry and recondenses; the
+  // reinsertion in the condense step can move surviving duplicates, so
+  // a single traversal cannot safely collect them all.
+  bool removed = false;
+  while (remove_one(id)) removed = true;
+  return removed;
+}
+
+bool RTree::remove_one(EntryId id) {
   // Locate the leaf holding `id` by exhaustive descent (ids carry no
   // geometry, so a targeted search is not possible without a side map;
   // removals are rare in the SNS — devices move occasionally).

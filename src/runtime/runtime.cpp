@@ -1,8 +1,11 @@
 #include "runtime/runtime.hpp"
 
+#include <chrono>
 #include <thread>
 
 #include "obs/json.hpp"
+#include "spatial/area.hpp"
+#include "spatial/spatial_view.hpp"
 #include "util/log.hpp"
 
 namespace sns::runtime {
@@ -66,6 +69,7 @@ std::shared_ptr<ZoneSnapshot> ServerRuntime::make_snapshot(
   // visible to any reader — is what lets serving-time hits skip
   // decode/engine/encode entirely without a single lock (DESIGN.md §12).
   if (options_.answer_cache) snap->answer_cache = AnswerCache::build(snap->zones);
+  if (options_.spatial) snap->spatial = spatial::SpatialView::build(snap->zones);
   return snap;
 }
 
@@ -74,23 +78,36 @@ std::shared_ptr<ZoneSnapshot> ServerRuntime::make_successor(
     const std::vector<dns::Name>& touched, bool full_rebuild) {
   // Per-name invalidation is sound only when the commit enumerated its
   // touched owners and no delegation moved (an NS change occludes or
-  // reveals whole subtrees). Everything else shares the parent cache
+  // reveals whole subtrees). Everything else shares the parent caches
   // and re-derives O(touched) entries — this is what keeps a dynamic
   // update O(records touched × depth) end to end instead of O(zone).
-  if (!options_.answer_cache) {
-    auto snap = std::make_shared<ZoneSnapshot>();
-    snap->zones = std::move(zones);
-    return snap;
-  }
-  if (full_rebuild || parent.answer_cache == nullptr) {
-    runtime_metrics_.counter("runtime.answer_cache.rebuild_full").add();
-    return make_snapshot(std::move(zones));
-  }
-  runtime_metrics_.counter("runtime.answer_cache.rebuild_incremental").add();
+  // The answer cache and the spatial view follow the same discipline;
+  // both are sealed before the snapshot becomes visible to any reader.
   auto snap = std::make_shared<ZoneSnapshot>();
   snap->zones = std::move(zones);
-  snap->answer_cache =
-      AnswerCache::rebuild(*parent.answer_cache, parent.zones, snap->zones, touched);
+  if (options_.answer_cache) {
+    if (full_rebuild || parent.answer_cache == nullptr) {
+      runtime_metrics_.counter("runtime.answer_cache.rebuild_full").add();
+      snap->answer_cache = AnswerCache::build(snap->zones);
+    } else {
+      runtime_metrics_.counter("runtime.answer_cache.rebuild_incremental").add();
+      snap->answer_cache =
+          AnswerCache::rebuild(*parent.answer_cache, parent.zones, snap->zones, touched);
+    }
+  }
+  if (options_.spatial) {
+    if (full_rebuild || parent.spatial == nullptr) {
+      runtime_metrics_.counter("runtime.spatial.rebuild_full").add();
+      snap->spatial = spatial::SpatialView::build(snap->zones);
+    } else {
+      // SpatialView::rebuild itself compacts to a full build when the
+      // overlay outgrows its cap; that still counts as incremental here
+      // (the caller asked for — and the commit permitted — sharing).
+      runtime_metrics_.counter("runtime.spatial.rebuild_incremental").add();
+      snap->spatial =
+          spatial::SpatialView::rebuild(*parent.spatial, parent.zones, snap->zones, touched);
+    }
+  }
   return snap;
 }
 
@@ -105,8 +122,15 @@ transport::DnsHandler ServerRuntime::make_handler(Worker& worker) {
   // traffic, a shard may not build an engine for a long time, and the
   // fleet dump should still show the counter (as zero).
   worker.metrics().counter("runtime.worker.snapshot_refresh");
-  return [this, shard, &worker](const dns::Message& query, const transport::Endpoint&,
-                                transport::Via) {
+  // AREA observability (satellite of DESIGN.md §14): outcome counters
+  // plus a latency histogram, shard-owned like every worker metric and
+  // merged into the SIGUSR1 fleet dump. References taken once, here.
+  auto& area_hit = worker.metrics().counter("spatial.query.hit");
+  auto& area_empty = worker.metrics().counter("spatial.query.empty");
+  auto& area_formerr = worker.metrics().counter("spatial.query.formerr");
+  auto& area_latency = worker.metrics().histogram("spatial.query.latency_us");
+  return [this, shard, &worker, &area_hit, &area_empty, &area_formerr, &area_latency](
+             const dns::Message& query, const transport::Endpoint&, transport::Via) {
     // One atomic load per query; the engine is rebuilt only when the
     // snapshot actually changed (reload/update), which it almost never
     // did — pointer equality is the fast path.
@@ -120,6 +144,23 @@ transport::DnsHandler ServerRuntime::make_handler(Worker& worker) {
     // deployments would map source addresses to richer contexts here.
     server::ClientContext ctx;
     if (query.header.opcode == dns::Opcode::Update) return apply_update(query, ctx);
+    // Reverse geodetic queries are answered straight from the
+    // snapshot's spatial index — the engine never sees them, but the
+    // response flows through the ordinary truncation/TCP-retry path.
+    if (options_.spatial && spatial::is_area_query(query)) {
+      auto start = std::chrono::steady_clock::now();
+      auto response =
+          spatial::answer_area(query, shard->snap->spatial.get(), shard->snap->zones);
+      auto elapsed = std::chrono::steady_clock::now() - start;
+      area_latency.record(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(elapsed).count()));
+      if (response.header.rcode == dns::Rcode::FormErr) {
+        area_formerr.add();
+      } else if (response.header.rcode == dns::Rcode::NoError) {
+        (response.answers.empty() ? area_empty : area_hit).add();
+      }
+      return response;
+    }
     return shard->engine->handle(query, ctx);
   };
 }

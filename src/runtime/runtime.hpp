@@ -33,6 +33,10 @@
 #include "runtime/worker.hpp"
 #include "server/authoritative.hpp"
 
+namespace sns::spatial {
+class SpatialView;
+}
+
 namespace sns::runtime {
 
 struct RuntimeOptions {
@@ -49,6 +53,9 @@ struct RuntimeOptions {
   /// Precompile positive answers into every published snapshot and
   /// serve cache hits on the UDP wire fast path (DESIGN.md §12).
   bool answer_cache = true;
+  /// Index every LOC-bearing owner into a per-snapshot SpatialView and
+  /// answer AREA (reverse geodetic) queries from it (DESIGN.md §14).
+  bool spatial = true;
 };
 
 /// One immutable generation of serving state. Zones are ZoneViews —
@@ -63,6 +70,9 @@ struct RuntimeOptions {
 struct ZoneSnapshot {
   std::vector<server::ZoneViewPtr> zones;
   std::shared_ptr<const AnswerCache> answer_cache;  // null when disabled
+  /// Reverse geodetic index over the same views (null when disabled);
+  /// rebuilt incrementally from commit logs like the answer cache.
+  std::shared_ptr<const spatial::SpatialView> spatial;
   [[nodiscard]] std::size_t record_count() const;
 };
 

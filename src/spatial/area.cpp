@@ -1,0 +1,76 @@
+#include "spatial/area.hpp"
+
+#include <cmath>
+
+#include "server/zone.hpp"
+#include "spatial/spatial_view.hpp"
+
+namespace sns::spatial {
+
+dns::Message make_area_query(std::uint16_t id, const dns::Name& zone,
+                             const geo::BoundingBox& box) {
+  auto query = dns::make_query(id, zone, dns::RRType::AREA, /*recursion_desired=*/false);
+  dns::ResourceRecord rr;
+  rr.name = zone;
+  rr.type = dns::RRType::AREA;
+  rr.ttl = 0;
+  rr.rdata = dns::AreaData{box.min_lat, box.min_lon, box.max_lat, box.max_lon};
+  query.additionals.push_back(std::move(rr));
+  return query;
+}
+
+bool is_area_query(const dns::Message& message) {
+  return message.header.opcode == dns::Opcode::Query && !message.header.qr &&
+         message.questions.size() == 1 && message.questions[0].type == dns::RRType::AREA;
+}
+
+util::Result<geo::BoundingBox> parse_area_query(const dns::Message& query) {
+  const dns::AreaData* area = nullptr;
+  for (const auto& rr : query.additionals) {
+    const auto* candidate = std::get_if<dns::AreaData>(&rr.rdata);
+    if (candidate == nullptr) continue;  // OPT and friends ride along
+    if (area != nullptr) return util::fail("AREA: multiple boxes in query");
+    area = candidate;
+  }
+  if (area == nullptr) return util::fail("AREA: query carries no bounding box");
+  const geo::BoundingBox box{area->min_lat, area->min_lon, area->max_lat, area->max_lon};
+  if (!std::isfinite(box.min_lat) || !std::isfinite(box.min_lon) || !std::isfinite(box.max_lat) ||
+      !std::isfinite(box.max_lon)) {
+    return util::fail("AREA: non-finite coordinate");
+  }
+  if (box.min_lat < -90.0 || box.max_lat > 90.0 || box.min_lon < -180.0 || box.max_lon > 180.0) {
+    return util::fail("AREA: coordinate out of range");
+  }
+  if (box.min_lat > box.max_lat) return util::fail("AREA: inverted latitude span");
+  if (box.min_lon > box.max_lon) {
+    // BoundingBox does not model antimeridian wrapping (geometry.hpp);
+    // accepting such a box would silently return the complement.
+    return util::fail("AREA: longitude span wraps the antimeridian");
+  }
+  return box;
+}
+
+dns::Message answer_area(const dns::Message& query, const SpatialView* view,
+                         const std::vector<std::shared_ptr<const server::ZoneView>>& zones) {
+  const auto& qname = query.questions.at(0).name;
+  bool ours = false;
+  for (const auto& zone : zones) {
+    if (qname.is_subdomain_of(zone->apex())) {
+      ours = true;
+      break;
+    }
+  }
+  if (!ours) return dns::make_response(query, dns::Rcode::Refused, /*authoritative=*/false);
+  auto box = parse_area_query(query);
+  if (!box.ok()) return dns::make_response(query, dns::Rcode::FormErr, /*authoritative=*/true);
+  auto response = dns::make_response(query, dns::Rcode::NoError, /*authoritative=*/true);
+  if (view != nullptr) {
+    std::vector<const Device*> matched;
+    view->query(box.value(), kMaxAreaAnswers, matched, &qname);
+    response.answers.reserve(matched.size());
+    for (const auto* dev : matched) response.answers.push_back(dns::make_loc(dev->name, dev->loc));
+  }
+  return response;
+}
+
+}  // namespace sns::spatial

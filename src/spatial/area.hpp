@@ -1,0 +1,63 @@
+// area.hpp — the AREA wire protocol: reverse geodetic queries as DNS.
+//
+// An AREA query is an ordinary DNS query (opcode QUERY, qtype AREA,
+// qname = the spatial zone to search) carrying its geodetic bounding
+// box as a single AREA record in the additional section — the same
+// move EDNS makes with OPT, because question sections cannot carry
+// rdata. The answer is a list of LOC records whose owners are the
+// matching device names, flowing through the ordinary response path:
+// EDNS-aware truncation, TCP retry, the lot. Nothing below the engine
+// knows AREA is special.
+//
+// Validation is strict (§parse_area_query): a malformed box — missing
+// or duplicated AREA additional, inverted latitudes, an antimeridian-
+// wrapped longitude span (min_lon > max_lon), or out-of-range
+// coordinates — is rejected with FORMERR before any index is touched.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "dns/message.hpp"
+#include "dns/rdata.hpp"
+#include "geo/geometry.hpp"
+#include "util/result.hpp"
+
+namespace sns::server {
+class ZoneView;
+}
+
+namespace sns::spatial {
+
+/// Most LOC answers one response will carry. Far beyond this the reply
+/// outgrows even TCP's 64 KiB frame; callers wanting "everything in
+/// the city" should tile their box.
+inline constexpr std::size_t kMaxAreaAnswers = 1000;
+
+/// Build an AREA query: one question (zone, AREA, IN) plus the box as
+/// an AREA additional. EDNS is the caller's choice (add_edns after).
+dns::Message make_area_query(std::uint16_t id, const dns::Name& zone,
+                             const geo::BoundingBox& box);
+
+/// Extract and validate the bounding box of an AREA query. Errors mean
+/// the server must answer FORMERR.
+util::Result<geo::BoundingBox> parse_area_query(const dns::Message& query);
+
+/// True if `message` is a well-formed-enough candidate: opcode QUERY,
+/// exactly one question of qtype AREA. (Box validation is separate —
+/// a candidate with a bad box gets FORMERR, a non-candidate is not an
+/// AREA query at all.)
+bool is_area_query(const dns::Message& message);
+
+class SpatialView;
+
+/// Serve an AREA query from a snapshot's SpatialView: Refused when the
+/// qname is under none of the served apexes, FORMERR on a bad box,
+/// otherwise NoError with one LOC answer per matching device at or
+/// below the qname (capped at kMaxAreaAnswers). A null view (spatial
+/// indexing disabled or pre-first-snapshot) answers as if empty.
+dns::Message answer_area(const dns::Message& query, const SpatialView* view,
+                         const std::vector<std::shared_ptr<const server::ZoneView>>& zones);
+
+}  // namespace sns::spatial

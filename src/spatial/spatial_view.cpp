@@ -1,0 +1,131 @@
+#include "spatial/spatial_view.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "dns/rdata.hpp"
+#include "dns/record.hpp"
+#include "server/zone.hpp"
+
+namespace sns::spatial {
+
+namespace {
+
+bool device_less(const Device& a, const Device& b) {
+  return a.d != b.d ? a.d < b.d : a.name.packed() < b.name.packed();
+}
+
+}  // namespace
+
+const geo::HilbertGrid& SpatialView::grid() {
+  static const geo::HilbertGrid kGrid(geo::BoundingBox{-90.0, -180.0, 90.0, 180.0}, 20);
+  return kGrid;
+}
+
+void SpatialView::append_owner_devices(const ZoneViews& zones, const dns::Name& owner,
+                                       std::vector<Device>& out) {
+  // A wildcard source record is a template, not a device at a fixed
+  // location — looking up the literal "*" owner succeeds without the
+  // wildcard flag, so it must be screened out here.
+  if (!owner.is_root() && owner.labels().front() == "*") return;
+  for (const auto& zone : zones) {
+    if (!owner.is_subdomain_of(zone->apex())) continue;
+    // Route through the lookup algorithm, not a raw node probe: names
+    // occluded below a delegation cut must not be served spatially
+    // either, and wildcard sources have no fixed location of their own.
+    auto result = zone->lookup(owner, dns::RRType::LOC);
+    if (result.kind != server::ZoneView::Lookup::Kind::Success || result.wildcard) continue;
+    for (const auto& rr : result.records) {
+      const auto* loc = std::get_if<dns::LocData>(&rr.rdata);
+      if (loc == nullptr) continue;
+      Device dev;
+      dev.latitude = loc->latitude_degrees();
+      dev.longitude = loc->longitude_degrees();
+      dev.d = grid().point_to_d(geo::GeoPoint{dev.latitude, dev.longitude, 0.0});
+      dev.name = owner;
+      dev.loc = *loc;
+      out.push_back(std::move(dev));
+    }
+    // The first zone whose apex covers the owner is authoritative for
+    // it (the runtime never loads nested zones into one snapshot).
+    return;
+  }
+}
+
+std::shared_ptr<const SpatialView> SpatialView::build(const ZoneViews& zones) {
+  auto base = std::make_shared<std::vector<Device>>();
+  for (const auto& zone : zones) {
+    for (const auto& [owner, types] : zone->all_names()) {
+      if (std::find(types.begin(), types.end(), dns::RRType::LOC) == types.end()) continue;
+      append_owner_devices(zones, owner, *base);
+    }
+  }
+  std::sort(base->begin(), base->end(), device_less);
+  auto view = std::make_shared<SpatialView>();
+  view->live_ = base->size();
+  view->base_ = std::move(base);
+  return view;
+}
+
+std::shared_ptr<const SpatialView> SpatialView::rebuild(const SpatialView& parent,
+                                                        const ZoneViews& old_zones,
+                                                        const ZoneViews& new_zones,
+                                                        const std::vector<dns::Name>& touched) {
+  auto view = std::make_shared<SpatialView>();
+  view->base_ = parent.base_;
+  view->delta_ = parent.delta_;
+  view->dead_ = parent.dead_;
+
+  std::vector<Device> fresh;
+  for (const auto& owner : touched) {
+    // Purge whatever this view currently says about the owner...
+    auto key = std::string(owner.packed());
+    std::erase_if(view->delta_, [&](const Device& dev) { return dev.name == owner; });
+    bool in_old = false;
+    for (const auto& zone : old_zones) {
+      if (!owner.is_subdomain_of(zone->apex())) continue;
+      auto result = zone->lookup(owner, dns::RRType::LOC);
+      in_old = result.kind == server::ZoneView::Lookup::Kind::Success && !result.wildcard;
+      break;
+    }
+    if (in_old) view->dead_.insert(key);
+    // ...then re-derive it from the new views.
+    fresh.clear();
+    append_owner_devices(new_zones, owner, fresh);
+    for (auto& dev : fresh) view->delta_.push_back(std::move(dev));
+  }
+
+  if (view->overlay_size() > kCompactLimit) return build(new_zones);
+
+  std::sort(view->delta_.begin(), view->delta_.end(), device_less);
+  view->live_ = view->delta_.size();
+  for (const auto& dev : *view->base_) {
+    if (!view->dead_.contains(std::string(dev.name.packed()))) ++view->live_;
+  }
+  return view;
+}
+
+std::size_t SpatialView::query(const geo::BoundingBox& box, std::size_t limit,
+                               std::vector<const Device*>& out, const dns::Name* scope) const {
+  std::size_t appended = 0;
+  const auto intervals = grid().decompose(box);
+  auto scan = [&](const std::vector<Device>& devices, bool check_dead) {
+    for (const auto& interval : intervals) {
+      auto lo = std::lower_bound(devices.begin(), devices.end(), interval.lo,
+                                 [](const Device& dev, geo::HilbertD d) { return dev.d < d; });
+      for (auto it = lo; it != devices.end() && it->d <= interval.hi; ++it) {
+        if (appended >= limit) return;
+        if (!box.contains(geo::GeoPoint{it->latitude, it->longitude, 0.0})) continue;
+        if (scope != nullptr && !it->name.is_subdomain_of(*scope)) continue;
+        if (check_dead && dead_.contains(std::string(it->name.packed()))) continue;
+        out.push_back(&*it);
+        ++appended;
+      }
+    }
+  };
+  if (base_ != nullptr) scan(*base_, !dead_.empty());
+  scan(delta_, false);
+  return appended;
+}
+
+}  // namespace sns::spatial

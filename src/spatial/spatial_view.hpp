@@ -1,0 +1,110 @@
+// spatial_view.hpp — per-snapshot reverse geodetic index.
+//
+// The answer cache (DESIGN.md §12) precompiles the forward direction —
+// name to records; this is the reverse one the paper's §3.2 promises:
+// "which devices are in this area?" answered from the serving path. A
+// SpatialView indexes every LOC-bearing owner of a snapshot's
+// ZoneViews by Hilbert curve distance over a whole-earth grid, packed
+// into one flat sorted array (16-byte entries + a parallel record
+// array), so an area query is interval decomposition + a binary search
+// and contiguous scan per interval: O(perimeter * log n + hits).
+//
+// Like the answer cache, the view is immutable and travels inside the
+// ZoneSnapshot: readers see zones and spatial index consistent by
+// construction, and publishing a successor retires the old view with
+// its zones. And like the answer cache, successors are built
+// incrementally from ZoneTxn commit logs: rebuild() shares the
+// parent's sorted base array untouched and layers the commit's few
+// re-homed owners as a delta (adds) plus tombstones (owners whose base
+// entries died). Queries consult base minus tombstones plus delta;
+// when the overlay outgrows kCompactLimit, rebuild compacts back to a
+// single flat array (the full-build fallback). A device re-homing via
+// RFC 2136 therefore costs O(delta log delta), not O(fleet).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "dns/loc.hpp"
+#include "dns/name.hpp"
+#include "geo/hilbert.hpp"
+
+namespace sns::server {
+class ZoneView;
+}
+
+namespace sns::spatial {
+
+/// One indexed LOC record: the owner (device name), its decoded
+/// coordinates, and the original rdata for the answer section.
+struct Device {
+  geo::HilbertD d = 0;
+  double latitude = 0.0;
+  double longitude = 0.0;
+  dns::Name name;
+  dns::LocData loc;
+};
+
+class SpatialView {
+ public:
+  using ZoneViews = std::vector<std::shared_ptr<const server::ZoneView>>;
+
+  /// Whole-earth grid every SpatialView indexes against. Order 20:
+  /// cell side = 360deg / 2^20 ~ 0.00034deg ~ 38 m at the equator —
+  /// room-scale queries decompose into a handful of intervals while
+  /// 4^20 cells keep collisions (and thus scan overshoot) negligible.
+  static const geo::HilbertGrid& grid();
+
+  /// Index every LOC-bearing owner the zones' lookup algorithm serves
+  /// authoritatively (wildcard sources and names occluded below zone
+  /// cuts are skipped, mirroring what a query for the owner would get).
+  [[nodiscard]] static std::shared_ptr<const SpatialView> build(const ZoneViews& zones);
+
+  /// Incremental successor: share the parent's flat base array, fold
+  /// `touched` owners into the delta/tombstone overlay against the new
+  /// views. Sound under the same contract as AnswerCache::rebuild —
+  /// callers must route delegation-touching commits (and anything they
+  /// cannot enumerate) through build(). Falls back to build() itself
+  /// when the overlay would exceed kCompactLimit.
+  [[nodiscard]] static std::shared_ptr<const SpatialView> rebuild(
+      const SpatialView& parent, const ZoneViews& old_zones, const ZoneViews& new_zones,
+      const std::vector<dns::Name>& touched);
+
+  /// Every indexed device inside `box`, appended to `out` in curve
+  /// order (base first, then delta), capped at `limit` devices. When
+  /// `scope` is non-null only devices at or below that name match —
+  /// an AREA query's qname narrows the search to its subtree. Returns
+  /// the number appended.
+  std::size_t query(const geo::BoundingBox& box, std::size_t limit,
+                    std::vector<const Device*>& out, const dns::Name* scope = nullptr) const;
+
+  /// Indexed devices (base minus tombstoned base entries plus delta).
+  [[nodiscard]] std::size_t size() const noexcept { return live_; }
+  /// Overlay pressure, exposed for tests of the compaction fallback.
+  [[nodiscard]] std::size_t overlay_size() const noexcept {
+    return delta_.size() + dead_.size();
+  }
+
+  /// Overlay size beyond which rebuild() compacts to a fresh flat
+  /// array. Matches the commit log's own enumeration cap (Zone::
+  /// kMaxTouched): past it, a full rebuild is cheaper than dragging an
+  /// ever-growing overlay through every query.
+  static constexpr std::size_t kCompactLimit = 4096;
+
+ private:
+  static void append_owner_devices(const ZoneViews& zones, const dns::Name& owner,
+                                   std::vector<Device>& out);
+
+  // Sorted by (d, then insertion order); base_ is shared across
+  // snapshot generations, delta_ is private to this view and small.
+  std::shared_ptr<const std::vector<Device>> base_;
+  std::vector<Device> delta_;
+  // Packed owner names whose base entries are dead (removed or
+  // re-homed; re-homed owners reappear in delta_).
+  std::unordered_set<std::string> dead_;
+  std::size_t live_ = 0;
+};
+
+}  // namespace sns::spatial

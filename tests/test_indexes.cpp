@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <memory>
 
+#include "geo/flat_hilbert_index.hpp"
 #include "geo/hilbert_index.hpp"
 #include "geo/naive_index.hpp"
 #include "geo/quadtree.hpp"
@@ -19,6 +20,7 @@ const BoundingBox kDomain{0, 0, 10, 10};
 std::unique_ptr<SpatialIndex> make_index(const std::string& kind) {
   if (kind == "naive") return std::make_unique<NaiveIndex>();
   if (kind == "hilbert") return std::make_unique<HilbertIndex>(kDomain, 8);
+  if (kind == "flat_hilbert") return std::make_unique<FlatHilbertIndex>(kDomain, 8);
   if (kind == "rtree") return std::make_unique<RTree>();
   return std::make_unique<Quadtree>(kDomain);
 }
@@ -147,11 +149,99 @@ TEST_P(IndexKindTest, PointQueryFindsExactPoint) {
   EXPECT_EQ(index->query(point_query), std::vector<EntryId>{9});
 }
 
+TEST_P(IndexKindTest, DuplicateIdRemoveClearsAll) {
+  // The SpatialIndex contract: duplicate ids are the caller's bug, the
+  // index stores both, and remove(id) clears every copy.
+  auto index = make_index(GetParam());
+  index->insert(7, GeoPoint{1, 1, 0});
+  index->insert(7, GeoPoint{8, 8, 0});
+  index->insert(7, GeoPoint{8.25, 8.25, 0});  // two copies in one cell
+  index->insert(5, GeoPoint{5, 5, 0});
+  EXPECT_EQ(index->size(), 4u);
+  EXPECT_EQ(index->query(kDomain).size(), 4u);
+  EXPECT_TRUE(index->remove(7));
+  EXPECT_FALSE(index->remove(7));
+  EXPECT_EQ(index->size(), 1u);
+  EXPECT_EQ(index->query(kDomain), std::vector<EntryId>{5});
+}
+
+TEST_P(IndexKindTest, AgreesWithNaiveUnderDuplicateIdChurn) {
+  // Randomized insert/remove/query with a deliberately tiny id space so
+  // duplicates are common; every implementation must agree with the
+  // oracle, including the "remove clears all copies" behaviour.
+  util::Rng rng(404);
+  auto index = make_index(GetParam());
+  NaiveIndex oracle;
+  for (int step = 0; step < 600; ++step) {
+    EntryId id = rng.next_below(12);
+    if (rng.chance(0.65)) {
+      GeoPoint p{rng.next_double(0, 10), rng.next_double(0, 10), 0};
+      index->insert(id, p);
+      oracle.insert(id, p);
+    } else {
+      EXPECT_EQ(index->remove(id), oracle.remove(id)) << GetParam() << " step " << step;
+    }
+    if (step % 25 == 0) {
+      double lat = rng.next_double(0, 8), lon = rng.next_double(0, 8);
+      BoundingBox query{lat, lon, lat + rng.next_double(0.1, 4), lon + rng.next_double(0.1, 4)};
+      EXPECT_EQ(sorted(index->query(query)), sorted(oracle.query(query)))
+          << GetParam() << " step " << step;
+      EXPECT_EQ(index->size(), oracle.size()) << GetParam() << " step " << step;
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Kinds, IndexKindTest,
-                         ::testing::Values("naive", "hilbert", "rtree", "quadtree"),
+                         ::testing::Values("naive", "hilbert", "flat_hilbert", "rtree",
+                                           "quadtree"),
                          [](const ::testing::TestParamInfo<std::string>& param_info) {
                            return param_info.param;
                          });
+
+TEST(FlatHilbertSpecific, BulkLoadMatchesIncrementalInserts) {
+  util::Rng rng(11);
+  std::vector<std::pair<EntryId, GeoPoint>> entries;
+  FlatHilbertIndex incremental(kDomain, 8);
+  for (EntryId id = 0; id < 400; ++id) {
+    GeoPoint p{rng.next_double(0, 10), rng.next_double(0, 10), 0};
+    entries.emplace_back(id, p);
+    incremental.insert(id, p);
+  }
+  FlatHilbertIndex bulk(kDomain, 8);
+  bulk.bulk_load(entries);
+  for (int trial = 0; trial < 30; ++trial) {
+    double lat = rng.next_double(0, 9), lon = rng.next_double(0, 9);
+    BoundingBox query{lat, lon, lat + rng.next_double(0.1, 3), lon + rng.next_double(0.1, 3)};
+    EXPECT_EQ(sorted(bulk.query(query)), sorted(incremental.query(query)));
+  }
+}
+
+TEST(RTreeSpecific, BulkLoadMatchesIncrementalInserts) {
+  util::Rng rng(13);
+  std::vector<std::pair<EntryId, GeoPoint>> entries;
+  RTree incremental;
+  for (EntryId id = 0; id < 400; ++id) {
+    GeoPoint p{rng.next_double(0, 10), rng.next_double(0, 10), 0};
+    entries.emplace_back(id, p);
+    incremental.insert(id, p);
+  }
+  RTree bulk;
+  bulk.bulk_load(entries);
+  EXPECT_EQ(bulk.size(), incremental.size());
+  // STR packs ~100% full leaves; height must not exceed the
+  // one-at-a-time tree's.
+  EXPECT_LE(bulk.height(), incremental.height());
+  for (int trial = 0; trial < 30; ++trial) {
+    double lat = rng.next_double(0, 9), lon = rng.next_double(0, 9);
+    BoundingBox query{lat, lon, lat + rng.next_double(0.1, 3), lon + rng.next_double(0.1, 3)};
+    EXPECT_EQ(sorted(bulk.query(query)), sorted(incremental.query(query)));
+  }
+  // A bulk-loaded tree keeps honouring the ordinary mutation API.
+  EXPECT_TRUE(bulk.remove(0));
+  bulk.insert(1000, GeoPoint{5, 5, 0});
+  auto hits = sorted(bulk.query(BoundingBox{5, 5, 5, 5}));
+  EXPECT_TRUE(std::find(hits.begin(), hits.end(), 1000) != hits.end());
+}
 
 TEST(RTreeSpecific, HeightGrowsLogarithmically) {
   RTree tree;

@@ -173,7 +173,9 @@ TEST_F(NetworkTest, LinkDownBlocksAndRestores) {
 TEST_F(NetworkTest, MulticastCollectsGroupResponses) {
   NodeId querier = network_.add_node("q");
   for (int i = 0; i < 4; ++i) {
-    NodeId m = network_.add_node("m" + std::to_string(i));
+    std::string label = "m";
+    label += std::to_string(i);
+    NodeId m = network_.add_node(label);
     network_.connect(querier, m, LinkSpec{ms(1 + i), us(0), 0.0});
     network_.join_group(99, m);
     bool responds = i != 2;  // member 2 stays silent

@@ -1,0 +1,322 @@
+// Tests for the spatial query subsystem (src/spatial/): AREA rdata
+// round-trips, query-box validation (FORMERR semantics), SpatialView
+// build/query against a naive filter, the incremental rebuild's
+// equivalence with a from-scratch build (mirroring the answer-cache
+// test in test_zone_txn.cpp), and the compaction fallback.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "dns/loc.hpp"
+#include "dns/message.hpp"
+#include "server/zone.hpp"
+#include "spatial/area.hpp"
+#include "spatial/spatial_view.hpp"
+#include "util/rng.hpp"
+
+namespace sns::spatial {
+namespace {
+
+using dns::make_loc;
+using dns::make_ns;
+using dns::make_soa;
+using dns::make_txt;
+using dns::name_of;
+using dns::Name;
+using dns::RRType;
+using geo::BoundingBox;
+using server::ZoneTxn;
+using server::ZoneViewPtr;
+
+const Name kApex = name_of("city.loc");
+
+Name sub(const std::string& label) { return name_of(label + ".city.loc"); }
+
+dns::LocData loc_at(double lat, double lon) {
+  auto loc = dns::LocData::from_degrees(lat, lon);
+  EXPECT_TRUE(loc.ok());
+  return loc.value();
+}
+
+/// A zone of `n` devices placed deterministically in a small city
+/// block around (38.9, -77.04).
+ZoneViewPtr city_view(int n, std::uint64_t seed = 42) {
+  util::Rng rng(seed);
+  server::ZoneBuilder builder(kApex);
+  (void)builder.add(make_soa(kApex, sub("ns"), 1));
+  (void)builder.add(make_ns(kApex, sub("ns")));
+  for (int i = 0; i < n; ++i) {
+    double lat = 38.88 + rng.next_double(0, 0.04);
+    double lon = -77.06 + rng.next_double(0, 0.04);
+    (void)builder.add(make_loc(sub("dev" + std::to_string(i)), loc_at(lat, lon)));
+  }
+  auto view = std::move(builder).build();
+  EXPECT_TRUE(view.ok());
+  return std::move(view).value();
+}
+
+/// Oracle: filter on the same decoded degrees the view indexes.
+std::set<std::string> naive_in_box(const ZoneViewPtr& view, const BoundingBox& box) {
+  std::set<std::string> names;
+  for (const auto& rr : view->all_records()) {
+    const auto* loc = std::get_if<dns::LocData>(&rr.rdata);
+    if (loc == nullptr) continue;
+    if (box.contains(geo::GeoPoint{loc->latitude_degrees(), loc->longitude_degrees(), 0}))
+      names.insert(rr.name.to_string());
+  }
+  return names;
+}
+
+std::set<std::string> view_in_box(const SpatialView& view, const BoundingBox& box,
+                                  std::size_t limit = kMaxAreaAnswers) {
+  std::vector<const Device*> matched;
+  view.query(box, limit, matched);
+  std::set<std::string> names;
+  for (const auto* dev : matched) names.insert(dev->name.to_string());
+  return names;
+}
+
+TEST(AreaRdata, WireRoundTripIsExact) {
+  // 1e-7-degree fixed point divides back out exactly in a double, so
+  // decode(encode(x)) == quantize(x); representable values round-trip
+  // bit-for-bit.
+  dns::AreaData area{-33.8675, 151.207, -33.75, 151.3};
+  dns::ResourceRecord rr;
+  rr.name = kApex;
+  rr.type = RRType::AREA;
+  rr.rdata = area;
+
+  util::ByteWriter w;
+  rr.encode(w, nullptr);
+  auto wire = std::move(w).take();
+  util::ByteReader reader{std::span<const std::uint8_t>(wire)};
+  auto decoded = dns::ResourceRecord::decode(reader);
+  ASSERT_TRUE(decoded.ok()) << decoded.error().message;
+  const auto* round = std::get_if<dns::AreaData>(&decoded.value().rdata);
+  ASSERT_NE(round, nullptr);
+  EXPECT_DOUBLE_EQ(round->min_lat, area.min_lat);
+  EXPECT_DOUBLE_EQ(round->min_lon, area.min_lon);
+  EXPECT_DOUBLE_EQ(round->max_lat, area.max_lat);
+  EXPECT_DOUBLE_EQ(round->max_lon, area.max_lon);
+}
+
+TEST(AreaRdata, PresentationFormatParsesBack) {
+  dns::AreaData area{-1.5, -2.25, 3.5, 4.75};
+  auto text = dns::rdata_to_string(area);
+  EXPECT_EQ(text, "-1.5000000 -2.2500000 3.5000000 4.7500000");
+}
+
+TEST(AreaProtocol, MakeQueryParsesBack) {
+  BoundingBox box{38.88, -77.06, 38.92, -77.02};
+  auto query = make_area_query(0x1234, kApex, box);
+  EXPECT_TRUE(is_area_query(query));
+  auto parsed = parse_area_query(query);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+  EXPECT_EQ(parsed.value(), box);
+  // EDNS riding along must not confuse the parser.
+  dns::add_edns(query, 1232);
+  auto with_opt = parse_area_query(query);
+  ASSERT_TRUE(with_opt.ok());
+  EXPECT_EQ(with_opt.value(), box);
+}
+
+TEST(AreaProtocol, MalformedBoxesRejected) {
+  // Missing box entirely.
+  auto bare = dns::make_query(1, kApex, RRType::AREA);
+  EXPECT_FALSE(parse_area_query(bare).ok());
+  // Two boxes.
+  auto twice = make_area_query(2, kApex, BoundingBox{0, 0, 1, 1});
+  twice.additionals.push_back(twice.additionals[0]);
+  EXPECT_FALSE(parse_area_query(twice).ok());
+  // Inverted latitude span.
+  EXPECT_FALSE(parse_area_query(make_area_query(3, kApex, BoundingBox{5, 0, 4, 1})).ok());
+  // Antimeridian wrap (min_lon > max_lon).
+  EXPECT_FALSE(
+      parse_area_query(make_area_query(4, kApex, BoundingBox{0, 179.0, 1, -179.0})).ok());
+  // Out-of-range coordinates.
+  EXPECT_FALSE(
+      parse_area_query(make_area_query(5, kApex, BoundingBox{-91.0, 0, 0, 1})).ok());
+  EXPECT_FALSE(
+      parse_area_query(make_area_query(6, kApex, BoundingBox{0, 0, 1, 180.5})).ok());
+}
+
+TEST(AreaProtocol, AnswerAreaRcodes) {
+  auto zone = city_view(16);
+  auto view = SpatialView::build({zone});
+
+  // Foreign qname: refused, not FORMERR.
+  auto foreign = make_area_query(7, name_of("elsewhere.loc"), BoundingBox{0, 0, 1, 1});
+  EXPECT_EQ(answer_area(foreign, view.get(), {zone}).header.rcode, dns::Rcode::Refused);
+
+  // Bad box under our apex: FORMERR.
+  auto wrapped = make_area_query(8, kApex, BoundingBox{0, 10.0, 1, -10.0});
+  EXPECT_EQ(answer_area(wrapped, view.get(), {zone}).header.rcode, dns::Rcode::FormErr);
+
+  // Good box: NoError, LOC answers, authoritative.
+  auto good = make_area_query(9, kApex, BoundingBox{38.0, -78.0, 39.0, -77.0});
+  auto response = answer_area(good, view.get(), {zone});
+  EXPECT_EQ(response.header.rcode, dns::Rcode::NoError);
+  EXPECT_TRUE(response.header.qr);
+  EXPECT_TRUE(response.header.aa);
+  EXPECT_EQ(response.answers.size(), 16u);
+  for (const auto& rr : response.answers) EXPECT_EQ(rr.type, RRType::LOC);
+
+  // Null view (spatial disabled) answers empty, not an error.
+  auto disabled = answer_area(good, nullptr, {zone});
+  EXPECT_EQ(disabled.header.rcode, dns::Rcode::NoError);
+  EXPECT_TRUE(disabled.answers.empty());
+}
+
+TEST(SpatialViewBuild, MatchesNaiveFilterOnRandomBoxes) {
+  auto zone = city_view(300);
+  auto view = SpatialView::build({zone});
+  EXPECT_EQ(view->size(), 300u);
+
+  util::Rng rng(7);
+  for (int trial = 0; trial < 40; ++trial) {
+    double lat = 38.87 + rng.next_double(0, 0.05);
+    double lon = -77.07 + rng.next_double(0, 0.05);
+    BoundingBox box{lat, lon, lat + rng.next_double(0.0005, 0.02),
+                    lon + rng.next_double(0.0005, 0.02)};
+    EXPECT_EQ(view_in_box(*view, box), naive_in_box(zone, box)) << box.to_string();
+  }
+}
+
+TEST(SpatialViewBuild, ScopeNarrowsToSubtree) {
+  server::ZoneBuilder builder(kApex);
+  (void)builder.add(make_soa(kApex, sub("ns"), 1));
+  (void)builder.add(make_loc(sub("cam.floor1"), loc_at(10.0, 10.0)));
+  (void)builder.add(make_loc(sub("cam.floor2"), loc_at(10.001, 10.001)));
+  auto zone = std::move(builder).build();
+  ASSERT_TRUE(zone.ok());
+  auto view = SpatialView::build({zone.value()});
+
+  BoundingBox everything{9.0, 9.0, 11.0, 11.0};
+  std::vector<const Device*> all;
+  view->query(everything, kMaxAreaAnswers, all);
+  EXPECT_EQ(all.size(), 2u);
+
+  Name floor1 = sub("floor1");
+  std::vector<const Device*> scoped;
+  view->query(everything, kMaxAreaAnswers, scoped, &floor1);
+  ASSERT_EQ(scoped.size(), 1u);
+  EXPECT_EQ(scoped[0]->name, sub("cam.floor1"));
+}
+
+TEST(SpatialViewBuild, WildcardAndOccludedOwnersNotIndexed) {
+  server::ZoneBuilder builder(kApex);
+  (void)builder.add(make_soa(kApex, sub("ns"), 1));
+  (void)builder.add(make_loc(sub("real"), loc_at(5.0, 5.0)));
+  (void)builder.add(make_loc(name_of("*.wild.city.loc"), loc_at(5.0, 5.0)));
+  // LOC under a delegation cut: a query for it would get a referral,
+  // so the spatial index must skip it too.
+  (void)builder.add(make_ns(sub("child"), name_of("ns.child.city.loc")));
+  (void)builder.add(make_loc(sub("cam.child"), loc_at(5.0, 5.0)));
+  auto zone = std::move(builder).build();
+  ASSERT_TRUE(zone.ok());
+
+  auto view = SpatialView::build({zone.value()});
+  EXPECT_EQ(view_in_box(*view, BoundingBox{4, 4, 6, 6}),
+            (std::set<std::string>{"real.city.loc"}));
+}
+
+/// Mirror of AnswerCacheRebuild.IncrementalMatchesFullBuildAfterCommit:
+/// a commit re-homes one device, removes another and adds a third; the
+/// incremental SpatialView must answer every probe box identically to a
+/// from-scratch build of the new views.
+TEST(SpatialViewRebuild, IncrementalMatchesFullBuildAfterCommit) {
+  auto base = city_view(64);
+  auto before = SpatialView::build({base});
+
+  ZoneTxn txn(base);
+  // dev3 re-homes across town.
+  EXPECT_EQ(txn.remove_rrset(sub("dev3"), RRType::LOC), 1u);
+  ASSERT_TRUE(txn.add(make_loc(sub("dev3"), loc_at(38.885, -77.025))).ok());
+  // dev5 disappears.
+  EXPECT_EQ(txn.remove_rrset(sub("dev5"), RRType::LOC), 1u);
+  // dev-new appears.
+  ASSERT_TRUE(txn.add(make_loc(sub("dev-new"), loc_at(38.9, -77.045))).ok());
+  auto commit = std::move(txn).commit();
+  ASSERT_FALSE(commit.ns_touched);
+
+  auto incremental = SpatialView::rebuild(*before, {base}, {commit.view}, commit.touched);
+  auto full = SpatialView::build({commit.view});
+  EXPECT_EQ(incremental->size(), full->size());
+
+  util::Rng rng(99);
+  for (int trial = 0; trial < 40; ++trial) {
+    double lat = 38.87 + rng.next_double(0, 0.05);
+    double lon = -77.07 + rng.next_double(0, 0.05);
+    BoundingBox box{lat, lon, lat + rng.next_double(0.001, 0.05),
+                    lon + rng.next_double(0.001, 0.05)};
+    EXPECT_EQ(view_in_box(*incremental, box), view_in_box(*full, box)) << box.to_string();
+  }
+  // The whole city, scoped checks included.
+  BoundingBox all{38.0, -78.0, 39.0, -77.0};
+  EXPECT_EQ(view_in_box(*incremental, all), view_in_box(*full, all));
+  EXPECT_FALSE(view_in_box(*incremental, all).contains("dev5.city.loc"));
+  EXPECT_TRUE(view_in_box(*incremental, all).contains("dev-new.city.loc"));
+
+  // A second chained commit keeps agreeing (overlay on overlay).
+  ZoneTxn txn2(commit.view);
+  EXPECT_EQ(txn2.remove_rrset(sub("dev3"), RRType::LOC), 1u);
+  ASSERT_TRUE(txn2.add(make_loc(sub("dev3"), loc_at(38.91, -77.03))).ok());
+  auto commit2 = std::move(txn2).commit();
+  auto chained =
+      SpatialView::rebuild(*incremental, {commit.view}, {commit2.view}, commit2.touched);
+  auto full2 = SpatialView::build({commit2.view});
+  EXPECT_EQ(view_in_box(*chained, all), view_in_box(*full2, all));
+  EXPECT_EQ(chained->size(), full2->size());
+}
+
+TEST(SpatialViewRebuild, OverlayCompactsPastTheLimit) {
+  // Touch more owners than kCompactLimit in one rebuild: the view must
+  // fall back to a fresh flat build (empty overlay) and still agree
+  // with a from-scratch build.
+  const int n = static_cast<int>(SpatialView::kCompactLimit) / 2 + 64;
+  auto base = city_view(n);
+  auto before = SpatialView::build({base});
+  EXPECT_EQ(before->overlay_size(), 0u);
+
+  ZoneTxn txn(base);
+  EXPECT_EQ(txn.remove_rrset(sub("dev0"), RRType::LOC), 1u);
+  ASSERT_TRUE(txn.add(make_loc(sub("dev0"), loc_at(38.9, -77.05))).ok());
+  auto commit = std::move(txn).commit();
+
+  // Claim every device owner was touched — each re-derives to its
+  // unchanged records, but the overlay (tombstone + re-add per owner)
+  // blows past the cap and triggers compaction.
+  std::vector<Name> touched;
+  for (int i = 0; i < n; ++i) touched.push_back(sub("dev" + std::to_string(i)));
+  auto rebuilt = SpatialView::rebuild(*before, {base}, {commit.view}, touched);
+  EXPECT_EQ(rebuilt->overlay_size(), 0u);
+
+  // Compare with an uncapped limit: the set is bigger than the wire
+  // answer cap, and base-then-delta scan order means a capped query
+  // legitimately returns a different prefix than a flat one.
+  const std::size_t everyone = static_cast<std::size_t>(n) * 2;
+  auto full = SpatialView::build({commit.view});
+  EXPECT_EQ(rebuilt->size(), full->size());
+  BoundingBox all{38.0, -78.0, 39.0, -77.0};
+  EXPECT_EQ(view_in_box(*rebuilt, all, everyone), view_in_box(*full, all, everyone));
+
+  // A small touched set on the same commit stays incremental.
+  auto small = SpatialView::rebuild(*before, {base}, {commit.view}, commit.touched);
+  EXPECT_GT(small->overlay_size(), 0u);
+  EXPECT_EQ(view_in_box(*small, all, everyone), view_in_box(*full, all, everyone));
+}
+
+TEST(SpatialViewQuery, AnswerCapRespected) {
+  auto zone = city_view(50);
+  auto view = SpatialView::build({zone});
+  std::vector<const Device*> matched;
+  auto appended = view->query(BoundingBox{38.0, -78.0, 39.0, -77.0}, 10, matched);
+  EXPECT_EQ(appended, 10u);
+  EXPECT_EQ(matched.size(), 10u);
+}
+
+}  // namespace
+}  // namespace sns::spatial

@@ -1,0 +1,297 @@
+// End-to-end AREA queries over the real socket stack: a ServerRuntime
+// serving a LOC-bearing zone is queried with reverse geodetic boxes
+// over UDP and TCP — including the truncation → TCP retry path for
+// dense areas — while RFC 2136 updates re-home devices concurrently.
+// The churn test is the headline: reader threads must always see a
+// coherent spatial snapshot (static devices never flicker, every
+// answer's LOC lies inside the queried box) while a committer thread
+// moves devices across town. Run under the ThreadSanitizer CI job.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runtime/runtime.hpp"
+#include "server/update.hpp"
+#include "server/zone.hpp"
+#include "spatial/area.hpp"
+#include "transport/client.hpp"
+
+namespace sns::runtime {
+namespace {
+
+using dns::name_of;
+using dns::Name;
+using dns::RRType;
+using geo::BoundingBox;
+
+const Name kApex = name_of("city.loc");
+
+Name sub(const std::string& label) { return name_of(label + ".city.loc"); }
+
+dns::LocData loc_at(double lat, double lon) {
+  auto loc = dns::LocData::from_degrees(lat, lon);
+  EXPECT_TRUE(loc.ok());
+  return loc.value();
+}
+
+// Three disjoint neighbourhoods:
+//   kStaticBox  — stat0..stat3, never touched by updates
+//   kMobileBox  — mob0..mob7 roam between (10.x, 10.x) and (20.x, 20.x)
+//   kDenseBox   — pack0..pack59, all in one block (truncation fodder)
+constexpr BoundingBox kStaticBox{38.88, -77.07, 38.93, -77.01};
+constexpr BoundingBox kMobileBox{9.0, 9.0, 21.0, 21.0};
+constexpr BoundingBox kDenseBox{49.9, 49.9, 50.1, 50.1};
+constexpr int kStatics = 4;
+constexpr int kMobiles = 8;
+constexpr int kDense = 60;
+
+server::ZoneViewPtr make_city() {
+  server::ZoneBuilder builder(kApex);
+  (void)builder.add(dns::make_soa(kApex, sub("ns"), 1));
+  (void)builder.add(dns::make_ns(kApex, sub("ns")));
+  for (int i = 0; i < kStatics; ++i)
+    (void)builder.add(dns::make_loc(sub("stat" + std::to_string(i)),
+                                    loc_at(38.90 + 0.001 * i, -77.04)));
+  for (int i = 0; i < kMobiles; ++i)
+    (void)builder.add(dns::make_loc(sub("mob" + std::to_string(i)),
+                                    loc_at(10.0 + 0.01 * i, 10.0)));
+  for (int i = 0; i < kDense; ++i)
+    (void)builder.add(dns::make_loc(sub("pack" + std::to_string(i)),
+                                    loc_at(50.0 + 0.0001 * i, 50.0)));
+  auto view = std::move(builder).build();
+  EXPECT_TRUE(view.ok());
+  return std::move(view).value();
+}
+
+constexpr auto kTimeout = std::chrono::milliseconds(2000);
+
+class SpatialLive : public ::testing::Test {
+ protected:
+  void start(std::size_t shards, bool spatial = true) {
+    auto zone = make_city();
+    ASSERT_NE(zone, nullptr);
+    RuntimeOptions options;
+    options.threads = shards;
+    options.spatial = spatial;
+    options.drain_grace = std::chrono::milliseconds(500);
+    runtime_ = std::make_unique<ServerRuntime>("spatial-test", options);
+    auto started = runtime_->start(transport::loopback(0), {zone});
+    ASSERT_TRUE(started.ok()) << started.error().message;
+    server_ = runtime_->local();
+    ASSERT_NE(server_.port, 0);
+  }
+
+  void TearDown() override {
+    if (runtime_) runtime_->stop();
+  }
+
+  static dns::Message area(const BoundingBox& box, std::uint16_t id,
+                           const Name& scope = kApex) {
+    return spatial::make_area_query(id, scope, box);
+  }
+
+  /// Every answer must be a LOC whose decoded point lies inside `box`;
+  /// returns the matched owner names.
+  static std::vector<std::string> checked_names(const dns::Message& response,
+                                                const BoundingBox& box) {
+    std::vector<std::string> names;
+    for (const auto& rr : response.answers) {
+      EXPECT_EQ(rr.type, RRType::LOC);
+      const auto* loc = std::get_if<dns::LocData>(&rr.rdata);
+      EXPECT_NE(loc, nullptr);
+      if (loc != nullptr) {
+        EXPECT_TRUE(box.contains(
+            geo::GeoPoint{loc->latitude_degrees(), loc->longitude_degrees(), 0}))
+            << rr.name.to_string();
+      }
+      names.push_back(rr.name.to_string());
+    }
+    return names;
+  }
+
+  std::unique_ptr<ServerRuntime> runtime_;
+  transport::Endpoint server_;
+};
+
+TEST_F(SpatialLive, AreaOverUdpAndTcpReturnsDevicesInBox) {
+  start(2);
+  auto udp = transport::udp_query(server_, area(kStaticBox, 0x1001));
+  ASSERT_TRUE(udp.ok()) << udp.error().message;
+  EXPECT_EQ(udp.value().header.rcode, dns::Rcode::NoError);
+  EXPECT_TRUE(udp.value().header.aa);
+  EXPECT_EQ(checked_names(udp.value(), kStaticBox).size(), 4u);
+
+  auto tcp = transport::tcp_query(server_, area(kMobileBox, 0x1002));
+  ASSERT_TRUE(tcp.ok()) << tcp.error().message;
+  EXPECT_EQ(checked_names(tcp.value(), kMobileBox).size(), 8u);
+
+  // Empty stretch of ocean: NoError, zero answers.
+  auto empty = transport::udp_query(server_, area(BoundingBox{0, 0, 1, 1}, 0x1003));
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ(empty.value().header.rcode, dns::Rcode::NoError);
+  EXPECT_TRUE(empty.value().answers.empty());
+}
+
+TEST_F(SpatialLive, DenseAreaTruncatesThenRetriesOverTcp) {
+  start(2);
+  transport::QueryOptions classic;
+  classic.edns_udp_size = 0;  // 512-byte client: 60 LOC answers cannot fit
+  auto out = transport::query_auto(server_, area(kDenseBox, 0x1101), classic);
+  ASSERT_TRUE(out.ok()) << out.error().message;
+  EXPECT_TRUE(out.value().retried_tcp);
+  EXPECT_TRUE(out.value().used_tcp);
+  EXPECT_EQ(checked_names(out.value().response, kDenseBox).size(),
+            static_cast<std::size_t>(kDense));
+}
+
+TEST_F(SpatialLive, MalformedAndForeignBoxesOverTheWire) {
+  start(1);
+  // Antimeridian wrap: FORMERR, not a crash and not an empty NoError.
+  auto wrapped =
+      transport::udp_query(server_, area(BoundingBox{0, 179.0, 1, -179.0}, 0x1201));
+  ASSERT_TRUE(wrapped.ok());
+  EXPECT_EQ(wrapped.value().header.rcode, dns::Rcode::FormErr);
+
+  // Inverted latitude span.
+  auto inverted =
+      transport::udp_query(server_, area(BoundingBox{5.0, 0.0, 4.0, 1.0}, 0x1202));
+  ASSERT_TRUE(inverted.ok());
+  EXPECT_EQ(inverted.value().header.rcode, dns::Rcode::FormErr);
+
+  // qname outside every served zone: Refused.
+  auto foreign = transport::udp_query(
+      server_, area(kStaticBox, 0x1203, name_of("elsewhere.loc")));
+  ASSERT_TRUE(foreign.ok());
+  EXPECT_EQ(foreign.value().header.rcode, dns::Rcode::Refused);
+
+  obs::MetricsRegistry totals;
+  runtime_->merge_metrics(totals);
+  EXPECT_EQ(totals.counter_value("spatial.query.formerr").value_or(0), 2u);
+}
+
+TEST_F(SpatialLive, QnameScopesTheSearchSubtree) {
+  start(1);
+  // Scope to one mobile device's own name: only it can match.
+  auto scoped =
+      transport::udp_query(server_, area(kMobileBox, 0x1301, sub("mob3")));
+  ASSERT_TRUE(scoped.ok());
+  auto names = checked_names(scoped.value(), kMobileBox);
+  ASSERT_EQ(names.size(), 1u);
+  EXPECT_EQ(names[0], "mob3.city.loc");
+}
+
+TEST_F(SpatialLive, SpatialDisabledServesAreaAsOrdinaryQuery) {
+  start(1, /*spatial=*/false);
+  // With the index off the AREA query falls through to the ordinary
+  // engine: qname exists, no AREA RRset → NoError/NoData, not FORMERR.
+  auto response = transport::udp_query(server_, area(kStaticBox, 0x1401));
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response.value().header.rcode, dns::Rcode::NoError);
+  EXPECT_TRUE(response.value().answers.empty());
+}
+
+TEST_F(SpatialLive, MetricsSurfaceInFleetDump) {
+  start(2);
+  ASSERT_TRUE(transport::udp_query(server_, area(kStaticBox, 0x1501)).ok());
+  ASSERT_TRUE(transport::udp_query(server_, area(BoundingBox{0, 0, 1, 1}, 0x1502)).ok());
+  ASSERT_TRUE(
+      transport::udp_query(server_, area(BoundingBox{1, 1, 0, 0}, 0x1503)).ok());
+
+  std::string json = runtime_->metrics_json();
+  EXPECT_NE(json.find("spatial.query.hit"), std::string::npos);
+  EXPECT_NE(json.find("spatial.query.empty"), std::string::npos);
+  EXPECT_NE(json.find("spatial.query.formerr"), std::string::npos);
+  EXPECT_NE(json.find("spatial.query.latency_us"), std::string::npos);
+
+  obs::MetricsRegistry totals;
+  runtime_->merge_metrics(totals);
+  EXPECT_EQ(totals.counter_value("spatial.query.hit").value_or(0), 1u);
+  EXPECT_EQ(totals.counter_value("spatial.query.empty").value_or(0), 1u);
+  EXPECT_EQ(totals.counter_value("spatial.query.formerr").value_or(0), 1u);
+}
+
+TEST_F(SpatialLive, AreaQueriesStayCoherentUnderConcurrentRehomingChurn) {
+  start(3);
+  constexpr std::size_t kReaders = 3;
+  constexpr int kRounds = 6;
+  std::atomic<std::uint64_t> failures{0};
+  std::atomic<std::uint64_t> reads{0};
+  std::atomic<bool> stop{false};
+
+  // Readers: the static neighbourhood must never flicker (its owners
+  // are untouched by every commit, so each incremental SpatialView
+  // rebuild must carry them forward), and every mobile answer must be
+  // inside the queried box.
+  auto reader = [&](std::size_t r) {
+    std::uint16_t id = static_cast<std::uint16_t>(r * 4096);
+    while (!stop.load(std::memory_order_acquire)) {
+      auto stat = transport::udp_query(server_, area(kStaticBox, ++id));
+      if (!stat.ok() || stat.value().header.rcode != dns::Rcode::NoError ||
+          stat.value().answers.size() != static_cast<std::size_t>(kStatics)) {
+        failures.fetch_add(1);
+      }
+      auto mob = transport::udp_query(server_, area(kMobileBox, ++id));
+      if (!mob.ok() || mob.value().header.rcode != dns::Rcode::NoError) {
+        failures.fetch_add(1);
+      } else {
+        for (const auto& rr : mob.value().answers) {
+          const auto* loc = std::get_if<dns::LocData>(&rr.rdata);
+          if (loc == nullptr ||
+              !kMobileBox.contains(geo::GeoPoint{loc->latitude_degrees(),
+                                                 loc->longitude_degrees(), 0}))
+            failures.fetch_add(1);
+        }
+      }
+      reads.fetch_add(1);
+    }
+  };
+
+  std::vector<std::thread> readers;
+  for (std::size_t r = 0; r < kReaders; ++r) readers.emplace_back(reader, r);
+
+  // Committer: re-home every mobile device each round, alternating
+  // between the 10° and 20° blocks (both inside kMobileBox). Each
+  // re-homing is a delete + add pair of RFC 2136 updates, each of
+  // which publishes a fresh snapshot with an incrementally rebuilt
+  // SpatialView.
+  std::uint16_t uid = 0x2000;
+  for (int round = 0; round < kRounds; ++round) {
+    double base = (round % 2 == 0) ? 20.0 : 10.0;
+    for (int i = 0; i < kMobiles; ++i) {
+      Name owner = sub("mob" + std::to_string(i));
+      auto del = transport::tcp_query(
+          server_, server::make_update_delete_rrset(++uid, kApex, owner, RRType::LOC));
+      ASSERT_TRUE(del.ok()) << del.error().message;
+      EXPECT_EQ(del.value().header.rcode, dns::Rcode::NoError);
+      auto add = transport::tcp_query(
+          server_, server::make_update_add(
+                       ++uid, kApex,
+                       dns::make_loc(owner, loc_at(base + 0.01 * i, base))));
+      ASSERT_TRUE(add.ok()) << add.error().message;
+      EXPECT_EQ(add.value().header.rcode, dns::Rcode::NoError);
+    }
+  }
+
+  stop.store(true, std::memory_order_release);
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(failures.load(), 0u);
+  EXPECT_GT(reads.load(), 0u);
+
+  // Churn is over: all eight mobiles ended in a block inside the wide
+  // box, and the incremental rebuilds must agree with a from-scratch
+  // count.
+  auto settled = transport::udp_query(server_, area(kMobileBox, 0x7fff));
+  ASSERT_TRUE(settled.ok());
+  EXPECT_EQ(checked_names(settled.value(), kMobileBox).size(),
+            static_cast<std::size_t>(kMobiles));
+  obs::MetricsRegistry totals;
+  runtime_->merge_metrics(totals);
+  EXPECT_GT(totals.counter_value("runtime.spatial.rebuild_incremental").value_or(0), 0u);
+}
+
+}  // namespace
+}  // namespace sns::runtime

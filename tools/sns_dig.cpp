@@ -7,9 +7,14 @@
 // over TCP, which is exactly the path the snsd/TcpListener pair exists
 // to serve.
 //
+// Reverse geodetic queries ride the same machinery: `+area=` issues an
+// AREA query whose bounding box travels in the additional section and
+// prints every matched device with its LOC in presentation format.
+//
 //   sns-dig @127.0.0.1 -p 5353 mic.oval-office.1600.penn-ave.washington.dc.usa.loc BDADDR
 //   sns-dig @127.0.0.1 -p 5353 big.office.loc TXT +bufsize=512
 //   sns-dig @127.0.0.1 -p 5353 office.loc SOA +tcp
+//   sns-dig @127.0.0.1 -p 5353 city.loc +area=38.88,-77.05,38.92,-77.00
 
 #include <chrono>
 #include <cstdio>
@@ -18,6 +23,7 @@
 
 #include "dns/message.hpp"
 #include "dns/rdata.hpp"
+#include "spatial/area.hpp"
 #include "transport/client.hpp"
 
 namespace {
@@ -33,9 +39,30 @@ int usage(const char* argv0) {
                "  +norecurse     clear the RD bit\n"
                "  +bufsize=N     EDNS0 advertised UDP payload (0 disables EDNS)\n"
                "  +timeout=MS    per-attempt timeout in milliseconds (default 2000)\n"
-               "  +tries=N       UDP attempts (default 2)\n",
+               "  +tries=N       UDP attempts (default 2)\n"
+               "  +area=S,W,N,E  reverse geodetic query: devices under `name` inside\n"
+               "                 the box minlat,minlon,maxlat,maxlon (type is ignored)\n",
                argv0);
   return 2;
+}
+
+/// Parse "minlat,minlon,maxlat,maxlon" (degrees). Range/order checks
+/// are left to the server — watching it answer FORMERR is part of what
+/// this tool is for.
+bool parse_area_arg(const char* text, sns::geo::BoundingBox& box) {
+  double* fields[4] = {&box.min_lat, &box.min_lon, &box.max_lat, &box.max_lon};
+  const char* cursor = text;
+  for (int i = 0; i < 4; ++i) {
+    char* end = nullptr;
+    *fields[i] = std::strtod(cursor, &end);
+    if (end == cursor) return false;
+    cursor = end;
+    if (i < 3) {
+      if (*cursor != ',') return false;
+      ++cursor;
+    }
+  }
+  return *cursor == '\0';
 }
 
 }  // namespace
@@ -48,6 +75,8 @@ int main(int argc, char** argv) {
   bool force_tcp = false;
   bool short_output = false;
   bool recurse = true;
+  bool have_area = false;
+  sns::geo::BoundingBox area;
   int positional = 0;
   sns::transport::QueryOptions options;
 
@@ -70,6 +99,12 @@ int main(int argc, char** argv) {
       options.timeout = std::chrono::milliseconds(std::atol(argv[i] + 9));
     } else if (arg.starts_with("+tries=")) {
       options.attempts = std::atoi(argv[i] + 7);
+    } else if (arg.starts_with("+area=")) {
+      if (!parse_area_arg(argv[i] + 6, area)) {
+        std::fprintf(stderr, ";; bad +area= box (want minlat,minlon,maxlat,maxlon)\n");
+        return 2;
+      }
+      have_area = true;
     } else if (arg.starts_with('+') || arg.starts_with('-')) {
       return usage(argv[0]);
     } else if (positional == 0) {
@@ -104,7 +139,8 @@ int main(int argc, char** argv) {
   // diagnostic CLI (the id-match check in the client rejects strays).
   auto ticks = std::chrono::steady_clock::now().time_since_epoch().count();
   auto id = static_cast<std::uint16_t>((static_cast<std::uint64_t>(ticks) >> 4) & 0xffff);
-  auto query = sns::dns::make_query(id, name.value(), type.value(), recurse);
+  auto query = have_area ? sns::spatial::make_area_query(id, name.value(), area)
+                         : sns::dns::make_query(id, name.value(), type.value(), recurse);
 
   auto started = std::chrono::steady_clock::now();
   auto result = sns::transport::query_auto(server.value(), query, options, force_tcp);
@@ -119,6 +155,28 @@ int main(int argc, char** argv) {
   const auto& outcome = result.value();
 
   if (outcome.retried_tcp) std::printf(";; Truncated, retrying over TCP\n");
+  // An AREA query that comes back with an error rcode has no useful
+  // answer section in any output mode — fail the exit status so
+  // scripts using +short still see the refusal.
+  if (have_area && outcome.response.header.rcode != sns::dns::Rcode::NoError) {
+    std::fprintf(stderr, ";; AREA query refused: rcode=%u\n",
+                 static_cast<unsigned>(outcome.response.header.rcode));
+    return 1;
+  }
+  if (have_area && !short_output) {
+    // Device-centric rendering: one matched device per line with its
+    // LOC in RFC 1876 presentation format.
+    const auto& response = outcome.response;
+    std::printf(";; %zu device(s) in [%.7f,%.7f %.7f,%.7f]\n", response.answers.size(),
+                area.min_lat, area.min_lon, area.max_lat, area.max_lon);
+    for (const auto& rr : response.answers)
+      std::printf("%s %s\n", rr.name.to_string().c_str(),
+                  sns::dns::rdata_to_string(rr.rdata).c_str());
+    std::printf(";; Query time: %lld msec\n", static_cast<long long>(elapsed.count()));
+    std::printf(";; SERVER: %s (%s)\n", server.value().to_string().c_str(),
+                outcome.used_tcp ? "tcp" : "udp");
+    return 0;
+  }
   if (short_output) {
     for (const auto& rr : outcome.response.answers)
       std::printf("%s\n", sns::dns::rdata_to_string(rr.rdata).c_str());

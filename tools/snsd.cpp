@@ -63,6 +63,7 @@ struct Args {
   std::size_t threads = 0;  // 0 = hardware_concurrency
   std::size_t udp_batch = sns::transport::kUdpBatchDefault;
   bool answer_cache = true;
+  bool spatial = true;
   std::string port_file;
   std::string metrics_file;  // empty = stderr
   long metrics_dump_seconds = 0;
@@ -80,6 +81,7 @@ int usage(const char* argv0) {
                "  --udp-batch N        datagrams per UDP syscall round, 1..64 (default %zu;\n"
                "                       1 = plain recvfrom/sendto)\n"
                "  --no-answer-cache    disable the per-snapshot precompiled-answer cache\n"
+               "  --no-spatial         disable the reverse geodetic (AREA query) index\n"
                "  --port-file PATH     write the realised port to PATH once bound\n"
                "  --metrics-dump N     dump metrics JSON every N seconds\n"
                "  --metrics-file PATH  metrics JSON destination (default stderr)\n"
@@ -171,6 +173,8 @@ int main(int argc, char** argv) {
     }
     else if (arg == "--no-answer-cache")
       args.answer_cache = false;
+    else if (arg == "--no-spatial")
+      args.spatial = false;
     else if (arg == "--port-file" && (value = next()))
       args.port_file = value;
     else if (arg == "--metrics-dump" && (value = next()))
@@ -195,6 +199,7 @@ int main(int argc, char** argv) {
   options.threads = args.threads;
   options.udp_batch = args.udp_batch;
   options.answer_cache = args.answer_cache;
+  options.spatial = args.spatial;
   sns::runtime::ServerRuntime runtime("snsd", options);
 
   auto listen = sns::transport::Endpoint::parse(args.listen, args.port);
