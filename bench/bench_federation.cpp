@@ -1,0 +1,474 @@
+// bench_federation — the paper's deployment story, end to end, over
+// real sockets: a civic delegation tree (country → city → street →
+// building, ≥1k zones at full scale) served by four ServerRuntimes on
+// distinct loopback addresses sharing one port (glue carries no port),
+// an IterativeClient descending the referral chain, an IXFR-fed edge
+// converging on a churning building primary, and finally a partition
+// phase where the edge must keep answering from stale data (RFC 8767).
+//
+// Unlike bench_transport this is a *scenario* bench: every phase also
+// asserts the federation invariants (descent depth ≥ 3, zero full
+// transfers after initial sync under steady churn, ≥99% answered
+// during the outage) and exits non-zero when one fails — the CI smoke
+// run (scale 0) is a pass/fail gate, the full run writes
+// BENCH_federation.json.
+//
+// usage: bench_federation [out.json [scale]]   scale 0 = CI smoke
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "federation/edge.hpp"
+#include "federation/resolver.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "runtime/runtime.hpp"
+#include "server/zone.hpp"
+#include "transport/client.hpp"
+#include "util/rng.hpp"
+
+using namespace sns;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+struct Row {
+  std::string name;
+  std::uint64_t ops = 0;
+  double seconds = 0.0;
+  double qps = 0.0;
+  double p50_ns = 0.0;
+  double p90_ns = 0.0;
+  double p99_ns = 0.0;
+  std::uint64_t zones = 0;         // tree row: zones served
+  std::uint64_t referrals = 0;     // cold row: delegation depth proven
+  std::uint64_t axfr = 0;          // converge row: full transfers (initial sync only)
+  std::uint64_t ixfr = 0;          // converge row: delta transfers applied
+  std::uint64_t answered = 0;      // partition row: answers during outage
+  std::uint64_t stale_serves = 0;  // partition row: counted stale answers
+  double stale_ratio = 0.0;        // partition row: answered / ops
+};
+
+[[noreturn]] void die(const char* what, const std::string& why) {
+  std::fprintf(stderr, "bench_federation: %s: %s\n", what, why.c_str());
+  std::exit(1);
+}
+
+double elapsed_s(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+transport::Endpoint at(const char* addr, std::uint16_t port) {
+  auto parsed = transport::Endpoint::parse(addr, port);
+  if (!parsed.ok()) die("endpoint", parsed.error().message);
+  return parsed.value();
+}
+
+/// The four serving roles share one port across distinct loopback
+/// addresses, mirroring tests/integration/federation_cli.sh: A glue
+/// carries no port, so every nameserver in the fabric must answer on
+/// the port the root realised.
+constexpr const char* kRootAddr = "127.1.0.1";
+constexpr const char* kCityAddr = "127.1.0.2";
+constexpr const char* kStreetAddr = "127.1.0.3";
+constexpr const char* kBuildingAddr = "127.1.0.4";
+constexpr const char* kEdgeAddr = "127.1.0.5";
+
+net::Ipv4Addr glue_of(const char* addr) {
+  net::Ipv4Addr ip{};
+  if (std::sscanf(addr, "%hhu.%hhu.%hhu.%hhu", &ip.octets[0], &ip.octets[1], &ip.octets[2],
+                  &ip.octets[3]) != 4)
+    die("glue", addr);
+  return ip;
+}
+
+struct TreeShape {
+  std::size_t cities = 10;
+  std::size_t streets_per_city = 33;
+  std::size_t buildings_per_street = 3;
+  [[nodiscard]] std::size_t zone_count() const {
+    std::size_t streets = cities * streets_per_city;
+    return 1 + cities + streets + streets * buildings_per_street;
+  }
+};
+
+/// Civic tree of master views: country.loc at the root, each level
+/// delegating the next (NS + glue at every cut) to the address of the
+/// runtime that serves that level.
+struct CivicTree {
+  std::vector<server::ZoneViewPtr> root;       // country.loc
+  std::vector<server::ZoneViewPtr> cities;     // c<i>.country.loc
+  std::vector<server::ZoneViewPtr> streets;    // s<j>.c<i>.country.loc
+  std::vector<server::ZoneViewPtr> buildings;  // b<k>.s<j>.c<i>.country.loc
+  std::vector<dns::Name> building_apexes;
+};
+
+server::ZoneViewPtr must_build(server::ZoneBuilder builder) {
+  auto view = std::move(builder).build();
+  if (!view.ok()) die("zone build", view.error().message);
+  return std::move(view).value();
+}
+
+void add_apex(server::ZoneBuilder& builder, const dns::Name& apex, const char* served_at) {
+  dns::Name ns = dns::name_of("ns." + apex.to_string());
+  (void)builder.add(dns::make_soa(apex, ns, 1));
+  (void)builder.add(dns::make_ns(apex, ns));
+  (void)builder.add(dns::make_a(ns, glue_of(served_at)));
+}
+
+void add_delegation(server::ZoneBuilder& builder, const dns::Name& child, const char* child_at) {
+  dns::Name ns = dns::name_of("ns." + child.to_string());
+  (void)builder.add(dns::make_ns(child, ns));
+  (void)builder.add(dns::make_a(ns, glue_of(child_at)));
+}
+
+CivicTree grow_tree(const TreeShape& shape) {
+  CivicTree tree;
+  const dns::Name root_apex = dns::name_of("country.loc");
+  server::ZoneBuilder root(root_apex);
+  add_apex(root, root_apex, kRootAddr);
+
+  for (std::size_t i = 0; i < shape.cities; ++i) {
+    dns::Name city_apex = dns::name_of("c" + std::to_string(i) + ".country.loc");
+    add_delegation(root, city_apex, kCityAddr);
+    server::ZoneBuilder city(city_apex);
+    add_apex(city, city_apex, kCityAddr);
+
+    for (std::size_t j = 0; j < shape.streets_per_city; ++j) {
+      dns::Name street_apex = dns::name_of("s" + std::to_string(j) + "." + city_apex.to_string());
+      add_delegation(city, street_apex, kStreetAddr);
+      server::ZoneBuilder street(street_apex);
+      add_apex(street, street_apex, kStreetAddr);
+
+      for (std::size_t k = 0; k < shape.buildings_per_street; ++k) {
+        dns::Name building_apex =
+            dns::name_of("b" + std::to_string(k) + "." + street_apex.to_string());
+        add_delegation(street, building_apex, kBuildingAddr);
+        server::ZoneBuilder building(building_apex);
+        add_apex(building, building_apex, kBuildingAddr);
+        (void)building.add(
+            dns::make_txt(dns::name_of("door." + building_apex.to_string()), {"42#"}));
+        (void)building.add(
+            dns::make_txt(dns::name_of("cam." + building_apex.to_string()), {"recording"}));
+        tree.buildings.push_back(must_build(std::move(building)));
+        tree.building_apexes.push_back(building_apex);
+      }
+      tree.streets.push_back(must_build(std::move(street)));
+    }
+    tree.cities.push_back(must_build(std::move(city)));
+  }
+  tree.root.push_back(must_build(std::move(root)));
+  return tree;
+}
+
+std::unique_ptr<runtime::ServerRuntime> serve(const char* name, const char* addr,
+                                              std::uint16_t port,
+                                              std::vector<server::ZoneViewPtr> views) {
+  runtime::RuntimeOptions options;
+  options.threads = 2;
+  auto rt = std::make_unique<runtime::ServerRuntime>(name, options);
+  if (auto started = rt->start(at(addr, port), std::move(views)); !started.ok())
+    die(name, started.error().message);
+  return rt;
+}
+
+std::uint32_t serial_of(runtime::ServerRuntime& rt, const dns::Name& apex) {
+  auto snap = rt.snapshot();
+  for (const auto& zone : snap->zones)
+    if (zone->apex() == apex) return zone->serial();
+  return 0;
+}
+
+std::uint64_t counter_of(runtime::ServerRuntime& rt, const char* name) {
+  obs::MetricsRegistry totals;
+  rt.merge_metrics(totals);
+  return totals.counter_value(name).value_or(0);
+}
+
+/// Phase 2: full iterative descents from the country root. Every
+/// resolve starts with a cold cache (fresh client) and must walk
+/// country → city → street → building: exactly 3 referral hops.
+Row bench_cold_descent(const transport::Endpoint& root, std::uint16_t glue_port,
+                       const CivicTree& tree, std::uint64_t ops) {
+  federation::ResolveOptions options;
+  options.glue_port = glue_port;
+  options.query.timeout = std::chrono::milliseconds(1000);
+  obs::Histogram latency;
+  util::Rng rng(17);
+  auto t0 = Clock::now();
+  for (std::uint64_t i = 0; i < ops; ++i) {
+    const auto& apex =
+        tree.building_apexes[rng.next_u64() % tree.building_apexes.size()];
+    federation::IterativeClient client({root}, options);
+    auto s = Clock::now();
+    auto answer =
+        client.resolve(dns::name_of("door." + apex.to_string()), dns::RRType::TXT);
+    latency.record(
+        static_cast<std::uint64_t>(std::chrono::nanoseconds(Clock::now() - s).count()));
+    if (!answer.ok()) die("cold descent", answer.error().message);
+    if (answer.value().referrals != 3)
+      die("cold descent", "expected 3 delegation hops, got " +
+                              std::to_string(answer.value().referrals));
+    if (!answer.value().response.header.aa || answer.value().response.answers.empty())
+      die("cold descent", "no authoritative answer for door." + apex.to_string());
+  }
+  Row row{"iterative_cold", ops, elapsed_s(t0), 0, latency.p50(), latency.p90(), latency.p99()};
+  row.qps = static_cast<double>(ops) / row.seconds;
+  row.referrals = 3;
+  return row;
+}
+
+/// Phase 3: one client, warm referral cache — the AR-client steady
+/// state where the second query for a street does not restart at the
+/// country root.
+Row bench_warm_descent(const transport::Endpoint& root, std::uint16_t glue_port,
+                       const CivicTree& tree, std::uint64_t ops) {
+  federation::ResolveOptions options;
+  options.glue_port = glue_port;
+  options.query.timeout = std::chrono::milliseconds(1000);
+  federation::IterativeClient client({root}, options);
+  obs::Histogram latency;
+  util::Rng rng(23);
+  std::uint64_t cached_starts = 0;
+  auto t0 = Clock::now();
+  for (std::uint64_t i = 0; i < ops; ++i) {
+    const auto& apex =
+        tree.building_apexes[rng.next_u64() % tree.building_apexes.size()];
+    auto s = Clock::now();
+    auto answer =
+        client.resolve(dns::name_of("door." + apex.to_string()), dns::RRType::TXT);
+    latency.record(
+        static_cast<std::uint64_t>(std::chrono::nanoseconds(Clock::now() - s).count()));
+    if (!answer.ok()) die("warm descent", answer.error().message);
+    if (answer.value().response.answers.empty()) die("warm descent", "empty answer");
+    if (answer.value().started_from_cache) ++cached_starts;
+  }
+  if (ops > 1 && cached_starts == 0)
+    die("warm descent", "referral cache never engaged");
+  Row row{"iterative_warm", ops, elapsed_s(t0), 0, latency.p50(), latency.p90(), latency.p99()};
+  row.qps = static_cast<double>(ops) / row.seconds;
+  return row;
+}
+
+std::string today() {
+  std::time_t t = std::time(nullptr);
+  char buf[16];
+  std::tm tm{};
+  gmtime_r(&t, &tm);
+  std::strftime(buf, sizeof buf, "%Y-%m-%d", &tm);
+  return buf;
+}
+
+void write_json(const std::string& path, const TreeShape& shape, const std::vector<Row>& rows) {
+  obs::JsonWriter json;
+  json.begin_object();
+  json.field("bench", "federation");
+  json.field("date", today());
+  json.begin_object("config");
+  json.field("interface", "loopback");
+  json.field("zones", static_cast<std::uint64_t>(shape.zone_count()));
+  json.field("cities", static_cast<std::uint64_t>(shape.cities));
+  json.field("streets_per_city", static_cast<std::uint64_t>(shape.streets_per_city));
+  json.field("buildings_per_street", static_cast<std::uint64_t>(shape.buildings_per_street));
+  json.field("hardware_threads",
+             static_cast<std::uint64_t>(std::thread::hardware_concurrency()));
+  json.field("build", SNS_BUILD_TYPE);
+  json.end_object();
+  json.begin_array("results");
+  for (const auto& row : rows) {
+    json.begin_object();
+    json.field("name", row.name);
+    json.field("ops", row.ops);
+    json.field("seconds", row.seconds);
+    json.field("qps", row.qps);
+    json.field("p50_ns", row.p50_ns);
+    json.field("p90_ns", row.p90_ns);
+    json.field("p99_ns", row.p99_ns);
+    if (row.zones != 0) json.field("zones", row.zones);
+    if (row.referrals != 0) json.field("referrals", row.referrals);
+    if (row.name == "ixfr_converge") {
+      json.field("axfr", row.axfr);
+      json.field("ixfr", row.ixfr);
+    }
+    if (row.name == "partition_stale") {
+      json.field("answered", row.answered);
+      json.field("stale_ratio", row.stale_ratio);
+      json.field("stale_serves", row.stale_serves);
+    }
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) die("write", path);
+  std::fputs(json.str().c_str(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+void print_rows(const std::vector<Row>& rows) {
+  std::printf("%-18s %10s %9s %10s %11s %11s %11s\n", "stage", "ops", "seconds", "qps", "p50 ns",
+              "p90 ns", "p99 ns");
+  for (const auto& row : rows)
+    std::printf("%-18s %10llu %9.3f %10.0f %11.0f %11.0f %11.0f\n", row.name.c_str(),
+                static_cast<unsigned long long>(row.ops), row.seconds, row.qps, row.p50_ns,
+                row.p90_ns, row.p99_ns);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = argc > 1 ? argv[1] : "BENCH_federation.json";
+  std::uint64_t scale = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 1;
+  const bool smoke = scale == 0;
+
+  TreeShape shape;
+  if (smoke) shape = {2, 3, 2};  // 21 zones: enough for every invariant
+  const std::uint64_t cold_ops = smoke ? 6 : 60;
+  const std::uint64_t warm_ops = smoke ? 60 : 1'500 * scale;
+  const std::size_t mirror_count = smoke ? 3 : 20;
+  const int churn_rounds = smoke ? 4 : 30;
+  const std::uint64_t partition_ops = smoke ? 300 : 2'000;
+
+  std::vector<Row> rows;
+
+  // Phase 1: grow the tree and bring the fabric up. The root realises
+  // the shared port; every other role binds its own address to it.
+  auto t0 = Clock::now();
+  CivicTree tree = grow_tree(shape);
+  auto root_rt = serve("root", kRootAddr, 0, tree.root);
+  const std::uint16_t port = root_rt->local().port;
+  auto city_rt = serve("cities", kCityAddr, port, tree.cities);
+  auto street_rt = serve("streets", kStreetAddr, port, tree.streets);
+  auto building_rt = serve("buildings", kBuildingAddr, port, tree.buildings);
+  Row built{"tree_build", shape.zone_count(), elapsed_s(t0)};
+  built.qps = static_cast<double>(built.ops) / built.seconds;
+  built.zones = shape.zone_count();
+  rows.push_back(built);
+  std::printf("serving %zu zones on %s-%s:%u\n", shape.zone_count(), kRootAddr, kBuildingAddr,
+              port);
+
+  // Phases 2–3: iterative resolution through the live fabric.
+  rows.push_back(bench_cold_descent(root_rt->local(), port, tree, cold_ops));
+  rows.push_back(bench_warm_descent(root_rt->local(), port, tree, warm_ops));
+
+  // Phase 4: an edge mirrors the first `mirror_count` building zones
+  // and must track churn by IXFR alone after its initial full sync.
+  std::vector<dns::Name> mirrored(tree.building_apexes.begin(),
+                                  tree.building_apexes.begin() +
+                                      static_cast<std::ptrdiff_t>(mirror_count));
+  runtime::RuntimeOptions edge_rt_options;
+  edge_rt_options.threads = 2;
+  runtime::ServerRuntime edge_runtime("edge", edge_rt_options);
+  federation::EdgeOptions edge_options;
+  edge_options.primary = building_rt->local();
+  edge_options.zones = mirrored;
+  edge_options.refresh_interval = std::chrono::milliseconds(50);
+  edge_options.expire_after = std::chrono::milliseconds(600);
+  edge_options.query.timeout = std::chrono::milliseconds(250);
+  federation::EdgeNameserver edge(edge_runtime, edge_options);
+  auto mirror_views = edge.initial_sync();
+  if (!mirror_views.ok()) die("initial sync", mirror_views.error().message);
+  if (auto started = edge_runtime.start(at(kEdgeAddr, 0), std::move(mirror_views).value());
+      !started.ok())
+    die("edge start", started.error().message);
+  if (auto started = edge.start(); !started.ok()) die("edge refresh", started.error().message);
+
+  const std::set<dns::Name> mirror_set(mirrored.begin(), mirrored.end());
+  t0 = Clock::now();
+  for (int round = 0; round < churn_rounds; ++round) {
+    building_rt->commit_zones([&](std::vector<std::shared_ptr<server::Zone>>& zones) {
+      for (auto& zone : zones) {
+        if (!mirror_set.contains(zone->apex())) continue;
+        auto txn = zone->txn();
+        (void)txn.add(dns::make_txt(
+            dns::name_of("gen" + std::to_string(round) + "." + zone->apex().to_string()),
+            {"churn"}));
+        (void)zone->commit(std::move(txn));
+      }
+      return true;
+    });
+    // Let refresh polls interleave with the commit stream so the edge
+    // tracks a *moving* primary, not one final state.
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  }
+  bool converged = false;
+  for (int i = 0; i < 200 && !converged; ++i) {
+    converged = true;
+    for (const auto& apex : mirrored)
+      if (serial_of(edge_runtime, apex) != serial_of(*building_rt, apex)) {
+        converged = false;
+        break;
+      }
+    if (!converged) std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  if (!converged) die("converge", "edge never caught up with the churning primary");
+  Row converge{"ixfr_converge",
+               static_cast<std::uint64_t>(churn_rounds) * mirror_count, elapsed_s(t0)};
+  converge.qps = static_cast<double>(converge.ops) / converge.seconds;
+  converge.axfr = counter_of(edge_runtime, "federation.refresh.axfr");
+  converge.ixfr = counter_of(edge_runtime, "federation.refresh.ixfr");
+  if (converge.axfr != mirror_count)
+    die("converge", "expected exactly " + std::to_string(mirror_count) +
+                        " full transfers (initial sync), saw " + std::to_string(converge.axfr));
+  if (converge.ixfr == 0) die("converge", "edge converged without a single IXFR");
+  rows.push_back(converge);
+
+  // Phase 5: partition. The building primary dies; past the expiry
+  // horizon the edge must keep answering for its mirrors — stale data
+  // beats no data.
+  building_rt->stop();
+  building_rt.reset();
+  for (int i = 0; i < 200 && !edge_runtime.serving_stale(); ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  if (!edge_runtime.serving_stale()) die("partition", "edge never flagged staleness");
+
+  transport::QueryOptions stale_query;
+  stale_query.timeout = std::chrono::milliseconds(250);
+  obs::Histogram latency;
+  std::uint64_t answered = 0;
+  t0 = Clock::now();
+  for (std::uint64_t i = 0; i < partition_ops; ++i) {
+    const auto& apex = mirrored[i % mirrored.size()];
+    auto query = dns::make_query(static_cast<std::uint16_t>(i & 0xffff),
+                                 dns::name_of("door." + apex.to_string()), dns::RRType::TXT,
+                                 false);
+    auto s = Clock::now();
+    auto reply = transport::udp_query(edge_runtime.local(), query, stale_query);
+    latency.record(
+        static_cast<std::uint64_t>(std::chrono::nanoseconds(Clock::now() - s).count()));
+    if (reply.ok() && !reply.value().answers.empty()) ++answered;
+  }
+  Row partition{"partition_stale", partition_ops, elapsed_s(t0), 0,
+                latency.p50(), latency.p90(), latency.p99()};
+  partition.qps = static_cast<double>(partition_ops) / partition.seconds;
+  partition.answered = answered;
+  partition.stale_ratio =
+      static_cast<double>(answered) / static_cast<double>(partition_ops);
+  partition.stale_serves = counter_of(edge_runtime, "federation.stale_serves");
+  if (partition.stale_ratio < 0.99)
+    die("partition", "edge answered only " + std::to_string(answered) + "/" +
+                         std::to_string(partition_ops) + " during the outage");
+  if (partition.stale_serves == 0) die("partition", "stale serves were not counted");
+  rows.push_back(partition);
+
+  edge.stop();
+  edge_runtime.stop();
+  street_rt->stop();
+  city_rt->stop();
+  root_rt->stop();
+
+  print_rows(rows);
+  write_json(out_path, shape, rows);
+  return 0;
+}

@@ -657,7 +657,9 @@ int main(int argc, char** argv) {
     // the pipelined rows are where the batching + answer-cache win
     // shows. Scale 0 is CI smoke: tiny op counts, pass/fail only.
     bool smoke = scale == 0;
-    std::size_t shards = std::max<std::size_t>(2, std::thread::hardware_concurrency());
+    std::size_t hw = std::thread::hardware_concurrency();
+    if (hw == 0) die("hardware_threads", "hardware_concurrency() reported 0");
+    std::size_t shards = std::max<std::size_t>(2, hw);
     std::size_t clients = std::max<std::size_t>(8, 2 * shards);
     std::uint64_t per_client = smoke ? 200 : 4'000 * scale;
     std::uint64_t serial = smoke ? 500 : 16'000 * scale;
@@ -665,6 +667,22 @@ int main(int argc, char** argv) {
     bench_runtime_topology(rows, 1, 1, serial, pipelined);
     bench_runtime_topology(rows, 1, clients, per_client, pipelined);
     bench_runtime_topology(rows, shards, clients, per_client, pipelined);
+    // The sharded rows only mean something when the box has the cores
+    // to run the shards: assert scaling on multi-core, and say so out
+    // loud (not silently pass) when a 1-core runner cannot judge it.
+    if (hw > 1) {
+      double single = 0, sharded = 0;
+      for (const auto& row : rows) {
+        if (row.clients != clients || row.name.rfind("udp_shard", 0) != 0) continue;
+        (row.shards > 1 ? sharded : single) = row.qps;
+      }
+      if (single <= 0 || sharded <= 0) die("runtime rows", "topology sweep rows missing");
+      if (sharded < 0.5 * single)
+        die("shard scaling", std::to_string(shards) + " shards at " + std::to_string(sharded) +
+                                 " qps vs 1 shard at " + std::to_string(single) + " qps");
+    } else {
+      std::printf("SKIP: shard-scaling assertion (hardware_threads=1)\n");
+    }
     print_rows(rows);
     write_json(out_path, "runtime", rows);
     return 0;

@@ -1,0 +1,36 @@
+// serial.hpp — RFC 1982 serial number arithmetic.
+//
+// SOA serials live in a 32-bit circular space: 0xffffffff is followed
+// by 0, and "newer" is defined by which half of the circle the other
+// serial falls in, not by integer order. Every serial comparison in
+// the transfer path (IXFR serve/apply, edge refresh polling, the AXFR
+// serial gate) must use these helpers — a plain `<` breaks the first
+// time a long-lived zone wraps, which is exactly the kind of once-a-
+// decade bug a test can force in a minute (see test_federation_ixfr).
+#pragma once
+
+#include <cstdint>
+
+namespace sns::dns {
+
+/// True when `a` precedes `b` on the RFC 1982 circle (addition space
+/// 2^32, comparison window 2^31). Incomparable pairs (distance exactly
+/// 2^31) are reported as not-less in both directions, per the RFC's
+/// advice to treat them as an error-shaped "neither".
+[[nodiscard]] constexpr bool serial_lt(std::uint32_t a, std::uint32_t b) noexcept {
+  return a != b && ((a < b && b - a < 0x80000000u) || (a > b && a - b > 0x80000000u));
+}
+
+[[nodiscard]] constexpr bool serial_gt(std::uint32_t a, std::uint32_t b) noexcept {
+  return serial_lt(b, a);
+}
+
+[[nodiscard]] constexpr bool serial_le(std::uint32_t a, std::uint32_t b) noexcept {
+  return a == b || serial_lt(a, b);
+}
+
+[[nodiscard]] constexpr bool serial_ge(std::uint32_t a, std::uint32_t b) noexcept {
+  return a == b || serial_gt(a, b);
+}
+
+}  // namespace sns::dns

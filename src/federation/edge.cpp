@@ -1,0 +1,242 @@
+#include "federation/edge.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "dns/rdata.hpp"
+#include "dns/serial.hpp"
+#include "util/log.hpp"
+
+namespace sns::federation {
+
+using dns::Name;
+using dns::RRType;
+using util::fail;
+using util::Result;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+std::uint16_t fresh_id() {
+  auto ticks = Clock::now().time_since_epoch().count();
+  return static_cast<std::uint16_t>((static_cast<std::uint64_t>(ticks) >> 4) & 0xffff);
+}
+
+}  // namespace
+
+EdgeNameserver::EdgeNameserver(runtime::ServerRuntime& runtime, EdgeOptions options)
+    : runtime_(runtime), options_(std::move(options)) {
+  mirrors_.reserve(options_.zones.size());
+  for (const auto& apex : options_.zones) {
+    Mirror mirror;
+    mirror.apex = apex;
+    mirror.last_success = Clock::now();
+    mirrors_.push_back(std::move(mirror));
+  }
+}
+
+EdgeNameserver::~EdgeNameserver() { stop(); }
+
+void EdgeNameserver::adopt_soa_timers(Mirror& mirror, const server::ZoneView& view) {
+  const auto* set = view.find(view.apex(), RRType::SOA);
+  if (set == nullptr || set->empty()) return;
+  if (const auto* soa = std::get_if<dns::SoaData>(&set->front().rdata)) {
+    mirror.soa_refresh_s = soa->refresh;
+    mirror.soa_retry_s = soa->retry;
+    mirror.soa_expire_s = soa->expire;
+  }
+}
+
+Result<std::vector<server::ZoneViewPtr>> EdgeNameserver::initial_sync() {
+  std::vector<server::ZoneViewPtr> views;
+  views.reserve(mirrors_.size());
+  for (auto& mirror : mirrors_) {
+    // Serial 0 can never be current, so the primary ships the full
+    // zone — over TCP from the start, transfers do not fit a datagram.
+    auto response =
+        transport::tcp_query(options_.primary, make_ixfr_request(fresh_id(), mirror.apex, 0),
+                             options_.query);
+    if (!response.ok())
+      return fail("initial sync of " + mirror.apex.to_string() + ": " +
+                  response.error().message);
+    server::Zone scratch(mirror.apex, mirror.apex);
+    auto applied = apply_transfer_response(scratch, response.value());
+    if (!applied.ok())
+      return fail("initial sync of " + mirror.apex.to_string() + ": " +
+                  applied.error().message);
+    if (applied.value().kind != ApplyKind::Replaced)
+      return fail("initial sync of " + mirror.apex.to_string() +
+                  ": primary declined the full transfer");
+    adopt_soa_timers(mirror, *scratch.view());
+    mirror.last_success = Clock::now();
+    views.push_back(scratch.view());
+  }
+  runtime_.metrics().counter("federation.refresh.axfr").add(mirrors_.size());
+  return views;
+}
+
+std::uint32_t EdgeNameserver::local_serial(const Name& apex) const {
+  auto snap = runtime_.snapshot();
+  if (snap == nullptr) return 0;
+  for (const auto& view : snap->zones)
+    if (view->apex() == apex) return view->serial();
+  return 0;
+}
+
+std::chrono::milliseconds EdgeNameserver::refresh_delay(const Mirror& m) const {
+  if (options_.refresh_interval.count() > 0) return options_.refresh_interval;
+  return std::chrono::seconds(m.soa_refresh_s);
+}
+
+std::chrono::milliseconds EdgeNameserver::retry_delay(const Mirror& m) const {
+  if (options_.retry_interval.count() > 0) return options_.retry_interval;
+  if (options_.refresh_interval.count() > 0) return options_.refresh_interval;
+  return std::chrono::seconds(m.soa_retry_s);
+}
+
+std::chrono::milliseconds EdgeNameserver::expire_horizon(const Mirror& m) const {
+  if (options_.expire_after.count() > 0) return options_.expire_after;
+  return std::chrono::seconds(m.soa_expire_s);
+}
+
+util::Status EdgeNameserver::start() {
+  if (started_) return fail("edge refresh loop already running");
+  if (!runtime_.running()) return fail("edge refresh loop needs a started runtime");
+  if (!loop_.valid()) return fail("edge event loop init failed");
+  loop_.reset_stop();
+  for (std::size_t i = 0; i < mirrors_.size(); ++i) schedule(i, refresh_delay(mirrors_[i]));
+  thread_ = std::thread([this] { loop_.run(); });
+  started_ = true;
+  return util::ok_status();
+}
+
+void EdgeNameserver::stop() {
+  if (!started_) return;
+  loop_.stop();
+  if (thread_.joinable()) thread_.join();
+  started_ = false;
+}
+
+void EdgeNameserver::poke() {
+  if (!started_) return;
+  loop_.post([this] {
+    for (std::size_t i = 0; i < mirrors_.size(); ++i) refresh(i);
+  });
+}
+
+void EdgeNameserver::schedule(std::size_t i, std::chrono::milliseconds delay) {
+  auto& mirror = mirrors_[i];
+  if (mirror.timer != transport::EventLoop::kInvalidTimer) loop_.cancel(mirror.timer);
+  mirror.timer = loop_.schedule_after(
+      std::chrono::duration_cast<transport::Duration>(delay), [this, i] {
+        mirrors_[i].timer = transport::EventLoop::kInvalidTimer;
+        refresh(i);
+      });
+}
+
+void EdgeNameserver::refresh(std::size_t i) {
+  auto& mirror = mirrors_[i];
+  auto& metrics = runtime_.metrics();
+  const std::uint32_t have = local_serial(mirror.apex);
+
+  auto fail_cycle = [&] {
+    metrics.counter("federation.refresh.failed").add();
+    update_staleness();
+    schedule(i, retry_delay(mirror));
+  };
+  auto success_cycle = [&] {
+    mirror.last_success = Clock::now();
+    update_staleness();
+    schedule(i, refresh_delay(mirror));
+  };
+
+  // Cheap probe first: one SOA datagram decides whether a transfer is
+  // worth a TCP connection at all.
+  auto probe = transport::udp_query(
+      options_.primary, dns::make_query(fresh_id(), mirror.apex, RRType::SOA, false),
+      options_.query);
+  if (!probe.ok() || probe.value().header.rcode != dns::Rcode::NoError) {
+    fail_cycle();
+    return;
+  }
+  std::uint32_t remote = have;
+  for (const auto& rr : probe.value().answers)
+    if (const auto* soa = std::get_if<dns::SoaData>(&rr.rdata)) remote = soa->serial;
+  if (!dns::serial_gt(remote, have)) {
+    metrics.counter("federation.refresh.current").add();
+    success_cycle();
+    return;
+  }
+
+  auto apply_via_runtime = [&](const dns::Message& response,
+                               std::string& error) -> std::optional<ApplyKind> {
+    std::optional<ApplyKind> kind;
+    runtime_.commit_zones([&](std::vector<std::shared_ptr<server::Zone>>& facades) {
+      for (auto& facade : facades) {
+        if (!(facade->apex() == mirror.apex)) continue;
+        auto applied = apply_transfer_response(*facade, response);
+        if (!applied.ok()) {
+          error = applied.error().message;
+          return false;  // abort: the store keeps the pre-apply snapshot
+        }
+        kind = applied.value().kind;
+        return true;
+      }
+      error = "runtime no longer serves " + mirror.apex.to_string();
+      return false;
+    });
+    return kind;
+  };
+
+  auto transfer = transport::tcp_query(
+      options_.primary, make_ixfr_request(fresh_id(), mirror.apex, have), options_.query);
+  if (!transfer.ok()) {
+    fail_cycle();
+    return;
+  }
+  std::string error;
+  auto kind = apply_via_runtime(transfer.value(), error);
+  if (!kind) {
+    // The delta contradicted local state (missed generation, primary
+    // swap): RFC 1995's remedy is one full transfer, not guesswork.
+    util::log_info("federation", "edge ", mirror.apex.to_string(),
+                   ": incremental apply failed (", error, "), falling back to full transfer");
+    auto full = transport::tcp_query(options_.primary,
+                                     make_ixfr_request(fresh_id(), mirror.apex, 0),
+                                     options_.query);
+    if (!full.ok()) {
+      fail_cycle();
+      return;
+    }
+    error.clear();
+    kind = apply_via_runtime(full.value(), error);
+    if (!kind) {
+      fail_cycle();
+      return;
+    }
+  }
+  switch (*kind) {
+    case ApplyKind::Current:
+      metrics.counter("federation.refresh.current").add();
+      break;
+    case ApplyKind::Patched:
+      metrics.counter("federation.refresh.ixfr").add();
+      break;
+    case ApplyKind::Replaced:
+      metrics.counter("federation.refresh.axfr").add();
+      break;
+  }
+  success_cycle();
+}
+
+void EdgeNameserver::update_staleness() {
+  std::size_t stale = 0;
+  auto now = Clock::now();
+  for (auto& mirror : mirrors_)
+    if (now - mirror.last_success > expire_horizon(mirror)) ++stale;
+  auto& gauge = runtime_.metrics().gauge("federation.stale_zones");
+  gauge.set(static_cast<double>(stale));
+  runtime_.set_serving_stale(stale > 0);
+}
+
+}  // namespace sns::federation

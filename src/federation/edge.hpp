@@ -1,0 +1,112 @@
+// edge.hpp — IXFR-fed edge nameserver with RFC 8767 serve-stale.
+//
+// The paper's deployment story (§4.1–4.2) puts a nameserver at the
+// network edge of every building: it mirrors its zones from a parent
+// and keeps answering AR clients when the uplink dies. EdgeNameserver
+// is that role bolted onto a ServerRuntime:
+//
+//   initial_sync()   full transfer of every mirrored zone (blocking,
+//                    before serving starts) — the one AXFR a healthy
+//                    edge ever performs.
+//   refresh loop     a dedicated EventLoop thread polls each zone's
+//                    SOA over UDP on its refresh interval; a moved
+//                    serial triggers an IXFR over TCP, applied through
+//                    the runtime's transactional commit path (so the
+//                    answer cache and spatial index rebuild
+//                    incrementally from the transfer's touched
+//                    owners). An apply that contradicts local state
+//                    falls back to one full transfer.
+//   serve-stale      when a zone goes unrefreshed past its SOA expire
+//                    (or `expire_override`), a compliant secondary
+//                    would go dark; the paper's edge must not. The
+//                    runtime keeps serving the last good data and
+//                    counts every such answer in `federation.
+//                    stale_serves` (RFC 8767's spirit: stale data
+//                    beats no data for local devices during a
+//                    partition).
+//
+// Counters (on the runtime's control-plane registry):
+//   federation.refresh.current   SOA poll found us current
+//   federation.refresh.ixfr      delta transfer applied
+//   federation.refresh.axfr      full transfer applied
+//   federation.refresh.failed    poll or transfer failed
+//   federation.stale_zones       gauge: zones currently past expiry
+#pragma once
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "dns/name.hpp"
+#include "federation/ixfr.hpp"
+#include "runtime/runtime.hpp"
+#include "transport/client.hpp"
+#include "transport/event_loop.hpp"
+
+namespace sns::federation {
+
+struct EdgeOptions {
+  /// Parent nameserver to mirror from.
+  transport::Endpoint primary;
+  /// Zone apexes to mirror.
+  std::vector<dns::Name> zones;
+  /// Poll cadence; 0 honours each zone's SOA refresh field.
+  std::chrono::milliseconds refresh_interval{0};
+  /// Delay before re-polling after a failure; 0 honours SOA retry.
+  std::chrono::milliseconds retry_interval{0};
+  /// Staleness horizon; 0 honours each zone's SOA expire field.
+  std::chrono::milliseconds expire_after{0};
+  /// Timeouts for SOA probes (UDP) and transfers (TCP).
+  transport::QueryOptions query;
+};
+
+class EdgeNameserver {
+ public:
+  EdgeNameserver(runtime::ServerRuntime& runtime, EdgeOptions options);
+  ~EdgeNameserver();
+  EdgeNameserver(const EdgeNameserver&) = delete;
+  EdgeNameserver& operator=(const EdgeNameserver&) = delete;
+
+  /// Blocking full transfer of every mirrored zone from the primary —
+  /// run this BEFORE runtime.start() and hand the views to it. Fails
+  /// if any zone cannot be fetched (an edge with a hole in its mirror
+  /// set would serve NXDOMAIN for names it is supposed to own).
+  util::Result<std::vector<server::ZoneViewPtr>> initial_sync();
+
+  /// Start the refresh loop thread (runtime must be serving).
+  util::Status start();
+  void stop();
+
+  /// Re-poll every zone now (snsd forwards SIGHUP here in edge mode).
+  void poke();
+
+  [[nodiscard]] bool running() const noexcept { return started_; }
+
+ private:
+  struct Mirror {
+    dns::Name apex;
+    std::uint32_t soa_refresh_s = 3600;
+    std::uint32_t soa_retry_s = 600;
+    std::uint32_t soa_expire_s = 86400;
+    std::chrono::steady_clock::time_point last_success;
+    transport::EventLoop::TimerId timer = transport::EventLoop::kInvalidTimer;
+  };
+
+  void adopt_soa_timers(Mirror& mirror, const server::ZoneView& view);
+  [[nodiscard]] std::uint32_t local_serial(const dns::Name& apex) const;
+  void schedule(std::size_t i, std::chrono::milliseconds delay);
+  void refresh(std::size_t i);
+  void update_staleness();
+  [[nodiscard]] std::chrono::milliseconds refresh_delay(const Mirror& m) const;
+  [[nodiscard]] std::chrono::milliseconds retry_delay(const Mirror& m) const;
+  [[nodiscard]] std::chrono::milliseconds expire_horizon(const Mirror& m) const;
+
+  runtime::ServerRuntime& runtime_;
+  EdgeOptions options_;
+  std::vector<Mirror> mirrors_;
+  transport::EventLoop loop_;
+  std::thread thread_;
+  bool started_ = false;
+};
+
+}  // namespace sns::federation

@@ -1,0 +1,190 @@
+#include "federation/ixfr.hpp"
+
+#include <utility>
+
+#include "dns/rdata.hpp"
+#include "dns/serial.hpp"
+
+namespace sns::federation {
+
+using dns::Message;
+using dns::Name;
+using dns::Rcode;
+using dns::ResourceRecord;
+using dns::RRType;
+using server::ZoneViewPtr;
+using util::fail;
+using util::Result;
+
+namespace {
+
+const ResourceRecord* apex_soa_of(const server::ZoneView& view) {
+  const auto* set = view.find(view.apex(), RRType::SOA);
+  return (set != nullptr && !set->empty()) ? &set->front() : nullptr;
+}
+
+/// AXFR framing into `response`: SOA first, every other record, SOA
+/// repeated last.
+void append_full_zone(Message& response, const server::ZoneView& view,
+                      const ResourceRecord& soa) {
+  response.answers.push_back(soa);
+  for (auto& rr : view.all_records())
+    if (!(rr.type == RRType::SOA && rr.name == view.apex()))
+      response.answers.push_back(std::move(rr));
+  response.answers.push_back(soa);
+}
+
+}  // namespace
+
+bool is_transfer_query(const Message& query) {
+  return !query.questions.empty() && (query.questions.front().type == kIxfrType ||
+                                      query.questions.front().type == server::kAxfrType);
+}
+
+Message make_ixfr_request(std::uint16_t id, const Name& apex, std::uint32_t have_serial) {
+  Message msg;
+  msg.header.id = id;
+  msg.header.rd = false;
+  msg.questions.push_back(dns::Question{apex, kIxfrType, dns::RRClass::IN});
+  msg.authorities.push_back(dns::make_soa(apex, apex, have_serial));
+  return msg;
+}
+
+TransferAnswer serve_transfer_query(const Message& request,
+                                    const std::vector<ZoneViewPtr>& zones,
+                                    const JournalSet* journals) {
+  TransferAnswer out;
+  if (request.questions.size() != 1 || !is_transfer_query(request)) {
+    out.response = dns::make_response(request, Rcode::FormErr, false);
+    return out;
+  }
+  const auto& question = request.questions.front();
+
+  const server::ZoneView* view = nullptr;
+  for (const auto& zone : zones)
+    if (zone->apex() == question.name) {
+      view = zone.get();
+      break;
+    }
+  if (view == nullptr) {
+    out.response = dns::make_response(request, Rcode::NotAuth, false);
+    return out;
+  }
+  const auto* soa = apex_soa_of(*view);
+  if (soa == nullptr) {
+    out.response = dns::make_response(request, Rcode::ServFail, true);
+    return out;
+  }
+
+  std::uint32_t have_serial = 0;
+  for (const auto& rr : request.authorities)
+    if (const auto* have = std::get_if<dns::SoaData>(&rr.rdata)) have_serial = have->serial;
+
+  out.response = dns::make_response(request, Rcode::NoError, true);
+  const std::uint32_t current = view->serial();
+  if (dns::serial_ge(have_serial, current)) {
+    // RFC 1995 §2: a current (or ahead — likely a primary swap)
+    // secondary gets just the SOA, never a transfer.
+    out.response.answers.push_back(*soa);
+    out.kind = TransferKind::UpToDate;
+    return out;
+  }
+
+  if (question.type == kIxfrType && journals != nullptr) {
+    if (auto chain = journals->collect(view->apex(), have_serial, current)) {
+      out.response.answers.push_back(*soa);
+      for (const auto& delta : *chain) {
+        out.response.answers.push_back(delta.old_soa);
+        for (const auto& rr : delta.deleted) out.response.answers.push_back(rr);
+        out.response.answers.push_back(delta.new_soa);
+        for (const auto& rr : delta.added) out.response.answers.push_back(rr);
+      }
+      out.response.answers.push_back(*soa);
+      out.kind = TransferKind::Incremental;
+      return out;
+    }
+  }
+
+  // AXFR request, no journal, or history that no longer reaches back
+  // to the secondary's serial: ship the whole zone.
+  append_full_zone(out.response, *view, *soa);
+  out.kind = TransferKind::Full;
+  return out;
+}
+
+Result<ApplyOutcome> apply_transfer_response(server::Zone& zone, const Message& response) {
+  if (response.header.rcode != Rcode::NoError)
+    return fail("transfer: primary answered " + dns::to_string(response.header.rcode));
+  const auto& answers = response.answers;
+  // Tolerate the legacy empty-NOERROR "already current" shape alongside
+  // RFC 1995's single-SOA one.
+  if (answers.empty()) return ApplyOutcome{ApplyKind::Current, zone.serial()};
+  if (answers.front().type != RRType::SOA || !(answers.front().name == zone.apex()))
+    return fail("transfer: response does not start with the apex SOA");
+  const auto* target_soa = std::get_if<dns::SoaData>(&answers.front().rdata);
+  if (target_soa == nullptr) return fail("transfer: malformed leading SOA");
+  const std::uint32_t target = target_soa->serial;
+  if (answers.size() == 1) return ApplyOutcome{ApplyKind::Current, zone.serial()};
+
+  if (answers.back().type != RRType::SOA)
+    return fail("transfer: missing closing SOA (truncated transfer?)");
+
+  // Second record decides the shape (RFC 1995 §4): an SOA opens a
+  // deletion section (incremental); anything else is a full zone. The
+  // two-record [SOA, SOA] corner — a zone holding nothing but its SOA
+  // — is a degenerate full transfer, not an empty delta.
+  const bool incremental =
+      answers.size() > 2 && answers[1].type == RRType::SOA && answers[1].name == zone.apex();
+
+  if (!incremental) {
+    if (!(answers.front() == answers.back()))
+      return fail("transfer: first/last SOA mismatch (truncated transfer?)");
+    std::vector<ResourceRecord> records(answers.begin(), answers.end() - 1);
+    auto built = server::build_zone_view(zone.apex(), std::move(records));
+    if (!built.ok()) return built.error();
+    zone.replace(std::move(built).value());
+    return ApplyOutcome{ApplyKind::Replaced, zone.serial()};
+  }
+
+  // Delta sequence: [SOA(old) deletions... SOA(new) additions...]*
+  // between the leading and closing SOA(target).
+  std::size_t i = 1;
+  const std::size_t end = answers.size() - 1;
+  while (i < end) {
+    const auto* old_soa = std::get_if<dns::SoaData>(&answers[i].rdata);
+    if (old_soa == nullptr || !(answers[i].name == zone.apex()))
+      return fail("transfer: delta does not open with an apex SOA");
+    if (old_soa->serial != zone.serial())
+      return fail("transfer: delta chain expects serial " + std::to_string(old_soa->serial) +
+                  ", zone is at " + std::to_string(zone.serial()));
+    ++i;
+
+    auto txn = zone.txn();
+    while (i < end && answers[i].type != RRType::SOA) {
+      if (!txn.remove_record(answers[i]))
+        return fail("transfer: delta deletes a record this zone does not hold");
+      ++i;
+    }
+    if (i >= end) return fail("transfer: delta missing its addition SOA");
+    const ResourceRecord& new_soa = answers[i];
+    ++i;
+    // ZoneTxn::add de-duplicates but never replaces: clear the old SOA
+    // RRset explicitly so the new serial is the only one.
+    txn.remove_rrset(zone.apex(), RRType::SOA);
+    if (auto added = txn.add(new_soa); !added.ok()) return added.error();
+    while (i < end && answers[i].type != RRType::SOA) {
+      if (auto added = txn.add(answers[i]); !added.ok()) return added.error();
+      ++i;
+    }
+    // Serial::Keep — the SOA we just installed is the authority on the
+    // zone's new serial; a policy bump on top would desynchronise us
+    // from the primary forever.
+    zone.commit(std::move(txn), server::ZoneTxn::Serial::Keep);
+  }
+  if (zone.serial() != target)
+    return fail("transfer: delta chain ended at serial " + std::to_string(zone.serial()) +
+                ", expected " + std::to_string(target));
+  return ApplyOutcome{ApplyKind::Patched, target};
+}
+
+}  // namespace sns::federation

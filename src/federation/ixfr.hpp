@@ -1,0 +1,85 @@
+// ixfr.hpp — RFC 1995 incremental zone transfer on the wire.
+//
+// The serving half answers IXFR (and AXFR) queries against a
+// snapshot's immutable zone views plus the runtime's delta journals
+// (journal.hpp): a secondary whose serial the journal still covers
+// gets the RFC 1995 delta sequence — SOA(new), then per generation a
+// deletion section headed by SOA(old) and an addition section headed
+// by SOA(next) — and everyone else gets the AXFR-style full zone,
+// which is the fallback the RFC demands when the primary's history
+// runs out. A secondary that is already current gets the single-SOA
+// answer.
+//
+// The applying half patches a Zone facade delta by delta through the
+// ordinary transaction API (each delta is one commit under
+// Serial::Keep — the new SOA record carries the serial, and the
+// facade's commit log accumulates the touched owners so the runtime
+// can rebuild its caches incrementally, exactly as it does for RFC
+// 2136 updates). A full transfer replaces the view wholesale. Any
+// mismatch between a delta and the local zone (a deletion of a record
+// we do not hold, a broken serial chain) fails the apply — the caller
+// falls back to AXFR rather than guessing.
+#pragma once
+
+#include "dns/message.hpp"
+#include "federation/journal.hpp"
+#include "server/transfer.hpp"
+#include "server/zone.hpp"
+
+namespace sns::federation {
+
+/// QTYPE 251 (IXFR); like server::kAxfrType, deliberately not in the
+/// base RRType enum — it is a question type, never a record type.
+constexpr dns::RRType kIxfrType = static_cast<dns::RRType>(251);
+
+/// True for the two transfer question types the runtime intercepts
+/// ahead of its query engine.
+[[nodiscard]] bool is_transfer_query(const dns::Message& query);
+
+/// Build an IXFR request: question (apex, IXFR), secondary's current
+/// serial as an SOA in the authority section (RFC 1995 §2). Serial 0
+/// asks for everything a fresh secondary needs.
+[[nodiscard]] dns::Message make_ixfr_request(std::uint16_t id, const dns::Name& apex,
+                                             std::uint32_t have_serial);
+
+enum class TransferKind {
+  UpToDate,     // single-SOA answer: secondary is current (or ahead)
+  Incremental,  // RFC 1995 delta sequence
+  Full,         // AXFR-style full zone (requested, or journal miss)
+  Refused,      // malformed question / not authoritative for the apex
+};
+
+struct TransferAnswer {
+  dns::Message response;
+  TransferKind kind = TransferKind::Refused;
+};
+
+/// Primary side: answer one IXFR/AXFR query against the served views.
+/// `journals` may be null (no history: every behind-serial IXFR
+/// degrades to Full). The apex must match a view exactly — transfers
+/// are zone-granular, never subtree-granular.
+[[nodiscard]] TransferAnswer serve_transfer_query(const dns::Message& request,
+                                                  const std::vector<server::ZoneViewPtr>& zones,
+                                                  const JournalSet* journals);
+
+enum class ApplyKind {
+  Current,   // nothing to do
+  Patched,   // delta sequence applied through transactions
+  Replaced,  // full zone swapped in
+};
+
+struct ApplyOutcome {
+  ApplyKind kind = ApplyKind::Current;
+  std::uint32_t serial = 0;  // zone serial after the apply
+};
+
+/// Secondary side: apply a transfer response to the local facade.
+/// Patching commits one transaction per delta (Serial::Keep — the SOA
+/// records carry the serial), so the facade's commit log ends up with
+/// exactly the owners the transfer touched. Fails without modifying
+/// the zone beyond already-committed deltas if the response contradicts
+/// local state; callers should then retry with a full transfer.
+util::Result<ApplyOutcome> apply_transfer_response(server::Zone& zone,
+                                                   const dns::Message& response);
+
+}  // namespace sns::federation

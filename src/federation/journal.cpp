@@ -1,0 +1,136 @@
+#include "federation/journal.hpp"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "dns/rdata.hpp"
+
+namespace sns::federation {
+
+using dns::Name;
+using dns::ResourceRecord;
+using dns::RRType;
+using server::ZoneView;
+
+namespace {
+
+bool is_apex_soa(const ResourceRecord& rr, const Name& apex) {
+  return rr.type == RRType::SOA && rr.name == apex;
+}
+
+std::vector<ResourceRecord> records_at(const ZoneView& view, const Name& owner) {
+  std::vector<ResourceRecord> out;
+  for (auto type : view.types_at(owner)) {
+    const auto* set = view.find(owner, type);
+    if (set != nullptr) out.insert(out.end(), set->begin(), set->end());
+  }
+  return out;
+}
+
+}  // namespace
+
+Delta diff_views(const ZoneView& old_view, const ZoneView& new_view,
+                 const std::vector<Name>& touched) {
+  Delta delta;
+  delta.from_serial = old_view.serial();
+  delta.to_serial = new_view.serial();
+  const Name& apex = new_view.apex();
+  if (const auto* soa = old_view.find(apex, RRType::SOA); soa != nullptr && !soa->empty())
+    delta.old_soa = soa->front();
+  if (const auto* soa = new_view.find(apex, RRType::SOA); soa != nullptr && !soa->empty())
+    delta.new_soa = soa->front();
+
+  // The caller may hand a concatenated multi-zone touched list (the
+  // runtime drains one log per facade but diffs per zone); owners
+  // outside this apex belong to sibling zones and duplicates are
+  // harmless but wasteful, so screen both out.
+  std::set<Name> owners(touched.begin(), touched.end());
+  for (const auto& owner : owners) {
+    if (!owner.is_subdomain_of(apex)) continue;
+    auto old_records = records_at(old_view, owner);
+    auto new_records = records_at(new_view, owner);
+    for (const auto& rr : old_records) {
+      if (is_apex_soa(rr, apex)) continue;
+      if (std::find(new_records.begin(), new_records.end(), rr) == new_records.end())
+        delta.deleted.push_back(rr);
+    }
+    for (const auto& rr : new_records) {
+      if (is_apex_soa(rr, apex)) continue;
+      if (std::find(old_records.begin(), old_records.end(), rr) == old_records.end())
+        delta.added.push_back(rr);
+    }
+  }
+  return delta;
+}
+
+void ZoneJournal::append(Delta delta) {
+  if (delta.from_serial == delta.to_serial) return;
+  // A gap means some generation was never journalled (or the chain was
+  // cleared); retaining the older history would let collect() splice a
+  // chain across the hole, so the hole truncates it.
+  if (!deltas_.empty() && deltas_.back().to_serial != delta.from_serial) clear();
+  records_ += delta.record_count();
+  deltas_.push_back(std::move(delta));
+  while (records_ > budget_ && !deltas_.empty()) {
+    records_ -= deltas_.front().record_count();
+    deltas_.pop_front();
+  }
+}
+
+void ZoneJournal::clear() {
+  deltas_.clear();
+  records_ = 0;
+}
+
+std::optional<std::vector<Delta>> ZoneJournal::collect(std::uint32_t from,
+                                                       std::uint32_t to) const {
+  std::vector<Delta> chain;
+  if (from == to) return chain;
+  std::size_t i = 0;
+  while (i < deltas_.size() && deltas_[i].from_serial != from) ++i;
+  for (; i < deltas_.size(); ++i) {
+    chain.push_back(deltas_[i]);
+    if (deltas_[i].to_serial == to) return chain;
+  }
+  return std::nullopt;
+}
+
+void JournalSet::record_commit(const ZoneView& old_view, const ZoneView& new_view,
+                               const std::vector<Name>& touched, bool overflow) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& journal = journals_.try_emplace(new_view.apex()).first->second;
+  if (overflow) {
+    journal.clear();
+    return;
+  }
+  if (old_view.serial() == new_view.serial()) {
+    // A commit that changed data without moving the serial (facade
+    // one-op edits under Serial::Keep) is invisible to secondaries —
+    // any remembered history now lies about what serial N contains.
+    if (!touched.empty()) journal.clear();
+    return;
+  }
+  journal.append(diff_views(old_view, new_view, touched));
+}
+
+void JournalSet::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  journals_.clear();
+}
+
+std::optional<std::vector<Delta>> JournalSet::collect(const Name& apex, std::uint32_t from,
+                                                      std::uint32_t to) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = journals_.find(apex);
+  if (it == journals_.end()) return std::nullopt;
+  return it->second.collect(from, to);
+}
+
+std::size_t JournalSet::delta_count(const Name& apex) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = journals_.find(apex);
+  return it == journals_.end() ? 0 : it->second.size();
+}
+
+}  // namespace sns::federation

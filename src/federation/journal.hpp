@@ -1,0 +1,121 @@
+// journal.hpp — per-zone IXFR delta journals fed by commit logs.
+//
+// RFC 1995 asks the primary to remember how it got from serial N to
+// serial N+k so a secondary can catch up without a full transfer. This
+// repo already records exactly that: every ZoneTxn commit reports the
+// owners it touched (zone.hpp, `Commit::touched`), and the runtime
+// drains those logs to rebuild its answer cache incrementally. A
+// ZoneJournal is the same information kept a little longer — each
+// published generation appends one Delta (the per-owner record set
+// difference between the old and new views, computed only over the
+// touched owners, so a delta costs O(touched × depth), never O(zone)).
+//
+// The journal is bounded by total record count. When it overflows —
+// or when a wholesale replace() voids the touched enumeration — it
+// resets, and serve_transfer falls back to a full AXFR-style answer
+// for secondaries older than the remembered horizon. That is the RFC
+// 1995 contract: IXFR is an optimisation the primary may decline.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "dns/record.hpp"
+#include "server/zone.hpp"
+
+namespace sns::federation {
+
+/// One zone generation step: everything a secondary at `from_serial`
+/// must delete and add to reach `to_serial`. The apex SOAs travel
+/// separately (they frame the wire sections and are never listed in
+/// deleted/added).
+struct Delta {
+  std::uint32_t from_serial = 0;
+  std::uint32_t to_serial = 0;
+  dns::ResourceRecord old_soa;
+  dns::ResourceRecord new_soa;
+  std::vector<dns::ResourceRecord> deleted;
+  std::vector<dns::ResourceRecord> added;
+
+  /// Wire records this delta contributes to an IXFR answer (the two
+  /// framing SOAs plus the change sets) — the unit the journal budget
+  /// counts.
+  [[nodiscard]] std::size_t record_count() const noexcept {
+    return deleted.size() + added.size() + 2;
+  }
+};
+
+/// Diff two views of the same zone over the commit's touched owners.
+/// Sound under the commit-log contract: any owner whose node changed
+/// appears in `touched` (the apex always does when the serial moved).
+[[nodiscard]] Delta diff_views(const server::ZoneView& old_view,
+                               const server::ZoneView& new_view,
+                               const std::vector<dns::Name>& touched);
+
+/// Bounded delta history for one zone. Not thread-safe on its own;
+/// JournalSet provides the locking.
+class ZoneJournal {
+ public:
+  /// Budget in wire records across all retained deltas. Matches the
+  /// commit log's own enumeration cap (Zone::kMaxTouched): past that a
+  /// full transfer is cheaper than shipping the history anyway.
+  static constexpr std::size_t kDefaultBudget = 4096;
+
+  explicit ZoneJournal(std::size_t record_budget = kDefaultBudget)
+      : budget_(record_budget) {}
+
+  /// Append one generation step; drops the oldest deltas past the
+  /// budget (shrinking the horizon, never corrupting the chain).
+  void append(Delta delta);
+
+  /// Forget everything (wholesale replace or commit-log overflow: the
+  /// touched enumeration is void, so no delta can be trusted).
+  void clear();
+
+  /// The contiguous delta chain taking a secondary from `from` to
+  /// `to`; nullopt when the journal no longer reaches back to `from`
+  /// (caller falls back to a full transfer). `from == to` yields an
+  /// empty chain.
+  [[nodiscard]] std::optional<std::vector<Delta>> collect(std::uint32_t from,
+                                                          std::uint32_t to) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return deltas_.size(); }
+  [[nodiscard]] std::size_t record_load() const noexcept { return records_; }
+
+ private:
+  std::deque<Delta> deltas_;
+  std::size_t records_ = 0;
+  std::size_t budget_;
+};
+
+/// The runtime's journal fleet: one ZoneJournal per served apex,
+/// written by the snapshot writers (already serialised on the store's
+/// writer mutex) and read concurrently by every worker shard serving a
+/// transfer query — hence the internal lock. Collection copies the
+/// chain out, so no reference escapes the critical section.
+class JournalSet {
+ public:
+  /// Fold one zone commit into its journal. `overflow` (wholesale
+  /// replace or an unenumerated commit) clears the journal instead.
+  void record_commit(const server::ZoneView& old_view, const server::ZoneView& new_view,
+                     const std::vector<dns::Name>& touched, bool overflow);
+
+  /// Drop every journal (full reload published a new zone set).
+  void clear();
+
+  [[nodiscard]] std::optional<std::vector<Delta>> collect(const dns::Name& apex,
+                                                          std::uint32_t from,
+                                                          std::uint32_t to) const;
+
+  [[nodiscard]] std::size_t delta_count(const dns::Name& apex) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<dns::Name, ZoneJournal> journals_;
+};
+
+}  // namespace sns::federation

@@ -1,0 +1,294 @@
+#include "federation/resolver.hpp"
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <utility>
+
+#include "dns/rdata.hpp"
+
+namespace sns::federation {
+
+using dns::Message;
+using dns::Name;
+using dns::Rcode;
+using dns::ResourceRecord;
+using dns::RRType;
+using transport::Endpoint;
+using util::fail;
+using util::Result;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+int ms_remaining(Clock::time_point deadline) {
+  auto left = std::chrono::duration_cast<std::chrono::milliseconds>(deadline - Clock::now());
+  return left.count() <= 0 ? 0 : static_cast<int>(left.count());
+}
+
+/// EDNS policy mirroring the blocking client's udp_form: advertise a
+/// large payload unless the caller built their own OPT or disabled it.
+Message udp_form(const Message& query, const transport::QueryOptions& options) {
+  if (options.edns_udp_size == 0) return query;
+  for (const auto& rr : query.additionals)
+    if (rr.type == RRType::OPT) return query;
+  Message with_edns = query;
+  dns::add_edns(with_edns, options.edns_udp_size);
+  return with_edns;
+}
+
+}  // namespace
+
+bool is_referral(const Message& response) {
+  if (response.header.rcode != Rcode::NoError) return false;
+  if (response.header.aa || !response.answers.empty()) return false;
+  for (const auto& rr : response.authorities)
+    if (rr.type == RRType::NS) return true;
+  return false;
+}
+
+void ReferralCache::insert(const Name& zone, std::vector<Endpoint> servers) {
+  if (servers.empty()) return;
+  by_zone_[zone] = std::move(servers);
+}
+
+std::optional<ReferralCache::Hit> ReferralCache::best_for(const Name& qname) const {
+  const std::map<Name, std::vector<Endpoint>>::value_type* best = nullptr;
+  for (const auto& entry : by_zone_) {
+    if (!qname.is_subdomain_of(entry.first)) continue;
+    if (best == nullptr || entry.first.label_count() > best->first.label_count()) best = &entry;
+  }
+  if (best == nullptr) return std::nullopt;
+  return Hit{best->first, best->second};
+}
+
+IterativeClient::IterativeClient(std::vector<Endpoint> roots, ResolveOptions options)
+    : roots_(std::move(roots)), options_(options) {
+  auto ticks = Clock::now().time_since_epoch().count();
+  next_id_ = static_cast<std::uint16_t>((static_cast<std::uint64_t>(ticks) >> 4) & 0xffff);
+}
+
+Result<IterativeClient::Wave> IterativeClient::race(const std::vector<Endpoint>& servers,
+                                                    const Message& query) {
+  struct Candidate {
+    transport::FdHandle fd;
+    Endpoint at;
+  };
+  std::vector<Candidate> candidates;
+  for (const auto& server : servers) {
+    transport::FdHandle fd(::socket(AF_INET, SOCK_DGRAM | SOCK_CLOEXEC, 0));
+    if (!fd.valid()) continue;
+    sockaddr_in sa{};
+    server.to_sockaddr(sa);
+    // connect() scopes each socket to its server, so a readable fd
+    // identifies the answering endpoint without recvfrom bookkeeping.
+    if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&sa), sizeof(sa)) < 0) continue;
+    candidates.push_back(Candidate{std::move(fd), server});
+  }
+  if (candidates.empty()) return fail("race: no usable candidate sockets");
+
+  auto wire = udp_form(query, options_.query).encode();
+  std::string last_error = "no answer";
+  for (int attempt = 0; attempt < std::max(options_.query.attempts, 1); ++attempt) {
+    for (auto& candidate : candidates)
+      (void)::send(candidate.fd.get(), wire.data(), wire.size(), 0);
+    auto deadline = Clock::now() + options_.query.timeout;
+    for (;;) {
+      std::vector<pollfd> pfds;
+      pfds.reserve(candidates.size());
+      for (const auto& candidate : candidates)
+        pfds.push_back(pollfd{candidate.fd.get(), POLLIN, 0});
+      int r = ::poll(pfds.data(), pfds.size(), ms_remaining(deadline));
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        return fail(transport::errno_message("poll"));
+      }
+      if (r == 0) {
+        last_error = "timed out racing " + std::to_string(candidates.size()) + " server(s)";
+        break;  // next attempt
+      }
+      for (std::size_t i = 0; i < pfds.size(); ++i) {
+        if ((pfds[i].revents & POLLIN) == 0) continue;
+        std::uint8_t buf[65535];
+        ssize_t n;
+        do {
+          n = ::recv(candidates[i].fd.get(), buf, sizeof(buf), 0);
+        } while (n < 0 && errno == EINTR);
+        if (n < 0) continue;
+        auto response = dns::Message::decode(std::span(buf, static_cast<std::size_t>(n)));
+        if (!response.ok() || response.value().header.id != query.header.id ||
+            !response.value().header.qr)
+          continue;  // garbage or spoofed id: the race keeps running
+        Wave wave{std::move(response).value(), candidates[i].at,
+                  static_cast<int>(candidates.size())};
+        if (wave.response.header.tc) {
+          // The winner truncated: the full answer is one RFC 7766
+          // exchange away, still from the server that won the race.
+          auto over_tcp = transport::tcp_query(wave.winner, query, options_.query);
+          if (!over_tcp.ok()) return over_tcp.error();
+          wave.response = std::move(over_tcp).value();
+        }
+        return wave;
+      }
+    }
+  }
+  return fail(last_error);
+}
+
+std::vector<Endpoint> IterativeClient::referral_endpoints(const Message& response,
+                                                          int depth_budget) {
+  std::vector<Endpoint> out;
+  std::vector<Name> glueless;
+  for (const auto& rr : response.authorities) {
+    const auto* ns = std::get_if<dns::NsData>(&rr.rdata);
+    if (ns == nullptr) continue;
+    bool glued = false;
+    for (const auto& extra : response.additionals) {
+      if (extra.type != RRType::A || !(extra.name == ns->nameserver)) continue;
+      if (const auto* a = std::get_if<dns::AData>(&extra.rdata)) {
+        out.push_back(Endpoint{a->address, options_.glue_port});
+        glued = true;
+      }
+    }
+    if (!glued) glueless.push_back(ns->nameserver);
+  }
+  // Glueless cuts (the NS target lives outside the parent zone) cost a
+  // side resolution; only pay it when no glue came along at all.
+  if (out.empty() && depth_budget > 0) {
+    for (const auto& target : glueless) {
+      auto resolved = resolve_impl(target, RRType::A, nullptr, depth_budget);
+      if (!resolved.ok()) continue;
+      for (const auto& rr : resolved.value().response.answers)
+        if (rr.type == RRType::A && rr.name == target)
+          if (const auto* a = std::get_if<dns::AData>(&rr.rdata))
+            out.push_back(Endpoint{a->address, options_.glue_port});
+      if (!out.empty()) break;
+    }
+  }
+  return out;
+}
+
+Result<IterativeAnswer> IterativeClient::resolve(const Name& qname, RRType qtype,
+                                                 const TraceFn& trace) {
+  return resolve_impl(qname, qtype, trace, options_.max_referrals);
+}
+
+Result<IterativeAnswer> IterativeClient::resolve_impl(const Name& qname, RRType qtype,
+                                                      const TraceFn& trace, int depth_budget) {
+  IterativeAnswer out;
+  Name current = qname;
+  std::vector<ResourceRecord> cname_chain;
+  int cnames = 0;
+
+  Name zone;  // root
+  std::vector<Endpoint> servers = roots_;
+  bool from_cache = false;
+  if (auto hit = cache_.best_for(current)) {
+    zone = hit->zone;
+    servers = std::move(hit->servers);
+    from_cache = true;
+    out.started_from_cache = true;
+  }
+
+  for (int hop = 0; hop <= options_.max_referrals; ++hop) {
+    Message query = dns::make_query(++next_id_, current, qtype, /*recursion_desired=*/false);
+    auto t0 = Clock::now();
+    auto wave = race(servers, query);
+    ++out.waves;
+    if (!wave.ok()) {
+      // A cache-steered start gets one restart from the roots: the
+      // cached servers may simply be gone (that is the partition
+      // drill in bench_federation).
+      if (from_cache) {
+        zone = Name{};
+        servers = roots_;
+        from_cache = false;
+        continue;
+      }
+      return wave.error();
+    }
+    out.raced += wave.value().raced;
+    const Message& response = wave.value().response;
+    const bool referral = is_referral(response);
+    if (trace) {
+      TraceHop hop_info;
+      hop_info.zone = zone;
+      hop_info.servers = servers;
+      hop_info.winner = wave.value().winner;
+      hop_info.from_cache = from_cache;
+      hop_info.referral = referral;
+      hop_info.response = response;
+      hop_info.rtt = std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - t0);
+      trace(hop_info);
+    }
+
+    if (referral) {
+      const Name* cut = nullptr;
+      for (const auto& rr : response.authorities)
+        if (rr.type == RRType::NS) {
+          cut = &rr.name;
+          break;
+        }
+      // Lame-delegation guards: the cut must descend (strictly) from
+      // the zone we asked and still cover the qname, or the fabric is
+      // pointing us in a circle.
+      if (cut == nullptr || !current.is_subdomain_of(*cut) ||
+          !cut->is_subdomain_of(zone) || cut->label_count() <= zone.label_count())
+        return fail("lame referral from " + wave.value().winner.to_string() + " for " +
+                    current.to_string());
+      auto endpoints = referral_endpoints(response, depth_budget - 1);
+      if (endpoints.empty())
+        return fail("referral to " + cut->to_string() + " carried no resolvable nameserver");
+      cache_.insert(*cut, endpoints);
+      zone = *cut;
+      servers = std::move(endpoints);
+      from_cache = false;
+      ++out.referrals;
+      continue;
+    }
+
+    // CNAME restart: accumulate the link, chase the target from the
+    // closest cached zone (or the roots).
+    if (qtype != RRType::CNAME && response.header.rcode == Rcode::NoError) {
+      const ResourceRecord* link = nullptr;
+      bool has_qtype = false;
+      for (const auto& rr : response.answers) {
+        if (!(rr.name == current)) continue;
+        if (rr.type == RRType::CNAME) link = &rr;
+        if (rr.type == qtype) has_qtype = true;
+      }
+      if (link != nullptr && !has_qtype) {
+        if (++cnames > options_.max_cname) return fail("CNAME chain too long");
+        const auto* cname = std::get_if<dns::CnameData>(&link->rdata);
+        if (cname == nullptr) return fail("malformed CNAME rdata");
+        cname_chain.push_back(*link);
+        current = cname->target;
+        zone = Name{};
+        servers = roots_;
+        from_cache = false;
+        if (auto hit = cache_.best_for(current)) {
+          zone = hit->zone;
+          servers = std::move(hit->servers);
+          from_cache = true;
+        }
+        continue;
+      }
+    }
+
+    // Terminal: authoritative answer, NODATA or NXDOMAIN. Prepend the
+    // CNAME chain so the caller sees the full resolution story.
+    out.response = response;
+    out.response.answers.insert(out.response.answers.begin(), cname_chain.begin(),
+                                cname_chain.end());
+    return out;
+  }
+  return fail("referral limit (" + std::to_string(options_.max_referrals) + ") exceeded for " +
+              qname.to_string());
+}
+
+}  // namespace sns::federation

@@ -1,0 +1,130 @@
+// resolver.hpp — live iterative resolution through the .loc fabric.
+//
+// The simulator's iterative resolver (src/resolver/) walks delegation
+// chains over simulated links; this is its real-socket twin, built on
+// the blocking transport client. Starting from one or more root
+// endpoints it follows referrals — an authoritative server that does
+// not own the deepest zone for a qname answers with the NS RRset of
+// the cut plus glue — until an authoritative answer (positive,
+// NODATA or NXDOMAIN) arrives, restarting through CNAMEs.
+//
+// Two paper-motivated twists over a textbook walker:
+//
+//   referral racing   every wave queries ALL candidate nameservers of
+//                     the current zone concurrently from one poll()
+//                     loop and takes the first well-formed answer —
+//                     an AR client cares about tail latency, and edge
+//                     nameservers are deliberately redundant.
+//   referral cache    zone → nameserver endpoints, so the second
+//                     query for a building does not start at the
+//                     country root. best_for() picks the deepest
+//                     cached ancestor of the qname.
+//
+// Glue carries addresses but no ports, so a fabric that does not own
+// port 53 (every test and bench here) shares one port across distinct
+// loopback addresses; `glue_port` is that shared port. sns-dig +trace
+// defaults it to the port of the server it was aimed at.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "dns/message.hpp"
+#include "transport/client.hpp"
+#include "transport/socket.hpp"
+
+namespace sns::federation {
+
+struct ResolveOptions {
+  transport::QueryOptions query;  // per-wave timeout/attempts/EDNS
+  /// Delegation hops before giving up (loop/retry safety net).
+  int max_referrals = 16;
+  /// CNAME restarts before declaring a loop.
+  int max_cname = 8;
+  /// Port assumed for nameservers learned from A glue (see header).
+  std::uint16_t glue_port = 53;
+};
+
+/// One step of the descent, reported to the trace callback as it
+/// happens (sns-dig +trace renders these).
+struct TraceHop {
+  dns::Name zone;                             // zone the wave targeted
+  std::vector<transport::Endpoint> servers;   // raced candidates
+  transport::Endpoint winner;                 // first to answer
+  bool from_cache = false;                    // candidates came from the referral cache
+  bool referral = false;                      // answer was a referral (descent continues)
+  dns::Message response;
+  std::chrono::microseconds rtt{0};
+};
+using TraceFn = std::function<void(const TraceHop&)>;
+
+/// zone → nameserver endpoints learned from referrals.
+class ReferralCache {
+ public:
+  void insert(const dns::Name& zone, std::vector<transport::Endpoint> servers);
+
+  struct Hit {
+    dns::Name zone;
+    std::vector<transport::Endpoint> servers;
+  };
+  /// Deepest cached zone that is an ancestor-or-self of `qname`.
+  [[nodiscard]] std::optional<Hit> best_for(const dns::Name& qname) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return by_zone_.size(); }
+  void clear() { by_zone_.clear(); }
+
+ private:
+  std::map<dns::Name, std::vector<transport::Endpoint>> by_zone_;
+};
+
+struct IterativeAnswer {
+  dns::Message response;  // final authoritative answer (CNAME chain prepended)
+  int referrals = 0;      // delegation hops followed
+  int waves = 0;          // query waves sent (≥ referrals + 1)
+  int raced = 0;          // total candidate servers queried across waves
+  bool started_from_cache = false;
+};
+
+/// Not thread-safe: one client (and its cache) per resolving thread.
+class IterativeClient {
+ public:
+  explicit IterativeClient(std::vector<transport::Endpoint> roots, ResolveOptions options = {});
+
+  util::Result<IterativeAnswer> resolve(const dns::Name& qname, dns::RRType qtype,
+                                        const TraceFn& trace = nullptr);
+
+  [[nodiscard]] ReferralCache& cache() noexcept { return cache_; }
+
+ private:
+  struct Wave {
+    dns::Message response;
+    transport::Endpoint winner;
+    int raced = 0;
+  };
+  /// One racing wave: query every server concurrently over UDP, first
+  /// well-formed id-matched answer wins; TC=1 retries the winner over
+  /// TCP. Fails only when every server stayed silent for every attempt.
+  util::Result<Wave> race(const std::vector<transport::Endpoint>& servers,
+                          const dns::Message& query);
+  /// Candidate endpoints for a referral's NS set: A glue first,
+  /// glueless targets resolved recursively within `depth_budget`.
+  std::vector<transport::Endpoint> referral_endpoints(const dns::Message& response,
+                                                      int depth_budget);
+
+  util::Result<IterativeAnswer> resolve_impl(const dns::Name& qname, dns::RRType qtype,
+                                             const TraceFn& trace, int depth_budget);
+
+  std::vector<transport::Endpoint> roots_;
+  ResolveOptions options_;
+  ReferralCache cache_;
+  std::uint16_t next_id_;
+};
+
+/// The referral shape: no answers, NOERROR, non-authoritative, NS
+/// records in the authority section. Exposed for tests.
+[[nodiscard]] bool is_referral(const dns::Message& response);
+
+}  // namespace sns::federation

@@ -1,0 +1,65 @@
+#include "federation/zone_dir.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "dns/master.hpp"
+
+namespace sns::federation {
+
+using util::fail;
+using util::Result;
+
+Result<server::ZoneViewPtr> load_zone_file(const std::string& path, const dns::Name& origin) {
+  std::ifstream in(path);
+  if (!in) return fail("cannot read zone file " + path);
+  std::ostringstream text;
+  text << in.rdbuf();
+
+  auto records = dns::parse_master_file(text.str(), origin);
+  if (!records.ok()) return fail(path + ": " + records.error().message);
+
+  const dns::ResourceRecord* soa = nullptr;
+  for (const auto& rr : records.value())
+    if (rr.type == dns::RRType::SOA) {
+      soa = &rr;
+      break;
+    }
+  if (soa == nullptr) return fail(path + ": zone file has no SOA record");
+
+  auto built = server::build_zone_view(soa->name, std::move(records).value());
+  if (!built.ok()) return fail(path + ": " + built.error().message);
+  return built;
+}
+
+Result<std::vector<server::ZoneViewPtr>> load_zone_dir(const std::string& dir,
+                                                       const dns::Name& origin) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  std::vector<std::string> paths;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    auto ext = entry.path().extension().string();
+    if (ext == ".loc" || ext == ".zone") paths.push_back(entry.path().string());
+  }
+  if (ec) return fail("cannot read zone directory " + dir + ": " + ec.message());
+  std::sort(paths.begin(), paths.end());
+  if (paths.empty()) return fail("no *.loc or *.zone files in " + dir);
+
+  std::vector<server::ZoneViewPtr> zones;
+  zones.reserve(paths.size());
+  for (const auto& path : paths) {
+    auto view = load_zone_file(path, origin);
+    if (!view.ok()) return view.error();
+    for (const auto& existing : zones)
+      if (existing->apex() == view.value()->apex())
+        return fail(path + ": duplicate apex " + view.value()->apex().to_string());
+    zones.push_back(std::move(view).value());
+  }
+  return zones;
+}
+
+}  // namespace sns::federation

@@ -1,0 +1,32 @@
+// zone_dir.hpp — master-file loading for a federated zone set.
+//
+// A federated snsd serves a *directory* of `.loc` master files — one
+// file per zone, apexes nested to taste (country.loc containing a
+// delegation, city zones below it, and so on). The engine's
+// deepest-apex matching does the rest: queries land in the most
+// specific zone present, and names below a delegation cut in a parent
+// zone come back as referrals when the child zone lives elsewhere.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dns/name.hpp"
+#include "server/zone.hpp"
+
+namespace sns::federation {
+
+/// Parse one master file into an immutable view; the apex is the SOA
+/// owner (after `origin` is applied as the default $ORIGIN).
+util::Result<server::ZoneViewPtr> load_zone_file(const std::string& path,
+                                                 const dns::Name& origin);
+
+/// Load every `*.loc` / `*.zone` file under `dir` (sorted by filename
+/// for deterministic ordering). Fails on an unreadable directory, any
+/// unparsable file (naming the file), a duplicate apex, or an empty
+/// zone set — a server with nothing to serve is a deployment error,
+/// not a valid state.
+util::Result<std::vector<server::ZoneViewPtr>> load_zone_dir(const std::string& dir,
+                                                             const dns::Name& origin);
+
+}  // namespace sns::federation

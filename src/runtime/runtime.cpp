@@ -3,6 +3,7 @@
 #include <chrono>
 #include <thread>
 
+#include "federation/ixfr.hpp"
 #include "obs/json.hpp"
 #include "spatial/area.hpp"
 #include "spatial/spatial_view.hpp"
@@ -58,6 +59,10 @@ util::Status ServerRuntime::start(const transport::Endpoint& at,
 }
 
 std::uint64_t ServerRuntime::publish(std::vector<server::ZoneViewPtr> zones) {
+  // A wholesale replacement has no commit log, so no delta can bridge
+  // the old and new zone sets: drop the journals and let secondaries
+  // behind the new serials take one full transfer each.
+  journals_.clear();
   return store_.publish(make_snapshot(std::move(zones)));
 }
 
@@ -69,7 +74,8 @@ std::shared_ptr<ZoneSnapshot> ServerRuntime::make_snapshot(
   // visible to any reader — is what lets serving-time hits skip
   // decode/engine/encode entirely without a single lock (DESIGN.md §12).
   if (options_.answer_cache) snap->answer_cache = AnswerCache::build(snap->zones);
-  if (options_.spatial) snap->spatial = spatial::SpatialView::build(snap->zones);
+  if (options_.spatial)
+    snap->spatial = spatial::SpatialView::build(snap->zones, options_.spatial_backend);
   return snap;
 }
 
@@ -98,7 +104,7 @@ std::shared_ptr<ZoneSnapshot> ServerRuntime::make_successor(
   if (options_.spatial) {
     if (full_rebuild || parent.spatial == nullptr) {
       runtime_metrics_.counter("runtime.spatial.rebuild_full").add();
-      snap->spatial = spatial::SpatialView::build(snap->zones);
+      snap->spatial = spatial::SpatialView::build(snap->zones, options_.spatial_backend);
     } else {
       // SpatialView::rebuild itself compacts to a full build when the
       // overlay outgrows its cap; that still counts as incremental here
@@ -129,7 +135,15 @@ transport::DnsHandler ServerRuntime::make_handler(Worker& worker) {
   auto& area_empty = worker.metrics().counter("spatial.query.empty");
   auto& area_formerr = worker.metrics().counter("spatial.query.formerr");
   auto& area_latency = worker.metrics().histogram("spatial.query.latency_us");
-  return [this, shard, &worker, &area_hit, &area_empty, &area_formerr, &area_latency](
+  // Federation counters, same shard-owned discipline: transfer serving
+  // outcomes plus the RFC 8767 stale-answer tally (DESIGN.md §15).
+  auto& xfer_uptodate = worker.metrics().counter("federation.transfer.uptodate");
+  auto& xfer_ixfr = worker.metrics().counter("federation.transfer.ixfr");
+  auto& xfer_axfr = worker.metrics().counter("federation.transfer.axfr");
+  auto& xfer_refused = worker.metrics().counter("federation.transfer.refused");
+  auto& stale_serves = worker.metrics().counter("federation.stale_serves");
+  return [this, shard, &worker, &area_hit, &area_empty, &area_formerr, &area_latency,
+          &xfer_uptodate, &xfer_ixfr, &xfer_axfr, &xfer_refused, &stale_serves](
              const dns::Message& query, const transport::Endpoint&, transport::Via) {
     // One atomic load per query; the engine is rebuilt only when the
     // snapshot actually changed (reload/update), which it almost never
@@ -144,6 +158,20 @@ transport::DnsHandler ServerRuntime::make_handler(Worker& worker) {
     // deployments would map source addresses to richer contexts here.
     server::ClientContext ctx;
     if (query.header.opcode == dns::Opcode::Update) return apply_update(query, ctx);
+    // IXFR/AXFR questions are answered from the snapshot plus the
+    // delta journals, ahead of the engine (whose lookup algorithm has
+    // no notion of a transfer question). Over UDP a big answer simply
+    // truncates and the secondary retries over TCP, like any response.
+    if (options_.transfers && federation::is_transfer_query(query)) {
+      auto answer = federation::serve_transfer_query(query, shard->snap->zones, &journals_);
+      switch (answer.kind) {
+        case federation::TransferKind::UpToDate: xfer_uptodate.add(); break;
+        case federation::TransferKind::Incremental: xfer_ixfr.add(); break;
+        case federation::TransferKind::Full: xfer_axfr.add(); break;
+        case federation::TransferKind::Refused: xfer_refused.add(); break;
+      }
+      return answer.response;
+    }
     // Reverse geodetic queries are answered straight from the
     // snapshot's spatial index — the engine never sees them, but the
     // response flows through the ordinary truncation/TCP-retry path.
@@ -159,9 +187,14 @@ transport::DnsHandler ServerRuntime::make_handler(Worker& worker) {
       } else if (response.header.rcode == dns::Rcode::NoError) {
         (response.answers.empty() ? area_empty : area_hit).add();
       }
+      if (serving_stale() && response.header.rcode == dns::Rcode::NoError) stale_serves.add();
       return response;
     }
-    return shard->engine->handle(query, ctx);
+    auto response = shard->engine->handle(query, ctx);
+    // RFC 8767 accounting: while the edge's mirror is past expiry,
+    // every successful answer is by definition served from stale data.
+    if (serving_stale() && response.header.rcode == dns::Rcode::NoError) stale_serves.add();
+    return response;
   };
 }
 
@@ -173,11 +206,16 @@ transport::RawDnsHandler ServerRuntime::make_raw_handler(Worker& worker) {
   // counters visible in fleet dumps from the first SIGUSR1 on.
   auto& hits = worker.metrics().counter("runtime.answer_cache.hit");
   auto& misses = worker.metrics().counter("runtime.answer_cache.miss");
-  return [this, &hits, &misses](std::span<const std::uint8_t> wire, const transport::Endpoint&,
-                                transport::Via, util::Bytes& reply) {
+  auto& stale_serves = worker.metrics().counter("federation.stale_serves");
+  return [this, &hits, &misses, &stale_serves](std::span<const std::uint8_t> wire,
+                                               const transport::Endpoint&, transport::Via,
+                                               util::Bytes& reply) {
     auto snap = store_.acquire();
     if (snap->answer_cache != nullptr && snap->answer_cache->try_answer(wire, reply)) {
       hits.add();
+      // Cache hits are positive answers by construction; during a
+      // parent partition they are stale ones (RFC 8767 tally).
+      if (serving_stale()) stale_serves.add();
       return true;
     }
     // Misses include every datagram the fast path cannot prove
@@ -234,23 +272,50 @@ dns::Message ServerRuntime::apply_update(const dns::Message& query,
       return nullptr;
     }
     runtime_metrics_.counter("runtime.zone.update").add();
-
-    std::vector<server::ZoneViewPtr> new_zones;
-    new_zones.reserve(facades.size());
-    std::vector<dns::Name> touched;
-    bool full_rebuild = false;
-    for (const auto& facade : facades) {
-      auto log = facade->take_commit_log();
-      new_zones.push_back(facade->view());
-      if (log.overflow || log.ns_touched) full_rebuild = true;
-      touched.insert(touched.end(), log.touched.begin(), log.touched.end());
-    }
     // The successor's answer cache is sealed before the publish below
     // makes it visible — a reader never pairs new zones with the old
     // cache or vice versa.
-    return make_successor(*cur, std::move(new_zones), touched, full_rebuild);
+    return successor_from_facades(*cur, facades);
   });
   return response;
+}
+
+SnapshotStore<ZoneSnapshot>::Ptr ServerRuntime::successor_from_facades(
+    const ZoneSnapshot& parent, const std::vector<std::shared_ptr<server::Zone>>& facades) {
+  std::vector<server::ZoneViewPtr> new_zones;
+  new_zones.reserve(facades.size());
+  std::vector<dns::Name> touched;
+  bool full_rebuild = false;
+  for (std::size_t i = 0; i < facades.size(); ++i) {
+    auto log = facades[i]->take_commit_log();
+    new_zones.push_back(facades[i]->view());
+    if (log.overflow || log.ns_touched) full_rebuild = true;
+    std::vector<dns::Name> zone_touched(log.touched.begin(), log.touched.end());
+    // Feed the IXFR journal while the old and new views of this zone
+    // are both in hand — the same commit metadata that drives the
+    // incremental cache rebuild IS the RFC 1995 delta (DESIGN.md §15).
+    // An overflowed log voids the journal instead (its enumeration is
+    // incomplete, and a wrong delta is worse than a full transfer).
+    if (options_.transfers && i < parent.zones.size())
+      journals_.record_commit(*parent.zones[i], *new_zones.back(), zone_touched,
+                              log.overflow);
+    touched.insert(touched.end(), zone_touched.begin(), zone_touched.end());
+  }
+  return make_successor(parent, std::move(new_zones), touched, full_rebuild);
+}
+
+std::uint64_t ServerRuntime::commit_zones(
+    const std::function<bool(std::vector<std::shared_ptr<server::Zone>>&)>& fn) {
+  return store_.update([&](const SnapshotStore<ZoneSnapshot>::Ptr& cur)
+                           -> SnapshotStore<ZoneSnapshot>::Ptr {
+    if (cur == nullptr) return nullptr;
+    std::vector<std::shared_ptr<server::Zone>> facades;
+    facades.reserve(cur->zones.size());
+    for (const auto& view : cur->zones)
+      facades.push_back(std::make_shared<server::Zone>(view));
+    if (!fn(facades)) return nullptr;
+    return successor_from_facades(*cur, facades);
+  });
 }
 
 void ServerRuntime::merge_metrics(obs::MetricsRegistry& into) const {

@@ -23,19 +23,19 @@
 // SIGUSR1. See DESIGN.md §10 for the ownership rules.
 #pragma once
 
+#include <atomic>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "federation/journal.hpp"
 #include "runtime/answer_cache.hpp"
 #include "runtime/snapshot.hpp"
 #include "runtime/worker.hpp"
 #include "server/authoritative.hpp"
-
-namespace sns::spatial {
-class SpatialView;
-}
+#include "spatial/spatial_view.hpp"
 
 namespace sns::runtime {
 
@@ -56,6 +56,12 @@ struct RuntimeOptions {
   /// Index every LOC-bearing owner into a per-snapshot SpatialView and
   /// answer AREA (reverse geodetic) queries from it (DESIGN.md §14).
   bool spatial = true;
+  /// Which index structure backs the SpatialView (DESIGN.md §14;
+  /// `snsd --spatial-index` selects it).
+  spatial::SpatialBackend spatial_backend = spatial::SpatialBackend::Hilbert;
+  /// Answer IXFR/AXFR queries from snapshots + delta journals and keep
+  /// a per-zone journal of committed deltas (DESIGN.md §15).
+  bool transfers = true;
 };
 
 /// One immutable generation of serving state. Zones are ZoneViews —
@@ -95,6 +101,28 @@ class ServerRuntime {
   /// path). Readers flip at their next acquire; returns the new
   /// generation.
   std::uint64_t publish(std::vector<server::ZoneViewPtr> zones);
+
+  /// General transactional write path: `fn` runs inside the store's
+  /// writer critical section over throwaway facades of the current
+  /// zones; returning false aborts (the store is untouched). On true,
+  /// a successor snapshot is built from the facades' commit logs —
+  /// incremental cache/index rebuilds when the commits enumerated
+  /// their touched owners, journal deltas appended for IXFR — and
+  /// published. This is how an edge nameserver lands transfer deltas;
+  /// RFC 2136 updates ride the same tail internally. Returns the
+  /// resulting generation.
+  std::uint64_t commit_zones(
+      const std::function<bool(std::vector<std::shared_ptr<server::Zone>>&)>& fn);
+
+  /// RFC 8767 flag: an edge nameserver sets this while any mirrored
+  /// zone is past its expiry horizon; every successful answer served
+  /// meanwhile is counted as federation.stale_serves.
+  void set_serving_stale(bool stale) noexcept {
+    serving_stale_.store(stale, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool serving_stale() const noexcept {
+    return serving_stale_.load(std::memory_order_relaxed);
+  }
 
   [[nodiscard]] std::shared_ptr<const ZoneSnapshot> snapshot() const { return store_.acquire(); }
   [[nodiscard]] std::uint64_t generation() const noexcept { return store_.generation(); }
@@ -147,6 +175,12 @@ class ServerRuntime {
   [[nodiscard]] std::unique_ptr<server::AuthoritativeServer> build_engine(
       const ZoneSnapshot& snap, obs::MetricsRegistry* metrics) const;
   dns::Message apply_update(const dns::Message& query, const server::ClientContext& ctx);
+  /// Shared tail of apply_update and commit_zones: drain every
+  /// facade's commit log, feed the delta journals, build the successor
+  /// snapshot. Runs inside the store's writer critical section.
+  [[nodiscard]] SnapshotStore<ZoneSnapshot>::Ptr successor_from_facades(
+      const ZoneSnapshot& parent,
+      const std::vector<std::shared_ptr<server::Zone>>& facades);
 
   std::string name_;
   RuntimeOptions options_;
@@ -155,6 +189,13 @@ class ServerRuntime {
   // read-copy-publish — serialise on the store's own writer mutex, so
   // neither path can lose the other's work.
   SnapshotStore<ZoneSnapshot> store_;
+  // IXFR delta history per served apex, appended by the same writers
+  // (inside the store's critical section) and read by worker shards
+  // answering transfer queries; internally locked. A wholesale
+  // publish() voids it — secondaries older than the new snapshot fall
+  // back to a full transfer, which is the RFC 1995 contract.
+  federation::JournalSet journals_;
+  std::atomic<bool> serving_stale_{false};
   std::vector<std::unique_ptr<Worker>> workers_;
   obs::MetricsRegistry runtime_metrics_;
   bool started_ = false;

@@ -1,5 +1,7 @@
 #include "server/transfer.hpp"
 
+#include "dns/serial.hpp"
+
 namespace sns::server {
 
 using dns::Message;
@@ -30,7 +32,9 @@ Message serve_transfer(const Zone& zone, const Message& request) {
   for (const auto& rr : request.authorities)
     if (const auto* soa = std::get_if<dns::SoaData>(&rr.rdata)) have_serial = soa->serial;
   Message response = dns::make_response(request, Rcode::NoError, true);
-  if (have_serial >= zone.serial()) return response;
+  // RFC 1982 comparison, not plain >=: a primary whose serial wrapped
+  // past 2^32 must not tell every secondary it is eternally current.
+  if (dns::serial_ge(have_serial, zone.serial())) return response;
 
   // Full zone, SOA first and repeated last (AXFR framing).
   auto records = zone.all_records();

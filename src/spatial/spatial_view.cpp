@@ -5,6 +5,7 @@
 
 #include "dns/rdata.hpp"
 #include "dns/record.hpp"
+#include "geo/rtree.hpp"
 #include "server/zone.hpp"
 
 namespace sns::spatial {
@@ -17,9 +18,34 @@ bool device_less(const Device& a, const Device& b) {
 
 }  // namespace
 
+const char* to_string(SpatialBackend backend) {
+  switch (backend) {
+    case SpatialBackend::Hilbert:
+      return "hilbert";
+    case SpatialBackend::RTree:
+      return "rtree";
+  }
+  return "hilbert";
+}
+
 const geo::HilbertGrid& SpatialView::grid() {
   static const geo::HilbertGrid kGrid(geo::BoundingBox{-90.0, -180.0, 90.0, 180.0}, 20);
   return kGrid;
+}
+
+const server::ZoneView* SpatialView::owning_zone(const ZoneViews& zones,
+                                                 const dns::Name& owner) {
+  // A federated snapshot can hold nested zones (parent plus delegated
+  // children); the one that answers a query for `owner` is the deepest
+  // covering apex, so that is the one whose lookup gets to decide
+  // whether the owner is spatially indexed.
+  const server::ZoneView* best = nullptr;
+  for (const auto& zone : zones) {
+    if (!owner.is_subdomain_of(zone->apex())) continue;
+    if (best == nullptr || zone->apex().label_count() > best->apex().label_count())
+      best = zone.get();
+  }
+  return best;
 }
 
 void SpatialView::append_owner_devices(const ZoneViews& zones, const dns::Name& owner,
@@ -28,41 +54,54 @@ void SpatialView::append_owner_devices(const ZoneViews& zones, const dns::Name& 
   // location — looking up the literal "*" owner succeeds without the
   // wildcard flag, so it must be screened out here.
   if (!owner.is_root() && owner.labels().front() == "*") return;
-  for (const auto& zone : zones) {
-    if (!owner.is_subdomain_of(zone->apex())) continue;
-    // Route through the lookup algorithm, not a raw node probe: names
-    // occluded below a delegation cut must not be served spatially
-    // either, and wildcard sources have no fixed location of their own.
-    auto result = zone->lookup(owner, dns::RRType::LOC);
-    if (result.kind != server::ZoneView::Lookup::Kind::Success || result.wildcard) continue;
-    for (const auto& rr : result.records) {
-      const auto* loc = std::get_if<dns::LocData>(&rr.rdata);
-      if (loc == nullptr) continue;
-      Device dev;
-      dev.latitude = loc->latitude_degrees();
-      dev.longitude = loc->longitude_degrees();
-      dev.d = grid().point_to_d(geo::GeoPoint{dev.latitude, dev.longitude, 0.0});
-      dev.name = owner;
-      dev.loc = *loc;
-      out.push_back(std::move(dev));
-    }
-    // The first zone whose apex covers the owner is authoritative for
-    // it (the runtime never loads nested zones into one snapshot).
-    return;
+  const auto* zone = owning_zone(zones, owner);
+  if (zone == nullptr) return;
+  // Route through the lookup algorithm, not a raw node probe: names
+  // occluded below a delegation cut must not be served spatially
+  // either, and wildcard sources have no fixed location of their own.
+  auto result = zone->lookup(owner, dns::RRType::LOC);
+  if (result.kind != server::ZoneView::Lookup::Kind::Success || result.wildcard) return;
+  for (const auto& rr : result.records) {
+    const auto* loc = std::get_if<dns::LocData>(&rr.rdata);
+    if (loc == nullptr) continue;
+    Device dev;
+    dev.latitude = loc->latitude_degrees();
+    dev.longitude = loc->longitude_degrees();
+    dev.d = grid().point_to_d(geo::GeoPoint{dev.latitude, dev.longitude, 0.0});
+    dev.name = owner;
+    dev.loc = *loc;
+    out.push_back(std::move(dev));
   }
 }
 
-std::shared_ptr<const SpatialView> SpatialView::build(const ZoneViews& zones) {
+std::shared_ptr<const SpatialView> SpatialView::build(const ZoneViews& zones,
+                                                      SpatialBackend backend) {
   auto base = std::make_shared<std::vector<Device>>();
   for (const auto& zone : zones) {
     for (const auto& [owner, types] : zone->all_names()) {
       if (std::find(types.begin(), types.end(), dns::RRType::LOC) == types.end()) continue;
+      // Skip owners this zone does not own in the federated sense — a
+      // deeper apex in the same snapshot claims them, and that zone's
+      // own all_names() pass will index them exactly once.
+      const auto* owning = owning_zone(zones, owner);
+      if (owning != zone.get()) continue;
       append_owner_devices(zones, owner, *base);
     }
   }
   std::sort(base->begin(), base->end(), device_less);
   auto view = std::make_shared<SpatialView>();
   view->live_ = base->size();
+  view->backend_ = backend;
+  if (backend == SpatialBackend::RTree) {
+    std::vector<std::pair<geo::EntryId, geo::GeoPoint>> points;
+    points.reserve(base->size());
+    for (std::size_t i = 0; i < base->size(); ++i)
+      points.emplace_back(static_cast<geo::EntryId>(i),
+                          geo::GeoPoint{(*base)[i].latitude, (*base)[i].longitude, 0.0});
+    auto tree = std::make_shared<geo::RTree>();
+    tree->bulk_load(points);
+    view->rtree_ = std::move(tree);
+  }
   view->base_ = std::move(base);
   return view;
 }
@@ -75,6 +114,8 @@ std::shared_ptr<const SpatialView> SpatialView::rebuild(const SpatialView& paren
   view->base_ = parent.base_;
   view->delta_ = parent.delta_;
   view->dead_ = parent.dead_;
+  view->backend_ = parent.backend_;
+  view->rtree_ = parent.rtree_;  // entry ids index the shared base_
 
   std::vector<Device> fresh;
   for (const auto& owner : touched) {
@@ -82,11 +123,9 @@ std::shared_ptr<const SpatialView> SpatialView::rebuild(const SpatialView& paren
     auto key = std::string(owner.packed());
     std::erase_if(view->delta_, [&](const Device& dev) { return dev.name == owner; });
     bool in_old = false;
-    for (const auto& zone : old_zones) {
-      if (!owner.is_subdomain_of(zone->apex())) continue;
+    if (const auto* zone = owning_zone(old_zones, owner)) {
       auto result = zone->lookup(owner, dns::RRType::LOC);
       in_old = result.kind == server::ZoneView::Lookup::Kind::Success && !result.wildcard;
-      break;
     }
     if (in_old) view->dead_.insert(key);
     // ...then re-derive it from the new views.
@@ -95,7 +134,7 @@ std::shared_ptr<const SpatialView> SpatialView::rebuild(const SpatialView& paren
     for (auto& dev : fresh) view->delta_.push_back(std::move(dev));
   }
 
-  if (view->overlay_size() > kCompactLimit) return build(new_zones);
+  if (view->overlay_size() > kCompactLimit) return build(new_zones, parent.backend_);
 
   std::sort(view->delta_.begin(), view->delta_.end(), device_less);
   view->live_ = view->delta_.size();
@@ -105,8 +144,38 @@ std::shared_ptr<const SpatialView> SpatialView::rebuild(const SpatialView& paren
   return view;
 }
 
+std::size_t SpatialView::query_rtree(const geo::BoundingBox& box, std::size_t limit,
+                                     std::vector<const Device*>& out,
+                                     const dns::Name* scope) const {
+  std::size_t appended = 0;
+  auto admit = [&](const Device& dev, bool check_dead) {
+    if (appended >= limit) return;
+    if (!box.contains(geo::GeoPoint{dev.latitude, dev.longitude, 0.0})) return;
+    if (scope != nullptr && !dev.name.is_subdomain_of(*scope)) return;
+    if (check_dead && dead_.contains(std::string(dev.name.packed()))) return;
+    out.push_back(&dev);
+    ++appended;
+  };
+  if (rtree_ != nullptr && base_ != nullptr) {
+    // Entry ids are base_ indices; sort the hit set so both backends
+    // emit base entries in the same (curve) order.
+    auto ids = rtree_->query(box);
+    std::sort(ids.begin(), ids.end());
+    const bool check_dead = !dead_.empty();
+    for (auto id : ids) {
+      if (id >= base_->size()) continue;
+      admit((*base_)[id], check_dead);
+    }
+  }
+  // The delta overlay is small (bounded by kCompactLimit); a linear
+  // scan beats maintaining a second mutable tree per generation.
+  for (const auto& dev : delta_) admit(dev, false);
+  return appended;
+}
+
 std::size_t SpatialView::query(const geo::BoundingBox& box, std::size_t limit,
                                std::vector<const Device*>& out, const dns::Name* scope) const {
+  if (backend_ == SpatialBackend::RTree) return query_rtree(box, limit, out, scope);
   std::size_t appended = 0;
   const auto intervals = grid().decompose(box);
   auto scan = [&](const std::vector<Device>& devices, bool check_dead) {

@@ -34,8 +34,21 @@
 namespace sns::server {
 class ZoneView;
 }
+namespace sns::geo {
+class RTree;
+}
 
 namespace sns::spatial {
+
+/// Index structure backing a SpatialView. Hilbert is the flat
+/// sorted-array default described above; RTree wraps the same base
+/// device array in an STR-bulk-loaded geo::RTree (BENCH_geo.json shows
+/// it 2–3× faster on point-heavy workloads — ROADMAP 1b). The overlay
+/// discipline (delta + tombstones from commit logs) is identical for
+/// both; only the base-array probe differs.
+enum class SpatialBackend { Hilbert, RTree };
+
+[[nodiscard]] const char* to_string(SpatialBackend backend);
 
 /// One indexed LOC record: the owner (device name), its decoded
 /// coordinates, and the original rdata for the answer section.
@@ -60,7 +73,11 @@ class SpatialView {
   /// Index every LOC-bearing owner the zones' lookup algorithm serves
   /// authoritatively (wildcard sources and names occluded below zone
   /// cuts are skipped, mirroring what a query for the owner would get).
-  [[nodiscard]] static std::shared_ptr<const SpatialView> build(const ZoneViews& zones);
+  /// With nested zones in one snapshot (a federated parent serving its
+  /// children too), each owner is attributed to the deepest covering
+  /// apex — the zone a query for it would actually land in.
+  [[nodiscard]] static std::shared_ptr<const SpatialView> build(
+      const ZoneViews& zones, SpatialBackend backend = SpatialBackend::Hilbert);
 
   /// Incremental successor: share the parent's flat base array, fold
   /// `touched` owners into the delta/tombstone overlay against the new
@@ -93,9 +110,17 @@ class SpatialView {
   /// ever-growing overlay through every query.
   static constexpr std::size_t kCompactLimit = 4096;
 
+  [[nodiscard]] SpatialBackend backend() const noexcept { return backend_; }
+
  private:
   static void append_owner_devices(const ZoneViews& zones, const dns::Name& owner,
                                    std::vector<Device>& out);
+  /// The deepest view whose apex covers `owner` (the zone a query
+  /// would land in), or null.
+  static const server::ZoneView* owning_zone(const ZoneViews& zones, const dns::Name& owner);
+
+  std::size_t query_rtree(const geo::BoundingBox& box, std::size_t limit,
+                          std::vector<const Device*>& out, const dns::Name* scope) const;
 
   // Sorted by (d, then insertion order); base_ is shared across
   // snapshot generations, delta_ is private to this view and small.
@@ -105,6 +130,11 @@ class SpatialView {
   // re-homed; re-homed owners reappear in delta_).
   std::unordered_set<std::string> dead_;
   std::size_t live_ = 0;
+  SpatialBackend backend_ = SpatialBackend::Hilbert;
+  // RTree backend only: entry ids are indices into *base_. Shared
+  // across generations exactly like base_ itself (rebuild() reuses
+  // both and layers the overlay on top).
+  std::shared_ptr<const geo::RTree> rtree_;
 };
 
 }  // namespace sns::spatial

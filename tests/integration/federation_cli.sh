@@ -1,0 +1,159 @@
+#!/bin/sh
+# End-to-end loopback test for the federated .loc fabric (DESIGN.md §15).
+#
+# Builds the three-level tree usa.loc → dc.usa.loc → penn-ave.dc.usa.loc
+# across three snsd processes sharing one port on distinct loopback
+# addresses (glue carries no port, so the fabric shares one):
+#
+#   127.0.0.1  parent: --zone-dir serving usa.loc + dc.usa.loc, the dc
+#              zone delegating penn-ave to the two servers below
+#   127.0.0.2  leaf primary: --zone penn-ave.loc
+#   127.0.0.3  edge: --edge mirrors penn-ave from the primary via IXFR
+#              and serves it stale when the primary dies
+#
+# Then drives sns-dig through the federation paths: a direct referral
+# (NS + glue, no recursion), a full +trace iterative descent from the
+# parent to an authoritative leaf answer, the edge answering from its
+# mirror, and finally the partition story — kill the primary, wait past
+# the edge's expiry horizon, and the edge must keep answering (metrics
+# prove it counted the stale serves) while +trace survives by racing
+# the dead primary against the live edge.
+#
+# usage: federation_cli.sh <snsd> <sns-dig> <data-dir>
+set -u
+
+SNSD=$1
+DIG=$2
+DATA=$3
+
+TMP=$(mktemp -d)
+PARENT_PID=
+LEAF_PID=
+EDGE_PID=
+
+cleanup() {
+  for pid in "$PARENT_PID" "$LEAF_PID" "$EDGE_PID"; do
+    [ -n "$pid" ] && kill "$pid" 2>/dev/null
+  done
+  for pid in "$PARENT_PID" "$LEAF_PID" "$EDGE_PID"; do
+    [ -n "$pid" ] && wait "$pid" 2>/dev/null
+  done
+  rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+fail() {
+  echo "FAIL: $*" >&2
+  exit 1
+}
+
+wait_port() {
+  tries=0
+  while [ ! -s "$1" ]; do
+    tries=$((tries + 1))
+    [ "$tries" -le 100 ] || fail "$2 never wrote its port file"
+    kill -0 "$3" 2>/dev/null || fail "$2 exited during startup"
+    sleep 0.05
+  done
+}
+
+# 1. Parent authority: two nested zones from one --zone-dir, ephemeral
+#    port realised first so the rest of the fabric can share it.
+"$SNSD" --zone-dir "$DATA/parent" --listen 127.0.0.1 --port 0 --threads 2 \
+        --port-file "$TMP/parent.port" &
+PARENT_PID=$!
+wait_port "$TMP/parent.port" parent "$PARENT_PID"
+PORT=$(cat "$TMP/parent.port")
+echo "parent (usa + dc) on 127.0.0.1:$PORT"
+
+"$SNSD" --zone "$DATA/penn-ave.loc" --listen 127.0.0.2 --port "$PORT" --threads 2 \
+        --port-file "$TMP/leaf.port" &
+LEAF_PID=$!
+wait_port "$TMP/leaf.port" leaf "$LEAF_PID"
+
+# 2. The parent answers its deeper zone directly (deepest-apex match).
+OUT=$("$DIG" @127.0.0.1 -p "$PORT" museum.dc.usa.loc LOC +short) ||
+  fail "dc query errored"
+case "$OUT" in
+  *"38 53 30.000 N"*) ;;
+  *) fail "dc LOC answer mismatch: '$OUT'" ;;
+esac
+
+# 3. A name below the penn-ave cut must come back as a referral: no
+#    answers, NS of the cut in authority, glue A records in additional.
+OUT=$("$DIG" @127.0.0.1 -p "$PORT" door.1600.penn-ave.dc.usa.loc DTMF +norecurse) ||
+  fail "referral query errored"
+case "$OUT" in
+  *"penn-ave.dc.usa.loc"*"IN NS"*) ;;
+  *) fail "expected NS referral: $OUT" ;;
+esac
+case "$OUT" in
+  *"127.0.0.2"*) ;;
+  *) fail "expected glue for the leaf primary: $OUT" ;;
+esac
+
+# 4. Full iterative descent: +trace from the parent must follow the
+#    referral and land an authoritative DTMF answer from the leaf.
+OUT=$("$DIG" @127.0.0.1 -p "$PORT" door.1600.penn-ave.dc.usa.loc DTMF +trace) ||
+  fail "+trace errored"
+case "$OUT" in
+  *"[authoritative]"*"42#"*) ;;
+  *) fail "+trace did not reach an authoritative answer: $OUT" ;;
+esac
+case "$OUT" in
+  *"Referrals: 1"*) ;;
+  *) fail "+trace referral count mismatch: $OUT" ;;
+esac
+
+# 5. Edge nameserver: full transfer from the leaf primary, then serve
+#    the mirror on 127.0.0.3. Tight refresh/expiry so step 7 is fast.
+"$SNSD" --edge 127.0.0.2:"$PORT" --mirror penn-ave.dc.usa.loc \
+        --listen 127.0.0.3 --port "$PORT" --threads 2 \
+        --refresh-ms 100 --expire-ms 500 \
+        --port-file "$TMP/edge.port" --metrics-file "$TMP/edge-metrics.json" &
+EDGE_PID=$!
+wait_port "$TMP/edge.port" edge "$EDGE_PID"
+
+OUT=$("$DIG" @127.0.0.3 -p "$PORT" mic.oval-office.1600.penn-ave.dc.usa.loc BDADDR +short) ||
+  fail "edge mirror query errored"
+[ "$OUT" = "01:23:45:67:89:ab" ] || fail "edge mirror answer mismatch: '$OUT'"
+
+# 6. Kill the leaf primary and outwait the edge's expiry horizon.
+kill "$LEAF_PID"
+wait "$LEAF_PID" 2>/dev/null
+LEAF_PID=
+sleep 1
+
+# 7. The partition story: the edge must keep answering from stale data.
+OUT=$("$DIG" @127.0.0.3 -p "$PORT" big.1600.penn-ave.dc.usa.loc TXT +short) ||
+  fail "edge stale query errored"
+case "$OUT" in
+  *"stale-data-beats-no-data"*) ;;
+  *) fail "edge stale answer mismatch: '$OUT'" ;;
+esac
+
+# 8. And the metrics must prove it was a stale serve, not luck.
+kill -USR1 "$EDGE_PID"
+tries=0
+while [ ! -s "$TMP/edge-metrics.json" ]; do
+  tries=$((tries + 1))
+  [ "$tries" -le 100 ] || fail "edge never wrote metrics"
+  sleep 0.05
+done
+grep -q '"federation.stale_zones":1' "$TMP/edge-metrics.json" ||
+  fail "edge metrics missing stale_zones=1"
+grep -Eq '"federation\.stale_serves":[1-9]' "$TMP/edge-metrics.json" ||
+  fail "edge metrics missing stale_serves>0"
+grep -q '"federation.refresh.axfr":1' "$TMP/edge-metrics.json" ||
+  fail "edge should have done exactly one full transfer"
+
+# 9. +trace still resolves: the race finds the live edge behind the
+#    same delegation while the dead primary times out.
+OUT=$("$DIG" @127.0.0.1 -p "$PORT" door.1600.penn-ave.dc.usa.loc DTMF +trace +short \
+      +timeout=500) || fail "+trace through the partition errored"
+case "$OUT" in
+  *"42#"*) ;;
+  *) fail "+trace during partition answer mismatch: '$OUT'" ;;
+esac
+
+echo "PASS: federation CLI integration"

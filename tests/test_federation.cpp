@@ -1,0 +1,264 @@
+// Tests for the federation subsystem (src/federation/): zone-directory
+// loading, referral detection and the referral cache, live iterative
+// resolution through real delegation referrals over loopback sockets,
+// and the IXFR-fed edge nameserver converging on a churning primary
+// then serving stale through a partition (RFC 8767).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "federation/edge.hpp"
+#include "federation/resolver.hpp"
+#include "federation/zone_dir.hpp"
+#include "obs/metrics.hpp"
+#include "runtime/runtime.hpp"
+#include "server/zone.hpp"
+#include "transport/client.hpp"
+
+namespace sns::federation {
+namespace {
+
+using dns::make_a;
+using dns::make_ns;
+using dns::make_soa;
+using dns::make_txt;
+using dns::name_of;
+using dns::Name;
+using dns::RRType;
+using server::ZoneViewPtr;
+
+ZoneViewPtr must_build(server::ZoneBuilder builder) {
+  auto view = std::move(builder).build();
+  EXPECT_TRUE(view.ok());
+  return std::move(view).value();
+}
+
+/// usa.loc apex zone: owns `liberty`, delegates dc to 127.0.0.1.
+ZoneViewPtr usa_zone() {
+  server::ZoneBuilder builder(name_of("usa.loc"));
+  (void)builder.add(make_soa(name_of("usa.loc"), name_of("ns.usa.loc"), 1));
+  (void)builder.add(make_ns(name_of("usa.loc"), name_of("ns.usa.loc")));
+  (void)builder.add(make_a(name_of("ns.usa.loc"), net::Ipv4Addr{{127, 0, 0, 1}}));
+  (void)builder.add(make_txt(name_of("liberty.usa.loc"), {"statue"}));
+  (void)builder.add(make_ns(name_of("dc.usa.loc"), name_of("ns.dc.usa.loc")));
+  (void)builder.add(make_a(name_of("ns.dc.usa.loc"), net::Ipv4Addr{{127, 0, 0, 1}}));
+  return must_build(std::move(builder));
+}
+
+/// dc.usa.loc zone: delegates penn-ave to 127.0.0.2 with glue.
+ZoneViewPtr dc_zone() {
+  server::ZoneBuilder builder(name_of("dc.usa.loc"));
+  (void)builder.add(make_soa(name_of("dc.usa.loc"), name_of("ns.dc.usa.loc"), 1));
+  (void)builder.add(make_ns(name_of("dc.usa.loc"), name_of("ns.dc.usa.loc")));
+  (void)builder.add(make_a(name_of("ns.dc.usa.loc"), net::Ipv4Addr{{127, 0, 0, 1}}));
+  (void)builder.add(make_txt(name_of("museum.dc.usa.loc"), {"air-and-space"}));
+  (void)builder.add(
+      make_ns(name_of("penn-ave.dc.usa.loc"), name_of("ns.penn-ave.dc.usa.loc")));
+  (void)builder.add(
+      make_a(name_of("ns.penn-ave.dc.usa.loc"), net::Ipv4Addr{{127, 0, 0, 2}}));
+  return must_build(std::move(builder));
+}
+
+/// Leaf street zone served by the 127.0.0.2 runtime.
+ZoneViewPtr street_zone() {
+  server::ZoneBuilder builder(name_of("penn-ave.dc.usa.loc"));
+  (void)builder.add(
+      make_soa(name_of("penn-ave.dc.usa.loc"), name_of("ns.penn-ave.dc.usa.loc"), 1));
+  (void)builder.add(
+      make_ns(name_of("penn-ave.dc.usa.loc"), name_of("ns.penn-ave.dc.usa.loc")));
+  (void)builder.add(
+      make_a(name_of("ns.penn-ave.dc.usa.loc"), net::Ipv4Addr{{127, 0, 0, 2}}));
+  (void)builder.add(make_txt(name_of("door.1600.penn-ave.dc.usa.loc"), {"42#"}));
+  return must_build(std::move(builder));
+}
+
+transport::Endpoint loopback(const char* addr, std::uint16_t port) {
+  auto parsed = transport::Endpoint::parse(addr, port);
+  EXPECT_TRUE(parsed.ok());
+  return parsed.value();
+}
+
+TEST(ZoneDir, LoadsSortedZonesAndRejectsDuplicates) {
+  auto dir = std::filesystem::path(::testing::TempDir()) / "zone_dir_test";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  {
+    std::ofstream a(dir / "usa.loc");
+    a << "$ORIGIN usa.loc.\n@ IN SOA ns hostmaster 1 3600 600 86400 60\n"
+         "@ IN NS ns\nns IN A 127.0.0.1\n";
+    std::ofstream b(dir / "dc.zone");
+    b << "$ORIGIN dc.usa.loc.\n@ IN SOA ns hostmaster 1 3600 600 86400 60\n"
+         "@ IN NS ns\nns IN A 127.0.0.1\n";
+    std::ofstream ignored(dir / "README.txt");
+    ignored << "not a zone\n";
+  }
+  auto zones = load_zone_dir(dir.string(), name_of("."));
+  ASSERT_TRUE(zones.ok()) << zones.error().message;
+  ASSERT_EQ(zones.value().size(), 2u);  // README.txt skipped
+  // Sorted by filename: dc.zone before usa.loc.
+  EXPECT_EQ(zones.value()[0]->apex(), name_of("dc.usa.loc"));
+  EXPECT_EQ(zones.value()[1]->apex(), name_of("usa.loc"));
+
+  {
+    std::ofstream dup(dir / "zz-dup.loc");
+    dup << "$ORIGIN usa.loc.\n@ IN SOA ns hostmaster 9 3600 600 86400 60\n";
+  }
+  EXPECT_FALSE(load_zone_dir(dir.string(), name_of(".")).ok());
+
+  auto empty = std::filesystem::path(::testing::TempDir()) / "zone_dir_empty";
+  std::filesystem::remove_all(empty);
+  std::filesystem::create_directories(empty);
+  EXPECT_FALSE(load_zone_dir(empty.string(), name_of(".")).ok());
+  EXPECT_FALSE(load_zone_dir((empty / "missing").string(), name_of(".")).ok());
+}
+
+TEST(ReferralCache, DeepestAncestorWins) {
+  ReferralCache cache;
+  cache.insert(name_of("usa.loc"), {loopback("127.0.0.1", 53)});
+  cache.insert(name_of("dc.usa.loc"), {loopback("127.0.0.2", 53)});
+
+  auto hit = cache.best_for(name_of("door.penn-ave.dc.usa.loc"));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->zone, name_of("dc.usa.loc"));
+
+  hit = cache.best_for(name_of("liberty.usa.loc"));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->zone, name_of("usa.loc"));
+
+  EXPECT_FALSE(cache.best_for(name_of("elsewhere.example")).has_value());
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(Referral, ShapeDetection) {
+  dns::Message msg;
+  msg.header.qr = true;
+  msg.header.aa = false;
+  msg.authorities.push_back(make_ns(name_of("dc.usa.loc"), name_of("ns.dc.usa.loc")));
+  EXPECT_TRUE(is_referral(msg));
+  msg.header.aa = true;  // authoritative negative, not a referral
+  EXPECT_FALSE(is_referral(msg));
+  msg.header.aa = false;
+  msg.answers.push_back(make_txt(name_of("x.dc.usa.loc"), {"hit"}));
+  EXPECT_FALSE(is_referral(msg));
+}
+
+TEST(IterativeLive, ResolvesThroughRealReferralsAndCachesThem) {
+  runtime::RuntimeOptions options;
+  options.threads = 2;
+  runtime::ServerRuntime parent("parent", options);
+  ASSERT_TRUE(parent.start(loopback("127.0.0.1", 0), {usa_zone(), dc_zone()}).ok());
+  const std::uint16_t port = parent.local().port;
+
+  runtime::ServerRuntime leaf("leaf", options);
+  ASSERT_TRUE(leaf.start(loopback("127.0.0.2", port), {street_zone()}).ok());
+
+  ResolveOptions resolve_options;
+  resolve_options.glue_port = port;
+  resolve_options.query.timeout = std::chrono::milliseconds(500);
+  IterativeClient client({parent.local()}, resolve_options);
+
+  std::vector<TraceHop> hops;
+  auto answer = client.resolve(name_of("door.1600.penn-ave.dc.usa.loc"), RRType::TXT,
+                               [&](const TraceHop& hop) { hops.push_back(hop); });
+  ASSERT_TRUE(answer.ok()) << answer.error().message;
+  EXPECT_EQ(answer.value().referrals, 1);
+  EXPECT_FALSE(answer.value().started_from_cache);
+  ASSERT_FALSE(answer.value().response.answers.empty());
+  EXPECT_TRUE(answer.value().response.header.aa);
+  EXPECT_EQ(std::get<dns::TxtData>(answer.value().response.answers.front().rdata).strings[0],
+            "42#");
+  ASSERT_EQ(hops.size(), 2u);
+  EXPECT_TRUE(hops[0].referral);
+  EXPECT_FALSE(hops[1].referral);
+
+  // Second resolution starts from the cached referral: no descent.
+  auto again = client.resolve(name_of("door.1600.penn-ave.dc.usa.loc"), RRType::TXT);
+  ASSERT_TRUE(again.ok()) << again.error().message;
+  EXPECT_TRUE(again.value().started_from_cache);
+  EXPECT_EQ(again.value().referrals, 0);
+
+  // A name the parent owns directly resolves in one authoritative wave.
+  auto direct = client.resolve(name_of("liberty.usa.loc"), RRType::TXT);
+  ASSERT_TRUE(direct.ok()) << direct.error().message;
+  EXPECT_FALSE(direct.value().response.answers.empty());
+
+  leaf.stop();
+  parent.stop();
+}
+
+TEST(EdgeLive, ConvergesViaIxfrThenServesStaleThroughPartition) {
+  runtime::RuntimeOptions options;
+  options.threads = 2;
+  auto primary = std::make_unique<runtime::ServerRuntime>("primary", options);
+  ASSERT_TRUE(primary->start(loopback("127.0.0.1", 0), {street_zone()}).ok());
+  const auto primary_at = primary->local();
+
+  runtime::ServerRuntime edge_runtime("edge", options);
+  EdgeOptions edge_options;
+  edge_options.primary = primary_at;
+  edge_options.zones = {name_of("penn-ave.dc.usa.loc")};
+  edge_options.refresh_interval = std::chrono::milliseconds(50);
+  edge_options.expire_after = std::chrono::milliseconds(400);
+  edge_options.query.timeout = std::chrono::milliseconds(200);
+  EdgeNameserver edge(edge_runtime, edge_options);
+
+  auto views = edge.initial_sync();
+  ASSERT_TRUE(views.ok()) << views.error().message;
+  ASSERT_TRUE(edge_runtime.start(loopback("127.0.0.2", 0), std::move(views).value()).ok());
+  ASSERT_TRUE(edge.start().ok());
+
+  // Churn the primary through its transactional write path — the same
+  // commits RFC 2136 updates ride — and the edge must converge by IXFR.
+  for (int gen = 0; gen < 3; ++gen) {
+    primary->commit_zones([&](std::vector<std::shared_ptr<server::Zone>>& zones) {
+      auto txn = zones[0]->txn();
+      (void)txn.add(
+          make_txt(name_of("lamp" + std::to_string(gen) + ".penn-ave.dc.usa.loc"), {"on"}));
+      (void)zones[0]->commit(std::move(txn));
+      return true;
+    });
+  }
+  const std::uint32_t target = primary->snapshot()->zones[0]->serial();
+  ASSERT_GE(target, 4u);
+
+  auto edge_serial = [&] { return edge_runtime.snapshot()->zones[0]->serial(); };
+  for (int i = 0; i < 100 && edge_serial() != target; ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  ASSERT_EQ(edge_serial(), target) << "edge never converged";
+
+  obs::MetricsRegistry totals;
+  edge_runtime.merge_metrics(totals);
+  EXPECT_EQ(totals.counter_value("federation.refresh.axfr").value_or(0), 1u)
+      << "steady churn must converge by IXFR, not repeated full transfers";
+  EXPECT_GE(totals.counter_value("federation.refresh.ixfr").value_or(0), 1u);
+
+  // Partition: kill the primary, outwait the expiry horizon.
+  primary->stop();
+  primary.reset();
+  for (int i = 0; i < 100 && !edge_runtime.serving_stale(); ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  ASSERT_TRUE(edge_runtime.serving_stale()) << "edge never flagged staleness";
+
+  // The edge still answers — stale beats dark (RFC 8767).
+  auto reply = transport::udp_query(
+      edge_runtime.local(),
+      dns::make_query(99, name_of("door.1600.penn-ave.dc.usa.loc"), RRType::TXT, false), {});
+  ASSERT_TRUE(reply.ok()) << reply.error().message;
+  ASSERT_FALSE(reply.value().answers.empty());
+  EXPECT_EQ(std::get<dns::TxtData>(reply.value().answers.front().rdata).strings[0], "42#");
+
+  obs::MetricsRegistry after;
+  edge_runtime.merge_metrics(after);
+  EXPECT_GE(after.counter_value("federation.stale_serves").value_or(0), 1u);
+
+  edge.stop();
+  edge_runtime.stop();
+}
+
+}  // namespace
+}  // namespace sns::federation

@@ -1,0 +1,252 @@
+// IXFR edge cases (RFC 1995 + RFC 1982): serial-arithmetic wraparound,
+// a delta sequence spanning several commits, journal overflow forcing
+// the AXFR fallback, and byte-equivalence of an IXFR-patched zone with
+// a fresh full-transfer copy.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "dns/serial.hpp"
+#include "federation/ixfr.hpp"
+#include "federation/journal.hpp"
+#include "server/zone.hpp"
+
+namespace sns::federation {
+namespace {
+
+using dns::make_ns;
+using dns::make_soa;
+using dns::make_txt;
+using dns::name_of;
+using dns::Name;
+using dns::RRType;
+using server::Zone;
+
+const Name kApex = name_of("street.loc");
+const Name kNs = name_of("ns.street.loc");
+
+Name sub(const std::string& label) { return name_of(label + ".street.loc"); }
+
+/// Commit `fn`'s staged changes on the primary and feed the journal,
+/// the way the runtime's successor_from_facades does.
+template <typename Fn>
+void commit_and_journal(Zone& primary, JournalSet& journals, Fn&& fn) {
+  auto before = primary.view();
+  auto txn = primary.txn();
+  fn(txn);
+  auto commit = primary.commit(std::move(txn));
+  ASSERT_TRUE(commit.changed);
+  journals.record_commit(*before, *commit.view, commit.touched, false);
+}
+
+/// Canonical wire form of a zone's full record set: sorted, packed
+/// into one message, encoded. Two zones with equal bytes here hold
+/// identical data.
+std::vector<std::uint8_t> canonical_bytes(const Zone& zone) {
+  auto records = zone.all_records();
+  std::sort(records.begin(), records.end(),
+            [](const dns::ResourceRecord& a, const dns::ResourceRecord& b) {
+              if (a.name.packed() != b.name.packed()) return a.name.packed() < b.name.packed();
+              if (a.type != b.type) return a.type < b.type;
+              return dns::rdata_to_string(a.rdata) < dns::rdata_to_string(b.rdata);
+            });
+  dns::Message carrier;
+  carrier.answers = std::move(records);
+  return carrier.encode();
+}
+
+TEST(Rfc1982, WraparoundOrdering) {
+  // Plain integer order...
+  EXPECT_TRUE(dns::serial_lt(1, 2));
+  EXPECT_TRUE(dns::serial_gt(2, 1));
+  // ...until the 32-bit space wraps: 0 is *newer* than 0xFFFFFFFF.
+  EXPECT_TRUE(dns::serial_lt(0xFFFFFFFFu, 0));
+  EXPECT_TRUE(dns::serial_gt(0, 0xFFFFFFFFu));
+  EXPECT_TRUE(dns::serial_lt(0xFFFFFF00u, 5));
+  EXPECT_FALSE(dns::serial_ge(0xFFFFFF00u, 5));
+  // Equality is neither lt nor gt, and ge/le admit it.
+  EXPECT_FALSE(dns::serial_lt(7, 7));
+  EXPECT_TRUE(dns::serial_ge(7, 7));
+  EXPECT_TRUE(dns::serial_le(7, 7));
+}
+
+TEST(Ixfr, WraparoundSecondaryStillGetsTheZone) {
+  // The zone's serial wrapped past 2^32; the secondary still holds a
+  // huge pre-wrap serial. Naive `have >= current` would answer
+  // "up to date" forever — RFC 1982 says the secondary is behind.
+  auto view = server::build_zone_view(
+      kApex, {make_soa(kApex, kNs, 5), make_ns(kApex, kNs),
+              make_txt(sub("door"), {"open"})});
+  ASSERT_TRUE(view.ok());
+  auto answer = serve_transfer_query(make_ixfr_request(1, kApex, 0xFFFFFF00u),
+                                     {view.value()}, nullptr);
+  EXPECT_EQ(answer.kind, TransferKind::Full);
+  EXPECT_GE(answer.response.answers.size(), 3u);
+
+  // And a secondary that *is* current gets the single-SOA answer.
+  answer = serve_transfer_query(make_ixfr_request(2, kApex, 5), {view.value()}, nullptr);
+  EXPECT_EQ(answer.kind, TransferKind::UpToDate);
+  ASSERT_EQ(answer.response.answers.size(), 1u);
+  EXPECT_EQ(answer.response.answers.front().type, RRType::SOA);
+}
+
+TEST(Ixfr, DeltaSpanningMultipleCommits) {
+  Zone primary(kApex, kNs);
+  (void)primary.add(make_txt(sub("door"), {"v1"}));
+  JournalSet journals;
+  auto gen1 = primary.view();  // serial 1
+
+  commit_and_journal(primary, journals, [](server::ZoneTxn& txn) {
+    (void)txn.add(make_txt(sub("lamp"), {"on"}));
+  });  // serial 2
+  commit_and_journal(primary, journals, [](server::ZoneTxn& txn) {
+    ASSERT_EQ(txn.remove_rrset(sub("door"), RRType::TXT), 1u);
+    (void)txn.add(make_txt(sub("door"), {"v2"}));
+  });  // serial 3
+  commit_and_journal(primary, journals, [](server::ZoneTxn& txn) {
+    (void)txn.add(make_txt(sub("cam"), {"rec"}));
+  });  // serial 4
+  ASSERT_EQ(primary.serial(), 4u);
+  EXPECT_EQ(journals.delta_count(kApex), 3u);
+
+  auto answer = serve_transfer_query(make_ixfr_request(3, kApex, 1),
+                                     {primary.view()}, &journals);
+  ASSERT_EQ(answer.kind, TransferKind::Incremental);
+  // RFC 1995 framing: leading SOA(new) … per-delta SOA pairs … SOA(new).
+  const auto& wire = answer.response.answers;
+  ASSERT_GE(wire.size(), 2u);
+  EXPECT_EQ(std::get<dns::SoaData>(wire.front().rdata).serial, 4u);
+  EXPECT_EQ(std::get<dns::SoaData>(wire.back().rdata).serial, 4u);
+
+  // A secondary still at generation 1 patches through all three
+  // deltas in one apply.
+  Zone secondary(kApex, kNs);
+  secondary.replace(gen1);
+  auto outcome = apply_transfer_response(secondary, answer.response);
+  ASSERT_TRUE(outcome.ok()) << outcome.error().message;
+  EXPECT_EQ(outcome.value().kind, ApplyKind::Patched);
+  EXPECT_EQ(secondary.serial(), 4u);
+  EXPECT_EQ(canonical_bytes(secondary), canonical_bytes(primary));
+}
+
+TEST(Ixfr, OverflowedCommitLogForcesAxfrFallback) {
+  Zone primary(kApex, kNs);
+  (void)primary.add(make_txt(sub("door"), {"v1"}));
+  JournalSet journals;
+  auto gen1 = primary.view();
+
+  // A commit whose touched enumeration overflowed: the journal must
+  // drop its history rather than serve a delta it cannot vouch for.
+  auto before = primary.view();
+  auto txn = primary.txn();
+  (void)txn.add(make_txt(sub("lamp"), {"on"}));
+  auto commit = primary.commit(std::move(txn));
+  journals.record_commit(*before, *commit.view, commit.touched, /*overflow=*/true);
+  EXPECT_EQ(journals.delta_count(kApex), 0u);
+
+  auto answer = serve_transfer_query(make_ixfr_request(4, kApex, 1),
+                                     {primary.view()}, &journals);
+  EXPECT_EQ(answer.kind, TransferKind::Full);
+
+  Zone secondary(kApex, kNs);
+  secondary.replace(gen1);
+  auto outcome = apply_transfer_response(secondary, answer.response);
+  ASSERT_TRUE(outcome.ok()) << outcome.error().message;
+  EXPECT_EQ(outcome.value().kind, ApplyKind::Replaced);
+  EXPECT_EQ(canonical_bytes(secondary), canonical_bytes(primary));
+}
+
+TEST(Ixfr, PatchedZoneIsByteIdenticalToFreshFullTransfer) {
+  Zone primary(kApex, kNs);
+  (void)primary.add(make_txt(sub("door"), {"v1"}));
+  (void)primary.add(make_txt(sub("lamp"), {"off"}));
+  JournalSet journals;
+  auto gen1 = primary.view();
+
+  for (int i = 0; i < 6; ++i) {
+    commit_and_journal(primary, journals, [&](server::ZoneTxn& txn) {
+      ASSERT_EQ(txn.remove_rrset(sub("lamp"), RRType::TXT), 1u);
+      (void)txn.add(make_txt(sub("lamp"), {"gen" + std::to_string(i)}));
+      (void)txn.add(make_txt(sub("dev" + std::to_string(i)), {"new"}));
+    });
+  }
+
+  // One secondary catches up by deltas, the other by a full transfer.
+  Zone patched(kApex, kNs);
+  patched.replace(gen1);
+  auto ixfr = serve_transfer_query(make_ixfr_request(5, kApex, patched.serial()),
+                                   {primary.view()}, &journals);
+  ASSERT_EQ(ixfr.kind, TransferKind::Incremental);
+  auto patch_outcome = apply_transfer_response(patched, ixfr.response);
+  ASSERT_TRUE(patch_outcome.ok()) << patch_outcome.error().message;
+  ASSERT_EQ(patch_outcome.value().kind, ApplyKind::Patched);
+
+  Zone fresh(kApex, kNs);
+  auto axfr = serve_transfer_query(make_ixfr_request(6, kApex, 0),
+                                   {primary.view()}, &journals);
+  ASSERT_EQ(axfr.kind, TransferKind::Full);
+  auto fresh_outcome = apply_transfer_response(fresh, axfr.response);
+  ASSERT_TRUE(fresh_outcome.ok()) << fresh_outcome.error().message;
+  ASSERT_EQ(fresh_outcome.value().kind, ApplyKind::Replaced);
+
+  EXPECT_EQ(canonical_bytes(patched), canonical_bytes(fresh));
+  EXPECT_EQ(canonical_bytes(patched), canonical_bytes(primary));
+  EXPECT_EQ(patched.serial(), primary.serial());
+}
+
+TEST(Journal, ChainGapClearsHistory) {
+  ZoneJournal journal;
+  Delta first;
+  first.from_serial = 1;
+  first.to_serial = 2;
+  journal.append(first);
+  EXPECT_EQ(journal.size(), 1u);
+  // A delta that does not chain onto the last one means generations
+  // were missed — splicing across the hole would corrupt secondaries.
+  Delta gapped;
+  gapped.from_serial = 5;
+  gapped.to_serial = 6;
+  journal.append(gapped);
+  EXPECT_EQ(journal.size(), 1u);
+  EXPECT_FALSE(journal.collect(1, 6).has_value());
+  ASSERT_TRUE(journal.collect(5, 6).has_value());
+}
+
+TEST(Journal, BudgetDropsOldestDeltas) {
+  ZoneJournal journal(/*record_budget=*/10);
+  for (std::uint32_t s = 1; s <= 10; ++s) {
+    Delta delta;
+    delta.from_serial = s;
+    delta.to_serial = s + 1;
+    delta.added.push_back(make_txt(sub("dev"), {"gen"}));
+    journal.append(delta);  // 3 wire records each
+  }
+  EXPECT_LE(journal.record_load(), 10u);
+  // The oldest horizon is gone, the newest still collectable.
+  EXPECT_FALSE(journal.collect(1, 11).has_value());
+  ASSERT_TRUE(journal.collect(10, 11).has_value());
+}
+
+TEST(Ixfr, ApplyRejectsDeltaContradictingLocalState) {
+  Zone secondary(kApex, kNs);
+  (void)secondary.add(make_txt(sub("door"), {"v1"}));  // serial 1
+
+  // Forge an IXFR that claims to delete a record the zone never held.
+  dns::Message response;
+  response.header.qr = true;
+  response.questions.push_back(dns::Question{kApex, kIxfrType, dns::RRClass::IN});
+  response.answers.push_back(make_soa(kApex, kNs, 2));
+  response.answers.push_back(make_soa(kApex, kNs, 1));
+  response.answers.push_back(make_txt(sub("ghost"), {"never-existed"}));
+  response.answers.push_back(make_soa(kApex, kNs, 2));
+  response.answers.push_back(make_soa(kApex, kNs, 2));
+
+  auto outcome = apply_transfer_response(secondary, response);
+  EXPECT_FALSE(outcome.ok());
+  EXPECT_EQ(secondary.serial(), 1u);  // untouched
+}
+
+}  // namespace
+}  // namespace sns::federation

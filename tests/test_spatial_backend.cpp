@@ -1,0 +1,171 @@
+// Tests for the pluggable SpatialView index backend (snsd
+// --spatial-index): the STR-bulk-loaded R-tree must answer every query
+// the Hilbert flat array answers, identically, through build, the
+// incremental rebuild's overlay, and the compaction fallback — plus
+// the federated deepest-apex attribution rule that keeps owners in
+// nested zones indexed exactly once.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "dns/loc.hpp"
+#include "server/zone.hpp"
+#include "spatial/spatial_view.hpp"
+#include "util/rng.hpp"
+
+namespace sns::spatial {
+namespace {
+
+using dns::make_loc;
+using dns::make_ns;
+using dns::make_soa;
+using dns::name_of;
+using dns::Name;
+using dns::RRType;
+using geo::BoundingBox;
+using server::ZoneTxn;
+using server::ZoneViewPtr;
+
+const Name kApex = name_of("city.loc");
+
+Name sub(const std::string& label) { return name_of(label + ".city.loc"); }
+
+dns::LocData loc_at(double lat, double lon) {
+  auto loc = dns::LocData::from_degrees(lat, lon);
+  EXPECT_TRUE(loc.ok());
+  return loc.value();
+}
+
+ZoneViewPtr city_view(int n, std::uint64_t seed = 42) {
+  util::Rng rng(seed);
+  server::ZoneBuilder builder(kApex);
+  (void)builder.add(make_soa(kApex, sub("ns"), 1));
+  (void)builder.add(make_ns(kApex, sub("ns")));
+  for (int i = 0; i < n; ++i) {
+    double lat = 38.88 + rng.next_double(0, 0.04);
+    double lon = -77.06 + rng.next_double(0, 0.04);
+    (void)builder.add(make_loc(sub("dev" + std::to_string(i)), loc_at(lat, lon)));
+  }
+  auto view = std::move(builder).build();
+  EXPECT_TRUE(view.ok());
+  return std::move(view).value();
+}
+
+std::set<std::string> names_in(const SpatialView& view, const BoundingBox& box) {
+  std::vector<const Device*> hits;
+  view.query(box, 10'000, hits);
+  std::set<std::string> names;
+  for (const auto* dev : hits) names.insert(dev->name.to_string());
+  return names;
+}
+
+TEST(SpatialBackend, ToStringNames) {
+  EXPECT_STREQ(to_string(SpatialBackend::Hilbert), "hilbert");
+  EXPECT_STREQ(to_string(SpatialBackend::RTree), "rtree");
+}
+
+TEST(SpatialBackend, RtreeMatchesHilbertOnRandomBoxes) {
+  auto zone = city_view(300);
+  auto hilbert = SpatialView::build({zone}, SpatialBackend::Hilbert);
+  auto rtree = SpatialView::build({zone}, SpatialBackend::RTree);
+  EXPECT_EQ(rtree->backend(), SpatialBackend::RTree);
+  EXPECT_EQ(rtree->size(), hilbert->size());
+
+  util::Rng rng(7);
+  for (int i = 0; i < 50; ++i) {
+    double lat = 38.88 + rng.next_double(0, 0.03);
+    double lon = -77.06 + rng.next_double(0, 0.03);
+    BoundingBox box{lat, lon, lat + rng.next_double(0.001, 0.01),
+                    lon + rng.next_double(0.001, 0.01)};
+    EXPECT_EQ(names_in(*rtree, box), names_in(*hilbert, box)) << "box " << i;
+  }
+}
+
+TEST(SpatialBackend, RtreeRespectsScopeAndLimit) {
+  auto zone = city_view(100);
+  auto view = SpatialView::build({zone}, SpatialBackend::RTree);
+  BoundingBox everything{38.0, -78.0, 39.5, -76.0};
+
+  std::vector<const Device*> hits;
+  EXPECT_EQ(view->query(everything, 10, hits), 10u);
+
+  hits.clear();
+  Name scope = sub("dev5");
+  view->query(everything, 10'000, hits, &scope);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0]->name, sub("dev5"));
+}
+
+TEST(SpatialBackend, RebuildOverlayKeepsBackendAndMatchesFreshBuild) {
+  auto base = city_view(120);
+  auto parent = SpatialView::build({base}, SpatialBackend::RTree);
+
+  // Re-home one device and add a brand-new one via the txn API.
+  ZoneTxn txn(base);
+  ASSERT_EQ(txn.remove_rrset(sub("dev3"), RRType::LOC), 1u);
+  ASSERT_TRUE(txn.add(make_loc(sub("dev3"), loc_at(38.9000, -77.0500))).ok());
+  ASSERT_TRUE(txn.add(make_loc(sub("newcomer"), loc_at(38.9010, -77.0510))).ok());
+  auto commit = std::move(txn).commit();
+  ASSERT_TRUE(commit.changed);
+
+  auto rebuilt = SpatialView::rebuild(*parent, {base}, {commit.view}, commit.touched);
+  EXPECT_EQ(rebuilt->backend(), SpatialBackend::RTree);
+  EXPECT_GT(rebuilt->overlay_size(), 0u);
+
+  auto fresh = SpatialView::build({commit.view}, SpatialBackend::RTree);
+  BoundingBox everything{38.0, -78.0, 39.5, -76.0};
+  EXPECT_EQ(names_in(*rebuilt, everything), names_in(*fresh, everything));
+  BoundingBox around{38.8995, -77.0515, 38.9015, -77.0495};
+  auto hits = names_in(*rebuilt, around);
+  EXPECT_TRUE(hits.contains("dev3.city.loc"));
+  EXPECT_TRUE(hits.contains("newcomer.city.loc"));
+}
+
+TEST(SpatialBackend, NestedZonesIndexDeepestApexOnce) {
+  // Parent city zone delegating (and, federated, co-hosting) a street
+  // zone: the street's devices must be attributed to the street zone
+  // and indexed exactly once even though both apexes cover them.
+  server::ZoneBuilder parent_builder(kApex);
+  (void)parent_builder.add(make_soa(kApex, sub("ns"), 1));
+  (void)parent_builder.add(make_ns(kApex, sub("ns")));
+  (void)parent_builder.add(make_loc(sub("plaza"), loc_at(38.9, -77.04)));
+  (void)parent_builder.add(make_ns(sub("street"), sub("ns.street")));
+  auto parent_zone = std::move(parent_builder).build();
+  ASSERT_TRUE(parent_zone.ok());
+
+  Name street_apex = sub("street");
+  server::ZoneBuilder street_builder(street_apex);
+  (void)street_builder.add(make_soa(street_apex, sub("ns.street"), 1));
+  (void)street_builder.add(make_ns(street_apex, sub("ns.street")));
+  (void)street_builder.add(make_loc(sub("cam.street"), loc_at(38.901, -77.041)));
+  auto street_zone = std::move(street_builder).build();
+  ASSERT_TRUE(street_zone.ok());
+
+  for (auto backend : {SpatialBackend::Hilbert, SpatialBackend::RTree}) {
+    auto view = SpatialView::build({parent_zone.value(), street_zone.value()}, backend);
+    // plaza (parent) + cam.street (child) — cam.street once, not twice,
+    // and not suppressed by the parent's delegation cut.
+    EXPECT_EQ(view->size(), 2u) << to_string(backend);
+    BoundingBox everything{38.0, -78.0, 39.5, -76.0};
+    auto names = names_in(*view, everything);
+    EXPECT_TRUE(names.contains("plaza.city.loc")) << to_string(backend);
+    EXPECT_TRUE(names.contains("cam.street.city.loc")) << to_string(backend);
+  }
+}
+
+TEST(SpatialBackend, EmptyZoneBuildsEmptyRtree) {
+  server::ZoneBuilder builder(kApex);
+  (void)builder.add(make_soa(kApex, sub("ns"), 1));
+  auto zone = std::move(builder).build();
+  ASSERT_TRUE(zone.ok());
+  auto view = SpatialView::build({zone.value()}, SpatialBackend::RTree);
+  EXPECT_EQ(view->size(), 0u);
+  std::vector<const Device*> hits;
+  EXPECT_EQ(view->query(BoundingBox{-90.0, -180.0, 90.0, 180.0}, 100, hits), 0u);
+}
+
+}  // namespace
+}  // namespace sns::spatial

@@ -15,6 +15,11 @@
 //   sns-dig @127.0.0.1 -p 5353 big.office.loc TXT +bufsize=512
 //   sns-dig @127.0.0.1 -p 5353 office.loc SOA +tcp
 //   sns-dig @127.0.0.1 -p 5353 city.loc +area=38.88,-77.05,38.92,-77.00
+//
+// `+trace` resolves iteratively instead: the @server is treated as the
+// fabric root, referrals are followed (racing every candidate
+// nameserver per wave) and each hop is printed as it happens — the
+// live twin of `dig +trace` for a federated .loc deployment.
 
 #include <chrono>
 #include <cstdio>
@@ -23,6 +28,7 @@
 
 #include "dns/message.hpp"
 #include "dns/rdata.hpp"
+#include "federation/resolver.hpp"
 #include "spatial/area.hpp"
 #include "transport/client.hpp"
 
@@ -41,7 +47,9 @@ int usage(const char* argv0) {
                "  +timeout=MS    per-attempt timeout in milliseconds (default 2000)\n"
                "  +tries=N       UDP attempts (default 2)\n"
                "  +area=S,W,N,E  reverse geodetic query: devices under `name` inside\n"
-               "                 the box minlat,minlon,maxlat,maxlon (type is ignored)\n",
+               "                 the box minlat,minlon,maxlat,maxlon (type is ignored)\n"
+               "  +trace         iterate from @server as the fabric root, following\n"
+               "                 referrals (glue ports default to -p) and printing hops\n",
                argv0);
   return 2;
 }
@@ -75,6 +83,7 @@ int main(int argc, char** argv) {
   bool force_tcp = false;
   bool short_output = false;
   bool recurse = true;
+  bool trace = false;
   bool have_area = false;
   sns::geo::BoundingBox area;
   int positional = 0;
@@ -93,6 +102,8 @@ int main(int argc, char** argv) {
       short_output = true;
     } else if (arg == "+norecurse") {
       recurse = false;
+    } else if (arg == "+trace") {
+      trace = true;
     } else if (arg.starts_with("+bufsize=")) {
       options.edns_udp_size = static_cast<std::uint16_t>(std::atoi(argv[i] + 9));
     } else if (arg.starts_with("+timeout=")) {
@@ -133,6 +144,48 @@ int main(int argc, char** argv) {
   if (!type.ok()) {
     std::fprintf(stderr, ";; bad type: %s\n", type.error().message.c_str());
     return 2;
+  }
+
+  if (trace) {
+    if (have_area) {
+      std::fprintf(stderr, ";; +trace and +area= do not combine\n");
+      return 2;
+    }
+    sns::federation::ResolveOptions resolve_options;
+    resolve_options.query = options;
+    // Glue addresses carry no port; assume the fabric shares the port
+    // of the root we were aimed at (see resolver.hpp).
+    resolve_options.glue_port = port;
+    sns::federation::IterativeClient client({server.value()}, resolve_options);
+    auto started = std::chrono::steady_clock::now();
+    auto resolved = client.resolve(
+        name.value(), type.value(), [](const sns::federation::TraceHop& hop) {
+          std::printf(";; %s @%s (%zu raced, %lld us)%s\n", hop.zone.to_string().c_str(),
+                      hop.winner.to_string().c_str(), hop.servers.size(),
+                      static_cast<long long>(hop.rtt.count()),
+                      hop.referral ? "" : " [authoritative]");
+          if (hop.referral)
+            for (const auto& rr : hop.response.authorities)
+              std::printf(";;   %s %s\n", rr.name.to_string().c_str(),
+                          sns::dns::rdata_to_string(rr.rdata).c_str());
+        });
+    auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+        std::chrono::steady_clock::now() - started);
+    if (!resolved.ok()) {
+      std::fprintf(stderr, ";; resolution failed: %s\n", resolved.error().message.c_str());
+      return 1;
+    }
+    const auto& answer = resolved.value();
+    if (short_output) {
+      for (const auto& rr : answer.response.answers)
+        std::printf("%s\n", sns::dns::rdata_to_string(rr.rdata).c_str());
+    } else {
+      std::printf("%s", answer.response.to_string().c_str());
+      std::printf(";; Referrals: %d, waves: %d, servers raced: %d\n", answer.referrals,
+                  answer.waves, answer.raced);
+      std::printf(";; Query time: %lld msec\n", static_cast<long long>(elapsed.count()));
+    }
+    return 0;
   }
 
   // Transaction id from the monotonic clock: unpredictable enough for a

@@ -1,7 +1,7 @@
 // snsd — the Spatial Name System daemon.
 //
-// Loads a master-file zone (including the paper's Table 1 extended
-// types: LOC, BDADDR, WIFI, LORA, DTMF) and serves it authoritatively
+// Loads master-file zones (including the paper's Table 1 extended
+// types: LOC, BDADDR, WIFI, LORA, DTMF) and serves them authoritatively
 // over real UDP and TCP sockets via the multi-core serving runtime
 // (src/runtime/): N worker shards share the port through SO_REUSEPORT
 // and answer from an RCU-lite zone snapshot, so reloads and RFC 2136
@@ -11,8 +11,20 @@
 //
 //   snsd --zone office.loc --listen 127.0.0.1 --port 5353 --threads 4
 //
+// Federated roles (DESIGN.md §15):
+//   --zone-dir DIR     serve every *.loc/*.zone file in DIR as one
+//                      authority — nested apexes give real delegation
+//                      referrals at the cuts, and IXFR/AXFR queries are
+//                      answered from the snapshot + delta journals
+//   --edge HOST:PORT   be an edge nameserver: full-transfer every
+//                      --mirror APEX from that primary before serving,
+//                      then poll SOAs and pull IXFR deltas on a timer;
+//                      when the primary goes dark past expiry, keep
+//                      serving stale data (RFC 8767) and count it
+//
 // Operational surface:
-//   SIGHUP           re-parse --zone and publish it atomically; on a
+//   SIGHUP           re-parse --zone/--zone-dir and publish atomically
+//                    (edge mode: re-poll every mirrored zone now); on a
 //                    parse error the old snapshot keeps serving
 //   SIGUSR1          dump fleet metrics JSON (totals + per shard)
 //   --metrics-dump N dump the same JSON every N seconds
@@ -34,6 +46,8 @@
 #include <thread>
 
 #include "dns/master.hpp"
+#include "federation/edge.hpp"
+#include "federation/zone_dir.hpp"
 #include "obs/metrics.hpp"
 #include "runtime/runtime.hpp"
 #include "server/zone.hpp"
@@ -57,6 +71,7 @@ void on_signal(int sig) {
 
 struct Args {
   std::string zone_file;
+  std::string zone_dir;
   std::string origin = ".";
   std::string listen = "127.0.0.1";
   std::uint16_t port = 5353;
@@ -64,6 +79,11 @@ struct Args {
   std::size_t udp_batch = sns::transport::kUdpBatchDefault;
   bool answer_cache = true;
   bool spatial = true;
+  sns::spatial::SpatialBackend spatial_backend = sns::spatial::SpatialBackend::Hilbert;
+  std::string edge_primary;                // HOST:PORT of the parent to mirror from
+  std::vector<std::string> mirror_apexes;  // zones to mirror in edge mode
+  long refresh_ms = 0;                     // 0 = honour SOA refresh/retry
+  long expire_ms = 0;                      // 0 = honour SOA expire
   std::string port_file;
   std::string metrics_file;  // empty = stderr
   long metrics_dump_seconds = 0;
@@ -72,8 +92,14 @@ struct Args {
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s --zone FILE [options]\n"
-               "  --zone FILE          master-file zone to serve (required)\n"
+               "usage: %s (--zone FILE | --zone-dir DIR | --edge HOST:PORT --mirror APEX...)"
+               " [options]\n"
+               "  --zone FILE          master-file zone to serve\n"
+               "  --zone-dir DIR       serve every *.loc/*.zone in DIR (federated authority)\n"
+               "  --edge HOST:PORT     edge mode: mirror zones from this primary via IXFR\n"
+               "  --mirror APEX        zone apex to mirror in edge mode (repeatable)\n"
+               "  --refresh-ms N       edge SOA poll cadence; 0 honours SOA fields (default)\n"
+               "  --expire-ms N        edge staleness horizon; 0 honours SOA expire (default)\n"
                "  --origin NAME        $ORIGIN applied before the file's own (default .)\n"
                "  --listen ADDR        IPv4 address to bind (default 127.0.0.1)\n"
                "  --port N             UDP+TCP port; 0 picks an ephemeral port (default 5353)\n"
@@ -82,6 +108,7 @@ int usage(const char* argv0) {
                "                       1 = plain recvfrom/sendto)\n"
                "  --no-answer-cache    disable the per-snapshot precompiled-answer cache\n"
                "  --no-spatial         disable the reverse geodetic (AREA query) index\n"
+               "  --spatial-index B    hilbert (default) or rtree\n"
                "  --port-file PATH     write the realised port to PATH once bound\n"
                "  --metrics-dump N     dump metrics JSON every N seconds\n"
                "  --metrics-file PATH  metrics JSON destination (default stderr)\n"
@@ -96,25 +123,22 @@ int usage(const char* argv0) {
 /// atomically.
 sns::util::Result<sns::server::ZoneViewPtr> load_zone(const std::string& path,
                                                       const std::string& origin_text) {
-  std::ifstream in(path);
-  if (!in) return sns::util::fail("cannot read zone file " + path);
-  std::ostringstream text;
-  text << in.rdbuf();
-
   auto origin = sns::dns::Name::parse(origin_text);
   if (!origin.ok()) return origin.error();
-  auto records = sns::dns::parse_master_file(text.str(), origin.value());
-  if (!records.ok()) return records.error();
+  return sns::federation::load_zone_file(path, origin.value());
+}
 
-  const sns::dns::ResourceRecord* soa = nullptr;
-  for (const auto& rr : records.value())
-    if (rr.type == sns::dns::RRType::SOA) {
-      soa = &rr;
-      break;
-    }
-  if (soa == nullptr) return sns::util::fail("zone file has no SOA record");
-
-  return sns::server::build_zone_view(soa->name, std::move(records).value());
+/// The zone set this invocation serves: one --zone file or a whole
+/// --zone-dir. Used at startup and again on SIGHUP.
+sns::util::Result<std::vector<sns::server::ZoneViewPtr>> load_zone_set(const Args& args) {
+  if (!args.zone_dir.empty()) {
+    auto origin = sns::dns::Name::parse(args.origin);
+    if (!origin.ok()) return origin.error();
+    return sns::federation::load_zone_dir(args.zone_dir, origin.value());
+  }
+  auto zone = load_zone(args.zone_file, args.origin);
+  if (!zone.ok()) return zone.error();
+  return std::vector<sns::server::ZoneViewPtr>{zone.value()};
 }
 
 void dump_metrics(const Args& args, sns::runtime::ServerRuntime& runtime) {
@@ -127,6 +151,19 @@ void dump_metrics(const Args& args, sns::runtime::ServerRuntime& runtime) {
   out << json << '\n';
 }
 
+sns::util::Result<sns::transport::Endpoint> parse_host_port(const std::string& text) {
+  auto colon = text.rfind(':');
+  if (colon == std::string::npos || colon + 1 >= text.size())
+    return sns::util::fail("expected HOST:PORT, got '" + text + "'");
+  char* end = nullptr;
+  errno = 0;
+  long port = std::strtol(text.c_str() + colon + 1, &end, 10);
+  if (errno != 0 || end == nullptr || *end != '\0' || port < 1 || port > 65535)
+    return sns::util::fail("bad port in '" + text + "'");
+  return sns::transport::Endpoint::parse(text.substr(0, colon),
+                                         static_cast<std::uint16_t>(port));
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -137,6 +174,16 @@ int main(int argc, char** argv) {
     const char* value = nullptr;
     if (arg == "--zone" && (value = next()))
       args.zone_file = value;
+    else if (arg == "--zone-dir" && (value = next()))
+      args.zone_dir = value;
+    else if (arg == "--edge" && (value = next()))
+      args.edge_primary = value;
+    else if (arg == "--mirror" && (value = next()))
+      args.mirror_apexes.emplace_back(value);
+    else if (arg == "--refresh-ms" && (value = next()))
+      args.refresh_ms = std::atol(value);
+    else if (arg == "--expire-ms" && (value = next()))
+      args.expire_ms = std::atol(value);
     else if (arg == "--origin" && (value = next()))
       args.origin = value;
     else if (arg == "--listen" && (value = next()))
@@ -175,6 +222,17 @@ int main(int argc, char** argv) {
       args.answer_cache = false;
     else if (arg == "--no-spatial")
       args.spatial = false;
+    else if (arg == "--spatial-index" && (value = next())) {
+      std::string_view backend = value;
+      if (backend == "hilbert")
+        args.spatial_backend = sns::spatial::SpatialBackend::Hilbert;
+      else if (backend == "rtree")
+        args.spatial_backend = sns::spatial::SpatialBackend::RTree;
+      else {
+        std::fprintf(stderr, "snsd: invalid --spatial-index '%s' (hilbert|rtree)\n", value);
+        return 2;
+      }
+    }
     else if (arg == "--port-file" && (value = next()))
       args.port_file = value;
     else if (arg == "--metrics-dump" && (value = next()))
@@ -186,40 +244,84 @@ int main(int argc, char** argv) {
     else
       return usage(argv[0]);
   }
-  if (args.zone_file.empty()) return usage(argv[0]);
+  const bool edge_mode = !args.edge_primary.empty();
+  if (edge_mode ? args.mirror_apexes.empty() || !args.zone_file.empty() ||
+                      !args.zone_dir.empty()
+                : args.zone_file.empty() == args.zone_dir.empty())
+    return usage(argv[0]);
   if (args.verbose) sns::util::set_log_level(sns::util::LogLevel::Info);
-
-  auto zone = load_zone(args.zone_file, args.origin);
-  if (!zone.ok()) {
-    std::fprintf(stderr, "snsd: %s\n", zone.error().message.c_str());
-    return 1;
-  }
 
   sns::runtime::RuntimeOptions options;
   options.threads = args.threads;
   options.udp_batch = args.udp_batch;
   options.answer_cache = args.answer_cache;
   options.spatial = args.spatial;
+  options.spatial_backend = args.spatial_backend;
   sns::runtime::ServerRuntime runtime("snsd", options);
+
+  std::unique_ptr<sns::federation::EdgeNameserver> edge;
+  std::vector<sns::server::ZoneViewPtr> zones;
+  if (edge_mode) {
+    auto primary = parse_host_port(args.edge_primary);
+    if (!primary.ok()) {
+      std::fprintf(stderr, "snsd: bad --edge endpoint: %s\n", primary.error().message.c_str());
+      return 1;
+    }
+    sns::federation::EdgeOptions edge_options;
+    edge_options.primary = primary.value();
+    for (const auto& apex_text : args.mirror_apexes) {
+      auto apex = sns::dns::Name::parse(apex_text);
+      if (!apex.ok()) {
+        std::fprintf(stderr, "snsd: bad --mirror apex '%s': %s\n", apex_text.c_str(),
+                     apex.error().message.c_str());
+        return 1;
+      }
+      edge_options.zones.push_back(apex.value());
+    }
+    edge_options.refresh_interval = std::chrono::milliseconds(std::max(args.refresh_ms, 0L));
+    edge_options.expire_after = std::chrono::milliseconds(std::max(args.expire_ms, 0L));
+    edge = std::make_unique<sns::federation::EdgeNameserver>(runtime, edge_options);
+    auto synced = edge->initial_sync();
+    if (!synced.ok()) {
+      std::fprintf(stderr, "snsd: %s\n", synced.error().message.c_str());
+      return 1;
+    }
+    zones = std::move(synced).value();
+  } else {
+    auto loaded = load_zone_set(args);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "snsd: %s\n", loaded.error().message.c_str());
+      return 1;
+    }
+    zones = std::move(loaded).value();
+  }
 
   auto listen = sns::transport::Endpoint::parse(args.listen, args.port);
   if (!listen.ok()) {
     std::fprintf(stderr, "snsd: bad listen address: %s\n", listen.error().message.c_str());
     return 1;
   }
-  if (auto started = runtime.start(listen.value(), {zone.value()}); !started.ok()) {
+  if (auto started = runtime.start(listen.value(), zones); !started.ok()) {
     std::fprintf(stderr, "snsd: %s\n", started.error().message.c_str());
     return 1;
+  }
+  if (edge != nullptr) {
+    if (auto started = edge->start(); !started.ok()) {
+      std::fprintf(stderr, "snsd: %s\n", started.error().message.c_str());
+      return 1;
+    }
   }
 
   if (!args.port_file.empty()) {
     std::ofstream pf(args.port_file, std::ios::trunc);
     pf << runtime.local().port << '\n';
   }
-  std::fprintf(stderr, "snsd: serving %s (%zu records) on %s (udp+tcp, %zu worker%s)\n",
-               zone.value()->apex().to_string().c_str(), zone.value()->record_count(),
-               runtime.local().to_string().c_str(), runtime.worker_count(),
-               runtime.worker_count() == 1 ? "" : "s");
+  std::size_t records = 0;
+  for (const auto& zone : zones) records += zone->record_count();
+  std::fprintf(stderr, "snsd: serving %zu zone%s (%zu records%s) on %s (udp+tcp, %zu worker%s)\n",
+               zones.size(), zones.size() == 1 ? "" : "s", records,
+               edge_mode ? ", edge mirror" : "", runtime.local().to_string().c_str(),
+               runtime.worker_count(), runtime.worker_count() == 1 ? "" : "s");
 
   std::signal(SIGINT, on_signal);
   std::signal(SIGTERM, on_signal);
@@ -239,27 +341,34 @@ int main(int argc, char** argv) {
       dump_metrics(args, runtime);
     }
     if (g_reload.exchange(false)) {
+      if (edge != nullptr) {
+        // Edge mode has no files to re-read; SIGHUP means "sync now".
+        edge->poke();
+        continue;
+      }
       // SIGHUP live reload: parse off to the side, publish atomically.
       // A broken file must never take down serving — the old snapshot
       // stays live and the failure is logged + counted instead.
       std::size_t old_records = runtime.snapshot()->record_count();
-      auto fresh = load_zone(args.zone_file, args.origin);
+      auto fresh = load_zone_set(args);
       if (!fresh.ok()) {
         runtime.metrics().counter("runtime.zone.reload_failed").add();
         std::fprintf(stderr, "snsd: zone reload failed (still serving old data): %s\n",
                      fresh.error().message.c_str());
         continue;
       }
-      std::size_t new_records = fresh.value()->record_count();
-      std::uint64_t generation = runtime.publish({fresh.value()});
+      std::size_t new_records = 0;
+      for (const auto& zone : fresh.value()) new_records += zone->record_count();
+      std::uint64_t generation = runtime.publish(fresh.value());
       runtime.metrics().counter("runtime.zone.reload").add();
-      std::fprintf(stderr, "snsd: reloaded %s: %zu -> %zu records (generation %llu)\n",
-                   fresh.value()->apex().to_string().c_str(), old_records, new_records,
-                   static_cast<unsigned long long>(generation));
+      std::fprintf(stderr, "snsd: reloaded %zu zone%s: %zu -> %zu records (generation %llu)\n",
+                   fresh.value().size(), fresh.value().size() == 1 ? "" : "s", old_records,
+                   new_records, static_cast<unsigned long long>(generation));
     }
   }
 
   // Fleet totals must be summed before the workers are torn down.
+  if (edge != nullptr) edge->stop();
   sns::obs::MetricsRegistry totals;
   runtime.merge_metrics(totals);
   std::uint64_t served = totals.counter_value("server.queries").value_or(0);
